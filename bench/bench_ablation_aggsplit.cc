@@ -1,0 +1,98 @@
+// Ablation: the local/global aggregation split of Figure 6. The paper:
+// "This split maximizes the distributed computation and minimizes network
+// traffic" — with the split, each partition pre-aggregates locally and only
+// tiny partial-state records cross the n:1 connector; without it, every
+// qualifying tuple must be shipped to the single aggregator.
+//
+// The executor counts tuples whose connector hop crosses simulated node
+// boundaries, making the network-traffic claim directly measurable.
+
+#include <cstdio>
+
+#include "api/asterix.h"
+#include "common/env.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace asterix;
+
+struct RunResult {
+  double ms = 0;
+  uint64_t network_tuples = 0;
+  uint64_t connector_tuples = 0;
+};
+
+RunResult RunWithSplit(bool split, const std::vector<adm::Value>& messages) {
+  std::string dir = env::NewScratchDir("aggsplit");
+  api::InstanceConfig config;
+  config.base_dir = dir;
+  config.cluster.num_nodes = 2;
+  config.cluster.partitions_per_node = 2;
+  config.cluster.job_startup_us = 0;
+  config.optimizer.split_aggregation = split;
+  api::AsterixInstance instance(config);
+  if (!instance.Boot().ok()) std::exit(1);
+  auto ddl = instance.Execute(R"aql(
+create dataverse B; use dataverse B;
+create type M as closed {
+  message-id: int64, author-id: int64, timestamp: datetime,
+  in-response-to: int64?, sender-location: point?,
+  tags: {{ string }}, message: string
+}
+create dataset Messages(M) primary key message-id;
+)aql");
+  if (!ddl.ok()) std::exit(1);
+  if (!instance.FindDataset("B.Messages")->LoadBulk(messages).ok()) std::exit(1);
+  if (!instance.FlushAll().ok()) std::exit(1);
+
+  RunResult best;
+  for (int i = 0; i < 3; ++i) {
+    auto r = instance.Execute(
+        "use dataverse B;\n"
+        "avg(for $m in dataset Messages return string-length($m.message))");
+    if (!r.ok()) std::exit(1);
+    if (i == 0 || r.value().stats.elapsed_ms < best.ms) {
+      best.ms = r.value().stats.elapsed_ms;
+      best.network_tuples = r.value().stats.network_tuples;
+      best.connector_tuples = r.value().stats.connector_tuples;
+    }
+  }
+  env::RemoveAll(dir);
+  return best;
+}
+
+int Main() {
+  workload::Generator gen;
+  auto messages = gen.MakeMessages(40000, 5000);
+  std::printf("Local/global aggregation split ablation (40000 messages, "
+              "2 nodes x 2 partitions)\n\n");
+  std::printf("%-22s %10s %18s %18s\n", "configuration", "ms",
+              "network tuples", "connector tuples");
+
+  RunResult with_split = RunWithSplit(true, messages);
+  RunResult without = RunWithSplit(false, messages);
+  std::printf("%-22s %10.1f %18llu %18llu\n", "split (Figure 6)",
+              with_split.ms,
+              static_cast<unsigned long long>(with_split.network_tuples),
+              static_cast<unsigned long long>(with_split.connector_tuples));
+  std::printf("%-22s %10.1f %18llu %18llu\n", "no split", without.ms,
+              static_cast<unsigned long long>(without.network_tuples),
+              static_cast<unsigned long long>(without.connector_tuples));
+
+  bool ok = true;
+  auto claim = [&](bool cond, const char* what) {
+    std::printf("claim: %-62s %s\n", what, cond ? "HOLDS" : "VIOLATED");
+    ok = ok && cond;
+  };
+  std::printf("\n");
+  claim(with_split.network_tuples * 100 < without.network_tuples,
+        "the split cuts cross-node tuples by >100x");
+  claim(with_split.network_tuples <= 4,
+        "with the split, only per-partition partials cross the network");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main() { return Main(); }

@@ -1,0 +1,137 @@
+// Ablation: the LSM design choices of paper SS4.3 — memory-component budget
+// and merge policy vs ingestion throughput, read cost, and component counts.
+// The paper's motivation: "entries are initially stored in memory and moved
+// to persistent storage in bulk, [so] LSM-trees avoid costly random disk
+// I/O and enable high ingestion rates"; merge policy controls the read
+// amplification that accumulating components would otherwise cause.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "common/env.h"
+#include "storage/lsm.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace asterix;
+
+struct RunResult {
+  double ingest_ms = 0;
+  double lookup_us = 0;
+  double scan_ms = 0;
+  size_t components = 0;
+  uint64_t disk_bytes = 0;
+};
+
+RunResult RunOne(const storage::LsmOptions& options, int n) {
+  std::string dir = env::NewScratchDir("lsm-ablation");
+  storage::BufferCache cache(1 << 14);
+  storage::LsmBTree tree(&cache, dir, "t", options);
+  if (!tree.Open().ok()) std::exit(1);
+
+  std::vector<uint8_t> payload(120, 'x');
+  auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < n; ++i) {
+    // Keys arrive shuffled (hash order), the hostile case for in-place
+    // B-trees and the case LSM ingestion absorbs in memory.
+    int64_t key = (static_cast<int64_t>(i) * 2654435761) % (8 * n);
+    tree.Upsert({adm::Value::Int64(key)}, payload, static_cast<uint64_t>(i));
+  }
+  RunResult r;
+  r.ingest_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  r.components = tree.num_disk_components();
+  r.disk_bytes = tree.total_disk_bytes();
+
+  t0 = std::chrono::steady_clock::now();
+  int lookups = 2000;
+  size_t found = 0;
+  for (int i = 0; i < lookups; ++i) {
+    int64_t key = (static_cast<int64_t>(i * 7) * 2654435761) % (8 * n);
+    bool f;
+    std::vector<uint8_t> p;
+    tree.PointLookup({adm::Value::Int64(key)}, &f, &p);
+    found += f;
+  }
+  r.lookup_us = std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count() /
+                lookups;
+
+  t0 = std::chrono::steady_clock::now();
+  size_t scanned = 0;
+  tree.RangeScan({}, [&](const storage::IndexEntry&) {
+    ++scanned;
+    return Status::OK();
+  });
+  r.scan_ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+  env::RemoveAll(dir);
+  return r;
+}
+
+int Main() {
+  const int n = 100000;
+  std::printf("LSM ablation (%d upserts, shuffled keys)\n\n", n);
+  std::printf("%-34s %10s %10s %10s %6s %10s\n", "configuration", "ingest ms",
+              "lookup us", "scan ms", "comps", "disk MB");
+
+  struct Config {
+    const char* name;
+    storage::LsmOptions options;
+  };
+  std::vector<Config> configs;
+  auto add = [&](const char* name, size_t mem_kb, storage::MergePolicy policy) {
+    storage::LsmOptions o;
+    o.mem_budget_bytes = mem_kb << 10;
+    o.merge_policy = policy;
+    configs.push_back({name, o});
+  };
+  add("mem=256KB, no merge", 256, storage::MergePolicy::None());
+  add("mem=256KB, constant(4)", 256, storage::MergePolicy::Constant(4));
+  add("mem=256KB, prefix(4, 4MB)", 256,
+      storage::MergePolicy::Prefix(4, 4u << 20));
+  add("mem=1MB,   no merge", 1024, storage::MergePolicy::None());
+  add("mem=1MB,   constant(4)", 1024, storage::MergePolicy::Constant(4));
+  add("mem=4MB,   constant(4)", 4096, storage::MergePolicy::Constant(4));
+
+  double no_merge_scan = 0, merged_scan = 0;
+  size_t no_merge_comps = 0, merged_comps = 0;
+  for (const auto& c : configs) {
+    RunResult r = RunOne(c.options, n);
+    std::printf("%-34s %10.1f %10.2f %10.1f %6zu %10.2f\n", c.name,
+                r.ingest_ms, r.lookup_us, r.scan_ms, r.components,
+                static_cast<double>(r.disk_bytes) / (1 << 20));
+    if (std::string(c.name) == "mem=256KB, no merge") {
+      no_merge_scan = r.scan_ms;
+      no_merge_comps = r.components;
+    }
+    if (std::string(c.name) == "mem=256KB, constant(4)") {
+      merged_scan = r.scan_ms;
+      merged_comps = r.components;
+    }
+  }
+
+  bool ok = true;
+  auto claim = [&](bool cond, const char* what) {
+    std::printf("claim: %-62s %s\n", what, cond ? "HOLDS" : "VIOLATED");
+    ok = ok && cond;
+  };
+  std::printf("\n");
+  claim(no_merge_comps > 4 * merged_comps,
+        "without merging, disk components accumulate");
+  claim(merged_scan < no_merge_scan,
+        "merging reduces range-scan cost (read amplification)");
+  std::printf("note: point lookups stay flat even without merging because\n"
+              "every disk component carries a bloom filter; scans cannot use\n"
+              "blooms and pay the k-way merge across components.\n");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main() { return Main(); }

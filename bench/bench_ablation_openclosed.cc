@@ -1,0 +1,95 @@
+// Ablation: open vs closed datatype declarations (paper SS2.1): "The more
+// AsterixDB knows about the potential residents of a Dataset, the less it
+// needs to store in each individual data instance." Sweeps the fraction of
+// fields declared a priori and measures storage size and full-scan time.
+
+#include <chrono>
+#include <cstdio>
+
+#include "adm/serde.h"
+#include "common/env.h"
+#include "storage/dataset_store.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace asterix;
+using adm::Datatype;
+using adm::TypeTag;
+
+// Message type declaring the first `declared` of the 7 fields (key always).
+adm::DatatypePtr PartialMessageType(int declared) {
+  std::vector<adm::FieldType> all = {
+      {"message-id", Datatype::Primitive(TypeTag::kInt64), false},
+      {"author-id", Datatype::Primitive(TypeTag::kInt64), false},
+      {"timestamp", Datatype::Primitive(TypeTag::kDatetime), false},
+      {"in-response-to", Datatype::Primitive(TypeTag::kInt64), true},
+      {"sender-location", Datatype::Primitive(TypeTag::kPoint), true},
+      {"tags", Datatype::MakeBag(Datatype::Primitive(TypeTag::kString)), false},
+      {"message", Datatype::Primitive(TypeTag::kString), false},
+  };
+  std::vector<adm::FieldType> fields(all.begin(), all.begin() + declared);
+  // Closed only when everything is declared.
+  return Datatype::MakeRecord("M" + std::to_string(declared), std::move(fields),
+                              /*open=*/declared < 7);
+}
+
+int Main() {
+  const int n = 40000;
+  workload::Generator gen;
+  auto messages = gen.MakeMessages(n, 5000);
+
+  std::printf("Open vs closed datatype ablation (%d messages)\n\n", n);
+  std::printf("%-26s %12s %12s %12s\n", "declared fields", "disk MB",
+              "bytes/rec", "scan ms");
+
+  uint64_t keyonly_bytes = 0, closed_bytes = 0;
+  for (int declared : {1, 3, 5, 7}) {
+    std::string dir = env::NewScratchDir("openclosed");
+    storage::BufferCache cache(1 << 14);
+    txn::TxnManager txns(dir + "/wal");
+    storage::DatasetDef def;
+    def.dataset_id = 1;
+    def.dataverse = "B";
+    def.name = "M";
+    def.type = PartialMessageType(declared);
+    def.primary_key_fields = {"message-id"};
+    storage::LsmOptions options;
+    storage::PartitionedDataset ds(&cache, dir, def, 4, &txns, options);
+    if (!ds.Open().ok() || !ds.LoadBulk(messages).ok() || !ds.FlushAll().ok()) {
+      std::fprintf(stderr, "setup failed\n");
+      return 1;
+    }
+    uint64_t bytes = ds.TotalPrimaryDiskBytes();
+    auto t0 = std::chrono::steady_clock::now();
+    size_t scanned = 0;
+    for (uint32_t p = 0; p < 4; ++p) {
+      ds.partition(p)->ScanAll([&](const adm::Value&) {
+        ++scanned;
+        return Status::OK();
+      });
+    }
+    double scan_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    char label[64];
+    std::snprintf(label, sizeof(label), "%d of 7 (%s)", declared,
+                  declared == 7 ? "closed" : "open");
+    std::printf("%-26s %12.2f %12.1f %12.1f\n", label,
+                static_cast<double>(bytes) / (1 << 20),
+                static_cast<double>(bytes) / n, scan_ms);
+    if (declared == 1) keyonly_bytes = bytes;
+    if (declared == 7) closed_bytes = bytes;
+    env::RemoveAll(dir);
+  }
+
+  bool ok = keyonly_bytes > closed_bytes * 3 / 2;
+  std::printf("\nclaim: %-62s %s\n",
+              "key-only open storage substantially larger than closed",
+              ok ? "HOLDS" : "VIOLATED");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main() { return Main(); }

@@ -1,0 +1,278 @@
+#ifndef ASTERIX_BENCH_BENCH_COMMON_H_
+#define ASTERIX_BENCH_BENCH_COMMON_H_
+
+#include <chrono>
+#include <thread>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/asterix.h"
+#include "baselines/columnstore.h"
+#include "baselines/docstore.h"
+#include "baselines/relstore.h"
+#include "common/env.h"
+#include "workload/generator.h"
+
+namespace asterix {
+namespace bench {
+
+/// Scale knobs (env-overridable: ASTERIX_BENCH_USERS etc.). The paper ran
+/// ~10^8-scale datasets on a 10-node cluster; these defaults keep a laptop
+/// run in seconds while preserving all the relative shapes.
+struct BenchScale {
+  int64_t users = 20000;
+  int64_t messages = 40000;
+  int64_t tweets = 40000;
+
+  static BenchScale FromEnv() {
+    BenchScale s;
+    if (const char* v = std::getenv("ASTERIX_BENCH_USERS")) s.users = atoll(v);
+    if (const char* v = std::getenv("ASTERIX_BENCH_MESSAGES")) {
+      s.messages = atoll(v);
+    }
+    if (const char* v = std::getenv("ASTERIX_BENCH_TWEETS")) s.tweets = atoll(v);
+    return s;
+  }
+};
+
+/// Hive's MapReduce job start-up stand-in (per query), microseconds.
+constexpr int64_t kHiveJobStartupUs = 30000;
+
+/// Client-server round trip every baseline pays per request (the paper's
+/// JDBC / Java-driver clients); AsterixDB's own job start-up already covers
+/// this on its side.
+constexpr int64_t kClientRoundTripUs = 300;
+
+/// Milliseconds to run `fn` once, median-of-`runs` after one warm-up.
+inline double TimeMs(const std::function<void()>& fn, int runs = 3) {
+  fn();  // warm-up (the paper discards warm-up runs too)
+  std::vector<double> times;
+  for (int i = 0; i < runs; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    fn();
+    times.push_back(std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+/// TimeMs plus the per-request client round trip (baseline systems).
+inline double BaselineTimeMs(const std::function<void()>& fn, int runs = 3) {
+  return TimeMs(
+      [&] {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(kClientRoundTripUs));
+        fn();
+      },
+      runs);
+}
+
+inline void Check(const Status& st, const char* what) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what, st.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+inline T CheckResult(Result<T> r, const char* what) {
+  if (!r.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what, r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return r.take();
+}
+
+/// The five systems of §5.3, loaded with the same synthetic data:
+/// AsterixDB with fully declared types (Schema), AsterixDB with key-only
+/// open types (KeyOnly), RelStore (System-X), ColumnStore (Hive/ORC), and
+/// DocStore (MongoDB).
+class BenchEnv {
+ public:
+  explicit BenchEnv(BenchScale scale, bool with_tweets = false)
+      : scale_(scale) {
+    dir_ = env::NewScratchDir("asterix-bench");
+    workload::Generator gen;
+    users_ = gen.MakeUsers(scale.users);
+    messages_ = gen.MakeMessages(scale.messages, scale.users);
+    if (with_tweets) tweets_ = gen.MakeTweets(scale.tweets, scale.users);
+
+    SetUpAsterix();
+    SetUpRelStore();
+    SetUpColumnStore();
+    SetUpDocStore();
+  }
+
+  ~BenchEnv() { env::RemoveAll(dir_); }
+
+  api::AsterixInstance* asterix() { return asterix_.get(); }
+  baselines::RelStore* systx() { return systx_.get(); }
+  baselines::ColumnStore* hive_users() { return hive_users_.get(); }
+  baselines::ColumnStore* hive_messages() { return hive_messages_.get(); }
+  baselines::DocStore* mongo_users() { return mongo_users_.get(); }
+  baselines::DocStore* mongo_messages() { return mongo_messages_.get(); }
+
+  const std::vector<adm::Value>& users() const { return users_; }
+  const std::vector<adm::Value>& messages() const { return messages_; }
+  const std::vector<adm::Value>& tweets() const { return tweets_; }
+  const BenchScale& scale() const { return scale_; }
+  const std::string& dir() const { return dir_; }
+
+  /// Runs an AQL query against the bench dataverse, returning elapsed ms.
+  double RunAql(const std::string& query, size_t* result_count = nullptr) {
+    return TimeMs([&] {
+      auto r = asterix_->Execute("use dataverse Bench;\n" + query);
+      Check(r.ok() ? Status::OK() : r.status(), "aql query");
+      if (result_count) *result_count = r.value().values.size();
+    });
+  }
+
+ private:
+  void SetUpAsterix();
+  void SetUpRelStore();
+  void SetUpColumnStore();
+  void SetUpDocStore();
+
+  BenchScale scale_;
+  std::string dir_;
+  std::vector<adm::Value> users_, messages_, tweets_;
+  std::unique_ptr<api::AsterixInstance> asterix_;
+  std::unique_ptr<baselines::RelStore> systx_;
+  std::unique_ptr<baselines::ColumnStore> hive_users_, hive_messages_;
+  std::unique_ptr<baselines::DocStore> mongo_users_, mongo_messages_;
+};
+
+inline void BenchEnv::SetUpAsterix() {
+  api::InstanceConfig config;
+  config.base_dir = dir_ + "/asterix";
+  config.cluster.num_nodes = 2;
+  config.cluster.partitions_per_node = 2;
+  config.cluster.job_startup_us = 1200;
+  asterix_ = std::make_unique<api::AsterixInstance>(config);
+  Check(asterix_->Boot(), "asterix boot");
+
+  const char* ddl = R"aql(
+create dataverse Bench;
+use dataverse Bench;
+create type UserType as {
+  id: int64, alias: string, name: string, user-since: datetime,
+  address: { street: string, city: string, state: string, zip: string,
+             country: string },
+  friend-ids: {{ int64 }},
+  employment: [ { organization-name: string, start-date: date,
+                  end-date: date? } ]
+}
+create type MessageType as closed {
+  message-id: int64, author-id: int64, timestamp: datetime,
+  in-response-to: int64?, sender-location: point?,
+  tags: {{ string }}, message: string
+}
+create type UserKeyOnly as { id: int64 }
+create type MessageKeyOnly as { message-id: int64 }
+create dataset Users(UserType) primary key id;
+create dataset Messages(MessageType) primary key message-id;
+create dataset UsersKeyOnly(UserKeyOnly) primary key id;
+create dataset MessagesKeyOnly(MessageKeyOnly) primary key message-id;
+create index uSinceIdx on Users(user-since);
+create index msTimestampIdx on Messages(timestamp);
+create index msAuthorIdx on Messages(author-id) type btree;
+create index uSinceIdxK on UsersKeyOnly(user-since);
+create index msTimestampIdxK on MessagesKeyOnly(timestamp);
+create index msAuthorIdxK on MessagesKeyOnly(author-id) type btree;
+)aql";
+  auto r = asterix_->Execute(ddl);
+  Check(r.ok() ? Status::OK() : r.status(), "bench DDL");
+
+  Check(asterix_->FindDataset("Bench.Users")->LoadBulk(users_), "load users");
+  Check(asterix_->FindDataset("Bench.Messages")->LoadBulk(messages_),
+        "load messages");
+  Check(asterix_->FindDataset("Bench.UsersKeyOnly")->LoadBulk(users_),
+        "load users keyonly");
+  Check(asterix_->FindDataset("Bench.MessagesKeyOnly")->LoadBulk(messages_),
+        "load messages keyonly");
+  Check(asterix_->FlushAll(), "flush");
+}
+
+inline void BenchEnv::SetUpRelStore() {
+  systx_ = std::make_unique<baselines::RelStore>(dir_ + "/systx");
+  auto* users = systx_->CreateTable("users", workload::UserTableSchema(), "id");
+  auto* friends =
+      systx_->CreateTable("user_friends", workload::FriendTableSchema(), "row_id");
+  auto* jobs = systx_->CreateTable("user_employment",
+                                   workload::EmploymentTableSchema(), "row_id");
+  auto* msgs =
+      systx_->CreateTable("messages", workload::MessageTableSchema(), "message_id");
+  auto* tags =
+      systx_->CreateTable("message_tags", workload::TagTableSchema(), "row_id");
+  for (const auto& u : users_) {
+    auto n = workload::NormalizeUser(u);
+    Check(users->Insert(n.user_row, false), "systx user");
+    for (const auto& f : n.friend_rows) Check(friends->Insert(f, false), "systx friend");
+    for (const auto& e : n.employment_rows) Check(jobs->Insert(e, false), "systx job");
+  }
+  for (const auto& m : messages_) {
+    auto n = workload::NormalizeMessage(m);
+    Check(msgs->Insert(n.message_row, false), "systx msg");
+    for (const auto& t : n.tag_rows) Check(tags->Insert(t, false), "systx tag");
+  }
+  // Side tables always carry the FK indexes that reassembly needs.
+  Check(friends->CreateIndex("user_id"), "ix");
+  Check(jobs->CreateIndex("user_id"), "ix");
+  Check(tags->CreateIndex("message_id"), "ix");
+}
+
+inline void BenchEnv::SetUpColumnStore() {
+  hive_users_ = std::make_unique<baselines::ColumnStore>(
+      dir_ + "/hive", "users", workload::UserColumnSchema(), kHiveJobStartupUs);
+  hive_messages_ = std::make_unique<baselines::ColumnStore>(
+      dir_ + "/hive", "messages", workload::MessageColumnSchema(),
+      kHiveJobStartupUs);
+  for (const auto& u : users_) {
+    Check(hive_users_->Append(workload::NormalizeUser(u).user_row), "hive user");
+  }
+  for (const auto& m : messages_) {
+    Check(hive_messages_->Append(workload::NormalizeMessage(m).message_row),
+          "hive message");
+  }
+  Check(hive_users_->Finalize(), "hive finalize");
+  Check(hive_messages_->Finalize(), "hive finalize");
+}
+
+inline void BenchEnv::SetUpDocStore() {
+  mongo_users_ =
+      std::make_unique<baselines::DocStore>(dir_ + "/mongo", "users", "id");
+  mongo_messages_ = std::make_unique<baselines::DocStore>(dir_ + "/mongo",
+                                                          "messages",
+                                                          "message-id");
+  Check(mongo_users_->LoadBulk(users_), "mongo users");
+  Check(mongo_messages_->LoadBulk(messages_), "mongo messages");
+}
+
+/// Printed table row helper.
+inline void PrintRow(const char* label, double a_schema, double a_keyonly,
+                     double systx, double hive, bool hive_real, double mongo) {
+  std::printf("%-18s %12.2f %12.2f %12.2f ", label, a_schema, a_keyonly, systx);
+  if (hive_real) {
+    std::printf("%12.2f ", hive);
+  } else {
+    std::printf("%10.2f() ", hive);
+  }
+  std::printf("%12.2f\n", mongo);
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+  std::printf("%-18s %12s %12s %12s %12s %12s\n", "query", "Ast(Schema)",
+              "Ast(KeyOnly)", "Syst-X", "Hive", "Mongo");
+}
+
+}  // namespace bench
+}  // namespace asterix
+
+#endif  // ASTERIX_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,190 @@
+// Google-benchmark microbenchmarks for the performance-critical primitives:
+// serialization, B+-tree probes, LSM ingestion, expression evaluation, and
+// compression. These guard the constants that the table-level benches'
+// shapes depend on.
+
+#include <benchmark/benchmark.h>
+
+#include "adm/serde.h"
+#include "algebricks/expr.h"
+#include "common/compress.h"
+#include "common/env.h"
+#include "functions/similarity.h"
+#include "storage/lsm.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace asterix;
+using adm::Value;
+
+// --- serde -------------------------------------------------------------------
+
+void BM_SerializeTypedMessage(benchmark::State& state) {
+  workload::Generator gen;
+  Value msg = gen.MakeMessage(1, 100);
+  auto type = workload::MessageTypeSchema();
+  for (auto _ : state) {
+    BytesWriter w;
+    benchmark::DoNotOptimize(adm::SerializeTyped(msg, type, &w).ok());
+  }
+}
+BENCHMARK(BM_SerializeTypedMessage);
+
+void BM_DeserializeTypedMessage(benchmark::State& state) {
+  workload::Generator gen;
+  Value msg = gen.MakeMessage(1, 100);
+  auto type = workload::MessageTypeSchema();
+  BytesWriter w;
+  if (!adm::SerializeTyped(msg, type, &w).ok()) state.SkipWithError("serde");
+  for (auto _ : state) {
+    BytesReader r(w.data());
+    Value out;
+    benchmark::DoNotOptimize(adm::DeserializeTyped(&r, type, &out).ok());
+  }
+}
+BENCHMARK(BM_DeserializeTypedMessage);
+
+void BM_SerializeSchemaless(benchmark::State& state) {
+  workload::Generator gen;
+  Value msg = gen.MakeMessage(1, 100);
+  for (auto _ : state) {
+    BytesWriter w;
+    adm::SerializeValue(msg, &w);
+    benchmark::DoNotOptimize(w.size());
+  }
+}
+BENCHMARK(BM_SerializeSchemaless);
+
+// --- storage ------------------------------------------------------------------
+
+class LsmFixture : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State&) override {
+    if (tree) return;
+    dir = env::NewScratchDir("bench-micro");
+    cache = std::make_unique<storage::BufferCache>(1 << 14);
+    storage::LsmOptions o;
+    tree = std::make_unique<storage::LsmBTree>(cache.get(), dir, "t", o);
+    (void)tree->Open();
+    payload.assign(120, 'x');
+    for (int i = 0; i < 100000; ++i) {
+      (void)tree->Upsert({Value::Int64(i)}, payload, static_cast<uint64_t>(i));
+    }
+    (void)tree->Flush();
+  }
+  void TearDown(const benchmark::State&) override {}
+
+  static std::string dir;
+  static std::unique_ptr<storage::BufferCache> cache;
+  static std::unique_ptr<storage::LsmBTree> tree;
+  static std::vector<uint8_t> payload;
+};
+std::string LsmFixture::dir;
+std::unique_ptr<storage::BufferCache> LsmFixture::cache;
+std::unique_ptr<storage::LsmBTree> LsmFixture::tree;
+std::vector<uint8_t> LsmFixture::payload;
+
+BENCHMARK_F(LsmFixture, PointLookupHit)(benchmark::State& state) {
+  int64_t k = 0;
+  for (auto _ : state) {
+    bool found;
+    std::vector<uint8_t> p;
+    (void)tree->PointLookup({Value::Int64(k % 100000)}, &found, &p);
+    benchmark::DoNotOptimize(found);
+    k += 7919;
+  }
+}
+
+BENCHMARK_F(LsmFixture, PointLookupMissBloomFiltered)(benchmark::State& state) {
+  int64_t k = 0;
+  for (auto _ : state) {
+    bool found;
+    std::vector<uint8_t> p;
+    (void)tree->PointLookup({Value::Int64(200000 + k)}, &found, &p);
+    benchmark::DoNotOptimize(found);
+    ++k;
+  }
+}
+
+BENCHMARK_F(LsmFixture, ShortRangeScan100)(benchmark::State& state) {
+  int64_t k = 0;
+  for (auto _ : state) {
+    storage::ScanBounds b;
+    b.lo = storage::CompositeKey{Value::Int64(k % 90000)};
+    b.hi = storage::CompositeKey{Value::Int64(k % 90000 + 99)};
+    size_t n = 0;
+    (void)tree->RangeScan(b, [&](const storage::IndexEntry&) {
+      ++n;
+      return Status::OK();
+    });
+    benchmark::DoNotOptimize(n);
+    k += 1013;
+  }
+}
+
+void BM_LsmUpsert(benchmark::State& state) {
+  std::string dir = env::NewScratchDir("bench-upsert");
+  storage::BufferCache cache(1 << 14);
+  storage::LsmOptions o;
+  storage::LsmBTree tree(&cache, dir, "t", o);
+  (void)tree.Open();
+  std::vector<uint8_t> payload(120, 'x');
+  int64_t k = 0;
+  for (auto _ : state) {
+    (void)tree.Upsert({Value::Int64(k++)}, payload, static_cast<uint64_t>(k));
+  }
+  state.SetItemsProcessed(k);
+  env::RemoveAll(dir);
+}
+BENCHMARK(BM_LsmUpsert);
+
+// --- expressions ----------------------------------------------------------------
+
+void BM_CompiledPredicateEval(benchmark::State& state) {
+  using algebricks::Expr;
+  // ($m.timestamp >= C1 and $m.timestamp < C2) via the reference evaluator.
+  auto cond = Expr::And(
+      Expr::Compare(">=",
+                    Expr::FieldAccess(Expr::Var("m"), "timestamp"),
+                    Expr::Const(Value::Datetime(1000))),
+      Expr::Compare("<", Expr::FieldAccess(Expr::Var("m"), "timestamp"),
+                    Expr::Const(Value::Datetime(100000000))));
+  workload::Generator gen;
+  Value msg = gen.MakeMessage(42, 100);
+  algebricks::EvalContext ctx;
+  ctx.Bind("m", msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algebricks::EvalExpr(*cond, ctx).ok());
+  }
+}
+BENCHMARK(BM_CompiledPredicateEval);
+
+// --- similarity & compression ------------------------------------------------------
+
+void BM_EditDistanceCheckBanded(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        functions::EditDistanceCheck("reachability", "reliability", 3));
+  }
+}
+BENCHMARK(BM_EditDistanceCheckBanded);
+
+void BM_LzCompressStripe(benchmark::State& state) {
+  std::vector<uint8_t> data;
+  for (int i = 0; i < 2000; ++i) {
+    const char* rec = "verizon|voice-clarity|2014-02-20|";
+    data.insert(data.end(), rec, rec + 33);
+    data.push_back(static_cast<uint8_t>(i));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LzCompress(data.data(), data.size()).size());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_LzCompressStripe);
+
+}  // namespace
+
+BENCHMARK_MAIN();

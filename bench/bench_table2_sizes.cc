@@ -1,0 +1,192 @@
+// Regenerates Table 2 of the paper: on-disk dataset sizes across systems.
+// Paper (GB, 10-node cluster):      Users  Messages  Tweets
+//   Asterix (Schema)                 192      120      330
+//   Asterix (KeyOnly)                360      240      600
+//   Syst-X                           290      100      495
+//   Hive (ORC)                        38       12       25
+//   Mongo                            240      215      478
+// Shape to reproduce: KeyOnly ~2x Schema; Hive far smallest (columnar
+// compression); Mongo and System-X between Schema and KeyOnly.
+
+#include "bench_common.h"
+
+namespace asterix {
+namespace bench {
+namespace {
+
+struct Sizes {
+  uint64_t schema = 0, keyonly = 0, systx = 0, hive = 0, mongo = 0;
+};
+
+double Mb(uint64_t b) { return static_cast<double>(b) / (1024.0 * 1024.0); }
+
+int Main() {
+  BenchScale scale = BenchScale::FromEnv();
+  std::printf("Table 2 reproduction: dataset sizes (MB)\n");
+  std::printf("scale: %lld users, %lld messages, %lld tweets\n",
+              static_cast<long long>(scale.users),
+              static_cast<long long>(scale.messages),
+              static_cast<long long>(scale.tweets));
+
+  BenchEnv env(scale, /*with_tweets=*/true);
+
+  Sizes users, messages, tweets;
+  users.schema = CheckResult(
+      env.asterix()->DatasetPrimaryBytes("Bench.Users"), "size");
+  users.keyonly = CheckResult(
+      env.asterix()->DatasetPrimaryBytes("Bench.UsersKeyOnly"), "size");
+  messages.schema = CheckResult(
+      env.asterix()->DatasetPrimaryBytes("Bench.Messages"), "size");
+  messages.keyonly = CheckResult(
+      env.asterix()->DatasetPrimaryBytes("Bench.MessagesKeyOnly"), "size");
+
+  // System-X: normalized tables; a dataset's size is its table family.
+  Check(env.systx()->PersistAll(), "persist systx");
+  users.systx = env.systx()->Find("users")->DiskBytes() +
+                env.systx()->Find("user_friends")->DiskBytes() +
+                env.systx()->Find("user_employment")->DiskBytes();
+  messages.systx = env.systx()->Find("messages")->DiskBytes() +
+                   env.systx()->Find("message_tags")->DiskBytes();
+
+  users.hive = env.hive_users()->DiskBytes();
+  messages.hive = env.hive_messages()->DiskBytes();
+
+  Check(env.mongo_users()->Persist(), "persist mongo");
+  Check(env.mongo_messages()->Persist(), "persist mongo");
+  users.mongo = env.mongo_users()->DiskBytes();
+  messages.mongo = env.mongo_messages()->DiskBytes();
+
+  // Tweets: load into dedicated stores (Schema vs KeyOnly types + baselines).
+  {
+    auto* ast = env.asterix();
+    const char* ddl = R"aql(
+use dataverse Bench;
+create type TweetType as {
+  tweetid: int64,
+  user: { screen-name: string, lang: string, friends_count: int64,
+          statuses_count: int64, followers_count: int64 },
+  sender-location: point?,
+  send-time: datetime,
+  referred-topics: {{ string }},
+  message-text: string
+}
+create type TweetKeyOnly as { tweetid: int64 }
+create dataset Tweets(TweetType) primary key tweetid;
+create dataset TweetsKeyOnly(TweetKeyOnly) primary key tweetid;
+)aql";
+    auto r = ast->Execute(ddl);
+    Check(r.ok() ? Status::OK() : r.status(), "tweet ddl");
+    Check(ast->FindDataset("Bench.Tweets")->LoadBulk(env.tweets()), "load");
+    Check(ast->FindDataset("Bench.TweetsKeyOnly")->LoadBulk(env.tweets()),
+          "load");
+    Check(ast->FlushAll(), "flush");
+    tweets.schema = CheckResult(ast->DatasetPrimaryBytes("Bench.Tweets"), "sz");
+    tweets.keyonly =
+        CheckResult(ast->DatasetPrimaryBytes("Bench.TweetsKeyOnly"), "sz");
+
+    baselines::DocStore mongo_tweets(env.dir() + "/mongo", "tweets", "tweetid");
+    Check(mongo_tweets.LoadBulk(env.tweets()), "mongo tweets");
+    Check(mongo_tweets.Persist(), "persist");
+    tweets.mongo = mongo_tweets.DiskBytes();
+
+    // System-X & Hive: normalized flat tweets (user fields inlined, topics
+    // in a side table for System-X; Hive flat columnar).
+    baselines::RelStore systx_tw(env.dir() + "/systx");
+    auto* tw = systx_tw.CreateTable(
+        "tweets",
+        {{"tweetid", adm::TypeTag::kInt64},
+         {"screen_name", adm::TypeTag::kString},
+         {"lang", adm::TypeTag::kString},
+         {"friends_count", adm::TypeTag::kInt64},
+         {"statuses_count", adm::TypeTag::kInt64},
+         {"followers_count", adm::TypeTag::kInt64},
+         {"loc_x", adm::TypeTag::kDouble},
+         {"loc_y", adm::TypeTag::kDouble},
+         {"send_time", adm::TypeTag::kDatetime},
+         {"text", adm::TypeTag::kString}},
+        "tweetid");
+    auto* topics = systx_tw.CreateTable("tweet_topics",
+                                        workload::TagTableSchema(), "row_id");
+    baselines::ColumnStore hive_tw(
+        env.dir() + "/hive", "tweets",
+        {{"tweetid", adm::TypeTag::kInt64},
+         {"screen_name", adm::TypeTag::kString},
+         {"lang", adm::TypeTag::kString},
+         {"friends_count", adm::TypeTag::kInt64},
+         {"statuses_count", adm::TypeTag::kInt64},
+         {"followers_count", adm::TypeTag::kInt64},
+         {"loc_x", adm::TypeTag::kDouble},
+         {"loc_y", adm::TypeTag::kDouble},
+         {"send_time", adm::TypeTag::kDatetime},
+         {"text", adm::TypeTag::kString}},
+        kHiveJobStartupUs);
+    int64_t row_id = 0;
+    for (const auto& t : env.tweets()) {
+      const adm::Value& u = t.GetField("user");
+      const adm::Value& loc = t.GetField("sender-location");
+      adm::RecordBuilder b;
+      b.Add("tweetid", t.GetField("tweetid"))
+          .Add("screen_name", u.GetField("screen-name"))
+          .Add("lang", u.GetField("lang"))
+          .Add("friends_count", u.GetField("friends_count"))
+          .Add("statuses_count", u.GetField("statuses_count"))
+          .Add("followers_count", u.GetField("followers_count"));
+      if (!loc.IsUnknown()) {
+        b.Add("loc_x", adm::Value::Double(loc.AsPoints()[0].x));
+        b.Add("loc_y", adm::Value::Double(loc.AsPoints()[0].y));
+      }
+      b.Add("send_time", t.GetField("send-time"))
+          .Add("text", t.GetField("message-text"));
+      adm::Value row = b.Build();
+      Check(tw->Insert(row, false), "systx tweet");
+      Check(hive_tw.Append(row), "hive tweet");
+      for (const auto& topic : t.GetField("referred-topics").AsList()) {
+        Check(topics->Insert(adm::RecordBuilder()
+                                 .Add("row_id", adm::Value::Int64(row_id++))
+                                 .Add("message_id", t.GetField("tweetid"))
+                                 .Add("tag", topic)
+                                 .Build(),
+                             false),
+              "systx topic");
+      }
+    }
+    Check(systx_tw.PersistAll(), "persist");
+    Check(hive_tw.Finalize(), "finalize");
+    tweets.systx = systx_tw.TotalDiskBytes();
+    tweets.hive = hive_tw.DiskBytes();
+  }
+
+  std::printf("\n%-18s %12s %12s %12s\n", "system", "Users", "Messages",
+              "Tweets");
+  auto row = [](const char* label, uint64_t u, uint64_t m, uint64_t t) {
+    std::printf("%-18s %12.2f %12.2f %12.2f\n", label, Mb(u), Mb(m), Mb(t));
+  };
+  row("Asterix (Schema)", users.schema, messages.schema, tweets.schema);
+  row("Asterix (KeyOnly)", users.keyonly, messages.keyonly, tweets.keyonly);
+  row("Syst-X", users.systx, messages.systx, tweets.systx);
+  row("Hive", users.hive, messages.hive, tweets.hive);
+  row("Mongo", users.mongo, messages.mongo, tweets.mongo);
+
+  // Shape assertions (the claims Table 2 supports).
+  bool ok = true;
+  auto claim = [&](bool cond, const char* what) {
+    std::printf("claim: %-58s %s\n", what, cond ? "HOLDS" : "VIOLATED");
+    ok = ok && cond;
+  };
+  std::printf("\n");
+  claim(users.keyonly > users.schema * 3 / 2 &&
+            messages.keyonly > messages.schema * 3 / 2,
+        "KeyOnly substantially larger than Schema (open-type overhead)");
+  claim(users.hive < users.schema / 2 && messages.hive < messages.schema / 2,
+        "Hive (ORC columnar) is by far the smallest");
+  claim(users.mongo > users.schema && messages.mongo > messages.schema,
+        "Mongo (self-describing docs) larger than Asterix Schema");
+  claim(tweets.keyonly > tweets.schema, "Tweets: KeyOnly > Schema");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace asterix
+
+int main() { return asterix::bench::Main(); }

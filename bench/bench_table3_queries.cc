@@ -1,0 +1,606 @@
+// Regenerates Table 3 of the paper: average query response times across
+// AsterixDB (Schema / KeyOnly types), System-X, Hive, and MongoDB, for the
+// paper's query suite — record lookup, range scan, selective joins, simple
+// and grouped aggregation — each without and with secondary-index support.
+//
+// Shapes to reproduce (from the paper's Table 3):
+//  * record lookup: all indexed systems sub-ms-ish; Hive (scan-only) orders
+//    of magnitude slower (its time is cited in parentheses);
+//  * unindexed queries: every system pays a full scan; KeyOnly > Schema
+//    (bigger records); Hive scan competitive (columnar) + startup;
+//  * indexed queries: "the same performance ballpark" for all systems with
+//    indexes;
+//  * client-side join (Mongo) degrades sharply at large selectivity;
+//  * grouped aggregation: Asterix indexed-small noticeably worse than the
+//    others (no limit pushdown into sort + result-fetch overhead).
+
+#include <map>
+#include <set>
+
+#include "adm/temporal.h"
+#include "bench_common.h"
+
+namespace asterix {
+namespace bench {
+namespace {
+
+using adm::Value;
+using workload::Generator;
+
+constexpr int64_t kMs = 1000;
+
+std::string TsLiteral(int64_t epoch_ms) {
+  return "datetime(\"" + adm::FormatDatetime(epoch_ms) + "\")";
+}
+
+struct Row {
+  double ast_schema = 0, ast_keyonly = 0, systx = 0, hive = 0, mongo = 0;
+  bool hive_real = true;
+};
+
+// ---------------------------------------------------------------------------
+
+class Table3 {
+ public:
+  explicit Table3(BenchEnv* env) : env_(env) {
+    // Per-query secondary indexes for the baseline systems.
+    Check(env_->systx()->Find("users")->CreateIndex("user_since"), "ix");
+    Check(env_->systx()->Find("messages")->CreateIndex("ts"), "ix");
+    Check(env_->systx()->Find("messages")->CreateIndex("author_id"), "ix");
+    Check(env_->mongo_users()->EnsureIndex("user-since"), "ix");
+    Check(env_->mongo_messages()->EnsureIndex("timestamp"), "ix");
+    Check(env_->mongo_messages()->EnsureIndex("author-id"), "ix");
+    user_epoch_ = adm::DaysFromCivil(2010, 1, 1) * 24LL * 3600 * 1000;
+    msg_epoch_ = Generator::MessageEpochMillis();
+  }
+
+  void RecordLookup();
+  Row RangeScan(bool with_index);
+  Row SelJoin(bool with_index, int64_t selectivity, bool double_select);
+  Row Aggregate(bool with_index, int64_t selectivity);
+  Row GroupAggregate(bool with_index, int64_t selectivity);
+
+ private:
+  // Reassembles one user's nested record from System-X's normalized tables
+  // (the joins the paper says System-X needs for records with nested data).
+  void SystxReassembleUser(const Value& user_row) {
+    const Value& id = user_row.GetField("id");
+    size_t parts = 0;
+    env_->systx()->Find("user_friends")->IndexProbe(
+        "user_id", id, [&](const Value&) {
+          ++parts;
+          return Status::OK();
+        });
+    env_->systx()->Find("user_employment")->IndexProbe(
+        "user_id", id, [&](const Value&) {
+          ++parts;
+          return Status::OK();
+        });
+    sink_ += parts;
+  }
+
+  BenchEnv* env_;
+  int64_t user_epoch_ = 0;
+  int64_t msg_epoch_ = 0;
+  size_t sink_ = 0;
+
+ public:
+  size_t sink() const { return sink_; }
+};
+
+void Table3::RecordLookup() {
+  const int64_t key = env_->scale().users / 2;
+  Row r;
+  r.ast_schema = env_->RunAql("for $u in dataset Users where $u.id = " +
+                              std::to_string(key) + " return $u;");
+  r.ast_keyonly = env_->RunAql("for $u in dataset UsersKeyOnly where $u.id = " +
+                               std::to_string(key) + " return $u;");
+  r.systx = BaselineTimeMs([&] {
+    bool found;
+    Value row;
+    Check(env_->systx()->Find("users")->FindByKey(Value::Int64(key), &found,
+                                                  &row),
+          "systx lookup");
+    if (found) SystxReassembleUser(row);  // nested fields need extra tables
+  });
+  r.hive = BaselineTimeMs([&] {
+    size_t n = 0;
+    Check(env_->hive_users()->Scan({"id"}, std::nullopt,
+                                   [&](const std::vector<Value>& row) {
+                                     if (row[0].AsInt() == key) ++n;
+                                     return Status::OK();
+                                   }),
+          "hive lookup");
+    sink_ += n;
+  });
+  r.hive_real = false;  // cited: Hive is not designed for point lookups
+  r.mongo = BaselineTimeMs([&] {
+    bool found;
+    Value doc;
+    Check(env_->mongo_users()->FindByKey(Value::Int64(key), &found, &doc),
+          "mongo lookup");
+  });
+  PrintRow("Rec Lookup", r.ast_schema, r.ast_keyonly, r.systx, r.hive,
+           r.hive_real, r.mongo);
+}
+
+Row Table3::RangeScan(bool with_index) {
+  // 300 users in a 300-second user-since window.
+  int64_t lo = user_epoch_ + (env_->scale().users / 3) * kMs;
+  int64_t hi = lo + 299 * kMs;
+  std::string pred = "$u.user-since >= " + TsLiteral(lo) +
+                     " and $u.user-since <= " + TsLiteral(hi);
+  std::string hint = with_index ? "" : "/*+ skip-index */ ";
+  Row r;
+  size_t count = 0;
+  r.ast_schema = env_->RunAql(
+      "for $u in dataset Users where " + hint + pred + " return $u;", &count);
+  if (count != 300) std::fprintf(stderr, "WARN range scan count=%zu\n", count);
+  r.ast_keyonly = env_->RunAql("for $u in dataset UsersKeyOnly where " + hint +
+                               pred + " return $u;");
+  Value vlo = Value::Datetime(lo), vhi = Value::Datetime(hi);
+  r.systx = BaselineTimeMs([&] {
+    size_t n = 0;
+    auto per_row = [&](const Value& row) {
+      SystxReassembleUser(row);  // nested fields come from side tables
+      ++n;
+      return Status::OK();
+    };
+    if (with_index) {
+      Check(env_->systx()->Find("users")->RangeQuery("user_since", vlo, vhi,
+                                                     per_row),
+            "systx range");
+    } else {
+      Check(env_->systx()->Find("users")->Scan([&](const Value& row) {
+        const Value& ts = row.GetField("user_since");
+        if (ts.Compare(vlo) >= 0 && ts.Compare(vhi) <= 0) return per_row(row);
+        return Status::OK();
+      }),
+            "systx scan");
+    }
+    sink_ += n;
+  });
+  r.hive = BaselineTimeMs([&] {
+    size_t n = 0;
+    Check(env_->hive_users()->Scan(
+              {"user_since", "name"}, std::nullopt,
+              [&](const std::vector<Value>& row) {
+                if (row[0].Compare(vlo) >= 0 && row[0].Compare(vhi) <= 0) ++n;
+                return Status::OK();
+              }),
+          "hive scan");
+    sink_ += n;
+  });
+  r.hive_real = !with_index;  // Hive has no indexes: the time is re-cited
+  r.mongo = BaselineTimeMs([&] {
+    size_t n = 0;
+    auto per_doc = [&](const Value&) {
+      ++n;
+      return Status::OK();
+    };
+    if (with_index) {
+      Check(env_->mongo_users()->RangeQuery("user-since", vlo, vhi, per_doc),
+            "mongo range");
+    } else {
+      Check(env_->mongo_users()->Scan([&](const Value& doc) {
+        const Value& ts = doc.GetField("user-since");
+        if (ts.Compare(vlo) >= 0 && ts.Compare(vhi) <= 0) ++n;
+        return Status::OK();
+      }),
+            "mongo scan");
+    }
+    sink_ += n;
+  });
+  return r;
+}
+
+Row Table3::SelJoin(bool with_index, int64_t selectivity, bool double_select) {
+  int64_t lo = user_epoch_ + (env_->scale().users / 3) * kMs;
+  int64_t hi = lo + (selectivity - 1) * kMs;
+  // The second (message-side) filter of the double-select variant keeps
+  // half the messages.
+  int64_t mlo = msg_epoch_;
+  int64_t mhi = msg_epoch_ + (env_->scale().messages / 2) * kMs;
+
+  std::string upred = "$u.user-since >= " + TsLiteral(lo) +
+                      " and $u.user-since <= " + TsLiteral(hi);
+  std::string mpred = double_select
+                          ? " and $m.timestamp >= " + TsLiteral(mlo) +
+                                " and $m.timestamp < " + TsLiteral(mhi)
+                          : "";
+  std::string hint = with_index ? "/*+ indexnl */ " : "";
+  std::string skip = with_index ? "" : "/*+ skip-index */ ";
+  std::string q = "for $u in dataset Users for $m in dataset Messages where " +
+                  skip + "$m.author-id " + hint + "= $u.id and " + upred +
+                  mpred + " return { \"name\": $u.name, \"msg\": $m.message };";
+
+  Row r;
+  r.ast_schema = env_->RunAql(q);
+  std::string qk =
+      "for $u in dataset UsersKeyOnly for $m in dataset MessagesKeyOnly "
+      "where " + skip + "$m.author-id " + hint + "= $u.id and " + upred + mpred +
+      " return { \"name\": $u.name, \"msg\": $m.message };";
+  r.ast_keyonly = env_->RunAql(qk);
+
+  Value vlo = Value::Datetime(lo), vhi = Value::Datetime(hi);
+  Value vmlo = Value::Datetime(mlo), vmhi = Value::Datetime(mhi);
+  auto msg_passes = [&](const Value& m) {
+    if (!double_select) return true;
+    const Value& ts = m.GetField("ts");
+    return ts.Compare(vmlo) >= 0 && ts.Compare(vmhi) < 0;
+  };
+
+  r.systx = BaselineTimeMs([&] {
+    auto* users = env_->systx()->Find("users");
+    auto* msgs = env_->systx()->Find("messages");
+    // Selected users.
+    std::vector<Value> selected;
+    auto collect = [&](const Value& row) {
+      selected.push_back(row);
+      return Status::OK();
+    };
+    if (with_index) {
+      Check(users->RangeQuery("user_since", vlo, vhi, collect), "sx sel");
+    } else {
+      Check(users->Scan([&](const Value& row) {
+        const Value& ts = row.GetField("user_since");
+        if (ts.Compare(vlo) >= 0 && ts.Compare(vhi) <= 0) selected.push_back(row);
+        return Status::OK();
+      }),
+            "sx scan");
+    }
+    size_t joined = 0;
+    baselines::JoinMethod method =
+        with_index ? baselines::ChooseJoinMethod(selected.size(), msgs->Count(),
+                                                 msgs->HasIndex("author_id"))
+                   : baselines::JoinMethod::kHashJoin;
+    if (method == baselines::JoinMethod::kIndexNestedLoop) {
+      for (const auto& u : selected) {
+        Check(msgs->IndexProbe("author_id", u.GetField("id"),
+                               [&](const Value& m) {
+                                 if (msg_passes(m)) ++joined;
+                                 return Status::OK();
+                               }),
+              "sx probe");
+      }
+    } else {
+      std::map<int64_t, size_t> build;
+      for (const auto& u : selected) ++build[u.GetField("id").AsInt()];
+      Check(msgs->Scan([&](const Value& m) {
+        if (!msg_passes(m)) return Status::OK();
+        auto it = build.find(m.GetField("author_id").AsInt());
+        if (it != build.end()) joined += it->second;
+        return Status::OK();
+      }),
+            "sx hash join");
+    }
+    sink_ += joined;
+  });
+
+  r.hive = BaselineTimeMs([&] {
+    // Hive: hash join over two full columnar scans (one MR job).
+    std::set<int64_t> build;
+    Check(env_->hive_users()->Scan({"user_since", "id"}, std::nullopt,
+                                   [&](const std::vector<Value>& row) {
+                                     if (row[0].Compare(vlo) >= 0 &&
+                                         row[0].Compare(vhi) <= 0) {
+                                       build.insert(row[1].AsInt());
+                                     }
+                                     return Status::OK();
+                                   }),
+          "hive users");
+    size_t joined = 0;
+    Check(env_->hive_messages()->Scan(
+              {"author_id", "ts", "text"}, std::nullopt,
+              [&](const std::vector<Value>& row) {
+                if (double_select && (row[1].Compare(vmlo) < 0 ||
+                                      row[1].Compare(vmhi) >= 0)) {
+                  return Status::OK();
+                }
+                if (build.count(row[0].AsInt())) ++joined;
+                return Status::OK();
+              }),
+          "hive messages");
+    sink_ += joined;
+  });
+  r.hive_real = !with_index;
+
+  r.mongo = BaselineTimeMs([&] {
+    // The paper's client-side join: select users, then look up messages per
+    // user through the author index (or scan without one).
+    std::vector<Value> ids;
+    auto collect = [&](const Value& doc) {
+      ids.push_back(doc.GetField("id"));
+      return Status::OK();
+    };
+    if (with_index) {
+      Check(env_->mongo_users()->RangeQuery("user-since", vlo, vhi, collect),
+            "mongo sel");
+    } else {
+      Check(env_->mongo_users()->Scan([&](const Value& doc) {
+        const Value& ts = doc.GetField("user-since");
+        if (ts.Compare(vlo) >= 0 && ts.Compare(vhi) <= 0) {
+          ids.push_back(doc.GetField("id"));
+        }
+        return Status::OK();
+      }),
+            "mongo scan");
+    }
+    size_t joined = 0;
+    auto count_match = [&](const Value& m) {
+      if (!double_select) {
+        ++joined;
+        return Status::OK();
+      }
+      const Value& ts = m.GetField("timestamp");
+      if (ts.Compare(vmlo) >= 0 && ts.Compare(vmhi) < 0) ++joined;
+      return Status::OK();
+    };
+    if (with_index) {
+      for (const auto& id : ids) {
+        Check(env_->mongo_messages()->RangeQuery("author-id", id, id,
+                                                 count_match),
+              "mongo probe");
+      }
+    } else {
+      std::set<int64_t> idset;
+      for (const auto& id : ids) idset.insert(id.AsInt());
+      Check(env_->mongo_messages()->Scan([&](const Value& m) {
+        if (idset.count(m.GetField("author-id").AsInt())) {
+          return count_match(m);
+        }
+        return Status::OK();
+      }),
+            "mongo join scan");
+    }
+    sink_ += joined;
+  });
+  return r;
+}
+
+Row Table3::Aggregate(bool with_index, int64_t selectivity) {
+  int64_t lo = msg_epoch_;
+  int64_t hi = msg_epoch_ + selectivity * kMs;  // exclusive
+  std::string skip = with_index ? "" : "/*+ skip-index */ ";
+  std::string q = "avg(for $m in dataset Messages where " + skip +
+                  "$m.timestamp >= " + TsLiteral(lo) + " and $m.timestamp < " +
+                  TsLiteral(hi) + " return string-length($m.message))";
+  Row r;
+  r.ast_schema = env_->RunAql(q);
+  std::string qk = "avg(for $m in dataset MessagesKeyOnly where " + skip +
+                   "$m.timestamp >= " + TsLiteral(lo) +
+                   " and $m.timestamp < " + TsLiteral(hi) +
+                   " return string-length($m.message))";
+  r.ast_keyonly = env_->RunAql(qk);
+
+  Value vlo = Value::Datetime(lo), vhi = Value::Datetime(hi);
+  r.systx = BaselineTimeMs([&] {
+    double sum = 0;
+    size_t n = 0;
+    auto add = [&](const Value& row) {
+      sum += static_cast<double>(row.GetField("text").AsString().size());
+      ++n;
+      return Status::OK();
+    };
+    if (with_index) {
+      Check(env_->systx()->Find("messages")->RangeQuery("ts", vlo, vhi, add),
+            "sx agg");
+    } else {
+      Check(env_->systx()->Find("messages")->Scan([&](const Value& row) {
+        const Value& ts = row.GetField("ts");
+        if (ts.Compare(vlo) >= 0 && ts.Compare(vhi) < 0) return add(row);
+        return Status::OK();
+      }),
+            "sx agg scan");
+    }
+    sink_ += n + static_cast<size_t>(sum);
+  });
+  r.hive = BaselineTimeMs([&] {
+    double sum = 0;
+    size_t n = 0;
+    Check(env_->hive_messages()->Scan(
+              {"ts", "text"}, std::nullopt,
+              [&](const std::vector<Value>& row) {
+                if (row[0].Compare(vlo) >= 0 && row[0].Compare(vhi) < 0) {
+                  sum += static_cast<double>(row[1].AsString().size());
+                  ++n;
+                }
+                return Status::OK();
+              }),
+          "hive agg");
+    sink_ += n;
+  });
+  r.hive_real = !with_index;
+  r.mongo = BaselineTimeMs([&] {
+    if (with_index) {
+      double sum = 0;
+      size_t n = 0;
+      Check(env_->mongo_messages()->RangeQuery(
+                "timestamp", vlo, vhi,
+                [&](const Value& doc) {
+                  sum += static_cast<double>(
+                      doc.GetField("message").AsString().size());
+                  ++n;
+                  return Status::OK();
+                }),
+            "mongo agg");
+      sink_ += n;
+    } else {
+      // The paper used Mongo's map-reduce for this aggregation.
+      std::map<std::string, Value> out;
+      Check(env_->mongo_messages()->MapReduce(
+                [&](const Value& doc,
+                    std::vector<std::pair<Value, Value>>* emit) {
+                  const Value& ts = doc.GetField("timestamp");
+                  if (ts.Compare(vlo) >= 0 && ts.Compare(vhi) < 0) {
+                    emit->emplace_back(
+                        Value::Int64(0),
+                        Value::Int64(static_cast<int64_t>(
+                            doc.GetField("message").AsString().size())));
+                  }
+                },
+                [](const std::vector<Value>& values) {
+                  int64_t sum = 0;
+                  for (const auto& v : values) sum += v.AsInt();
+                  return Value::Double(static_cast<double>(sum) /
+                                       static_cast<double>(values.size()));
+                },
+                &out),
+            "mongo mr");
+      sink_ += out.size();
+    }
+  });
+  return r;
+}
+
+Row Table3::GroupAggregate(bool with_index, int64_t selectivity) {
+  int64_t lo = msg_epoch_;
+  int64_t hi = msg_epoch_ + selectivity * kMs;
+  std::string skip = with_index ? "" : "/*+ skip-index */ ";
+  std::string q = "for $m in dataset Messages where " + skip +
+                  "$m.timestamp >= " + TsLiteral(lo) + " and $m.timestamp < " +
+                  TsLiteral(hi) +
+                  " group by $aid := $m.author-id with $m"
+                  " let $cnt := count($m)"
+                  " order by $cnt desc limit 10"
+                  " return { \"author\": $aid, \"cnt\": $cnt };";
+  Row r;
+  r.ast_schema = env_->RunAql(q);
+  std::string qk = "for $m in dataset MessagesKeyOnly where " + skip +
+                   "$m.timestamp >= " + TsLiteral(lo) +
+                   " and $m.timestamp < " + TsLiteral(hi) +
+                   " group by $aid := $m.author-id with $m"
+                   " let $cnt := count($m)"
+                   " order by $cnt desc limit 10"
+                   " return { \"author\": $aid, \"cnt\": $cnt };";
+  r.ast_keyonly = env_->RunAql(qk);
+
+  Value vlo = Value::Datetime(lo), vhi = Value::Datetime(hi);
+  auto top10 = [&](std::map<int64_t, int64_t>& counts) {
+    std::vector<std::pair<int64_t, int64_t>> rows(counts.begin(), counts.end());
+    std::partial_sort(rows.begin(),
+                      rows.begin() + std::min<size_t>(10, rows.size()),
+                      rows.end(), [](const auto& a, const auto& b) {
+                        return a.second > b.second;
+                      });
+    sink_ += rows.empty() ? 0 : static_cast<size_t>(rows[0].second);
+  };
+
+  r.systx = BaselineTimeMs([&] {
+    std::map<int64_t, int64_t> counts;
+    auto add = [&](const Value& row) {
+      ++counts[row.GetField("author_id").AsInt()];
+      return Status::OK();
+    };
+    if (with_index) {
+      Check(env_->systx()->Find("messages")->RangeQuery("ts", vlo, vhi, add),
+            "sx grp");
+    } else {
+      Check(env_->systx()->Find("messages")->Scan([&](const Value& row) {
+        const Value& ts = row.GetField("ts");
+        if (ts.Compare(vlo) >= 0 && ts.Compare(vhi) < 0) return add(row);
+        return Status::OK();
+      }),
+            "sx grp scan");
+    }
+    top10(counts);
+  });
+  r.hive = BaselineTimeMs([&] {
+    std::map<int64_t, int64_t> counts;
+    Check(env_->hive_messages()->Scan(
+              {"ts", "author_id"}, std::nullopt,
+              [&](const std::vector<Value>& row) {
+                if (row[0].Compare(vlo) >= 0 && row[0].Compare(vhi) < 0) {
+                  ++counts[row[1].AsInt()];
+                }
+                return Status::OK();
+              }),
+          "hive grp");
+    top10(counts);
+  });
+  r.hive_real = !with_index;
+  r.mongo = BaselineTimeMs([&] {
+    std::map<int64_t, int64_t> counts;
+    if (with_index) {
+      Check(env_->mongo_messages()->RangeQuery(
+                "timestamp", vlo, vhi,
+                [&](const Value& doc) {
+                  ++counts[doc.GetField("author-id").AsInt()];
+                  return Status::OK();
+                }),
+            "mongo grp");
+    } else {
+      std::map<std::string, Value> out;
+      Check(env_->mongo_messages()->MapReduce(
+                [&](const Value& doc,
+                    std::vector<std::pair<Value, Value>>* emit) {
+                  const Value& ts = doc.GetField("timestamp");
+                  if (ts.Compare(vlo) >= 0 && ts.Compare(vhi) < 0) {
+                    emit->emplace_back(doc.GetField("author-id"),
+                                       Value::Int64(1));
+                  }
+                },
+                [](const std::vector<Value>& values) {
+                  return Value::Int64(static_cast<int64_t>(values.size()));
+                },
+                &out),
+            "mongo mr");
+      for (const auto& [k, v] : out) {
+        counts[atoll(k.c_str())] = v.AsInt();
+      }
+    }
+    top10(counts);
+  });
+  return r;
+}
+
+int Main() {
+  BenchScale scale = BenchScale::FromEnv();
+  std::printf("Table 3 reproduction: average query response times (ms)\n");
+  std::printf("scale: %lld users, %lld messages; Hive () = re-cited scan time\n",
+              static_cast<long long>(scale.users),
+              static_cast<long long>(scale.messages));
+  BenchEnv env(scale);
+  Table3 t3(&env);
+
+  int64_t join_sm = 300;
+  int64_t join_lg = 3000;
+  int64_t agg_sm = 300;
+  // "Large" selectivity is still a small fraction of the dataset in the
+  // paper (30k of ~10^8 messages); 10%% here keeps the indexed plan on the
+  // winning side of the index-vs-scan crossover, as in Table 3.
+  int64_t agg_lg = scale.messages / 10;
+
+  PrintHeader("Table 3");
+  t3.RecordLookup();
+  auto p = [&](const char* label, const Row& r) {
+    PrintRow(label, r.ast_schema, r.ast_keyonly, r.systx, r.hive, r.hive_real,
+             r.mongo);
+  };
+  p("Range Scan", t3.RangeScan(false));
+  p("-- with IX", t3.RangeScan(true));
+  p("Sel-Join (Sm)", t3.SelJoin(false, join_sm, false));
+  p("-- with IX", t3.SelJoin(true, join_sm, false));
+  p("Sel-Join (Lg)", t3.SelJoin(false, join_lg, false));
+  p("-- with IX", t3.SelJoin(true, join_lg, false));
+  p("Sel2-Join (Sm)", t3.SelJoin(false, join_sm, true));
+  p("-- with IX", t3.SelJoin(true, join_sm, true));
+  p("Sel2-Join (Lg)", t3.SelJoin(false, join_lg, true));
+  p("-- with IX", t3.SelJoin(true, join_lg, true));
+  p("Agg (Sm)", t3.Aggregate(false, agg_sm));
+  p("-- with IX", t3.Aggregate(true, agg_sm));
+  p("Agg (Lg)", t3.Aggregate(false, agg_lg));
+  p("-- with IX", t3.Aggregate(true, agg_lg));
+  p("Grp-Aggr (Sm)", t3.GroupAggregate(false, agg_sm));
+  p("-- with IX", t3.GroupAggregate(true, agg_sm));
+  p("Grp-Aggr (Lg)", t3.GroupAggregate(false, agg_lg));
+  p("-- with IX", t3.GroupAggregate(true, agg_lg));
+  std::printf("(sink=%zu)\n", t3.sink());
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace asterix
+
+int main() { return asterix::bench::Main(); }

@@ -1,0 +1,376 @@
+#include "workload/generator.h"
+
+#include "adm/temporal.h"
+
+namespace asterix {
+namespace workload {
+
+using adm::Datatype;
+using adm::DatatypePtr;
+using adm::RecordBuilder;
+using adm::TypeTag;
+using adm::Value;
+
+namespace {
+
+const char* kFirstNames[] = {"Margarita", "Isbel",  "Emory",   "Nicholas",
+                             "Von",       "Willis", "Suzanna", "Nila",
+                             "Woodrow",   "Bram",   "Jay",     "Ria"};
+const char* kLastNames[] = {"Stoddard", "Dull",   "Unk",    "Stroh",
+                            "Kemble",   "Wynne",  "Tillson", "Milom",
+                            "Nehling",  "Hygh",   "Cash",   "Haukness"};
+const char* kStreets[] = {"Thomas St", "James Ave", "E Oak St", "Hill St",
+                          "View St",   "Cedar St",  "Lake Rd",  "Main St"};
+const char* kCities[] = {"San Hugo", "San Vente", "Ayend", "Oranje",
+                         "Mico",     "Sunwood",   "Derry", "Casper"};
+const char* kStates[] = {"WA", "CA", "OR", "CO", "UT", "NV", "AZ", "ID"};
+const char* kOrgs[] = {"Codetechno", "Hexviane", "geomedia", "Zamcorporation",
+                       "Kongreen",   "Labzatron", "physcane", "Newhotplus"};
+const char* kVendors[] = {"samsung", "verizon", "motorola", "sprint",
+                          "at&t",    "iphone",  "t-mobile", "nokia"};
+const char* kAspects[] = {"platform",       "voice-clarity", "speed",
+                          "voice-command",  "reachability",  "signal",
+                          "shortcut-menu",  "touch-screen",  "plan",
+                          "customization"};
+const char* kFeelings[] = {"love", "like", "dislike", "hate", "can't stand"};
+const char* kRatings[] = {"awesome", "good",         "OK",
+                          "bad",     "terrible",     "mind-blowing",
+                          "amazing", "horrible"};
+
+constexpr int64_t kMillisPerSecond = 1000;
+
+}  // namespace
+
+int64_t Generator::MessageEpochMillis() {
+  // 2014-01-01T00:00:00Z.
+  static const int64_t kEpoch =
+      adm::DaysFromCivil(2014, 1, 1) * 24LL * 3600 * 1000;
+  return kEpoch;
+}
+
+std::string Generator::RandomName() {
+  return std::string(kFirstNames[rng_() % 12]) + kLastNames[rng_() % 12];
+}
+
+std::string Generator::RandomText(int words) {
+  std::string out = " ";
+  out += kFeelings[rng_() % 5];
+  out += " ";
+  out += kVendors[rng_() % 8];
+  out += " the ";
+  out += kAspects[rng_() % 10];
+  out += " is ";
+  out += kRatings[rng_() % 8];
+  for (int i = 0; i < words; ++i) {
+    out += " ";
+    out += kAspects[rng_() % 10];
+  }
+  return out;
+}
+
+Value Generator::MakeUser(int64_t id) {
+  int nfriends = 1 + static_cast<int>(rng_() % 10);
+  std::vector<Value> friends;
+  for (int i = 0; i < nfriends; ++i) {
+    friends.push_back(Value::Int64(static_cast<int64_t>(rng_() % 100000)));
+  }
+  int njobs = 1 + static_cast<int>(rng_() % 3);
+  std::vector<Value> jobs;
+  for (int i = 0; i < njobs; ++i) {
+    int32_t start =
+        static_cast<int32_t>(adm::DaysFromCivil(2002 + rng_() % 10, 1 + rng_() % 12,
+                                                1 + rng_() % 28));
+    RecordBuilder job;
+    job.Add("organization-name", Value::String(kOrgs[rng_() % 8]))
+        .Add("start-date", Value::Date(start));
+    if (rng_() % 2 == 0) {
+      job.Add("end-date", Value::Date(start + static_cast<int32_t>(rng_() % 2000)));
+    }
+    jobs.push_back(job.Build());
+  }
+  // user-since advances one second per user id: range selections over users
+  // have exactly controllable cardinalities too.
+  int64_t since = adm::DaysFromCivil(2010, 1, 1) * 24LL * 3600 * 1000 +
+                  id * kMillisPerSecond;
+  char zip[8];
+  std::snprintf(zip, sizeof(zip), "%05u", 10000 + static_cast<unsigned>(rng_() % 89999));
+  return RecordBuilder()
+      .Add("id", Value::Int64(id))
+      .Add("alias", Value::String("u" + std::to_string(id)))
+      .Add("name", Value::String(RandomName()))
+      .Add("user-since", Value::Datetime(since))
+      .Add("address",
+           RecordBuilder()
+               .Add("street", Value::String(std::to_string(100 + rng_() % 899) +
+                                             " " + kStreets[rng_() % 8]))
+               .Add("city", Value::String(kCities[rng_() % 8]))
+               .Add("state", Value::String(kStates[rng_() % 8]))
+               .Add("zip", Value::String(zip))
+               .Add("country", Value::String("USA"))
+               .Build())
+      .Add("friend-ids", Value::Bag(std::move(friends)))
+      .Add("employment", Value::OrderedList(std::move(jobs)))
+      .Build();
+}
+
+Value Generator::MakeMessage(int64_t id, int64_t num_users) {
+  std::vector<Value> tags;
+  tags.push_back(Value::String(kVendors[rng_() % 8]));
+  tags.push_back(Value::String(kAspects[rng_() % 10]));
+  RecordBuilder b;
+  b.Add("message-id", Value::Int64(id))
+      .Add("author-id", Value::Int64(static_cast<int64_t>(rng_()) % num_users))
+      .Add("timestamp",
+           Value::Datetime(MessageEpochMillis() + id * kMillisPerSecond));
+  if (rng_() % 3 != 0) {
+    b.Add("in-response-to", Value::Int64(static_cast<int64_t>(rng_() % 1000)));
+  }
+  b.Add("sender-location",
+        Value::Point(24.0 + (rng_() % 25000) / 1000.0,
+                     66.0 + (rng_() % 58000) / 1000.0))
+      .Add("tags", Value::Bag(std::move(tags)))
+      .Add("message", Value::String(RandomText(1 + rng_() % 3)));
+  return b.Build();
+}
+
+Value Generator::MakeTweet(int64_t id, int64_t num_users) {
+  std::vector<Value> hashtags;
+  hashtags.push_back(Value::String(kAspects[rng_() % 10]));
+  if (rng_() % 2) hashtags.push_back(Value::String(kVendors[rng_() % 8]));
+  RecordBuilder user;
+  user.Add("screen-name", Value::String("user" + std::to_string(static_cast<int64_t>(rng_()) % num_users)))
+      .Add("lang", Value::String("en"))
+      .Add("friends_count", Value::Int64(static_cast<int64_t>(rng_() % 1000)))
+      .Add("statuses_count", Value::Int64(static_cast<int64_t>(rng_() % 10000)))
+      .Add("followers_count", Value::Int64(static_cast<int64_t>(rng_() % 5000)));
+  return RecordBuilder()
+      .Add("tweetid", Value::Int64(id))
+      .Add("user", user.Build())
+      .Add("sender-location",
+           Value::Point(24.0 + (rng_() % 25000) / 1000.0,
+                        66.0 + (rng_() % 58000) / 1000.0))
+      .Add("send-time",
+           Value::Datetime(MessageEpochMillis() + id * kMillisPerSecond))
+      .Add("referred-topics", Value::Bag(std::move(hashtags)))
+      .Add("message-text", Value::String(RandomText(6 + rng_() % 10)))
+      .Build();
+}
+
+std::vector<Value> Generator::MakeUsers(int64_t n) {
+  std::vector<Value> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) out.push_back(MakeUser(i));
+  return out;
+}
+
+std::vector<Value> Generator::MakeMessages(int64_t n, int64_t num_users) {
+  std::vector<Value> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) out.push_back(MakeMessage(i, num_users));
+  return out;
+}
+
+std::vector<Value> Generator::MakeTweets(int64_t n, int64_t num_users) {
+  std::vector<Value> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) out.push_back(MakeTweet(i, num_users));
+  return out;
+}
+
+// --- Types --------------------------------------------------------------------
+
+DatatypePtr UserTypeSchema() {
+  auto address = Datatype::MakeRecord(
+      "AddressType",
+      {{"street", Datatype::Primitive(TypeTag::kString), false},
+       {"city", Datatype::Primitive(TypeTag::kString), false},
+       {"state", Datatype::Primitive(TypeTag::kString), false},
+       {"zip", Datatype::Primitive(TypeTag::kString), false},
+       {"country", Datatype::Primitive(TypeTag::kString), false}},
+      false);
+  auto employment = Datatype::MakeRecord(
+      "EmploymentType",
+      {{"organization-name", Datatype::Primitive(TypeTag::kString), false},
+       {"start-date", Datatype::Primitive(TypeTag::kDate), false},
+       {"end-date", Datatype::Primitive(TypeTag::kDate), true}},
+      true);
+  return Datatype::MakeRecord(
+      "UserType",
+      {{"id", Datatype::Primitive(TypeTag::kInt64), false},
+       {"alias", Datatype::Primitive(TypeTag::kString), false},
+       {"name", Datatype::Primitive(TypeTag::kString), false},
+       {"user-since", Datatype::Primitive(TypeTag::kDatetime), false},
+       {"address", address, false},
+       {"friend-ids", Datatype::MakeBag(Datatype::Primitive(TypeTag::kInt64)),
+        false},
+       {"employment", Datatype::MakeOrderedList(employment), false}},
+      true);
+}
+
+DatatypePtr MessageTypeSchema() {
+  return Datatype::MakeRecord(
+      "MessageType",
+      {{"message-id", Datatype::Primitive(TypeTag::kInt64), false},
+       {"author-id", Datatype::Primitive(TypeTag::kInt64), false},
+       {"timestamp", Datatype::Primitive(TypeTag::kDatetime), false},
+       {"in-response-to", Datatype::Primitive(TypeTag::kInt64), true},
+       {"sender-location", Datatype::Primitive(TypeTag::kPoint), true},
+       {"tags", Datatype::MakeBag(Datatype::Primitive(TypeTag::kString)),
+        false},
+       {"message", Datatype::Primitive(TypeTag::kString), false}},
+      false);
+}
+
+DatatypePtr TweetTypeSchema() {
+  auto twitter_user = Datatype::MakeRecord(
+      "TwitterUserType",
+      {{"screen-name", Datatype::Primitive(TypeTag::kString), false},
+       {"lang", Datatype::Primitive(TypeTag::kString), false},
+       {"friends_count", Datatype::Primitive(TypeTag::kInt64), false},
+       {"statuses_count", Datatype::Primitive(TypeTag::kInt64), false},
+       {"followers_count", Datatype::Primitive(TypeTag::kInt64), false}},
+      true);
+  return Datatype::MakeRecord(
+      "TweetType",
+      {{"tweetid", Datatype::Primitive(TypeTag::kInt64), false},
+       {"user", twitter_user, false},
+       {"sender-location", Datatype::Primitive(TypeTag::kPoint), true},
+       {"send-time", Datatype::Primitive(TypeTag::kDatetime), false},
+       {"referred-topics",
+        Datatype::MakeBag(Datatype::Primitive(TypeTag::kString)), false},
+       {"message-text", Datatype::Primitive(TypeTag::kString), false}},
+      true);
+}
+
+namespace {
+DatatypePtr KeyOnly(const char* name, const char* key) {
+  return Datatype::MakeRecord(
+      name, {{key, Datatype::Primitive(TypeTag::kInt64), false}}, true);
+}
+}  // namespace
+
+DatatypePtr UserTypeKeyOnly() { return KeyOnly("UserKeyOnly", "id"); }
+DatatypePtr MessageTypeKeyOnly() {
+  return KeyOnly("MessageKeyOnly", "message-id");
+}
+DatatypePtr TweetTypeKeyOnly() { return KeyOnly("TweetKeyOnly", "tweetid"); }
+
+// --- Normalization --------------------------------------------------------------
+
+NormalizedUser NormalizeUser(const Value& user) {
+  NormalizedUser out;
+  const Value& addr = user.GetField("address");
+  out.user_row = RecordBuilder()
+                     .Add("id", user.GetField("id"))
+                     .Add("alias", user.GetField("alias"))
+                     .Add("name", user.GetField("name"))
+                     .Add("user_since", user.GetField("user-since"))
+                     .Add("street", addr.GetField("street"))
+                     .Add("city", addr.GetField("city"))
+                     .Add("state", addr.GetField("state"))
+                     .Add("zip", addr.GetField("zip"))
+                     .Add("country", addr.GetField("country"))
+                     .Build();
+  int64_t seq = 0;
+  for (const auto& f : user.GetField("friend-ids").AsList()) {
+    out.friend_rows.push_back(
+        RecordBuilder()
+            .Add("row_id", Value::Int64(user.GetField("id").AsInt() * 100 + seq))
+            .Add("user_id", user.GetField("id"))
+            .Add("friend_id", f)
+            .Build());
+    ++seq;
+  }
+  seq = 0;
+  for (const auto& e : user.GetField("employment").AsList()) {
+    RecordBuilder b;
+    b.Add("row_id", Value::Int64(user.GetField("id").AsInt() * 100 + seq))
+        .Add("user_id", user.GetField("id"))
+        .Add("organization", e.GetField("organization-name"))
+        .Add("start_date", e.GetField("start-date"));
+    const Value& end = e.GetField("end-date");
+    if (!end.IsUnknown()) b.Add("end_date", end);
+    out.employment_rows.push_back(b.Build());
+    ++seq;
+  }
+  return out;
+}
+
+NormalizedMessage NormalizeMessage(const Value& message) {
+  NormalizedMessage out;
+  RecordBuilder b;
+  b.Add("message_id", message.GetField("message-id"))
+      .Add("author_id", message.GetField("author-id"))
+      .Add("ts", message.GetField("timestamp"));
+  const Value& resp = message.GetField("in-response-to");
+  if (!resp.IsUnknown()) b.Add("in_response_to", resp);
+  const Value& loc = message.GetField("sender-location");
+  if (!loc.IsUnknown()) {
+    b.Add("loc_x", Value::Double(loc.AsPoints()[0].x));
+    b.Add("loc_y", Value::Double(loc.AsPoints()[0].y));
+  }
+  b.Add("text", message.GetField("message"));
+  out.message_row = b.Build();
+  int64_t seq = 0;
+  for (const auto& tag : message.GetField("tags").AsList()) {
+    out.tag_rows.push_back(
+        RecordBuilder()
+            .Add("row_id",
+                 Value::Int64(message.GetField("message-id").AsInt() * 10 + seq))
+            .Add("message_id", message.GetField("message-id"))
+            .Add("tag", tag)
+            .Build());
+    ++seq;
+  }
+  return out;
+}
+
+std::vector<baselines::RelTable::ColumnDef> UserTableSchema() {
+  return {{"id", TypeTag::kInt64},       {"alias", TypeTag::kString},
+          {"name", TypeTag::kString},    {"user_since", TypeTag::kDatetime},
+          {"street", TypeTag::kString},  {"city", TypeTag::kString},
+          {"state", TypeTag::kString},   {"zip", TypeTag::kString},
+          {"country", TypeTag::kString}};
+}
+
+std::vector<baselines::RelTable::ColumnDef> FriendTableSchema() {
+  return {{"row_id", TypeTag::kInt64},
+          {"user_id", TypeTag::kInt64},
+          {"friend_id", TypeTag::kInt64}};
+}
+
+std::vector<baselines::RelTable::ColumnDef> EmploymentTableSchema() {
+  return {{"row_id", TypeTag::kInt64},
+          {"user_id", TypeTag::kInt64},
+          {"organization", TypeTag::kString},
+          {"start_date", TypeTag::kDate},
+          {"end_date", TypeTag::kDate}};
+}
+
+std::vector<baselines::RelTable::ColumnDef> MessageTableSchema() {
+  return {{"message_id", TypeTag::kInt64}, {"author_id", TypeTag::kInt64},
+          {"ts", TypeTag::kDatetime},      {"in_response_to", TypeTag::kInt64},
+          {"loc_x", TypeTag::kDouble},     {"loc_y", TypeTag::kDouble},
+          {"text", TypeTag::kString}};
+}
+
+std::vector<baselines::RelTable::ColumnDef> TagTableSchema() {
+  return {{"row_id", TypeTag::kInt64},
+          {"message_id", TypeTag::kInt64},
+          {"tag", TypeTag::kString}};
+}
+
+std::vector<baselines::ColumnStore::ColumnDef> UserColumnSchema() {
+  std::vector<baselines::ColumnStore::ColumnDef> out;
+  for (const auto& c : UserTableSchema()) out.push_back({c.name, c.type});
+  return out;
+}
+
+std::vector<baselines::ColumnStore::ColumnDef> MessageColumnSchema() {
+  std::vector<baselines::ColumnStore::ColumnDef> out;
+  for (const auto& c : MessageTableSchema()) out.push_back({c.name, c.type});
+  return out;
+}
+
+}  // namespace workload
+}  // namespace asterix

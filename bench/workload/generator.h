@@ -1,0 +1,88 @@
+#ifndef ASTERIX_BENCH_WORKLOAD_GENERATOR_H_
+#define ASTERIX_BENCH_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "adm/type.h"
+#include "adm/value.h"
+#include "baselines/columnstore.h"
+#include "baselines/relstore.h"
+
+namespace asterix {
+namespace workload {
+
+/// Deterministic generators for the paper's three synthetic datasets
+/// (§5.3.1: users, messages, and tweets, "populated with synthetic data",
+/// schema per Data definition 1). Message timestamps advance exactly one
+/// second per message id, so a time range of N seconds selects exactly N
+/// records — which is how the benches pin the paper's "300 / 3000 / 30000
+/// records pass the filter" selectivities.
+class Generator {
+ public:
+  explicit Generator(uint32_t seed = 20140701) : rng_(seed) {}
+
+  adm::Value MakeUser(int64_t id);
+  adm::Value MakeMessage(int64_t id, int64_t num_users);
+  adm::Value MakeTweet(int64_t id, int64_t num_users);
+
+  std::vector<adm::Value> MakeUsers(int64_t n);
+  std::vector<adm::Value> MakeMessages(int64_t n, int64_t num_users);
+  std::vector<adm::Value> MakeTweets(int64_t n, int64_t num_users);
+
+  /// Epoch millis of message id 0; message id k is at +k seconds.
+  static int64_t MessageEpochMillis();
+
+ private:
+  std::string RandomName();
+  std::string RandomText(int words);
+
+  std::mt19937 rng_;
+};
+
+// --- ADM types ---------------------------------------------------------------
+
+/// Fully declared (closed-ish open) types — the paper's "Schema" variant.
+adm::DatatypePtr UserTypeSchema();
+adm::DatatypePtr MessageTypeSchema();
+adm::DatatypePtr TweetTypeSchema();
+
+/// Open types declaring only the primary key — the "KeyOnly" variant whose
+/// instances must carry all field names (Table 2's larger footprint).
+adm::DatatypePtr UserTypeKeyOnly();
+adm::DatatypePtr MessageTypeKeyOnly();
+adm::DatatypePtr TweetTypeKeyOnly();
+
+// --- Normalized relational schemas (System-X / Hive, §5.3.1) ------------------
+
+/// Flattens one user into (users row, friends rows, employment rows) — the
+/// normalization the paper applied for System-X and Hive.
+struct NormalizedUser {
+  adm::Value user_row;
+  std::vector<adm::Value> friend_rows;      // (user_id, friend_id, seq)
+  std::vector<adm::Value> employment_rows;  // (user_id, seq, org, start, end)
+};
+NormalizedUser NormalizeUser(const adm::Value& user);
+
+/// Flattens one message into (message row, tag rows).
+struct NormalizedMessage {
+  adm::Value message_row;
+  std::vector<adm::Value> tag_rows;  // (message_id, tag, seq)
+};
+NormalizedMessage NormalizeMessage(const adm::Value& message);
+
+std::vector<baselines::RelTable::ColumnDef> UserTableSchema();
+std::vector<baselines::RelTable::ColumnDef> FriendTableSchema();
+std::vector<baselines::RelTable::ColumnDef> EmploymentTableSchema();
+std::vector<baselines::RelTable::ColumnDef> MessageTableSchema();
+std::vector<baselines::RelTable::ColumnDef> TagTableSchema();
+
+std::vector<baselines::ColumnStore::ColumnDef> UserColumnSchema();
+std::vector<baselines::ColumnStore::ColumnDef> MessageColumnSchema();
+
+}  // namespace workload
+}  // namespace asterix
+
+#endif  // ASTERIX_BENCH_WORKLOAD_GENERATOR_H_

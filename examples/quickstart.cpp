@@ -1,0 +1,170 @@
+// Quickstart: boot an AsterixDB instance, define the paper's TinySocial
+// dataverse (Data definitions 1-2), insert a few Mugshot.com users and
+// messages (Update 1), and run a tour of AQL queries (Queries 2, 3, 10, 11).
+//
+//   ./examples/quickstart [data-dir]
+//
+// Omitting data-dir uses a scratch directory. Pass a persistent directory,
+// run twice, and the second run will find the data already there (metadata
+// and WAL recovery at boot).
+
+#include <cstdio>
+#include <string>
+
+#include "api/asterix.h"
+#include "common/env.h"
+
+using asterix::api::AsterixInstance;
+using asterix::api::InstanceConfig;
+using asterix::api::ResultsToJson;
+
+namespace {
+
+int Fail(const asterix::Status& st, const char* what) {
+  std::fprintf(stderr, "%s failed: %s\n", what, st.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir = argc > 1 ? argv[1] : asterix::env::NewScratchDir("quickstart");
+  bool scratch = argc <= 1;
+
+  InstanceConfig config;
+  config.base_dir = dir;
+  config.cluster.num_nodes = 2;
+  config.cluster.partitions_per_node = 2;
+  AsterixInstance db(config);
+  if (auto st = db.Boot(); !st.ok()) return Fail(st, "boot");
+  std::printf("booted AsterixDB instance at %s (%d nodes x %d partitions)\n",
+              dir.c_str(), config.cluster.num_nodes,
+              config.cluster.partitions_per_node);
+
+  bool fresh = db.FindDataset("TinySocial.MugshotUsers") == nullptr;
+  if (fresh) {
+    auto ddl = db.Execute(R"aql(
+create dataverse TinySocial;
+use dataverse TinySocial;
+
+create type EmploymentType as open {
+  organization-name: string, start-date: date, end-date: date?
+}
+create type MugshotUserType as {
+  id: int64, alias: string, name: string, user-since: datetime,
+  address: { street: string, city: string, state: string, zip: string,
+             country: string },
+  friend-ids: {{ int64 }},
+  employment: [EmploymentType]
+}
+create type MugshotMessageType as closed {
+  message-id: int64, author-id: int64, timestamp: datetime,
+  in-response-to: int64?, sender-location: point?,
+  tags: {{ string }}, message: string
+}
+
+create dataset MugshotUsers(MugshotUserType) primary key id;
+create dataset MugshotMessages(MugshotMessageType) primary key message-id;
+create index msUserSinceIdx on MugshotUsers(user-since);
+create index msTimestampIdx on MugshotMessages(timestamp);
+)aql");
+    if (!ddl.ok()) return Fail(ddl.status(), "DDL");
+    std::printf("created TinySocial dataverse, types, datasets, indexes\n");
+
+    auto insert = db.Execute(R"aql(
+use dataverse TinySocial;
+insert into dataset MugshotUsers ([
+ { "id": 1, "alias": "Margarita", "name": "MargaritaStoddard",
+   "user-since": datetime("2012-08-20T10:10:00"),
+   "address": { "street": "234 Thomas St", "city": "San Hugo",
+                "zip": "98765", "state": "WA", "country": "USA" },
+   "friend-ids": {{ 2, 3 }},
+   "employment": [ { "organization-name": "Codetechno",
+                     "start-date": date("2006-08-06") } ] },
+ { "id": 2, "alias": "Isbel", "name": "IsbelDull",
+   "user-since": datetime("2011-01-22T10:10:00"),
+   "address": { "street": "345 James Ave", "city": "San Hugo",
+                "zip": "98765", "state": "WA", "country": "USA" },
+   "friend-ids": {{ 1 }},
+   "employment": [ { "organization-name": "Hexviane",
+                     "start-date": date("2010-04-27"),
+                     "end-date": date("2012-09-18") } ] }
+]);
+insert into dataset MugshotMessages ([
+ { "message-id": 1, "author-id": 1,
+   "timestamp": datetime("2014-02-20T10:00:00"),
+   "in-response-to": null, "sender-location": point("41.66,80.87"),
+   "tags": {{ "verizon", "voice-clarity" }},
+   "message": " dislike verizon its voice-clarity is OMG" },
+ { "message-id": 2, "author-id": 2,
+   "timestamp": datetime("2014-02-20T11:00:00"),
+   "in-response-to": 1, "sender-location": point("48.09,81.01"),
+   "tags": {{ "motorola", "speed" }},
+   "message": " like motorola the speed is good" }
+]);
+)aql");
+    if (!insert.ok()) return Fail(insert.status(), "insert");
+    std::printf("inserted sample users and messages\n\n");
+  } else {
+    std::printf("found existing TinySocial data (recovered from disk)\n\n");
+  }
+
+  struct Demo {
+    const char* title;
+    const char* query;
+  };
+  const Demo demos[] = {
+      {"Query 2 - datetime range scan (uses msUserSinceIdx)", R"aql(
+use dataverse TinySocial;
+for $user in dataset MugshotUsers
+where $user.user-since >= datetime('2010-07-22T00:00:00')
+  and $user.user-since <= datetime('2012-07-29T23:59:59')
+return { "name": $user.name, "since": $user.user-since };)aql"},
+      {"Query 3 - equijoin users x messages", R"aql(
+use dataverse TinySocial;
+for $user in dataset MugshotUsers
+for $message in dataset MugshotMessages
+where $message.author-id = $user.id
+return { "uname": $user.name, "message": $message.message };)aql"},
+      {"Query 10 - parallel aggregation (Figure 6 plan)", R"aql(
+use dataverse TinySocial;
+avg(for $m in dataset MugshotMessages
+    where $m.timestamp >= datetime("2014-01-01T00:00:00")
+      and $m.timestamp < datetime("2014-04-01T00:00:00")
+    return string-length($m.message))
+)aql"},
+      {"Query 11 - group, count, order, top-k", R"aql(
+use dataverse TinySocial;
+for $msg in dataset MugshotMessages
+group by $aid := $msg.author-id with $msg
+let $cnt := count($msg)
+order by $cnt desc
+limit 3
+return { "author": $aid, "no messages": $cnt };)aql"},
+  };
+
+  for (const auto& demo : demos) {
+    std::printf("--- %s ---\n", demo.title);
+    auto r = db.Execute(demo.query);
+    if (!r.ok()) return Fail(r.status(), demo.title);
+    std::printf("%s\n", ResultsToJson(r.value().values).c_str());
+    std::printf("(elapsed %.2f ms, %s path)\n\n", r.value().stats.elapsed_ms,
+                r.value().used_compiled_path ? "compiled" : "interpreted");
+  }
+
+  // Show a compiled plan, Figure-6 style.
+  auto plan = db.Explain(R"aql(
+use dataverse TinySocial;
+avg(for $m in dataset MugshotMessages
+    where $m.timestamp >= datetime("2014-01-01T00:00:00")
+      and $m.timestamp < datetime("2014-04-01T00:00:00")
+    return string-length($m.message))
+)aql");
+  if (plan.ok()) {
+    std::printf("--- compiled Hyracks job for Query 10 ---\n%s\n",
+                plan.value().job_plan.c_str());
+  }
+
+  if (scratch) asterix::env::RemoveAll(dir);
+  return 0;
+}

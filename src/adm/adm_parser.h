@@ -1,0 +1,31 @@
+#ifndef ASTERIX_ADM_ADM_PARSER_H_
+#define ASTERIX_ADM_ADM_PARSER_H_
+
+#include <string_view>
+
+#include "adm/value.h"
+#include "common/status.h"
+
+namespace asterix {
+namespace adm {
+
+/// Parses one ADM text instance. ADM text is a superset of JSON: it adds
+/// type constructors — date("2013-01-01"), datetime("..."), time("..."),
+/// duration("P30D"), point("1.0,2.0"), line/rectangle/circle/polygon("..."),
+/// uuid("...") — bag literals {{ ... }}, int8/16/32/64 suffixed integers
+/// (e.g. 42i32), and unquoted field names.
+Status ParseAdm(std::string_view text, Value* out);
+
+/// Parses a sequence of whitespace/newline-separated ADM instances (the
+/// on-disk "adm" load-file format).
+Status ParseAdmSequence(std::string_view text, std::vector<Value>* out);
+
+/// Parses a constructor payload by type name, e.g. ("point", "1.0,2.0").
+/// Used by both the ADM parser and the AQL runtime constructor functions.
+Status ParseConstructor(std::string_view type_name, std::string_view payload,
+                        Value* out);
+
+}  // namespace adm
+}  // namespace asterix
+
+#endif  // ASTERIX_ADM_ADM_PARSER_H_

@@ -1,0 +1,34 @@
+#ifndef ASTERIX_ADM_SERDE_H_
+#define ASTERIX_ADM_SERDE_H_
+
+#include "adm/type.h"
+#include "adm/value.h"
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace asterix {
+namespace adm {
+
+/// Schemaless ("self-describing") serialization: every value carries its
+/// type tag, records carry their field names. This is what a schema-free
+/// document store must always pay, and what ADM pays only for *open*
+/// (undeclared) content.
+void SerializeValue(const Value& v, BytesWriter* w);
+Status DeserializeValue(BytesReader* r, Value* out);
+
+/// Schema-aware serialization. Declared record fields are written
+/// positionally (1-byte presence + untagged payload for concrete primitive
+/// fields), so their names and tags cost nothing per instance; open fields
+/// fall back to (name, tagged value) pairs. The difference between a fully
+/// declared type and a key-only open type is the Schema-vs-KeyOnly size gap
+/// the paper reports in Table 2.
+Status SerializeTyped(const Value& v, const DatatypePtr& type, BytesWriter* w);
+Status DeserializeTyped(BytesReader* r, const DatatypePtr& type, Value* out);
+
+/// Serialized size helper (schema-aware).
+Result<size_t> TypedSerializedSize(const Value& v, const DatatypePtr& type);
+
+}  // namespace adm
+}  // namespace asterix
+
+#endif  // ASTERIX_ADM_SERDE_H_

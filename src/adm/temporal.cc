@@ -1,0 +1,316 @@
+#include "adm/temporal.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace asterix {
+namespace adm {
+
+namespace {
+
+constexpr int64_t kMillisPerSecond = 1000;
+constexpr int64_t kMillisPerMinute = 60 * kMillisPerSecond;
+constexpr int64_t kMillisPerHour = 60 * kMillisPerMinute;
+constexpr int64_t kMillisPerDay = 24 * kMillisPerHour;
+
+bool IsLeap(int y) { return (y % 4 == 0 && y % 100 != 0) || y % 400 == 0; }
+
+int DaysInMonth(int y, int m) {
+  static const int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (m == 2 && IsLeap(y)) return 29;
+  return kDays[m - 1];
+}
+
+// Parses a fixed-width decimal run; returns false on non-digit.
+bool ParseDigits(std::string_view s, size_t pos, size_t n, int* out) {
+  if (pos + n > s.size()) return false;
+  int v = 0;
+  for (size_t i = 0; i < n; ++i) {
+    char c = s[pos + i];
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + (c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+// Parses the time-of-day tail starting at `pos`; on success sets *millis to
+// millis since midnight adjusted to UTC by any trailing timezone offset.
+Status ParseTimeAt(std::string_view s, size_t pos, int64_t* millis) {
+  int h, mi, se = 0;
+  if (!ParseDigits(s, pos, 2, &h) || pos + 2 >= s.size() || s[pos + 2] != ':' ||
+      !ParseDigits(s, pos + 3, 2, &mi)) {
+    return Status::ParseError("bad time: " + std::string(s));
+  }
+  pos += 5;
+  if (pos < s.size() && s[pos] == ':') {
+    if (!ParseDigits(s, pos + 1, 2, &se)) {
+      return Status::ParseError("bad seconds: " + std::string(s));
+    }
+    pos += 3;
+  }
+  int64_t ms = 0;
+  if (pos < s.size() && s[pos] == '.') {
+    ++pos;
+    int scale = 100;
+    while (pos < s.size() && s[pos] >= '0' && s[pos] <= '9' && scale >= 1) {
+      ms += (s[pos] - '0') * scale;
+      scale /= 10;
+      ++pos;
+    }
+    // Ignore sub-millisecond digits.
+    while (pos < s.size() && s[pos] >= '0' && s[pos] <= '9') ++pos;
+  }
+  int64_t tz_offset = 0;
+  if (pos < s.size()) {
+    if (s[pos] == 'Z') {
+      ++pos;
+    } else if (s[pos] == '+' || s[pos] == '-') {
+      int sign = s[pos] == '-' ? -1 : 1;
+      int th, tm = 0;
+      ++pos;
+      if (!ParseDigits(s, pos, 2, &th)) {
+        return Status::ParseError("bad tz: " + std::string(s));
+      }
+      pos += 2;
+      if (pos < s.size() && s[pos] == ':') ++pos;
+      if (pos + 2 <= s.size()) {
+        ParseDigits(s, pos, 2, &tm);
+        pos += 2;
+      }
+      tz_offset = sign * (th * kMillisPerHour + tm * kMillisPerMinute);
+    }
+  }
+  if (pos != s.size()) {
+    return Status::ParseError("trailing characters in time: " + std::string(s));
+  }
+  if (h > 24 || mi > 59 || se > 60) {
+    return Status::ParseError("time component out of range: " + std::string(s));
+  }
+  *millis = h * kMillisPerHour + mi * kMillisPerMinute + se * kMillisPerSecond +
+            ms - tz_offset;
+  return Status::OK();
+}
+
+}  // namespace
+
+int64_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153u * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097LL + static_cast<int>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t z, int* year, int* month, int* day) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp + (mp < 10 ? 3 : -9);
+  *year = static_cast<int>(y + (m <= 2));
+  *month = static_cast<int>(m);
+  *day = static_cast<int>(d);
+}
+
+Status ParseDate(std::string_view s, int32_t* days) {
+  int y, m, d;
+  size_t pos = 0;
+  bool neg = false;
+  if (!s.empty() && s[0] == '-') {
+    neg = true;
+    pos = 1;
+  }
+  if (!ParseDigits(s, pos, 4, &y) || pos + 4 >= s.size() || s[pos + 4] != '-' ||
+      !ParseDigits(s, pos + 5, 2, &m) || pos + 7 >= s.size() ||
+      s[pos + 7] != '-' || !ParseDigits(s, pos + 8, 2, &d) ||
+      pos + 10 != s.size()) {
+    return Status::ParseError("bad date: " + std::string(s));
+  }
+  if (neg) y = -y;
+  if (m < 1 || m > 12 || d < 1 || d > DaysInMonth(y, m)) {
+    return Status::ParseError("date component out of range: " + std::string(s));
+  }
+  *days = static_cast<int32_t>(DaysFromCivil(y, m, d));
+  return Status::OK();
+}
+
+Status ParseTime(std::string_view s, int32_t* millis) {
+  int64_t ms;
+  ASTERIX_RETURN_NOT_OK(ParseTimeAt(s, 0, &ms));
+  // Normalize timezone-shifted values into [0, day).
+  ms %= kMillisPerDay;
+  if (ms < 0) ms += kMillisPerDay;
+  *millis = static_cast<int32_t>(ms);
+  return Status::OK();
+}
+
+Status ParseDatetime(std::string_view s, int64_t* millis) {
+  size_t t = s.find('T');
+  if (t == std::string_view::npos) {
+    return Status::ParseError("datetime missing 'T': " + std::string(s));
+  }
+  int32_t days;
+  ASTERIX_RETURN_NOT_OK(ParseDate(s.substr(0, t), &days));
+  int64_t tod;
+  ASTERIX_RETURN_NOT_OK(ParseTimeAt(s, t + 1, &tod));
+  *millis = days * kMillisPerDay + tod;
+  return Status::OK();
+}
+
+Status ParseDuration(std::string_view s, int32_t* months, int64_t* millis) {
+  size_t pos = 0;
+  int sign = 1;
+  if (pos < s.size() && s[pos] == '-') {
+    sign = -1;
+    ++pos;
+  }
+  if (pos >= s.size() || s[pos] != 'P') {
+    return Status::ParseError("duration must start with P: " + std::string(s));
+  }
+  ++pos;
+  int64_t mo = 0, ms = 0;
+  bool in_time = false;
+  bool any = false;
+  while (pos < s.size()) {
+    if (s[pos] == 'T') {
+      in_time = true;
+      ++pos;
+      continue;
+    }
+    char* end = nullptr;
+    double num = std::strtod(s.data() + pos, &end);
+    if (end == s.data() + pos) {
+      return Status::ParseError("bad duration number: " + std::string(s));
+    }
+    pos = static_cast<size_t>(end - s.data());
+    if (pos >= s.size()) {
+      return Status::ParseError("duration missing unit: " + std::string(s));
+    }
+    char unit = s[pos++];
+    any = true;
+    if (!in_time) {
+      switch (unit) {
+        case 'Y': mo += static_cast<int64_t>(num * 12); break;
+        case 'M': mo += static_cast<int64_t>(num); break;
+        case 'W': ms += static_cast<int64_t>(num * 7 * kMillisPerDay); break;
+        case 'D': ms += static_cast<int64_t>(num * kMillisPerDay); break;
+        default:
+          return Status::ParseError("bad duration unit: " + std::string(s));
+      }
+    } else {
+      switch (unit) {
+        case 'H': ms += static_cast<int64_t>(num * kMillisPerHour); break;
+        case 'M': ms += static_cast<int64_t>(num * kMillisPerMinute); break;
+        case 'S': ms += static_cast<int64_t>(num * kMillisPerSecond); break;
+        default:
+          return Status::ParseError("bad duration unit: " + std::string(s));
+      }
+    }
+  }
+  if (!any) return Status::ParseError("empty duration: " + std::string(s));
+  *months = static_cast<int32_t>(sign * mo);
+  *millis = sign * ms;
+  return Status::OK();
+}
+
+std::string FormatDate(int32_t days) {
+  int y, m, d;
+  CivilFromDays(days, &y, &m, &d);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m, d);
+  return buf;
+}
+
+std::string FormatTime(int32_t millis) {
+  int h = millis / kMillisPerHour;
+  int mi = (millis % kMillisPerHour) / kMillisPerMinute;
+  int se = (millis % kMillisPerMinute) / kMillisPerSecond;
+  int ms = millis % kMillisPerSecond;
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%02d:%02d:%02d.%03dZ", h, mi, se, ms);
+  return buf;
+}
+
+std::string FormatDatetime(int64_t millis) {
+  int64_t days = millis / kMillisPerDay;
+  int64_t tod = millis % kMillisPerDay;
+  if (tod < 0) {
+    tod += kMillisPerDay;
+    --days;
+  }
+  return FormatDate(static_cast<int32_t>(days)) + "T" +
+         FormatTime(static_cast<int32_t>(tod));
+}
+
+std::string FormatDuration(int32_t months, int64_t millis) {
+  std::string out;
+  if (months < 0 || millis < 0) out += "-";
+  out += "P";
+  int64_t mo = std::abs(static_cast<int64_t>(months));
+  int64_t ms = std::abs(millis);
+  int64_t years = mo / 12;
+  mo %= 12;
+  int64_t days = ms / kMillisPerDay;
+  ms %= kMillisPerDay;
+  int64_t hours = ms / kMillisPerHour;
+  ms %= kMillisPerHour;
+  int64_t mins = ms / kMillisPerMinute;
+  ms %= kMillisPerMinute;
+  int64_t secs = ms / kMillisPerSecond;
+  ms %= kMillisPerSecond;
+  if (years) out += std::to_string(years) + "Y";
+  if (mo) out += std::to_string(mo) + "M";
+  if (days) out += std::to_string(days) + "D";
+  if (hours || mins || secs || ms) {
+    out += "T";
+    if (hours) out += std::to_string(hours) + "H";
+    if (mins) out += std::to_string(mins) + "M";
+    if (secs || ms) {
+      out += std::to_string(secs);
+      if (ms) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), ".%03d", static_cast<int>(ms));
+        out += buf;
+      }
+      out += "S";
+    }
+  }
+  if (out.back() == 'P') out += "T0S";
+  return out;
+}
+
+int64_t AddDurationToDatetime(int64_t datetime_millis, int32_t months,
+                              int64_t millis) {
+  if (months != 0) {
+    int64_t days = datetime_millis / kMillisPerDay;
+    int64_t tod = datetime_millis % kMillisPerDay;
+    if (tod < 0) {
+      tod += kMillisPerDay;
+      --days;
+    }
+    int y, m, d;
+    CivilFromDays(days, &y, &m, &d);
+    int64_t total = (y * 12 + (m - 1)) + months;
+    int ny = static_cast<int>(total >= 0 ? total / 12 : (total - 11) / 12);
+    int nm = static_cast<int>(total - static_cast<int64_t>(ny) * 12) + 1;
+    int nd = d > DaysInMonth(ny, nm) ? DaysInMonth(ny, nm) : d;
+    datetime_millis = DaysFromCivil(ny, nm, nd) * kMillisPerDay + tod;
+  }
+  return datetime_millis + millis;
+}
+
+int32_t AddDurationToDate(int32_t date_days, int32_t months, int64_t millis) {
+  int64_t dt = AddDurationToDatetime(date_days * kMillisPerDay, months, millis);
+  int64_t days = dt / kMillisPerDay;
+  if (dt % kMillisPerDay < 0) --days;
+  return static_cast<int32_t>(days);
+}
+
+}  // namespace adm
+}  // namespace asterix

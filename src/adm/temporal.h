@@ -1,0 +1,42 @@
+#ifndef ASTERIX_ADM_TEMPORAL_H_
+#define ASTERIX_ADM_TEMPORAL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace asterix {
+namespace adm {
+
+/// Proleptic-Gregorian civil date <-> epoch-day conversions
+/// (Howard Hinnant's branchless algorithms).
+int64_t DaysFromCivil(int year, int month, int day);
+void CivilFromDays(int64_t days, int* year, int* month, int* day);
+
+/// Parses "YYYY-MM-DD" into epoch days.
+Status ParseDate(std::string_view s, int32_t* days);
+/// Parses "hh:mm:ss[.mmm][Z|±hh:mm]" into millis since midnight.
+Status ParseTime(std::string_view s, int32_t* millis);
+/// Parses "YYYY-MM-DDThh:mm:ss[.mmm][Z|±hh:mm]" into epoch millis (UTC).
+Status ParseDatetime(std::string_view s, int64_t* millis);
+/// Parses ISO-8601 durations "PnYnMnDTnHnMnS" into months + millis.
+Status ParseDuration(std::string_view s, int32_t* months, int64_t* millis);
+
+std::string FormatDate(int32_t days);
+std::string FormatTime(int32_t millis);
+std::string FormatDatetime(int64_t millis);
+std::string FormatDuration(int32_t months, int64_t millis);
+
+/// Adds a month-granularity duration to an epoch-millis datetime, clamping
+/// the day-of-month (Jan 31 + P1M = Feb 28/29), then adds milliseconds.
+int64_t AddDurationToDatetime(int64_t datetime_millis, int32_t months,
+                              int64_t millis);
+/// Same for an epoch-days date.
+int32_t AddDurationToDate(int32_t date_days, int32_t months, int64_t millis);
+
+}  // namespace adm
+}  // namespace asterix
+
+#endif  // ASTERIX_ADM_TEMPORAL_H_

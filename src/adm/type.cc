@@ -1,0 +1,167 @@
+#include "adm/type.h"
+
+namespace asterix {
+namespace adm {
+
+DatatypePtr Datatype::Any() {
+  static const DatatypePtr* any = new DatatypePtr([] {
+    auto t = std::shared_ptr<Datatype>(new Datatype());
+    t->kind_ = Kind::kPrimitive;
+    t->tag_ = TypeTag::kAny;
+    t->name_ = "any";
+    return t;
+  }());
+  return *any;
+}
+
+DatatypePtr Datatype::Primitive(TypeTag tag) {
+  auto t = std::shared_ptr<Datatype>(new Datatype());
+  t->kind_ = Kind::kPrimitive;
+  t->tag_ = tag;
+  t->name_ = TypeTagName(tag);
+  return t;
+}
+
+DatatypePtr Datatype::MakeRecord(std::string name,
+                                 std::vector<FieldType> fields, bool open) {
+  auto t = std::shared_ptr<Datatype>(new Datatype());
+  t->kind_ = Kind::kRecord;
+  t->tag_ = TypeTag::kRecord;
+  t->name_ = std::move(name);
+  t->fields_ = std::move(fields);
+  t->open_ = open;
+  return t;
+}
+
+DatatypePtr Datatype::MakeOrderedList(DatatypePtr item) {
+  auto t = std::shared_ptr<Datatype>(new Datatype());
+  t->kind_ = Kind::kOrderedList;
+  t->tag_ = TypeTag::kOrderedList;
+  t->item_ = std::move(item);
+  t->name_ = "[" + t->item_->name() + "]";
+  return t;
+}
+
+DatatypePtr Datatype::MakeBag(DatatypePtr item) {
+  auto t = std::shared_ptr<Datatype>(new Datatype());
+  t->kind_ = Kind::kBag;
+  t->tag_ = TypeTag::kBag;
+  t->item_ = std::move(item);
+  t->name_ = "{{" + t->item_->name() + "}}";
+  return t;
+}
+
+int Datatype::FieldIndex(std::string_view fname) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == fname) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool TagConforms(TypeTag value_tag, TypeTag declared_tag) {
+  if (declared_tag == TypeTag::kAny) return true;
+  if (value_tag == declared_tag) return true;
+  // Integer widening: int8 conforms to int16/32/64, etc.
+  if (value_tag >= TypeTag::kInt8 && value_tag <= TypeTag::kInt64 &&
+      declared_tag >= TypeTag::kInt8 && declared_tag <= TypeTag::kDouble &&
+      value_tag <= declared_tag) {
+    return true;
+  }
+  if (value_tag == TypeTag::kFloat && declared_tag == TypeTag::kDouble) {
+    return true;
+  }
+  return false;
+}
+
+Status Datatype::Validate(const Value& v) const {
+  if (IsAny()) return Status::OK();
+  switch (kind_) {
+    case Kind::kPrimitive:
+      if (!TagConforms(v.tag(), tag_)) {
+        return Status::TypeError(std::string("expected ") + TypeTagName(tag_) +
+                                 ", got " + TypeTagName(v.tag()));
+      }
+      return Status::OK();
+    case Kind::kOrderedList:
+    case Kind::kBag: {
+      if (v.tag() != tag_) {
+        return Status::TypeError(std::string("expected ") + TypeTagName(tag_) +
+                                 ", got " + TypeTagName(v.tag()));
+      }
+      for (const auto& item : v.AsList()) {
+        ASTERIX_RETURN_NOT_OK(item_->Validate(item));
+      }
+      return Status::OK();
+    }
+    case Kind::kRecord: {
+      if (v.tag() != TypeTag::kRecord) {
+        return Status::TypeError(std::string("expected record ") + name_ +
+                                 ", got " + TypeTagName(v.tag()));
+      }
+      const RecordData& rec = v.AsRecord();
+      // Every declared field: present (unless optional) and well-typed.
+      for (const auto& ft : fields_) {
+        const Value& fv = v.GetField(ft.name);
+        if (fv.IsMissing() || fv.IsNull()) {
+          if (!ft.optional) {
+            return Status::TypeError("missing required field '" + ft.name +
+                                     "' of type " + name_);
+          }
+          continue;
+        }
+        Status st = ft.type->Validate(fv);
+        if (!st.ok()) {
+          return Status::TypeError("field '" + ft.name + "': " + st.message());
+        }
+      }
+      // Closed records: nothing beyond the declared fields.
+      if (!open_) {
+        for (const auto& [fname, fval] : rec.fields) {
+          (void)fval;
+          if (FieldIndex(fname) < 0) {
+            return Status::TypeError("closed type " + name_ +
+                                     " does not allow field '" + fname + "'");
+          }
+        }
+      }
+      // Reject duplicate field names in the instance.
+      for (size_t i = 0; i < rec.fields.size(); ++i) {
+        for (size_t j = i + 1; j < rec.fields.size(); ++j) {
+          if (rec.fields[i].first == rec.fields[j].first) {
+            return Status::TypeError("duplicate field '" + rec.fields[i].first +
+                                     "'");
+          }
+        }
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+std::string Datatype::ToString() const {
+  switch (kind_) {
+    case Kind::kPrimitive:
+      return name_;
+    case Kind::kOrderedList:
+      return "[" + item_->ToString() + "]";
+    case Kind::kBag:
+      return "{{" + item_->ToString() + "}}";
+    case Kind::kRecord: {
+      std::string out = open_ ? "open record { " : "closed record { ";
+      bool first = true;
+      for (const auto& f : fields_) {
+        if (!first) out += ", ";
+        first = false;
+        out += f.name + ": " + f.type->name();
+        if (f.optional) out += "?";
+      }
+      out += " }";
+      return out;
+    }
+  }
+  return "?";
+}
+
+}  // namespace adm
+}  // namespace asterix

@@ -1,0 +1,86 @@
+#ifndef ASTERIX_ADM_TYPE_H_
+#define ASTERIX_ADM_TYPE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adm/value.h"
+#include "common/status.h"
+
+namespace asterix {
+namespace adm {
+
+class Datatype;
+using DatatypePtr = std::shared_ptr<const Datatype>;
+
+/// One declared field of a record Datatype. `optional` corresponds to the
+/// trailing '?' in ADM DDL — the field may be absent or null, but when
+/// present must conform to `type`.
+struct FieldType {
+  std::string name;
+  DatatypePtr type;
+  bool optional = false;
+};
+
+/// An ADM Datatype: a description of what the system knows, a priori, about
+/// the data stored in a Dataset. Record types are open by default: instances
+/// may carry extra, undeclared fields. Closed record types admit exactly the
+/// declared fields. Declared ("closed") fields are stored positionally
+/// without their names; open fields carry their names per instance — the
+/// storage-size consequence the paper measures in Table 2.
+class Datatype {
+ public:
+  enum class Kind { kPrimitive, kRecord, kOrderedList, kBag };
+
+  /// The universal type: any value conforms.
+  static DatatypePtr Any();
+  /// A primitive type for the given tag (boolean..uuid).
+  static DatatypePtr Primitive(TypeTag tag);
+  /// An (open|closed) record type with declared fields.
+  static DatatypePtr MakeRecord(std::string name, std::vector<FieldType> fields,
+                                bool open);
+  static DatatypePtr MakeOrderedList(DatatypePtr item);
+  static DatatypePtr MakeBag(DatatypePtr item);
+
+  Kind kind() const { return kind_; }
+  /// Primitive tag; kAny for the Any type.
+  TypeTag tag() const { return tag_; }
+  bool IsAny() const { return kind_ == Kind::kPrimitive && tag_ == TypeTag::kAny; }
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  bool is_open() const { return open_; }
+  const std::vector<FieldType>& fields() const { return fields_; }
+  /// Index of a declared field, or -1.
+  int FieldIndex(std::string_view fname) const;
+  const DatatypePtr& item_type() const { return item_; }
+
+  /// Checks that `v` conforms to this type: declared fields present (unless
+  /// optional), typed correctly, and — for closed records — nothing extra.
+  /// Integer values of narrower widths conform to wider integer fields.
+  Status Validate(const Value& v) const;
+
+  /// "open record { id: int64, name: string? }"-style rendering.
+  std::string ToString() const;
+
+ private:
+  Datatype() = default;
+
+  Kind kind_ = Kind::kPrimitive;
+  TypeTag tag_ = TypeTag::kAny;
+  std::string name_;
+  bool open_ = true;
+  std::vector<FieldType> fields_;
+  DatatypePtr item_;
+};
+
+/// True if a concrete value tag conforms to a declared primitive tag
+/// (exact match, or a narrower integer against a wider integer / float /
+/// double slot).
+bool TagConforms(TypeTag value_tag, TypeTag declared_tag);
+
+}  // namespace adm
+}  // namespace asterix
+
+#endif  // ASTERIX_ADM_TYPE_H_

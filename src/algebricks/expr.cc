@@ -1,0 +1,395 @@
+#include "algebricks/expr.h"
+
+#include <algorithm>
+
+#include "algebricks/logical.h"
+#include "functions/aggregates.h"
+#include "functions/arith.h"
+#include "functions/builtins.h"
+
+namespace asterix {
+namespace algebricks {
+
+using adm::Value;
+
+namespace {
+
+ExprPtr New(Expr::Kind kind) {
+  auto e = std::make_shared<Expr>();
+  e->kind = kind;
+  return e;
+}
+
+}  // namespace
+
+ExprPtr Expr::Const(Value v) {
+  auto e = New(Kind::kConst);
+  e->constant = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::Var(std::string name) {
+  auto e = New(Kind::kVar);
+  e->var = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::FieldAccess(ExprPtr base, std::string field) {
+  auto e = New(Kind::kFieldAccess);
+  e->base = std::move(base);
+  e->field = std::move(field);
+  return e;
+}
+
+ExprPtr Expr::IndexAccess(ExprPtr base, ExprPtr index) {
+  auto e = New(Kind::kIndexAccess);
+  e->base = std::move(base);
+  e->args.push_back(std::move(index));
+  return e;
+}
+
+ExprPtr Expr::Call(std::string fn, std::vector<ExprPtr> args) {
+  auto e = New(Kind::kCall);
+  e->fn = std::move(fn);
+  e->args = std::move(args);
+  return e;
+}
+
+ExprPtr Expr::Arith(std::string op, std::vector<ExprPtr> operands) {
+  auto e = New(Kind::kArith);
+  e->fn = std::move(op);
+  e->args = std::move(operands);
+  return e;
+}
+
+ExprPtr Expr::Compare(std::string op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = New(Kind::kCompare);
+  e->fn = std::move(op);
+  e->args = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+ExprPtr Expr::And(ExprPtr a, ExprPtr b) {
+  auto e = New(Kind::kAnd);
+  e->args = {std::move(a), std::move(b)};
+  return e;
+}
+
+ExprPtr Expr::Or(ExprPtr a, ExprPtr b) {
+  auto e = New(Kind::kOr);
+  e->args = {std::move(a), std::move(b)};
+  return e;
+}
+
+ExprPtr Expr::Not(ExprPtr a) {
+  auto e = New(Kind::kNot);
+  e->args = {std::move(a)};
+  return e;
+}
+
+ExprPtr Expr::Quantified(bool is_every, std::string var, ExprPtr collection,
+                         ExprPtr predicate) {
+  auto e = New(Kind::kQuantified);
+  e->is_every = is_every;
+  e->qvar = std::move(var);
+  e->args = {std::move(collection), std::move(predicate)};
+  return e;
+}
+
+ExprPtr Expr::RecordCtor(std::vector<std::string> names,
+                         std::vector<ExprPtr> values) {
+  auto e = New(Kind::kRecordCtor);
+  e->field_names = std::move(names);
+  e->args = std::move(values);
+  return e;
+}
+
+ExprPtr Expr::ListCtor(std::vector<ExprPtr> items) {
+  auto e = New(Kind::kListCtor);
+  e->args = std::move(items);
+  return e;
+}
+
+ExprPtr Expr::BagCtor(std::vector<ExprPtr> items) {
+  auto e = New(Kind::kBagCtor);
+  e->args = std::move(items);
+  return e;
+}
+
+ExprPtr Expr::Subplan(LogicalOpPtr plan) {
+  auto e = New(Kind::kSubplan);
+  e->subplan = std::move(plan);
+  return e;
+}
+
+void Expr::CollectFreeVars(std::vector<std::string>* out) const {
+  switch (kind) {
+    case Kind::kVar:
+      if (std::find(out->begin(), out->end(), var) == out->end()) {
+        out->push_back(var);
+      }
+      return;
+    case Kind::kQuantified: {
+      std::vector<std::string> inner;
+      args[0]->CollectFreeVars(out);
+      args[1]->CollectFreeVars(&inner);
+      for (const auto& v : inner) {
+        if (v != qvar && std::find(out->begin(), out->end(), v) == out->end()) {
+          out->push_back(v);
+        }
+      }
+      return;
+    }
+    case Kind::kSubplan:
+      // Conservative: treat all external references as free. Subplans are
+      // interpreted with the full outer environment, so precision is only
+      // needed for rule applicability checks, where conservatism is safe.
+      return;
+    default:
+      if (base) base->CollectFreeVars(out);
+      for (const auto& a : args) {
+        if (a) a->CollectFreeVars(out);
+      }
+  }
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case Kind::kConst:
+      return constant.ToString();
+    case Kind::kVar:
+      return "$" + var;
+    case Kind::kFieldAccess:
+      return base->ToString() + "." + field;
+    case Kind::kIndexAccess:
+      return base->ToString() + "[" + args[0]->ToString() + "]";
+    case Kind::kCall:
+    case Kind::kArith:
+    case Kind::kCompare: {
+      if ((kind == Kind::kArith || kind == Kind::kCompare) && args.size() == 2) {
+        return "(" + args[0]->ToString() + " " + fn + " " + args[1]->ToString() +
+               ")";
+      }
+      std::string s = fn + "(";
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i) s += ", ";
+        s += args[i]->ToString();
+      }
+      return s + ")";
+    }
+    case Kind::kAnd:
+      return "(" + args[0]->ToString() + " and " + args[1]->ToString() + ")";
+    case Kind::kOr:
+      return "(" + args[0]->ToString() + " or " + args[1]->ToString() + ")";
+    case Kind::kNot:
+      return "not(" + args[0]->ToString() + ")";
+    case Kind::kQuantified:
+      return std::string(is_every ? "every" : "some") + " $" + qvar + " in " +
+             args[0]->ToString() + " satisfies " + args[1]->ToString();
+    case Kind::kRecordCtor: {
+      std::string s = "{ ";
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i) s += ", ";
+        s += "\"" + field_names[i] + "\": " + args[i]->ToString();
+      }
+      return s + " }";
+    }
+    case Kind::kListCtor:
+    case Kind::kBagCtor: {
+      std::string s = kind == Kind::kListCtor ? "[" : "{{";
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i) s += ", ";
+        s += args[i]->ToString();
+      }
+      return s + (kind == Kind::kListCtor ? "]" : "}}");
+    }
+    case Kind::kSubplan:
+      return "subplan(...)";
+    case Kind::kIfMissingOrNull:
+      return "if-missing-or-null(" + args[0]->ToString() + ", " +
+             args[1]->ToString() + ")";
+  }
+  return "?";
+}
+
+Result<Value> EvalExpr(const Expr& e, const EvalContext& ctx) {
+  switch (e.kind) {
+    case Expr::Kind::kConst:
+      return e.constant;
+    case Expr::Kind::kVar: {
+      const Value* v = ctx.Lookup(e.var);
+      if (!v) return Status::InvalidArgument("unbound variable $" + e.var);
+      return *v;
+    }
+    case Expr::Kind::kFieldAccess: {
+      auto base = EvalExpr(*e.base, ctx);
+      if (!base.ok()) return base.status();
+      return base.value().GetField(e.field);
+    }
+    case Expr::Kind::kIndexAccess: {
+      auto base = EvalExpr(*e.base, ctx);
+      if (!base.ok()) return base.status();
+      auto idx = EvalExpr(*e.args[0], ctx);
+      if (!idx.ok()) return idx.status();
+      int64_t i;
+      if (!base.value().IsList() || !idx.value().GetInteger(&i)) {
+        return Value::Missing();
+      }
+      const auto& items = base.value().AsList();
+      if (i < 0 || static_cast<size_t>(i) >= items.size()) {
+        return Value::Missing();
+      }
+      return items[static_cast<size_t>(i)];
+    }
+    case Expr::Kind::kCall: {
+      // `dataset X` used as a collection expression (e.g. inside
+      // quantifiers, Query 12) materializes the dataset via the context's
+      // scan hook.
+      if (e.fn == "dataset") {
+        if (!ctx.scan()) {
+          return Status::Internal("no dataset accessor in evaluation context");
+        }
+        std::vector<Value> records;
+        ASTERIX_RETURN_NOT_OK(
+            ctx.scan()(e.args[0]->constant.AsString(), [&](const Value& rec) {
+              records.push_back(rec);
+              return Status::OK();
+            }));
+        return Value::OrderedList(std::move(records));
+      }
+      std::vector<Value> args;
+      args.reserve(e.args.size());
+      for (const auto& a : e.args) {
+        auto v = EvalExpr(*a, ctx);
+        if (!v.ok()) return v.status();
+        args.push_back(v.take());
+      }
+      return functions::CallBuiltin(e.fn, args);
+    }
+    case Expr::Kind::kArith: {
+      if (e.fn == "neg") {
+        auto a = EvalExpr(*e.args[0], ctx);
+        if (!a.ok()) return a.status();
+        return functions::Negate(a.value());
+      }
+      auto a = EvalExpr(*e.args[0], ctx);
+      if (!a.ok()) return a.status();
+      auto b = EvalExpr(*e.args[1], ctx);
+      if (!b.ok()) return b.status();
+      if (e.fn == "+") return functions::Add(a.value(), b.value());
+      if (e.fn == "-") return functions::Subtract(a.value(), b.value());
+      if (e.fn == "*") return functions::Multiply(a.value(), b.value());
+      if (e.fn == "/") return functions::Divide(a.value(), b.value());
+      if (e.fn == "%") return functions::Modulo(a.value(), b.value());
+      return Status::InvalidArgument("unknown arithmetic op " + e.fn);
+    }
+    case Expr::Kind::kCompare: {
+      auto a = EvalExpr(*e.args[0], ctx);
+      if (!a.ok()) return a.status();
+      auto b = EvalExpr(*e.args[1], ctx);
+      if (!b.ok()) return b.status();
+      using functions::Tri;
+      Tri t;
+      if (e.fn == "=") {
+        t = functions::EqualsTri(a.value(), b.value());
+      } else if (e.fn == "!=") {
+        t = functions::TriNot(functions::EqualsTri(a.value(), b.value()));
+      } else if (e.fn == "<") {
+        t = functions::LessTri(a.value(), b.value());
+      } else if (e.fn == "<=") {
+        t = functions::LessEqTri(a.value(), b.value());
+      } else if (e.fn == ">") {
+        t = functions::LessTri(b.value(), a.value());
+      } else if (e.fn == ">=") {
+        t = functions::LessEqTri(b.value(), a.value());
+      } else {
+        return Status::InvalidArgument("unknown comparison " + e.fn);
+      }
+      return functions::TriToValue(t);
+    }
+    case Expr::Kind::kAnd:
+    case Expr::Kind::kOr: {
+      auto a = EvalExpr(*e.args[0], ctx);
+      if (!a.ok()) return a.status();
+      functions::Tri ta = functions::ValueToTri(a.value());
+      // Short-circuit on the decisive value.
+      if (e.kind == Expr::Kind::kAnd && ta == functions::Tri::kFalse) {
+        return Value::Boolean(false);
+      }
+      if (e.kind == Expr::Kind::kOr && ta == functions::Tri::kTrue) {
+        return Value::Boolean(true);
+      }
+      auto b = EvalExpr(*e.args[1], ctx);
+      if (!b.ok()) return b.status();
+      functions::Tri tb = functions::ValueToTri(b.value());
+      return functions::TriToValue(e.kind == Expr::Kind::kAnd
+                                       ? functions::TriAnd(ta, tb)
+                                       : functions::TriOr(ta, tb));
+    }
+    case Expr::Kind::kNot: {
+      auto a = EvalExpr(*e.args[0], ctx);
+      if (!a.ok()) return a.status();
+      return functions::TriToValue(
+          functions::TriNot(functions::ValueToTri(a.value())));
+    }
+    case Expr::Kind::kQuantified: {
+      auto coll = EvalExpr(*e.args[0], ctx);
+      if (!coll.ok()) return coll.status();
+      if (coll.value().IsUnknown()) return Value::Null();
+      if (!coll.value().IsList()) {
+        return Status::TypeError("quantifier over non-collection");
+      }
+      for (const auto& item : coll.value().AsList()) {
+        EvalContext inner = ctx.Child();
+        inner.Bind(e.qvar, item);
+        auto pred = EvalExpr(*e.args[1], inner);
+        if (!pred.ok()) return pred.status();
+        functions::Tri t = functions::ValueToTri(pred.value());
+        if (!e.is_every && t == functions::Tri::kTrue) {
+          return Value::Boolean(true);
+        }
+        if (e.is_every && t != functions::Tri::kTrue) {
+          return Value::Boolean(false);
+        }
+      }
+      return Value::Boolean(e.is_every);
+    }
+    case Expr::Kind::kRecordCtor: {
+      std::vector<std::pair<std::string, Value>> fields;
+      for (size_t i = 0; i < e.args.size(); ++i) {
+        auto v = EvalExpr(*e.args[i], ctx);
+        if (!v.ok()) return v.status();
+        // MISSING fields are dropped from constructed records (AQL rule).
+        if (v.value().IsMissing()) continue;
+        fields.emplace_back(e.field_names[i], v.take());
+      }
+      return Value::Record(std::move(fields));
+    }
+    case Expr::Kind::kListCtor:
+    case Expr::Kind::kBagCtor: {
+      std::vector<Value> items;
+      for (const auto& a : e.args) {
+        auto v = EvalExpr(*a, ctx);
+        if (!v.ok()) return v.status();
+        items.push_back(v.take());
+      }
+      return e.kind == Expr::Kind::kListCtor ? Value::OrderedList(std::move(items))
+                                             : Value::Bag(std::move(items));
+    }
+    case Expr::Kind::kSubplan: {
+      auto values = InterpretToValues(e.subplan, ctx);
+      if (!values.ok()) return values.status();
+      return Value::OrderedList(values.take());
+    }
+    case Expr::Kind::kIfMissingOrNull: {
+      auto a = EvalExpr(*e.args[0], ctx);
+      if (!a.ok()) return a.status();
+      if (!a.value().IsUnknown()) return a.take();
+      return EvalExpr(*e.args[1], ctx);
+    }
+  }
+  return Status::Internal("unreachable expression kind");
+}
+
+}  // namespace algebricks
+}  // namespace asterix

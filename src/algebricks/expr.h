@@ -1,0 +1,120 @@
+#ifndef ASTERIX_ALGEBRICKS_EXPR_H_
+#define ASTERIX_ALGEBRICKS_EXPR_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adm/value.h"
+#include "common/status.h"
+
+namespace asterix {
+namespace algebricks {
+
+struct LogicalOp;
+using LogicalOpPtr = std::shared_ptr<LogicalOp>;
+
+struct Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+/// Data-model-neutral scalar expression IR shared by the whole compiler:
+/// the AQL translator produces it, rewrite rules inspect/transform it, and
+/// the physical layer compiles it into tuple evaluators.
+struct Expr {
+  enum class Kind {
+    kConst,        // literal value
+    kVar,          // variable reference
+    kFieldAccess,  // base.field
+    kIndexAccess,  // base[index]
+    kCall,         // function call (builtins, UDF bodies are inlined earlier)
+    kArith,        // fn in {+,-,*,/,%,neg}
+    kCompare,      // fn in {=,!=,<,<=,>,>=,~=}
+    kAnd,
+    kOr,
+    kNot,
+    kQuantified,   // some/every var in collection satisfies predicate
+    kRecordCtor,   // { name: expr, ... }
+    kListCtor,     // [ expr, ... ]
+    kBagCtor,      // {{ expr, ... }}
+    kSubplan,      // correlated nested plan producing a bag
+    kIfMissingOrNull,  // coalescing helper used by rewrites
+  };
+
+  Kind kind;
+  adm::Value constant;             // kConst
+  std::string var;                 // kVar
+  ExprPtr base;                    // field/index access
+  std::string field;               // kFieldAccess
+  std::string fn;                  // kCall/kArith/kCompare
+  std::vector<ExprPtr> args;       // call args / operands / ctor items
+  std::vector<std::string> field_names;  // kRecordCtor
+  bool is_every = false;           // kQuantified
+  std::string qvar;                // kQuantified bound variable
+  LogicalOpPtr subplan;            // kSubplan
+
+  // -- factories -------------------------------------------------------------
+  static ExprPtr Const(adm::Value v);
+  static ExprPtr Var(std::string name);
+  static ExprPtr FieldAccess(ExprPtr base, std::string field);
+  static ExprPtr IndexAccess(ExprPtr base, ExprPtr index);
+  static ExprPtr Call(std::string fn, std::vector<ExprPtr> args);
+  static ExprPtr Arith(std::string op, std::vector<ExprPtr> operands);
+  static ExprPtr Compare(std::string op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr And(ExprPtr a, ExprPtr b);
+  static ExprPtr Or(ExprPtr a, ExprPtr b);
+  static ExprPtr Not(ExprPtr a);
+  static ExprPtr Quantified(bool is_every, std::string var, ExprPtr collection,
+                            ExprPtr predicate);
+  static ExprPtr RecordCtor(std::vector<std::string> names,
+                            std::vector<ExprPtr> values);
+  static ExprPtr ListCtor(std::vector<ExprPtr> items);
+  static ExprPtr BagCtor(std::vector<ExprPtr> items);
+  static ExprPtr Subplan(LogicalOpPtr plan);
+
+  /// Free variables of the expression (excluding quantifier-bound ones and
+  /// variables produced inside subplans).
+  void CollectFreeVars(std::vector<std::string>* out) const;
+
+  std::string ToString() const;
+};
+
+/// Runtime environment for interpretation: variable bindings plus a handle
+/// for resolving `dataset X` scans inside correlated subplans.
+class EvalContext {
+ public:
+  using DatasetScanFn = std::function<Status(
+      const std::string& dataset,
+      const std::function<Status(const adm::Value&)>& cb)>;
+
+  EvalContext() = default;
+  explicit EvalContext(DatasetScanFn scan) : scan_(std::move(scan)) {}
+
+  void Bind(const std::string& var, adm::Value v) { env_[var] = std::move(v); }
+  const adm::Value* Lookup(const std::string& var) const {
+    auto it = env_.find(var);
+    return it == env_.end() ? nullptr : &it->second;
+  }
+  const DatasetScanFn& scan() const { return scan_; }
+  EvalContext Child() const { return *this; }  // copy-on-branch environments
+  const std::map<std::string, adm::Value>& bindings() const { return env_; }
+  /// Overlays another environment's bindings (join merging).
+  void MergeFrom(const EvalContext& other) {
+    for (const auto& [k, v] : other.env_) env_[k] = v;
+  }
+
+ private:
+  std::map<std::string, adm::Value> env_;
+  DatasetScanFn scan_;
+};
+
+/// Interprets an expression under an environment. Subplans are evaluated by
+/// the logical-plan interpreter (see logical.h), making this the system's
+/// reference evaluator — the compiled Hyracks path must agree with it.
+Result<adm::Value> EvalExpr(const Expr& e, const EvalContext& ctx);
+
+}  // namespace algebricks
+}  // namespace asterix
+
+#endif  // ASTERIX_ALGEBRICKS_EXPR_H_

@@ -1,0 +1,399 @@
+#include "algebricks/logical.h"
+
+#include <algorithm>
+#include <map>
+
+#include "functions/aggregates.h"
+#include "functions/arith.h"
+
+namespace asterix {
+namespace algebricks {
+
+using adm::Value;
+
+LogicalOpPtr MakeOp(LogicalOp::Kind kind) {
+  auto op = std::make_shared<LogicalOp>();
+  op->kind = kind;
+  return op;
+}
+
+LogicalOpPtr CloneOp(const LogicalOpPtr& op) {
+  if (!op) return nullptr;
+  auto copy = std::make_shared<LogicalOp>(*op);
+  copy->inputs.clear();
+  for (const auto& in : op->inputs) copy->inputs.push_back(CloneOp(in));
+  return copy;
+}
+
+std::vector<std::string> LogicalOp::OutVars() const {
+  std::vector<std::string> vars;
+  auto inherit = [&](size_t i) {
+    if (i < inputs.size()) {
+      auto v = inputs[i]->OutVars();
+      vars.insert(vars.end(), v.begin(), v.end());
+    }
+  };
+  switch (kind) {
+    case Kind::kEmptySource:
+      return {};
+    case Kind::kDataSourceScan:
+      return {var};
+    case Kind::kUnnest:
+      inherit(0);
+      vars.push_back(var);
+      if (!pos_var.empty()) vars.push_back(pos_var);
+      return vars;
+    case Kind::kAssign:
+      inherit(0);
+      vars.push_back(var);
+      return vars;
+    case Kind::kSelect:
+    case Kind::kOrder:
+    case Kind::kLimit:
+    case Kind::kDistinct:
+    case Kind::kDistribute:
+      inherit(0);
+      return vars;
+    case Kind::kJoin:
+      inherit(0);
+      inherit(1);
+      return vars;
+    case Kind::kGroupBy: {
+      for (const auto& [v, e] : group_keys) {
+        (void)e;
+        vars.push_back(v);
+      }
+      for (const auto& [bag, src] : with_vars) {
+        (void)src;
+        vars.push_back(bag);
+      }
+      for (const auto& a : aggs) vars.push_back(a.out_var);
+      return vars;
+    }
+  }
+  return vars;
+}
+
+std::string LogicalOp::ToString(int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string line = pad;
+  switch (kind) {
+    case Kind::kEmptySource:
+      line += "empty-source";
+      break;
+    case Kind::kDataSourceScan:
+      line += "data-scan $" + var + " <- " + dataset;
+      if (access_path.kind != AccessPath::Kind::kNone) {
+        line += "  [index: " + access_path.index_name + "]";
+      }
+      break;
+    case Kind::kUnnest:
+      line += std::string(outer ? "outer-unnest" : "unnest") + " $" + var +
+              " <- " + expr->ToString();
+      break;
+    case Kind::kSelect:
+      line += "select " + expr->ToString();
+      break;
+    case Kind::kAssign:
+      line += "assign $" + var + " := " + expr->ToString();
+      break;
+    case Kind::kJoin:
+      line += std::string(left_outer ? "left-outer-join " : "join ") +
+              (expr ? expr->ToString() : "true");
+      if (join_hint == JoinHint::kIndexNestedLoop) line += "  [hint: indexnl]";
+      break;
+    case Kind::kGroupBy: {
+      line += "group-by";
+      for (const auto& [v, e] : group_keys) {
+        line += " $" + v + ":=" + e->ToString();
+      }
+      for (const auto& [bag, src] : with_vars) {
+        line += " with $" + bag + "<-bag($" + src + ")";
+      }
+      for (const auto& a : aggs) {
+        line += " $" + a.out_var + ":=" + a.fn + "(...)";
+      }
+      break;
+    }
+    case Kind::kOrder: {
+      line += "order-by";
+      for (const auto& [e, asc] : order_keys) {
+        line += " " + e->ToString() + (asc ? " asc" : " desc");
+      }
+      break;
+    }
+    case Kind::kLimit:
+      line += "limit " + std::to_string(limit) +
+              (offset ? " offset " + std::to_string(offset) : "");
+      break;
+    case Kind::kDistinct:
+      line += "distinct";
+      break;
+    case Kind::kDistribute:
+      line += "distribute-result " + expr->ToString();
+      break;
+  }
+  line += "\n";
+  for (const auto& in : inputs) line += in->ToString(indent + 1);
+  return line;
+}
+
+namespace {
+
+using Callback = std::function<Status(const EvalContext&)>;
+
+struct ValuesKeyLess {
+  bool operator()(const std::vector<Value>& a,
+                  const std::vector<Value>& b) const {
+    size_t n = std::min(a.size(), b.size());
+    for (size_t i = 0; i < n; ++i) {
+      int c = a[i].Compare(b[i]);
+      if (c != 0) return c < 0;
+    }
+    return a.size() < b.size();
+  }
+};
+
+Status CollectEnvs(const LogicalOpPtr& op, const EvalContext& base,
+                   std::vector<EvalContext>* out) {
+  return InterpretPlan(op, base, [&](const EvalContext& env) {
+    out->push_back(env);
+    return Status::OK();
+  });
+}
+
+}  // namespace
+
+Status InterpretPlan(const LogicalOpPtr& op, const EvalContext& base,
+                     const Callback& cb) {
+  switch (op->kind) {
+    case LogicalOp::Kind::kEmptySource:
+      return cb(base);
+    case LogicalOp::Kind::kDataSourceScan: {
+      if (!base.scan()) {
+        return Status::Internal("no dataset accessor for scan of " + op->dataset);
+      }
+      return base.scan()(op->dataset, [&](const Value& rec) {
+        EvalContext env = base.Child();
+        env.Bind(op->var, rec);
+        return cb(env);
+      });
+    }
+    case LogicalOp::Kind::kUnnest:
+      return InterpretPlan(op->inputs[0], base, [&](const EvalContext& env) {
+        auto coll = EvalExpr(*op->expr, env);
+        if (!coll.ok()) return coll.status();
+        const Value& c = coll.value();
+        if (c.IsList() && !c.AsList().empty()) {
+          int64_t pos = 0;
+          for (const auto& item : c.AsList()) {
+            EvalContext inner = env.Child();
+            inner.Bind(op->var, item);
+            if (!op->pos_var.empty()) inner.Bind(op->pos_var, Value::Int64(++pos));
+            ASTERIX_RETURN_NOT_OK(cb(inner));
+          }
+        } else if (!c.IsList() && !c.IsUnknown()) {
+          EvalContext inner = env.Child();
+          inner.Bind(op->var, c);
+          if (!op->pos_var.empty()) inner.Bind(op->pos_var, Value::Int64(1));
+          ASTERIX_RETURN_NOT_OK(cb(inner));
+        } else if (op->outer) {
+          EvalContext inner = env.Child();
+          inner.Bind(op->var, Value::Missing());
+          ASTERIX_RETURN_NOT_OK(cb(inner));
+        }
+        return Status::OK();
+      });
+    case LogicalOp::Kind::kSelect:
+      return InterpretPlan(op->inputs[0], base, [&](const EvalContext& env) {
+        auto v = EvalExpr(*op->expr, env);
+        if (!v.ok()) return v.status();
+        if (functions::ValueToTri(v.value()) == functions::Tri::kTrue) {
+          return cb(env);
+        }
+        return Status::OK();
+      });
+    case LogicalOp::Kind::kAssign:
+      return InterpretPlan(op->inputs[0], base, [&](const EvalContext& env) {
+        auto v = EvalExpr(*op->expr, env);
+        if (!v.ok()) return v.status();
+        EvalContext inner = env.Child();
+        inner.Bind(op->var, v.take());
+        return cb(inner);
+      });
+    case LogicalOp::Kind::kJoin: {
+      // Inner input (1) is materialized; outer input (0) streams.
+      std::vector<EvalContext> right;
+      ASTERIX_RETURN_NOT_OK(CollectEnvs(op->inputs[1], base, &right));
+      return InterpretPlan(op->inputs[0], base, [&](const EvalContext& left) {
+        bool matched = false;
+        for (const auto& r : right) {
+          EvalContext joined = left.Child();
+          joined.MergeFrom(r);
+          functions::Tri t = functions::Tri::kTrue;
+          if (op->expr) {
+            auto v = EvalExpr(*op->expr, joined);
+            if (!v.ok()) return v.status();
+            t = functions::ValueToTri(v.value());
+          }
+          if (t == functions::Tri::kTrue) {
+            matched = true;
+            ASTERIX_RETURN_NOT_OK(cb(joined));
+          }
+        }
+        if (!matched && op->left_outer) {
+          EvalContext joined = left.Child();
+          for (const auto& v : op->inputs[1]->OutVars()) {
+            joined.Bind(v, Value::Null());
+          }
+          ASTERIX_RETURN_NOT_OK(cb(joined));
+        }
+        return Status::OK();
+      });
+    }
+    case LogicalOp::Kind::kGroupBy: {
+      struct Group {
+        std::vector<Value> keys;
+        EvalContext representative;
+        std::map<std::string, std::vector<Value>> bags;  // bag var -> items
+        std::vector<std::unique_ptr<functions::Aggregator>> aggs;
+      };
+      std::map<std::vector<Value>, Group, ValuesKeyLess> groups;
+      Status st = InterpretPlan(op->inputs[0], base, [&](const EvalContext& env) {
+        std::vector<Value> keys;
+        for (const auto& [kv, ke] : op->group_keys) {
+          (void)kv;
+          auto v = EvalExpr(*ke, env);
+          if (!v.ok()) return v.status();
+          keys.push_back(v.take());
+        }
+        auto it = groups.find(keys);
+        if (it == groups.end()) {
+          Group g;
+          g.keys = keys;
+          g.representative = base.Child();
+          for (const auto& a : op->aggs) {
+            g.aggs.push_back(functions::MakeAggregator(a.fn));
+          }
+          it = groups.emplace(keys, std::move(g)).first;
+        }
+        Group& g = it->second;
+        for (const auto& [bag, src] : op->with_vars) {
+          const Value* v = env.Lookup(src);
+          g.bags[bag].push_back(v ? *v : Value::Missing());
+        }
+        for (size_t i = 0; i < op->aggs.size(); ++i) {
+          if (op->aggs[i].arg) {
+            auto v = EvalExpr(*op->aggs[i].arg, env);
+            if (!v.ok()) return v.status();
+            g.aggs[i]->Add(v.value());
+          } else {
+            g.aggs[i]->Add(Value::Int64(1));
+          }
+        }
+        return Status::OK();
+      });
+      ASTERIX_RETURN_NOT_OK(st);
+      for (auto& [keys, g] : groups) {
+        (void)keys;
+        EvalContext env = g.representative.Child();
+        for (size_t i = 0; i < op->group_keys.size(); ++i) {
+          env.Bind(op->group_keys[i].first, g.keys[i]);
+        }
+        for (const auto& [bag, src] : op->with_vars) {
+          (void)src;
+          env.Bind(bag, Value::Bag(g.bags[bag]));
+        }
+        for (size_t i = 0; i < op->aggs.size(); ++i) {
+          env.Bind(op->aggs[i].out_var, g.aggs[i]->Finish());
+        }
+        ASTERIX_RETURN_NOT_OK(cb(env));
+      }
+      return Status::OK();
+    }
+    case LogicalOp::Kind::kOrder: {
+      std::vector<std::pair<std::vector<Value>, EvalContext>> rows;
+      ASTERIX_RETURN_NOT_OK(
+          InterpretPlan(op->inputs[0], base, [&](const EvalContext& env) {
+            std::vector<Value> keys;
+            for (const auto& [e, asc] : op->order_keys) {
+              (void)asc;
+              auto v = EvalExpr(*e, env);
+              if (!v.ok()) return v.status();
+              keys.push_back(v.take());
+            }
+            rows.emplace_back(std::move(keys), env);
+            return Status::OK();
+          }));
+      std::stable_sort(rows.begin(), rows.end(), [&](const auto& a, const auto& b) {
+        for (size_t i = 0; i < op->order_keys.size(); ++i) {
+          int c = a.first[i].Compare(b.first[i]);
+          if (c != 0) return op->order_keys[i].second ? c < 0 : c > 0;
+        }
+        return false;
+      });
+      for (auto& [keys, env] : rows) {
+        (void)keys;
+        ASTERIX_RETURN_NOT_OK(cb(env));
+      }
+      return Status::OK();
+    }
+    case LogicalOp::Kind::kLimit: {
+      int64_t seen = 0;
+      int64_t emitted = 0;
+      return InterpretPlan(op->inputs[0], base, [&](const EvalContext& env) {
+        if (seen++ < op->offset) return Status::OK();
+        if (op->limit < 0 || emitted < op->limit) {
+          ++emitted;
+          return cb(env);
+        }
+        return Status::OK();
+      });
+    }
+    case LogicalOp::Kind::kDistinct: {
+      std::vector<std::string> vars = op->inputs[0]->OutVars();
+      std::map<std::vector<Value>, bool, ValuesKeyLess> seen;
+      return InterpretPlan(op->inputs[0], base, [&](const EvalContext& env) {
+        std::vector<Value> key;
+        if (!op->order_keys.empty()) {
+          // distinct by <exprs>.
+          for (const auto& [e, asc] : op->order_keys) {
+            (void)asc;
+            auto v = EvalExpr(*e, env);
+            if (!v.ok()) return v.status();
+            key.push_back(v.take());
+          }
+        } else {
+          for (const auto& v : vars) {
+            const Value* val = env.Lookup(v);
+            key.push_back(val ? *val : Value::Missing());
+          }
+        }
+        if (seen.emplace(std::move(key), true).second) return cb(env);
+        return Status::OK();
+      });
+    }
+    case LogicalOp::Kind::kDistribute:
+      return InterpretPlan(op->inputs[0], base, cb);
+  }
+  return Status::Internal("unreachable logical kind");
+}
+
+Result<std::vector<Value>> InterpretToValues(const LogicalOpPtr& plan,
+                                             const EvalContext& base) {
+  if (plan->kind != LogicalOp::Kind::kDistribute) {
+    return Status::Internal("plan must end in distribute-result");
+  }
+  std::vector<Value> out;
+  Status st = InterpretPlan(plan->inputs[0], base, [&](const EvalContext& env) {
+    auto v = EvalExpr(*plan->expr, env);
+    if (!v.ok()) return v.status();
+    out.push_back(v.take());
+    return Status::OK();
+  });
+  if (!st.ok()) return st;
+  return out;
+}
+
+}  // namespace algebricks
+}  // namespace asterix

@@ -1,0 +1,115 @@
+#ifndef ASTERIX_ALGEBRICKS_LOGICAL_H_
+#define ASTERIX_ALGEBRICKS_LOGICAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebricks/expr.h"
+
+namespace asterix {
+namespace algebricks {
+
+/// Join-method hint carried from AQL (`/*+ indexnl */`, `/*+ hash */`).
+enum class JoinHint { kNone, kIndexNestedLoop, kHash };
+
+/// Access-path decision recorded on a data-source scan by the
+/// introduce-secondary-index rewrite rule. The physical generator expands
+/// it into the Figure 6 pipeline: secondary search -> sort(pk) -> primary
+/// search (locked) -> post-validation select.
+struct AccessPath {
+  enum class Kind {
+    kNone,
+    kPrimary,  // range/point on the primary key itself
+    kBTreeRange,
+    kRTree,
+    kInvertedKeyword,
+    kInvertedNgram,
+  };
+  Kind kind = Kind::kNone;
+  std::string index_name;
+  // B-tree range bounds (constant-foldable expressions; absent = open).
+  ExprPtr lo, hi;
+  bool lo_inclusive = true, hi_inclusive = true;
+  // R-tree query shape (constant expression).
+  ExprPtr query_shape;
+  // Inverted probe text/collection and the T-occurrence threshold.
+  ExprPtr probe;
+  size_t min_matches = 1;
+};
+
+/// Logical algebra operator (Algebricks). A plan is a tree; `inputs` are
+/// children. Variables are named; schemas (ordered variable lists) are
+/// computed structurally.
+struct LogicalOp {
+  enum class Kind {
+    kEmptySource,     // one empty binding (source of let-only queries)
+    kDataSourceScan,  // dataset scan binding `var`
+    kUnnest,          // per input binding, iterate expr's collection into var
+    kSelect,          // filter by expr
+    kAssign,          // var := expr
+    kJoin,            // cross of two inputs filtered by condition
+    kGroupBy,         // group keys + materialized bags or rewritten aggs
+    kOrder,           // order by keys
+    kLimit,           // limit/offset
+    kDistinct,        // distinct by the full binding tuple
+    kDistribute,      // emit expr per binding (the query result)
+  };
+
+  struct AggCall {
+    std::string out_var;
+    std::string fn;  // count/min/max/sum/avg or sql-*
+    ExprPtr arg;     // evaluated per grouped item (bound via item vars)
+  };
+
+  Kind kind;
+  std::vector<LogicalOpPtr> inputs;
+
+  std::string dataset;  // scan: "Dataverse.Name"
+  std::string var;      // scan/unnest/assign binding
+  std::string pos_var;  // unnest: optional 1-based positional variable (at $p)
+  ExprPtr expr;         // unnest collection / select cond / assign value /
+                        // distribute output
+  bool outer = false;   // outer unnest
+  bool left_outer = false;  // join
+  bool skip_index = false;  // select: /*+ skip-index */ hint
+  JoinHint join_hint = JoinHint::kNone;
+  AccessPath access_path;  // scan only
+
+  std::vector<std::pair<std::string, ExprPtr>> group_keys;
+  /// (bag var, source var): after grouping, bag var holds the bag of the
+  /// source var's values in the group. Rewritten away when only aggregated.
+  std::vector<std::pair<std::string, std::string>> with_vars;
+  std::vector<AggCall> aggs;  // set by the aggregate rewrite rule
+
+  std::vector<std::pair<ExprPtr, bool>> order_keys;  // (key, ascending)
+  int64_t limit = -1;
+  int64_t offset = 0;
+
+  /// Output schema: ordered variable names this operator produces.
+  std::vector<std::string> OutVars() const;
+
+  /// Indented plan rendering (EXPLAIN).
+  std::string ToString(int indent = 0) const;
+};
+
+LogicalOpPtr MakeOp(LogicalOp::Kind kind);
+
+/// Deep copy (rules transform copies).
+LogicalOpPtr CloneOp(const LogicalOpPtr& op);
+
+/// Interprets a logical plan: streams variable environments through the
+/// tree and invokes `cb` once per output binding. This is the reference
+/// executor — it runs correlated subplans at runtime and cross-checks the
+/// compiled Hyracks path in tests.
+Status InterpretPlan(const LogicalOpPtr& op, const EvalContext& base,
+                     const std::function<Status(const EvalContext&)>& cb);
+
+/// Runs a plan ending in kDistribute and collects the emitted values.
+Result<std::vector<adm::Value>> InterpretToValues(const LogicalOpPtr& plan,
+                                                  const EvalContext& base);
+
+}  // namespace algebricks
+}  // namespace asterix
+
+#endif  // ASTERIX_ALGEBRICKS_LOGICAL_H_

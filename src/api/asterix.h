@@ -1,0 +1,134 @@
+#ifndef ASTERIX_API_ASTERIX_H_
+#define ASTERIX_API_ASTERIX_H_
+
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebricks/physical.h"
+#include "aql/parser.h"
+#include "feeds/feeds.h"
+#include "hyracks/cluster.h"
+#include "metadata/metadata.h"
+
+namespace asterix {
+namespace api {
+
+/// Instance-wide configuration.
+struct InstanceConfig {
+  std::string base_dir;  // data directory (WAL, components, metadata)
+  hyracks::ClusterConfig cluster;
+  storage::LsmOptions lsm;
+  algebricks::OptimizerOptions optimizer;
+  int64_t lock_timeout_ms = 2000;
+  /// Simulated WAL flush latency with group commit (0 = disabled).
+  int64_t group_commit_latency_us = 0;
+};
+
+/// Result of executing an AQL script: the last query statement's values
+/// plus compilation artifacts for EXPLAIN-style introspection.
+struct ExecutionResult {
+  std::vector<adm::Value> values;
+  std::string logical_plan;   // optimized Algebricks plan
+  std::string job_plan;       // Hyracks job rendering (Figure 6 style)
+  std::string stage_plan;     // activity/stage decomposition
+  hyracks::JobStats stats;    // last executed job's stats
+  bool used_compiled_path = false;  // false = reference interpreter fallback
+};
+
+/// The system facade: a single-process AsterixDB instance simulating a
+/// shared-nothing cluster (Figure 1's Cluster Controller + Node Controllers
+/// + Metadata Node Controller). Statements go in as AQL text; results come
+/// back as ADM values (rendered to JSON by Value::ToString).
+class AsterixInstance {
+ public:
+  explicit AsterixInstance(InstanceConfig config);
+  ~AsterixInstance();
+
+  AsterixInstance(const AsterixInstance&) = delete;
+  AsterixInstance& operator=(const AsterixInstance&) = delete;
+
+  /// Opens/creates the instance: bootstraps metadata, re-instantiates
+  /// datasets recorded there, and recovers from the WAL.
+  Status Boot();
+
+  /// Runs a full AQL script (any mix of DDL/DML/queries), synchronously.
+  Result<ExecutionResult> Execute(const std::string& aql);
+
+  /// Asynchronous submission: returns a handle immediately (paper §4: the
+  /// client can request status/results via the handle).
+  Result<uint64_t> SubmitAsync(const std::string& aql);
+  enum class AsyncState { kRunning, kDone, kFailed };
+  AsyncState PollAsync(uint64_t handle);
+  /// Blocks for an async result and releases the handle.
+  Result<ExecutionResult> GetAsyncResult(uint64_t handle);
+
+  /// Compiles (but does not run) the last query in the script (EXPLAIN).
+  Result<ExecutionResult> Explain(const std::string& aql);
+
+  // -- Direct handles (examples/benches/feeds) ----------------------------------
+  storage::PartitionedDataset* FindDataset(const std::string& qualified);
+  metadata::MetadataManager* metadata() { return metadata_.get(); }
+  hyracks::Cluster* cluster() { return cluster_.get(); }
+  feeds::FeedManager* feeds() { return feeds_.get(); }
+  txn::TxnManager* txns() { return txns_.get(); }
+  storage::BufferCache* buffer_cache() { return cache_.get(); }
+
+  /// The push adaptor of a connected push/socket feed (to push records at).
+  feeds::PushAdaptor* FeedInput(const std::string& feed_name);
+
+  /// Flushes every dataset's memory components (no log truncation).
+  Status FlushAll();
+
+  /// Checkpoint: flushes every index (data + catalogs) so all committed
+  /// work lives in valid disk components, then truncates the WAL — recovery
+  /// afterwards needs only the validity bits, not replay.
+  Status Checkpoint();
+
+  /// Total primary-index bytes of one dataset after FlushAll (Table 2).
+  Result<uint64_t> DatasetPrimaryBytes(const std::string& qualified);
+
+ private:
+  class Catalog;
+
+  Status ExecuteStatement(const aql::Statement& st, ExecutionResult* last);
+  Status ExecuteDdl(const aql::Statement& st);
+  Status ExecuteInsert(const aql::Statement& st, ExecutionResult* last);
+  Status ExecuteDelete(const aql::Statement& st, ExecutionResult* last);
+  Status ExecuteLoad(const aql::Statement& st);
+  Status ConnectFeedStatement(const aql::Statement& st);
+  Status ExecuteQuery(const aql::Statement& st, bool run, ExecutionResult* out);
+  Status InstantiateDataset(const storage::DatasetDef& def);
+
+  /// Dataset scan hook for the interpreter/subplans: internal, metadata,
+  /// and external datasets.
+  Status ScanDataset(const std::string& qualified,
+                     const std::function<Status(const adm::Value&)>& cb);
+
+  InstanceConfig config_;
+  std::unique_ptr<storage::BufferCache> cache_;
+  std::unique_ptr<txn::TxnManager> txns_;
+  std::unique_ptr<hyracks::Cluster> cluster_;
+  std::unique_ptr<metadata::MetadataManager> metadata_;
+  std::unique_ptr<feeds::FeedManager> feeds_;
+  std::map<std::string, std::unique_ptr<storage::PartitionedDataset>> datasets_;
+  std::map<std::string, feeds::PushAdaptor*> feed_inputs_;
+  aql::ParserContext parser_ctx_;
+  uint32_t next_dataset_id_ = 100;
+
+  std::mutex async_mu_;
+  uint64_t next_handle_ = 1;
+  std::map<uint64_t,
+           std::shared_future<std::shared_ptr<Result<ExecutionResult>>>>
+      async_;
+};
+
+/// Renders result values as a JSON array string.
+std::string ResultsToJson(const std::vector<adm::Value>& values);
+
+}  // namespace api
+}  // namespace asterix
+
+#endif  // ASTERIX_API_ASTERIX_H_

@@ -1,0 +1,206 @@
+#include "aql/lexer.h"
+
+#include <cctype>
+#include <cstring>
+#include <cstdlib>
+
+namespace asterix {
+namespace aql {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& text) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  int line = 1;
+  auto fail = [&](const std::string& what) {
+    return Status::ParseError(what + " at line " + std::to_string(line));
+  };
+
+  while (i < text.size()) {
+    char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '-' && i + 1 < text.size() && text[i + 1] == '-') {
+      while (i < text.size() && text[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < text.size() && text[i + 1] == '*') {
+      bool hint = i + 2 < text.size() && text[i + 2] == '+';
+      size_t start = i + (hint ? 3 : 2);
+      size_t end = text.find("*/", start);
+      if (end == std::string::npos) return fail("unterminated comment");
+      for (size_t j = i; j < end; ++j) {
+        if (text[j] == '\n') ++line;
+      }
+      if (hint) {
+        Token t;
+        t.kind = TokenKind::kHint;
+        t.text = text.substr(start, end - start);
+        // Trim whitespace.
+        while (!t.text.empty() && std::isspace(static_cast<unsigned char>(t.text.back()))) {
+          t.text.pop_back();
+        }
+        size_t b = 0;
+        while (b < t.text.size() && std::isspace(static_cast<unsigned char>(t.text[b]))) ++b;
+        t.text = t.text.substr(b);
+        t.offset = i;
+        t.line = line;
+        tokens.push_back(std::move(t));
+      }
+      i = end + 2;
+      continue;
+    }
+    Token t;
+    t.offset = i;
+    t.line = line;
+    // Strings.
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      ++i;
+      std::string s;
+      while (i < text.size() && text[i] != quote) {
+        if (text[i] == '\\' && i + 1 < text.size()) {
+          ++i;
+          switch (text[i]) {
+            case 'n': s.push_back('\n'); break;
+            case 't': s.push_back('\t'); break;
+            case 'r': s.push_back('\r'); break;
+            default: s.push_back(text[i]);
+          }
+        } else {
+          if (text[i] == '\n') ++line;
+          s.push_back(text[i]);
+        }
+        ++i;
+      }
+      if (i >= text.size()) return fail("unterminated string");
+      ++i;
+      t.kind = TokenKind::kString;
+      t.text = std::move(s);
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Variables.
+    if (c == '$') {
+      ++i;
+      std::string name;
+      while (i < text.size() &&
+             (IsIdentChar(text[i]) ||
+              (text[i] == '-' && i + 1 < text.size() && IsIdentStart(text[i + 1])))) {
+        name.push_back(text[i]);
+        ++i;
+      }
+      if (name.empty()) return fail("empty variable name");
+      t.kind = TokenKind::kVariable;
+      t.text = std::move(name);
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Numbers.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      size_t start = i;
+      bool is_double = false;
+      while (i < text.size() && std::isdigit(static_cast<unsigned char>(text[i]))) ++i;
+      if (i < text.size() && text[i] == '.' && i + 1 < text.size() &&
+          std::isdigit(static_cast<unsigned char>(text[i + 1]))) {
+        is_double = true;
+        ++i;
+        while (i < text.size() && std::isdigit(static_cast<unsigned char>(text[i]))) ++i;
+      }
+      if (i < text.size() && (text[i] == 'e' || text[i] == 'E')) {
+        is_double = true;
+        ++i;
+        if (i < text.size() && (text[i] == '+' || text[i] == '-')) ++i;
+        while (i < text.size() && std::isdigit(static_cast<unsigned char>(text[i]))) ++i;
+      }
+      std::string num = text.substr(start, i - start);
+      if (is_double) {
+        t.kind = TokenKind::kDouble;
+        t.double_value = std::strtod(num.c_str(), nullptr);
+      } else {
+        t.kind = TokenKind::kInteger;
+        t.int_value = std::strtoll(num.c_str(), nullptr, 10);
+      }
+      t.text = std::move(num);
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Identifiers/keywords. AQL identifiers may contain '-' when followed by
+    // a letter (e.g. author-id); `a - b` still lexes as subtraction.
+    if (IsIdentStart(c)) {
+      std::string name;
+      while (i < text.size()) {
+        if (IsIdentChar(text[i])) {
+          name.push_back(text[i]);
+          ++i;
+        } else if (text[i] == '-' && i + 1 < text.size() &&
+                   IsIdentStart(text[i + 1])) {
+          name.push_back('-');
+          ++i;
+        } else {
+          break;
+        }
+      }
+      t.kind = TokenKind::kIdent;
+      t.text = std::move(name);
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Multi-char punctuation.
+    auto try_punct = [&](const char* p) {
+      size_t n = std::char_traits<char>::length(p);
+      if (text.compare(i, n, p) == 0) {
+        t.kind = TokenKind::kPunct;
+        t.text = p;
+        i += n;
+        tokens.push_back(t);
+        return true;
+      }
+      return false;
+    };
+    if (try_punct("{{") || try_punct("}}") || try_punct(":=") ||
+        try_punct("~=") || try_punct("!=") || try_punct("<=") ||
+        try_punct(">=")) {
+      continue;
+    }
+    static const char kSingles[] = "{}[]()<>=+-*/%.,;:?!";
+    if (std::strchr(kSingles, c) != nullptr) {
+      t.kind = TokenKind::kPunct;
+      t.text = std::string(1, c);
+      ++i;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    return fail(std::string("unexpected character '") + c + "'");
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = text.size();
+  end.line = line;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace aql
+}  // namespace asterix

@@ -1,0 +1,40 @@
+#ifndef ASTERIX_AQL_LEXER_H_
+#define ASTERIX_AQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace asterix {
+namespace aql {
+
+enum class TokenKind {
+  kEnd,
+  kIdent,      // identifiers & keywords (AQL allows '-' inside names)
+  kVariable,   // $name
+  kString,     // 'x' or "x"
+  kInteger,
+  kDouble,
+  kPunct,      // operators & punctuation, in `text`
+  kHint,       // /*+ ... */ contents
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;    // ident name / punct / string payload / hint body
+  int64_t int_value = 0;
+  double double_value = 0;
+  size_t offset = 0;   // byte offset, for error messages
+  int line = 1;
+};
+
+/// Tokenizes AQL text. `--` line comments and `/* */` block comments are
+/// skipped; `/*+ hint */` comments become kHint tokens so the parser can
+/// attach them to the following predicate (paper Query 14).
+Result<std::vector<Token>> Tokenize(const std::string& text);
+
+}  // namespace aql
+}  // namespace asterix
+
+#endif  // ASTERIX_AQL_LEXER_H_

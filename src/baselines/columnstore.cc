@@ -1,0 +1,261 @@
+#include "baselines/columnstore.h"
+
+#include <chrono>
+#include <map>
+#include <thread>
+
+#include "common/bytes.h"
+#include "common/compress.h"
+#include "common/env.h"
+
+namespace asterix {
+namespace baselines {
+
+using adm::TypeTag;
+using adm::Value;
+
+namespace {
+
+bool IsIntEncoded(TypeTag t) {
+  return (t >= TypeTag::kInt8 && t <= TypeTag::kInt64) || t == TypeTag::kDate ||
+         t == TypeTag::kTime || t == TypeTag::kDatetime ||
+         t == TypeTag::kBoolean;
+}
+
+Value MakeIntValue(TypeTag t, int64_t v) {
+  switch (t) {
+    case TypeTag::kBoolean: return Value::Boolean(v != 0);
+    case TypeTag::kInt8: return Value::Int8(static_cast<int8_t>(v));
+    case TypeTag::kInt16: return Value::Int16(static_cast<int16_t>(v));
+    case TypeTag::kInt32: return Value::Int32(static_cast<int32_t>(v));
+    case TypeTag::kDate: return Value::Date(static_cast<int32_t>(v));
+    case TypeTag::kTime: return Value::Time(static_cast<int32_t>(v));
+    case TypeTag::kDatetime: return Value::Datetime(v);
+    default: return Value::Int64(v);
+  }
+}
+
+}  // namespace
+
+ColumnStore::ColumnStore(std::string dir, std::string name,
+                         std::vector<ColumnDef> schema, int64_t job_startup_us)
+    : dir_(std::move(dir)),
+      name_(std::move(name)),
+      schema_(std::move(schema)),
+      job_startup_us_(job_startup_us) {
+  env::CreateDirs(dir_);
+}
+
+int ColumnStore::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < schema_.size(); ++i) {
+    if (schema_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status ColumnStore::Append(const Value& record) {
+  if (finalized_) return Status::Internal("column store already finalized");
+  std::vector<Value> row;
+  row.reserve(schema_.size());
+  for (const auto& col : schema_) {
+    row.push_back(record.GetField(col.name));
+  }
+  buffer_.push_back(std::move(row));
+  ++num_rows_;
+  if (buffer_.size() >= kStripeRows) return EncodeStripe();
+  return Status::OK();
+}
+
+Status ColumnStore::EncodeStripe() {
+  if (buffer_.empty()) return Status::OK();
+  Stripe stripe;
+  stripe.rows = buffer_.size();
+  for (size_t c = 0; c < schema_.size(); ++c) {
+    EncodedColumn col;
+    BytesWriter w;
+    TypeTag t = schema_[c].type;
+    bool first = true;
+    if (IsIntEncoded(t)) {
+      // Delta + zig-zag varint: long sorted-ish runs become tiny.
+      int64_t prev = 0;
+      for (const auto& row : buffer_) {
+        int64_t v = row[c].IsUnknown() ? 0 : row[c].AsInt();
+        w.PutU8(row[c].IsUnknown() ? 0 : 1);
+        w.PutVarintSigned(v - prev);
+        prev = v;
+        if (!row[c].IsUnknown()) {
+          if (first || row[c].Compare(col.min) < 0) col.min = row[c];
+          if (first || row[c].Compare(col.max) > 0) col.max = row[c];
+          first = false;
+        }
+      }
+    } else if (t == TypeTag::kString) {
+      // Per-stripe dictionary encoding.
+      std::map<std::string, uint64_t> dict;
+      std::vector<const std::string*> order;
+      for (const auto& row : buffer_) {
+        if (row[c].IsString()) {
+          auto [it, inserted] = dict.emplace(row[c].AsString(), dict.size());
+          if (inserted) order.push_back(&it->first);
+        }
+      }
+      // Re-number in map order for deterministic output.
+      uint64_t id = 0;
+      for (auto& [s, slot] : dict) {
+        (void)s;
+        slot = id++;
+      }
+      w.PutVarint(dict.size());
+      for (const auto& [s, slot] : dict) {
+        (void)slot;
+        w.PutString(s);
+      }
+      for (const auto& row : buffer_) {
+        if (!row[c].IsString()) {
+          w.PutU8(0);
+          continue;
+        }
+        w.PutU8(1);
+        w.PutVarint(dict[row[c].AsString()]);
+        if (first || row[c].Compare(col.min) < 0) col.min = row[c];
+        if (first || row[c].Compare(col.max) > 0) col.max = row[c];
+        first = false;
+      }
+    } else {
+      // Doubles & anything else: raw 8-byte slots.
+      for (const auto& row : buffer_) {
+        double d = 0;
+        bool known = row[c].GetNumeric(&d);
+        w.PutU8(known ? 1 : 0);
+        w.PutF64(d);
+        if (known) {
+          if (first || row[c].Compare(col.min) < 0) col.min = row[c];
+          if (first || row[c].Compare(col.max) > 0) col.max = row[c];
+          first = false;
+        }
+      }
+    }
+    // Stripes are stored compressed (ORC's zlib stand-in); scans pay the
+    // decompression, persisted files get the size win.
+    col.bytes = LzCompress(w.data().data(), w.size());
+    stripe.columns.push_back(std::move(col));
+  }
+  stripes_.push_back(std::move(stripe));
+  buffer_.clear();
+  return Status::OK();
+}
+
+Status ColumnStore::Finalize() {
+  ASTERIX_RETURN_NOT_OK(EncodeStripe());
+  finalized_ = true;
+  BytesWriter w;
+  w.PutVarint(stripes_.size());
+  for (const auto& s : stripes_) {
+    w.PutVarint(s.rows);
+    for (const auto& c : s.columns) {
+      w.PutVarint(c.bytes.size());
+      w.PutBytes(c.bytes.data(), c.bytes.size());
+    }
+  }
+  return env::WriteFileAtomic(dir_ + "/" + name_ + ".orc", w.data().data(),
+                              w.size());
+}
+
+uint64_t ColumnStore::DiskBytes() const {
+  return env::FileSize(dir_ + "/" + name_ + ".orc");
+}
+
+Status ColumnStore::Scan(
+    const std::vector<std::string>& columns,
+    const std::optional<ScanRange>& range,
+    const std::function<Status(const std::vector<Value>&)>& cb) const {
+  // MapReduce job start-up: paid once per query, regardless of data size.
+  if (job_startup_us_ > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(job_startup_us_));
+  }
+  std::vector<int> col_idx;
+  for (const auto& c : columns) {
+    int idx = ColumnIndex(c);
+    if (idx < 0) return Status::NotFound("no column " + c);
+    col_idx.push_back(idx);
+  }
+  int range_idx = -1;
+  if (range.has_value()) {
+    range_idx = ColumnIndex(range->column);
+    if (range_idx < 0) return Status::NotFound("no column " + range->column);
+  }
+
+  for (const auto& stripe : stripes_) {
+    // Stripe skipping via min/max statistics.
+    if (range_idx >= 0) {
+      const auto& stats = stripe.columns[static_cast<size_t>(range_idx)];
+      if (!stats.min.IsMissing() &&
+          (stats.max.Compare(range->lo) < 0 || stats.min.Compare(range->hi) > 0)) {
+        continue;
+      }
+    }
+    // Decode only the requested columns.
+    std::vector<std::vector<Value>> decoded(col_idx.size());
+    for (size_t ci = 0; ci < col_idx.size(); ++ci) {
+      int c = col_idx[ci];
+      TypeTag t = schema_[static_cast<size_t>(c)].type;
+      std::vector<uint8_t> bytes;
+      ASTERIX_RETURN_NOT_OK(
+          LzDecompress(stripe.columns[static_cast<size_t>(c)].bytes.data(),
+                       stripe.columns[static_cast<size_t>(c)].bytes.size(),
+                       &bytes));
+      BytesReader r(bytes.data(), bytes.size());
+      auto& out = decoded[ci];
+      out.reserve(stripe.rows);
+      if (IsIntEncoded(t)) {
+        int64_t prev = 0;
+        for (size_t i = 0; i < stripe.rows; ++i) {
+          uint8_t known;
+          int64_t delta;
+          ASTERIX_RETURN_NOT_OK(r.GetU8(&known));
+          ASTERIX_RETURN_NOT_OK(r.GetVarintSigned(&delta));
+          prev += delta;
+          out.push_back(known ? MakeIntValue(t, prev) : Value::Null());
+        }
+      } else if (t == TypeTag::kString) {
+        uint64_t dict_size;
+        ASTERIX_RETURN_NOT_OK(r.GetVarint(&dict_size));
+        std::vector<Value> dict;
+        dict.reserve(dict_size);
+        for (uint64_t i = 0; i < dict_size; ++i) {
+          std::string s;
+          ASTERIX_RETURN_NOT_OK(r.GetString(&s));
+          dict.push_back(Value::String(std::move(s)));
+        }
+        for (size_t i = 0; i < stripe.rows; ++i) {
+          uint8_t known;
+          ASTERIX_RETURN_NOT_OK(r.GetU8(&known));
+          if (!known) {
+            out.push_back(Value::Null());
+            continue;
+          }
+          uint64_t id;
+          ASTERIX_RETURN_NOT_OK(r.GetVarint(&id));
+          out.push_back(dict[id]);
+        }
+      } else {
+        for (size_t i = 0; i < stripe.rows; ++i) {
+          uint8_t known;
+          double d;
+          ASTERIX_RETURN_NOT_OK(r.GetU8(&known));
+          ASTERIX_RETURN_NOT_OK(r.GetF64(&d));
+          out.push_back(known ? Value::Double(d) : Value::Null());
+        }
+      }
+    }
+    std::vector<Value> row(col_idx.size());
+    for (size_t i = 0; i < stripe.rows; ++i) {
+      for (size_t ci = 0; ci < col_idx.size(); ++ci) row[ci] = decoded[ci][i];
+      ASTERIX_RETURN_NOT_OK(cb(row));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace baselines
+}  // namespace asterix

@@ -1,0 +1,91 @@
+#ifndef ASTERIX_BASELINES_DOCSTORE_H_
+#define ASTERIX_BASELINES_DOCSTORE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "adm/value.h"
+#include "common/status.h"
+
+namespace asterix {
+namespace baselines {
+
+/// A schemaless document store modeled after the MongoDB the paper
+/// benchmarks against (§5.3): documents are stored self-describing (every
+/// instance carries its field names — the storage-size behaviour Table 2
+/// shows), point reads go through a primary hash index, optional secondary
+/// B-trees support range queries, there are NO joins (clients join, as the
+/// paper did), and writes append to a journal before acknowledging
+/// ("write concern = journaled").
+class DocStore {
+ public:
+  /// `dir` holds the collection files; `pk_field` is the _id-style key.
+  DocStore(std::string dir, std::string name, std::string pk_field);
+
+  Status Open();
+
+  // -- Writes -------------------------------------------------------------
+  /// Journaled single-document insert.
+  Status Insert(const adm::Value& doc);
+  /// Bulk load without per-document journal forcing.
+  Status LoadBulk(const std::vector<adm::Value>& docs);
+  Status EnsureIndex(const std::string& field);
+
+  // -- Reads --------------------------------------------------------------
+  Status FindByKey(const adm::Value& key, bool* found, adm::Value* doc) const;
+  /// Full collection scan (deserializes every self-describing document).
+  Status Scan(const std::function<Status(const adm::Value&)>& cb) const;
+  /// Secondary range query [lo, hi] over an indexed field.
+  Status RangeQuery(const std::string& field, const adm::Value& lo,
+                    const adm::Value& hi,
+                    const std::function<Status(const adm::Value&)>& cb) const;
+  /// Bulk point lookups (the client-side join helper the paper describes
+  /// for MongoDB: find matching ids, then $in-style bulk fetch).
+  Status FindMany(const std::vector<adm::Value>& keys,
+                  const std::function<Status(const adm::Value&)>& cb) const;
+
+  /// Map-reduce style aggregation (what the paper used for Mongo's
+  /// aggregation query): per-document map to (key, value), then reduce.
+  /// Deliberately materializes the map output, as map-reduce does.
+  Status MapReduce(
+      const std::function<void(const adm::Value&,
+                               std::vector<std::pair<adm::Value, adm::Value>>*)>&
+          map_fn,
+      const std::function<adm::Value(const std::vector<adm::Value>&)>& reduce_fn,
+      std::map<std::string, adm::Value>* out) const;
+
+  /// Flushes the heap file to disk and reports its size (Table 2).
+  Status Persist();
+  uint64_t DiskBytes() const;
+  size_t Count() const { return primary_.size(); }
+
+ private:
+  struct DocRef {
+    size_t offset;
+    size_t length;
+  };
+
+  Status AppendDoc(const adm::Value& doc, bool journal);
+  Result<adm::Value> LoadDoc(const DocRef& ref) const;
+
+  std::string dir_;
+  std::string name_;
+  std::string pk_field_;
+  // Append-only heap of self-describing documents.
+  std::vector<uint8_t> heap_;
+  std::unordered_map<uint64_t, std::vector<std::pair<adm::Value, DocRef>>>
+      primary_;  // key hash -> (key, ref); chained for collisions
+  std::map<std::string, std::multimap<adm::Value, adm::Value,
+                                      bool (*)(const adm::Value&, const adm::Value&)>>
+      secondary_;  // field -> sorted (value, pk)
+  uint64_t journal_bytes_ = 0;
+};
+
+}  // namespace baselines
+}  // namespace asterix
+
+#endif  // ASTERIX_BASELINES_DOCSTORE_H_

@@ -1,0 +1,178 @@
+#include "baselines/relstore.h"
+
+#include "adm/serde.h"
+#include "common/env.h"
+
+namespace asterix {
+namespace baselines {
+
+using adm::Datatype;
+using adm::Value;
+
+RelTable::RelTable(std::string dir, std::string name,
+                   std::vector<ColumnDef> schema, std::string pk_column)
+    : dir_(std::move(dir)),
+      name_(std::move(name)),
+      schema_(std::move(schema)),
+      pk_column_(std::move(pk_column)) {
+  env::CreateDirs(dir_);
+  std::vector<adm::FieldType> fields;
+  for (const auto& c : schema_) {
+    fields.push_back({c.name, Datatype::Primitive(c.type), /*optional=*/true});
+  }
+  // Closed record type: rows serialize positionally, no names per row.
+  row_type_ = Datatype::MakeRecord(name_ + "_row", std::move(fields),
+                                   /*open=*/false);
+}
+
+Status RelTable::Insert(const Value& row, bool journal) {
+  const Value& key = row.GetField(pk_column_);
+  if (key.IsUnknown()) {
+    return Status::InvalidArgument("row lacks pk column " + pk_column_);
+  }
+  if (primary_.count(key)) return Status::AlreadyExists("duplicate key");
+  ASTERIX_RETURN_NOT_OK(row_type_->Validate(row));
+  BytesWriter w;
+  ASTERIX_RETURN_NOT_OK(adm::SerializeTyped(row, row_type_, &w));
+  RowRef ref{heap_.size(), w.size()};
+  heap_.insert(heap_.end(), w.data().begin(), w.data().end());
+  primary_.emplace(key, ref);
+  for (auto& [col, index] : secondary_) {
+    const Value& v = row.GetField(col);
+    if (!v.IsUnknown()) index.emplace(v, key);
+  }
+  if (journal) {
+    ASTERIX_RETURN_NOT_OK(env::AppendFile(dir_ + "/" + name_ + ".wal",
+                                          w.data().data(), w.size()));
+  }
+  return Status::OK();
+}
+
+Status RelTable::LoadBulk(const std::vector<Value>& rows) {
+  for (const auto& r : rows) {
+    ASTERIX_RETURN_NOT_OK(Insert(r, /*journal=*/false));
+  }
+  return Status::OK();
+}
+
+Status RelTable::CreateIndex(const std::string& column) {
+  if (secondary_.count(column)) return Status::OK();
+  auto& index = secondary_[column];
+  return Scan([&](const Value& row) {
+    const Value& v = row.GetField(column);
+    if (!v.IsUnknown()) index.emplace(v, row.GetField(pk_column_));
+    return Status::OK();
+  });
+}
+
+bool RelTable::HasIndex(const std::string& column) const {
+  return secondary_.count(column) > 0;
+}
+
+Result<Value> RelTable::LoadRow(const RowRef& ref) const {
+  BytesReader r(heap_.data() + ref.offset, ref.length);
+  Value v;
+  Status st = adm::DeserializeTyped(&r, row_type_, &v);
+  if (!st.ok()) return st;
+  return v;
+}
+
+Status RelTable::FindByKey(const Value& key, bool* found, Value* row) const {
+  *found = false;
+  auto it = primary_.find(key);
+  if (it == primary_.end()) return Status::OK();
+  ASTERIX_ASSIGN_OR_RETURN(*row, LoadRow(it->second));
+  *found = true;
+  return Status::OK();
+}
+
+Status RelTable::Scan(const std::function<Status(const Value&)>& cb) const {
+  BytesReader r(heap_.data(), heap_.size());
+  while (!r.AtEnd()) {
+    Value v;
+    ASTERIX_RETURN_NOT_OK(adm::DeserializeTyped(&r, row_type_, &v));
+    ASTERIX_RETURN_NOT_OK(cb(v));
+  }
+  return Status::OK();
+}
+
+Status RelTable::RangeQuery(const std::string& column, const Value& lo,
+                            const Value& hi,
+                            const std::function<Status(const Value&)>& cb) const {
+  auto it = secondary_.find(column);
+  if (it == secondary_.end()) return Status::NotFound("no index on " + column);
+  for (auto e = it->second.lower_bound(lo);
+       e != it->second.end() && e->first.Compare(hi) <= 0; ++e) {
+    bool found;
+    Value row;
+    ASTERIX_RETURN_NOT_OK(FindByKey(e->second, &found, &row));
+    if (found) ASTERIX_RETURN_NOT_OK(cb(row));
+  }
+  return Status::OK();
+}
+
+Status RelTable::IndexProbe(const std::string& column, const Value& key,
+                            const std::function<Status(const Value&)>& cb) const {
+  if (column == pk_column_) {
+    bool found;
+    Value row;
+    ASTERIX_RETURN_NOT_OK(FindByKey(key, &found, &row));
+    if (found) ASTERIX_RETURN_NOT_OK(cb(row));
+    return Status::OK();
+  }
+  return RangeQuery(column, key, key, cb);
+}
+
+Status RelTable::Persist() {
+  return env::WriteFileAtomic(dir_ + "/" + name_ + ".tbl", heap_.data(),
+                              heap_.size());
+}
+
+uint64_t RelTable::DiskBytes() const {
+  return env::FileSize(dir_ + "/" + name_ + ".tbl");
+}
+
+JoinMethod ChooseJoinMethod(size_t outer_cardinality, size_t inner_cardinality,
+                            bool inner_has_index) {
+  if (!inner_has_index) return JoinMethod::kHashJoin;
+  // Index NL wins while probe count stays well under the inner scan cost.
+  if (outer_cardinality * 5 < inner_cardinality) {
+    return JoinMethod::kIndexNestedLoop;
+  }
+  return JoinMethod::kHashJoin;
+}
+
+RelTable* RelStore::CreateTable(const std::string& name,
+                                std::vector<RelTable::ColumnDef> schema,
+                                const std::string& pk_column) {
+  auto table =
+      std::make_unique<RelTable>(dir_, name, std::move(schema), pk_column);
+  RelTable* raw = table.get();
+  tables_[name] = std::move(table);
+  return raw;
+}
+
+RelTable* RelStore::Find(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+uint64_t RelStore::TotalDiskBytes() const {
+  uint64_t total = 0;
+  for (const auto& [name, t] : tables_) {
+    (void)name;
+    total += t->DiskBytes();
+  }
+  return total;
+}
+
+Status RelStore::PersistAll() {
+  for (auto& [name, t] : tables_) {
+    (void)name;
+    ASTERIX_RETURN_NOT_OK(t->Persist());
+  }
+  return Status::OK();
+}
+
+}  // namespace baselines
+}  // namespace asterix

@@ -1,0 +1,100 @@
+#include "common/compress.h"
+
+#include <cstring>
+
+#include "common/bytes.h"
+
+namespace asterix {
+
+namespace {
+
+constexpr size_t kMinMatch = 4;
+constexpr size_t kHashBits = 15;
+constexpr size_t kHashSize = 1u << kHashBits;
+constexpr size_t kMaxOffset = 0xffff;
+
+uint32_t Hash4(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+// Token framing:
+//   literal run:  [0][varint len][bytes]
+//   match:        [1][varint len][u16 offset]
+
+}  // namespace
+
+std::vector<uint8_t> LzCompress(const uint8_t* data, size_t n) {
+  BytesWriter w;
+  w.PutVarint(n);
+  std::vector<int64_t> table(kHashSize, -1);
+  size_t i = 0;
+  size_t literal_start = 0;
+  auto flush_literals = [&](size_t end) {
+    if (end > literal_start) {
+      w.PutU8(0);
+      w.PutVarint(end - literal_start);
+      w.PutBytes(data + literal_start, end - literal_start);
+    }
+  };
+  while (i + kMinMatch <= n) {
+    uint32_t h = Hash4(data + i);
+    int64_t cand = table[h];
+    table[h] = static_cast<int64_t>(i);
+    if (cand >= 0 && i - static_cast<size_t>(cand) <= kMaxOffset &&
+        std::memcmp(data + cand, data + i, kMinMatch) == 0) {
+      // Extend the match.
+      size_t len = kMinMatch;
+      while (i + len < n && data[cand + len] == data[i + len] && len < 65535) {
+        ++len;
+      }
+      flush_literals(i);
+      w.PutU8(1);
+      w.PutVarint(len);
+      w.PutU16(static_cast<uint16_t>(i - static_cast<size_t>(cand)));
+      i += len;
+      literal_start = i;
+    } else {
+      ++i;
+    }
+  }
+  flush_literals(n);
+  return w.data();
+}
+
+Status LzDecompress(const uint8_t* data, size_t n, std::vector<uint8_t>* out) {
+  BytesReader r(data, n);
+  uint64_t raw_size;
+  ASTERIX_RETURN_NOT_OK(r.GetVarint(&raw_size));
+  out->clear();
+  out->reserve(raw_size);
+  while (out->size() < raw_size) {
+    uint8_t kind;
+    uint64_t len;
+    ASTERIX_RETURN_NOT_OK(r.GetU8(&kind));
+    ASTERIX_RETURN_NOT_OK(r.GetVarint(&len));
+    if (kind == 0) {
+      size_t old = out->size();
+      out->resize(old + len);
+      ASTERIX_RETURN_NOT_OK(r.GetBytes(out->data() + old, len));
+    } else if (kind == 1) {
+      uint16_t offset;
+      ASTERIX_RETURN_NOT_OK(r.GetU16(&offset));
+      if (offset == 0 || offset > out->size()) {
+        return Status::Corruption("bad LZ back-reference");
+      }
+      size_t src = out->size() - offset;
+      // Byte-by-byte: overlapping copies are the RLE case and must work.
+      for (uint64_t k = 0; k < len; ++k) {
+        out->push_back((*out)[src + k]);
+      }
+    } else {
+      return Status::Corruption("bad LZ token kind");
+    }
+  }
+  if (out->size() != raw_size) return Status::Corruption("LZ size mismatch");
+  return Status::OK();
+}
+
+}  // namespace asterix

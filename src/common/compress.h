@@ -1,0 +1,21 @@
+#ifndef ASTERIX_COMMON_COMPRESS_H_
+#define ASTERIX_COMMON_COMPRESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace asterix {
+
+/// Greedy LZ77-family byte compressor (LZ4-like framing: literal runs +
+/// back-references found via a 4-byte hash table). Used by the columnar
+/// baseline's stripes (standing in for ORC's zlib) and available to any
+/// other storage component. Self-framing: Decompress needs only the bytes.
+std::vector<uint8_t> LzCompress(const uint8_t* data, size_t n);
+
+Status LzDecompress(const uint8_t* data, size_t n, std::vector<uint8_t>* out);
+
+}  // namespace asterix
+
+#endif  // ASTERIX_COMMON_COMPRESS_H_

@@ -1,0 +1,104 @@
+#include "common/env.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+namespace asterix {
+namespace env {
+
+namespace fs = std::filesystem;
+
+Status CreateDirs(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec) return Status::IOError("create_directories " + path + ": " + ec.message());
+  return Status::OK();
+}
+
+Status RemoveAll(const std::string& path) {
+  std::error_code ec;
+  fs::remove_all(path, ec);
+  if (ec) return Status::IOError("remove_all " + path + ": " + ec.message());
+  return Status::OK();
+}
+
+bool Exists(const std::string& path) {
+  std::error_code ec;
+  return fs::exists(path, ec);
+}
+
+Status WriteFileAtomic(const std::string& path, const void* data, size_t n) {
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("open for write: " + tmp);
+    out.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
+    if (!out) return Status::IOError("write: " + tmp);
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) return Status::IOError("rename " + tmp + " -> " + path + ": " + ec.message());
+  return Status::OK();
+}
+
+Status ReadFile(const std::string& path, std::vector<uint8_t>* out) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::IOError("open for read: " + path);
+  std::streamsize size = in.tellg();
+  in.seekg(0);
+  out->resize(static_cast<size_t>(size));
+  if (size > 0 && !in.read(reinterpret_cast<char*>(out->data()), size)) {
+    return Status::IOError("read: " + path);
+  }
+  return Status::OK();
+}
+
+Status AppendFile(const std::string& path, const void* data, size_t n) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out) return Status::IOError("open for append: " + path);
+  out.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
+  if (!out) return Status::IOError("append: " + path);
+  return Status::OK();
+}
+
+Status ListDir(const std::string& dir, std::vector<std::string>* names) {
+  names->clear();
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    names->push_back(entry.path().filename().string());
+  }
+  if (ec) return Status::IOError("list " + dir + ": " + ec.message());
+  return Status::OK();
+}
+
+uint64_t FileSize(const std::string& path) {
+  std::error_code ec;
+  uint64_t size = fs::file_size(path, ec);
+  return ec ? 0 : size;
+}
+
+Status RemoveFile(const std::string& path) {
+  std::error_code ec;
+  fs::remove(path, ec);
+  if (ec) return Status::IOError("remove " + path + ": " + ec.message());
+  return Status::OK();
+}
+
+std::string NewScratchDir(const std::string& prefix) {
+  static std::atomic<uint64_t> counter{0};
+  uint64_t stamp = static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  std::string path = (fs::temp_directory_path() /
+                      (prefix + "-" + std::to_string(stamp) + "-" +
+                       std::to_string(counter.fetch_add(1))))
+                         .string();
+  CreateDirs(path);
+  return path;
+}
+
+}  // namespace env
+}  // namespace asterix

@@ -1,0 +1,50 @@
+#ifndef ASTERIX_COMMON_ENV_H_
+#define ASTERIX_COMMON_ENV_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace asterix {
+
+/// Thin filesystem facade used by the storage, txn, and external-data
+/// layers so tests can point the whole system at a scratch directory.
+namespace env {
+
+/// Recursively creates `path` (no error if it already exists).
+Status CreateDirs(const std::string& path);
+
+/// Recursively deletes `path` if it exists.
+Status RemoveAll(const std::string& path);
+
+/// True if a file or directory exists at `path`.
+bool Exists(const std::string& path);
+
+/// Writes `data` to `path` via a rename from a temp file, so readers never
+/// observe a half-written file (disk components rely on this for shadowing).
+Status WriteFileAtomic(const std::string& path, const void* data, size_t n);
+
+/// Reads the whole file into `out`.
+Status ReadFile(const std::string& path, std::vector<uint8_t>* out);
+
+/// Appends `data` to `path`, creating it if needed (WAL append path).
+Status AppendFile(const std::string& path, const void* data, size_t n);
+
+/// Lists the file names (not full paths) directly under `dir`.
+Status ListDir(const std::string& dir, std::vector<std::string>* names);
+
+/// Size of the file at `path` in bytes, or 0 if missing.
+uint64_t FileSize(const std::string& path);
+
+/// Deletes a single file if present.
+Status RemoveFile(const std::string& path);
+
+/// Creates and returns a fresh scratch directory under the system temp dir.
+std::string NewScratchDir(const std::string& prefix);
+
+}  // namespace env
+}  // namespace asterix
+
+#endif  // ASTERIX_COMMON_ENV_H_

@@ -1,0 +1,154 @@
+#include "external/external.h"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "adm/adm_parser.h"
+#include "adm/temporal.h"
+#include "common/env.h"
+#include "common/string_utils.h"
+
+namespace asterix {
+namespace external {
+
+using adm::Datatype;
+using adm::DatatypePtr;
+using adm::TypeTag;
+using adm::Value;
+
+std::string ResolveLocalPath(const std::string& path_param) {
+  size_t sep = path_param.find("://");
+  if (sep == std::string::npos) return path_param;
+  return path_param.substr(sep + 3);
+}
+
+Result<Value> ConvertTextField(const std::string& text,
+                               const DatatypePtr& type) {
+  if (!type || type->IsAny()) return Value::String(text);
+  switch (type->tag()) {
+    case TypeTag::kString:
+      return Value::String(text);
+    case TypeTag::kInt8:
+    case TypeTag::kInt16:
+    case TypeTag::kInt32:
+    case TypeTag::kInt64: {
+      char* end = nullptr;
+      int64_t v = std::strtoll(text.c_str(), &end, 10);
+      if (end == text.c_str()) {
+        return Status::ParseError("bad integer field: '" + text + "'");
+      }
+      switch (type->tag()) {
+        case TypeTag::kInt8: return Value::Int8(static_cast<int8_t>(v));
+        case TypeTag::kInt16: return Value::Int16(static_cast<int16_t>(v));
+        case TypeTag::kInt32: return Value::Int32(static_cast<int32_t>(v));
+        default: return Value::Int64(v);
+      }
+    }
+    case TypeTag::kFloat:
+    case TypeTag::kDouble: {
+      double d = std::strtod(text.c_str(), nullptr);
+      return type->tag() == TypeTag::kFloat
+                 ? Value::Float(static_cast<float>(d))
+                 : Value::Double(d);
+    }
+    case TypeTag::kBoolean:
+      return Value::Boolean(text == "true" || text == "1");
+    case TypeTag::kDate: {
+      int32_t days;
+      ASTERIX_RETURN_NOT_OK(adm::ParseDate(text, &days));
+      return Value::Date(days);
+    }
+    case TypeTag::kTime: {
+      int32_t ms;
+      ASTERIX_RETURN_NOT_OK(adm::ParseTime(text, &ms));
+      return Value::Time(ms);
+    }
+    case TypeTag::kDatetime: {
+      int64_t ms;
+      ASTERIX_RETURN_NOT_OK(adm::ParseDatetime(text, &ms));
+      return Value::Datetime(ms);
+    }
+    case TypeTag::kPoint: {
+      Value out;
+      ASTERIX_RETURN_NOT_OK(adm::ParseConstructor("point", text, &out));
+      return out;
+    }
+    default:
+      return Status::NotImplemented(
+          std::string("delimited-text field of type ") +
+          adm::TypeTagName(type->tag()));
+  }
+}
+
+Status ReadExternalData(const std::string& adaptor,
+                        const std::map<std::string, std::string>& params,
+                        const DatatypePtr& type,
+                        const std::function<Status(const Value&)>& cb) {
+  if (adaptor != "localfs") {
+    return Status::NotImplemented("external adaptor: " + adaptor);
+  }
+  auto it = params.find("path");
+  if (it == params.end()) {
+    return Status::InvalidArgument("localfs adaptor requires a 'path' param");
+  }
+  std::string path = ResolveLocalPath(it->second);
+  if (!env::Exists(path)) return Status::IOError("no such file: " + path);
+
+  std::string format = "delimited-text";
+  if (auto f = params.find("format"); f != params.end()) format = f->second;
+
+  if (format == "adm") {
+    std::vector<uint8_t> bytes;
+    ASTERIX_RETURN_NOT_OK(env::ReadFile(path, &bytes));
+    std::vector<Value> records;
+    ASTERIX_RETURN_NOT_OK(adm::ParseAdmSequence(
+        std::string_view(reinterpret_cast<const char*>(bytes.data()),
+                         bytes.size()),
+        &records));
+    for (const auto& rec : records) {
+      ASTERIX_RETURN_NOT_OK(type->Validate(rec));
+      ASTERIX_RETURN_NOT_OK(cb(rec));
+    }
+    return Status::OK();
+  }
+
+  if (format != "delimited-text") {
+    return Status::NotImplemented("external format: " + format);
+  }
+  if (type->kind() != Datatype::Kind::kRecord) {
+    return Status::InvalidArgument("delimited-text needs a record type");
+  }
+  char delim = '|';
+  if (auto d = params.find("delimiter"); d != params.end() && !d->second.empty()) {
+    delim = d->second[0];
+  }
+  std::ifstream in(path);
+  if (!in) return Status::IOError("open: " + path);
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    auto cols = SplitString(line, delim);
+    const auto& fields = type->fields();
+    if (cols.size() < fields.size()) {
+      return Status::ParseError("line " + std::to_string(lineno) + " has " +
+                                std::to_string(cols.size()) + " fields, type " +
+                                "declares " + std::to_string(fields.size()));
+    }
+    std::vector<std::pair<std::string, Value>> rec_fields;
+    for (size_t i = 0; i < fields.size(); ++i) {
+      auto v = ConvertTextField(cols[i], fields[i].type);
+      if (!v.ok()) {
+        return Status::ParseError("line " + std::to_string(lineno) + " field " +
+                                  fields[i].name + ": " + v.status().message());
+      }
+      rec_fields.emplace_back(fields[i].name, v.take());
+    }
+    ASTERIX_RETURN_NOT_OK(cb(Value::Record(std::move(rec_fields))));
+  }
+  return Status::OK();
+}
+
+}  // namespace external
+}  // namespace asterix

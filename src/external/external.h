@@ -1,0 +1,39 @@
+#ifndef ASTERIX_EXTERNAL_EXTERNAL_H_
+#define ASTERIX_EXTERNAL_EXTERNAL_H_
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "adm/type.h"
+#include "adm/value.h"
+#include "common/status.h"
+
+namespace asterix {
+namespace external {
+
+/// Reads an external dataset in place (paper §2.3: no loading, no copying).
+/// Supported adaptor: "localfs" with params:
+///   "path"      — "{hostname}://{path}" or a plain path
+///   "format"    — "delimited-text" or "adm"
+///   "delimiter" — field separator for delimited-text (default '|')
+/// Records are produced by parsing each input unit against `type`:
+/// delimited-text maps columns positionally onto the type's declared
+/// fields (CSV parsing "driven by the type definition", §2.3); adm parses
+/// self-describing instances.
+Status ReadExternalData(const std::string& adaptor,
+                        const std::map<std::string, std::string>& params,
+                        const adm::DatatypePtr& type,
+                        const std::function<Status(const adm::Value&)>& cb);
+
+/// Converts one delimited-text field into the declared primitive type.
+Result<adm::Value> ConvertTextField(const std::string& text,
+                                    const adm::DatatypePtr& type);
+
+/// Strips a "{hostname}://" prefix from a localfs path parameter.
+std::string ResolveLocalPath(const std::string& path_param);
+
+}  // namespace external
+}  // namespace asterix
+
+#endif  // ASTERIX_EXTERNAL_EXTERNAL_H_

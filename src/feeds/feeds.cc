@@ -1,0 +1,267 @@
+#include "feeds/feeds.h"
+
+#include "adm/adm_parser.h"
+#include "common/env.h"
+
+namespace asterix {
+namespace feeds {
+
+using adm::Value;
+
+// ---------------------------------------------------------------------------
+// PushAdaptor
+// ---------------------------------------------------------------------------
+
+void PushAdaptor::Push(Value record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  queue_.push_back(std::move(record));
+  cv_.notify_one();
+}
+
+Status PushAdaptor::PushAdm(const std::string& text) {
+  Value v;
+  ASTERIX_RETURN_NOT_OK(adm::ParseAdm(text, &v));
+  Push(std::move(v));
+  return Status::OK();
+}
+
+void PushAdaptor::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  cv_.notify_all();
+}
+
+Result<bool> PushAdaptor::Next(Value* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return !queue_.empty() || closed_; });
+  if (queue_.empty()) return false;
+  *out = std::move(queue_.front());
+  queue_.pop_front();
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// FileReplayAdaptor
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<FileReplayAdaptor>> FileReplayAdaptor::Open(
+    const std::string& path) {
+  std::vector<uint8_t> bytes;
+  ASTERIX_RETURN_NOT_OK(env::ReadFile(path, &bytes));
+  auto adaptor = std::unique_ptr<FileReplayAdaptor>(new FileReplayAdaptor());
+  ASTERIX_RETURN_NOT_OK(adm::ParseAdmSequence(
+      std::string_view(reinterpret_cast<const char*>(bytes.data()),
+                       bytes.size()),
+      &adaptor->records_));
+  return adaptor;
+}
+
+Result<bool> FileReplayAdaptor::Next(Value* out) {
+  if (pos_ >= records_.size()) return false;
+  *out = records_[pos_++];
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// FeedJoint
+// ---------------------------------------------------------------------------
+
+int FeedJoint::Subscribe(Subscriber s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int id = next_id_++;
+  subscribers_[id] = std::move(s);
+  return id;
+}
+
+void FeedJoint::Unsubscribe(int id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  subscribers_.erase(id);
+}
+
+void FeedJoint::Publish(const Value& record) {
+  std::vector<Subscriber> subs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffer_.push_back(record);
+    if (buffer_.size() > kBufferCap) buffer_.pop_front();
+    for (const auto& [id, s] : subscribers_) {
+      (void)id;
+      subs.push_back(s);
+    }
+  }
+  for (const auto& s : subs) s(record);
+}
+
+void FeedJoint::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+}
+
+bool FeedJoint::closed() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+std::vector<Value> FeedJoint::BufferedRecords() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {buffer_.begin(), buffer_.end()};
+}
+
+// ---------------------------------------------------------------------------
+// FeedConnection
+// ---------------------------------------------------------------------------
+
+FeedConnection::~FeedConnection() { AwaitCompletion(); }
+
+void FeedConnection::AwaitCompletion() {
+  // Idempotent: secondary-feed close propagation and user waits may both
+  // try to join.
+  std::call_once(join_once_, [&] {
+    if (thread_.joinable()) thread_.join();
+  });
+}
+
+FeedStats FeedConnection::stats() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void FeedConnection::Run() {
+  // Intake stage: one record at a time from the adaptor (primary) or the
+  // subscription queue (secondary).
+  auto next_record = [&](Value* out) -> Result<bool> {
+    if (adaptor_) return adaptor_->Next(out);
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    queue_cv_.wait(lock, [&] { return !queue_.empty() || upstream_closed_; });
+    if (queue_.empty()) return false;
+    *out = std::move(queue_.front());
+    queue_.pop_front();
+    return true;
+  };
+
+  while (true) {
+    Value record;
+    auto r = next_record(&record);
+    if (!r.ok() || !r.value()) break;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.ingested;
+    }
+    // Compute stage: the feed's applied UDF.
+    if (transform_) {
+      auto t = transform_(record);
+      if (!t.ok()) {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.failed;
+        continue;
+      }
+      record = t.take();
+    }
+    // The joint taps the pipeline after compute, feeding secondary feeds.
+    joint_.Publish(record);
+    // Store stage: transactional insert into the target dataset (a feed
+    // need not have a target when it only feeds other feeds).
+    if (target_) {
+      Status st = target_->Insert(record);
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      if (st.ok()) {
+        ++stats_.stored;
+      } else {
+        ++stats_.failed;
+      }
+    }
+  }
+  joint_.Close();
+  done_ = true;
+}
+
+// ---------------------------------------------------------------------------
+// FeedManager
+// ---------------------------------------------------------------------------
+
+FeedManager::~FeedManager() { AwaitAll(); }
+
+Result<FeedConnection*> FeedManager::ConnectPrimary(
+    const std::string& name, std::unique_ptr<FeedAdaptor> adaptor,
+    FeedTransform transform, storage::PartitionedDataset* target) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (connections_.count(name)) {
+    return Status::AlreadyExists("feed already connected: " + name);
+  }
+  auto conn = std::unique_ptr<FeedConnection>(new FeedConnection());
+  conn->name_ = name;
+  conn->adaptor_ = std::move(adaptor);
+  conn->transform_ = std::move(transform);
+  conn->target_ = target;
+  FeedConnection* raw = conn.get();
+  conn->thread_ = std::thread([raw] { raw->Run(); });
+  connections_[name] = std::move(conn);
+  return raw;
+}
+
+Result<FeedConnection*> FeedManager::ConnectSecondary(
+    const std::string& name, const std::string& source, FeedTransform transform,
+    storage::PartitionedDataset* target) {
+  FeedConnection* src;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = connections_.find(source);
+    if (it == connections_.end()) {
+      return Status::NotFound("source feed not connected: " + source);
+    }
+    src = it->second.get();
+    if (connections_.count(name)) {
+      return Status::AlreadyExists("feed already connected: " + name);
+    }
+  }
+  auto conn = std::unique_ptr<FeedConnection>(new FeedConnection());
+  conn->name_ = name;
+  conn->transform_ = std::move(transform);
+  conn->target_ = target;
+  FeedConnection* raw = conn.get();
+  // Subscribe to the upstream joint before starting, so no records are lost
+  // between subscription and thread start.
+  src->joint()->Subscribe([raw](const Value& record) {
+    std::lock_guard<std::mutex> lock(raw->queue_mu_);
+    raw->queue_.push_back(record);
+    raw->queue_cv_.notify_one();
+  });
+  // Close propagation: poll upstream completion from the worker by watching
+  // for upstream close after drain.
+  conn->thread_ = std::thread([raw, src] {
+    std::thread closer([raw, src] {
+      src->AwaitCompletion();
+      {
+        std::lock_guard<std::mutex> lock(raw->queue_mu_);
+        raw->upstream_closed_ = true;
+      }
+      raw->queue_cv_.notify_all();
+    });
+    raw->Run();
+    closer.join();
+  });
+  std::lock_guard<std::mutex> lock(mu_);
+  connections_[name] = std::move(conn);
+  return raw;
+}
+
+FeedConnection* FeedManager::Find(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = connections_.find(name);
+  return it == connections_.end() ? nullptr : it->second.get();
+}
+
+void FeedManager::AwaitAll() {
+  std::vector<FeedConnection*> conns;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, c] : connections_) {
+      (void)name;
+      conns.push_back(c.get());
+    }
+  }
+  for (auto* c : conns) c->AwaitCompletion();
+}
+
+}  // namespace feeds
+}  // namespace asterix

@@ -1,0 +1,168 @@
+#ifndef ASTERIX_FEEDS_FEEDS_H_
+#define ASTERIX_FEEDS_FEEDS_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "adm/value.h"
+#include "common/status.h"
+#include "storage/dataset_store.h"
+
+namespace asterix {
+namespace feeds {
+
+/// A feed adaptor produces a stream of ADM records from an external source
+/// (paper §2.4/§4.5). Next() blocks until a record is available or the feed
+/// closes (returns false).
+class FeedAdaptor {
+ public:
+  virtual ~FeedAdaptor() = default;
+  virtual Result<bool> Next(adm::Value* out) = 0;
+};
+
+/// In-process stand-in for the paper's socket_adaptor: an external thread
+/// pushes ADM records (or ADM text) at the feed; Close() ends the stream.
+class PushAdaptor : public FeedAdaptor {
+ public:
+  void Push(adm::Value record);
+  /// Parses and pushes one ADM text instance.
+  Status PushAdm(const std::string& text);
+  void Close();
+
+  Result<bool> Next(adm::Value* out) override;
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<adm::Value> queue_;
+  bool closed_ = false;
+};
+
+/// Replays an ADM file as a feed (deterministic ingestion for tests and
+/// benches).
+class FileReplayAdaptor : public FeedAdaptor {
+ public:
+  /// Reads all instances up front; Next() then streams them.
+  static Result<std::unique_ptr<FileReplayAdaptor>> Open(const std::string& path);
+
+  Result<bool> Next(adm::Value* out) override;
+
+ private:
+  std::vector<adm::Value> records_;
+  size_t pos_ = 0;
+};
+
+/// A Feed Joint: the "network tap" on an ingestion pipeline. It buffers an
+/// operator's output and lets secondary feeds subscribe, so data can flow
+/// along multiple paths simultaneously (cascading feed networks, §4.5).
+class FeedJoint {
+ public:
+  using Subscriber = std::function<void(const adm::Value&)>;
+
+  int Subscribe(Subscriber s);
+  void Unsubscribe(int id);
+  void Publish(const adm::Value& record);
+  /// Signals end-of-feed to subscribers registered for completion.
+  void Close();
+  bool closed();
+
+  /// Recent buffer (bounded) for late-joining subscribers.
+  std::vector<adm::Value> BufferedRecords();
+
+ private:
+  std::mutex mu_;
+  std::map<int, Subscriber> subscribers_;
+  std::deque<adm::Value> buffer_;
+  int next_id_ = 1;
+  bool closed_ = false;
+  static constexpr size_t kBufferCap = 1024;
+};
+
+/// Per-record transform applied in the compute stage (a feed's attached
+/// UDF); identity when null.
+using FeedTransform = std::function<Result<adm::Value>(const adm::Value&)>;
+
+/// Statistics of one ingestion pipeline.
+struct FeedStats {
+  uint64_t ingested = 0;  // records taken in by the intake stage
+  uint64_t stored = 0;    // records persisted by the store stage
+  uint64_t failed = 0;    // records rejected (type errors, duplicates)
+};
+
+/// One running ingestion pipeline: intake -> compute -> store, on a
+/// background thread, with a FeedJoint exposed after the compute stage.
+class FeedConnection {
+ public:
+  ~FeedConnection();
+
+  /// Blocks until the adaptor is exhausted and all records stored.
+  void AwaitCompletion();
+
+  FeedStats stats();
+  FeedJoint* joint() { return &joint_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class FeedManager;
+  FeedConnection() = default;
+
+  void Run();
+
+  std::string name_;
+  std::unique_ptr<FeedAdaptor> adaptor_;  // null for secondary feeds
+  FeedTransform transform_;
+  storage::PartitionedDataset* target_ = nullptr;
+  FeedJoint joint_;
+  std::thread thread_;
+  std::once_flag join_once_;
+  std::atomic<bool> done_{false};
+  std::mutex stats_mu_;
+  FeedStats stats_;
+  // Secondary feeds receive through this queue instead of an adaptor.
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<adm::Value> queue_;
+  bool upstream_closed_ = false;
+};
+
+/// Creates, wires, and tracks feed pipelines. Primary feeds read their
+/// adaptor; secondary feeds subscribe to another feed's joint (paper §2.4:
+/// "Secondary Feeds can be used, just like Primary Feeds, to transform data
+/// and to feed Datasets or feed other feeds").
+class FeedManager {
+ public:
+  ~FeedManager();
+
+  /// Starts a primary feed pipeline into `target`.
+  Result<FeedConnection*> ConnectPrimary(const std::string& name,
+                                         std::unique_ptr<FeedAdaptor> adaptor,
+                                         FeedTransform transform,
+                                         storage::PartitionedDataset* target);
+
+  /// Starts a secondary feed fed from `source`'s joint.
+  Result<FeedConnection*> ConnectSecondary(const std::string& name,
+                                           const std::string& source,
+                                           FeedTransform transform,
+                                           storage::PartitionedDataset* target);
+
+  FeedConnection* Find(const std::string& name);
+  /// Blocks until every pipeline has drained.
+  void AwaitAll();
+
+ private:
+  std::mutex mu_;
+  std::map<std::string, std::unique_ptr<FeedConnection>> connections_;
+};
+
+}  // namespace feeds
+}  // namespace asterix
+
+#endif  // ASTERIX_FEEDS_FEEDS_H_

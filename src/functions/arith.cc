@@ -1,0 +1,261 @@
+#include "functions/arith.h"
+
+#include <cmath>
+
+#include "adm/temporal.h"
+
+namespace asterix {
+namespace functions {
+
+using adm::TypeTag;
+
+namespace {
+
+constexpr int64_t kMillisPerDay = 24LL * 3600 * 1000;
+
+// Result tag for numeric ops: the wider of the operand tags.
+TypeTag WiderNumeric(TypeTag a, TypeTag b) {
+  return a >= b ? a : b;
+}
+
+Value MakeNumeric(TypeTag tag, double d, int64_t i) {
+  switch (tag) {
+    case TypeTag::kInt8: return Value::Int8(static_cast<int8_t>(i));
+    case TypeTag::kInt16: return Value::Int16(static_cast<int16_t>(i));
+    case TypeTag::kInt32: return Value::Int32(static_cast<int32_t>(i));
+    case TypeTag::kInt64: return Value::Int64(i);
+    case TypeTag::kFloat: return Value::Float(static_cast<float>(d));
+    default: return Value::Double(d);
+  }
+}
+
+bool BothInts(const Value& a, const Value& b) {
+  return a.tag() >= TypeTag::kInt8 && a.tag() <= TypeTag::kInt64 &&
+         b.tag() >= TypeTag::kInt8 && b.tag() <= TypeTag::kInt64;
+}
+
+bool IsDurationTag(TypeTag t) {
+  return t == TypeTag::kDuration || t == TypeTag::kYearMonthDuration ||
+         t == TypeTag::kDayTimeDuration;
+}
+
+// Extracts (months, millis) from any duration flavor.
+void DurationParts(const Value& v, int32_t* months, int64_t* millis) {
+  switch (v.tag()) {
+    case TypeTag::kDuration:
+      *months = static_cast<int32_t>(v.AsInt());
+      *millis = v.AsInt2();
+      return;
+    case TypeTag::kYearMonthDuration:
+      *months = static_cast<int32_t>(v.AsInt());
+      *millis = 0;
+      return;
+    default:
+      *months = 0;
+      *millis = v.AsInt();
+      return;
+  }
+}
+
+Result<Value> AddTemporal(const Value& t, const Value& d, int sign) {
+  int32_t months;
+  int64_t millis;
+  DurationParts(d, &months, &millis);
+  months *= sign;
+  millis *= sign;
+  switch (t.tag()) {
+    case TypeTag::kDatetime:
+      return Value::Datetime(adm::AddDurationToDatetime(t.AsInt(), months, millis));
+    case TypeTag::kDate:
+      return Value::Date(
+          adm::AddDurationToDate(static_cast<int32_t>(t.AsInt()), months, millis));
+    case TypeTag::kTime: {
+      int64_t ms = (t.AsInt() + millis) % kMillisPerDay;
+      if (ms < 0) ms += kMillisPerDay;
+      return Value::Time(static_cast<int32_t>(ms));
+    }
+    default:
+      return Status::TypeError("cannot add duration to non-temporal value");
+  }
+}
+
+}  // namespace
+
+Value TriToValue(Tri t) {
+  switch (t) {
+    case Tri::kTrue: return Value::Boolean(true);
+    case Tri::kFalse: return Value::Boolean(false);
+    default: return Value::Null();
+  }
+}
+
+Tri ValueToTri(const Value& v) {
+  if (v.IsUnknown()) return Tri::kUnknown;
+  if (v.tag() == TypeTag::kBoolean) {
+    return v.AsBoolean() ? Tri::kTrue : Tri::kFalse;
+  }
+  // Non-boolean in a predicate position: unknown (AQL is strict here but we
+  // degrade gracefully rather than erroring mid-pipeline).
+  return Tri::kUnknown;
+}
+
+Tri TriNot(Tri t) {
+  switch (t) {
+    case Tri::kTrue: return Tri::kFalse;
+    case Tri::kFalse: return Tri::kTrue;
+    default: return Tri::kUnknown;
+  }
+}
+
+Tri TriAnd(Tri a, Tri b) {
+  if (a == Tri::kFalse || b == Tri::kFalse) return Tri::kFalse;
+  if (a == Tri::kUnknown || b == Tri::kUnknown) return Tri::kUnknown;
+  return Tri::kTrue;
+}
+
+Tri TriOr(Tri a, Tri b) {
+  if (a == Tri::kTrue || b == Tri::kTrue) return Tri::kTrue;
+  if (a == Tri::kUnknown || b == Tri::kUnknown) return Tri::kUnknown;
+  return Tri::kFalse;
+}
+
+Tri CompareValues(const Value& a, const Value& b, int* cmp_out) {
+  if (a.IsUnknown() || b.IsUnknown()) return Tri::kUnknown;
+  *cmp_out = a.Compare(b);
+  return Tri::kTrue;
+}
+
+Tri EqualsTri(const Value& a, const Value& b) {
+  int cmp;
+  Tri t = CompareValues(a, b, &cmp);
+  if (t == Tri::kUnknown) return Tri::kUnknown;
+  return cmp == 0 ? Tri::kTrue : Tri::kFalse;
+}
+
+Tri LessTri(const Value& a, const Value& b) {
+  int cmp;
+  Tri t = CompareValues(a, b, &cmp);
+  if (t == Tri::kUnknown) return Tri::kUnknown;
+  return cmp < 0 ? Tri::kTrue : Tri::kFalse;
+}
+
+Tri LessEqTri(const Value& a, const Value& b) {
+  int cmp;
+  Tri t = CompareValues(a, b, &cmp);
+  if (t == Tri::kUnknown) return Tri::kUnknown;
+  return cmp <= 0 ? Tri::kTrue : Tri::kFalse;
+}
+
+Result<Value> Add(const Value& a, const Value& b) {
+  if (a.IsUnknown() || b.IsUnknown()) return Value::Null();
+  if (a.IsNumeric() && b.IsNumeric()) {
+    if (BothInts(a, b)) {
+      return MakeNumeric(WiderNumeric(a.tag(), b.tag()), 0, a.AsInt() + b.AsInt());
+    }
+    return MakeNumeric(WiderNumeric(a.tag(), b.tag()),
+                       a.AsDouble() + b.AsDouble(), 0);
+  }
+  if (adm::IsTemporalPointTag(a.tag()) && IsDurationTag(b.tag())) {
+    return AddTemporal(a, b, +1);
+  }
+  if (IsDurationTag(a.tag()) && adm::IsTemporalPointTag(b.tag())) {
+    return AddTemporal(b, a, +1);
+  }
+  if (IsDurationTag(a.tag()) && IsDurationTag(b.tag())) {
+    int32_t ma, mb;
+    int64_t sa, sb;
+    DurationParts(a, &ma, &sa);
+    DurationParts(b, &mb, &sb);
+    return Value::Duration(ma + mb, sa + sb);
+  }
+  return Status::TypeError(std::string("cannot add ") + TypeTagName(a.tag()) +
+                           " and " + TypeTagName(b.tag()));
+}
+
+Result<Value> Subtract(const Value& a, const Value& b) {
+  if (a.IsUnknown() || b.IsUnknown()) return Value::Null();
+  if (a.IsNumeric() && b.IsNumeric()) {
+    if (BothInts(a, b)) {
+      return MakeNumeric(WiderNumeric(a.tag(), b.tag()), 0, a.AsInt() - b.AsInt());
+    }
+    return MakeNumeric(WiderNumeric(a.tag(), b.tag()),
+                       a.AsDouble() - b.AsDouble(), 0);
+  }
+  if (adm::IsTemporalPointTag(a.tag()) && IsDurationTag(b.tag())) {
+    return AddTemporal(a, b, -1);
+  }
+  if (a.tag() == b.tag() && adm::IsTemporalPointTag(a.tag())) {
+    // Chronon difference yields a day-time duration (dates scale by day).
+    int64_t diff = a.AsInt() - b.AsInt();
+    if (a.tag() == TypeTag::kDate) diff *= kMillisPerDay;
+    return Value::DayTimeDuration(diff);
+  }
+  if (IsDurationTag(a.tag()) && IsDurationTag(b.tag())) {
+    int32_t ma, mb;
+    int64_t sa, sb;
+    DurationParts(a, &ma, &sa);
+    DurationParts(b, &mb, &sb);
+    return Value::Duration(ma - mb, sa - sb);
+  }
+  return Status::TypeError(std::string("cannot subtract ") +
+                           TypeTagName(b.tag()) + " from " +
+                           TypeTagName(a.tag()));
+}
+
+Result<Value> Multiply(const Value& a, const Value& b) {
+  if (a.IsUnknown() || b.IsUnknown()) return Value::Null();
+  if (!a.IsNumeric() || !b.IsNumeric()) {
+    return Status::TypeError("multiply requires numerics");
+  }
+  if (BothInts(a, b)) {
+    return MakeNumeric(WiderNumeric(a.tag(), b.tag()), 0, a.AsInt() * b.AsInt());
+  }
+  return MakeNumeric(WiderNumeric(a.tag(), b.tag()), a.AsDouble() * b.AsDouble(),
+                     0);
+}
+
+Result<Value> Divide(const Value& a, const Value& b) {
+  if (a.IsUnknown() || b.IsUnknown()) return Value::Null();
+  if (!a.IsNumeric() || !b.IsNumeric()) {
+    return Status::TypeError("divide requires numerics");
+  }
+  if (b.AsDouble() == 0) return Status::InvalidArgument("division by zero");
+  return Value::Double(a.AsDouble() / b.AsDouble());
+}
+
+Result<Value> Modulo(const Value& a, const Value& b) {
+  if (a.IsUnknown() || b.IsUnknown()) return Value::Null();
+  if (BothInts(a, b)) {
+    if (b.AsInt() == 0) return Status::InvalidArgument("modulo by zero");
+    return MakeNumeric(WiderNumeric(a.tag(), b.tag()), 0, a.AsInt() % b.AsInt());
+  }
+  if (!a.IsNumeric() || !b.IsNumeric()) {
+    return Status::TypeError("modulo requires numerics");
+  }
+  if (b.AsDouble() == 0) return Status::InvalidArgument("modulo by zero");
+  return Value::Double(std::fmod(a.AsDouble(), b.AsDouble()));
+}
+
+Result<Value> Negate(const Value& a) {
+  if (a.IsUnknown()) return Value::Null();
+  switch (a.tag()) {
+    case TypeTag::kInt8: return Value::Int8(static_cast<int8_t>(-a.AsInt()));
+    case TypeTag::kInt16: return Value::Int16(static_cast<int16_t>(-a.AsInt()));
+    case TypeTag::kInt32: return Value::Int32(static_cast<int32_t>(-a.AsInt()));
+    case TypeTag::kInt64: return Value::Int64(-a.AsInt());
+    case TypeTag::kFloat: return Value::Float(-a.AsFloat());
+    case TypeTag::kDouble: return Value::Double(-a.AsDouble());
+    case TypeTag::kDuration:
+      return Value::Duration(static_cast<int32_t>(-a.AsInt()), -a.AsInt2());
+    case TypeTag::kYearMonthDuration:
+      return Value::YearMonthDuration(static_cast<int32_t>(-a.AsInt()));
+    case TypeTag::kDayTimeDuration:
+      return Value::DayTimeDuration(-a.AsInt());
+    default:
+      return Status::TypeError(std::string("cannot negate ") +
+                               TypeTagName(a.tag()));
+  }
+}
+
+}  // namespace functions
+}  // namespace asterix

@@ -1,0 +1,46 @@
+#ifndef ASTERIX_FUNCTIONS_ARITH_H_
+#define ASTERIX_FUNCTIONS_ARITH_H_
+
+#include "adm/value.h"
+#include "common/status.h"
+
+namespace asterix {
+namespace functions {
+
+using adm::Value;
+
+/// AQL '+' semantics: numeric addition with the usual widening; temporal
+/// arithmetic (datetime/date/time + duration); string refusal (AQL uses
+/// string-concat, not '+'). NULL/MISSING propagate as unknown.
+Result<Value> Add(const Value& a, const Value& b);
+/// AQL '-': numeric; datetime - datetime = duration; temporal - duration.
+Result<Value> Subtract(const Value& a, const Value& b);
+Result<Value> Multiply(const Value& a, const Value& b);
+/// Division always yields double for '/'; integer division is `idiv`.
+Result<Value> Divide(const Value& a, const Value& b);
+Result<Value> Modulo(const Value& a, const Value& b);
+Result<Value> Negate(const Value& a);
+
+/// Comparison outcome for predicates: like SQL three-valued logic, unknown
+/// inputs yield Unknown.
+enum class Tri { kFalse = 0, kTrue = 1, kUnknown = 2 };
+
+Value TriToValue(Tri t);
+Tri ValueToTri(const Value& v);
+Tri TriNot(Tri t);
+Tri TriAnd(Tri a, Tri b);
+Tri TriOr(Tri a, Tri b);
+
+/// Ordered comparison usable by =, !=, <, <=, >, >=. Unknown inputs give
+/// kUnknown; cross-family comparisons are allowed and follow the ADM total
+/// order (matching this system's permissive semi-structured semantics).
+Tri CompareValues(const Value& a, const Value& b, int* cmp_out);
+
+Tri EqualsTri(const Value& a, const Value& b);
+Tri LessTri(const Value& a, const Value& b);
+Tri LessEqTri(const Value& a, const Value& b);
+
+}  // namespace functions
+}  // namespace asterix
+
+#endif  // ASTERIX_FUNCTIONS_ARITH_H_

@@ -1,0 +1,817 @@
+#include "functions/builtins.h"
+
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <regex>
+
+#include "adm/adm_parser.h"
+#include "adm/temporal.h"
+#include "common/string_utils.h"
+#include "functions/aggregates.h"
+#include "functions/arith.h"
+#include "functions/similarity.h"
+#include "functions/spatial.h"
+
+namespace asterix {
+namespace functions {
+
+using adm::TypeTag;
+
+namespace {
+
+std::function<int64_t()>& ClockSlot() {
+  static std::function<int64_t()>* slot = new std::function<int64_t()>();
+  return *slot;
+}
+
+constexpr int64_t kMillisPerDay = 24LL * 3600 * 1000;
+
+Status WantString(const Value& v, const char* fn) {
+  if (!v.IsString()) {
+    return Status::TypeError(std::string(fn) + " expects string, got " +
+                             adm::TypeTagName(v.tag()));
+  }
+  return Status::OK();
+}
+
+// NULL/MISSING in any argument short-circuits to NULL for most functions.
+bool AnyUnknown(const std::vector<Value>& args) {
+  for (const auto& a : args) {
+    if (a.IsUnknown()) return true;
+  }
+  return false;
+}
+
+Result<Value> FnContains(const std::vector<Value>& args) {
+  if (AnyUnknown(args)) return Value::Null();
+  ASTERIX_RETURN_NOT_OK(WantString(args[0], "contains"));
+  ASTERIX_RETURN_NOT_OK(WantString(args[1], "contains"));
+  return Value::Boolean(args[0].AsString().find(args[1].AsString()) !=
+                        std::string::npos);
+}
+
+Result<Value> FnLike(const std::vector<Value>& args) {
+  if (AnyUnknown(args)) return Value::Null();
+  ASTERIX_RETURN_NOT_OK(WantString(args[0], "like"));
+  ASTERIX_RETURN_NOT_OK(WantString(args[1], "like"));
+  return Value::Boolean(LikeMatch(args[0].AsString(), args[1].AsString()));
+}
+
+Result<Value> FnMatches(const std::vector<Value>& args) {
+  if (AnyUnknown(args)) return Value::Null();
+  ASTERIX_RETURN_NOT_OK(WantString(args[0], "matches"));
+  ASTERIX_RETURN_NOT_OK(WantString(args[1], "matches"));
+  return Value::Boolean(RegexMatch(args[0].AsString(), args[1].AsString()));
+}
+
+Result<Value> FnReplace(const std::vector<Value>& args) {
+  if (AnyUnknown(args)) return Value::Null();
+  for (int i = 0; i < 3; ++i) ASTERIX_RETURN_NOT_OK(WantString(args[i], "replace"));
+  try {
+    std::regex re(args[1].AsString());
+    return Value::String(
+        std::regex_replace(args[0].AsString(), re, args[2].AsString()));
+  } catch (const std::regex_error& e) {
+    return Status::InvalidArgument(std::string("bad regex in replace: ") +
+                                   e.what());
+  }
+}
+
+Result<Value> FnWordTokens(const std::vector<Value>& args) {
+  if (AnyUnknown(args)) return Value::Null();
+  ASTERIX_RETURN_NOT_OK(WantString(args[0], "word-tokens"));
+  std::vector<Value> tokens;
+  for (auto& t : WordTokens(args[0].AsString())) {
+    tokens.push_back(Value::String(std::move(t)));
+  }
+  return Value::OrderedList(std::move(tokens));
+}
+
+Result<Value> FnGramTokens(const std::vector<Value>& args) {
+  if (AnyUnknown(args)) return Value::Null();
+  ASTERIX_RETURN_NOT_OK(WantString(args[0], "gram-tokens"));
+  int64_t k;
+  if (!args[1].GetInteger(&k) || k <= 0) {
+    return Status::InvalidArgument("gram-tokens needs positive gram length");
+  }
+  bool pad = args.size() > 2 && args[2].tag() == TypeTag::kBoolean &&
+             args[2].AsBoolean();
+  std::vector<Value> tokens;
+  for (auto& t : GramTokens(args[0].AsString(), static_cast<size_t>(k), pad)) {
+    tokens.push_back(Value::String(std::move(t)));
+  }
+  return Value::OrderedList(std::move(tokens));
+}
+
+Result<Value> FnStringLength(const std::vector<Value>& args) {
+  if (AnyUnknown(args)) return Value::Null();
+  ASTERIX_RETURN_NOT_OK(WantString(args[0], "string-length"));
+  return Value::Int64(static_cast<int64_t>(args[0].AsString().size()));
+}
+
+Result<Value> FnLowercase(const std::vector<Value>& args) {
+  if (AnyUnknown(args)) return Value::Null();
+  ASTERIX_RETURN_NOT_OK(WantString(args[0], "lowercase"));
+  return Value::String(ToLower(args[0].AsString()));
+}
+
+Result<Value> FnUppercase(const std::vector<Value>& args) {
+  if (AnyUnknown(args)) return Value::Null();
+  ASTERIX_RETURN_NOT_OK(WantString(args[0], "uppercase"));
+  std::string s = args[0].AsString();
+  for (char& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return Value::String(std::move(s));
+}
+
+Result<Value> FnSubstring(const std::vector<Value>& args) {
+  if (AnyUnknown(args)) return Value::Null();
+  ASTERIX_RETURN_NOT_OK(WantString(args[0], "substring"));
+  int64_t start;
+  if (!args[1].GetInteger(&start)) {
+    return Status::TypeError("substring offset must be integer");
+  }
+  const std::string& s = args[0].AsString();
+  // 1-based offsets, like the AsterixDB builtin.
+  int64_t begin = start - 1;
+  if (begin < 0) begin = 0;
+  if (begin >= static_cast<int64_t>(s.size())) return Value::String("");
+  size_t len = s.size() - static_cast<size_t>(begin);
+  if (args.size() > 2) {
+    int64_t l;
+    if (!args[2].GetInteger(&l) || l < 0) {
+      return Status::TypeError("substring length must be non-negative integer");
+    }
+    len = std::min<size_t>(len, static_cast<size_t>(l));
+  }
+  return Value::String(s.substr(static_cast<size_t>(begin), len));
+}
+
+Result<Value> FnStringConcat(const std::vector<Value>& args) {
+  if (AnyUnknown(args)) return Value::Null();
+  std::string out;
+  const std::vector<Value>* items;
+  std::vector<Value> flat;
+  if (args.size() == 1 && args[0].IsList()) {
+    items = &args[0].AsList();
+  } else {
+    flat = args;
+    items = &flat;
+  }
+  for (const auto& v : *items) {
+    if (v.IsUnknown()) return Value::Null();
+    ASTERIX_RETURN_NOT_OK(WantString(v, "string-concat"));
+    out += v.AsString();
+  }
+  return Value::String(std::move(out));
+}
+
+Result<Value> FnStringJoin(const std::vector<Value>& args) {
+  if (AnyUnknown(args)) return Value::Null();
+  if (!args[0].IsList()) return Status::TypeError("string-join expects a list");
+  ASTERIX_RETURN_NOT_OK(WantString(args[1], "string-join"));
+  std::string out;
+  bool first = true;
+  for (const auto& v : args[0].AsList()) {
+    ASTERIX_RETURN_NOT_OK(WantString(v, "string-join"));
+    if (!first) out += args[1].AsString();
+    first = false;
+    out += v.AsString();
+  }
+  return Value::String(std::move(out));
+}
+
+Result<Value> FnStartsWith(const std::vector<Value>& args) {
+  if (AnyUnknown(args)) return Value::Null();
+  ASTERIX_RETURN_NOT_OK(WantString(args[0], "starts-with"));
+  ASTERIX_RETURN_NOT_OK(WantString(args[1], "starts-with"));
+  return Value::Boolean(StartsWith(args[0].AsString(), args[1].AsString()));
+}
+
+Result<Value> FnEndsWith(const std::vector<Value>& args) {
+  if (AnyUnknown(args)) return Value::Null();
+  ASTERIX_RETURN_NOT_OK(WantString(args[0], "ends-with"));
+  ASTERIX_RETURN_NOT_OK(WantString(args[1], "ends-with"));
+  const std::string& s = args[0].AsString();
+  const std::string& suffix = args[1].AsString();
+  return Value::Boolean(s.size() >= suffix.size() &&
+                        s.compare(s.size() - suffix.size(), suffix.size(),
+                                  suffix) == 0);
+}
+
+// --- similarity ------------------------------------------------------------
+
+Result<Value> FnEditDistance(const std::vector<Value>& args) {
+  if (AnyUnknown(args)) return Value::Null();
+  ASTERIX_RETURN_NOT_OK(WantString(args[0], "edit-distance"));
+  ASTERIX_RETURN_NOT_OK(WantString(args[1], "edit-distance"));
+  return Value::Int64(
+      static_cast<int64_t>(EditDistance(args[0].AsString(), args[1].AsString())));
+}
+
+Result<Value> FnEditDistanceCheck(const std::vector<Value>& args) {
+  if (AnyUnknown(args)) return Value::Null();
+  ASTERIX_RETURN_NOT_OK(WantString(args[0], "edit-distance-check"));
+  ASTERIX_RETURN_NOT_OK(WantString(args[1], "edit-distance-check"));
+  int64_t k;
+  if (!args[2].GetInteger(&k) || k < 0) {
+    return Status::InvalidArgument("edit-distance-check threshold must be >= 0");
+  }
+  bool ok = EditDistanceCheck(args[0].AsString(), args[1].AsString(),
+                              static_cast<size_t>(k));
+  std::vector<Value> out;
+  out.push_back(Value::Boolean(ok));
+  if (ok) {
+    out.push_back(Value::Int64(static_cast<int64_t>(
+        EditDistance(args[0].AsString(), args[1].AsString()))));
+  }
+  return Value::OrderedList(std::move(out));
+}
+
+Result<Value> FnEditDistanceContains(const std::vector<Value>& args) {
+  if (AnyUnknown(args)) return Value::Null();
+  ASTERIX_RETURN_NOT_OK(WantString(args[0], "edit-distance-contains"));
+  ASTERIX_RETURN_NOT_OK(WantString(args[1], "edit-distance-contains"));
+  int64_t k;
+  if (!args[2].GetInteger(&k) || k < 0) {
+    return Status::InvalidArgument("threshold must be >= 0");
+  }
+  return Value::Boolean(EditDistanceContains(args[0].AsString(),
+                                             args[1].AsString(),
+                                             static_cast<size_t>(k)));
+}
+
+Result<Value> FnSimilarityJaccard(const std::vector<Value>& args) {
+  if (AnyUnknown(args)) return Value::Null();
+  if (!args[0].IsList() || !args[1].IsList()) {
+    return Status::TypeError("similarity-jaccard expects two collections");
+  }
+  return Value::Double(JaccardSimilarity(args[0].AsList(), args[1].AsList()));
+}
+
+Result<Value> FnSimilarityJaccardCheck(const std::vector<Value>& args) {
+  if (AnyUnknown(args)) return Value::Null();
+  if (!args[0].IsList() || !args[1].IsList()) {
+    return Status::TypeError("similarity-jaccard-check expects two collections");
+  }
+  double t;
+  if (!args[2].GetNumeric(&t)) {
+    return Status::TypeError("similarity threshold must be numeric");
+  }
+  double sim = JaccardSimilarity(args[0].AsList(), args[1].AsList());
+  std::vector<Value> out;
+  out.push_back(Value::Boolean(sim >= t));
+  if (sim >= t) out.push_back(Value::Double(sim));
+  return Value::OrderedList(std::move(out));
+}
+
+// --- temporal ----------------------------------------------------------------
+
+Result<Value> Construct(const char* type, const std::vector<Value>& args) {
+  if (AnyUnknown(args)) return Value::Null();
+  // Identity on an already-typed value (datetime(datetime) is a no-op).
+  if (std::string(adm::TypeTagName(args[0].tag())) == type) return args[0];
+  ASTERIX_RETURN_NOT_OK(WantString(args[0], type));
+  Value out;
+  ASTERIX_RETURN_NOT_OK(adm::ParseConstructor(type, args[0].AsString(), &out));
+  return out;
+}
+
+Result<Value> FnCurrentDatetime(const std::vector<Value>&) {
+  return Value::Datetime(CurrentDatetimeMillis());
+}
+
+Result<Value> FnCurrentDate(const std::vector<Value>&) {
+  int64_t ms = CurrentDatetimeMillis();
+  int64_t days = ms / kMillisPerDay;
+  if (ms % kMillisPerDay < 0) --days;
+  return Value::Date(static_cast<int32_t>(days));
+}
+
+Result<Value> FnCurrentTime(const std::vector<Value>&) {
+  int64_t ms = CurrentDatetimeMillis() % kMillisPerDay;
+  if (ms < 0) ms += kMillisPerDay;
+  return Value::Time(static_cast<int32_t>(ms));
+}
+
+// Chronon millis of a date/time/datetime value (dates scaled to millis).
+Status ChrononOf(const Value& v, int64_t* out, TypeTag* tag) {
+  if (!adm::IsTemporalPointTag(v.tag())) {
+    return Status::TypeError("expected temporal value");
+  }
+  *tag = v.tag();
+  *out = v.tag() == TypeTag::kDate ? v.AsInt() * kMillisPerDay : v.AsInt();
+  return Status::OK();
+}
+
+Result<Value> FnIntervalBin(const std::vector<Value>& args) {
+  if (AnyUnknown(args)) return Value::Null();
+  int64_t chronon, anchor;
+  TypeTag tag, anchor_tag;
+  ASTERIX_RETURN_NOT_OK(ChrononOf(args[0], &chronon, &tag));
+  ASTERIX_RETURN_NOT_OK(ChrononOf(args[1], &anchor, &anchor_tag));
+  int32_t months;
+  int64_t millis;
+  if (args[2].tag() == TypeTag::kDuration) {
+    months = static_cast<int32_t>(args[2].AsInt());
+    millis = args[2].AsInt2();
+  } else if (args[2].tag() == TypeTag::kYearMonthDuration) {
+    months = static_cast<int32_t>(args[2].AsInt());
+    millis = 0;
+  } else if (args[2].tag() == TypeTag::kDayTimeDuration) {
+    months = 0;
+    millis = args[2].AsInt();
+  } else {
+    return Status::TypeError("interval-bin needs a duration");
+  }
+  if (months != 0 && millis != 0) {
+    return Status::InvalidArgument(
+        "interval-bin duration must be monthly or sub-monthly, not both");
+  }
+  int64_t start, end;
+  if (months != 0) {
+    // Month-granularity binning in calendar space.
+    int y, m, d;
+    adm::CivilFromDays(chronon / kMillisPerDay, &y, &m, &d);
+    int ay, am, ad;
+    adm::CivilFromDays(anchor / kMillisPerDay, &ay, &am, &ad);
+    int64_t total = (y * 12 + m - 1) - (ay * 12 + am - 1);
+    int64_t bin = total >= 0 ? total / months : (total - months + 1) / months;
+    start = adm::AddDurationToDatetime(anchor, static_cast<int32_t>(bin * months), 0);
+    end = adm::AddDurationToDatetime(anchor,
+                                     static_cast<int32_t>((bin + 1) * months), 0);
+  } else {
+    if (millis <= 0) return Status::InvalidArgument("bin duration must be > 0");
+    int64_t diff = chronon - anchor;
+    int64_t bin = diff >= 0 ? diff / millis : (diff - millis + 1) / millis;
+    start = anchor + bin * millis;
+    end = start + millis;
+  }
+  if (tag == TypeTag::kDate) {
+    return Value::Interval(tag, start / kMillisPerDay, end / kMillisPerDay);
+  }
+  return Value::Interval(tag, start, end);
+}
+
+Result<Value> MakeIntervalFrom(TypeTag tag, const std::vector<Value>& args) {
+  if (AnyUnknown(args)) return Value::Null();
+  Value start = args[0];
+  if (start.IsString()) {
+    ASTERIX_RETURN_NOT_OK(
+        adm::ParseConstructor(adm::TypeTagName(tag), start.AsString(), &start));
+  }
+  if (start.tag() != tag) {
+    return Status::TypeError("interval start has wrong temporal type");
+  }
+  auto end_r = Add(start, args[1]);
+  if (!end_r.ok()) return end_r.status();
+  return Value::Interval(tag, start.AsInt(), end_r.value().AsInt());
+}
+
+// Allen relation helpers over interval values of matching point type.
+Status IntervalPair(const std::vector<Value>& args, int64_t* as, int64_t* ae,
+                    int64_t* bs, int64_t* be) {
+  if (args[0].tag() != TypeTag::kInterval || args[1].tag() != TypeTag::kInterval) {
+    return Status::TypeError("expected two intervals");
+  }
+  *as = args[0].AsInt();
+  *ae = args[0].AsInt2();
+  *bs = args[1].AsInt();
+  *be = args[1].AsInt2();
+  return Status::OK();
+}
+
+template <typename Pred>
+Result<Value> AllenRelation(const std::vector<Value>& args, Pred pred) {
+  if (AnyUnknown(args)) return Value::Null();
+  int64_t as, ae, bs, be;
+  ASTERIX_RETURN_NOT_OK(IntervalPair(args, &as, &ae, &bs, &be));
+  return Value::Boolean(pred(as, ae, bs, be));
+}
+
+Result<Value> FnAdjustDatetimeForTimezone(const std::vector<Value>& args) {
+  if (AnyUnknown(args)) return Value::Null();
+  if (args[0].tag() != TypeTag::kDatetime) {
+    return Status::TypeError("adjust-datetime-for-timezone expects datetime");
+  }
+  ASTERIX_RETURN_NOT_OK(WantString(args[1], "adjust-datetime-for-timezone"));
+  const std::string& tz = args[1].AsString();
+  if (tz.size() < 3 || (tz[0] != '+' && tz[0] != '-')) {
+    return Status::InvalidArgument("timezone must look like +hh:mm");
+  }
+  int sign = tz[0] == '-' ? -1 : 1;
+  int hours = std::atoi(tz.substr(1, 2).c_str());
+  int mins = 0;
+  size_t colon = tz.find(':');
+  if (colon != std::string::npos) mins = std::atoi(tz.substr(colon + 1).c_str());
+  int64_t shifted = args[0].AsInt() + sign * (hours * 3600000LL + mins * 60000LL);
+  return Value::String(adm::FormatDatetime(shifted).substr(0, 23) + tz);
+}
+
+Result<Value> FnGetTemporalField(const std::vector<Value>& args,
+                                 const char* which) {
+  if (AnyUnknown(args)) return Value::Null();
+  int64_t days;
+  int64_t tod = 0;
+  if (args[0].tag() == TypeTag::kDate) {
+    days = args[0].AsInt();
+  } else if (args[0].tag() == TypeTag::kDatetime) {
+    int64_t ms = args[0].AsInt();
+    days = ms / kMillisPerDay;
+    tod = ms % kMillisPerDay;
+    if (tod < 0) {
+      tod += kMillisPerDay;
+      --days;
+    }
+  } else if (args[0].tag() == TypeTag::kTime) {
+    days = 0;
+    tod = args[0].AsInt();
+  } else {
+    return Status::TypeError("expected temporal value");
+  }
+  int y, m, d;
+  adm::CivilFromDays(days, &y, &m, &d);
+  std::string_view w(which);
+  if (w == "year") return Value::Int64(y);
+  if (w == "month") return Value::Int64(m);
+  if (w == "day") return Value::Int64(d);
+  if (w == "hour") return Value::Int64(tod / 3600000);
+  if (w == "minute") return Value::Int64((tod / 60000) % 60);
+  if (w == "second") return Value::Int64((tod / 1000) % 60);
+  if (w == "millisecond") return Value::Int64(tod % 1000);
+  return Status::Internal("bad temporal field");
+}
+
+// --- spatial wrappers --------------------------------------------------------
+
+Result<Value> FnSpatialDistance(const std::vector<Value>& args) {
+  if (AnyUnknown(args)) return Value::Null();
+  auto r = SpatialDistance(args[0], args[1]);
+  if (!r.ok()) return r.status();
+  return Value::Double(r.value());
+}
+
+Result<Value> FnSpatialArea(const std::vector<Value>& args) {
+  if (AnyUnknown(args)) return Value::Null();
+  auto r = SpatialArea(args[0]);
+  if (!r.ok()) return r.status();
+  return Value::Double(r.value());
+}
+
+Result<Value> FnSpatialIntersect(const std::vector<Value>& args) {
+  if (AnyUnknown(args)) return Value::Null();
+  auto r = SpatialIntersect(args[0], args[1]);
+  if (!r.ok()) return r.status();
+  return Value::Boolean(r.value());
+}
+
+Result<Value> FnSpatialCell(const std::vector<Value>& args) {
+  if (AnyUnknown(args)) return Value::Null();
+  double dx, dy;
+  if (!args[2].GetNumeric(&dx) || !args[3].GetNumeric(&dy)) {
+    return Status::TypeError("spatial-cell extents must be numeric");
+  }
+  return SpatialCell(args[0], args[1], dx, dy);
+}
+
+Result<Value> FnCreatePoint(const std::vector<Value>& args) {
+  if (AnyUnknown(args)) return Value::Null();
+  double x, y;
+  if (!args[0].GetNumeric(&x) || !args[1].GetNumeric(&y)) {
+    return Status::TypeError("create-point expects numerics");
+  }
+  return Value::Point(x, y);
+}
+
+Result<Value> FnCreateRectangle(const std::vector<Value>& args) {
+  if (AnyUnknown(args)) return Value::Null();
+  if (args[0].tag() != TypeTag::kPoint || args[1].tag() != TypeTag::kPoint) {
+    return Status::TypeError("create-rectangle expects two points");
+  }
+  return Value::Rectangle(args[0].AsPoints()[0], args[1].AsPoints()[0]);
+}
+
+Result<Value> FnCreateCircle(const std::vector<Value>& args) {
+  if (AnyUnknown(args)) return Value::Null();
+  if (args[0].tag() != TypeTag::kPoint) {
+    return Status::TypeError("create-circle expects a point");
+  }
+  double r;
+  if (!args[1].GetNumeric(&r)) {
+    return Status::TypeError("create-circle radius must be numeric");
+  }
+  return Value::Circle(args[0].AsPoints()[0], r);
+}
+
+Result<Value> FnCreateLine(const std::vector<Value>& args) {
+  if (AnyUnknown(args)) return Value::Null();
+  if (args[0].tag() != TypeTag::kPoint || args[1].tag() != TypeTag::kPoint) {
+    return Status::TypeError("create-line expects two points");
+  }
+  return Value::Line(args[0].AsPoints()[0], args[1].AsPoints()[0]);
+}
+
+Result<Value> FnGetXY(const std::vector<Value>& args, bool x) {
+  if (AnyUnknown(args)) return Value::Null();
+  if (args[0].tag() != TypeTag::kPoint) {
+    return Status::TypeError("get-x/get-y expects a point");
+  }
+  return Value::Double(x ? args[0].AsPoints()[0].x : args[0].AsPoints()[0].y);
+}
+
+// --- numeric -----------------------------------------------------------------
+
+template <double (*F)(double)>
+Result<Value> NumericUnary(const std::vector<Value>& args, const char* name) {
+  if (AnyUnknown(args)) return Value::Null();
+  double d;
+  if (!args[0].GetNumeric(&d)) {
+    return Status::TypeError(std::string(name) + " expects a numeric");
+  }
+  return Value::Double(F(d));
+}
+
+Result<Value> FnAbs(const std::vector<Value>& args) {
+  if (AnyUnknown(args)) return Value::Null();
+  int64_t i;
+  if (args[0].GetInteger(&i)) return Value::Int64(i < 0 ? -i : i);
+  double d;
+  if (!args[0].GetNumeric(&d)) return Status::TypeError("abs expects a numeric");
+  return Value::Double(std::abs(d));
+}
+
+// --- type predicates ----------------------------------------------------------
+
+Result<Value> FnIsNull(const std::vector<Value>& args) {
+  // 2014-era AQL semantics: MISSING did not exist yet, so an absent
+  // optional field reads as null (the paper's Query 7 relies on this).
+  return Value::Boolean(args[0].IsUnknown());
+}
+Result<Value> FnIsMissing(const std::vector<Value>& args) {
+  return Value::Boolean(args[0].IsMissing());
+}
+Result<Value> FnIsUnknown(const std::vector<Value>& args) {
+  return Value::Boolean(args[0].IsUnknown());
+}
+Result<Value> FnNot(const std::vector<Value>& args) {
+  return TriToValue(TriNot(ValueToTri(args[0])));
+}
+
+Result<Value> FnToString(const std::vector<Value>& args) {
+  if (args[0].IsString()) return args[0];
+  return Value::String(args[0].ToString());
+}
+
+Result<Value> FnLen(const std::vector<Value>& args) {
+  if (AnyUnknown(args)) return Value::Null();
+  if (!args[0].IsList()) return Status::TypeError("len expects a collection");
+  return Value::Int64(static_cast<int64_t>(args[0].AsList().size()));
+}
+
+Result<Value> FnRange(const std::vector<Value>& args) {
+  if (AnyUnknown(args)) return Value::Null();
+  int64_t lo, hi;
+  if (!args[0].GetInteger(&lo) || !args[1].GetInteger(&hi)) {
+    return Status::TypeError("range expects integers");
+  }
+  std::vector<Value> out;
+  for (int64_t i = lo; i <= hi; ++i) out.push_back(Value::Int64(i));
+  return Value::OrderedList(std::move(out));
+}
+
+Result<Value> FnGetIntervalBound(const std::vector<Value>& args, bool start) {
+  if (AnyUnknown(args)) return Value::Null();
+  if (args[0].tag() != TypeTag::kInterval) {
+    return Status::TypeError("expected interval");
+  }
+  TypeTag pt = args[0].interval_point_tag();
+  int64_t v = start ? args[0].AsInt() : args[0].AsInt2();
+  switch (pt) {
+    case TypeTag::kDate: return Value::Date(static_cast<int32_t>(v));
+    case TypeTag::kTime: return Value::Time(static_cast<int32_t>(v));
+    default: return Value::Datetime(v);
+  }
+}
+
+std::map<std::string, Builtin>* BuildRegistry() {
+  auto* reg = new std::map<std::string, Builtin>();
+  auto add = [&](const std::string& name, int min_arity, int max_arity,
+                 std::function<Result<Value>(const std::vector<Value>&)> fn) {
+    (*reg)[name] = Builtin{name, min_arity, max_arity, std::move(fn)};
+  };
+
+  // Strings.
+  add("contains", 2, 2, FnContains);
+  add("like", 2, 2, FnLike);
+  add("matches", 2, 2, FnMatches);
+  add("replace", 3, 3, FnReplace);
+  add("word-tokens", 1, 1, FnWordTokens);
+  add("gram-tokens", 2, 3, FnGramTokens);
+  add("string-length", 1, 1, FnStringLength);
+  add("lowercase", 1, 1, FnLowercase);
+  add("uppercase", 1, 1, FnUppercase);
+  add("substring", 2, 3, FnSubstring);
+  add("string-concat", 1, 16, FnStringConcat);
+  add("string-join", 2, 2, FnStringJoin);
+  add("starts-with", 2, 2, FnStartsWith);
+  add("ends-with", 2, 2, FnEndsWith);
+
+  // Similarity.
+  add("edit-distance", 2, 2, FnEditDistance);
+  add("edit-distance-check", 3, 3, FnEditDistanceCheck);
+  add("edit-distance-contains", 3, 3, FnEditDistanceContains);
+  add("similarity-jaccard", 2, 2, FnSimilarityJaccard);
+  add("similarity-jaccard-check", 3, 3, FnSimilarityJaccardCheck);
+
+  // Temporal constructors & clock.
+  for (const char* t : {"date", "time", "datetime", "duration",
+                        "year-month-duration", "day-time-duration"}) {
+    add(t, 1, 1, [t](const std::vector<Value>& a) { return Construct(t, a); });
+  }
+  add("current-datetime", 0, 0, FnCurrentDatetime);
+  add("current-date", 0, 0, FnCurrentDate);
+  add("current-time", 0, 0, FnCurrentTime);
+  add("interval-bin", 3, 3, FnIntervalBin);
+  add("interval-start-from-date", 2, 2, [](const std::vector<Value>& a) {
+    return MakeIntervalFrom(TypeTag::kDate, a);
+  });
+  add("interval-start-from-time", 2, 2, [](const std::vector<Value>& a) {
+    return MakeIntervalFrom(TypeTag::kTime, a);
+  });
+  add("interval-start-from-datetime", 2, 2, [](const std::vector<Value>& a) {
+    return MakeIntervalFrom(TypeTag::kDatetime, a);
+  });
+  add("get-interval-start", 1, 1, [](const std::vector<Value>& a) {
+    return FnGetIntervalBound(a, true);
+  });
+  add("get-interval-end", 1, 1, [](const std::vector<Value>& a) {
+    return FnGetIntervalBound(a, false);
+  });
+  add("adjust-datetime-for-timezone", 2, 2, FnAdjustDatetimeForTimezone);
+  add("adjust-time-for-timezone", 2, 2, FnAdjustDatetimeForTimezone);
+  for (const char* f : {"year", "month", "day", "hour", "minute", "second",
+                        "millisecond"}) {
+    add(std::string("get-") + f, 1, 1, [f](const std::vector<Value>& a) {
+      return FnGetTemporalField(a, f);
+    });
+  }
+
+  // Allen's interval relations.
+  add("interval-before", 2, 2, [](const std::vector<Value>& a) {
+    return AllenRelation(a, [](int64_t, int64_t ae, int64_t bs, int64_t) {
+      return ae < bs;
+    });
+  });
+  add("interval-after", 2, 2, [](const std::vector<Value>& a) {
+    return AllenRelation(a, [](int64_t as, int64_t, int64_t, int64_t be) {
+      return be < as;
+    });
+  });
+  add("interval-meets", 2, 2, [](const std::vector<Value>& a) {
+    return AllenRelation(a, [](int64_t, int64_t ae, int64_t bs, int64_t) {
+      return ae == bs;
+    });
+  });
+  add("interval-met-by", 2, 2, [](const std::vector<Value>& a) {
+    return AllenRelation(a, [](int64_t as, int64_t, int64_t, int64_t be) {
+      return be == as;
+    });
+  });
+  add("interval-overlaps", 2, 2, [](const std::vector<Value>& a) {
+    return AllenRelation(a, [](int64_t as, int64_t ae, int64_t bs, int64_t be) {
+      return as < bs && ae > bs && ae < be;
+    });
+  });
+  add("interval-overlapped-by", 2, 2, [](const std::vector<Value>& a) {
+    return AllenRelation(a, [](int64_t as, int64_t ae, int64_t bs, int64_t be) {
+      return bs < as && be > as && be < ae;
+    });
+  });
+  add("interval-overlapping", 2, 2, [](const std::vector<Value>& a) {
+    return AllenRelation(a, [](int64_t as, int64_t ae, int64_t bs, int64_t be) {
+      return as < be && bs < ae;
+    });
+  });
+  add("interval-starts", 2, 2, [](const std::vector<Value>& a) {
+    return AllenRelation(a, [](int64_t as, int64_t ae, int64_t bs, int64_t be) {
+      return as == bs && ae <= be;
+    });
+  });
+  add("interval-started-by", 2, 2, [](const std::vector<Value>& a) {
+    return AllenRelation(a, [](int64_t as, int64_t ae, int64_t bs, int64_t be) {
+      return as == bs && be <= ae;
+    });
+  });
+  add("interval-covers", 2, 2, [](const std::vector<Value>& a) {
+    return AllenRelation(a, [](int64_t as, int64_t ae, int64_t bs, int64_t be) {
+      return as <= bs && ae >= be;
+    });
+  });
+  add("interval-covered-by", 2, 2, [](const std::vector<Value>& a) {
+    return AllenRelation(a, [](int64_t as, int64_t ae, int64_t bs, int64_t be) {
+      return bs <= as && be >= ae;
+    });
+  });
+  add("interval-ends", 2, 2, [](const std::vector<Value>& a) {
+    return AllenRelation(a, [](int64_t as, int64_t ae, int64_t bs, int64_t be) {
+      return ae == be && as >= bs;
+    });
+  });
+  add("interval-ended-by", 2, 2, [](const std::vector<Value>& a) {
+    return AllenRelation(a, [](int64_t as, int64_t ae, int64_t bs, int64_t be) {
+      return ae == be && bs >= as;
+    });
+  });
+
+  // Spatial.
+  add("spatial-distance", 2, 2, FnSpatialDistance);
+  add("spatial-area", 1, 1, FnSpatialArea);
+  add("spatial-intersect", 2, 2, FnSpatialIntersect);
+  add("spatial-cell", 4, 4, FnSpatialCell);
+  add("create-point", 2, 2, FnCreatePoint);
+  add("create-rectangle", 2, 2, FnCreateRectangle);
+  add("create-circle", 2, 2, FnCreateCircle);
+  add("create-line", 2, 2, FnCreateLine);
+  add("get-x", 1, 1, [](const std::vector<Value>& a) { return FnGetXY(a, true); });
+  add("get-y", 1, 1, [](const std::vector<Value>& a) { return FnGetXY(a, false); });
+  add("point", 1, 1, [](const std::vector<Value>& a) { return Construct("point", a); });
+  add("line", 1, 1, [](const std::vector<Value>& a) { return Construct("line", a); });
+  add("rectangle", 1, 1,
+      [](const std::vector<Value>& a) { return Construct("rectangle", a); });
+  add("circle", 1, 1, [](const std::vector<Value>& a) { return Construct("circle", a); });
+  add("polygon", 1, 1, [](const std::vector<Value>& a) { return Construct("polygon", a); });
+  add("uuid", 1, 1, [](const std::vector<Value>& a) { return Construct("uuid", a); });
+
+  // Numeric.
+  add("abs", 1, 1, FnAbs);
+  add("round", 1, 1,
+      [](const std::vector<Value>& a) { return NumericUnary<std::round>(a, "round"); });
+  add("floor", 1, 1,
+      [](const std::vector<Value>& a) { return NumericUnary<std::floor>(a, "floor"); });
+  add("ceiling", 1, 1,
+      [](const std::vector<Value>& a) { return NumericUnary<std::ceil>(a, "ceiling"); });
+  add("sqrt", 1, 1,
+      [](const std::vector<Value>& a) { return NumericUnary<std::sqrt>(a, "sqrt"); });
+
+  // Type predicates and misc.
+  add("if-then-else", 3, 3, [](const std::vector<Value>& a) -> Result<Value> {
+    Tri t = ValueToTri(a[0]);
+    if (t == Tri::kUnknown) return Value::Null();
+    return t == Tri::kTrue ? a[1] : a[2];
+  });
+  add("is-null", 1, 1, FnIsNull);
+  add("is-missing", 1, 1, FnIsMissing);
+  add("is-unknown", 1, 1, FnIsUnknown);
+  add("not", 1, 1, FnNot);
+  add("to-string", 1, 1, FnToString);
+  add("len", 1, 1, FnLen);
+  add("range", 2, 2, FnRange);
+
+  // Scalar aggregate forms over collection values.
+  for (const char* a : {"count", "min", "max", "sum", "avg", "sql-count",
+                        "sql-min", "sql-max", "sql-sum", "sql-avg"}) {
+    add(a, 1, 1, [a](const std::vector<Value>& args) {
+      return AggregateCollection(a, args[0]);
+    });
+  }
+
+  return reg;
+}
+
+const std::map<std::string, Builtin>& Registry() {
+  static const std::map<std::string, Builtin>* reg = BuildRegistry();
+  return *reg;
+}
+
+}  // namespace
+
+void SetCurrentDatetimeProvider(std::function<int64_t()> provider) {
+  ClockSlot() = std::move(provider);
+}
+
+int64_t CurrentDatetimeMillis() {
+  if (ClockSlot()) return ClockSlot()();
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+const Builtin* LookupBuiltin(const std::string& name) {
+  auto it = Registry().find(name);
+  return it == Registry().end() ? nullptr : &it->second;
+}
+
+Result<Value> CallBuiltin(const std::string& name,
+                          const std::vector<Value>& args) {
+  const Builtin* b = LookupBuiltin(name);
+  if (!b) return Status::InvalidArgument("unknown function: " + name);
+  int n = static_cast<int>(args.size());
+  if (n < b->min_arity || n > b->max_arity) {
+    return Status::InvalidArgument("function " + name + " called with " +
+                                   std::to_string(n) + " arguments");
+  }
+  return b->fn(args);
+}
+
+}  // namespace functions
+}  // namespace asterix

@@ -1,0 +1,42 @@
+#ifndef ASTERIX_FUNCTIONS_BUILTINS_H_
+#define ASTERIX_FUNCTIONS_BUILTINS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "adm/value.h"
+#include "common/status.h"
+
+namespace asterix {
+namespace functions {
+
+using adm::Value;
+
+/// A registered builtin: callable with an argument vector whose size is in
+/// [min_arity, max_arity].
+struct Builtin {
+  std::string name;
+  int min_arity;
+  int max_arity;
+  std::function<Result<Value>(const std::vector<Value>&)> fn;
+};
+
+/// Looks up a builtin by name; nullptr when unknown.
+const Builtin* LookupBuiltin(const std::string& name);
+
+/// Looks up, checks arity, and invokes.
+Result<Value> CallBuiltin(const std::string& name,
+                          const std::vector<Value>& args);
+
+/// Overrides the clock behind current-date/time/datetime; pass nullptr to
+/// restore the system clock. Tests pin this for deterministic output.
+void SetCurrentDatetimeProvider(std::function<int64_t()> provider);
+
+/// Epoch millis "now" as seen by the builtins.
+int64_t CurrentDatetimeMillis();
+
+}  // namespace functions
+}  // namespace asterix
+
+#endif  // ASTERIX_FUNCTIONS_BUILTINS_H_

@@ -1,0 +1,110 @@
+#include "functions/similarity.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+namespace asterix {
+namespace functions {
+
+size_t EditDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  std::vector<size_t> prev(a.size() + 1), cur(a.size() + 1);
+  for (size_t i = 0; i <= a.size(); ++i) prev[i] = i;
+  for (size_t j = 1; j <= b.size(); ++j) {
+    cur[0] = j;
+    for (size_t i = 1; i <= a.size(); ++i) {
+      size_t sub = prev[i - 1] + (a[i - 1] != b[j - 1] ? 1 : 0);
+      cur[i] = std::min({prev[i] + 1, cur[i - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[a.size()];
+}
+
+bool EditDistanceCheck(std::string_view a, std::string_view b,
+                       size_t threshold) {
+  if (a.size() > b.size()) std::swap(a, b);
+  if (b.size() - a.size() > threshold) return false;
+  // Banded DP: only cells within `threshold` of the diagonal can stay under
+  // the threshold, so restrict computation to that band.
+  const size_t kInf = threshold + 1;
+  std::vector<size_t> prev(a.size() + 1, kInf), cur(a.size() + 1, kInf);
+  for (size_t i = 0; i <= std::min(a.size(), threshold); ++i) prev[i] = i;
+  for (size_t j = 1; j <= b.size(); ++j) {
+    size_t lo = j > threshold ? j - threshold : 0;
+    size_t hi = std::min(a.size(), j + threshold);
+    if (lo > hi) return false;
+    std::fill(cur.begin(), cur.end(), kInf);
+    if (lo == 0) cur[0] = j <= threshold ? j : kInf;
+    bool any = lo == 0 && cur[0] <= threshold;
+    for (size_t i = std::max<size_t>(lo, 1); i <= hi; ++i) {
+      size_t best = prev[i - 1] + (a[i - 1] != b[j - 1] ? 1 : 0);
+      if (prev[i] + 1 < best) best = prev[i] + 1;
+      if (cur[i - 1] + 1 < best) best = cur[i - 1] + 1;
+      cur[i] = std::min(best, kInf);
+      if (cur[i] <= threshold) any = true;
+    }
+    if (!any) return false;
+    std::swap(prev, cur);
+  }
+  return prev[a.size()] <= threshold;
+}
+
+bool EditDistanceContains(std::string_view text, std::string_view word,
+                          size_t threshold) {
+  for (const auto& token : WordTokens(text)) {
+    if (EditDistanceCheck(token, word, threshold)) return true;
+  }
+  return false;
+}
+
+double JaccardSimilarity(const std::vector<adm::Value>& a,
+                         const std::vector<adm::Value>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  auto cmp = [](const adm::Value& x, const adm::Value& y) {
+    return x.Compare(y) < 0;
+  };
+  std::set<adm::Value, decltype(cmp)> sa(a.begin(), a.end(), cmp);
+  std::set<adm::Value, decltype(cmp)> sb(b.begin(), b.end(), cmp);
+  size_t inter = 0;
+  for (const auto& v : sa) {
+    if (sb.count(v)) ++inter;
+  }
+  size_t uni = sa.size() + sb.size() - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+std::vector<std::string> WordTokens(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string cur;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '\'') {
+      cur.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!cur.empty()) {
+      tokens.push_back(std::move(cur));
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) tokens.push_back(std::move(cur));
+  return tokens;
+}
+
+std::vector<std::string> GramTokens(std::string_view text, size_t k, bool pad) {
+  std::string s;
+  if (pad) s.append(k - 1, '#');
+  for (char c : text) {
+    s.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (pad) s.append(k - 1, '$');
+  std::vector<std::string> grams;
+  if (s.size() < k) {
+    if (!s.empty()) grams.push_back(s);
+    return grams;
+  }
+  for (size_t i = 0; i + k <= s.size(); ++i) grams.push_back(s.substr(i, k));
+  return grams;
+}
+
+}  // namespace functions
+}  // namespace asterix

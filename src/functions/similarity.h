@@ -1,0 +1,40 @@
+#ifndef ASTERIX_FUNCTIONS_SIMILARITY_H_
+#define ASTERIX_FUNCTIONS_SIMILARITY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "adm/value.h"
+
+namespace asterix {
+namespace functions {
+
+/// Levenshtein edit distance.
+size_t EditDistance(std::string_view a, std::string_view b);
+
+/// Early-exit check: true iff EditDistance(a, b) <= threshold. Runs the
+/// banded DP so it is O(threshold * max(len)) — this is the primitive the
+/// paper's `edit-distance-check` builtin and fuzzy index probes rely on.
+bool EditDistanceCheck(std::string_view a, std::string_view b, size_t threshold);
+
+/// True if some word token of `text` is within `threshold` edits of `word`.
+bool EditDistanceContains(std::string_view text, std::string_view word,
+                          size_t threshold);
+
+/// Jaccard similarity of two ADM collections (bags or lists), by value
+/// equality: |A ∩ B| / |A ∪ B| with multiset semantics reduced to sets.
+double JaccardSimilarity(const std::vector<adm::Value>& a,
+                         const std::vector<adm::Value>& b);
+
+/// Lowercased alphanumeric word tokens (the paper's `word-tokens`).
+std::vector<std::string> WordTokens(std::string_view text);
+
+/// Lowercased k-gram tokens with boundary padding (the `ngram(k)` index
+/// tokenizer). `pad` adds k-1 leading/trailing '#'/'$' sentinels.
+std::vector<std::string> GramTokens(std::string_view text, size_t k, bool pad);
+
+}  // namespace functions
+}  // namespace asterix
+
+#endif  // ASTERIX_FUNCTIONS_SIMILARITY_H_

@@ -1,0 +1,244 @@
+#include "functions/spatial.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace asterix {
+namespace functions {
+
+using adm::TypeTag;
+
+namespace {
+
+double Dist(const GeoPoint& a, const GeoPoint& b) {
+  double dx = a.x - b.x, dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+bool RectContains(const GeoPoint& lo, const GeoPoint& hi, const GeoPoint& p) {
+  return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+}
+
+bool RectsOverlap(const GeoPoint& alo, const GeoPoint& ahi, const GeoPoint& blo,
+                  const GeoPoint& bhi) {
+  return alo.x <= bhi.x && blo.x <= ahi.x && alo.y <= bhi.y && blo.y <= ahi.y;
+}
+
+int Orientation(const GeoPoint& a, const GeoPoint& b, const GeoPoint& c) {
+  double v = (b.y - a.y) * (c.x - b.x) - (b.x - a.x) * (c.y - b.y);
+  if (v > 1e-12) return 1;
+  if (v < -1e-12) return -1;
+  return 0;
+}
+
+bool OnSegment(const GeoPoint& a, const GeoPoint& b, const GeoPoint& p) {
+  return Orientation(a, b, p) == 0 && p.x >= std::min(a.x, b.x) - 1e-12 &&
+         p.x <= std::max(a.x, b.x) + 1e-12 && p.y >= std::min(a.y, b.y) - 1e-12 &&
+         p.y <= std::max(a.y, b.y) + 1e-12;
+}
+
+bool SegmentsIntersect(const GeoPoint& p1, const GeoPoint& q1,
+                       const GeoPoint& p2, const GeoPoint& q2) {
+  int o1 = Orientation(p1, q1, p2);
+  int o2 = Orientation(p1, q1, q2);
+  int o3 = Orientation(p2, q2, p1);
+  int o4 = Orientation(p2, q2, q1);
+  if (o1 != o2 && o3 != o4) return true;
+  if (o1 == 0 && OnSegment(p1, q1, p2)) return true;
+  if (o2 == 0 && OnSegment(p1, q1, q2)) return true;
+  if (o3 == 0 && OnSegment(p2, q2, p1)) return true;
+  if (o4 == 0 && OnSegment(p2, q2, q1)) return true;
+  return false;
+}
+
+double PointSegmentDistance(const GeoPoint& p, const GeoPoint& a,
+                            const GeoPoint& b) {
+  double dx = b.x - a.x, dy = b.y - a.y;
+  double len2 = dx * dx + dy * dy;
+  if (len2 == 0) return Dist(p, a);
+  double t = ((p.x - a.x) * dx + (p.y - a.y) * dy) / len2;
+  t = std::clamp(t, 0.0, 1.0);
+  return Dist(p, GeoPoint{a.x + t * dx, a.y + t * dy});
+}
+
+bool PolygonContains(const std::vector<GeoPoint>& poly, const GeoPoint& p) {
+  bool inside = false;
+  for (size_t i = 0, j = poly.size() - 1; i < poly.size(); j = i++) {
+    if (OnSegment(poly[i], poly[j], p)) return true;
+    if ((poly[i].y > p.y) != (poly[j].y > p.y)) {
+      double x = poly[j].x +
+                 (p.y - poly[j].y) / (poly[i].y - poly[j].y) *
+                     (poly[i].x - poly[j].x);
+      if (p.x < x) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+bool IsSpatialTag(TypeTag t) {
+  return t == TypeTag::kPoint || t == TypeTag::kLine ||
+         t == TypeTag::kRectangle || t == TypeTag::kCircle ||
+         t == TypeTag::kPolygon;
+}
+
+// Edge list of a shape for segment-based intersection tests; rectangle
+// expands into its 4 corners.
+std::vector<GeoPoint> ShapeOutline(const Value& v) {
+  switch (v.tag()) {
+    case TypeTag::kRectangle: {
+      GeoPoint lo = v.AsPoints()[0], hi = v.AsPoints()[1];
+      return {lo, {hi.x, lo.y}, hi, {lo.x, hi.y}};
+    }
+    default:
+      return v.AsPoints();
+  }
+}
+
+bool OutlineClosed(const Value& v) {
+  return v.tag() == TypeTag::kRectangle || v.tag() == TypeTag::kPolygon;
+}
+
+}  // namespace
+
+Result<double> SpatialDistance(const Value& a, const Value& b) {
+  if (a.tag() != TypeTag::kPoint || b.tag() != TypeTag::kPoint) {
+    return Status::TypeError("spatial-distance expects two points");
+  }
+  return Dist(a.AsPoints()[0], b.AsPoints()[0]);
+}
+
+Result<double> SpatialArea(const Value& shape) {
+  switch (shape.tag()) {
+    case TypeTag::kCircle: {
+      double r = shape.circle_radius();
+      return M_PI * r * r;
+    }
+    case TypeTag::kRectangle: {
+      GeoPoint lo = shape.AsPoints()[0], hi = shape.AsPoints()[1];
+      return (hi.x - lo.x) * (hi.y - lo.y);
+    }
+    case TypeTag::kPolygon: {
+      const auto& p = shape.AsPoints();
+      double sum = 0;
+      for (size_t i = 0, j = p.size() - 1; i < p.size(); j = i++) {
+        sum += (p[j].x + p[i].x) * (p[j].y - p[i].y);
+      }
+      return std::abs(sum) / 2.0;
+    }
+    default:
+      return Status::TypeError("spatial-area expects circle/rectangle/polygon");
+  }
+}
+
+Status SpatialMbr(const Value& shape, GeoPoint* lo, GeoPoint* hi) {
+  if (!IsSpatialTag(shape.tag())) {
+    return Status::TypeError("not a spatial value");
+  }
+  if (shape.tag() == TypeTag::kCircle) {
+    GeoPoint c = shape.AsPoints()[0];
+    double r = shape.circle_radius();
+    *lo = {c.x - r, c.y - r};
+    *hi = {c.x + r, c.y + r};
+    return Status::OK();
+  }
+  const auto& pts = shape.AsPoints();
+  *lo = *hi = pts[0];
+  for (const auto& p : pts) {
+    lo->x = std::min(lo->x, p.x);
+    lo->y = std::min(lo->y, p.y);
+    hi->x = std::max(hi->x, p.x);
+    hi->y = std::max(hi->y, p.y);
+  }
+  return Status::OK();
+}
+
+Result<bool> SpatialIntersect(const Value& a, const Value& b) {
+  if (!IsSpatialTag(a.tag()) || !IsSpatialTag(b.tag())) {
+    return Status::TypeError("spatial-intersect expects spatial values");
+  }
+  // Cheap MBR rejection first.
+  GeoPoint alo, ahi, blo, bhi;
+  ASTERIX_RETURN_NOT_OK(SpatialMbr(a, &alo, &ahi));
+  ASTERIX_RETURN_NOT_OK(SpatialMbr(b, &blo, &bhi));
+  if (!RectsOverlap(alo, ahi, blo, bhi)) return false;
+
+  TypeTag ta = a.tag(), tb = b.tag();
+  // Normalize order so we only handle each unordered pair once.
+  if (ta > tb) return SpatialIntersect(b, a);
+
+  if (ta == TypeTag::kPoint) {
+    GeoPoint p = a.AsPoints()[0];
+    switch (tb) {
+      case TypeTag::kPoint:
+        return p == b.AsPoints()[0];
+      case TypeTag::kLine:
+        return OnSegment(b.AsPoints()[0], b.AsPoints()[1], p);
+      case TypeTag::kRectangle:
+        return RectContains(b.AsPoints()[0], b.AsPoints()[1], p);
+      case TypeTag::kCircle:
+        return Dist(p, b.AsPoints()[0]) <= b.circle_radius() + 1e-12;
+      default:
+        return PolygonContains(b.AsPoints(), p);
+    }
+  }
+  if (ta == TypeTag::kCircle || tb == TypeTag::kCircle) {
+    const Value& circle = ta == TypeTag::kCircle ? a : b;
+    const Value& other = ta == TypeTag::kCircle ? b : a;
+    GeoPoint c = circle.AsPoints()[0];
+    double r = circle.circle_radius();
+    if (other.tag() == TypeTag::kCircle) {
+      return Dist(c, other.AsPoints()[0]) <=
+             r + other.circle_radius() + 1e-12;
+    }
+    auto outline = ShapeOutline(other);
+    bool closed = OutlineClosed(other);
+    if (closed && PolygonContains(outline, c)) return true;
+    size_t n = outline.size();
+    size_t edges = closed ? n : n - 1;
+    for (size_t i = 0; i < edges; ++i) {
+      if (PointSegmentDistance(c, outline[i], outline[(i + 1) % n]) <= r + 1e-12) {
+        return true;
+      }
+    }
+    return false;
+  }
+  // Remaining combinations are outline-vs-outline (line/rect/polygon).
+  auto oa = ShapeOutline(a);
+  auto ob = ShapeOutline(b);
+  bool ca = OutlineClosed(a);
+  bool cb = OutlineClosed(b);
+  size_t ea = ca ? oa.size() : oa.size() - 1;
+  size_t eb = cb ? ob.size() : ob.size() - 1;
+  for (size_t i = 0; i < ea; ++i) {
+    for (size_t j = 0; j < eb; ++j) {
+      if (SegmentsIntersect(oa[i], oa[(i + 1) % oa.size()], ob[j],
+                            ob[(j + 1) % ob.size()])) {
+        return true;
+      }
+    }
+  }
+  // Containment without edge crossing.
+  if (ca && PolygonContains(oa, ob[0])) return true;
+  if (cb && PolygonContains(ob, oa[0])) return true;
+  return false;
+}
+
+Result<Value> SpatialCell(const Value& point, const Value& anchor, double dx,
+                          double dy) {
+  if (point.tag() != TypeTag::kPoint || anchor.tag() != TypeTag::kPoint) {
+    return Status::TypeError("spatial-cell expects points");
+  }
+  if (dx <= 0 || dy <= 0) {
+    return Status::InvalidArgument("spatial-cell extents must be positive");
+  }
+  GeoPoint p = point.AsPoints()[0];
+  GeoPoint a = anchor.AsPoints()[0];
+  double cx = std::floor((p.x - a.x) / dx);
+  double cy = std::floor((p.y - a.y) / dy);
+  GeoPoint lo{a.x + cx * dx, a.y + cy * dy};
+  GeoPoint hi{lo.x + dx, lo.y + dy};
+  return Value::Rectangle(lo, hi);
+}
+
+}  // namespace functions
+}  // namespace asterix

@@ -1,0 +1,36 @@
+#ifndef ASTERIX_FUNCTIONS_SPATIAL_H_
+#define ASTERIX_FUNCTIONS_SPATIAL_H_
+
+#include "adm/value.h"
+#include "common/status.h"
+
+namespace asterix {
+namespace functions {
+
+using adm::GeoPoint;
+using adm::Value;
+
+/// Euclidean distance between two points.
+Result<double> SpatialDistance(const Value& a, const Value& b);
+
+/// Area of a circle, rectangle, or (simple) polygon via the shoelace formula.
+Result<double> SpatialArea(const Value& shape);
+
+/// Geometric intersection test across point/line/rectangle/circle/polygon
+/// pairs (the paper's `spatial-intersect`).
+Result<bool> SpatialIntersect(const Value& a, const Value& b);
+
+/// Grid cell containing `point` for a grid anchored at `anchor` with cell
+/// extents (dx, dy); returns the cell rectangle (the paper's `spatial-cell`,
+/// used for grouped spatial aggregation).
+Result<Value> SpatialCell(const Value& point, const Value& anchor, double dx,
+                          double dy);
+
+/// Minimum bounding rectangle of any spatial value, as (lo, hi) corners.
+/// Used by the R-tree to derive index keys.
+Status SpatialMbr(const Value& shape, GeoPoint* lo, GeoPoint* hi);
+
+}  // namespace functions
+}  // namespace asterix
+
+#endif  // ASTERIX_FUNCTIONS_SPATIAL_H_

@@ -1,0 +1,159 @@
+#ifndef ASTERIX_HYRACKS_CHANNEL_H_
+#define ASTERIX_HYRACKS_CHANNEL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "hyracks/tuple.h"
+
+namespace asterix {
+namespace hyracks {
+
+/// Consumer-side endpoint of a connector: one per (destination instance,
+/// input port). N producer instances push frames tagged with their index;
+/// the destination pulls tuples until end-of-stream.
+class InChannel {
+ public:
+  virtual ~InChannel() = default;
+  virtual void Push(int producer, Frame frame) = 0;
+  virtual void ProducerDone(int producer) = 0;
+  virtual void Fail(Status status) = 0;
+  /// Blocking pull. Returns false at end-of-stream; a failed stream
+  /// surfaces its status.
+  virtual Result<bool> Next(Tuple* out) = 0;
+};
+
+/// FIFO channel: frames interleave in arrival order (all connectors except
+/// the merging one).
+class FifoChannel : public InChannel {
+ public:
+  explicit FifoChannel(int num_producers) : open_producers_(num_producers) {}
+
+  void Push(int producer, Frame frame) override {
+    (void)producer;
+    std::lock_guard<std::mutex> lock(mu_);
+    frames_.push_back(std::move(frame));
+    cv_.notify_one();
+  }
+
+  void ProducerDone(int) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    --open_producers_;
+    cv_.notify_one();
+  }
+
+  void Fail(Status status) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (status_.ok()) status_ = std::move(status);
+    cv_.notify_one();
+  }
+
+  Result<bool> Next(Tuple* out) override {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (true) {
+      if (!status_.ok()) return status_;
+      if (pos_ < current_.tuples.size()) {
+        *out = std::move(current_.tuples[pos_++]);
+        return true;
+      }
+      if (!frames_.empty()) {
+        current_ = std::move(frames_.front());
+        frames_.pop_front();
+        pos_ = 0;
+        continue;
+      }
+      if (open_producers_ == 0) return false;
+      cv_.wait(lock);
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Frame> frames_;
+  Frame current_;
+  size_t pos_ = 0;
+  int open_producers_;
+  Status status_;
+};
+
+/// Sorted-merge channel (the MToNPartitioningMerging connector): each
+/// producer's stream is already sorted by `compare`; Next() performs a
+/// blocking k-way merge so the destination sees one globally sorted stream.
+class MergeChannel : public InChannel {
+ public:
+  MergeChannel(int num_producers, TupleCompare compare)
+      : producers_(num_producers), compare_(std::move(compare)) {}
+
+  void Push(int producer, Frame frame) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& p = producers_[producer];
+    for (auto& t : frame.tuples) p.queue.push_back(std::move(t));
+    cv_.notify_one();
+  }
+
+  void ProducerDone(int producer) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    producers_[producer].done = true;
+    cv_.notify_one();
+  }
+
+  void Fail(Status status) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (status_.ok()) status_ = std::move(status);
+    cv_.notify_one();
+  }
+
+  Result<bool> Next(Tuple* out) override {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (true) {
+      if (!status_.ok()) return status_;
+      // Merge is possible only when every unfinished producer has a tuple
+      // buffered (otherwise a smaller tuple could still arrive).
+      bool ready = true;
+      bool any = false;
+      int best = -1;
+      for (size_t i = 0; i < producers_.size(); ++i) {
+        auto& p = producers_[i];
+        if (p.queue.empty()) {
+          if (!p.done) {
+            ready = false;
+            break;
+          }
+          continue;
+        }
+        any = true;
+        if (best < 0 ||
+            compare_(p.queue.front(), producers_[best].queue.front()) < 0) {
+          best = static_cast<int>(i);
+        }
+      }
+      if (ready) {
+        if (!any) return false;  // all done, all drained
+        *out = std::move(producers_[best].queue.front());
+        producers_[best].queue.pop_front();
+        return true;
+      }
+      cv_.wait(lock);
+    }
+  }
+
+ private:
+  struct ProducerState {
+    std::deque<Tuple> queue;
+    bool done = false;
+  };
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<ProducerState> producers_;
+  TupleCompare compare_;
+  Status status_;
+};
+
+}  // namespace hyracks
+}  // namespace asterix
+
+#endif  // ASTERIX_HYRACKS_CHANNEL_H_

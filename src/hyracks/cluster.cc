@@ -1,0 +1,217 @@
+#include "hyracks/cluster.h"
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <thread>
+
+namespace asterix {
+namespace hyracks {
+
+namespace {
+
+/// Routes one operator instance's pushes through all of its outgoing
+/// connectors to the right destination channels, counting hops.
+class RoutingEmitter : public Emitter {
+ public:
+  struct Route {
+    const ConnectorDescriptor* conn;
+    // One channel per destination instance.
+    std::vector<InChannel*> dst_channels;
+    // Node of each destination instance (network accounting).
+    std::vector<int> dst_nodes;
+  };
+
+  RoutingEmitter(int src_instance, int src_node, std::vector<Route> routes,
+                 std::atomic<uint64_t>* connector_tuples,
+                 std::atomic<uint64_t>* network_tuples)
+      : src_instance_(src_instance),
+        src_node_(src_node),
+        routes_(std::move(routes)),
+        connector_tuples_(connector_tuples),
+        network_tuples_(network_tuples) {
+    for (auto& r : routes_) {
+      buffers_.emplace_back(r.dst_channels.size());
+    }
+  }
+
+  void Push(Tuple tuple) override {
+    for (size_t ri = 0; ri < routes_.size(); ++ri) {
+      Route& r = routes_[ri];
+      int n = static_cast<int>(r.dst_channels.size());
+      switch (r.conn->type) {
+        case ConnectorType::kOneToOne: {
+          Deliver(ri, src_instance_ % n, tuple);
+          break;
+        }
+        case ConnectorType::kMToNReplicating: {
+          for (int d = 0; d < n; ++d) Deliver(ri, d, tuple);
+          break;
+        }
+        case ConnectorType::kLocalityAwareMToNPartitioning: {
+          int d = r.conn->locality_map
+                      ? r.conn->locality_map(src_instance_, n)
+                      : src_instance_ % n;
+          Deliver(ri, d, tuple);
+          break;
+        }
+        case ConnectorType::kMToNPartitioning:
+        case ConnectorType::kHashPartitioningShuffle:
+        case ConnectorType::kMToNPartitioningMerging: {
+          uint64_t h = r.conn->partition_hash ? r.conn->partition_hash(tuple) : 0;
+          Deliver(ri, static_cast<int>(h % static_cast<uint64_t>(n)), tuple);
+          break;
+        }
+      }
+    }
+  }
+
+  void Flush() override {
+    for (size_t ri = 0; ri < routes_.size(); ++ri) {
+      for (size_t d = 0; d < buffers_[ri].size(); ++d) {
+        FlushBuffer(ri, d);
+      }
+    }
+  }
+
+  /// End-of-stream to every destination.
+  void Done() {
+    Flush();
+    for (auto& r : routes_) {
+      for (auto* ch : r.dst_channels) ch->ProducerDone(src_instance_);
+    }
+  }
+
+  void FailAll(const Status& status) {
+    for (auto& r : routes_) {
+      for (auto* ch : r.dst_channels) ch->Fail(status);
+    }
+  }
+
+ private:
+  void Deliver(size_t route, int dst, const Tuple& tuple) {
+    Frame& buf = buffers_[route][dst];
+    buf.tuples.push_back(tuple);
+    connector_tuples_->fetch_add(1, std::memory_order_relaxed);
+    if (routes_[route].dst_nodes[dst] != src_node_) {
+      network_tuples_->fetch_add(1, std::memory_order_relaxed);
+    }
+    if (buf.tuples.size() >= kDefaultFrameTuples) FlushBuffer(route, dst);
+  }
+
+  void FlushBuffer(size_t route, size_t dst) {
+    Frame& buf = buffers_[route][dst];
+    if (buf.tuples.empty()) return;
+    routes_[route].dst_channels[dst]->Push(src_instance_, std::move(buf));
+    buf = Frame{};
+  }
+
+  int src_instance_;
+  int src_node_;
+  std::vector<Route> routes_;
+  std::vector<std::vector<Frame>> buffers_;  // [route][dst]
+  std::atomic<uint64_t>* connector_tuples_;
+  std::atomic<uint64_t>* network_tuples_;
+};
+
+}  // namespace
+
+Result<JobStats> Cluster::ExecuteJob(const JobSpec& job) {
+  auto start = std::chrono::steady_clock::now();
+  // Model the fixed job generation/distribution overhead of a real cluster.
+  if (config_.job_startup_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(config_.job_startup_us));
+  }
+
+  std::atomic<uint64_t> connector_tuples{0};
+  std::atomic<uint64_t> network_tuples{0};
+
+  // Channels: one per (connector, destination instance). Owned here.
+  std::vector<std::unique_ptr<InChannel>> channel_storage;
+  // (connector id) -> channels per destination instance.
+  std::map<int, std::vector<InChannel*>> conn_channels;
+  for (const auto& c : job.connectors) {
+    const OperatorDescriptor* src = job.FindOperator(c.src_op);
+    const OperatorDescriptor* dst = job.FindOperator(c.dst_op);
+    if (!src || !dst) return Status::InvalidArgument("dangling connector");
+    std::vector<InChannel*> per_dst;
+    for (int d = 0; d < dst->parallelism; ++d) {
+      if (c.type == ConnectorType::kMToNPartitioningMerging && c.merge_compare) {
+        channel_storage.push_back(
+            std::make_unique<MergeChannel>(src->parallelism, c.merge_compare));
+      } else {
+        channel_storage.push_back(
+            std::make_unique<FifoChannel>(src->parallelism));
+      }
+      per_dst.push_back(channel_storage.back().get());
+    }
+    conn_channels[c.id] = std::move(per_dst);
+  }
+
+  // Instance node mapping: storage-parallel operators put instance p on the
+  // node owning partition p; singleton operators run on node 0.
+  auto node_of_instance = [&](const OperatorDescriptor& op, int instance) {
+    if (op.parallelism == num_partitions()) return NodeOfPartition(instance);
+    return instance % config_.num_nodes;
+  };
+
+  // Launch every operator instance.
+  std::vector<std::thread> threads;
+  std::mutex status_mu;
+  Status first_failure;
+
+  for (const auto& op : job.operators) {
+    for (int inst = 0; inst < op.parallelism; ++inst) {
+      // Gather input channels by port.
+      std::vector<InChannel*> inputs(static_cast<size_t>(op.num_inputs), nullptr);
+      for (const auto& c : job.connectors) {
+        if (c.dst_op != op.id) continue;
+        inputs[static_cast<size_t>(c.dst_port)] = conn_channels[c.id][inst];
+      }
+      // Gather output routes.
+      std::vector<RoutingEmitter::Route> routes;
+      for (const auto& c : job.connectors) {
+        if (c.src_op != op.id) continue;
+        const OperatorDescriptor* dst = job.FindOperator(c.dst_op);
+        RoutingEmitter::Route r;
+        r.conn = &c;
+        r.dst_channels = conn_channels[c.id];
+        for (int d = 0; d < dst->parallelism; ++d) {
+          r.dst_nodes.push_back(node_of_instance(*dst, d));
+        }
+        routes.push_back(std::move(r));
+      }
+
+      int node = node_of_instance(op, inst);
+      threads.emplace_back([&, inputs, routes = std::move(routes), inst, node,
+                            factory = op.factory]() mutable {
+        RoutingEmitter emitter(inst, node, std::move(routes), &connector_tuples,
+                               &network_tuples);
+        std::unique_ptr<OperatorInstance> instance = factory(inst);
+        Status st = instance->Run(inputs, &emitter);
+        if (st.ok()) {
+          emitter.Done();
+        } else {
+          emitter.FailAll(st);
+          emitter.Done();
+          std::lock_guard<std::mutex> lock(status_mu);
+          if (first_failure.ok()) first_failure = st;
+        }
+      });
+    }
+  }
+  for (auto& t : threads) t.join();
+  ++jobs_executed_;
+
+  if (!first_failure.ok()) return first_failure;
+  JobStats stats;
+  stats.elapsed_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+  stats.connector_tuples = connector_tuples.load();
+  stats.network_tuples = network_tuples.load();
+  return stats;
+}
+
+}  // namespace hyracks
+}  // namespace asterix

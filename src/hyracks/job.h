@@ -1,0 +1,119 @@
+#ifndef ASTERIX_HYRACKS_JOB_H_
+#define ASTERIX_HYRACKS_JOB_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hyracks/channel.h"
+
+namespace asterix {
+namespace hyracks {
+
+/// Routed output of an operator instance; the executor wires it to the
+/// operator's outgoing connector.
+class Emitter {
+ public:
+  virtual ~Emitter() = default;
+  virtual void Push(Tuple tuple) = 0;
+  /// Flushes buffered frames (executor also flushes at operator close).
+  virtual void Flush() = 0;
+};
+
+/// A per-partition runtime instance of an operator. `inputs[p]` is the
+/// channel for input port p; emit everything through `out`.
+class OperatorInstance {
+ public:
+  virtual ~OperatorInstance() = default;
+  virtual Status Run(const std::vector<InChannel*>& inputs, Emitter* out) = 0;
+};
+
+using OperatorFactory =
+    std::function<std::unique_ptr<OperatorInstance>(int partition)>;
+
+/// Declarative operator description in a Hyracks job DAG. `blocking_ports`
+/// exposes the operator's activity structure to the scheduler: those ports
+/// must be fully consumed before the operator can produce output (e.g. the
+/// Join Build activity of a HybridHash join, or a sort's run-generation
+/// activity) — the paper's Operator -> Activities expansion.
+struct OperatorDescriptor {
+  int id = 0;
+  std::string name;
+  int parallelism = 1;
+  int num_inputs = 0;
+  std::vector<int> blocking_ports;
+  OperatorFactory factory;
+};
+
+/// The six connector types the paper lists for Hyracks.
+enum class ConnectorType {
+  kOneToOne,
+  kMToNPartitioning,
+  kMToNReplicating,
+  kMToNPartitioningMerging,
+  kLocalityAwareMToNPartitioning,
+  kHashPartitioningShuffle,
+};
+
+const char* ConnectorTypeName(ConnectorType t);
+
+struct ConnectorDescriptor {
+  int id = 0;
+  ConnectorType type = ConnectorType::kOneToOne;
+  int src_op = -1;
+  int dst_op = -1;
+  int dst_port = 0;
+  /// Hash of the partitioning key (partitioning connectors).
+  std::function<uint64_t(const Tuple&)> partition_hash;
+  /// Sorted-merge order at the destination (merging connector).
+  TupleCompare merge_compare;
+  /// Custom source->destination mapping (locality-aware connector).
+  std::function<int(int src_partition, int num_dst)> locality_map;
+};
+
+/// A Hyracks job: a DAG of operators and connectors, compiled from an AQL
+/// statement by Algebricks, executed by the cluster executor.
+struct JobSpec {
+  std::vector<OperatorDescriptor> operators;
+  std::vector<ConnectorDescriptor> connectors;
+
+  /// Adds an operator, assigning its id.
+  int AddOperator(OperatorDescriptor op);
+  /// Connects src's output to dst's input port.
+  int Connect(ConnectorType type, int src_op, int dst_op, int dst_port = 0,
+              std::function<uint64_t(const Tuple&)> hash = nullptr,
+              TupleCompare merge = nullptr);
+
+  const OperatorDescriptor* FindOperator(int id) const;
+
+  /// Figure-6-style rendering: one line per operator (bottom-up data flow
+  /// is top-down in the listing), connectors shown as "1:1" / "n:1 ..."
+  /// edges.
+  std::string ToString() const;
+};
+
+/// One activity of an operator after expansion (the paper: "Operators are
+/// expanded into their constituent Activities").
+struct Activity {
+  int op_id;
+  std::string name;      // e.g. "join-build", "join-probe", "sort", "output"
+  bool produces_output;  // probe/output activities feed downstream
+};
+
+/// Stages: groups of activities that can run concurrently, in dependency
+/// order. Blocking ports force the consuming activity into a later stage
+/// than its producers.
+struct StagePlan {
+  std::vector<std::vector<Activity>> stages;
+  std::string ToString() const;
+};
+
+/// Expands operators to activities and layers them into stages following
+/// blocking constraints.
+StagePlan ComputeStages(const JobSpec& job);
+
+}  // namespace hyracks
+}  // namespace asterix
+
+#endif  // ASTERIX_HYRACKS_JOB_H_

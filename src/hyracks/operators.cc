@@ -1,0 +1,908 @@
+#include "hyracks/operators.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+
+#include "adm/serde.h"
+#include "common/env.h"
+#include "functions/aggregates.h"
+#include "functions/arith.h"
+
+namespace asterix {
+namespace hyracks {
+
+using adm::Value;
+
+namespace {
+
+/// Adapter: build an OperatorInstance from a lambda.
+class LambdaOperator : public OperatorInstance {
+ public:
+  using Fn = std::function<Status(const std::vector<InChannel*>&, Emitter*)>;
+  explicit LambdaOperator(Fn fn) : fn_(std::move(fn)) {}
+  Status Run(const std::vector<InChannel*>& inputs, Emitter* out) override {
+    return fn_(inputs, out);
+  }
+
+ private:
+  Fn fn_;
+};
+
+OperatorFactory Lambda(std::function<Status(int, const std::vector<InChannel*>&,
+                                            Emitter*)> fn) {
+  return [fn = std::move(fn)](int partition) {
+    return std::make_unique<LambdaOperator>(
+        [fn, partition](const std::vector<InChannel*>& in, Emitter* out) {
+          return fn(partition, in, out);
+        });
+  };
+}
+
+/// Drains one input channel, invoking `fn` per tuple.
+Status ForEachInput(InChannel* in, const std::function<Status(Tuple&)>& fn) {
+  Tuple t;
+  while (true) {
+    auto r = in->Next(&t);
+    if (!r.ok()) return r.status();
+    if (!r.value()) return Status::OK();
+    ASTERIX_RETURN_NOT_OK(fn(t));
+  }
+}
+
+struct TupleKeyLess {
+  bool operator()(const std::vector<Value>& a,
+                  const std::vector<Value>& b) const {
+    size_t n = std::min(a.size(), b.size());
+    for (size_t i = 0; i < n; ++i) {
+      int c = a[i].Compare(b[i]);
+      if (c != 0) return c < 0;
+    }
+    return a.size() < b.size();
+  }
+};
+
+struct TupleKeyHash {
+  size_t operator()(const std::vector<Value>& k) const {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (const auto& v : k) h = v.Hash(h);
+    return static_cast<size_t>(h);
+  }
+};
+
+struct TupleKeyEq {
+  bool operator()(const std::vector<Value>& a,
+                  const std::vector<Value>& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a[i].Compare(b[i]) != 0) return false;
+    }
+    return true;
+  }
+};
+
+Result<std::vector<Value>> EvalKeys(const std::vector<TupleEval>& evals,
+                                    const Tuple& t) {
+  std::vector<Value> keys;
+  keys.reserve(evals.size());
+  for (const auto& e : evals) {
+    auto r = e(t);
+    if (!r.ok()) return r.status();
+    keys.push_back(r.take());
+  }
+  return keys;
+}
+
+// Group-by core shared by hash and preclustered variants.
+struct GroupState {
+  std::vector<std::unique_ptr<functions::Aggregator>> aggs;
+};
+
+Status FeedGroup(GroupState* g, const std::vector<AggSpec>& specs,
+                 const Tuple& t, AggMode mode, size_t key_arity) {
+  for (size_t i = 0; i < specs.size(); ++i) {
+    if (mode == AggMode::kGlobal) {
+      // Partial columns follow the keys in the input layout.
+      g->aggs[i]->Combine(t[key_arity + i]);
+    } else if (specs[i].input) {
+      auto v = specs[i].input(t);
+      if (!v.ok()) return v.status();
+      g->aggs[i]->Add(v.value());
+    } else {
+      g->aggs[i]->Add(Value::Int64(1));  // count(*) style
+    }
+  }
+  return Status::OK();
+}
+
+Tuple FinishGroup(const std::vector<Value>& keys, GroupState* g, AggMode mode) {
+  Tuple out = keys;
+  for (auto& a : g->aggs) {
+    out.push_back(mode == AggMode::kLocal ? a->Partial() : a->Finish());
+  }
+  return out;
+}
+
+GroupState NewGroup(const std::vector<AggSpec>& specs) {
+  GroupState g;
+  for (const auto& s : specs) {
+    g.aggs.push_back(functions::MakeAggregator(s.function));
+  }
+  return g;
+}
+
+}  // namespace
+
+std::function<uint64_t(const Tuple&)> HashOnColumns(std::vector<int> columns) {
+  return [columns = std::move(columns)](const Tuple& t) {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (int c : columns) h = t[static_cast<size_t>(c)].Hash(h);
+    return h;
+  };
+}
+
+OperatorDescriptor MakeValueScan(std::vector<Tuple> tuples) {
+  OperatorDescriptor op;
+  op.name = "value-scan";
+  op.parallelism = 1;
+  op.num_inputs = 0;
+  auto shared = std::make_shared<std::vector<Tuple>>(std::move(tuples));
+  op.factory = Lambda([shared](int partition, const std::vector<InChannel*>&,
+                               Emitter* out) {
+    // Only instance 0 emits, so a misconfigured parallelism cannot
+    // duplicate the constants.
+    if (partition == 0) {
+      for (const auto& t : *shared) out->Push(t);
+    }
+    return Status::OK();
+  });
+  return op;
+}
+
+OperatorDescriptor MakeUnion(int parallelism, int num_inputs) {
+  OperatorDescriptor op;
+  op.name = "union-all";
+  op.parallelism = parallelism;
+  op.num_inputs = num_inputs;
+  op.factory = Lambda([num_inputs](int, const std::vector<InChannel*>& in,
+                                   Emitter* out) {
+    for (int port = 0; port < num_inputs; ++port) {
+      ASTERIX_RETURN_NOT_OK(ForEachInput(in[static_cast<size_t>(port)],
+                                         [&](Tuple& t) {
+                                           out->Push(std::move(t));
+                                           return Status::OK();
+                                         }));
+    }
+    return Status::OK();
+  });
+  return op;
+}
+
+OperatorDescriptor MakeDatasetScan(storage::PartitionedDataset* dataset) {
+  OperatorDescriptor op;
+  op.name = "scan(" + dataset->def().name + ")";
+  op.parallelism = static_cast<int>(dataset->num_partitions());
+  op.num_inputs = 0;
+  op.factory = Lambda([dataset](int p, const std::vector<InChannel*>&,
+                                Emitter* out) {
+    return dataset->partition(static_cast<uint32_t>(p))
+        ->ScanAll([&](const Value& rec) {
+          out->Push({rec});
+          return Status::OK();
+        });
+  });
+  return op;
+}
+
+OperatorDescriptor MakePrimaryRangeScan(storage::PartitionedDataset* dataset,
+                                        storage::ScanBounds bounds) {
+  OperatorDescriptor op;
+  op.name = "btree-range-scan(" + dataset->def().name + ")";
+  op.parallelism = static_cast<int>(dataset->num_partitions());
+  op.num_inputs = 0;
+  auto shared = std::make_shared<storage::ScanBounds>(std::move(bounds));
+  op.factory = Lambda([dataset, shared](int p, const std::vector<InChannel*>&,
+                                        Emitter* out) {
+    return dataset->partition(static_cast<uint32_t>(p))
+        ->PrimaryRangeScan(*shared, [&](const Value& rec) {
+          out->Push({rec});
+          return Status::OK();
+        });
+  });
+  return op;
+}
+
+OperatorDescriptor MakePrimarySearch(storage::PartitionedDataset* dataset,
+                                     txn::TxnManager* txns,
+                                     std::vector<int> key_columns, bool locked) {
+  OperatorDescriptor op;
+  op.name = std::string("btree-search(") + dataset->def().name + ".primary)";
+  op.parallelism = static_cast<int>(dataset->num_partitions());
+  op.num_inputs = 1;
+  op.factory = Lambda([dataset, txns, key_columns, locked](
+                          int, const std::vector<InChannel*>& in,
+                          Emitter* out) {
+    // One implicit read transaction per task; S locks release at commit.
+    txn::TxnId t = locked ? txns->Begin() : 0;
+    Status st = ForEachInput(in[0], [&](Tuple& tuple) {
+      storage::CompositeKey pk;
+      for (int c : key_columns) pk.push_back(tuple[static_cast<size_t>(c)]);
+      bool found = false;
+      Value rec;
+      uint32_t part = dataset->PartitionOf(pk);
+      if (locked) {
+        ASTERIX_RETURN_NOT_OK(
+            dataset->partition(part)->LockedLookup(t, pk, &found, &rec));
+      } else {
+        ASTERIX_RETURN_NOT_OK(
+            dataset->partition(part)->PointLookup(pk, &found, &rec));
+      }
+      if (found) {
+        Tuple o = tuple;
+        o.push_back(std::move(rec));
+        out->Push(std::move(o));
+      }
+      return Status::OK();
+    });
+    // Read-only transaction: release the S locks; no WAL record needed.
+    if (locked) txns->locks().ReleaseAll(t);
+    return st;
+  });
+  return op;
+}
+
+OperatorDescriptor MakeSecondarySearch(storage::PartitionedDataset* dataset,
+                                       std::string index_name,
+                                       storage::ScanBounds bounds,
+                                       size_t pk_arity) {
+  OperatorDescriptor op;
+  op.name = "btree-search(" + index_name + ")";
+  op.parallelism = static_cast<int>(dataset->num_partitions());
+  op.num_inputs = 0;
+  auto shared = std::make_shared<storage::ScanBounds>(std::move(bounds));
+  op.factory = Lambda([dataset, index_name, shared, pk_arity](
+                          int p, const std::vector<InChannel*>&, Emitter* out) {
+    return dataset->partition(static_cast<uint32_t>(p))
+        ->SecondaryRangeScan(index_name, *shared,
+                             [&](const storage::IndexEntry& e) {
+                               Tuple t(e.key.end() - pk_arity, e.key.end());
+                               out->Push(std::move(t));
+                               return Status::OK();
+                             });
+  });
+  return op;
+}
+
+OperatorDescriptor MakeSecondaryProbe(storage::PartitionedDataset* dataset,
+                                      std::string index_name, TupleEval key_eval,
+                                      size_t pk_arity) {
+  OperatorDescriptor op;
+  op.name = "btree-probe(" + index_name + ")";
+  op.parallelism = static_cast<int>(dataset->num_partitions());
+  op.num_inputs = 1;
+  op.factory = Lambda([dataset, index_name, key_eval, pk_arity](
+                          int p, const std::vector<InChannel*>& in,
+                          Emitter* out) {
+    return ForEachInput(in[0], [&](Tuple& tuple) {
+      auto key_r = key_eval(tuple);
+      if (!key_r.ok()) return key_r.status();
+      if (key_r.value().IsUnknown()) return Status::OK();
+      storage::ScanBounds b;
+      b.lo = storage::CompositeKey{key_r.value()};
+      b.hi = b.lo;
+      return dataset->partition(static_cast<uint32_t>(p))
+          ->SecondaryRangeScan(index_name, b, [&](const storage::IndexEntry& e) {
+            Tuple o = tuple;
+            o.insert(o.end(), e.key.end() - pk_arity, e.key.end());
+            out->Push(std::move(o));
+            return Status::OK();
+          });
+    });
+  });
+  return op;
+}
+
+OperatorDescriptor MakeRTreeSearch(storage::PartitionedDataset* dataset,
+                                   std::string index_name, storage::Mbr query,
+                                   size_t pk_arity) {
+  OperatorDescriptor op;
+  op.name = "rtree-search(" + index_name + ")";
+  op.parallelism = static_cast<int>(dataset->num_partitions());
+  op.num_inputs = 0;
+  op.factory = Lambda([dataset, index_name, query, pk_arity](
+                          int p, const std::vector<InChannel*>&, Emitter* out) {
+    (void)pk_arity;
+    return dataset->partition(static_cast<uint32_t>(p))
+        ->RTreeSearch(index_name, query, [&](const storage::CompositeKey& pk) {
+          out->Push(Tuple(pk.begin(), pk.end()));
+          return Status::OK();
+        });
+  });
+  return op;
+}
+
+OperatorDescriptor MakeInvertedSearch(storage::PartitionedDataset* dataset,
+                                      std::string index_name,
+                                      std::vector<std::string> tokens,
+                                      size_t min_matches, size_t pk_arity) {
+  OperatorDescriptor op;
+  op.name = "inverted-search(" + index_name + ")";
+  op.parallelism = static_cast<int>(dataset->num_partitions());
+  op.num_inputs = 0;
+  auto shared = std::make_shared<std::vector<std::string>>(std::move(tokens));
+  op.factory = Lambda([dataset, index_name, shared, min_matches, pk_arity](
+                          int p, const std::vector<InChannel*>&, Emitter* out) {
+    (void)pk_arity;
+    auto* ix = dataset->partition(static_cast<uint32_t>(p))
+                   ->inverted_index(index_name);
+    if (!ix) return Status::NotFound("no inverted index " + index_name);
+    return ix->SearchTokensCount(
+        *shared, [&](const storage::CompositeKey& pk, size_t count) {
+          if (count >= min_matches) out->Push(Tuple(pk.begin(), pk.end()));
+          return Status::OK();
+        });
+  });
+  return op;
+}
+
+OperatorDescriptor MakeSelect(int parallelism, TupleEval predicate) {
+  OperatorDescriptor op;
+  op.name = "select";
+  op.parallelism = parallelism;
+  op.num_inputs = 1;
+  op.factory = Lambda([predicate](int, const std::vector<InChannel*>& in,
+                                  Emitter* out) {
+    return ForEachInput(in[0], [&](Tuple& t) {
+      auto v = predicate(t);
+      if (!v.ok()) return v.status();
+      if (functions::ValueToTri(v.value()) == functions::Tri::kTrue) {
+        out->Push(std::move(t));
+      }
+      return Status::OK();
+    });
+  });
+  return op;
+}
+
+OperatorDescriptor MakeAssign(int parallelism, std::vector<TupleEval> exprs) {
+  OperatorDescriptor op;
+  op.name = "assign";
+  op.parallelism = parallelism;
+  op.num_inputs = 1;
+  op.factory = Lambda([exprs](int, const std::vector<InChannel*>& in,
+                              Emitter* out) {
+    return ForEachInput(in[0], [&](Tuple& t) {
+      for (const auto& e : exprs) {
+        auto v = e(t);
+        if (!v.ok()) return v.status();
+        t.push_back(v.take());
+      }
+      out->Push(std::move(t));
+      return Status::OK();
+    });
+  });
+  return op;
+}
+
+OperatorDescriptor MakeProject(int parallelism, std::vector<int> columns) {
+  OperatorDescriptor op;
+  op.name = "project";
+  op.parallelism = parallelism;
+  op.num_inputs = 1;
+  op.factory = Lambda([columns](int, const std::vector<InChannel*>& in,
+                                Emitter* out) {
+    return ForEachInput(in[0], [&](Tuple& t) {
+      Tuple o;
+      o.reserve(columns.size());
+      for (int c : columns) o.push_back(t[static_cast<size_t>(c)]);
+      out->Push(std::move(o));
+      return Status::OK();
+    });
+  });
+  return op;
+}
+
+namespace {
+
+// Serialized sorted run on disk for the external sort. Tuples are written
+// as (varint column count, schemaless values); the reader streams them
+// back in order.
+class SortRun {
+ public:
+  static Result<SortRun> Write(const std::string& path,
+                               const std::vector<Tuple>& tuples) {
+    BytesWriter w;
+    for (const auto& t : tuples) {
+      w.PutVarint(t.size());
+      for (const auto& v : t) adm::SerializeValue(v, &w);
+    }
+    ASTERIX_RETURN_NOT_OK(env::WriteFileAtomic(path, w.data().data(), w.size()));
+    SortRun run;
+    run.path_ = path;
+    run.count_ = tuples.size();
+    return run;
+  }
+
+  Status Open() {
+    ASTERIX_RETURN_NOT_OK(env::ReadFile(path_, &bytes_));
+    reader_ = std::make_unique<BytesReader>(bytes_.data(), bytes_.size());
+    return Advance();
+  }
+
+  bool exhausted() const { return exhausted_; }
+  const Tuple& head() const { return head_; }
+
+  Status Advance() {
+    if (remaining_ == 0) {
+      exhausted_ = true;
+      return Status::OK();
+    }
+    uint64_t cols;
+    ASTERIX_RETURN_NOT_OK(reader_->GetVarint(&cols));
+    head_.clear();
+    head_.reserve(cols);
+    for (uint64_t i = 0; i < cols; ++i) {
+      Value v;
+      ASTERIX_RETURN_NOT_OK(adm::DeserializeValue(reader_.get(), &v));
+      head_.push_back(std::move(v));
+    }
+    --remaining_;
+    return Status::OK();
+  }
+
+  void Remove() { env::RemoveFile(path_); }
+
+ private:
+  friend class SortRunInit;
+  std::string path_;
+  size_t count_ = 0;
+  size_t remaining_ = 0;
+  std::vector<uint8_t> bytes_;
+  std::unique_ptr<BytesReader> reader_;
+  Tuple head_;
+  bool exhausted_ = false;
+
+ public:
+  void PrepareRead() { remaining_ = count_; }
+};
+
+}  // namespace
+
+OperatorDescriptor MakeSort(int parallelism, TupleCompare compare,
+                            std::optional<size_t> limit,
+                            size_t spill_budget_tuples) {
+  OperatorDescriptor op;
+  op.name = "sort";
+  op.parallelism = parallelism;
+  op.num_inputs = 1;
+  op.blocking_ports = {0};
+  op.factory = Lambda([compare, limit, spill_budget_tuples](
+                          int partition, const std::vector<InChannel*>& in,
+                          Emitter* out) {
+    // External merge sort: sorted runs spill to disk once the in-memory
+    // budget is hit; a final k-way merge streams the global order.
+    std::vector<Tuple> buffer;
+    std::vector<SortRun> runs;
+    std::string run_dir;
+    auto sort_buffer = [&] {
+      std::stable_sort(buffer.begin(), buffer.end(),
+                       [&](const Tuple& a, const Tuple& b) {
+                         return compare(a, b) < 0;
+                       });
+    };
+    auto spill = [&]() -> Status {
+      sort_buffer();
+      if (run_dir.empty()) run_dir = env::NewScratchDir("sort-spill");
+      auto run = SortRun::Write(
+          run_dir + "/run" + std::to_string(runs.size()), buffer);
+      if (!run.ok()) return run.status();
+      runs.push_back(run.take());
+      buffer.clear();
+      return Status::OK();
+    };
+
+    ASTERIX_RETURN_NOT_OK(ForEachInput(in[0], [&](Tuple& t) {
+      buffer.push_back(std::move(t));
+      if (buffer.size() >= spill_budget_tuples) return spill();
+      return Status::OK();
+    }));
+    (void)partition;
+
+    if (runs.empty()) {
+      // Everything fit in memory.
+      sort_buffer();
+      size_t n = limit.has_value() ? std::min(*limit, buffer.size())
+                                   : buffer.size();
+      for (size_t i = 0; i < n; ++i) out->Push(std::move(buffer[i]));
+      return Status::OK();
+    }
+    if (!buffer.empty()) ASTERIX_RETURN_NOT_OK(spill());
+
+    // K-way merge over the runs.
+    for (auto& run : runs) {
+      run.PrepareRead();
+      ASTERIX_RETURN_NOT_OK(run.Open());
+    }
+    size_t emitted = 0;
+    while (true) {
+      int best = -1;
+      for (size_t i = 0; i < runs.size(); ++i) {
+        if (runs[i].exhausted()) continue;
+        if (best < 0 || compare(runs[i].head(), runs[best].head()) < 0) {
+          best = static_cast<int>(i);
+        }
+      }
+      if (best < 0) break;
+      if (!limit.has_value() || emitted < *limit) {
+        out->Push(runs[best].head());
+        ++emitted;
+      } else {
+        break;
+      }
+      ASTERIX_RETURN_NOT_OK(runs[static_cast<size_t>(best)].Advance());
+    }
+    for (auto& run : runs) run.Remove();
+    if (!run_dir.empty()) env::RemoveAll(run_dir);
+    return Status::OK();
+  });
+  return op;
+}
+
+OperatorDescriptor MakeHybridHashJoin(int parallelism,
+                                      std::vector<TupleEval> build_keys,
+                                      std::vector<TupleEval> probe_keys,
+                                      size_t build_arity, bool left_outer) {
+  OperatorDescriptor op;
+  op.name = "hybrid-hash-join";
+  op.parallelism = parallelism;
+  op.num_inputs = 2;
+  op.blocking_ports = {0};  // Join Build activity blocks before probing
+  op.factory = Lambda([build_keys, probe_keys, build_arity, left_outer](
+                          int, const std::vector<InChannel*>& in,
+                          Emitter* out) {
+    // Build.
+    std::unordered_map<std::vector<Value>, std::vector<Tuple>, TupleKeyHash,
+                       TupleKeyEq>
+        table;
+    ASTERIX_RETURN_NOT_OK(ForEachInput(in[0], [&](Tuple& t) {
+      auto keys_r = EvalKeys(build_keys, t);
+      if (!keys_r.ok()) return keys_r.status();
+      bool unknown = false;
+      for (const auto& k : keys_r.value()) unknown |= k.IsUnknown();
+      if (!unknown) table[keys_r.take()].push_back(std::move(t));
+      return Status::OK();
+    }));
+    // Probe.
+    return ForEachInput(in[1], [&](Tuple& t) {
+      auto keys_r = EvalKeys(probe_keys, t);
+      if (!keys_r.ok()) return keys_r.status();
+      bool unknown = false;
+      for (const auto& k : keys_r.value()) unknown |= k.IsUnknown();
+      auto it = unknown ? table.end() : table.find(keys_r.value());
+      if (it != table.end()) {
+        for (const auto& build_tuple : it->second) {
+          Tuple o = build_tuple;
+          o.insert(o.end(), t.begin(), t.end());
+          out->Push(std::move(o));
+        }
+      } else if (left_outer) {
+        Tuple o(build_arity, Value::Null());
+        o.insert(o.end(), t.begin(), t.end());
+        out->Push(std::move(o));
+      }
+      return Status::OK();
+    });
+  });
+  return op;
+}
+
+OperatorDescriptor MakeNestedLoopJoin(int parallelism, TupleEval predicate,
+                                      size_t build_arity, bool left_outer) {
+  OperatorDescriptor op;
+  op.name = "nested-loop-join";
+  op.parallelism = parallelism;
+  op.num_inputs = 2;
+  op.blocking_ports = {0};
+  op.factory = Lambda([predicate, build_arity, left_outer](
+                          int, const std::vector<InChannel*>& in,
+                          Emitter* out) {
+    std::vector<Tuple> build;
+    ASTERIX_RETURN_NOT_OK(ForEachInput(in[0], [&](Tuple& t) {
+      build.push_back(std::move(t));
+      return Status::OK();
+    }));
+    return ForEachInput(in[1], [&](Tuple& t) {
+      bool matched = false;
+      for (const auto& b : build) {
+        Tuple joined = b;
+        joined.insert(joined.end(), t.begin(), t.end());
+        auto v = predicate(joined);
+        if (!v.ok()) return v.status();
+        if (functions::ValueToTri(v.value()) == functions::Tri::kTrue) {
+          matched = true;
+          out->Push(std::move(joined));
+        }
+      }
+      if (!matched && left_outer) {
+        Tuple o(build_arity, Value::Null());
+        o.insert(o.end(), t.begin(), t.end());
+        out->Push(std::move(o));
+      }
+      return Status::OK();
+    });
+  });
+  return op;
+}
+
+namespace {
+
+OperatorDescriptor MakeGroupByImpl(const char* name, int parallelism,
+                                   std::vector<TupleEval> keys,
+                                   std::vector<AggSpec> aggs, AggMode mode,
+                                   bool preclustered) {
+  OperatorDescriptor op;
+  op.name = name;
+  op.parallelism = parallelism;
+  op.num_inputs = 1;
+  if (!preclustered) op.blocking_ports = {0};
+  op.factory = Lambda([keys, aggs, mode, preclustered](
+                          int, const std::vector<InChannel*>& in,
+                          Emitter* out) {
+    size_t key_arity = keys.size();
+    if (preclustered) {
+      // Streaming: groups arrive contiguously.
+      bool has_group = false;
+      std::vector<Value> cur_keys;
+      GroupState cur = NewGroup(aggs);
+      Status st = ForEachInput(in[0], [&](Tuple& t) {
+        auto keys_r = EvalKeys(keys, t);
+        if (!keys_r.ok()) return keys_r.status();
+        bool same_group = has_group &&
+                          !TupleKeyLess{}(cur_keys, keys_r.value()) &&
+                          !TupleKeyLess{}(keys_r.value(), cur_keys);
+        if (has_group && !same_group) {
+          out->Push(FinishGroup(cur_keys, &cur, mode));
+          cur = NewGroup(aggs);
+        }
+        cur_keys = keys_r.take();
+        has_group = true;
+        return FeedGroup(&cur, aggs, t, mode, key_arity);
+      });
+      ASTERIX_RETURN_NOT_OK(st);
+      if (has_group) out->Push(FinishGroup(cur_keys, &cur, mode));
+      return Status::OK();
+    }
+    std::unordered_map<std::vector<Value>, GroupState, TupleKeyHash, TupleKeyEq>
+        groups;
+    ASTERIX_RETURN_NOT_OK(ForEachInput(in[0], [&](Tuple& t) {
+      auto keys_r = EvalKeys(keys, t);
+      if (!keys_r.ok()) return keys_r.status();
+      auto it = groups.find(keys_r.value());
+      if (it == groups.end()) {
+        it = groups.emplace(keys_r.take(), NewGroup(aggs)).first;
+      }
+      return FeedGroup(&it->second, aggs, t, mode, key_arity);
+    }));
+    for (auto& [gkeys, state] : groups) {
+      out->Push(FinishGroup(gkeys, &state, mode));
+    }
+    return Status::OK();
+  });
+  return op;
+}
+
+}  // namespace
+
+OperatorDescriptor MakeHashGroupBy(int parallelism, std::vector<TupleEval> keys,
+                                   std::vector<AggSpec> aggs, AggMode mode) {
+  return MakeGroupByImpl("hash-group-by", parallelism, std::move(keys),
+                         std::move(aggs), mode, /*preclustered=*/false);
+}
+
+OperatorDescriptor MakePreclusteredGroupBy(int parallelism,
+                                           std::vector<TupleEval> keys,
+                                           std::vector<AggSpec> aggs,
+                                           AggMode mode) {
+  return MakeGroupByImpl("preclustered-group-by", parallelism, std::move(keys),
+                         std::move(aggs), mode, /*preclustered=*/true);
+}
+
+OperatorDescriptor MakeAggregate(int parallelism, std::vector<AggSpec> aggs,
+                                 AggMode mode) {
+  OperatorDescriptor op;
+  op.name = mode == AggMode::kLocal    ? "local-aggregate"
+            : mode == AggMode::kGlobal ? "global-aggregate"
+                                       : "aggregate";
+  op.parallelism = parallelism;
+  op.num_inputs = 1;
+  op.blocking_ports = {0};
+  op.factory = Lambda([aggs, mode](int, const std::vector<InChannel*>& in,
+                                   Emitter* out) {
+    GroupState g = NewGroup(aggs);
+    ASTERIX_RETURN_NOT_OK(ForEachInput(in[0], [&](Tuple& t) {
+      return FeedGroup(&g, aggs, t, mode, /*key_arity=*/0);
+    }));
+    out->Push(FinishGroup({}, &g, mode));
+    return Status::OK();
+  });
+  return op;
+}
+
+OperatorDescriptor MakeBagGroupBy(int parallelism, std::vector<TupleEval> keys,
+                                  std::vector<int> collect_columns) {
+  OperatorDescriptor op;
+  op.name = "bag-group-by";
+  op.parallelism = parallelism;
+  op.num_inputs = 1;
+  op.blocking_ports = {0};
+  op.factory = Lambda([keys, collect_columns](
+                          int, const std::vector<InChannel*>& in, Emitter* out) {
+    std::unordered_map<std::vector<Value>, std::vector<std::vector<Value>>,
+                       TupleKeyHash, TupleKeyEq>
+        groups;
+    ASTERIX_RETURN_NOT_OK(ForEachInput(in[0], [&](Tuple& t) {
+      auto keys_r = EvalKeys(keys, t);
+      if (!keys_r.ok()) return keys_r.status();
+      auto& bags = groups[keys_r.take()];
+      if (bags.empty()) bags.resize(collect_columns.size());
+      for (size_t i = 0; i < collect_columns.size(); ++i) {
+        bags[i].push_back(t[static_cast<size_t>(collect_columns[i])]);
+      }
+      return Status::OK();
+    }));
+    for (auto& [gkeys, bags] : groups) {
+      Tuple o = gkeys;
+      for (auto& b : bags) o.push_back(Value::Bag(std::move(b)));
+      out->Push(std::move(o));
+    }
+    return Status::OK();
+  });
+  return op;
+}
+
+OperatorDescriptor MakeDistinct(int parallelism, std::vector<TupleEval> keys) {
+  OperatorDescriptor op;
+  op.name = "distinct";
+  op.parallelism = parallelism;
+  op.num_inputs = 1;
+  op.factory = Lambda([keys](int, const std::vector<InChannel*>& in,
+                             Emitter* out) {
+    std::unordered_map<std::vector<Value>, bool, TupleKeyHash, TupleKeyEq> seen;
+    return ForEachInput(in[0], [&](Tuple& t) {
+      if (keys.empty()) {
+        if (seen.emplace(t, true).second) out->Push(std::move(t));
+        return Status::OK();
+      }
+      auto k = EvalKeys(keys, t);
+      if (!k.ok()) return k.status();
+      if (seen.emplace(k.take(), true).second) out->Push(std::move(t));
+      return Status::OK();
+    });
+  });
+  return op;
+}
+
+OperatorDescriptor MakeLimit(size_t limit, size_t offset) {
+  OperatorDescriptor op;
+  op.name = "limit";
+  op.parallelism = 1;
+  op.num_inputs = 1;
+  op.factory = Lambda([limit, offset](int, const std::vector<InChannel*>& in,
+                                      Emitter* out) {
+    size_t seen = 0;
+    size_t emitted = 0;
+    return ForEachInput(in[0], [&](Tuple& t) {
+      if (seen++ < offset) return Status::OK();
+      if (emitted < limit) {
+        ++emitted;
+        out->Push(std::move(t));
+      }
+      // Keep draining to let producers finish (channels are unbounded, so
+      // simply ignoring the rest is fine).
+      return Status::OK();
+    });
+  });
+  return op;
+}
+
+OperatorDescriptor MakeUnnest(int parallelism, TupleEval collection_eval,
+                              bool outer, bool with_position) {
+  OperatorDescriptor op;
+  op.name = outer ? "outer-unnest" : "unnest";
+  op.parallelism = parallelism;
+  op.num_inputs = 1;
+  op.factory = Lambda([collection_eval, outer, with_position](
+                          int, const std::vector<InChannel*>& in, Emitter* out) {
+    return ForEachInput(in[0], [&](Tuple& t) {
+      auto v = collection_eval(t);
+      if (!v.ok()) return v.status();
+      const Value& coll = v.value();
+      if (coll.IsList() && !coll.AsList().empty()) {
+        int64_t pos = 0;
+        for (const auto& item : coll.AsList()) {
+          Tuple o = t;
+          o.push_back(item);
+          if (with_position) o.push_back(Value::Int64(++pos));
+          out->Push(std::move(o));
+        }
+      } else if (!coll.IsList() && !coll.IsUnknown()) {
+        Tuple o = std::move(t);
+        o.push_back(coll);
+        if (with_position) o.push_back(Value::Int64(1));
+        out->Push(std::move(o));
+      } else if (outer) {
+        Tuple o = std::move(t);
+        o.push_back(Value::Missing());
+        if (with_position) o.push_back(Value::Missing());
+        out->Push(std::move(o));
+      }
+      return Status::OK();
+    });
+  });
+  return op;
+}
+
+OperatorDescriptor MakeInsert(storage::PartitionedDataset* dataset,
+                              int record_column) {
+  OperatorDescriptor op;
+  op.name = "insert(" + dataset->def().name + ")";
+  op.parallelism = static_cast<int>(dataset->num_partitions());
+  op.num_inputs = 1;
+  op.factory = Lambda([dataset, record_column](
+                          int, const std::vector<InChannel*>& in, Emitter* out) {
+    int64_t count = 0;
+    ASTERIX_RETURN_NOT_OK(ForEachInput(in[0], [&](Tuple& t) {
+      ASTERIX_RETURN_NOT_OK(
+          dataset->Insert(t[static_cast<size_t>(record_column)]));
+      ++count;
+      return Status::OK();
+    }));
+    out->Push({Value::Int64(count)});
+    return Status::OK();
+  });
+  return op;
+}
+
+OperatorDescriptor MakeDelete(storage::PartitionedDataset* dataset,
+                              std::vector<int> key_columns) {
+  OperatorDescriptor op;
+  op.name = "delete(" + dataset->def().name + ")";
+  op.parallelism = static_cast<int>(dataset->num_partitions());
+  op.num_inputs = 1;
+  op.factory = Lambda([dataset, key_columns](
+                          int, const std::vector<InChannel*>& in, Emitter* out) {
+    int64_t count = 0;
+    ASTERIX_RETURN_NOT_OK(ForEachInput(in[0], [&](Tuple& t) {
+      storage::CompositeKey pk;
+      for (int c : key_columns) pk.push_back(t[static_cast<size_t>(c)]);
+      bool found = false;
+      ASTERIX_RETURN_NOT_OK(dataset->DeleteByKey(pk, &found));
+      if (found) ++count;
+      return Status::OK();
+    }));
+    out->Push({Value::Int64(count)});
+    return Status::OK();
+  });
+  return op;
+}
+
+OperatorDescriptor MakeResultSink(std::shared_ptr<std::vector<Tuple>> sink) {
+  OperatorDescriptor op;
+  op.name = "result-sink";
+  op.parallelism = 1;
+  op.num_inputs = 1;
+  auto mu = std::make_shared<std::mutex>();
+  op.factory = Lambda([sink, mu](int, const std::vector<InChannel*>& in,
+                                 Emitter*) {
+    return ForEachInput(in[0], [&](Tuple& t) {
+      std::lock_guard<std::mutex> lock(*mu);
+      sink->push_back(std::move(t));
+      return Status::OK();
+    });
+  });
+  return op;
+}
+
+}  // namespace hyracks
+}  // namespace asterix

@@ -1,0 +1,169 @@
+#ifndef ASTERIX_HYRACKS_OPERATORS_H_
+#define ASTERIX_HYRACKS_OPERATORS_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hyracks/job.h"
+#include "storage/dataset_store.h"
+
+namespace asterix {
+namespace hyracks {
+
+/// Aggregate call compiled into a group-by/aggregate operator.
+struct AggSpec {
+  std::string function;  // count/min/max/sum/avg or sql-*
+  TupleEval input;       // evaluated per input tuple (ignored for count)
+};
+
+/// Local/global split of an aggregation (Figure 6's design point).
+enum class AggMode {
+  kComplete,  // one-shot aggregation
+  kLocal,     // emit partial state records
+  kGlobal,    // combine partial state records into finals
+};
+
+// ---------------------------------------------------------------------------
+// Factory helpers. Each returns a fully-populated OperatorDescriptor; the
+// caller adds it to a JobSpec and wires connectors.
+// ---------------------------------------------------------------------------
+
+/// Emits a fixed set of tuples from instance 0 (constant sources, DML
+/// payloads, `1+1` queries).
+OperatorDescriptor MakeValueScan(std::vector<Tuple> tuples);
+
+/// Concatenates `num_inputs` input streams (UNION ALL).
+OperatorDescriptor MakeUnion(int parallelism, int num_inputs);
+
+/// Full scan of a partitioned dataset: instance p scans storage partition p,
+/// emitting [record] tuples. parallelism = #partitions.
+OperatorDescriptor MakeDatasetScan(storage::PartitionedDataset* dataset);
+
+/// Primary-index range scan with constant bounds; emits [record].
+OperatorDescriptor MakePrimaryRangeScan(storage::PartitionedDataset* dataset,
+                                        storage::ScanBounds bounds);
+
+/// Primary-index point lookups driven by input tuples: `key_columns` name
+/// the input columns holding the primary key; each match emits
+/// input-tuple ++ [record]. With `locked`, each fetch takes an S record
+/// lock first (the paper's secondary-index post-validation protocol).
+OperatorDescriptor MakePrimarySearch(storage::PartitionedDataset* dataset,
+                                     txn::TxnManager* txns,
+                                     std::vector<int> key_columns, bool locked);
+
+/// Secondary B-tree index range scan with constant bounds; emits the
+/// referenced primary keys as [pk...] tuples. Runs on every partition
+/// (secondary indexes are node-local).
+OperatorDescriptor MakeSecondarySearch(storage::PartitionedDataset* dataset,
+                                       std::string index_name,
+                                       storage::ScanBounds bounds,
+                                       size_t pk_arity);
+
+/// Secondary B-tree lookups driven by input tuples: per input tuple,
+/// `key_eval` yields the secondary key value; every matching index entry
+/// emits input ++ [pk...]. This is the index side of an index nested-loop
+/// join.
+OperatorDescriptor MakeSecondaryProbe(storage::PartitionedDataset* dataset,
+                                      std::string index_name,
+                                      TupleEval key_eval, size_t pk_arity);
+
+/// R-tree search with a constant query rectangle; emits [pk...].
+OperatorDescriptor MakeRTreeSearch(storage::PartitionedDataset* dataset,
+                                   std::string index_name, storage::Mbr query,
+                                   size_t pk_arity);
+
+/// Inverted-index occurrence search: candidates matching at least
+/// `min_matches` of `tokens`; emits [pk...].
+OperatorDescriptor MakeInvertedSearch(storage::PartitionedDataset* dataset,
+                                      std::string index_name,
+                                      std::vector<std::string> tokens,
+                                      size_t min_matches, size_t pk_arity);
+
+/// Filters tuples by a boolean predicate (three-valued: only TRUE passes).
+OperatorDescriptor MakeSelect(int parallelism, TupleEval predicate);
+
+/// Appends computed columns; with `project`, reorders/subsets first.
+OperatorDescriptor MakeAssign(int parallelism, std::vector<TupleEval> exprs);
+
+/// Keeps only the named columns, in order.
+OperatorDescriptor MakeProject(int parallelism, std::vector<int> columns);
+
+/// Blocking external merge sort: buffers up to `spill_budget_tuples` in
+/// memory, spilling sorted runs to disk and k-way merging them (the
+/// production behaviour a memory-bounded sort needs). `limit` enables
+/// top-k truncation of the output.
+OperatorDescriptor MakeSort(int parallelism, TupleCompare compare,
+                            std::optional<size_t> limit = std::nullopt,
+                            size_t spill_budget_tuples = 1u << 18);
+
+/// Hybrid hash join: port 0 = build, port 1 = probe. Emits build-tuple ++
+/// probe-tuple. `left_outer` emits probe ++ nulls for probe tuples without
+/// a match... (port semantics: outer side is the PROBE side).
+OperatorDescriptor MakeHybridHashJoin(int parallelism,
+                                      std::vector<TupleEval> build_keys,
+                                      std::vector<TupleEval> probe_keys,
+                                      size_t build_arity, bool left_outer);
+
+/// Nested-loop join: port 0 buffered, port 1 streamed, predicate over the
+/// concatenated tuple (build columns first).
+OperatorDescriptor MakeNestedLoopJoin(int parallelism, TupleEval predicate,
+                                      size_t build_arity, bool left_outer);
+
+/// Hash group-by. mode=kLocal emits partial-state columns; kGlobal consumes
+/// them; kComplete does both at once.
+OperatorDescriptor MakeHashGroupBy(int parallelism, std::vector<TupleEval> keys,
+                                   std::vector<AggSpec> aggs, AggMode mode);
+
+/// Group-by over key-sorted input (streaming, no hash table).
+OperatorDescriptor MakePreclusteredGroupBy(int parallelism,
+                                           std::vector<TupleEval> keys,
+                                           std::vector<AggSpec> aggs,
+                                           AggMode mode);
+
+/// Ungrouped aggregation (the Figure 6 local-avg/global-avg pair).
+OperatorDescriptor MakeAggregate(int parallelism, std::vector<AggSpec> aggs,
+                                 AggMode mode);
+
+/// Group-by that materializes, per group, a BAG of the values found in each
+/// of `collect_columns` (the un-rewritten `group by ... with $v` semantics
+/// whose materialization cost the paper's pilots exposed). Emits
+/// [keys..., bag(col0), bag(col1), ...].
+OperatorDescriptor MakeBagGroupBy(int parallelism, std::vector<TupleEval> keys,
+                                  std::vector<int> collect_columns);
+
+/// Hash-based duplicate elimination: on `keys` when given, else on whole
+/// tuples.
+OperatorDescriptor MakeDistinct(int parallelism,
+                                std::vector<TupleEval> keys = {});
+
+/// Offset/limit; run with parallelism 1 after a merging connector.
+OperatorDescriptor MakeLimit(size_t limit, size_t offset = 0);
+
+/// Expands a collection-valued expression: for each element e of
+/// `collection_eval(t)`, emits t ++ [e]. Unknown/empty collections emit
+/// nothing unless `outer`, which then emits t ++ [missing].
+OperatorDescriptor MakeUnnest(int parallelism, TupleEval collection_eval,
+                              bool outer, bool with_position = false);
+
+/// Transactional insert sink: instance p inserts records routed to storage
+/// partition p (connector must hash on primary key). Emits one [count]
+/// tuple per instance.
+OperatorDescriptor MakeInsert(storage::PartitionedDataset* dataset,
+                              int record_column);
+
+/// Transactional delete sink keyed by primary key columns.
+OperatorDescriptor MakeDelete(storage::PartitionedDataset* dataset,
+                              std::vector<int> key_columns);
+
+/// Collects all tuples into `sink` (parallelism 1; the query result).
+OperatorDescriptor MakeResultSink(std::shared_ptr<std::vector<Tuple>> sink);
+
+/// Hash function over selected columns, for partitioning connectors.
+std::function<uint64_t(const Tuple&)> HashOnColumns(std::vector<int> columns);
+
+}  // namespace hyracks
+}  // namespace asterix
+
+#endif  // ASTERIX_HYRACKS_OPERATORS_H_

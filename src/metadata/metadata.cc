@@ -1,0 +1,629 @@
+#include "metadata/metadata.h"
+
+#include "common/string_utils.h"
+
+namespace asterix {
+namespace metadata {
+
+using adm::Datatype;
+using adm::DatatypePtr;
+using adm::RecordBuilder;
+using adm::TypeTag;
+using adm::Value;
+using storage::DatasetDef;
+using storage::IndexDef;
+using storage::IndexKind;
+
+namespace {
+
+constexpr const char* kMetaDataverse = "Metadata";
+
+// --- Datatype <-> ADM description -----------------------------------------
+
+Value TypeToAdm(const DatatypePtr& t);
+
+Value FieldsToAdm(const std::vector<adm::FieldType>& fields) {
+  std::vector<Value> out;
+  for (const auto& f : fields) {
+    out.push_back(RecordBuilder()
+                      .Add("FieldName", Value::String(f.name))
+                      .Add("FieldType", TypeToAdm(f.type))
+                      .Add("IsNullable", Value::Boolean(f.optional))
+                      .Build());
+  }
+  return Value::OrderedList(std::move(out));
+}
+
+Value TypeToAdm(const DatatypePtr& t) {
+  switch (t->kind()) {
+    case Datatype::Kind::kPrimitive:
+      return RecordBuilder()
+          .Add("Tag", Value::String("primitive"))
+          .Add("Primitive", Value::String(adm::TypeTagName(t->tag())))
+          .Build();
+    case Datatype::Kind::kRecord:
+      return RecordBuilder()
+          .Add("Tag", Value::String("record"))
+          .Add("IsOpen", Value::Boolean(t->is_open()))
+          .Add("Fields", FieldsToAdm(t->fields()))
+          .Build();
+    case Datatype::Kind::kOrderedList:
+      return RecordBuilder()
+          .Add("Tag", Value::String("orderedlist"))
+          .Add("Item", TypeToAdm(t->item_type()))
+          .Build();
+    case Datatype::Kind::kBag:
+      return RecordBuilder()
+          .Add("Tag", Value::String("bag"))
+          .Add("Item", TypeToAdm(t->item_type()))
+          .Build();
+  }
+  return Value::Null();
+}
+
+Result<DatatypePtr> AdmToType(const Value& v, const std::string& name) {
+  const std::string& tag = v.GetField("Tag").AsString();
+  if (tag == "primitive") {
+    const std::string& p = v.GetField("Primitive").AsString();
+    for (int i = 0; i <= static_cast<int>(TypeTag::kAny); ++i) {
+      if (p == adm::TypeTagName(static_cast<TypeTag>(i))) {
+        if (static_cast<TypeTag>(i) == TypeTag::kAny) return Datatype::Any();
+        return Datatype::Primitive(static_cast<TypeTag>(i));
+      }
+    }
+    return Status::Corruption("bad primitive type name: " + p);
+  }
+  if (tag == "record") {
+    std::vector<adm::FieldType> fields;
+    for (const auto& f : v.GetField("Fields").AsList()) {
+      adm::FieldType ft;
+      ft.name = f.GetField("FieldName").AsString();
+      ft.optional = f.GetField("IsNullable").AsBoolean();
+      ASTERIX_ASSIGN_OR_RETURN(ft.type, AdmToType(f.GetField("FieldType"), ""));
+      fields.push_back(std::move(ft));
+    }
+    return Datatype::MakeRecord(name, std::move(fields),
+                                v.GetField("IsOpen").AsBoolean());
+  }
+  if (tag == "orderedlist" || tag == "bag") {
+    ASTERIX_ASSIGN_OR_RETURN(DatatypePtr item, AdmToType(v.GetField("Item"), ""));
+    return tag == "bag" ? Datatype::MakeBag(item)
+                        : Datatype::MakeOrderedList(item);
+  }
+  return Status::Corruption("bad type description tag: " + tag);
+}
+
+Value StringList(const std::vector<std::string>& items) {
+  std::vector<Value> out;
+  for (const auto& s : items) out.push_back(Value::String(s));
+  return Value::OrderedList(std::move(out));
+}
+
+std::vector<std::string> ListStrings(const Value& v) {
+  std::vector<std::string> out;
+  if (v.IsList()) {
+    for (const auto& item : v.AsList()) out.push_back(item.AsString());
+  }
+  return out;
+}
+
+Value ParamsToAdm(const std::map<std::string, std::string>& params) {
+  std::vector<Value> out;
+  for (const auto& [k, val] : params) {
+    out.push_back(RecordBuilder()
+                      .Add("Name", Value::String(k))
+                      .Add("Value", Value::String(val))
+                      .Build());
+  }
+  return Value::OrderedList(std::move(out));
+}
+
+std::map<std::string, std::string> AdmToParams(const Value& v) {
+  std::map<std::string, std::string> out;
+  if (v.IsList()) {
+    for (const auto& item : v.AsList()) {
+      out[item.GetField("Name").AsString()] = item.GetField("Value").AsString();
+    }
+  }
+  return out;
+}
+
+const char* IndexKindName(IndexKind k) {
+  switch (k) {
+    case IndexKind::kBTree: return "btree";
+    case IndexKind::kRTree: return "rtree";
+    case IndexKind::kKeyword: return "keyword";
+    case IndexKind::kNgram: return "ngram";
+  }
+  return "btree";
+}
+
+IndexKind IndexKindFromName(const std::string& s) {
+  if (s == "rtree") return IndexKind::kRTree;
+  if (s == "keyword") return IndexKind::kKeyword;
+  if (s == "ngram") return IndexKind::kNgram;
+  return IndexKind::kBTree;
+}
+
+}  // namespace
+
+MetadataManager::MetadataManager(storage::BufferCache* cache,
+                                 std::string base_dir, txn::TxnManager* txns,
+                                 storage::LsmOptions options)
+    : cache_(cache),
+      base_dir_(std::move(base_dir)),
+      txns_(txns),
+      options_(options) {}
+
+Status MetadataManager::Bootstrap() {
+  // The Metadata Dataverse's own datasets: open types keyed by name fields —
+  // open so future system versions can add fields without migration (the
+  // "eat our own dogfood (open types!)" lesson from §5.2).
+  struct MetaDef {
+    const char* name;
+    std::vector<std::string> pk;
+  };
+  const std::vector<MetaDef> kDefs = {
+      {"Dataverse", {"DataverseName"}},
+      {"Datatype", {"DataverseName", "DatatypeName"}},
+      {"Dataset", {"DataverseName", "DatasetName"}},
+      {"Index", {"DataverseName", "DatasetName", "IndexName"}},
+      {"Function", {"DataverseName", "Name", "Arity"}},
+      {"Feed", {"DataverseName", "FeedName"}},
+  };
+  uint32_t id = 1;
+  for (const auto& d : kDefs) {
+    DatasetDef def;
+    def.dataset_id = id++;
+    def.dataverse = kMetaDataverse;
+    def.name = d.name;
+    std::vector<adm::FieldType> fields;
+    for (const auto& k : d.pk) {
+      // Arity is numeric; all other key fields are strings.
+      fields.push_back({k,
+                        Datatype::Primitive(k == "Arity" ? TypeTag::kInt64
+                                                         : TypeTag::kString),
+                        false});
+    }
+    def.type = Datatype::MakeRecord(std::string("Meta") + d.name + "Type",
+                                    std::move(fields), /*open=*/true);
+    def.primary_key_fields = d.pk;
+    auto ds = std::make_unique<storage::PartitionedDataset>(
+        cache_, base_dir_ + "/metadata", def, /*num_partitions=*/1, txns_,
+        options_);
+    ASTERIX_RETURN_NOT_OK(ds->Open());
+    meta_[std::string(kMetaDataverse) + "." + d.name] = std::move(ds);
+  }
+  // Ensure the Metadata dataverse records itself.
+  if (!DataverseExists(kMetaDataverse)) {
+    ASTERIX_RETURN_NOT_OK(InsertMeta(
+        "Dataverse",
+        RecordBuilder().Add("DataverseName", Value::String(kMetaDataverse)).Build()));
+  }
+  return RebuildCaches();
+}
+
+storage::PartitionedDataset* MetadataManager::MetadataDataset(
+    const std::string& qualified) {
+  auto it = meta_.find(qualified);
+  return it == meta_.end() ? nullptr : it->second.get();
+}
+
+Status MetadataManager::InsertMeta(const std::string& which,
+                                   const adm::Value& record) {
+  return meta_[std::string(kMetaDataverse) + "." + which]->Insert(record);
+}
+
+bool MetadataManager::DataverseExists(const std::string& name) {
+  bool found = false;
+  adm::Value rec;
+  auto* ds = MetadataDataset("Metadata.Dataverse");
+  Status st = ds->PointLookup({Value::String(name)}, &found, &rec);
+  return st.ok() && found;
+}
+
+Status MetadataManager::CreateDataverse(const std::string& name,
+                                        bool if_not_exists) {
+  if (DataverseExists(name)) {
+    if (if_not_exists) return Status::OK();
+    return Status::AlreadyExists("dataverse " + name);
+  }
+  return InsertMeta("Dataverse", RecordBuilder()
+                                     .Add("DataverseName", Value::String(name))
+                                     .Build());
+}
+
+Status MetadataManager::DropDataverse(const std::string& name, bool if_exists) {
+  if (!DataverseExists(name)) {
+    if (if_exists) return Status::OK();
+    return Status::NotFound("dataverse " + name);
+  }
+  // Cascade: remove all catalog entries scoped to the dataverse.
+  auto drop_where = [&](const char* which,
+                        const std::vector<std::string>& pk_fields) -> Status {
+    auto* ds = MetadataDataset(std::string(kMetaDataverse) + "." + which);
+    std::vector<storage::CompositeKey> victims;
+    ASTERIX_RETURN_NOT_OK(
+        ds->partition(0)->ScanAll([&](const adm::Value& rec) {
+          if (rec.GetField("DataverseName").AsString() == name) {
+            storage::CompositeKey pk;
+            for (const auto& f : pk_fields) pk.push_back(rec.GetField(f));
+            victims.push_back(std::move(pk));
+          }
+          return Status::OK();
+        }));
+    for (const auto& pk : victims) {
+      bool found;
+      ASTERIX_RETURN_NOT_OK(ds->DeleteByKey(pk, &found));
+    }
+    return Status::OK();
+  };
+  ASTERIX_RETURN_NOT_OK(drop_where("Datatype", {"DataverseName", "DatatypeName"}));
+  ASTERIX_RETURN_NOT_OK(drop_where("Dataset", {"DataverseName", "DatasetName"}));
+  ASTERIX_RETURN_NOT_OK(
+      drop_where("Index", {"DataverseName", "DatasetName", "IndexName"}));
+  ASTERIX_RETURN_NOT_OK(drop_where("Function", {"DataverseName", "Name", "Arity"}));
+  ASTERIX_RETURN_NOT_OK(drop_where("Feed", {"DataverseName", "FeedName"}));
+  bool found;
+  ASTERIX_RETURN_NOT_OK(MetadataDataset("Metadata.Dataverse")
+                            ->DeleteByKey({Value::String(name)}, &found));
+  return RebuildCaches();
+}
+
+Result<adm::DatatypePtr> MetadataManager::ResolveTypeExpr(
+    const std::string& dataverse, const aql::TypeExprPtr& te) {
+  switch (te->kind) {
+    case aql::TypeExpr::Kind::kNamed: {
+      // Primitive names first.
+      for (int i = 0; i <= static_cast<int>(TypeTag::kAny); ++i) {
+        TypeTag tag = static_cast<TypeTag>(i);
+        if (te->name == adm::TypeTagName(tag)) {
+          if (tag == TypeTag::kAny) return Datatype::Any();
+          return Datatype::Primitive(tag);
+        }
+      }
+      return GetDatatype(dataverse, te->name);
+    }
+    case aql::TypeExpr::Kind::kRecord: {
+      std::vector<adm::FieldType> fields;
+      for (const auto& f : te->fields) {
+        adm::FieldType ft;
+        ft.name = f.name;
+        ft.optional = f.optional;
+        ASTERIX_ASSIGN_OR_RETURN(ft.type, ResolveTypeExpr(dataverse, f.type));
+        fields.push_back(std::move(ft));
+      }
+      return Datatype::MakeRecord("", std::move(fields), te->open);
+    }
+    case aql::TypeExpr::Kind::kOrderedList: {
+      ASTERIX_ASSIGN_OR_RETURN(DatatypePtr item,
+                               ResolveTypeExpr(dataverse, te->item));
+      return Datatype::MakeOrderedList(item);
+    }
+    case aql::TypeExpr::Kind::kBag: {
+      ASTERIX_ASSIGN_OR_RETURN(DatatypePtr item,
+                               ResolveTypeExpr(dataverse, te->item));
+      return Datatype::MakeBag(item);
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+Status MetadataManager::CreateDatatype(const std::string& dataverse,
+                                       const std::string& name,
+                                       const aql::TypeExprPtr& type_expr) {
+  ASTERIX_ASSIGN_OR_RETURN(DatatypePtr resolved,
+                           ResolveTypeExpr(dataverse, type_expr));
+  auto named = resolved;
+  // Attach the user-facing name for diagnostics.
+  if (resolved->kind() == Datatype::Kind::kRecord) {
+    named = Datatype::MakeRecord(name, resolved->fields(), resolved->is_open());
+  }
+  ASTERIX_RETURN_NOT_OK(InsertMeta(
+      "Datatype", RecordBuilder()
+                      .Add("DataverseName", Value::String(dataverse))
+                      .Add("DatatypeName", Value::String(name))
+                      .Add("Derived", TypeToAdm(named))
+                      .Build()));
+  types_[dataverse + "." + name] = named;
+  return Status::OK();
+}
+
+Result<adm::DatatypePtr> MetadataManager::GetDatatype(
+    const std::string& dataverse, const std::string& name) {
+  auto it = types_.find(dataverse + "." + name);
+  if (it != types_.end()) return it->second;
+  return Status::NotFound("datatype " + dataverse + "." + name);
+}
+
+Status MetadataManager::RegisterDataset(const DatasetDef& def,
+                                        const std::string& type_name) {
+  std::vector<Value> indexes;
+  ASTERIX_RETURN_NOT_OK(InsertMeta(
+      "Dataset",
+      RecordBuilder()
+          .Add("DataverseName", Value::String(def.dataverse))
+          .Add("DatasetName", Value::String(def.name))
+          .Add("DatatypeName", Value::String(type_name))
+          .Add("DatasetType", Value::String("INTERNAL"))
+          .Add("DatasetId", Value::Int64(def.dataset_id))
+          .Add("PrimaryKey", StringList(def.primary_key_fields))
+          .Add("Autogenerated", Value::Boolean(def.autogenerated_key))
+          .Build()));
+  for (const auto& ix : def.secondary_indexes) {
+    ASTERIX_RETURN_NOT_OK(
+        RegisterIndex(def.dataverse + "." + def.name, ix));
+  }
+  return Status::OK();
+}
+
+Status MetadataManager::RegisterExternalDataset(const ExternalDatasetDef& def,
+                                                const std::string& type_name) {
+  auto dot = def.qualified_name.find('.');
+  std::string dv = def.qualified_name.substr(0, dot);
+  std::string name = def.qualified_name.substr(dot + 1);
+  ASTERIX_RETURN_NOT_OK(InsertMeta(
+      "Dataset", RecordBuilder()
+                     .Add("DataverseName", Value::String(dv))
+                     .Add("DatasetName", Value::String(name))
+                     .Add("DatatypeName", Value::String(type_name))
+                     .Add("DatasetType", Value::String("EXTERNAL"))
+                     .Add("Adaptor", Value::String(def.adaptor))
+                     .Add("Params", ParamsToAdm(def.params))
+                     .Build()));
+  externals_[def.qualified_name] = def;
+  return Status::OK();
+}
+
+Status MetadataManager::RegisterIndex(const std::string& qualified_dataset,
+                                      const IndexDef& index) {
+  auto dot = qualified_dataset.find('.');
+  return InsertMeta(
+      "Index",
+      RecordBuilder()
+          .Add("DataverseName", Value::String(qualified_dataset.substr(0, dot)))
+          .Add("DatasetName", Value::String(qualified_dataset.substr(dot + 1)))
+          .Add("IndexName", Value::String(index.name))
+          .Add("IndexStructure", Value::String(IndexKindName(index.kind)))
+          .Add("SearchKey", StringList(index.fields))
+          .Add("GramLength", Value::Int64(static_cast<int64_t>(index.gram_length)))
+          .Build());
+}
+
+Status MetadataManager::UnregisterDataset(const std::string& qualified_name) {
+  auto dot = qualified_name.find('.');
+  std::string dv = qualified_name.substr(0, dot);
+  std::string name = qualified_name.substr(dot + 1);
+  bool found;
+  ASTERIX_RETURN_NOT_OK(MetadataDataset("Metadata.Dataset")
+                            ->DeleteByKey({Value::String(dv), Value::String(name)},
+                                          &found));
+  if (!found) return Status::NotFound("dataset " + qualified_name);
+  // Indexes of the dataset.
+  auto* ixds = MetadataDataset("Metadata.Index");
+  std::vector<storage::CompositeKey> victims;
+  ASTERIX_RETURN_NOT_OK(ixds->partition(0)->ScanAll([&](const Value& rec) {
+    if (rec.GetField("DataverseName").AsString() == dv &&
+        rec.GetField("DatasetName").AsString() == name) {
+      victims.push_back({rec.GetField("DataverseName"),
+                         rec.GetField("DatasetName"),
+                         rec.GetField("IndexName")});
+    }
+    return Status::OK();
+  }));
+  for (const auto& pk : victims) {
+    bool f;
+    ASTERIX_RETURN_NOT_OK(ixds->DeleteByKey(pk, &f));
+  }
+  externals_.erase(qualified_name);
+  return Status::OK();
+}
+
+Result<std::vector<std::pair<DatasetDef, std::string>>>
+MetadataManager::ListInternalDatasets() {
+  std::vector<std::pair<DatasetDef, std::string>> out;
+  auto* ds = MetadataDataset("Metadata.Dataset");
+  Status st = ds->partition(0)->ScanAll([&](const Value& rec) {
+    if (rec.GetField("DatasetType").AsString() != "INTERNAL") {
+      return Status::OK();
+    }
+    DatasetDef def;
+    def.dataverse = rec.GetField("DataverseName").AsString();
+    if (def.dataverse == kMetaDataverse) return Status::OK();
+    def.name = rec.GetField("DatasetName").AsString();
+    def.dataset_id = static_cast<uint32_t>(rec.GetField("DatasetId").AsInt());
+    def.primary_key_fields = ListStrings(rec.GetField("PrimaryKey"));
+    const Value& autogen = rec.GetField("Autogenerated");
+    def.autogenerated_key = !autogen.IsUnknown() && autogen.AsBoolean();
+    std::string type_name = rec.GetField("DatatypeName").AsString();
+    auto type_r = GetDatatype(def.dataverse, type_name);
+    if (!type_r.ok()) return type_r.status();
+    def.type = type_r.take();
+    out.emplace_back(std::move(def), std::move(type_name));
+    return Status::OK();
+  });
+  if (!st.ok()) return st;
+  // Attach indexes.
+  auto* ixds = MetadataDataset("Metadata.Index");
+  st = ixds->partition(0)->ScanAll([&](const Value& rec) {
+    for (auto& [def, tn] : out) {
+      (void)tn;
+      if (rec.GetField("DataverseName").AsString() == def.dataverse &&
+          rec.GetField("DatasetName").AsString() == def.name) {
+        IndexDef ix;
+        ix.name = rec.GetField("IndexName").AsString();
+        ix.kind = IndexKindFromName(rec.GetField("IndexStructure").AsString());
+        ix.fields = ListStrings(rec.GetField("SearchKey"));
+        ix.gram_length = static_cast<size_t>(rec.GetField("GramLength").AsInt());
+        def.secondary_indexes.push_back(std::move(ix));
+      }
+    }
+    return Status::OK();
+  });
+  if (!st.ok()) return st;
+  return out;
+}
+
+Result<std::vector<ExternalDatasetDef>> MetadataManager::ListExternalDatasets() {
+  std::vector<ExternalDatasetDef> out;
+  for (const auto& [name, def] : externals_) {
+    (void)name;
+    out.push_back(def);
+  }
+  return out;
+}
+
+const ExternalDatasetDef* MetadataManager::FindExternalDataset(
+    const std::string& qualified) {
+  auto it = externals_.find(qualified);
+  return it == externals_.end() ? nullptr : &it->second;
+}
+
+Status MetadataManager::UnregisterIndex(const std::string& qualified_dataset,
+                                        const std::string& index_name,
+                                        bool if_exists) {
+  auto dot = qualified_dataset.find('.');
+  storage::CompositeKey pk{
+      Value::String(qualified_dataset.substr(0, dot)),
+      Value::String(qualified_dataset.substr(dot + 1)),
+      Value::String(index_name)};
+  bool found;
+  ASTERIX_RETURN_NOT_OK(MetadataDataset("Metadata.Index")->DeleteByKey(pk, &found));
+  if (!found && !if_exists) {
+    return Status::NotFound("index " + index_name + " on " + qualified_dataset);
+  }
+  return Status::OK();
+}
+
+Status MetadataManager::UnregisterFunction(const std::string& dataverse,
+                                           const std::string& name,
+                                           bool if_exists) {
+  auto* ds = MetadataDataset("Metadata.Function");
+  std::vector<storage::CompositeKey> victims;
+  ASTERIX_RETURN_NOT_OK(ds->partition(0)->ScanAll([&](const Value& rec) {
+    if (rec.GetField("DataverseName").AsString() == dataverse &&
+        rec.GetField("Name").AsString() == name) {
+      victims.push_back({rec.GetField("DataverseName"), rec.GetField("Name"),
+                         rec.GetField("Arity")});
+    }
+    return Status::OK();
+  }));
+  if (victims.empty() && !if_exists) {
+    return Status::NotFound("function " + dataverse + "." + name);
+  }
+  for (const auto& pk : victims) {
+    bool found;
+    ASTERIX_RETURN_NOT_OK(ds->DeleteByKey(pk, &found));
+    functions_.erase(dataverse + "." + name + "/" +
+                     std::to_string(pk[2].AsInt()));
+  }
+  return Status::OK();
+}
+
+Status MetadataManager::RegisterFunction(const aql::FunctionDef& def) {
+  ASTERIX_RETURN_NOT_OK(InsertMeta(
+      "Function",
+      RecordBuilder()
+          .Add("DataverseName", Value::String(def.dataverse))
+          .Add("Name", Value::String(def.name))
+          .Add("Arity", Value::Int64(static_cast<int64_t>(def.params.size())))
+          .Add("Params", StringList(def.params))
+          .Add("Definition", Value::String(def.body))
+          .Build()));
+  functions_[def.dataverse + "." + def.name + "/" +
+             std::to_string(def.params.size())] = def;
+  return Status::OK();
+}
+
+const aql::FunctionDef* MetadataManager::FindFunction(
+    const std::string& dataverse, const std::string& name, size_t arity) {
+  auto it = functions_.find(dataverse + "." + name + "/" + std::to_string(arity));
+  return it == functions_.end() ? nullptr : &it->second;
+}
+
+Status MetadataManager::RegisterFeed(const FeedDef& def) {
+  ASTERIX_RETURN_NOT_OK(
+      InsertMeta("Feed", RecordBuilder()
+                             .Add("DataverseName", Value::String(def.dataverse))
+                             .Add("FeedName", Value::String(def.name))
+                             .Add("Adaptor", Value::String(def.adaptor))
+                             .Add("Params", ParamsToAdm(def.params))
+                             .Add("AppliedFunction",
+                                  Value::String(def.applied_function))
+                             .Build()));
+  feeds_[def.dataverse + "." + def.name] = def;
+  return Status::OK();
+}
+
+const FeedDef* MetadataManager::FindFeed(const std::string& dataverse,
+                                         const std::string& name) {
+  auto it = feeds_.find(dataverse + "." + name);
+  return it == feeds_.end() ? nullptr : &it->second;
+}
+
+Status MetadataManager::FlushAll() {
+  for (auto& [name, ds] : meta_) {
+    (void)name;
+    ASTERIX_RETURN_NOT_OK(ds->FlushAll());
+  }
+  return Status::OK();
+}
+
+Status MetadataManager::RebuildCaches() {
+  types_.clear();
+  functions_.clear();
+  feeds_.clear();
+  externals_.clear();
+  ASTERIX_RETURN_NOT_OK(
+      MetadataDataset("Metadata.Datatype")->partition(0)->ScanAll([&](const Value& rec) {
+        std::string dv = rec.GetField("DataverseName").AsString();
+        std::string name = rec.GetField("DatatypeName").AsString();
+        auto t = AdmToType(rec.GetField("Derived"), name);
+        if (!t.ok()) return t.status();
+        types_[dv + "." + name] = t.take();
+        return Status::OK();
+      }));
+  ASTERIX_RETURN_NOT_OK(
+      MetadataDataset("Metadata.Function")->partition(0)->ScanAll([&](const Value& rec) {
+        aql::FunctionDef def;
+        def.dataverse = rec.GetField("DataverseName").AsString();
+        def.name = rec.GetField("Name").AsString();
+        def.params = ListStrings(rec.GetField("Params"));
+        def.body = rec.GetField("Definition").AsString();
+        functions_[def.dataverse + "." + def.name + "/" +
+                   std::to_string(def.params.size())] = def;
+        return Status::OK();
+      }));
+  ASTERIX_RETURN_NOT_OK(
+      MetadataDataset("Metadata.Feed")->partition(0)->ScanAll([&](const Value& rec) {
+        FeedDef def;
+        def.dataverse = rec.GetField("DataverseName").AsString();
+        def.name = rec.GetField("FeedName").AsString();
+        def.adaptor = rec.GetField("Adaptor").AsString();
+        def.params = AdmToParams(rec.GetField("Params"));
+        def.applied_function = rec.GetField("AppliedFunction").AsString();
+        feeds_[def.dataverse + "." + def.name] = def;
+        return Status::OK();
+      }));
+  ASTERIX_RETURN_NOT_OK(
+      MetadataDataset("Metadata.Dataset")->partition(0)->ScanAll([&](const Value& rec) {
+        if (rec.GetField("DatasetType").AsString() != "EXTERNAL") {
+          return Status::OK();
+        }
+        ExternalDatasetDef def;
+        std::string dv = rec.GetField("DataverseName").AsString();
+        std::string name = rec.GetField("DatasetName").AsString();
+        def.qualified_name = dv + "." + name;
+        def.adaptor = rec.GetField("Adaptor").AsString();
+        def.params = AdmToParams(rec.GetField("Params"));
+        auto t = GetDatatype(dv, rec.GetField("DatatypeName").AsString());
+        if (!t.ok()) return t.status();
+        def.type = t.take();
+        externals_[def.qualified_name] = def;
+        return Status::OK();
+      }));
+  return Status::OK();
+}
+
+}  // namespace metadata
+}  // namespace asterix

@@ -1,0 +1,116 @@
+#ifndef ASTERIX_METADATA_METADATA_H_
+#define ASTERIX_METADATA_METADATA_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aql/ast.h"
+#include "aql/parser.h"
+#include "storage/dataset_store.h"
+
+namespace asterix {
+namespace metadata {
+
+/// Description of an external dataset (paper §2.3): data stays in place and
+/// is parsed at query time.
+struct ExternalDatasetDef {
+  std::string qualified_name;
+  adm::DatatypePtr type;
+  std::string adaptor;  // "localfs"
+  std::map<std::string, std::string> params;
+};
+
+/// Description of a data feed (paper §2.4).
+struct FeedDef {
+  std::string dataverse;
+  std::string name;
+  std::string adaptor;
+  std::map<std::string, std::string> params;
+  std::string applied_function;
+};
+
+/// The Metadata Node Controller's manager: the system catalogs, stored *in
+/// AsterixDB itself* as datasets in the system-defined Metadata Dataverse
+/// ("AsterixDB metadata is AsterixDB data"), so `for $ds in dataset
+/// Metadata.Dataset return $ds` works like any other query (paper Query 1).
+class MetadataManager {
+ public:
+  MetadataManager(storage::BufferCache* cache, std::string base_dir,
+                  txn::TxnManager* txns, storage::LsmOptions options);
+
+  /// Creates (or re-opens) the Metadata datasets and rebuilds the in-memory
+  /// caches from them.
+  Status Bootstrap();
+
+  // -- Dataverses --------------------------------------------------------------
+  Status CreateDataverse(const std::string& name, bool if_not_exists);
+  Status DropDataverse(const std::string& name, bool if_exists);
+  bool DataverseExists(const std::string& name);
+
+  // -- Datatypes ---------------------------------------------------------------
+  /// Resolves a TypeExpr against existing types and registers the result.
+  Status CreateDatatype(const std::string& dataverse, const std::string& name,
+                        const aql::TypeExprPtr& type_expr);
+  Result<adm::DatatypePtr> GetDatatype(const std::string& dataverse,
+                                       const std::string& name);
+  Result<adm::DatatypePtr> ResolveTypeExpr(const std::string& dataverse,
+                                           const aql::TypeExprPtr& te);
+
+  // -- Datasets ----------------------------------------------------------------
+  Status RegisterDataset(const storage::DatasetDef& def,
+                         const std::string& type_name);
+  Status RegisterExternalDataset(const ExternalDatasetDef& def,
+                                 const std::string& type_name);
+  Status RegisterIndex(const std::string& qualified_dataset,
+                       const storage::IndexDef& index);
+  Status UnregisterDataset(const std::string& qualified_name);
+  Status UnregisterIndex(const std::string& qualified_dataset,
+                         const std::string& index_name, bool if_exists);
+  /// Drops every arity of `name` in the dataverse.
+  Status UnregisterFunction(const std::string& dataverse,
+                            const std::string& name, bool if_exists);
+  /// All registered internal dataset definitions (for instance restart).
+  Result<std::vector<std::pair<storage::DatasetDef, std::string>>>
+  ListInternalDatasets();
+  Result<std::vector<ExternalDatasetDef>> ListExternalDatasets();
+  const ExternalDatasetDef* FindExternalDataset(const std::string& qualified);
+
+  // -- Functions ---------------------------------------------------------------
+  Status RegisterFunction(const aql::FunctionDef& def);
+  const aql::FunctionDef* FindFunction(const std::string& dataverse,
+                                       const std::string& name, size_t arity);
+
+  // -- Feeds --------------------------------------------------------------------
+  Status RegisterFeed(const FeedDef& def);
+  const FeedDef* FindFeed(const std::string& dataverse, const std::string& name);
+
+  /// Metadata datasets themselves, resolvable by queries
+  /// ("Metadata.Dataset", "Metadata.Datatype", ...).
+  storage::PartitionedDataset* MetadataDataset(const std::string& qualified);
+
+  /// Flushes the catalog datasets' memory components (checkpointing).
+  Status FlushAll();
+
+ private:
+  Status InsertMeta(const std::string& which, const adm::Value& record);
+  Status RebuildCaches();
+
+  storage::BufferCache* cache_;
+  std::string base_dir_;
+  txn::TxnManager* txns_;
+  storage::LsmOptions options_;
+
+  std::map<std::string, std::unique_ptr<storage::PartitionedDataset>> meta_;
+  // Caches rebuilt from the metadata datasets.
+  std::map<std::string, adm::DatatypePtr> types_;       // "dv.name" -> type
+  std::map<std::string, aql::FunctionDef> functions_;   // "dv.name/arity"
+  std::map<std::string, FeedDef> feeds_;                // "dv.name"
+  std::map<std::string, ExternalDatasetDef> externals_; // qualified name
+};
+
+}  // namespace metadata
+}  // namespace asterix
+
+#endif  // ASTERIX_METADATA_METADATA_H_

@@ -1,0 +1,56 @@
+#include "storage/bloom.h"
+
+namespace asterix {
+namespace storage {
+
+BloomFilter BloomFilter::Build(const std::vector<uint64_t>& key_hashes) {
+  BloomFilter f;
+  // ~10 bits per key gives about 1% FPR with 6 probes.
+  size_t bits = key_hashes.size() * 10 + 64;
+  f.bits_.assign((bits + 7) / 8, 0);
+  size_t nbits = f.bits_.size() * 8;
+  for (uint64_t h : key_hashes) {
+    uint64_t delta = (h >> 17) | (h << 47);  // double hashing
+    for (uint32_t i = 0; i < f.num_probes_; ++i) {
+      size_t bit = h % nbits;
+      f.bits_[bit / 8] |= static_cast<uint8_t>(1u << (bit % 8));
+      h += delta;
+    }
+  }
+  return f;
+}
+
+Result<BloomFilter> BloomFilter::FromBytes(BytesReader* r) {
+  BloomFilter f;
+  uint32_t probes;
+  ASTERIX_RETURN_NOT_OK(r->GetU32(&probes));
+  uint64_t n;
+  ASTERIX_RETURN_NOT_OK(r->GetVarint(&n));
+  f.num_probes_ = probes;
+  f.bits_.resize(n);
+  if (n > 0) {
+    ASTERIX_RETURN_NOT_OK(r->GetBytes(f.bits_.data(), n));
+  }
+  return f;
+}
+
+void BloomFilter::AppendTo(BytesWriter* w) const {
+  w->PutU32(num_probes_);
+  w->PutVarint(bits_.size());
+  w->PutBytes(bits_.data(), bits_.size());
+}
+
+bool BloomFilter::MayContain(uint64_t h) const {
+  if (bits_.empty()) return false;
+  size_t nbits = bits_.size() * 8;
+  uint64_t delta = (h >> 17) | (h << 47);
+  for (uint32_t i = 0; i < num_probes_; ++i) {
+    size_t bit = h % nbits;
+    if ((bits_[bit / 8] & (1u << (bit % 8))) == 0) return false;
+    h += delta;
+  }
+  return true;
+}
+
+}  // namespace storage
+}  // namespace asterix

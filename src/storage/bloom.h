@@ -1,0 +1,39 @@
+#ifndef ASTERIX_STORAGE_BLOOM_H_
+#define ASTERIX_STORAGE_BLOOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace asterix {
+namespace storage {
+
+/// Blocked-free simple Bloom filter attached to each LSM disk component so
+/// point lookups can skip components that cannot contain the key (the
+/// standard LSM read-amplification mitigation).
+class BloomFilter {
+ public:
+  /// Builds a filter sized for `expected_keys` at ~1% false-positive rate.
+  static BloomFilter Build(const std::vector<uint64_t>& key_hashes);
+
+  /// Deserializes from component footer bytes.
+  static Result<BloomFilter> FromBytes(BytesReader* r);
+
+  void AppendTo(BytesWriter* w) const;
+
+  bool MayContain(uint64_t key_hash) const;
+
+  size_t SizeBytes() const { return bits_.size(); }
+
+ private:
+  BloomFilter() = default;
+
+  uint32_t num_probes_ = 6;
+  std::vector<uint8_t> bits_;
+};
+
+}  // namespace storage
+}  // namespace asterix
+
+#endif  // ASTERIX_STORAGE_BLOOM_H_

@@ -1,0 +1,108 @@
+#include "storage/inverted.h"
+
+#include <map>
+#include <set>
+
+#include "functions/similarity.h"
+
+namespace asterix {
+namespace storage {
+
+LsmInvertedIndex::LsmInvertedIndex(BufferCache* cache, const std::string& dir,
+                                   const std::string& name, Tokenizer tokenizer,
+                                   size_t gram_length, LsmOptions options)
+    : tree_(cache, dir, name, options),
+      tokenizer_(tokenizer),
+      gram_length_(gram_length) {}
+
+Status LsmInvertedIndex::Open() { return tree_.Open(); }
+
+std::vector<std::string> LsmInvertedIndex::TokensOf(
+    const adm::Value& value) const {
+  std::vector<std::string> tokens;
+  auto tokenize_string = [&](const std::string& s) {
+    if (tokenizer_ == Tokenizer::kWord) {
+      for (auto& t : functions::WordTokens(s)) tokens.push_back(std::move(t));
+    } else {
+      for (auto& t : functions::GramTokens(s, gram_length_, /*pad=*/true)) {
+        tokens.push_back(std::move(t));
+      }
+    }
+  };
+  if (value.IsString()) {
+    tokenize_string(value.AsString());
+  } else if (value.IsList()) {
+    // Bags of strings (e.g. message tags) index their elements verbatim —
+    // this is what powers indexed Jaccard similarity on tag sets.
+    for (const auto& item : value.AsList()) {
+      if (item.IsString()) tokens.push_back(item.AsString());
+    }
+  }
+  // De-duplicate per record so occurrence counts mean "distinct tokens".
+  std::set<std::string> uniq(tokens.begin(), tokens.end());
+  return {uniq.begin(), uniq.end()};
+}
+
+Status LsmInvertedIndex::Insert(const CompositeKey& pk, const adm::Value& value,
+                                uint64_t lsn) {
+  for (const auto& token : TokensOf(value)) {
+    CompositeKey key;
+    key.reserve(pk.size() + 1);
+    key.push_back(adm::Value::String(token));
+    for (const auto& k : pk) key.push_back(k);
+    ASTERIX_RETURN_NOT_OK(tree_.Upsert(key, {}, lsn));
+  }
+  return Status::OK();
+}
+
+Status LsmInvertedIndex::Delete(const CompositeKey& pk,
+                                const adm::Value& old_value, uint64_t lsn) {
+  for (const auto& token : TokensOf(old_value)) {
+    CompositeKey key;
+    key.reserve(pk.size() + 1);
+    key.push_back(adm::Value::String(token));
+    for (const auto& k : pk) key.push_back(k);
+    ASTERIX_RETURN_NOT_OK(tree_.Delete(key, lsn));
+  }
+  return Status::OK();
+}
+
+Status LsmInvertedIndex::Flush() { return tree_.Flush(); }
+
+Status LsmInvertedIndex::SearchToken(
+    const std::string& token,
+    const std::function<Status(const CompositeKey& pk)>& cb) const {
+  ScanBounds bounds;
+  bounds.lo = CompositeKey{adm::Value::String(token)};
+  bounds.hi = bounds.lo;  // prefix semantics: all keys whose token matches
+  return tree_.RangeScan(bounds, [&](const IndexEntry& e) {
+    CompositeKey pk(e.key.begin() + 1, e.key.end());
+    return cb(pk);
+  });
+}
+
+Status LsmInvertedIndex::SearchTokensCount(
+    const std::vector<std::string>& tokens,
+    const std::function<Status(const CompositeKey& pk, size_t count)>& cb)
+    const {
+  struct KeyLess {
+    bool operator()(const CompositeKey& a, const CompositeKey& b) const {
+      return CompareKeys(a, b) < 0;
+    }
+  };
+  std::map<CompositeKey, size_t, KeyLess> counts;
+  std::set<std::string> uniq(tokens.begin(), tokens.end());
+  for (const auto& token : uniq) {
+    ASTERIX_RETURN_NOT_OK(SearchToken(token, [&](const CompositeKey& pk) {
+      ++counts[pk];
+      return Status::OK();
+    }));
+  }
+  for (const auto& [pk, count] : counts) {
+    ASTERIX_RETURN_NOT_OK(cb(pk, count));
+  }
+  return Status::OK();
+}
+
+}  // namespace storage
+}  // namespace asterix

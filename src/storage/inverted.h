@@ -1,0 +1,68 @@
+#ifndef ASTERIX_STORAGE_INVERTED_H_
+#define ASTERIX_STORAGE_INVERTED_H_
+
+#include <string>
+#include <vector>
+
+#include "adm/value.h"
+#include "storage/lsm.h"
+
+namespace asterix {
+namespace storage {
+
+/// LSM-ified inverted index (the paper's `keyword` and `ngram(k)` index
+/// types). Implemented — as in AsterixDB — as a B+-tree over composite
+/// (token, primary-key) keys, which makes it LSM-ready for free: token
+/// postings are prefix range scans, deletes are antimatter on (token, pk).
+class LsmInvertedIndex {
+ public:
+  enum class Tokenizer {
+    kWord,   // lowercased alphanumeric words; bags/lists index elementwise
+    kNgram,  // padded k-grams for fuzzy string search
+  };
+
+  LsmInvertedIndex(BufferCache* cache, const std::string& dir,
+                   const std::string& name, Tokenizer tokenizer,
+                   size_t gram_length, LsmOptions options);
+
+  Status Open();
+
+  /// Indexes `value` (string → tokens; bag/list → element tokens) under pk.
+  Status Insert(const CompositeKey& pk, const adm::Value& value, uint64_t lsn);
+
+  /// Cancels the entries produced by the *old* value of pk.
+  Status Delete(const CompositeKey& pk, const adm::Value& old_value,
+                uint64_t lsn);
+
+  Status Flush();
+
+  /// All live pks whose indexed value contains `token`.
+  Status SearchToken(const std::string& token,
+                     const std::function<Status(const CompositeKey& pk)>& cb) const;
+
+  /// Occurrence counting over several tokens: yields (pk, #matching tokens).
+  /// This is the T-occurrence primitive behind indexed fuzzy selection: a
+  /// candidate needs >= T token matches before verification.
+  Status SearchTokensCount(
+      const std::vector<std::string>& tokens,
+      const std::function<Status(const CompositeKey& pk, size_t count)>& cb) const;
+
+  /// Tokenizes an ADM value with this index's tokenizer.
+  std::vector<std::string> TokensOf(const adm::Value& value) const;
+
+  size_t num_disk_components() const { return tree_.num_disk_components(); }
+  uint64_t total_disk_bytes() const { return tree_.total_disk_bytes(); }
+  uint64_t flushed_lsn() const { return tree_.flushed_lsn(); }
+  Tokenizer tokenizer() const { return tokenizer_; }
+  size_t gram_length() const { return gram_length_; }
+
+ private:
+  LsmBTree tree_;
+  Tokenizer tokenizer_;
+  size_t gram_length_;
+};
+
+}  // namespace storage
+}  // namespace asterix
+
+#endif  // ASTERIX_STORAGE_INVERTED_H_

@@ -1,0 +1,41 @@
+#ifndef ASTERIX_STORAGE_KEY_H_
+#define ASTERIX_STORAGE_KEY_H_
+
+#include <vector>
+
+#include "adm/serde.h"
+#include "adm/value.h"
+#include "common/bytes.h"
+
+namespace asterix {
+namespace storage {
+
+/// Index keys are vectors of ADM values: a single primary key is a 1-vector,
+/// a composite or secondary index key carries (secondary fields..., primary
+/// fields...) so that secondary entries are unique and point at their record.
+using CompositeKey = std::vector<adm::Value>;
+
+/// Lexicographic comparison by the ADM total order. A shorter key that is a
+/// prefix of a longer one compares less — which makes prefix range scans
+/// (token-only probes into a composite token+pk index) natural.
+int CompareKeys(const CompositeKey& a, const CompositeKey& b);
+
+/// Hash consistent with CompareKeys equality; drives bloom filters and hash
+/// partitioning.
+uint64_t HashKey(const CompositeKey& k);
+
+void SerializeKey(const CompositeKey& k, BytesWriter* w);
+Status DeserializeKey(BytesReader* r, CompositeKey* out);
+
+/// One logical index entry: key + optional payload. `antimatter` marks an
+/// LSM delete tombstone that cancels older matter entries for the same key.
+struct IndexEntry {
+  CompositeKey key;
+  bool antimatter = false;
+  std::vector<uint8_t> payload;
+};
+
+}  // namespace storage
+}  // namespace asterix
+
+#endif  // ASTERIX_STORAGE_KEY_H_

@@ -1,0 +1,408 @@
+#include "storage/lsm.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/env.h"
+#include "common/string_utils.h"
+
+namespace asterix {
+namespace storage {
+
+// ---------------------------------------------------------------------------
+// LsmLifecycle
+// ---------------------------------------------------------------------------
+
+LsmLifecycle::LsmLifecycle(std::string dir, std::string name, std::string suffix)
+    : dir_(std::move(dir)), name_(std::move(name)), suffix_(std::move(suffix)) {}
+
+std::string LsmLifecycle::ComponentPath(uint64_t seq) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), ".c%012llu.",
+                static_cast<unsigned long long>(seq));
+  return dir_ + "/" + name_ + buf + suffix_;
+}
+
+std::string LsmLifecycle::MarkerPath(uint64_t seq) const {
+  return ComponentPath(seq) + ".valid";
+}
+
+uint64_t LsmLifecycle::AllocateSeq() { return next_seq_++; }
+
+Status LsmLifecycle::MarkValid(uint64_t seq, uint64_t num_entries,
+                               uint64_t max_lsn) {
+  BytesWriter w;
+  w.PutU64(num_entries);
+  w.PutU64(max_lsn);
+  return env::WriteFileAtomic(MarkerPath(seq), w.data().data(), w.size());
+}
+
+Status LsmLifecycle::RemoveComponent(const ComponentInfo& info) {
+  ASTERIX_RETURN_NOT_OK(env::RemoveFile(MarkerPath(info.seq)));
+  return env::RemoveFile(info.path);
+}
+
+Result<std::vector<ComponentInfo>> LsmLifecycle::Recover() {
+  std::vector<std::string> names;
+  ASTERIX_RETURN_NOT_OK(env::ListDir(dir_, &names));
+  std::string prefix = name_ + ".c";
+  std::vector<ComponentInfo> components;
+  for (const auto& fname : names) {
+    if (!StartsWith(fname, prefix)) continue;
+    if (fname.size() < prefix.size() + 12) continue;
+    std::string digits = fname.substr(prefix.size(), 12);
+    uint64_t seq = std::strtoull(digits.c_str(), nullptr, 10);
+    std::string expect_data = name_;
+    std::string data_path = ComponentPath(seq);
+    std::string data_name = data_path.substr(dir_.size() + 1);
+    if (fname == data_name) {
+      // Found a data file; check its validity marker. Components without a
+      // validity bit are crash debris and are removed (the paper's recovery
+      // rule for shadowed components).
+      std::string marker = MarkerPath(seq);
+      if (!env::Exists(marker)) {
+        ASTERIX_RETURN_NOT_OK(env::RemoveFile(data_path));
+        continue;
+      }
+      std::vector<uint8_t> mbytes;
+      ASTERIX_RETURN_NOT_OK(env::ReadFile(marker, &mbytes));
+      BytesReader mr(mbytes);
+      ComponentInfo info;
+      info.seq = seq;
+      info.path = data_path;
+      info.bytes = env::FileSize(data_path);
+      ASTERIX_RETURN_NOT_OK(mr.GetU64(&info.num_entries));
+      ASTERIX_RETURN_NOT_OK(mr.GetU64(&info.max_lsn));
+      components.push_back(std::move(info));
+      next_seq_ = std::max(next_seq_, seq + 1);
+    }
+  }
+  std::sort(components.begin(), components.end(),
+            [](const ComponentInfo& a, const ComponentInfo& b) {
+              return a.seq < b.seq;
+            });
+  return components;
+}
+
+// ---------------------------------------------------------------------------
+// LsmBTree
+// ---------------------------------------------------------------------------
+
+LsmBTree::LsmBTree(BufferCache* cache, const std::string& dir,
+                   const std::string& name, LsmOptions options)
+    : cache_(cache), lifecycle_(dir, name, "btr"), options_(options) {}
+
+Status LsmBTree::Open() {
+  std::unique_lock lock(mu_);
+  auto comps_r = lifecycle_.Recover();
+  if (!comps_r.ok()) return comps_r.status();
+  for (auto& info : comps_r.value()) {
+    auto reader_r = BTreeReader::Open(cache_, info.path);
+    if (!reader_r.ok()) return reader_r.status();
+    flushed_lsn_ = std::max(flushed_lsn_, info.max_lsn);
+    disk_.push_back(DiskComponent{std::move(info), reader_r.take()});
+  }
+  return Status::OK();
+}
+
+Status LsmBTree::Upsert(const CompositeKey& key, std::vector<uint8_t> payload,
+                        uint64_t lsn) {
+  std::unique_lock lock(mu_);
+  size_t add = payload.size() + key.size() * 16 + 32;
+  auto [it, inserted] = mem_.insert_or_assign(key, MemEntry{false, std::move(payload)});
+  (void)it;
+  (void)inserted;
+  mem_bytes_ += add;
+  mem_max_lsn_ = std::max(mem_max_lsn_, lsn);
+  if (mem_bytes_ >= options_.mem_budget_bytes) {
+    ASTERIX_RETURN_NOT_OK(FlushLocked());
+  }
+  return Status::OK();
+}
+
+Status LsmBTree::Delete(const CompositeKey& key, uint64_t lsn) {
+  std::unique_lock lock(mu_);
+  mem_.insert_or_assign(key, MemEntry{true, {}});
+  mem_bytes_ += key.size() * 16 + 32;
+  mem_max_lsn_ = std::max(mem_max_lsn_, lsn);
+  if (mem_bytes_ >= options_.mem_budget_bytes) {
+    ASTERIX_RETURN_NOT_OK(FlushLocked());
+  }
+  return Status::OK();
+}
+
+Status LsmBTree::Flush() {
+  std::unique_lock lock(mu_);
+  return FlushLocked();
+}
+
+Status LsmBTree::FlushLocked() {
+  if (mem_.empty()) return Status::OK();
+  uint64_t seq = lifecycle_.AllocateSeq();
+  std::string path = lifecycle_.ComponentPath(seq);
+  BTreeBuilder builder(path);
+  for (const auto& [key, entry] : mem_) {
+    IndexEntry e;
+    e.key = key;
+    e.antimatter = entry.antimatter;
+    e.payload = entry.payload;
+    ASTERIX_RETURN_NOT_OK(builder.Add(e));
+  }
+  ASTERIX_RETURN_NOT_OK(builder.Finish());
+  // The validity bit makes the new component durable *after* its data file
+  // is fully written (shadowing).
+  ASTERIX_RETURN_NOT_OK(
+      lifecycle_.MarkValid(seq, builder.num_entries(), mem_max_lsn_));
+  auto reader_r = BTreeReader::Open(cache_, path);
+  if (!reader_r.ok()) return reader_r.status();
+  ComponentInfo info;
+  info.seq = seq;
+  info.path = path;
+  info.num_entries = builder.num_entries();
+  info.bytes = env::FileSize(path);
+  info.max_lsn = mem_max_lsn_;
+  disk_.push_back(DiskComponent{std::move(info), reader_r.take()});
+  flushed_lsn_ = std::max(flushed_lsn_, mem_max_lsn_);
+  mem_.clear();
+  mem_bytes_ = 0;
+  mem_max_lsn_ = 0;
+  return MaybeMergeLockedImpl();
+}
+
+Status LsmBTree::MaybeMerge() {
+  std::unique_lock lock(mu_);
+  return MaybeMergeLockedImpl();
+}
+
+Status LsmBTree::MergeComponents(size_t first, size_t count) {
+  if (count < 2) return Status::OK();
+  bool includes_oldest = first == 0;
+  // Gather all entries from the run, newest component winning per key.
+  std::map<CompositeKey, MemEntry, KeyLess> merged;
+  for (size_t i = first; i < first + count; ++i) {
+    // Older first: later (newer) components overwrite.
+    ScanBounds all;
+    ASTERIX_RETURN_NOT_OK(disk_[i].reader->RangeScan(
+        all, [&](const IndexEntry& e) {
+          merged.insert_or_assign(e.key, MemEntry{e.antimatter, e.payload});
+          return Status::OK();
+        }));
+  }
+  uint64_t seq = lifecycle_.AllocateSeq();
+  std::string path = lifecycle_.ComponentPath(seq);
+  BTreeBuilder builder(path);
+  uint64_t max_lsn = 0;
+  for (size_t i = first; i < first + count; ++i) {
+    max_lsn = std::max(max_lsn, disk_[i].info.max_lsn);
+  }
+  for (const auto& [key, entry] : merged) {
+    // Antimatter entries are dropped only when no older component remains
+    // to be cancelled.
+    if (entry.antimatter && includes_oldest) continue;
+    IndexEntry e;
+    e.key = key;
+    e.antimatter = entry.antimatter;
+    e.payload = entry.payload;
+    ASTERIX_RETURN_NOT_OK(builder.Add(e));
+  }
+  ASTERIX_RETURN_NOT_OK(builder.Finish());
+  ASTERIX_RETURN_NOT_OK(lifecycle_.MarkValid(seq, builder.num_entries(), max_lsn));
+  auto reader_r = BTreeReader::Open(cache_, path);
+  if (!reader_r.ok()) return reader_r.status();
+  ComponentInfo info;
+  info.seq = seq;
+  info.path = path;
+  info.num_entries = builder.num_entries();
+  info.bytes = env::FileSize(path);
+  info.max_lsn = max_lsn;
+  // Replace the merged run with the new component, then delete old files.
+  std::vector<DiskComponent> removed(disk_.begin() + first,
+                                     disk_.begin() + first + count);
+  disk_.erase(disk_.begin() + first, disk_.begin() + first + count);
+  disk_.insert(disk_.begin() + first, DiskComponent{info, reader_r.take()});
+  for (auto& dc : removed) {
+    dc.reader.reset();  // closes the file in the cache
+    ASTERIX_RETURN_NOT_OK(lifecycle_.RemoveComponent(dc.info));
+  }
+  return Status::OK();
+}
+
+Status LsmBTree::MaybeMergeLockedImpl() {
+  const MergePolicy& p = options_.merge_policy;
+  switch (p.kind) {
+    case MergePolicy::Kind::kNone:
+      return Status::OK();
+    case MergePolicy::Kind::kConstant:
+      if (disk_.size() > p.max_components) {
+        return MergeComponents(0, disk_.size());
+      }
+      return Status::OK();
+    case MergePolicy::Kind::kPrefix: {
+      // Find the longest suffix (newest run) of components each smaller than
+      // max_merge_bytes; merge it when the run exceeds max_components.
+      size_t run = 0;
+      uint64_t run_bytes = 0;
+      for (size_t i = disk_.size(); i > 0; --i) {
+        const auto& info = disk_[i - 1].info;
+        if (info.bytes >= p.max_merge_bytes) break;
+        if (run_bytes + info.bytes > p.max_merge_bytes) break;
+        run_bytes += info.bytes;
+        ++run;
+      }
+      if (run > p.max_components && run >= 2) {
+        return MergeComponents(disk_.size() - run, run);
+      }
+      return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+Status LsmBTree::PointLookup(const CompositeKey& key, bool* found,
+                             std::vector<uint8_t>* payload) const {
+  std::shared_lock lock(mu_);
+  *found = false;
+  auto it = mem_.find(key);
+  if (it != mem_.end()) {
+    if (it->second.antimatter) return Status::OK();
+    *found = true;
+    *payload = it->second.payload;
+    return Status::OK();
+  }
+  // Newest disk component first.
+  for (size_t i = disk_.size(); i > 0; --i) {
+    const auto& dc = disk_[i - 1];
+    bool f = false;
+    IndexEntry e;
+    ASTERIX_RETURN_NOT_OK(dc.reader->PointLookup(key, &f, &e));
+    if (f) {
+      if (e.antimatter) return Status::OK();
+      *found = true;
+      *payload = std::move(e.payload);
+      return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+Status LsmBTree::RangeScan(const ScanBounds& bounds,
+                           const EntryCallback& cb) const {
+  std::shared_lock lock(mu_);
+  // Fast path: a single disk component and an empty memory component (the
+  // steady state after a flush or merge) needs no cross-component
+  // resolution — stream straight off the B+-tree, skipping tombstones.
+  if (mem_.empty() && disk_.size() <= 1) {
+    if (disk_.empty()) return Status::OK();
+    return disk_[0].reader->RangeScan(bounds, [&](const IndexEntry& e) {
+      if (e.antimatter) return Status::OK();
+      return cb(e);
+    });
+  }
+  // K-way merge across the memory component and all disk components with
+  // newest-wins, antimatter-hides resolution. Each component's qualifying
+  // entries arrive in key order; a priority queue merges the streams.
+  struct Cursor {
+    std::vector<IndexEntry> entries;
+    size_t pos = 0;
+    size_t rank = 0;  // 0 = newest (memory component)
+  };
+  std::vector<Cursor> cursors;
+
+  {
+    Cursor mem_cursor;
+    mem_cursor.rank = 0;
+    auto mem_begin =
+        bounds.lo.has_value() ? mem_.lower_bound(*bounds.lo) : mem_.begin();
+    for (auto it = mem_begin; it != mem_.end(); ++it) {
+      const auto& key = it->first;
+      const auto& entry = it->second;
+      if (bounds.lo.has_value()) {
+        int c = BoundCompare(key, *bounds.lo);
+        if (c < 0 || (c == 0 && !bounds.lo_inclusive)) continue;
+      }
+      if (bounds.hi.has_value()) {
+        int c = BoundCompare(key, *bounds.hi);
+        if (c > 0 || (c == 0 && !bounds.hi_inclusive)) break;
+      }
+      IndexEntry e;
+      e.key = key;
+      e.antimatter = entry.antimatter;
+      e.payload = entry.payload;
+      mem_cursor.entries.push_back(std::move(e));
+    }
+    cursors.push_back(std::move(mem_cursor));
+  }
+  for (size_t i = disk_.size(); i > 0; --i) {
+    Cursor c;
+    c.rank = cursors.size();
+    ASTERIX_RETURN_NOT_OK(disk_[i - 1].reader->RangeScan(
+        bounds, [&](const IndexEntry& e) {
+          c.entries.push_back(e);
+          return Status::OK();
+        }));
+    cursors.push_back(std::move(c));
+  }
+
+  auto cmp = [&](size_t a, size_t b) {
+    const IndexEntry& ea = cursors[a].entries[cursors[a].pos];
+    const IndexEntry& eb = cursors[b].entries[cursors[b].pos];
+    int c = CompareKeys(ea.key, eb.key);
+    if (c != 0) return c > 0;  // min-heap by key
+    return cursors[a].rank > cursors[b].rank;  // newest (lowest rank) first
+  };
+  std::priority_queue<size_t, std::vector<size_t>, decltype(cmp)> heap(cmp);
+  for (size_t i = 0; i < cursors.size(); ++i) {
+    if (!cursors[i].entries.empty()) heap.push(i);
+  }
+  const CompositeKey* last_key = nullptr;
+  CompositeKey last_key_storage;
+  while (!heap.empty()) {
+    size_t ci = heap.top();
+    heap.pop();
+    Cursor& cur = cursors[ci];
+    const IndexEntry& e = cur.entries[cur.pos];
+    bool duplicate = last_key != nullptr && CompareKeys(e.key, *last_key) == 0;
+    if (!duplicate) {
+      last_key_storage = e.key;
+      last_key = &last_key_storage;
+      if (!e.antimatter) {
+        ASTERIX_RETURN_NOT_OK(cb(e));
+      }
+    }
+    ++cur.pos;
+    if (cur.pos < cur.entries.size()) heap.push(ci);
+  }
+  return Status::OK();
+}
+
+size_t LsmBTree::mem_entries() const {
+  std::shared_lock lock(mu_);
+  return mem_.size();
+}
+
+size_t LsmBTree::num_disk_components() const {
+  std::shared_lock lock(mu_);
+  return disk_.size();
+}
+
+uint64_t LsmBTree::total_disk_bytes() const {
+  std::shared_lock lock(mu_);
+  uint64_t total = 0;
+  for (const auto& dc : disk_) total += dc.info.bytes;
+  return total;
+}
+
+uint64_t LsmBTree::num_logical_entries() const {
+  std::shared_lock lock(mu_);
+  uint64_t total = mem_.size();
+  for (const auto& dc : disk_) total += dc.info.num_entries;
+  return total;
+}
+
+uint64_t LsmBTree::flushed_lsn() const {
+  std::shared_lock lock(mu_);
+  return flushed_lsn_;
+}
+
+}  // namespace storage
+}  // namespace asterix

@@ -1,0 +1,164 @@
+#ifndef ASTERIX_STORAGE_LSM_H_
+#define ASTERIX_STORAGE_LSM_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "storage/btree.h"
+#include "storage/buffer_cache.h"
+#include "storage/key.h"
+
+namespace asterix {
+namespace storage {
+
+/// When and what to merge, per the paper's "subject to some merge policy".
+struct MergePolicy {
+  enum class Kind {
+    kNone,      // never merge (read cost grows with component count)
+    kConstant,  // merge ALL disk components whenever more than `max_components`
+    kPrefix,    // merge the contiguous run of small components when the run
+                // grows past `max_components` and stays under `max_merge_bytes`
+  };
+  Kind kind = Kind::kConstant;
+  size_t max_components = 5;
+  uint64_t max_merge_bytes = 256ull << 20;
+
+  static MergePolicy None() { return {Kind::kNone, 0, 0}; }
+  static MergePolicy Constant(size_t k) { return {Kind::kConstant, k, 0}; }
+  static MergePolicy Prefix(size_t k, uint64_t bytes) {
+    return {Kind::kPrefix, k, bytes};
+  }
+};
+
+struct LsmOptions {
+  /// Flush the in-memory component once it holds this many bytes of
+  /// payload+key data (the paper's memory-occupancy threshold).
+  size_t mem_budget_bytes = 8u << 20;
+  MergePolicy merge_policy = MergePolicy::Constant(5);
+};
+
+/// A disk component's identity and stats. `max_lsn` is the largest WAL LSN
+/// whose effect is contained in the component; recovery replays only ops
+/// beyond the index's flushed LSN.
+struct ComponentInfo {
+  uint64_t seq = 0;
+  std::string path;
+  uint64_t num_entries = 0;
+  uint64_t bytes = 0;
+  uint64_t max_lsn = 0;
+};
+
+/// The LSM-ification framework's shared machinery: component naming,
+/// sequence allocation, validity-bit shadowing (a component only becomes
+/// visible once its `.valid` marker is atomically installed), crash-orphan
+/// cleanup, and component-file deletion after merges. Index structures
+/// (B+-tree, R-tree, inverted) plug their own build/read logic on top —
+/// this is the paper's "framework that enables LSM-ification of any kind
+/// of index structure".
+class LsmLifecycle {
+ public:
+  /// `dir` must exist; `name` scopes the index's files inside it, and
+  /// `suffix` tags the structure kind (btr/rtr).
+  LsmLifecycle(std::string dir, std::string name, std::string suffix);
+
+  /// Scans the directory: returns valid components sorted oldest-first and
+  /// deletes any component files lacking a validity marker (crash debris).
+  Result<std::vector<ComponentInfo>> Recover();
+
+  uint64_t AllocateSeq();
+  std::string ComponentPath(uint64_t seq) const;
+
+  /// Installs the validity bit: after this returns the component is durable
+  /// and will be seen by Recover().
+  Status MarkValid(uint64_t seq, uint64_t num_entries, uint64_t max_lsn);
+
+  Status RemoveComponent(const ComponentInfo& info);
+
+ private:
+  std::string MarkerPath(uint64_t seq) const;
+
+  std::string dir_;
+  std::string name_;
+  std::string suffix_;
+  uint64_t next_seq_ = 1;
+};
+
+/// An LSM B+-tree: in-memory component (std::map) + immutable disk
+/// components, flushed and merged via bulk loads. Deletes are antimatter
+/// entries that cancel older matter. This one structure backs primary
+/// indexes (payload = record bytes), secondary B-tree indexes (composite
+/// key, empty payload), and — keyed by (token, pk) — the inverted indexes.
+class LsmBTree {
+ public:
+  LsmBTree(BufferCache* cache, const std::string& dir, const std::string& name,
+           LsmOptions options);
+
+  /// Loads valid disk components (call once before use).
+  Status Open();
+
+  // -- Mutators (caller serializes per-key via the lock manager) ----------
+  Status Upsert(const CompositeKey& key, std::vector<uint8_t> payload,
+                uint64_t lsn);
+  Status Delete(const CompositeKey& key, uint64_t lsn);
+
+  /// Forces the in-memory component to disk (no-op when empty).
+  Status Flush();
+
+  /// Applies the merge policy now (normally triggered by Flush).
+  Status MaybeMerge();
+
+  // -- Readers --------------------------------------------------------------
+  /// LSM-resolved point lookup: newest component wins, antimatter hides.
+  Status PointLookup(const CompositeKey& key, bool* found,
+                     std::vector<uint8_t>* payload) const;
+
+  /// LSM-resolved ordered range scan across all components.
+  Status RangeScan(const ScanBounds& bounds, const EntryCallback& cb) const;
+
+  // -- Stats ---------------------------------------------------------------
+  size_t mem_entries() const;
+  size_t num_disk_components() const;
+  uint64_t total_disk_bytes() const;
+  uint64_t num_logical_entries() const;  // approximate (pre-merge counts)
+  uint64_t flushed_lsn() const;
+
+ private:
+  struct MemEntry {
+    bool antimatter = false;
+    std::vector<uint8_t> payload;
+  };
+  struct KeyLess {
+    bool operator()(const CompositeKey& a, const CompositeKey& b) const {
+      return CompareKeys(a, b) < 0;
+    }
+  };
+  struct DiskComponent {
+    ComponentInfo info;
+    std::shared_ptr<BTreeReader> reader;
+  };
+
+  Status FlushLocked();
+  Status MaybeMergeLockedImpl();
+  Status MergeComponents(size_t first, size_t count);
+
+  BufferCache* cache_;
+  LsmLifecycle lifecycle_;
+  LsmOptions options_;
+
+  mutable std::shared_mutex mu_;
+  std::map<CompositeKey, MemEntry, KeyLess> mem_;
+  size_t mem_bytes_ = 0;
+  uint64_t mem_max_lsn_ = 0;
+  uint64_t flushed_lsn_ = 0;
+  // Oldest first; the in-memory component is conceptually at the end.
+  std::vector<DiskComponent> disk_;
+};
+
+}  // namespace storage
+}  // namespace asterix
+
+#endif  // ASTERIX_STORAGE_LSM_H_

@@ -1,0 +1,202 @@
+#include "storage/lsm_rtree.h"
+
+#include "common/env.h"
+
+namespace asterix {
+namespace storage {
+
+LsmRTree::LsmRTree(BufferCache* cache, const std::string& dir,
+                   const std::string& name, LsmOptions options)
+    : cache_(cache), lifecycle_(dir, name, "rtr"), options_(options) {}
+
+Status LsmRTree::Open() {
+  std::unique_lock lock(mu_);
+  auto comps_r = lifecycle_.Recover();
+  if (!comps_r.ok()) return comps_r.status();
+  for (auto& info : comps_r.value()) {
+    auto reader_r = RTreeReader::Open(cache_, info.path);
+    if (!reader_r.ok()) return reader_r.status();
+    flushed_lsn_ = std::max(flushed_lsn_, info.max_lsn);
+    disk_.push_back(DiskComponent{std::move(info), reader_r.take()});
+  }
+  return Status::OK();
+}
+
+Status LsmRTree::Upsert(const CompositeKey& pk, const Mbr& mbr, uint64_t lsn) {
+  std::unique_lock lock(mu_);
+  mem_.insert_or_assign(pk, MemEntry{mbr, false});
+  mem_bytes_ += pk.size() * 16 + sizeof(Mbr) + 32;
+  mem_max_lsn_ = std::max(mem_max_lsn_, lsn);
+  if (mem_bytes_ >= options_.mem_budget_bytes) return FlushLocked();
+  return Status::OK();
+}
+
+Status LsmRTree::Delete(const CompositeKey& pk, const Mbr& old_mbr,
+                        uint64_t lsn) {
+  std::unique_lock lock(mu_);
+  mem_.insert_or_assign(pk, MemEntry{old_mbr, true});
+  mem_bytes_ += pk.size() * 16 + 32;
+  mem_max_lsn_ = std::max(mem_max_lsn_, lsn);
+  if (mem_bytes_ >= options_.mem_budget_bytes) return FlushLocked();
+  return Status::OK();
+}
+
+Status LsmRTree::Flush() {
+  std::unique_lock lock(mu_);
+  return FlushLocked();
+}
+
+Status LsmRTree::FlushLocked() {
+  if (mem_.empty()) return Status::OK();
+  uint64_t seq = lifecycle_.AllocateSeq();
+  std::string path = lifecycle_.ComponentPath(seq);
+  RTreeBuilder builder(path);
+  for (const auto& [pk, entry] : mem_) {
+    RTreeEntry e;
+    e.mbr = entry.mbr;
+    e.key = pk;
+    e.antimatter = entry.antimatter;
+    builder.Add(std::move(e));
+  }
+  uint64_t count = builder.num_entries();
+  ASTERIX_RETURN_NOT_OK(builder.Finish());
+  ASTERIX_RETURN_NOT_OK(lifecycle_.MarkValid(seq, count, mem_max_lsn_));
+  auto reader_r = RTreeReader::Open(cache_, path);
+  if (!reader_r.ok()) return reader_r.status();
+  ComponentInfo info;
+  info.seq = seq;
+  info.path = path;
+  info.num_entries = count;
+  info.bytes = env::FileSize(path);
+  info.max_lsn = mem_max_lsn_;
+  disk_.push_back(DiskComponent{std::move(info), reader_r.take()});
+  flushed_lsn_ = std::max(flushed_lsn_, mem_max_lsn_);
+  mem_.clear();
+  mem_bytes_ = 0;
+  mem_max_lsn_ = 0;
+  return MaybeMergeLocked();
+}
+
+Status LsmRTree::MaybeMergeLocked() {
+  const MergePolicy& p = options_.merge_policy;
+  if (p.kind == MergePolicy::Kind::kNone) return Status::OK();
+  // R-trees only support full merges here (STR rebuild needs the full set
+  // for good packing anyway).
+  if (disk_.size() > p.max_components) return MergeAllLocked();
+  return Status::OK();
+}
+
+Status LsmRTree::MergeAllLocked() {
+  if (disk_.size() < 2) return Status::OK();
+  struct KeyLessLocal {
+    bool operator()(const CompositeKey& a, const CompositeKey& b) const {
+      return CompareKeys(a, b) < 0;
+    }
+  };
+  std::map<CompositeKey, MemEntry, KeyLessLocal> merged;
+  for (auto& dc : disk_) {  // oldest first; newer overwrite
+    ASTERIX_RETURN_NOT_OK(dc.reader->ScanAll([&](const RTreeEntry& e) {
+      merged.insert_or_assign(e.key, MemEntry{e.mbr, e.antimatter});
+      return Status::OK();
+    }));
+  }
+  uint64_t seq = lifecycle_.AllocateSeq();
+  std::string path = lifecycle_.ComponentPath(seq);
+  RTreeBuilder builder(path);
+  uint64_t max_lsn = 0;
+  for (const auto& dc : disk_) max_lsn = std::max(max_lsn, dc.info.max_lsn);
+  for (const auto& [pk, entry] : merged) {
+    if (entry.antimatter) continue;  // full merge: tombstones can drop
+    RTreeEntry e;
+    e.mbr = entry.mbr;
+    e.key = pk;
+    builder.Add(std::move(e));
+  }
+  uint64_t count = builder.num_entries();
+  ASTERIX_RETURN_NOT_OK(builder.Finish());
+  ASTERIX_RETURN_NOT_OK(lifecycle_.MarkValid(seq, count, max_lsn));
+  auto reader_r = RTreeReader::Open(cache_, path);
+  if (!reader_r.ok()) return reader_r.status();
+  ComponentInfo info;
+  info.seq = seq;
+  info.path = path;
+  info.num_entries = count;
+  info.bytes = env::FileSize(path);
+  info.max_lsn = max_lsn;
+  std::vector<DiskComponent> removed = std::move(disk_);
+  disk_.clear();
+  disk_.push_back(DiskComponent{info, reader_r.take()});
+  for (auto& dc : removed) {
+    dc.reader.reset();
+    ASTERIX_RETURN_NOT_OK(lifecycle_.RemoveComponent(dc.info));
+  }
+  return Status::OK();
+}
+
+Status LsmRTree::Search(const Mbr& query, const RTreeCallback& cb) const {
+  std::shared_lock lock(mu_);
+  // Resolve newest-wins by pk: collect matches per component rank.
+  struct KeyLessLocal {
+    bool operator()(const CompositeKey& a, const CompositeKey& b) const {
+      return CompareKeys(a, b) < 0;
+    }
+  };
+  // pk -> (rank, entry); lower rank = newer.
+  std::map<CompositeKey, std::pair<size_t, RTreeEntry>, KeyLessLocal> best;
+  size_t rank = 0;
+  for (const auto& [pk, entry] : mem_) {
+    // Memory antimatter must also be consulted: include antimatter entries
+    // regardless of MBR so they can cancel older disk entries.
+    if (entry.antimatter || entry.mbr.Overlaps(query)) {
+      RTreeEntry e;
+      e.mbr = entry.mbr;
+      e.key = pk;
+      e.antimatter = entry.antimatter;
+      best.emplace(pk, std::make_pair(rank, std::move(e)));
+    }
+  }
+  for (size_t i = disk_.size(); i > 0; --i) {
+    ++rank;
+    ASTERIX_RETURN_NOT_OK(disk_[i - 1].reader->Search(
+        query, [&](const RTreeEntry& e) {
+          auto it = best.find(e.key);
+          if (it == best.end()) {
+            best.emplace(e.key, std::make_pair(rank, e));
+          }  // else a newer component already decided this pk
+          return Status::OK();
+        }));
+  }
+  for (const auto& [pk, ranked] : best) {
+    (void)pk;
+    const RTreeEntry& e = ranked.second;
+    if (!e.antimatter && e.mbr.Overlaps(query)) {
+      ASTERIX_RETURN_NOT_OK(cb(e));
+    }
+  }
+  return Status::OK();
+}
+
+size_t LsmRTree::mem_entries() const {
+  std::shared_lock lock(mu_);
+  return mem_.size();
+}
+
+size_t LsmRTree::num_disk_components() const {
+  std::shared_lock lock(mu_);
+  return disk_.size();
+}
+
+uint64_t LsmRTree::total_disk_bytes() const {
+  std::shared_lock lock(mu_);
+  uint64_t total = 0;
+  for (const auto& dc : disk_) total += dc.info.bytes;
+  return total;
+}
+
+uint64_t LsmRTree::flushed_lsn() const {
+  std::shared_lock lock(mu_);
+  return flushed_lsn_;
+}
+
+}  // namespace storage
+}  // namespace asterix

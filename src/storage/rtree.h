@@ -1,0 +1,94 @@
+#ifndef ASTERIX_STORAGE_RTREE_H_
+#define ASTERIX_STORAGE_RTREE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "adm/value.h"
+#include "storage/buffer_cache.h"
+#include "storage/key.h"
+
+namespace asterix {
+namespace storage {
+
+/// Axis-aligned bounding box; the R-tree's key space.
+struct Mbr {
+  double xlo = 0, ylo = 0, xhi = 0, yhi = 0;
+
+  bool Overlaps(const Mbr& o) const {
+    return xlo <= o.xhi && o.xlo <= xhi && ylo <= o.yhi && o.ylo <= yhi;
+  }
+  void Extend(const Mbr& o) {
+    xlo = std::min(xlo, o.xlo);
+    ylo = std::min(ylo, o.ylo);
+    xhi = std::max(xhi, o.xhi);
+    yhi = std::max(yhi, o.yhi);
+  }
+};
+
+/// One spatial index entry: the indexed value's MBR plus the referencing
+/// key (primary key for secondary R-tree indexes) and LSM antimatter flag.
+struct RTreeEntry {
+  Mbr mbr;
+  CompositeKey key;
+  bool antimatter = false;
+};
+
+using RTreeCallback = std::function<Status(const RTreeEntry&)>;
+
+/// Bulk loader producing an immutable paged R-tree via Sort-Tile-Recursive
+/// packing — a natural fit for LSM flush/merge where the entry set is known
+/// up front.
+class RTreeBuilder {
+ public:
+  explicit RTreeBuilder(std::string path);
+
+  /// Entries may arrive in any order; STR sorts internally.
+  void Add(RTreeEntry entry);
+
+  Status Finish();
+
+  uint64_t num_entries() const { return entries_.size(); }
+
+ private:
+  std::string path_;
+  std::vector<RTreeEntry> entries_;
+  bool finished_ = false;
+};
+
+/// Read side; thread-safe, buffer-cache backed.
+class RTreeReader {
+ public:
+  static Result<std::shared_ptr<RTreeReader>> Open(BufferCache* cache,
+                                                   const std::string& path);
+  ~RTreeReader();
+
+  RTreeReader(const RTreeReader&) = delete;
+  RTreeReader& operator=(const RTreeReader&) = delete;
+
+  /// Visits every entry whose MBR overlaps `query`.
+  Status Search(const Mbr& query, const RTreeCallback& cb) const;
+
+  /// Visits all entries (used by LSM merges).
+  Status ScanAll(const RTreeCallback& cb) const;
+
+  uint64_t num_entries() const { return num_entries_; }
+  uint64_t file_size_bytes() const { return file_size_; }
+
+ private:
+  RTreeReader() = default;
+  Status SearchPage(uint32_t page_no, const Mbr* query,
+                    const RTreeCallback& cb) const;
+
+  BufferCache* cache_ = nullptr;
+  FileId file_ = 0;
+  uint32_t root_page_ = 0;
+  uint64_t num_entries_ = 0;
+  uint64_t file_size_ = 0;
+};
+
+}  // namespace storage
+}  // namespace asterix
+
+#endif  // ASTERIX_STORAGE_RTREE_H_

@@ -1,0 +1,84 @@
+#include "txn/lock_manager.h"
+
+#include <chrono>
+
+namespace asterix {
+namespace txn {
+
+bool LockManager::Compatible(const LockState& state, TxnId txn,
+                             LockMode mode) const {
+  for (const auto& [holder, held_mode] : state.holders) {
+    if (holder == txn) continue;  // re-entrant / upgrade handled below
+    if (mode == LockMode::kExclusive || held_mode == LockMode::kExclusive) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Status LockManager::Acquire(TxnId txn, uint64_t resource, LockMode mode) {
+  std::unique_lock<std::mutex> lock(mu_);
+  LockState& state = locks_[resource];
+  auto it = state.holders.find(txn);
+  if (it != state.holders.end()) {
+    if (it->second == LockMode::kExclusive || mode == LockMode::kShared) {
+      return Status::OK();  // already strong enough
+    }
+    // Upgrade S -> X: wait until we are the only holder.
+  }
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_ms_);
+  ++state.waiters;
+  while (!Compatible(state, txn, mode)) {
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      --state.waiters;
+      if (state.holders.empty() && state.waiters == 0) locks_.erase(resource);
+      return Status::TxnConflict("lock timeout on resource " +
+                                 std::to_string(resource));
+    }
+  }
+  --state.waiters;
+  state.holders[txn] = mode;
+  txn_locks_[txn].insert(resource);
+  return Status::OK();
+}
+
+void LockManager::Release(TxnId txn, uint64_t resource) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = locks_.find(resource);
+  if (it == locks_.end()) return;
+  it->second.holders.erase(txn);
+  if (it->second.holders.empty() && it->second.waiters == 0) {
+    locks_.erase(it);
+  }
+  auto tit = txn_locks_.find(txn);
+  if (tit != txn_locks_.end()) {
+    tit->second.erase(resource);
+    if (tit->second.empty()) txn_locks_.erase(tit);
+  }
+  cv_.notify_all();
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto tit = txn_locks_.find(txn);
+  if (tit == txn_locks_.end()) return;
+  for (uint64_t resource : tit->second) {
+    auto it = locks_.find(resource);
+    if (it == locks_.end()) continue;
+    it->second.holders.erase(txn);
+    if (it->second.holders.empty() && it->second.waiters == 0) {
+      locks_.erase(it);
+    }
+  }
+  txn_locks_.erase(tit);
+  cv_.notify_all();
+}
+
+size_t LockManager::ActiveLockCount() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return locks_.size();
+}
+
+}  // namespace txn
+}  // namespace asterix

@@ -1,0 +1,27 @@
+#include "txn/txn_manager.h"
+
+namespace asterix {
+namespace txn {
+
+Status TxnManager::Commit(TxnId txn) {
+  LogRecord rec;
+  rec.txn_id = txn;
+  rec.type = LogType::kCommit;
+  auto lsn_r = log_.Append(&rec, /*force=*/true);
+  locks_.ReleaseAll(txn);
+  if (!lsn_r.ok()) return lsn_r.status();
+  return Status::OK();
+}
+
+Status TxnManager::Abort(TxnId txn) {
+  LogRecord rec;
+  rec.txn_id = txn;
+  rec.type = LogType::kAbort;
+  auto lsn_r = log_.Append(&rec, /*force=*/true);
+  locks_.ReleaseAll(txn);
+  if (!lsn_r.ok()) return lsn_r.status();
+  return Status::OK();
+}
+
+}  // namespace txn
+}  // namespace asterix

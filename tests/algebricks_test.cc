@@ -1,0 +1,381 @@
+#include <gtest/gtest.h>
+
+#include "algebricks/expr.h"
+#include "algebricks/logical.h"
+#include "algebricks/rules.h"
+
+namespace asterix {
+namespace algebricks {
+namespace {
+
+using adm::Value;
+
+// A fixed catalog for rule tests: dataset D(pk=id) with a btree index on
+// `ts`, an rtree on `loc`, and a keyword index on `text`.
+class TestCatalog : public RuleCatalog {
+ public:
+  TestCatalog() {
+    ds_.qualified_name = "DV.D";
+    ds_.pk_fields = {"id"};
+    CatalogIndex ts{"tsIdx", CatalogIndex::Kind::kBTree, {"ts"}, 3};
+    CatalogIndex loc{"locIdx", CatalogIndex::Kind::kRTree, {"loc"}, 3};
+    CatalogIndex kw{"kwIdx", CatalogIndex::Kind::kKeyword, {"text"}, 3};
+    CatalogIndex ng{"ngIdx", CatalogIndex::Kind::kNgram, {"text"}, 3};
+    ds_.indexes = {ts, loc, kw, ng};
+  }
+  const CatalogDataset* FindDataset(const std::string& q) const override {
+    return q == "DV.D" ? &ds_ : nullptr;
+  }
+
+ private:
+  CatalogDataset ds_;
+};
+
+LogicalOpPtr ScanSelectPlan(ExprPtr cond) {
+  auto scan = MakeOp(LogicalOp::Kind::kDataSourceScan);
+  scan->dataset = "DV.D";
+  scan->var = "x";
+  auto select = MakeOp(LogicalOp::Kind::kSelect);
+  select->inputs = {scan};
+  select->expr = std::move(cond);
+  auto dist = MakeOp(LogicalOp::Kind::kDistribute);
+  dist->inputs = {select};
+  dist->expr = Expr::Var("x");
+  return dist;
+}
+
+const LogicalOpPtr& ScanOf(const LogicalOpPtr& plan) {
+  const LogicalOpPtr* op = &plan;
+  while ((*op)->kind != LogicalOp::Kind::kDataSourceScan) {
+    op = &(*op)->inputs[0];
+  }
+  return *op;
+}
+
+ExprPtr Field(const char* var, const char* f) {
+  return Expr::FieldAccess(Expr::Var(var), f);
+}
+
+// ---------------------------------------------------------------------------
+// Expression evaluation
+// ---------------------------------------------------------------------------
+
+TEST(ExprTest, EvalBasics) {
+  EvalContext ctx;
+  ctx.Bind("x", Value::Int64(10));
+  auto e = Expr::Arith("+", {Expr::Var("x"), Expr::Const(Value::Int64(5))});
+  EXPECT_EQ(EvalExpr(*e, ctx).value().AsInt(), 15);
+
+  auto cmp = Expr::Compare("<", Expr::Var("x"), Expr::Const(Value::Int64(3)));
+  EXPECT_FALSE(EvalExpr(*cmp, ctx).value().AsBoolean());
+
+  auto unbound = Expr::Var("nope");
+  EXPECT_FALSE(EvalExpr(*unbound, ctx).ok());
+}
+
+TEST(ExprTest, ShortCircuitAndUnknowns) {
+  EvalContext ctx;
+  // false AND error -> false without evaluating the error.
+  auto e = Expr::And(Expr::Const(Value::Boolean(false)), Expr::Var("unbound"));
+  auto r = EvalExpr(*e, ctx);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().AsBoolean());
+  // null AND true -> null.
+  auto n = Expr::And(Expr::Const(Value::Null()),
+                     Expr::Const(Value::Boolean(true)));
+  EXPECT_TRUE(EvalExpr(*n, ctx).value().IsNull());
+}
+
+TEST(ExprTest, QuantifiedSemantics) {
+  EvalContext ctx;
+  ctx.Bind("xs", Value::OrderedList({Value::Int64(1), Value::Int64(5)}));
+  auto some = Expr::Quantified(
+      false, "v", Expr::Var("xs"),
+      Expr::Compare(">", Expr::Var("v"), Expr::Const(Value::Int64(3))));
+  EXPECT_TRUE(EvalExpr(*some, ctx).value().AsBoolean());
+  auto every = Expr::Quantified(
+      true, "v", Expr::Var("xs"),
+      Expr::Compare(">", Expr::Var("v"), Expr::Const(Value::Int64(3))));
+  EXPECT_FALSE(EvalExpr(*every, ctx).value().AsBoolean());
+  // Empty collection: some=false, every=true.
+  ctx.Bind("xs", Value::OrderedList({}));
+  EXPECT_FALSE(EvalExpr(*some, ctx).value().AsBoolean());
+  EXPECT_TRUE(EvalExpr(*every, ctx).value().AsBoolean());
+}
+
+TEST(ExprTest, RecordCtorDropsMissing) {
+  EvalContext ctx;
+  auto e = Expr::RecordCtor({"a", "b"}, {Expr::Const(Value::Int64(1)),
+                                         Expr::Const(Value::Missing())});
+  auto r = EvalExpr(*e, ctx);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().AsRecord().fields.size(), 1u);
+}
+
+TEST(ExprTest, FreeVarsRespectQuantifierBinding) {
+  auto e = Expr::Quantified(
+      false, "v", Expr::Var("coll"),
+      Expr::Compare("=", Expr::Var("v"), Expr::Var("outer")));
+  std::vector<std::string> fv;
+  e->CollectFreeVars(&fv);
+  EXPECT_EQ(fv.size(), 2u);  // coll + outer, not v
+}
+
+// ---------------------------------------------------------------------------
+// Rewrite rules
+// ---------------------------------------------------------------------------
+
+TEST(RulesTest, ConstantFolding) {
+  auto plan = ScanSelectPlan(Expr::Compare(
+      ">=", Field("x", "ts"),
+      Expr::Call("datetime", {Expr::Const(Value::String("2014-01-01T00:00:00"))})));
+  TestCatalog catalog;
+  OptimizerOptions options;
+  options.use_indexes = false;
+  auto optimized = Optimize(plan, catalog, options).take();
+  // The datetime(...) constructor call folded to a constant.
+  const LogicalOpPtr* select = &optimized->inputs[0];
+  ASSERT_EQ((*select)->kind, LogicalOp::Kind::kSelect);
+  EXPECT_EQ((*select)->expr->args[1]->kind, Expr::Kind::kConst);
+  EXPECT_EQ((*select)->expr->args[1]->constant.tag(), adm::TypeTag::kDatetime);
+}
+
+TEST(RulesTest, BTreeIndexIntroduced) {
+  auto plan = ScanSelectPlan(Expr::And(
+      Expr::Compare(">=", Field("x", "ts"), Expr::Const(Value::Int64(10))),
+      Expr::Compare("<", Field("x", "ts"), Expr::Const(Value::Int64(20)))));
+  TestCatalog catalog;
+  auto optimized = Optimize(plan, catalog, OptimizerOptions()).take();
+  const auto& scan = ScanOf(optimized);
+  EXPECT_EQ(scan->access_path.kind, AccessPath::Kind::kBTreeRange);
+  EXPECT_EQ(scan->access_path.index_name, "tsIdx");
+  EXPECT_EQ(scan->access_path.lo->constant.AsInt(), 10);
+  EXPECT_FALSE(scan->access_path.hi_inclusive);
+  // Post-validation select survives above the scan.
+  EXPECT_EQ(optimized->inputs[0]->kind, LogicalOp::Kind::kSelect);
+}
+
+TEST(RulesTest, PrimaryKeyBeatsSecondary) {
+  auto plan = ScanSelectPlan(
+      Expr::Compare("=", Field("x", "id"), Expr::Const(Value::Int64(7))));
+  TestCatalog catalog;
+  auto optimized = Optimize(plan, catalog, OptimizerOptions()).take();
+  EXPECT_EQ(ScanOf(optimized)->access_path.kind, AccessPath::Kind::kPrimary);
+}
+
+TEST(RulesTest, SkipIndexHintRespected) {
+  auto plan = ScanSelectPlan(
+      Expr::Compare("=", Field("x", "ts"), Expr::Const(Value::Int64(7))));
+  plan->inputs[0]->skip_index = true;
+  TestCatalog catalog;
+  auto optimized = Optimize(plan, catalog, OptimizerOptions()).take();
+  EXPECT_EQ(ScanOf(optimized)->access_path.kind, AccessPath::Kind::kNone);
+}
+
+TEST(RulesTest, RTreeIntroducedForSpatialDistance) {
+  auto plan = ScanSelectPlan(Expr::Compare(
+      "<=",
+      Expr::Call("spatial-distance",
+                 {Field("x", "loc"), Expr::Const(Value::Point(5, 5))}),
+      Expr::Const(Value::Double(2))));
+  TestCatalog catalog;
+  auto optimized = Optimize(plan, catalog, OptimizerOptions()).take();
+  const auto& scan = ScanOf(optimized);
+  ASSERT_EQ(scan->access_path.kind, AccessPath::Kind::kRTree);
+  // Query MBR = circle's bounding box.
+  auto mbr = scan->access_path.query_shape->constant;
+  EXPECT_EQ(mbr.AsPoints()[0].x, 3);
+  EXPECT_EQ(mbr.AsPoints()[1].y, 7);
+}
+
+TEST(RulesTest, KeywordIndexForContains) {
+  auto plan = ScanSelectPlan(Expr::Call(
+      "contains", {Field("x", "text"), Expr::Const(Value::String("big data"))}));
+  TestCatalog catalog;
+  auto optimized = Optimize(plan, catalog, OptimizerOptions()).take();
+  const auto& scan = ScanOf(optimized);
+  ASSERT_EQ(scan->access_path.kind, AccessPath::Kind::kInvertedKeyword);
+  EXPECT_EQ(scan->access_path.min_matches, 2u);  // both word tokens required
+}
+
+TEST(RulesTest, NgramTOccurrenceBound) {
+  auto plan = ScanSelectPlan(Expr::Call(
+      "edit-distance-contains",
+      {Field("x", "text"), Expr::Const(Value::String("tonight")),
+       Expr::Const(Value::Int64(1))}));
+  TestCatalog catalog;
+  auto optimized = Optimize(plan, catalog, OptimizerOptions()).take();
+  const auto& scan = ScanOf(optimized);
+  ASSERT_EQ(scan->access_path.kind, AccessPath::Kind::kInvertedNgram);
+  // |grams("tonight", 3, padded)| = 9; T = 9 - 1*3 = 6.
+  EXPECT_EQ(scan->access_path.min_matches, 6u);
+}
+
+TEST(RulesTest, NgramBoundVacuousFallsBack) {
+  // Threshold too large: the T-occurrence bound goes <= 0, no index.
+  auto plan = ScanSelectPlan(Expr::Call(
+      "edit-distance-contains",
+      {Field("x", "text"), Expr::Const(Value::String("abc")),
+       Expr::Const(Value::Int64(3))}));
+  TestCatalog catalog;
+  auto optimized = Optimize(plan, catalog, OptimizerOptions()).take();
+  EXPECT_EQ(ScanOf(optimized)->access_path.kind, AccessPath::Kind::kNone);
+}
+
+TEST(RulesTest, SelectSplitsAcrossJoin) {
+  auto scan1 = MakeOp(LogicalOp::Kind::kDataSourceScan);
+  scan1->dataset = "DV.D";
+  scan1->var = "a";
+  auto scan2 = MakeOp(LogicalOp::Kind::kDataSourceScan);
+  scan2->dataset = "DV.D";
+  scan2->var = "b";
+  auto join = MakeOp(LogicalOp::Kind::kJoin);
+  join->inputs = {scan1, scan2};
+  auto select = MakeOp(LogicalOp::Kind::kSelect);
+  select->inputs = {join};
+  select->expr = Expr::And(
+      Expr::And(
+          Expr::Compare("=", Field("a", "id"), Field("b", "id")),
+          Expr::Compare(">", Field("a", "ts"), Expr::Const(Value::Int64(5)))),
+      Expr::Compare("<", Field("b", "ts"), Expr::Const(Value::Int64(9))));
+  auto dist = MakeOp(LogicalOp::Kind::kDistribute);
+  dist->inputs = {select};
+  dist->expr = Expr::Var("a");
+
+  TestCatalog catalog;
+  OptimizerOptions options;
+  options.use_indexes = false;
+  auto optimized = Optimize(dist, catalog, options).take();
+  // Shape: distribute -> join(cond = equi) with per-side selects below.
+  ASSERT_EQ(optimized->inputs[0]->kind, LogicalOp::Kind::kJoin);
+  const auto& j = optimized->inputs[0];
+  ASSERT_TRUE(j->expr != nullptr);
+  EXPECT_EQ(j->expr->kind, Expr::Kind::kCompare);
+  EXPECT_EQ(j->inputs[0]->kind, LogicalOp::Kind::kSelect);
+  EXPECT_EQ(j->inputs[1]->kind, LogicalOp::Kind::kSelect);
+}
+
+TEST(RulesTest, GroupAggregationRewrite) {
+  // group by k with x; count(x) used above -> incremental aggregate.
+  auto scan = MakeOp(LogicalOp::Kind::kDataSourceScan);
+  scan->dataset = "DV.D";
+  scan->var = "x";
+  auto group = MakeOp(LogicalOp::Kind::kGroupBy);
+  group->inputs = {scan};
+  group->group_keys = {{"k", Field("x", "id")}};
+  group->with_vars = {{"x", "x"}};
+  auto assign = MakeOp(LogicalOp::Kind::kAssign);
+  assign->inputs = {group};
+  assign->var = "cnt";
+  assign->expr = Expr::Call("count", {Expr::Var("x")});
+  auto dist = MakeOp(LogicalOp::Kind::kDistribute);
+  dist->inputs = {assign};
+  dist->expr = Expr::Var("cnt");
+
+  TestCatalog catalog;
+  auto optimized = Optimize(dist, catalog, OptimizerOptions()).take();
+  LogicalOpPtr g = optimized;
+  while (g->kind != LogicalOp::Kind::kGroupBy) g = g->inputs[0];
+  EXPECT_TRUE(g->with_vars.empty()) << "bag should be rewritten away";
+  ASSERT_EQ(g->aggs.size(), 1u);
+  EXPECT_EQ(g->aggs[0].fn, "count");
+}
+
+TEST(RulesTest, GroupBagKeptWhenUsedDirectly) {
+  // The bag itself is returned: no rewrite possible.
+  auto scan = MakeOp(LogicalOp::Kind::kDataSourceScan);
+  scan->dataset = "DV.D";
+  scan->var = "x";
+  auto group = MakeOp(LogicalOp::Kind::kGroupBy);
+  group->inputs = {scan};
+  group->group_keys = {{"k", Field("x", "id")}};
+  group->with_vars = {{"x", "x"}};
+  auto dist = MakeOp(LogicalOp::Kind::kDistribute);
+  dist->inputs = {group};
+  dist->expr = Expr::RecordCtor({"k", "items"},
+                                {Expr::Var("k"), Expr::Var("x")});
+  TestCatalog catalog;
+  auto optimized = Optimize(dist, catalog, OptimizerOptions()).take();
+  LogicalOpPtr g = optimized;
+  while (g->kind != LogicalOp::Kind::kGroupBy) g = g->inputs[0];
+  EXPECT_EQ(g->with_vars.size(), 1u);
+  EXPECT_TRUE(g->aggs.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Interpreter
+// ---------------------------------------------------------------------------
+
+TEST(InterpreterTest, EndToEndGroupOrderLimit) {
+  // Scan a synthetic "dataset", group by parity, count, order desc.
+  EvalContext ctx([](const std::string& name,
+                     const std::function<Status(const Value&)>& cb) {
+    EXPECT_EQ(name, "DV.D");
+    for (int i = 0; i < 10; ++i) {
+      ASTERIX_RETURN_NOT_OK(cb(Value::Record({{"id", Value::Int64(i)}})));
+    }
+    return Status::OK();
+  });
+  auto scan = MakeOp(LogicalOp::Kind::kDataSourceScan);
+  scan->dataset = "DV.D";
+  scan->var = "x";
+  auto select = MakeOp(LogicalOp::Kind::kSelect);
+  select->inputs = {scan};
+  select->expr =
+      Expr::Compare("<", Field("x", "id"), Expr::Const(Value::Int64(7)));
+  auto group = MakeOp(LogicalOp::Kind::kGroupBy);
+  group->inputs = {select};
+  group->group_keys = {{"parity", Expr::Arith("%", {Field("x", "id"),
+                                                    Expr::Const(Value::Int64(2))})}};
+  LogicalOp::AggCall agg;
+  agg.out_var = "cnt";
+  agg.fn = "count";
+  agg.arg = Expr::Var("x");
+  group->aggs = {agg};
+  auto order = MakeOp(LogicalOp::Kind::kOrder);
+  order->inputs = {group};
+  order->order_keys = {{Expr::Var("cnt"), false}};
+  auto dist = MakeOp(LogicalOp::Kind::kDistribute);
+  dist->inputs = {order};
+  dist->expr = Expr::RecordCtor({"p", "c"}, {Expr::Var("parity"), Expr::Var("cnt")});
+
+  auto values = InterpretToValues(dist, ctx).take();
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_EQ(values[0].GetField("c").AsInt(), 4);  // evens: 0,2,4,6
+  EXPECT_EQ(values[1].GetField("c").AsInt(), 3);  // odds: 1,3,5
+}
+
+TEST(InterpreterTest, LeftOuterJoinPadsNulls) {
+  EvalContext ctx([](const std::string& name,
+                     const std::function<Status(const Value&)>& cb) {
+    int n = name == "DV.L" ? 3 : 1;
+    for (int i = 0; i < n; ++i) {
+      ASTERIX_RETURN_NOT_OK(cb(Value::Record({{"id", Value::Int64(i)}})));
+    }
+    return Status::OK();
+  });
+  auto left = MakeOp(LogicalOp::Kind::kDataSourceScan);
+  left->dataset = "DV.L";
+  left->var = "l";
+  auto right = MakeOp(LogicalOp::Kind::kDataSourceScan);
+  right->dataset = "DV.R";
+  right->var = "r";
+  auto join = MakeOp(LogicalOp::Kind::kJoin);
+  join->inputs = {left, right};
+  join->left_outer = true;
+  join->expr = Expr::Compare("=", Field("l", "id"), Field("r", "id"));
+  auto dist = MakeOp(LogicalOp::Kind::kDistribute);
+  dist->inputs = {join};
+  dist->expr = Expr::RecordCtor({"l", "r"}, {Expr::Var("l"), Expr::Var("r")});
+  auto values = InterpretToValues(dist, ctx).take();
+  ASSERT_EQ(values.size(), 3u);
+  size_t nulls = 0;
+  for (const auto& v : values) {
+    if (v.GetField("r").IsNull()) ++nulls;
+  }
+  EXPECT_EQ(nulls, 2u);  // right side has only id 0
+}
+
+}  // namespace
+}  // namespace algebricks
+}  // namespace asterix

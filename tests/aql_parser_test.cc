@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include "aql/lexer.h"
+#include "aql/parser.h"
+
+namespace asterix {
+namespace aql {
+namespace {
+
+using algebricks::Expr;
+using algebricks::LogicalOp;
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+TEST(LexerTest, DashedIdentifiersVsSubtraction) {
+  auto toks = Tokenize("$user.user-since - $x").take();
+  ASSERT_GE(toks.size(), 5u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kVariable);
+  EXPECT_EQ(toks[2].text, "user-since");  // dash folded into the identifier
+  EXPECT_EQ(toks[3].text, "-");           // standalone dash = operator
+}
+
+TEST(LexerTest, HintsAndComments) {
+  auto toks = Tokenize("a /* plain comment */ /*+ indexnl */ = b").take();
+  // plain comment dropped; hint kept.
+  ASSERT_EQ(toks.size(), 5u);  // a, hint, =, b, EOF
+  EXPECT_EQ(toks[1].kind, TokenKind::kHint);
+  EXPECT_EQ(toks[1].text, "indexnl");
+}
+
+TEST(LexerTest, MultiCharPunctAndStrings) {
+  auto toks = Tokenize("{{ }} := ~= != <= 'a\\'b' \"q\"").take();
+  EXPECT_EQ(toks[0].text, "{{");
+  EXPECT_EQ(toks[2].text, ":=");
+  EXPECT_EQ(toks[3].text, "~=");
+  EXPECT_EQ(toks[6].text, "a'b");
+  EXPECT_EQ(toks[7].text, "q");
+}
+
+TEST(LexerTest, LineCommentsAndNumbers) {
+  auto toks = Tokenize("42 -- to end of line\n3.5 1e3").take();
+  EXPECT_EQ(toks[0].int_value, 42);
+  EXPECT_DOUBLE_EQ(toks[1].double_value, 3.5);
+  EXPECT_DOUBLE_EQ(toks[2].double_value, 1000.0);
+}
+
+TEST(LexerTest, ErrorsCarryLineNumbers) {
+  auto r = Tokenize("a\nb\n\"unterminated");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 3"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+class ParserTest : public ::testing::Test {
+ protected:
+  std::vector<Statement> Parse(const std::string& text) {
+    ParserContext ctx;
+    ctx.dataverse = "DV";
+    auto r = ParseAql(text, &ctx);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? r.take() : std::vector<Statement>{};
+  }
+  Status ParseError(const std::string& text) {
+    ParserContext ctx;
+    auto r = ParseAql(text, &ctx);
+    EXPECT_FALSE(r.ok()) << "expected parse error for: " << text;
+    return r.ok() ? Status::OK() : r.status();
+  }
+};
+
+TEST_F(ParserTest, CreateTypeNested) {
+  auto stmts = Parse(R"(
+create type T as closed {
+  id: int64,
+  addr: { city: string, zip: string? },
+  tags: {{ string }},
+  jobs: [ Emp ]
+})");
+  ASSERT_EQ(stmts.size(), 1u);
+  const auto& t = stmts[0];
+  EXPECT_EQ(t.kind, Statement::Kind::kCreateType);
+  EXPECT_EQ(t.name, "T");
+  ASSERT_EQ(t.type_expr->fields.size(), 4u);
+  EXPECT_FALSE(t.type_expr->open);
+  EXPECT_EQ(t.type_expr->fields[1].type->kind, TypeExpr::Kind::kRecord);
+  EXPECT_TRUE(t.type_expr->fields[1].type->fields[1].optional);
+  EXPECT_EQ(t.type_expr->fields[2].type->kind, TypeExpr::Kind::kBag);
+  EXPECT_EQ(t.type_expr->fields[3].type->item->name, "Emp");
+}
+
+TEST_F(ParserTest, CreateDatasetAndIndex) {
+  auto stmts = Parse(R"(
+create dataset Users(UserType) primary key id;
+create index ngIdx on Users(name) type ngram(4);
+create index locIdx on Users(loc) type rtree;)");
+  ASSERT_EQ(stmts.size(), 3u);
+  EXPECT_EQ(stmts[0].dataset, "DV.Users");
+  EXPECT_EQ(stmts[0].primary_key, std::vector<std::string>{"id"});
+  EXPECT_EQ(stmts[1].index_kind, "ngram");
+  EXPECT_EQ(stmts[1].gram_length, 4u);
+  EXPECT_EQ(stmts[2].index_kind, "rtree");
+}
+
+TEST_F(ParserTest, ExternalDatasetParams) {
+  auto stmts = Parse(R"(
+create external dataset Log(LogType) using localfs
+  (("path"="h://tmp/x.csv"), ("format"="delimited-text"), ("delimiter"="|"));)");
+  ASSERT_EQ(stmts.size(), 1u);
+  EXPECT_EQ(stmts[0].kind, Statement::Kind::kCreateExternalDataset);
+  EXPECT_EQ(stmts[0].adaptor, "localfs");
+  EXPECT_EQ(stmts[0].adaptor_params.at("delimiter"), "|");
+}
+
+TEST_F(ParserTest, FeedStatements) {
+  auto stmts = Parse(R"(
+create feed f using socket_adaptor (("sockets"="h:1")) apply function clean;
+connect feed f to dataset Msgs;)");
+  ASSERT_EQ(stmts.size(), 2u);
+  EXPECT_EQ(stmts[0].feed_function, "clean");
+  EXPECT_EQ(stmts[1].kind, Statement::Kind::kConnectFeed);
+  EXPECT_EQ(stmts[1].dataset, "DV.Msgs");
+}
+
+TEST_F(ParserTest, FunctionBodyCapturedVerbatim) {
+  auto stmts = Parse(R"(
+create function f($a, $b) {
+  { "sum": $a + $b, "nested": { "x": 1 } }
+};)");
+  ASSERT_EQ(stmts.size(), 1u);
+  EXPECT_EQ(stmts[0].function_params,
+            (std::vector<std::string>{"a", "b"}));
+  EXPECT_NE(stmts[0].function_body.find("nested"), std::string::npos);
+}
+
+TEST_F(ParserTest, InsertDeleteSet) {
+  auto stmts = Parse(R"(
+set simfunction "jaccard";
+insert into dataset D ( { "id": 1 } );
+delete $x from dataset D where $x.id = 1;)");
+  ASSERT_EQ(stmts.size(), 3u);
+  EXPECT_EQ(stmts[0].set_value, "jaccard");
+  EXPECT_EQ(stmts[1].kind, Statement::Kind::kInsert);
+  EXPECT_EQ(stmts[2].var, "x");
+  ASSERT_TRUE(stmts[2].expr != nullptr);
+}
+
+TEST_F(ParserTest, FlworBuildsLogicalPlan) {
+  auto stmts = Parse(R"(
+for $u in dataset Users
+for $m in dataset Msgs
+where $m.uid = $u.id and $u.age > 21
+group by $k := $u.city with $u
+let $cnt := count($u)
+order by $cnt desc
+limit 5 offset 2
+return { "city": $k, "n": $cnt };)");
+  ASSERT_EQ(stmts.size(), 1u);
+  ASSERT_TRUE(stmts[0].plan != nullptr);
+  // distribute <- limit <- order <- assign <- group <- select <- join.
+  auto op = stmts[0].plan;
+  EXPECT_EQ(op->kind, LogicalOp::Kind::kDistribute);
+  op = op->inputs[0];
+  EXPECT_EQ(op->kind, LogicalOp::Kind::kLimit);
+  EXPECT_EQ(op->limit, 5);
+  EXPECT_EQ(op->offset, 2);
+  op = op->inputs[0];
+  EXPECT_EQ(op->kind, LogicalOp::Kind::kOrder);
+  EXPECT_FALSE(op->order_keys[0].second);  // desc
+  op = op->inputs[0];
+  EXPECT_EQ(op->kind, LogicalOp::Kind::kAssign);
+  op = op->inputs[0];
+  EXPECT_EQ(op->kind, LogicalOp::Kind::kGroupBy);
+  op = op->inputs[0];
+  EXPECT_EQ(op->kind, LogicalOp::Kind::kSelect);
+  op = op->inputs[0];
+  EXPECT_EQ(op->kind, LogicalOp::Kind::kJoin);
+}
+
+TEST_F(ParserTest, NestedFlworBecomesSubplan) {
+  auto stmts = Parse(R"(
+for $u in dataset Users
+return { "msgs": for $m in dataset Msgs
+                 where $m.uid = $u.id
+                 return $m };)");
+  const auto& dist = stmts[0].plan;
+  const auto& ret = dist->expr;  // record ctor
+  ASSERT_EQ(ret->kind, Expr::Kind::kRecordCtor);
+  EXPECT_EQ(ret->args[0]->kind, Expr::Kind::kSubplan);
+}
+
+TEST_F(ParserTest, PositionalVariable) {
+  auto stmts = Parse("for $x at $i in [10, 20] return $i;");
+  auto op = stmts[0].plan->inputs[0];
+  EXPECT_EQ(op->kind, LogicalOp::Kind::kUnnest);
+  EXPECT_EQ(op->pos_var, "i");
+}
+
+TEST_F(ParserTest, IndexNlHintMarksJoin) {
+  auto stmts = Parse(R"(
+for $u in dataset Users
+for $m in dataset Msgs
+where $m.uid /*+ indexnl */ = $u.id
+return $m;)");
+  std::function<bool(const algebricks::LogicalOpPtr&)> has_hint =
+      [&](const algebricks::LogicalOpPtr& op) {
+        if (op->kind == LogicalOp::Kind::kJoin &&
+            op->join_hint == algebricks::JoinHint::kIndexNestedLoop) {
+          return true;
+        }
+        for (const auto& in : op->inputs) {
+          if (has_hint(in)) return true;
+        }
+        return false;
+      };
+  EXPECT_TRUE(has_hint(stmts[0].plan));
+}
+
+TEST_F(ParserTest, FuzzyOperatorLowering) {
+  ParserContext ctx;
+  ctx.sim_function = "jaccard";
+  ctx.sim_threshold = 0.3;
+  auto e = ParseAqlExpression("$a ~= $b", &ctx).take();
+  // jaccard: similarity-jaccard($a,$b) >= 0.3.
+  ASSERT_EQ(e->kind, Expr::Kind::kCompare);
+  EXPECT_EQ(e->fn, ">=");
+  EXPECT_EQ(e->args[0]->fn, "similarity-jaccard");
+
+  ctx.sim_function = "edit-distance";
+  ctx.sim_threshold = 2;
+  auto e2 = ParseAqlExpression("$a ~= $b", &ctx).take();
+  // edit-distance: edit-distance-check($a,$b,2)[0].
+  ASSERT_EQ(e2->kind, Expr::Kind::kIndexAccess);
+  EXPECT_EQ(e2->base->fn, "edit-distance-check");
+}
+
+TEST_F(ParserTest, UdfInlining) {
+  FunctionDef def;
+  def.dataverse = "DV";
+  def.name = "double";
+  def.params = {"x"};
+  def.body = "$x + $x";
+  ParserContext ctx;
+  ctx.dataverse = "DV";
+  ctx.find_function = [&](const std::string&, const std::string& name,
+                          size_t arity) {
+    return (name == "double" && arity == 1) ? &def : nullptr;
+  };
+  auto e = ParseAqlExpression("double(21)", &ctx).take();
+  algebricks::EvalContext ectx;
+  EXPECT_EQ(algebricks::EvalExpr(*e, ectx).value().AsInt(), 42);
+}
+
+TEST_F(ParserTest, OperatorPrecedence) {
+  ParserContext ctx;
+  auto e = ParseAqlExpression("1 + 2 * 3 < 10 and true", &ctx).take();
+  algebricks::EvalContext ectx;
+  EXPECT_TRUE(algebricks::EvalExpr(*e, ectx).value().AsBoolean());
+  auto e2 = ParseAqlExpression("(1 + 2) * 3", &ctx).take();
+  EXPECT_EQ(algebricks::EvalExpr(*e2, ectx).value().AsInt(), 9);
+}
+
+TEST_F(ParserTest, ErrorsAreReported) {
+  ParseError("for $x in dataset D");            // missing return
+  ParseError("create dataset D primary key x"); // missing type
+  ParseError("for in dataset D return 1;");     // missing variable
+  ParseError("{ \"a\" 1 }");                    // missing colon
+  ParseError("unknown-function-xyz(1);");       // unknown function
+}
+
+}  // namespace
+}  // namespace aql
+}  // namespace asterix

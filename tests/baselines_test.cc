@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "baselines/columnstore.h"
+#include "baselines/docstore.h"
+#include "baselines/relstore.h"
+#include "common/env.h"
+#include "workload/generator.h"
+
+namespace asterix {
+namespace baselines {
+namespace {
+
+using adm::TypeTag;
+using adm::Value;
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  void SetUp() override { dir_ = env::NewScratchDir("baselines-test"); }
+  void TearDown() override { env::RemoveAll(dir_); }
+  std::string dir_;
+};
+
+// ---------------------------------------------------------------------------
+// DocStore (MongoDB stand-in)
+// ---------------------------------------------------------------------------
+
+TEST_F(BaselinesTest, DocStoreCrudAndIndexes) {
+  DocStore store(dir_, "docs", "id");
+  ASSERT_TRUE(store.Open().ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(store
+                    .Insert(Value::Record({{"id", Value::Int64(i)},
+                                           {"v", Value::Int64(i * 2)},
+                                           {"nested",
+                                            Value::Record({{"x", Value::Int64(i)}})}}))
+                    .ok());
+  }
+  EXPECT_EQ(store.Count(), 100u);
+  EXPECT_EQ(store.Insert(Value::Record({{"id", Value::Int64(5)}})).code(),
+            StatusCode::kAlreadyExists);
+
+  bool found;
+  Value doc;
+  ASSERT_TRUE(store.FindByKey(Value::Int64(42), &found, &doc).ok());
+  ASSERT_TRUE(found);
+  EXPECT_EQ(doc.GetField("nested").GetField("x").AsInt(), 42);
+
+  ASSERT_TRUE(store.EnsureIndex("v").ok());
+  size_t n = 0;
+  ASSERT_TRUE(store.RangeQuery("v", Value::Int64(10), Value::Int64(20),
+                               [&](const Value&) {
+                                 ++n;
+                                 return Status::OK();
+                               })
+                  .ok());
+  EXPECT_EQ(n, 6u);  // v = 10,12,...,20
+}
+
+TEST_F(BaselinesTest, DocStoreMapReduce) {
+  DocStore store(dir_, "mr", "id");
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(store
+                    .Insert(Value::Record({{"id", Value::Int64(i)},
+                                           {"g", Value::Int64(i % 3)}}))
+                    .ok());
+  }
+  std::map<std::string, Value> out;
+  ASSERT_TRUE(store
+                  .MapReduce(
+                      [](const Value& doc,
+                         std::vector<std::pair<Value, Value>>* emit) {
+                        emit->emplace_back(doc.GetField("g"), Value::Int64(1));
+                      },
+                      [](const std::vector<Value>& values) {
+                        return Value::Int64(static_cast<int64_t>(values.size()));
+                      },
+                      &out)
+                  .ok());
+  ASSERT_EQ(out.size(), 3u);
+  for (const auto& [k, v] : out) {
+    (void)k;
+    EXPECT_EQ(v.AsInt(), 10);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RelStore (System-X stand-in)
+// ---------------------------------------------------------------------------
+
+TEST_F(BaselinesTest, RelTableTypedRowsAndIndexes) {
+  RelTable table(dir_, "t",
+                 {{"id", TypeTag::kInt64},
+                  {"name", TypeTag::kString},
+                  {"score", TypeTag::kDouble}},
+                 "id");
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(table
+                    .Insert(Value::Record({{"id", Value::Int64(i)},
+                                           {"name", Value::String("n" + std::to_string(i))},
+                                           {"score", Value::Double(i / 2.0)}}),
+                            false)
+                    .ok());
+  }
+  // Typed schema rejects undeclared columns (closed rows).
+  EXPECT_FALSE(table
+                   .Insert(Value::Record({{"id", Value::Int64(99)},
+                                          {"surprise", Value::Int64(1)}}),
+                           false)
+                   .ok());
+  ASSERT_TRUE(table.CreateIndex("score").ok());
+  size_t n = 0;
+  ASSERT_TRUE(table.RangeQuery("score", Value::Double(5), Value::Double(10),
+                               [&](const Value&) {
+                                 ++n;
+                                 return Status::OK();
+                               })
+                  .ok());
+  EXPECT_EQ(n, 11u);  // scores 5.0..10.0 in 0.5 steps
+  // Index probe on the pk column short-circuits to the primary.
+  n = 0;
+  ASSERT_TRUE(table.IndexProbe("id", Value::Int64(7), [&](const Value& row) {
+    EXPECT_EQ(row.GetField("name").AsString(), "n7");
+    ++n;
+    return Status::OK();
+  }).ok());
+  EXPECT_EQ(n, 1u);
+}
+
+TEST_F(BaselinesTest, JoinMethodChoiceMatchesPaperNarrative) {
+  // "the cost-based optimizer of System-X picked an index nested-loop join"
+  // for small selectivities; hash join otherwise.
+  EXPECT_EQ(ChooseJoinMethod(300, 100000, true), JoinMethod::kIndexNestedLoop);
+  EXPECT_EQ(ChooseJoinMethod(50000, 100000, true), JoinMethod::kHashJoin);
+  EXPECT_EQ(ChooseJoinMethod(300, 100000, false), JoinMethod::kHashJoin);
+}
+
+// ---------------------------------------------------------------------------
+// ColumnStore (Hive/ORC stand-in)
+// ---------------------------------------------------------------------------
+
+TEST_F(BaselinesTest, ColumnStoreRoundTripAndProjection) {
+  ColumnStore store(dir_, "c",
+                    {{"id", TypeTag::kInt64},
+                     {"name", TypeTag::kString},
+                     {"ts", TypeTag::kDatetime},
+                     {"score", TypeTag::kDouble}},
+                    0);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(store
+                    .Append(Value::Record(
+                        {{"id", Value::Int64(i)},
+                         {"name", Value::String("name" + std::to_string(i % 50))},
+                         {"ts", Value::Datetime(i * 1000)},
+                         {"score", Value::Double(i * 0.5)}}))
+                    .ok());
+  }
+  ASSERT_TRUE(store.Finalize().ok());
+  EXPECT_EQ(store.NumRows(), 10000u);
+
+  // Projected scan decodes only requested columns, in requested order.
+  size_t n = 0;
+  int64_t id_sum = 0;
+  ASSERT_TRUE(store.Scan({"score", "id"}, std::nullopt,
+                         [&](const std::vector<Value>& row) {
+                           EXPECT_EQ(row.size(), 2u);
+                           EXPECT_DOUBLE_EQ(row[0].AsDouble(),
+                                            row[1].AsInt() * 0.5);
+                           id_sum += row[1].AsInt();
+                           ++n;
+                           return Status::OK();
+                         })
+                  .ok());
+  EXPECT_EQ(n, 10000u);
+  EXPECT_EQ(id_sum, 10000LL * 9999 / 2);
+}
+
+TEST_F(BaselinesTest, ColumnStoreStripeSkipping) {
+  ColumnStore store(dir_, "skip", {{"ts", TypeTag::kInt64}}, 0);
+  for (int i = 0; i < 30000; ++i) {
+    ASSERT_TRUE(store.Append(Value::Record({{"ts", Value::Int64(i)}})).ok());
+  }
+  ASSERT_TRUE(store.Finalize().ok());
+  // Range touching only the first stripe must not emit later rows... it
+  // still emits only matching stripes; verify exact rows via the filter.
+  size_t n = 0;
+  ColumnStore::ScanRange range{"ts", Value::Int64(100), Value::Int64(199)};
+  ASSERT_TRUE(store.Scan({"ts"}, range,
+                         [&](const std::vector<Value>& row) {
+                           int64_t v = row[0].AsInt();
+                           if (v >= 100 && v <= 199) ++n;
+                           return Status::OK();
+                         })
+                  .ok());
+  EXPECT_EQ(n, 100u);
+}
+
+TEST_F(BaselinesTest, ColumnStoreCompressesRepetitiveData) {
+  ColumnStore store(dir_, "comp",
+                    {{"city", TypeTag::kString}, {"seq", TypeTag::kInt64}}, 0);
+  size_t raw_bytes = 0;
+  for (int i = 0; i < 20000; ++i) {
+    std::string city = i % 2 ? "San Hugo" : "Oranje";
+    raw_bytes += city.size() + 8;
+    ASSERT_TRUE(store
+                    .Append(Value::Record({{"city", Value::String(city)},
+                                           {"seq", Value::Int64(i)}}))
+                    .ok());
+  }
+  ASSERT_TRUE(store.Finalize().ok());
+  EXPECT_LT(store.DiskBytes(), raw_bytes / 4)
+      << "dictionary + delta + LZ should crush repetitive columns";
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace asterix

@@ -1,0 +1,160 @@
+// EXPLAIN-shape tests: for each query family, the physical compiler must
+// produce the expected operator/connector structure (the plans the paper
+// describes in SS4 and SS5.1's "safe rules").
+
+#include <gtest/gtest.h>
+
+#include "api/asterix.h"
+#include "common/env.h"
+
+namespace asterix {
+namespace {
+
+class CompilerPlansTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = env::NewScratchDir("plans");
+    api::InstanceConfig config;
+    config.base_dir = dir_;
+    config.cluster.num_nodes = 2;
+    config.cluster.partitions_per_node = 2;
+    config.cluster.job_startup_us = 0;
+    db_ = std::make_unique<api::AsterixInstance>(config);
+    ASSERT_TRUE(db_->Boot().ok());
+    ASSERT_TRUE(db_->Execute(R"aql(
+create dataverse P; use dataverse P;
+create type UserT as { id: int64, name: string, since: datetime }
+create type MsgT as { mid: int64, uid: int64, ts: datetime, text: string }
+create dataset Users(UserT) primary key id;
+create dataset Msgs(MsgT) primary key mid;
+create index sinceIdx on Users(since);
+create index uidIdx on Msgs(uid) type btree;
+)aql").ok());
+  }
+  void TearDown() override {
+    db_.reset();
+    env::RemoveAll(dir_);
+  }
+
+  std::string JobFor(const std::string& q) {
+    auto r = db_->Explain("use dataverse P;\n" + q);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? r.value().job_plan : "";
+  }
+
+  std::string dir_;
+  std::unique_ptr<api::AsterixInstance> db_;
+};
+
+TEST_F(CompilerPlansTest, FullScanIsPartitionParallel) {
+  std::string job = JobFor("for $u in dataset Users return $u;");
+  EXPECT_NE(job.find("scan(Users)  [x4]"), std::string::npos) << job;
+}
+
+TEST_F(CompilerPlansTest, PrimaryKeyPredicateUsesPrimaryRange) {
+  std::string job = JobFor("for $u in dataset Users where $u.id = 5 return $u;");
+  EXPECT_NE(job.find("btree-range-scan(Users)"), std::string::npos) << job;
+  // No secondary pipeline (sort/fetch) needed.
+  EXPECT_EQ(job.find("btree-search(Users.primary)"), std::string::npos) << job;
+}
+
+TEST_F(CompilerPlansTest, SecondaryIndexPipelineShape) {
+  std::string job = JobFor(
+      "for $u in dataset Users where $u.since >= "
+      "datetime(\"2014-01-01T00:00:00\") return $u;");
+  size_t search = job.find("btree-search(sinceIdx)");
+  size_t sort = job.find("sort");
+  size_t fetch = job.find("btree-search(Users.primary)");
+  size_t select = job.find("select");
+  ASSERT_NE(search, std::string::npos) << job;
+  EXPECT_LT(search, sort);
+  EXPECT_LT(sort, fetch);
+  EXPECT_LT(fetch, select);  // post-validation after the fetch
+}
+
+TEST_F(CompilerPlansTest, EquijoinUsesHybridHashWithPartitioning) {
+  std::string job = JobFor(
+      "for $u in dataset Users for $m in dataset Msgs "
+      "where $m.uid = $u.id return { \"n\": $u.name };");
+  EXPECT_NE(job.find("hybrid-hash-join"), std::string::npos) << job;
+  EXPECT_NE(job.find("n:m partitioning"), std::string::npos) << job;
+}
+
+TEST_F(CompilerPlansTest, IndexNlHintProbesSecondaryIndex) {
+  std::string job = JobFor(
+      "for $u in dataset Users for $m in dataset Msgs "
+      "where $m.uid /*+ indexnl */ = $u.id return { \"n\": $u.name };");
+  EXPECT_NE(job.find("btree-probe(uidIdx)"), std::string::npos) << job;
+  EXPECT_EQ(job.find("hybrid-hash-join"), std::string::npos) << job;
+}
+
+TEST_F(CompilerPlansTest, IndexNlOnPrimaryKeyProbesPrimary) {
+  // The indexed side's key IS Users' primary key: probe the primary index.
+  std::string job = JobFor(
+      "for $m in dataset Msgs for $u in dataset Users "
+      "where $u.id /*+ indexnl */ = $m.uid return { \"t\": $m.text };");
+  EXPECT_NE(job.find("btree-search(Users.primary)"), std::string::npos) << job;
+  EXPECT_EQ(job.find("hybrid-hash-join"), std::string::npos) << job;
+}
+
+TEST_F(CompilerPlansTest, NonEquiJoinFallsBackToNestedLoop) {
+  std::string job = JobFor(
+      "for $u in dataset Users for $m in dataset Msgs "
+      "where $m.uid < $u.id return 1;");
+  EXPECT_NE(job.find("nested-loop-join"), std::string::npos) << job;
+  EXPECT_NE(job.find("replicating"), std::string::npos) << job;
+}
+
+TEST_F(CompilerPlansTest, GroupBySplitsLocalGlobal) {
+  std::string job = JobFor(
+      "for $m in dataset Msgs group by $u := $m.uid with $m "
+      "let $c := count($m) return { \"u\": $u, \"c\": $c };");
+  size_t local = job.find("hash-group-by");
+  size_t global = job.find("hash-group-by", local + 1);
+  EXPECT_NE(local, std::string::npos) << job;
+  EXPECT_NE(global, std::string::npos)
+      << "expected a local+global group-by pair:\n" << job;
+}
+
+TEST_F(CompilerPlansTest, OrderByGathersThroughMergingConnector) {
+  std::string job = JobFor(
+      "for $u in dataset Users order by $u.name return $u.name;");
+  EXPECT_NE(job.find("sort  [x4]"), std::string::npos) << job;
+  EXPECT_NE(job.find("partitioning-merging"), std::string::npos) << job;
+}
+
+TEST_F(CompilerPlansTest, LimitRunsOnSingleInstance) {
+  std::string job = JobFor(
+      "for $u in dataset Users order by $u.id limit 3 return $u.id;");
+  EXPECT_NE(job.find("limit  [x1]"), std::string::npos) << job;
+}
+
+TEST_F(CompilerPlansTest, SkipIndexHintForcesScan) {
+  std::string job = JobFor(
+      "for $u in dataset Users where /*+ skip-index */ $u.since >= "
+      "datetime(\"2014-01-01T00:00:00\") return $u;");
+  EXPECT_NE(job.find("scan(Users)"), std::string::npos) << job;
+  EXPECT_EQ(job.find("btree-search(sinceIdx)"), std::string::npos) << job;
+}
+
+TEST_F(CompilerPlansTest, AggregationSplitCanBeDisabled) {
+  // Rebuild an instance with the split turned off (the ablation switch).
+  api::InstanceConfig config;
+  config.base_dir = dir_ + "/nosplit";
+  config.cluster.job_startup_us = 0;
+  config.optimizer.split_aggregation = false;
+  api::AsterixInstance db2(config);
+  ASSERT_TRUE(db2.Boot().ok());
+  ASSERT_TRUE(db2.Execute(R"aql(
+create dataverse P; use dataverse P;
+create type T as { id: int64 }
+create dataset D(T) primary key id;)aql").ok());
+  auto r = db2.Explain(
+      "use dataverse P;\ncount(for $d in dataset D return $d)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().job_plan.find("local-aggregate"), std::string::npos);
+  EXPECT_NE(r.value().job_plan.find("aggregate"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace asterix

@@ -1,0 +1,286 @@
+#include "storage/dataset_store.h"
+
+#include <gtest/gtest.h>
+
+#include "adm/adm_parser.h"
+#include "common/env.h"
+
+namespace asterix {
+namespace storage {
+namespace {
+
+using adm::Datatype;
+using adm::DatatypePtr;
+using adm::TypeTag;
+using adm::Value;
+
+DatatypePtr MessageType() {
+  return Datatype::MakeRecord(
+      "MessageType",
+      {
+          {"message-id", Datatype::Primitive(TypeTag::kInt64), false},
+          {"author-id", Datatype::Primitive(TypeTag::kInt64), false},
+          {"timestamp", Datatype::Primitive(TypeTag::kDatetime), false},
+          {"sender-location", Datatype::Primitive(TypeTag::kPoint), true},
+          {"message", Datatype::Primitive(TypeTag::kString), false},
+      },
+      /*open=*/false);
+}
+
+Value MakeMessage(int64_t id, int64_t author, int64_t ts, double x, double y,
+                  const std::string& text) {
+  return adm::RecordBuilder()
+      .Add("message-id", Value::Int64(id))
+      .Add("author-id", Value::Int64(author))
+      .Add("timestamp", Value::Datetime(ts))
+      .Add("sender-location", Value::Point(x, y))
+      .Add("message", Value::String(text))
+      .Build();
+}
+
+class DatasetStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = env::NewScratchDir("ds-test");
+    cache_ = std::make_unique<BufferCache>(1024);
+    txns_ = std::make_unique<txn::TxnManager>(dir_ + "/wal.log");
+    def_.dataset_id = 1;
+    def_.dataverse = "Test";
+    def_.name = "Messages";
+    def_.type = MessageType();
+    def_.primary_key_fields = {"message-id"};
+    def_.secondary_indexes = {
+        {"tsIdx", IndexKind::kBTree, {"timestamp"}, 0},
+        {"locIdx", IndexKind::kRTree, {"sender-location"}, 0},
+        {"msgIdx", IndexKind::kKeyword, {"message"}, 0},
+    };
+  }
+  void TearDown() override { env::RemoveAll(dir_); }
+
+  std::unique_ptr<DatasetPartition> MakePartition() {
+    LsmOptions o;
+    o.mem_budget_bytes = 1 << 20;
+    auto p = std::make_unique<DatasetPartition>(cache_.get(), dir_ + "/p0",
+                                                def_, 0, txns_.get(), o);
+    EXPECT_TRUE(p->Open().ok());
+    return p;
+  }
+
+  std::string dir_;
+  std::unique_ptr<BufferCache> cache_;
+  std::unique_ptr<txn::TxnManager> txns_;
+  DatasetDef def_;
+};
+
+TEST_F(DatasetStoreTest, InsertLookupDelete) {
+  auto p = MakePartition();
+  ASSERT_TRUE(p->Insert(MakeMessage(1, 10, 1000, 1.0, 2.0, "hello world")).ok());
+  bool found;
+  Value rec;
+  ASSERT_TRUE(p->PointLookup({Value::Int64(1)}, &found, &rec).ok());
+  ASSERT_TRUE(found);
+  EXPECT_EQ(rec.GetField("message").AsString(), "hello world");
+  EXPECT_EQ(rec.GetField("author-id").AsInt(), 10);
+
+  ASSERT_TRUE(p->DeleteByKey({Value::Int64(1)}, &found).ok());
+  EXPECT_TRUE(found);
+  ASSERT_TRUE(p->PointLookup({Value::Int64(1)}, &found, &rec).ok());
+  EXPECT_FALSE(found);
+}
+
+TEST_F(DatasetStoreTest, DuplicateKeyRejected) {
+  auto p = MakePartition();
+  ASSERT_TRUE(p->Insert(MakeMessage(1, 10, 1000, 1, 2, "a")).ok());
+  Status st = p->Insert(MakeMessage(1, 11, 2000, 3, 4, "b"));
+  EXPECT_EQ(st.code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(DatasetStoreTest, ClosedTypeRejectsExtraField) {
+  auto p = MakePartition();
+  Value bad = adm::RecordBuilder()
+                  .Add("message-id", Value::Int64(5))
+                  .Add("author-id", Value::Int64(1))
+                  .Add("timestamp", Value::Datetime(0))
+                  .Add("message", Value::String("x"))
+                  .Add("extra", Value::String("not allowed"))
+                  .Build();
+  Status st = p->Insert(bad);
+  EXPECT_EQ(st.code(), StatusCode::kTypeError);
+}
+
+TEST_F(DatasetStoreTest, SecondaryBTreeRangeScan) {
+  auto p = MakePartition();
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(p->Insert(MakeMessage(i, i % 5, i * 100, i, i, "m")).ok());
+  }
+  ScanBounds b;
+  b.lo = CompositeKey{Value::Datetime(1000)};
+  b.hi = CompositeKey{Value::Datetime(2000)};
+  std::vector<int64_t> ids;
+  ASSERT_TRUE(p->SecondaryRangeScan("tsIdx", b, [&](const IndexEntry& e) {
+    ids.push_back(e.key.back().AsInt());  // trailing pk
+    return Status::OK();
+  }).ok());
+  EXPECT_EQ(ids.size(), 11u);
+}
+
+TEST_F(DatasetStoreTest, RTreeSearchFindsNearby) {
+  auto p = MakePartition();
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(p->Insert(MakeMessage(i, 0, 0, i * 10.0, 0.0, "m")).ok());
+  }
+  std::vector<int64_t> ids;
+  ASSERT_TRUE(p->RTreeSearch("locIdx", Mbr{-5, -5, 25, 5},
+                             [&](const CompositeKey& pk) {
+                               ids.push_back(pk[0].AsInt());
+                               return Status::OK();
+                             }).ok());
+  EXPECT_EQ(ids.size(), 3u);  // x = 0, 10, 20
+}
+
+TEST_F(DatasetStoreTest, KeywordSearchAndDeleteMaintenance) {
+  auto p = MakePartition();
+  ASSERT_TRUE(p->Insert(MakeMessage(1, 0, 0, 0, 0, "asterix is scalable")).ok());
+  ASSERT_TRUE(p->Insert(MakeMessage(2, 0, 0, 0, 0, "scalable systems rock")).ok());
+  std::vector<int64_t> ids;
+  ASSERT_TRUE(p->InvertedSearchToken("msgIdx", "scalable",
+                                     [&](const CompositeKey& pk) {
+                                       ids.push_back(pk[0].AsInt());
+                                       return Status::OK();
+                                     }).ok());
+  EXPECT_EQ(ids.size(), 2u);
+
+  bool found;
+  ASSERT_TRUE(p->DeleteByKey({Value::Int64(1)}, &found).ok());
+  ids.clear();
+  ASSERT_TRUE(p->InvertedSearchToken("msgIdx", "scalable",
+                                     [&](const CompositeKey& pk) {
+                                       ids.push_back(pk[0].AsInt());
+                                       return Status::OK();
+                                     }).ok());
+  EXPECT_EQ(ids, (std::vector<int64_t>{2}));
+}
+
+TEST_F(DatasetStoreTest, WalRecoveryAfterCrash) {
+  {
+    auto p = MakePartition();
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(p->Insert(MakeMessage(i, 0, i, 0, 0, "msg")).ok());
+    }
+    bool found;
+    ASSERT_TRUE(p->DeleteByKey({Value::Int64(5)}, &found).ok());
+    // "Crash": partition destroyed without FlushAll; only the WAL persists.
+  }
+  auto p2 = MakePartition();  // Open() replays the WAL
+  bool found;
+  Value rec;
+  ASSERT_TRUE(p2->PointLookup({Value::Int64(3)}, &found, &rec).ok());
+  EXPECT_TRUE(found);
+  ASSERT_TRUE(p2->PointLookup({Value::Int64(5)}, &found, &rec).ok());
+  EXPECT_FALSE(found);  // the delete was committed and must replay too
+  // Secondary indexes must be rebuilt by replay as well.
+  std::vector<int64_t> ids;
+  ScanBounds all;
+  ASSERT_TRUE(p2->SecondaryRangeScan("tsIdx", all, [&](const IndexEntry& e) {
+    ids.push_back(e.key.back().AsInt());
+    return Status::OK();
+  }).ok());
+  EXPECT_EQ(ids.size(), 19u);
+}
+
+TEST_F(DatasetStoreTest, RecoveryAfterFlushDoesNotDoubleApply) {
+  {
+    auto p = MakePartition();
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(p->Insert(MakeMessage(i, 0, i, 0, 0, "msg")).ok());
+    }
+    ASSERT_TRUE(p->FlushAll().ok());
+    // More inserts after the flush land only in the WAL + memory.
+    for (int i = 10; i < 15; ++i) {
+      ASSERT_TRUE(p->Insert(MakeMessage(i, 0, i, 0, 0, "msg")).ok());
+    }
+  }
+  auto p2 = MakePartition();
+  size_t n = 0;
+  ASSERT_TRUE(p2->ScanAll([&](const Value&) {
+    ++n;
+    return Status::OK();
+  }).ok());
+  EXPECT_EQ(n, 15u);
+}
+
+TEST_F(DatasetStoreTest, BulkLoadAndScan) {
+  auto p = MakePartition();
+  std::vector<Value> batch;
+  for (int i = 0; i < 100; ++i) {
+    batch.push_back(MakeMessage(i, i % 7, i, 0, 0, "bulk"));
+  }
+  ASSERT_TRUE(p->LoadBulk(batch).ok());
+  size_t n = 0;
+  ASSERT_TRUE(p->ScanAll([&](const Value&) {
+    ++n;
+    return Status::OK();
+  }).ok());
+  EXPECT_EQ(n, 100u);
+}
+
+TEST_F(DatasetStoreTest, PartitionedDatasetRoutesByHash) {
+  LsmOptions o;
+  o.mem_budget_bytes = 1 << 20;
+  PartitionedDataset ds(cache_.get(), dir_ + "/multi", def_, 4, txns_.get(), o);
+  ASSERT_TRUE(ds.Open().ok());
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(ds.Insert(MakeMessage(i, 0, i, 0, 0, "m")).ok());
+  }
+  // Every record must be findable through routing.
+  for (int i = 0; i < 200; i += 13) {
+    bool found;
+    Value rec;
+    ASSERT_TRUE(ds.PointLookup({Value::Int64(i)}, &found, &rec).ok());
+    EXPECT_TRUE(found) << i;
+  }
+  // Partitions should each hold a nontrivial share (hash balance).
+  size_t nonempty = 0;
+  for (uint32_t i = 0; i < ds.num_partitions(); ++i) {
+    size_t n = 0;
+    EXPECT_TRUE(ds.partition(i)->ScanAll([&](const Value&) {
+      ++n;
+      return Status::OK();
+    }).ok());
+    if (n > 10) ++nonempty;
+  }
+  EXPECT_EQ(nonempty, 4u);
+  EXPECT_EQ(ds.ApproxRecordCount(), 200u);
+}
+
+TEST_F(DatasetStoreTest, OpenTypeStoresUndeclaredFields) {
+  DatasetDef open_def = def_;
+  open_def.name = "OpenMessages";
+  open_def.dataset_id = 2;
+  open_def.type = Datatype::MakeRecord(
+      "OpenMsg", {{"message-id", Datatype::Primitive(TypeTag::kInt64), false}},
+      /*open=*/true);
+  open_def.secondary_indexes.clear();
+  LsmOptions o;
+  auto p = std::make_unique<DatasetPartition>(cache_.get(), dir_ + "/open",
+                                              open_def, 0, txns_.get(), o);
+  ASSERT_TRUE(p->Open().ok());
+  Value rec = adm::RecordBuilder()
+                  .Add("message-id", Value::Int64(1))
+                  .Add("job-kind", Value::String("part-time"))
+                  .Add("nested", adm::RecordBuilder()
+                                     .Add("a", Value::Int64(1))
+                                     .Build())
+                  .Build();
+  ASSERT_TRUE(p->Insert(rec).ok());
+  bool found;
+  Value out;
+  ASSERT_TRUE(p->PointLookup({Value::Int64(1)}, &found, &out).ok());
+  ASSERT_TRUE(found);
+  EXPECT_EQ(out.GetField("job-kind").AsString(), "part-time");
+  EXPECT_EQ(out.GetField("nested").GetField("a").AsInt(), 1);
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace asterix

@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/env.h"
+#include "external/external.h"
+#include "feeds/feeds.h"
+#include "workload/generator.h"
+
+namespace asterix {
+namespace {
+
+using adm::Datatype;
+using adm::TypeTag;
+using adm::Value;
+
+// ---------------------------------------------------------------------------
+// External data (paper SS2.3)
+// ---------------------------------------------------------------------------
+
+class ExternalTest : public ::testing::Test {
+ protected:
+  void SetUp() override { dir_ = env::NewScratchDir("external-test"); }
+  void TearDown() override { env::RemoveAll(dir_); }
+
+  adm::DatatypePtr LogType() {
+    return Datatype::MakeRecord(
+        "AccessLogType",
+        {{"ip", Datatype::Primitive(TypeTag::kString), false},
+         {"time", Datatype::Primitive(TypeTag::kString), false},
+         {"user", Datatype::Primitive(TypeTag::kString), false},
+         {"verb", Datatype::Primitive(TypeTag::kString), false},
+         {"path", Datatype::Primitive(TypeTag::kString), false},
+         {"stat", Datatype::Primitive(TypeTag::kInt32), false},
+         {"size", Datatype::Primitive(TypeTag::kInt32), false}},
+        false);
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ExternalTest, DelimitedTextDrivenByType) {
+  // The paper's Figure 3 CSV.
+  const char* csv =
+      "12.34.56.78|2013-12-22T12:13:32-0800|Nicholas|GET|/|200|2279\n"
+      "12.34.56.78|2013-12-22T12:13:33-0800|Nicholas|GET|/list|200|5299\n";
+  ASSERT_TRUE(env::WriteFileAtomic(dir_ + "/log.csv", csv, strlen(csv)).ok());
+  std::vector<Value> rows;
+  ASSERT_TRUE(external::ReadExternalData(
+                  "localfs",
+                  {{"path", "{host}://" + dir_ + "/log.csv"},
+                   {"format", "delimited-text"},
+                   {"delimiter", "|"}},
+                  LogType(),
+                  [&](const Value& v) {
+                    rows.push_back(v);
+                    return Status::OK();
+                  })
+                  .ok());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].GetField("ip").AsString(), "12.34.56.78");
+  EXPECT_EQ(rows[0].GetField("stat").tag(), TypeTag::kInt32);  // typed parse
+  EXPECT_EQ(rows[1].GetField("size").AsInt(), 5299);
+}
+
+TEST_F(ExternalTest, AdmFormat) {
+  const char* adm = "{ \"ip\": \"1.2.3.4\", \"time\": \"t\", \"user\": \"u\","
+                    "  \"verb\": \"GET\", \"path\": \"/\", \"stat\": 200i32,"
+                    "  \"size\": 10i32 }";
+  ASSERT_TRUE(env::WriteFileAtomic(dir_ + "/d.adm", adm, strlen(adm)).ok());
+  size_t n = 0;
+  ASSERT_TRUE(external::ReadExternalData("localfs",
+                                         {{"path", dir_ + "/d.adm"},
+                                          {"format", "adm"}},
+                                         LogType(),
+                                         [&](const Value&) {
+                                           ++n;
+                                           return Status::OK();
+                                         })
+                  .ok());
+  EXPECT_EQ(n, 1u);
+}
+
+TEST_F(ExternalTest, ErrorsSurfaceCleanly) {
+  size_t n = 0;
+  auto cb = [&](const Value&) {
+    ++n;
+    return Status::OK();
+  };
+  EXPECT_FALSE(external::ReadExternalData("hdfs", {{"path", "x"}}, LogType(), cb)
+                   .ok());  // unsupported adaptor
+  EXPECT_FALSE(external::ReadExternalData(
+                   "localfs", {{"path", dir_ + "/missing.csv"}}, LogType(), cb)
+                   .ok());
+  const char* bad = "only|three|fields\n";
+  ASSERT_TRUE(env::WriteFileAtomic(dir_ + "/bad.csv", bad, strlen(bad)).ok());
+  EXPECT_FALSE(external::ReadExternalData("localfs",
+                                          {{"path", dir_ + "/bad.csv"},
+                                           {"delimiter", "|"}},
+                                          LogType(), cb)
+                   .ok());
+}
+
+// ---------------------------------------------------------------------------
+// Feeds (paper SS2.4, SS4.5)
+// ---------------------------------------------------------------------------
+
+class FeedsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = env::NewScratchDir("feeds-test");
+    cache_ = std::make_unique<storage::BufferCache>(1024);
+    txns_ = std::make_unique<txn::TxnManager>(dir_ + "/wal");
+    storage::DatasetDef def;
+    def.dataset_id = 1;
+    def.dataverse = "F";
+    def.name = "Msgs";
+    def.type = workload::MessageTypeSchema();
+    def.primary_key_fields = {"message-id"};
+    storage::LsmOptions o;
+    target_ = std::make_unique<storage::PartitionedDataset>(
+        cache_.get(), dir_ + "/d", def, 2, txns_.get(), o);
+    ASSERT_TRUE(target_->Open().ok());
+  }
+  void TearDown() override { env::RemoveAll(dir_); }
+
+  std::string dir_;
+  std::unique_ptr<storage::BufferCache> cache_;
+  std::unique_ptr<txn::TxnManager> txns_;
+  std::unique_ptr<storage::PartitionedDataset> target_;
+  feeds::FeedManager manager_;
+};
+
+TEST_F(FeedsTest, PushFeedStoresRecords) {
+  auto adaptor = std::make_unique<feeds::PushAdaptor>();
+  auto* input = adaptor.get();
+  auto conn = manager_.ConnectPrimary("f", std::move(adaptor), nullptr,
+                                      target_.get());
+  ASSERT_TRUE(conn.ok());
+  workload::Generator gen;
+  for (int i = 0; i < 100; ++i) input->Push(gen.MakeMessage(i, 10));
+  input->Close();
+  conn.value()->AwaitCompletion();
+  auto stats = conn.value()->stats();
+  EXPECT_EQ(stats.ingested, 100u);
+  EXPECT_EQ(stats.stored, 100u);
+  EXPECT_EQ(target_->ApproxRecordCount(), 100u);
+}
+
+TEST_F(FeedsTest, TransformAppliesAndFailuresCount) {
+  auto adaptor = std::make_unique<feeds::PushAdaptor>();
+  auto* input = adaptor.get();
+  // Transform drops odd ids by returning an invalid (missing) record.
+  feeds::FeedTransform transform =
+      [](const Value& v) -> Result<Value> {
+    if (v.GetField("message-id").AsInt() % 2 == 1) return Value::Missing();
+    return v;
+  };
+  auto conn = manager_.ConnectPrimary("f2", std::move(adaptor), transform,
+                                      target_.get());
+  ASSERT_TRUE(conn.ok());
+  workload::Generator gen;
+  for (int i = 0; i < 50; ++i) input->Push(gen.MakeMessage(i, 10));
+  input->Close();
+  conn.value()->AwaitCompletion();
+  auto stats = conn.value()->stats();
+  EXPECT_EQ(stats.ingested, 50u);
+  EXPECT_EQ(stats.stored, 25u);
+  EXPECT_EQ(stats.failed, 25u);
+}
+
+TEST_F(FeedsTest, SecondaryFeedCascades) {
+  // Second target dataset for the secondary feed.
+  storage::DatasetDef def2;
+  def2.dataset_id = 2;
+  def2.dataverse = "F";
+  def2.name = "Copy";
+  def2.type = workload::MessageTypeSchema();
+  def2.primary_key_fields = {"message-id"};
+  storage::LsmOptions o;
+  storage::PartitionedDataset copy(cache_.get(), dir_ + "/d2", def2, 2,
+                                   txns_.get(), o);
+  ASSERT_TRUE(copy.Open().ok());
+
+  auto adaptor = std::make_unique<feeds::PushAdaptor>();
+  auto* input = adaptor.get();
+  auto primary = manager_.ConnectPrimary("src", std::move(adaptor), nullptr,
+                                         target_.get());
+  ASSERT_TRUE(primary.ok());
+  auto secondary = manager_.ConnectSecondary("dst", "src", nullptr, &copy);
+  ASSERT_TRUE(secondary.ok());
+
+  workload::Generator gen;
+  for (int i = 0; i < 60; ++i) input->Push(gen.MakeMessage(i, 10));
+  input->Close();
+  manager_.AwaitAll();
+
+  EXPECT_EQ(target_->ApproxRecordCount(), 60u);
+  EXPECT_EQ(copy.ApproxRecordCount(), 60u);
+  EXPECT_EQ(secondary.value()->stats().ingested, 60u);
+}
+
+TEST_F(FeedsTest, FileReplayAdaptor) {
+  std::string path = dir_ + "/replay.adm";
+  std::string content;
+  workload::Generator gen;
+  for (int i = 0; i < 10; ++i) content += gen.MakeMessage(i, 5).ToString() + "\n";
+  ASSERT_TRUE(env::WriteFileAtomic(path, content.data(), content.size()).ok());
+  auto adaptor = feeds::FileReplayAdaptor::Open(path);
+  ASSERT_TRUE(adaptor.ok());
+  auto conn = manager_.ConnectPrimary("replay", adaptor.take(), nullptr,
+                                      target_.get());
+  ASSERT_TRUE(conn.ok());
+  conn.value()->AwaitCompletion();
+  EXPECT_EQ(conn.value()->stats().stored, 10u);
+}
+
+TEST_F(FeedsTest, JointBuffersAndNotifiesSubscribers) {
+  feeds::FeedJoint joint;
+  std::vector<int64_t> seen;
+  joint.Subscribe([&](const Value& v) { seen.push_back(v.AsInt()); });
+  joint.Publish(Value::Int64(1));
+  joint.Publish(Value::Int64(2));
+  EXPECT_EQ(seen, (std::vector<int64_t>{1, 2}));
+  EXPECT_EQ(joint.BufferedRecords().size(), 2u);
+  joint.Close();
+  EXPECT_TRUE(joint.closed());
+}
+
+}  // namespace
+}  // namespace asterix

@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include "functions/aggregates.h"
+#include "functions/arith.h"
+#include "functions/builtins.h"
+#include "functions/similarity.h"
+#include "functions/spatial.h"
+
+namespace asterix {
+namespace functions {
+namespace {
+
+using adm::TypeTag;
+using adm::Value;
+
+Value Call(const std::string& fn, std::vector<Value> args) {
+  auto r = CallBuiltin(fn, args);
+  EXPECT_TRUE(r.ok()) << fn << ": " << r.status().ToString();
+  return r.ok() ? r.take() : Value::Missing();
+}
+
+// ---------------------------------------------------------------------------
+// Arithmetic & three-valued logic
+// ---------------------------------------------------------------------------
+
+TEST(ArithTest, NumericWidening) {
+  EXPECT_EQ(Add(Value::Int32(1), Value::Int64(2)).value().tag(), TypeTag::kInt64);
+  EXPECT_EQ(Add(Value::Int64(1), Value::Double(0.5)).value().tag(),
+            TypeTag::kDouble);
+  EXPECT_DOUBLE_EQ(Divide(Value::Int64(1), Value::Int64(2)).value().AsDouble(),
+                   0.5);
+}
+
+TEST(ArithTest, UnknownPropagates) {
+  EXPECT_TRUE(Add(Value::Null(), Value::Int64(1)).value().IsNull());
+  EXPECT_TRUE(Subtract(Value::Int64(1), Value::Missing()).value().IsNull());
+}
+
+TEST(ArithTest, DivisionByZeroIsError) {
+  EXPECT_FALSE(Divide(Value::Int64(1), Value::Int64(0)).ok());
+  EXPECT_FALSE(Modulo(Value::Int64(1), Value::Int64(0)).ok());
+}
+
+TEST(ArithTest, TemporalArithmetic) {
+  // datetime + duration.
+  Value dt = Value::Datetime(0);
+  Value month = Value::Duration(1, 0);
+  auto r = Add(dt, month);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().AsInt(), 31LL * 24 * 3600 * 1000);  // Jan has 31 days
+  // datetime - datetime = day-time-duration.
+  auto diff = Subtract(Value::Datetime(5000), Value::Datetime(2000));
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(diff.value().tag(), TypeTag::kDayTimeDuration);
+  EXPECT_EQ(diff.value().AsInt(), 3000);
+  // date difference scales to millis.
+  auto ddiff = Subtract(Value::Date(10), Value::Date(7));
+  EXPECT_EQ(ddiff.value().AsInt(), 3LL * 24 * 3600 * 1000);
+}
+
+TEST(ArithTest, ThreeValuedLogic) {
+  EXPECT_EQ(TriAnd(Tri::kTrue, Tri::kUnknown), Tri::kUnknown);
+  EXPECT_EQ(TriAnd(Tri::kFalse, Tri::kUnknown), Tri::kFalse);
+  EXPECT_EQ(TriOr(Tri::kTrue, Tri::kUnknown), Tri::kTrue);
+  EXPECT_EQ(TriOr(Tri::kFalse, Tri::kUnknown), Tri::kUnknown);
+  EXPECT_EQ(TriNot(Tri::kUnknown), Tri::kUnknown);
+  EXPECT_EQ(EqualsTri(Value::Null(), Value::Int64(1)), Tri::kUnknown);
+}
+
+// ---------------------------------------------------------------------------
+// Strings
+// ---------------------------------------------------------------------------
+
+TEST(StringFnTest, ContainsLikeMatches) {
+  EXPECT_TRUE(Call("contains", {Value::String("hello world"),
+                                Value::String("lo wo")}).AsBoolean());
+  EXPECT_TRUE(Call("like", {Value::String("JohnDoe"),
+                            Value::String("John%")}).AsBoolean());
+  EXPECT_FALSE(Call("like", {Value::String("JohnDoe"),
+                             Value::String("J_hnX%")}).AsBoolean());
+  EXPECT_TRUE(Call("matches", {Value::String("abc123"),
+                               Value::String("[a-c]+[0-9]+")}).AsBoolean());
+}
+
+TEST(StringFnTest, TokensAndLength) {
+  Value tokens = Call("word-tokens", {Value::String(" Love Samsung! OK-go ")});
+  ASSERT_EQ(tokens.AsList().size(), 4u);
+  EXPECT_EQ(tokens.AsList()[0].AsString(), "love");
+  EXPECT_EQ(Call("string-length", {Value::String("abcd")}).AsInt(), 4);
+  EXPECT_EQ(Call("substring",
+                 {Value::String("abcdef"), Value::Int64(2), Value::Int64(3)})
+                .AsString(),
+            "bcd");
+}
+
+TEST(StringFnTest, ReplaceUsesRegex) {
+  EXPECT_EQ(Call("replace", {Value::String("a1b2c3"), Value::String("[0-9]"),
+                             Value::String("#")})
+                .AsString(),
+            "a#b#c#");
+}
+
+// ---------------------------------------------------------------------------
+// Similarity
+// ---------------------------------------------------------------------------
+
+TEST(SimilarityTest, EditDistance) {
+  // tonight -> tonite takes 3 edits (which is exactly why the paper's
+  // Query 6 sets simthreshold to 3).
+  EXPECT_EQ(EditDistance("tonight", "tonite"), 3u);
+  EXPECT_EQ(EditDistance("", "abc"), 3u);
+  EXPECT_EQ(EditDistance("same", "same"), 0u);
+  EXPECT_TRUE(EditDistanceCheck("tonight", "tonite", 3));
+  EXPECT_FALSE(EditDistanceCheck("tonight", "tonite", 2));
+  // Banded check agrees with the full DP on a sweep.
+  const char* words[] = {"kitten", "sitting", "flaw", "lawn", "a", "abcdef"};
+  for (const char* a : words) {
+    for (const char* b : words) {
+      for (size_t k = 0; k <= 4; ++k) {
+        EXPECT_EQ(EditDistanceCheck(a, b, k), EditDistance(a, b) <= k)
+            << a << " vs " << b << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(SimilarityTest, Jaccard) {
+  std::vector<Value> a = {Value::String("x"), Value::String("y")};
+  std::vector<Value> b = {Value::String("y"), Value::String("z")};
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(a, b), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(a, {}), 0.0);
+}
+
+TEST(SimilarityTest, GramTokens) {
+  auto grams = GramTokens("abc", 3, /*pad=*/true);
+  // ##a #ab abc bc$ c$$
+  EXPECT_EQ(grams.size(), 5u);
+  EXPECT_EQ(grams.front(), "##a");
+  EXPECT_EQ(grams.back(), "c$$");
+  EXPECT_EQ(GramTokens("abcd", 2, false).size(), 3u);
+}
+
+TEST(SimilarityTest, CheckFunctionsReturnPairs) {
+  Value r = Call("edit-distance-check",
+                 {Value::String("tonight"), Value::String("tonite"),
+                  Value::Int64(3)});
+  ASSERT_EQ(r.AsList().size(), 2u);
+  EXPECT_TRUE(r.AsList()[0].AsBoolean());
+  EXPECT_EQ(r.AsList()[1].AsInt(), 3);
+
+  Value miss = Call("edit-distance-check",
+                    {Value::String("abc"), Value::String("xyz"), Value::Int64(1)});
+  ASSERT_EQ(miss.AsList().size(), 1u);
+  EXPECT_FALSE(miss.AsList()[0].AsBoolean());
+}
+
+// ---------------------------------------------------------------------------
+// Spatial
+// ---------------------------------------------------------------------------
+
+TEST(SpatialTest, DistanceAndArea) {
+  EXPECT_DOUBLE_EQ(
+      Call("spatial-distance", {Value::Point(0, 0), Value::Point(3, 4)})
+          .AsDouble(),
+      5.0);
+  EXPECT_DOUBLE_EQ(
+      Call("spatial-area", {Value::Rectangle({0, 0}, {2, 3})}).AsDouble(), 6.0);
+  EXPECT_NEAR(Call("spatial-area", {Value::Circle({0, 0}, 2)}).AsDouble(),
+              12.566, 0.01);
+  EXPECT_DOUBLE_EQ(Call("spatial-area",
+                        {Value::Polygon({{0, 0}, {4, 0}, {4, 3}, {0, 3}})})
+                       .AsDouble(),
+                   12.0);
+}
+
+TEST(SpatialTest, Intersections) {
+  auto yes = [&](Value a, Value b) {
+    EXPECT_TRUE(Call("spatial-intersect", {a, b}).AsBoolean())
+        << a.ToString() << " x " << b.ToString();
+  };
+  auto no = [&](Value a, Value b) {
+    EXPECT_FALSE(Call("spatial-intersect", {a, b}).AsBoolean())
+        << a.ToString() << " x " << b.ToString();
+  };
+  yes(Value::Point(1, 1), Value::Rectangle({0, 0}, {2, 2}));
+  no(Value::Point(3, 3), Value::Rectangle({0, 0}, {2, 2}));
+  yes(Value::Circle({0, 0}, 1.5), Value::Point(1, 1));
+  yes(Value::Line({0, 0}, {2, 2}), Value::Line({0, 2}, {2, 0}));
+  no(Value::Line({0, 0}, {1, 0}), Value::Line({0, 1}, {1, 1}));
+  yes(Value::Rectangle({0, 0}, {2, 2}), Value::Rectangle({1, 1}, {3, 3}));
+  no(Value::Rectangle({0, 0}, {1, 1}), Value::Rectangle({2, 2}, {3, 3}));
+  yes(Value::Polygon({{0, 0}, {4, 0}, {2, 4}}), Value::Point(2, 1));
+  // Containment without edge crossing.
+  yes(Value::Rectangle({0, 0}, {10, 10}), Value::Rectangle({4, 4}, {5, 5}));
+}
+
+TEST(SpatialTest, SpatialCellGridding) {
+  Value cell = Call("spatial-cell", {Value::Point(7.3, 2.1), Value::Point(0, 0),
+                                     Value::Double(5), Value::Double(5)});
+  EXPECT_EQ(cell.tag(), TypeTag::kRectangle);
+  EXPECT_DOUBLE_EQ(cell.AsPoints()[0].x, 5.0);
+  EXPECT_DOUBLE_EQ(cell.AsPoints()[0].y, 0.0);
+  // Same cell for nearby points -> groupable.
+  Value cell2 = Call("spatial-cell", {Value::Point(9.9, 4.9), Value::Point(0, 0),
+                                      Value::Double(5), Value::Double(5)});
+  EXPECT_TRUE(cell.Equals(cell2));
+}
+
+// ---------------------------------------------------------------------------
+// Temporal builtins
+// ---------------------------------------------------------------------------
+
+TEST(TemporalFnTest, IntervalBin) {
+  // 90 minutes past epoch binned by hour -> [1h, 2h).
+  Value bin = Call("interval-bin",
+                   {Value::Datetime(90 * 60 * 1000), Value::Datetime(0),
+                    Value::DayTimeDuration(3600 * 1000)});
+  EXPECT_EQ(bin.tag(), TypeTag::kInterval);
+  EXPECT_EQ(bin.AsInt(), 3600 * 1000);
+  EXPECT_EQ(bin.AsInt2(), 7200 * 1000);
+}
+
+TEST(TemporalFnTest, AllenRelations) {
+  Value a = Value::Interval(TypeTag::kDatetime, 0, 10);
+  Value b = Value::Interval(TypeTag::kDatetime, 10, 20);
+  Value c = Value::Interval(TypeTag::kDatetime, 5, 15);
+  EXPECT_TRUE(Call("interval-meets", {a, b}).AsBoolean());
+  EXPECT_TRUE(Call("interval-met-by", {b, a}).AsBoolean());
+  EXPECT_TRUE(Call("interval-overlaps", {a, c}).AsBoolean());
+  EXPECT_FALSE(Call("interval-overlaps", {a, b}).AsBoolean());
+  EXPECT_TRUE(Call("interval-before",
+                   {a, Value::Interval(TypeTag::kDatetime, 11, 12)}).AsBoolean());
+  EXPECT_TRUE(Call("interval-covers",
+                   {Value::Interval(TypeTag::kDatetime, 0, 20), c}).AsBoolean());
+}
+
+TEST(TemporalFnTest, CurrentDatetimeUsesProvider) {
+  SetCurrentDatetimeProvider([] { return int64_t{123456}; });
+  EXPECT_EQ(Call("current-datetime", {}).AsInt(), 123456);
+  SetCurrentDatetimeProvider(nullptr);
+}
+
+TEST(TemporalFnTest, GetTemporalFields) {
+  int64_t ms = 16071LL * 86400000 + 3 * 3600000 + 25 * 60000;  // 2014-01-01
+  EXPECT_EQ(Call("get-year", {Value::Datetime(ms)}).AsInt(), 2014);
+  EXPECT_EQ(Call("get-hour", {Value::Datetime(ms)}).AsInt(), 3);
+  EXPECT_EQ(Call("get-minute", {Value::Datetime(ms)}).AsInt(), 25);
+}
+
+// ---------------------------------------------------------------------------
+// Aggregates: AQL vs SQL null semantics + local/global combine
+// ---------------------------------------------------------------------------
+
+TEST(AggregateTest, AqlNullPoisonsSqlSkips) {
+  Value data = Value::OrderedList(
+      {Value::Int64(1), Value::Null(), Value::Int64(3)});
+  EXPECT_TRUE(Call("avg", {data}).IsNull());   // AQL: unknown
+  EXPECT_DOUBLE_EQ(Call("sql-avg", {data}).AsDouble(), 2.0);
+  EXPECT_EQ(Call("count", {data}).AsInt(), 3);  // count includes nulls
+  EXPECT_TRUE(Call("min", {data}).IsNull());
+  EXPECT_EQ(Call("sql-min", {data}).AsInt(), 1);
+}
+
+TEST(AggregateTest, EmptyCollection) {
+  Value empty = Value::OrderedList({});
+  EXPECT_EQ(Call("count", {empty}).AsInt(), 0);
+  EXPECT_TRUE(Call("avg", {empty}).IsNull());
+  EXPECT_TRUE(Call("sum", {empty}).IsNull());
+}
+
+TEST(AggregateTest, LocalGlobalCombineMatchesComplete) {
+  for (const char* fn : {"count", "sum", "avg", "min", "max"}) {
+    auto complete = MakeAggregator(fn);
+    auto local1 = MakeAggregator(fn);
+    auto local2 = MakeAggregator(fn);
+    for (int i = 1; i <= 10; ++i) {
+      complete->Add(Value::Int64(i));
+      (i <= 4 ? local1 : local2)->Add(Value::Int64(i));
+    }
+    auto global = MakeAggregator(fn);
+    global->Combine(local1->Partial());
+    global->Combine(local2->Partial());
+    EXPECT_TRUE(global->Finish().Equals(complete->Finish())) << fn;
+  }
+}
+
+}  // namespace
+}  // namespace functions
+}  // namespace asterix

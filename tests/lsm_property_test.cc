@@ -1,0 +1,189 @@
+// Model-checking property tests: the LSM B+-tree (under random workloads,
+// flush points, merge policies, and restarts) must behave exactly like a
+// std::map reference model; the disk B+-tree must agree with sorted vectors
+// on every bound combination.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+#include "common/env.h"
+#include "storage/lsm.h"
+
+namespace asterix {
+namespace storage {
+namespace {
+
+using adm::Value;
+
+struct LsmPropertyParam {
+  uint32_t seed;
+  size_t mem_budget;
+  MergePolicy::Kind policy;
+};
+
+class LsmPropertyTest : public ::testing::TestWithParam<LsmPropertyParam> {};
+
+TEST_P(LsmPropertyTest, MatchesReferenceModelThroughRestarts) {
+  const auto& p = GetParam();
+  std::string dir = env::NewScratchDir("lsm-prop");
+  BufferCache cache(1024);
+
+  LsmOptions options;
+  options.mem_budget_bytes = p.mem_budget;
+  options.merge_policy =
+      p.policy == MergePolicy::Kind::kNone     ? MergePolicy::None()
+      : p.policy == MergePolicy::Kind::kPrefix ? MergePolicy::Prefix(3, 1 << 20)
+                                               : MergePolicy::Constant(3);
+
+  std::map<int64_t, std::string> model;
+  std::mt19937 rng(p.seed);
+
+  auto tree = std::make_unique<LsmBTree>(&cache, dir, "t", options);
+  ASSERT_TRUE(tree->Open().ok());
+
+  uint64_t lsn = 1;
+  for (int op = 0; op < 3000; ++op) {
+    int64_t key = rng() % 500;
+    int action = rng() % 10;
+    if (action < 6) {  // upsert
+      std::string payload = "v" + std::to_string(rng() % 1000);
+      model[key] = payload;
+      ASSERT_TRUE(tree->Upsert({Value::Int64(key)},
+                               {payload.begin(), payload.end()}, lsn++)
+                      .ok());
+    } else if (action < 8) {  // delete
+      model.erase(key);
+      ASSERT_TRUE(tree->Delete({Value::Int64(key)}, lsn++).ok());
+    } else if (action == 8) {  // point lookup check
+      bool found;
+      std::vector<uint8_t> payload;
+      ASSERT_TRUE(tree->PointLookup({Value::Int64(key)}, &found, &payload).ok());
+      auto it = model.find(key);
+      ASSERT_EQ(found, it != model.end()) << "key " << key << " op " << op;
+      if (found) {
+        EXPECT_EQ(std::string(payload.begin(), payload.end()), it->second);
+      }
+    } else {  // occasionally flush, or "crash" and reopen from components
+      if (rng() % 3 == 0) {
+        ASSERT_TRUE(tree->Flush().ok());
+        tree = std::make_unique<LsmBTree>(&cache, dir, "t", options);
+        ASSERT_TRUE(tree->Open().ok());
+      } else {
+        ASSERT_TRUE(tree->Flush().ok());
+      }
+    }
+  }
+
+  // Final full-scan equivalence.
+  std::map<int64_t, std::string> scanned;
+  ASSERT_TRUE(tree->RangeScan({}, [&](const IndexEntry& e) {
+    scanned[e.key[0].AsInt()] =
+        std::string(e.payload.begin(), e.payload.end());
+    return Status::OK();
+  }).ok());
+  EXPECT_EQ(scanned, model);
+
+  // Random range scans agree with the model.
+  for (int trial = 0; trial < 20; ++trial) {
+    int64_t lo = rng() % 500;
+    int64_t hi = lo + rng() % 100;
+    bool lo_inc = rng() % 2 == 0;
+    bool hi_inc = rng() % 2 == 0;
+    ScanBounds bounds;
+    bounds.lo = CompositeKey{Value::Int64(lo)};
+    bounds.lo_inclusive = lo_inc;
+    bounds.hi = CompositeKey{Value::Int64(hi)};
+    bounds.hi_inclusive = hi_inc;
+    std::vector<int64_t> got;
+    ASSERT_TRUE(tree->RangeScan(bounds, [&](const IndexEntry& e) {
+      got.push_back(e.key[0].AsInt());
+      return Status::OK();
+    }).ok());
+    std::vector<int64_t> expected;
+    for (const auto& [k, v] : model) {
+      (void)v;
+      if ((k > lo || (lo_inc && k == lo)) && (k < hi || (hi_inc && k == hi))) {
+        expected.push_back(k);
+      }
+    }
+    EXPECT_EQ(got, expected) << "range [" << lo << "," << hi << "] trial "
+                             << trial;
+  }
+  env::RemoveAll(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, LsmPropertyTest,
+    ::testing::Values(
+        LsmPropertyParam{1, 1u << 10, MergePolicy::Kind::kNone},
+        LsmPropertyParam{2, 1u << 10, MergePolicy::Kind::kConstant},
+        LsmPropertyParam{3, 1u << 12, MergePolicy::Kind::kPrefix},
+        LsmPropertyParam{4, 1u << 14, MergePolicy::Kind::kConstant},
+        LsmPropertyParam{5, 1u << 16, MergePolicy::Kind::kNone},
+        LsmPropertyParam{6, 256, MergePolicy::Kind::kConstant}));
+
+// ---------------------------------------------------------------------------
+// Disk B+-tree: exhaustive bound combinations against a sorted vector
+// ---------------------------------------------------------------------------
+
+class BTreeBoundsTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(BTreeBoundsTest, AllBoundCombinationsAgree) {
+  std::string dir = env::NewScratchDir("btree-bounds");
+  BufferCache cache(256);
+  std::mt19937 rng(GetParam());
+  // Sparse keys so bounds frequently fall between entries.
+  std::vector<int64_t> keys;
+  int64_t k = 0;
+  for (int i = 0; i < 500; ++i) {
+    k += 1 + rng() % 7;
+    keys.push_back(k);
+  }
+  BTreeBuilder builder(dir + "/b.btr");
+  for (int64_t key : keys) {
+    IndexEntry e;
+    e.key = {Value::Int64(key)};
+    ASSERT_TRUE(builder.Add(e).ok());
+  }
+  ASSERT_TRUE(builder.Finish().ok());
+  auto reader = BTreeReader::Open(&cache, dir + "/b.btr").take();
+
+  for (int trial = 0; trial < 60; ++trial) {
+    int64_t lo = rng() % (k + 10);
+    int64_t hi = lo + rng() % 60;
+    for (bool lo_inc : {true, false}) {
+      for (bool hi_inc : {true, false}) {
+        ScanBounds bounds;
+        bounds.lo = CompositeKey{Value::Int64(lo)};
+        bounds.lo_inclusive = lo_inc;
+        bounds.hi = CompositeKey{Value::Int64(hi)};
+        bounds.hi_inclusive = hi_inc;
+        std::vector<int64_t> got;
+        ASSERT_TRUE(reader->RangeScan(bounds, [&](const IndexEntry& e) {
+          got.push_back(e.key[0].AsInt());
+          return Status::OK();
+        }).ok());
+        std::vector<int64_t> expected;
+        for (int64_t key : keys) {
+          if ((key > lo || (lo_inc && key == lo)) &&
+              (key < hi || (hi_inc && key == hi))) {
+            expected.push_back(key);
+          }
+        }
+        EXPECT_EQ(got, expected)
+            << "[" << lo << (lo_inc ? "..=" : "<..") << hi
+            << (hi_inc ? "]" : ")");
+      }
+    }
+  }
+  env::RemoveAll(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreeBoundsTest,
+                         ::testing::Values(11u, 22u, 33u));
+
+}  // namespace
+}  // namespace storage
+}  // namespace asterix

@@ -1,0 +1,202 @@
+// Failure-injection and fuzz-style robustness tests: malformed inputs at
+// every boundary (AQL text, ADM text, serialized bytes, disk components)
+// must produce Status errors, never crashes or silent corruption.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "adm/adm_parser.h"
+#include "adm/serde.h"
+#include "api/asterix.h"
+#include "aql/parser.h"
+#include "common/env.h"
+#include "storage/btree.h"
+
+namespace asterix {
+namespace {
+
+using adm::Value;
+
+// ---------------------------------------------------------------------------
+// Fuzzed byte streams into the deserializers
+// ---------------------------------------------------------------------------
+
+class ByteFuzzTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(ByteFuzzTest, DeserializeValueNeverCrashes) {
+  std::mt19937 rng(GetParam());
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<uint8_t> bytes(rng() % 64);
+    for (auto& b : bytes) b = static_cast<uint8_t>(rng());
+    BytesReader r(bytes.data(), bytes.size());
+    Value v;
+    // May fail (usually does); must not crash or loop.
+    adm::DeserializeValue(&r, &v).ok();
+  }
+}
+
+TEST_P(ByteFuzzTest, TruncatedValidStreamsFailCleanly) {
+  std::mt19937 rng(GetParam());
+  Value v = Value::Record({{"a", Value::String("hello world")},
+                           {"b", Value::OrderedList({Value::Int64(1),
+                                                     Value::Datetime(12345)})},
+                           {"c", Value::Point(1, 2)}});
+  BytesWriter w;
+  adm::SerializeValue(v, &w);
+  for (size_t cut = 0; cut < w.size(); ++cut) {
+    BytesReader r(w.data().data(), cut);
+    Value out;
+    Status st = adm::DeserializeValue(&r, &out);
+    // A strict prefix either fails or (never) succeeds-with-junk; verify no
+    // success claims full equality spuriously.
+    if (st.ok()) {
+      EXPECT_TRUE(out.Equals(v) ? cut == w.size() : true);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ByteFuzzTest, ::testing::Values(3u, 99u));
+
+// ---------------------------------------------------------------------------
+// Fuzzed text into the parsers
+// ---------------------------------------------------------------------------
+
+TEST(TextFuzzTest, AqlParserSurvivesGarbage) {
+  const char* inputs[] = {
+      "",
+      ";;;;",
+      "for",
+      "for $x",
+      "for $x in in in",
+      "create type T as {{ broken",
+      "insert into dataset ( )",
+      "let $x := return $x",
+      "for $x in dataset D where return 1",
+      "{{{{{{{{",
+      ")))))",
+      "for $x in dataset D return { \"a\": }",
+      "create function f($x) { unbalanced",
+      "set;",
+      "delete from dataset D;",
+      "$x ~= $y",  // no sim context needed to parse, but bare expr w/ $x ok
+      "0x41414141",
+      "for $x in [1,2] order by return $x",
+      "connect feed to dataset D",
+      "\x01\x02\x7f",
+  };
+  for (const char* input : inputs) {
+    aql::ParserContext ctx;
+    auto r = aql::ParseAql(input, &ctx);  // must return, never crash
+    (void)r;
+  }
+  // Randomized token soup.
+  std::mt19937 rng(17);
+  const char* tokens[] = {"for",   "$x",  "in",     "dataset", "return",
+                          "where", "(",   ")",      "{",       "}",
+                          "[",     "]",   "1",      "\"s\"",   "+",
+                          "=",     "and", "group",  "by",      "limit",
+                          ",",     ";",   ":=",     "let",     "~="};
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string text;
+    int n = 1 + rng() % 20;
+    for (int i = 0; i < n; ++i) {
+      text += tokens[rng() % (sizeof(tokens) / sizeof(tokens[0]))];
+      text += " ";
+    }
+    aql::ParserContext ctx;
+    auto r = aql::ParseAql(text, &ctx);
+    (void)r;
+  }
+}
+
+TEST(TextFuzzTest, AdmParserSurvivesGarbage) {
+  std::mt19937 rng(23);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string text;
+    int n = rng() % 40;
+    const char* chars = "{}[]\",:0123456789.abtrue-+()$ ";
+    for (int i = 0; i < n; ++i) text += chars[rng() % 31];
+    Value v;
+    adm::ParseAdm(text, &v).ok();  // must return
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Corrupt disk components
+// ---------------------------------------------------------------------------
+
+TEST(CorruptionTest, FlippedBitsInBTreeDetectedOrHarmless) {
+  std::string dir = env::NewScratchDir("corrupt");
+  storage::BufferCache cache(64);
+  storage::BTreeBuilder builder(dir + "/t.btr");
+  for (int i = 0; i < 2000; ++i) {
+    storage::IndexEntry e;
+    e.key = {Value::Int64(i)};
+    e.payload = std::vector<uint8_t>(20, static_cast<uint8_t>(i));
+    ASSERT_TRUE(builder.Add(e).ok());
+  }
+  ASSERT_TRUE(builder.Finish().ok());
+
+  std::vector<uint8_t> original;
+  ASSERT_TRUE(env::ReadFile(dir + "/t.btr", &original).ok());
+  std::mt19937 rng(31);
+  for (int trial = 0; trial < 25; ++trial) {
+    auto bytes = original;
+    // Flip a burst of bits somewhere.
+    size_t pos = rng() % bytes.size();
+    for (size_t i = pos; i < std::min(bytes.size(), pos + 8); ++i) {
+      bytes[i] ^= static_cast<uint8_t>(rng());
+    }
+    ASSERT_TRUE(
+        env::WriteFileAtomic(dir + "/t.btr", bytes.data(), bytes.size()).ok());
+    storage::BufferCache fresh_cache(64);
+    auto reader_r = storage::BTreeReader::Open(&fresh_cache, dir + "/t.btr");
+    if (!reader_r.ok()) continue;  // footer corruption detected: fine
+    // Otherwise scans/lookups must return a Status, not crash.
+    auto reader = reader_r.take();
+    size_t n = 0;
+    reader->RangeScan({}, [&](const storage::IndexEntry&) {
+      ++n;
+      return Status::OK();
+    }).ok();
+    bool found;
+    storage::IndexEntry e;
+    reader->PointLookup({Value::Int64(500)}, &found, &e).ok();
+  }
+  env::RemoveAll(dir);
+}
+
+// ---------------------------------------------------------------------------
+// API-level robustness
+// ---------------------------------------------------------------------------
+
+TEST(ApiRobustnessTest, TypeErrorsInOneStatementDoNotCorruptData) {
+  std::string dir = env::NewScratchDir("api-robust");
+  api::InstanceConfig config;
+  config.base_dir = dir;
+  config.cluster.job_startup_us = 0;
+  api::AsterixInstance db(config);
+  ASSERT_TRUE(db.Boot().ok());
+  ASSERT_TRUE(db.Execute(R"aql(
+create dataverse R; use dataverse R;
+create type T as closed { id: int64, v: int64 }
+create dataset D(T) primary key id;
+insert into dataset D ( { "id": 1, "v": 10 } );
+)aql").ok());
+  // Batch with a type-invalid record: the statement fails...
+  auto bad = db.Execute(R"aql(
+use dataverse R;
+insert into dataset D ([ { "id": 2, "v": 20 },
+                         { "id": 3, "v": "not an int" } ]);
+)aql");
+  EXPECT_FALSE(bad.ok());
+  // ...and previously committed data is still intact and queryable.
+  auto q = db.Execute("use dataverse R;\nfor $d in dataset D return $d.id;");
+  ASSERT_TRUE(q.ok());
+  EXPECT_GE(q.value().values.size(), 1u);
+  env::RemoveAll(dir);
+}
+
+}  // namespace
+}  // namespace asterix

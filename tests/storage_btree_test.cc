@@ -1,0 +1,234 @@
+#include "storage/btree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "common/env.h"
+
+namespace asterix {
+namespace storage {
+namespace {
+
+using adm::Value;
+
+class BTreeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = env::NewScratchDir("btree-test");
+    cache_ = std::make_unique<BufferCache>(256);
+  }
+  void TearDown() override { env::RemoveAll(dir_); }
+
+  std::string Path(const std::string& name) { return dir_ + "/" + name; }
+
+  std::string dir_;
+  std::unique_ptr<BufferCache> cache_;
+};
+
+IndexEntry MakeEntry(int64_t key, const std::string& payload,
+                     bool antimatter = false) {
+  IndexEntry e;
+  e.key = {Value::Int64(key)};
+  e.antimatter = antimatter;
+  e.payload.assign(payload.begin(), payload.end());
+  return e;
+}
+
+TEST_F(BTreeTest, BuildAndPointLookup) {
+  BTreeBuilder builder(Path("t1.btr"));
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(builder.Add(MakeEntry(i * 2, "payload-" + std::to_string(i))).ok());
+  }
+  ASSERT_TRUE(builder.Finish().ok());
+
+  auto reader_r = BTreeReader::Open(cache_.get(), Path("t1.btr"));
+  ASSERT_TRUE(reader_r.ok()) << reader_r.status().ToString();
+  auto reader = reader_r.take();
+  EXPECT_EQ(reader->num_entries(), 1000u);
+
+  bool found;
+  IndexEntry e;
+  ASSERT_TRUE(reader->PointLookup({Value::Int64(500)}, &found, &e).ok());
+  EXPECT_TRUE(found);
+  EXPECT_EQ(std::string(e.payload.begin(), e.payload.end()), "payload-250");
+
+  ASSERT_TRUE(reader->PointLookup({Value::Int64(501)}, &found, &e).ok());
+  EXPECT_FALSE(found);
+}
+
+TEST_F(BTreeTest, RejectsUnsortedInput) {
+  BTreeBuilder builder(Path("t2.btr"));
+  ASSERT_TRUE(builder.Add(MakeEntry(10, "a")).ok());
+  EXPECT_FALSE(builder.Add(MakeEntry(5, "b")).ok());
+  EXPECT_FALSE(builder.Add(MakeEntry(10, "dup")).ok());
+}
+
+TEST_F(BTreeTest, RangeScanInclusiveExclusive) {
+  BTreeBuilder builder(Path("t3.btr"));
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(builder.Add(MakeEntry(i, "p")).ok());
+  }
+  ASSERT_TRUE(builder.Finish().ok());
+  auto reader = BTreeReader::Open(cache_.get(), Path("t3.btr")).take();
+
+  ScanBounds b;
+  b.lo = CompositeKey{Value::Int64(10)};
+  b.hi = CompositeKey{Value::Int64(20)};
+  std::vector<int64_t> keys;
+  ASSERT_TRUE(reader->RangeScan(b, [&](const IndexEntry& e) {
+    keys.push_back(e.key[0].AsInt());
+    return Status::OK();
+  }).ok());
+  ASSERT_EQ(keys.size(), 11u);
+  EXPECT_EQ(keys.front(), 10);
+  EXPECT_EQ(keys.back(), 20);
+
+  b.lo_inclusive = false;
+  b.hi_inclusive = false;
+  keys.clear();
+  ASSERT_TRUE(reader->RangeScan(b, [&](const IndexEntry& e) {
+    keys.push_back(e.key[0].AsInt());
+    return Status::OK();
+  }).ok());
+  ASSERT_EQ(keys.size(), 9u);
+  EXPECT_EQ(keys.front(), 11);
+  EXPECT_EQ(keys.back(), 19);
+}
+
+TEST_F(BTreeTest, FullScanIsOrdered) {
+  BTreeBuilder builder(Path("t4.btr"));
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(builder.Add(MakeEntry(i, std::string(50, 'x'))).ok());
+  }
+  ASSERT_TRUE(builder.Finish().ok());
+  auto reader = BTreeReader::Open(cache_.get(), Path("t4.btr")).take();
+  int64_t prev = -1;
+  size_t count = 0;
+  ASSERT_TRUE(reader->RangeScan({}, [&](const IndexEntry& e) {
+    EXPECT_GT(e.key[0].AsInt(), prev);
+    prev = e.key[0].AsInt();
+    ++count;
+    return Status::OK();
+  }).ok());
+  EXPECT_EQ(count, 5000u);
+}
+
+TEST_F(BTreeTest, OverflowPayloads) {
+  BTreeBuilder builder(Path("t5.btr"));
+  std::string big(20000, 'z');
+  ASSERT_TRUE(builder.Add(MakeEntry(1, "small")).ok());
+  ASSERT_TRUE(builder.Add(MakeEntry(2, big)).ok());
+  ASSERT_TRUE(builder.Add(MakeEntry(3, "small2")).ok());
+  ASSERT_TRUE(builder.Finish().ok());
+  auto reader = BTreeReader::Open(cache_.get(), Path("t5.btr")).take();
+  bool found;
+  IndexEntry e;
+  ASSERT_TRUE(reader->PointLookup({Value::Int64(2)}, &found, &e).ok());
+  ASSERT_TRUE(found);
+  EXPECT_EQ(e.payload.size(), big.size());
+  EXPECT_EQ(std::string(e.payload.begin(), e.payload.end()), big);
+}
+
+TEST_F(BTreeTest, CompositeKeyPrefixScan) {
+  BTreeBuilder builder(Path("t6.btr"));
+  // (token, pk) composite keys, as the inverted index produces.
+  std::vector<std::pair<std::string, int>> entries = {
+      {"apple", 1}, {"apple", 5}, {"apple", 9},
+      {"banana", 2}, {"cherry", 1}, {"cherry", 7}};
+  std::sort(entries.begin(), entries.end());
+  for (const auto& [tok, pk] : entries) {
+    IndexEntry e;
+    e.key = {Value::String(tok), Value::Int64(pk)};
+    ASSERT_TRUE(builder.Add(e).ok());
+  }
+  ASSERT_TRUE(builder.Finish().ok());
+  auto reader = BTreeReader::Open(cache_.get(), Path("t6.btr")).take();
+
+  ScanBounds b;
+  b.lo = CompositeKey{Value::String("apple")};
+  b.hi = b.lo;
+  std::vector<int64_t> pks;
+  ASSERT_TRUE(reader->RangeScan(b, [&](const IndexEntry& e) {
+    pks.push_back(e.key[1].AsInt());
+    return Status::OK();
+  }).ok());
+  EXPECT_EQ(pks, (std::vector<int64_t>{1, 5, 9}));
+}
+
+TEST_F(BTreeTest, EmptyTree) {
+  BTreeBuilder builder(Path("t7.btr"));
+  ASSERT_TRUE(builder.Finish().ok());
+  auto reader_r = BTreeReader::Open(cache_.get(), Path("t7.btr"));
+  ASSERT_TRUE(reader_r.ok());
+  auto reader = reader_r.take();
+  EXPECT_EQ(reader->num_entries(), 0u);
+  bool found = true;
+  IndexEntry e;
+  ASSERT_TRUE(reader->PointLookup({Value::Int64(1)}, &found, &e).ok());
+  EXPECT_FALSE(found);
+  size_t count = 0;
+  ASSERT_TRUE(reader->RangeScan({}, [&](const IndexEntry&) {
+    ++count;
+    return Status::OK();
+  }).ok());
+  EXPECT_EQ(count, 0u);
+}
+
+TEST_F(BTreeTest, StringKeysRandomOrderLookup) {
+  std::vector<std::string> keys;
+  for (int i = 0; i < 2000; ++i) {
+    keys.push_back("key-" + std::to_string(i * 7919 % 100000));
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  BTreeBuilder builder(Path("t8.btr"));
+  for (const auto& k : keys) {
+    IndexEntry e;
+    e.key = {Value::String(k)};
+    e.payload = {1, 2, 3};
+    ASSERT_TRUE(builder.Add(e).ok());
+  }
+  ASSERT_TRUE(builder.Finish().ok());
+  auto reader = BTreeReader::Open(cache_.get(), Path("t8.btr")).take();
+  std::mt19937 rng(42);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::string& k = keys[rng() % keys.size()];
+    bool found;
+    IndexEntry e;
+    ASSERT_TRUE(reader->PointLookup({Value::String(k)}, &found, &e).ok());
+    EXPECT_TRUE(found) << k;
+  }
+  bool found;
+  IndexEntry e;
+  ASSERT_TRUE(reader->PointLookup({Value::String("nope")}, &found, &e).ok());
+  EXPECT_FALSE(found);
+}
+
+TEST_F(BTreeTest, CorruptFooterDetected) {
+  BTreeBuilder builder(Path("t9.btr"));
+  ASSERT_TRUE(builder.Add(MakeEntry(1, "x")).ok());
+  ASSERT_TRUE(builder.Finish().ok());
+  // Flip a byte in the footer region.
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(env::ReadFile(Path("t9.btr"), &bytes).ok());
+  bytes[bytes.size() - 12] ^= 0xff;
+  ASSERT_TRUE(env::WriteFileAtomic(Path("t9.btr"), bytes.data(), bytes.size()).ok());
+  auto reader_r = BTreeReader::Open(cache_.get(), Path("t9.btr"));
+  EXPECT_FALSE(reader_r.ok());
+}
+
+TEST_F(BTreeTest, BoundCompareSemantics) {
+  CompositeKey ab = {Value::String("a"), Value::String("b")};
+  CompositeKey a = {Value::String("a")};
+  CompositeKey b = {Value::String("b")};
+  EXPECT_EQ(BoundCompare(ab, a), 0);   // prefix match
+  EXPECT_EQ(BoundCompare(a, ab), -1);  // key shorter than bound
+  EXPECT_LT(BoundCompare(ab, b), 0);
+  EXPECT_GT(BoundCompare(b, a), 0);
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace asterix

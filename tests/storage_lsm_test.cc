@@ -1,0 +1,297 @@
+#include "storage/lsm.h"
+
+#include <gtest/gtest.h>
+
+#include "common/env.h"
+#include "storage/inverted.h"
+#include "storage/lsm_rtree.h"
+
+namespace asterix {
+namespace storage {
+namespace {
+
+using adm::Value;
+
+class LsmTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = env::NewScratchDir("lsm-test");
+    cache_ = std::make_unique<BufferCache>(512);
+  }
+  void TearDown() override { env::RemoveAll(dir_); }
+
+  LsmOptions SmallMem(size_t bytes = 4096) {
+    LsmOptions o;
+    o.mem_budget_bytes = bytes;
+    o.merge_policy = MergePolicy::None();
+    return o;
+  }
+
+  std::string dir_;
+  std::unique_ptr<BufferCache> cache_;
+};
+
+std::vector<uint8_t> Payload(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+TEST_F(LsmTest, MemOnlyLookup) {
+  LsmBTree t(cache_.get(), dir_, "a", SmallMem(1 << 20));
+  ASSERT_TRUE(t.Open().ok());
+  ASSERT_TRUE(t.Upsert({Value::Int64(1)}, Payload("one"), 1).ok());
+  bool found;
+  std::vector<uint8_t> p;
+  ASSERT_TRUE(t.PointLookup({Value::Int64(1)}, &found, &p).ok());
+  EXPECT_TRUE(found);
+  EXPECT_EQ(std::string(p.begin(), p.end()), "one");
+  EXPECT_EQ(t.num_disk_components(), 0u);
+}
+
+TEST_F(LsmTest, AutoFlushOnBudget) {
+  LsmBTree t(cache_.get(), dir_, "a", SmallMem(2048));
+  ASSERT_TRUE(t.Open().ok());
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(t.Upsert({Value::Int64(i)}, Payload(std::string(40, 'x')), i).ok());
+  }
+  EXPECT_GT(t.num_disk_components(), 0u);
+  // All entries remain visible across components.
+  for (int i = 0; i < 200; i += 17) {
+    bool found;
+    std::vector<uint8_t> p;
+    ASSERT_TRUE(t.PointLookup({Value::Int64(i)}, &found, &p).ok());
+    EXPECT_TRUE(found) << i;
+  }
+}
+
+TEST_F(LsmTest, NewerComponentShadowsOlder) {
+  LsmBTree t(cache_.get(), dir_, "a", SmallMem(1 << 20));
+  ASSERT_TRUE(t.Open().ok());
+  ASSERT_TRUE(t.Upsert({Value::Int64(7)}, Payload("v1"), 1).ok());
+  ASSERT_TRUE(t.Flush().ok());
+  ASSERT_TRUE(t.Upsert({Value::Int64(7)}, Payload("v2"), 2).ok());
+  ASSERT_TRUE(t.Flush().ok());
+  bool found;
+  std::vector<uint8_t> p;
+  ASSERT_TRUE(t.PointLookup({Value::Int64(7)}, &found, &p).ok());
+  EXPECT_TRUE(found);
+  EXPECT_EQ(std::string(p.begin(), p.end()), "v2");
+}
+
+TEST_F(LsmTest, AntimatterHidesAcrossComponents) {
+  LsmBTree t(cache_.get(), dir_, "a", SmallMem(1 << 20));
+  ASSERT_TRUE(t.Open().ok());
+  ASSERT_TRUE(t.Upsert({Value::Int64(7)}, Payload("v1"), 1).ok());
+  ASSERT_TRUE(t.Flush().ok());
+  ASSERT_TRUE(t.Delete({Value::Int64(7)}, 2).ok());
+  bool found;
+  std::vector<uint8_t> p;
+  ASSERT_TRUE(t.PointLookup({Value::Int64(7)}, &found, &p).ok());
+  EXPECT_FALSE(found);
+  // Flushed tombstone still hides.
+  ASSERT_TRUE(t.Flush().ok());
+  ASSERT_TRUE(t.PointLookup({Value::Int64(7)}, &found, &p).ok());
+  EXPECT_FALSE(found);
+  // Range scan also hides it.
+  size_t n = 0;
+  ASSERT_TRUE(t.RangeScan({}, [&](const IndexEntry&) {
+    ++n;
+    return Status::OK();
+  }).ok());
+  EXPECT_EQ(n, 0u);
+}
+
+TEST_F(LsmTest, MergedScanResolvesDuplicates) {
+  LsmBTree t(cache_.get(), dir_, "a", SmallMem(1 << 20));
+  ASSERT_TRUE(t.Open().ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(t.Upsert({Value::Int64(i)}, Payload("old"), 1).ok());
+  }
+  ASSERT_TRUE(t.Flush().ok());
+  for (int i = 0; i < 50; i += 2) {
+    ASSERT_TRUE(t.Upsert({Value::Int64(i)}, Payload("new"), 2).ok());
+  }
+  for (int i = 1; i < 50; i += 10) {
+    ASSERT_TRUE(t.Delete({Value::Int64(i)}, 3).ok());
+  }
+  std::map<int64_t, std::string> seen;
+  ASSERT_TRUE(t.RangeScan({}, [&](const IndexEntry& e) {
+    seen[e.key[0].AsInt()] = std::string(e.payload.begin(), e.payload.end());
+    return Status::OK();
+  }).ok());
+  EXPECT_EQ(seen.size(), 45u);
+  EXPECT_EQ(seen[0], "new");
+  EXPECT_EQ(seen[3], "old");
+  EXPECT_EQ(seen.count(1), 0u);
+  EXPECT_EQ(seen.count(11), 0u);
+}
+
+TEST_F(LsmTest, ConstantMergePolicyCollapsesComponents) {
+  LsmOptions o;
+  o.mem_budget_bytes = 1 << 20;
+  o.merge_policy = MergePolicy::Constant(3);
+  LsmBTree t(cache_.get(), dir_, "a", o);
+  ASSERT_TRUE(t.Open().ok());
+  for (int round = 0; round < 6; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(
+          t.Upsert({Value::Int64(round * 100 + i)}, Payload("x"), round).ok());
+    }
+    ASSERT_TRUE(t.Flush().ok());
+    EXPECT_LE(t.num_disk_components(), 4u);
+  }
+  // Data survives merges.
+  size_t n = 0;
+  ASSERT_TRUE(t.RangeScan({}, [&](const IndexEntry&) {
+    ++n;
+    return Status::OK();
+  }).ok());
+  EXPECT_EQ(n, 120u);
+}
+
+TEST_F(LsmTest, RecoveryLoadsValidComponentsAndDropsInvalid) {
+  {
+    LsmBTree t(cache_.get(), dir_, "a", SmallMem(1 << 20));
+    ASSERT_TRUE(t.Open().ok());
+    for (int i = 0; i < 30; ++i) {
+      ASSERT_TRUE(t.Upsert({Value::Int64(i)}, Payload("p"), i + 1).ok());
+    }
+    ASSERT_TRUE(t.Flush().ok());
+  }
+  // Simulate a crash mid-flush: component file without validity marker.
+  std::string orphan = dir_ + "/a.c000000000099.btr";
+  ASSERT_TRUE(env::WriteFileAtomic(orphan, "garbage", 7).ok());
+
+  LsmBTree t2(cache_.get(), dir_, "a", SmallMem(1 << 20));
+  ASSERT_TRUE(t2.Open().ok());
+  EXPECT_EQ(t2.num_disk_components(), 1u);
+  EXPECT_FALSE(env::Exists(orphan));  // crash debris removed
+  bool found;
+  std::vector<uint8_t> p;
+  ASSERT_TRUE(t2.PointLookup({Value::Int64(15)}, &found, &p).ok());
+  EXPECT_TRUE(found);
+  EXPECT_GT(t2.flushed_lsn(), 0u);
+}
+
+// --- LSM R-tree --------------------------------------------------------------
+
+TEST_F(LsmTest, RTreeInsertSearchDelete) {
+  LsmRTree t(cache_.get(), dir_, "r", SmallMem(1 << 20));
+  ASSERT_TRUE(t.Open().ok());
+  for (int i = 0; i < 100; ++i) {
+    double x = (i % 10) * 10.0;
+    double y = (i / 10) * 10.0;
+    ASSERT_TRUE(t.Upsert({Value::Int64(i)}, Mbr{x, y, x, y}, i + 1).ok());
+  }
+  ASSERT_TRUE(t.Flush().ok());
+  std::vector<int64_t> hits;
+  ASSERT_TRUE(t.Search(Mbr{-1, -1, 25, 25}, [&](const RTreeEntry& e) {
+    hits.push_back(e.key[0].AsInt());
+    return Status::OK();
+  }).ok());
+  EXPECT_EQ(hits.size(), 9u);  // 3x3 grid corner
+
+  // Delete one and verify the tombstone wins over the flushed entry.
+  ASSERT_TRUE(t.Delete({Value::Int64(0)}, Mbr{0, 0, 0, 0}, 200).ok());
+  hits.clear();
+  ASSERT_TRUE(t.Search(Mbr{-1, -1, 25, 25}, [&](const RTreeEntry& e) {
+    hits.push_back(e.key[0].AsInt());
+    return Status::OK();
+  }).ok());
+  EXPECT_EQ(hits.size(), 8u);
+}
+
+TEST_F(LsmTest, RTreeMergeDropsTombstones) {
+  LsmOptions o;
+  o.mem_budget_bytes = 1 << 20;
+  o.merge_policy = MergePolicy::Constant(1);
+  LsmRTree t(cache_.get(), dir_, "r", o);
+  ASSERT_TRUE(t.Open().ok());
+  ASSERT_TRUE(t.Upsert({Value::Int64(1)}, Mbr{1, 1, 1, 1}, 1).ok());
+  ASSERT_TRUE(t.Flush().ok());
+  ASSERT_TRUE(t.Delete({Value::Int64(1)}, Mbr{1, 1, 1, 1}, 2).ok());
+  ASSERT_TRUE(t.Flush().ok());  // triggers merge (2 > 1 component)
+  EXPECT_EQ(t.num_disk_components(), 1u);
+  size_t n = 0;
+  ASSERT_TRUE(t.Search(Mbr{0, 0, 2, 2}, [&](const RTreeEntry&) {
+    ++n;
+    return Status::OK();
+  }).ok());
+  EXPECT_EQ(n, 0u);
+}
+
+// --- Inverted index ------------------------------------------------------------
+
+TEST_F(LsmTest, InvertedWordIndex) {
+  LsmInvertedIndex ix(cache_.get(), dir_, "kw",
+                      LsmInvertedIndex::Tokenizer::kWord, 0, SmallMem(1 << 20));
+  ASSERT_TRUE(ix.Open().ok());
+  ASSERT_TRUE(ix.Insert({Value::Int64(1)},
+                        Value::String("the quick brown fox"), 1).ok());
+  ASSERT_TRUE(ix.Insert({Value::Int64(2)},
+                        Value::String("quick blue hare"), 2).ok());
+  ASSERT_TRUE(ix.Flush().ok());
+  ASSERT_TRUE(ix.Insert({Value::Int64(3)},
+                        Value::String("lazy brown dog"), 3).ok());
+
+  std::vector<int64_t> pks;
+  ASSERT_TRUE(ix.SearchToken("quick", [&](const CompositeKey& pk) {
+    pks.push_back(pk[0].AsInt());
+    return Status::OK();
+  }).ok());
+  EXPECT_EQ(pks, (std::vector<int64_t>{1, 2}));
+
+  pks.clear();
+  ASSERT_TRUE(ix.SearchToken("brown", [&](const CompositeKey& pk) {
+    pks.push_back(pk[0].AsInt());
+    return Status::OK();
+  }).ok());
+  EXPECT_EQ(pks, (std::vector<int64_t>{1, 3}));
+
+  // Delete record 1 and re-check.
+  ASSERT_TRUE(ix.Delete({Value::Int64(1)},
+                        Value::String("the quick brown fox"), 4).ok());
+  pks.clear();
+  ASSERT_TRUE(ix.SearchToken("quick", [&](const CompositeKey& pk) {
+    pks.push_back(pk[0].AsInt());
+    return Status::OK();
+  }).ok());
+  EXPECT_EQ(pks, (std::vector<int64_t>{2}));
+}
+
+TEST_F(LsmTest, InvertedBagOfTags) {
+  LsmInvertedIndex ix(cache_.get(), dir_, "tags",
+                      LsmInvertedIndex::Tokenizer::kWord, 0, SmallMem(1 << 20));
+  ASSERT_TRUE(ix.Open().ok());
+  ASSERT_TRUE(ix.Insert({Value::Int64(1)},
+                        Value::Bag({Value::String("DB"), Value::String("LSM")}),
+                        1).ok());
+  std::vector<int64_t> pks;
+  ASSERT_TRUE(ix.SearchToken("DB", [&](const CompositeKey& pk) {
+    pks.push_back(pk[0].AsInt());
+    return Status::OK();
+  }).ok());
+  EXPECT_EQ(pks.size(), 1u);
+}
+
+TEST_F(LsmTest, InvertedNgramTokensCount) {
+  LsmInvertedIndex ix(cache_.get(), dir_, "ng",
+                      LsmInvertedIndex::Tokenizer::kNgram, 3, SmallMem(1 << 20));
+  ASSERT_TRUE(ix.Open().ok());
+  ASSERT_TRUE(ix.Insert({Value::Int64(1)}, Value::String("tonight"), 1).ok());
+  ASSERT_TRUE(ix.Insert({Value::Int64(2)}, Value::String("tonite"), 2).ok());
+  ASSERT_TRUE(ix.Insert({Value::Int64(3)}, Value::String("xyzzy"), 3).ok());
+
+  auto grams = ix.TokensOf(Value::String("tonight"));
+  std::map<int64_t, size_t> counts;
+  ASSERT_TRUE(ix.SearchTokensCount(grams, [&](const CompositeKey& pk, size_t c) {
+    counts[pk[0].AsInt()] = c;
+    return Status::OK();
+  }).ok());
+  EXPECT_GT(counts[1], counts[2]);  // exact match shares every gram
+  EXPECT_GT(counts[2], 0u);         // fuzzy match shares some
+  EXPECT_EQ(counts.count(3), 0u);   // unrelated string shares none
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace asterix

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "common/env.h"
+#include "storage/bloom.h"
+#include "storage/buffer_cache.h"
+#include "storage/rtree.h"
+
+namespace asterix {
+namespace storage {
+namespace {
+
+using adm::Value;
+
+class RTreeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = env::NewScratchDir("rtree-test");
+    cache_ = std::make_unique<BufferCache>(256);
+  }
+  void TearDown() override { env::RemoveAll(dir_); }
+  std::string dir_;
+  std::unique_ptr<BufferCache> cache_;
+};
+
+TEST_F(RTreeTest, GridSearchExactCounts) {
+  RTreeBuilder builder(dir_ + "/g.rtr");
+  for (int x = 0; x < 50; ++x) {
+    for (int y = 0; y < 50; ++y) {
+      RTreeEntry e;
+      e.mbr = {static_cast<double>(x), static_cast<double>(y),
+               static_cast<double>(x), static_cast<double>(y)};
+      e.key = {Value::Int64(x * 50 + y)};
+      builder.Add(std::move(e));
+    }
+  }
+  ASSERT_TRUE(builder.Finish().ok());
+  auto reader = RTreeReader::Open(cache_.get(), dir_ + "/g.rtr").take();
+  EXPECT_EQ(reader->num_entries(), 2500u);
+
+  size_t hits = 0;
+  ASSERT_TRUE(reader->Search(Mbr{10, 10, 19, 19}, [&](const RTreeEntry&) {
+    ++hits;
+    return Status::OK();
+  }).ok());
+  EXPECT_EQ(hits, 100u);  // a 10x10 block
+
+  hits = 0;
+  ASSERT_TRUE(reader->Search(Mbr{-10, -10, -1, -1}, [&](const RTreeEntry&) {
+    ++hits;
+    return Status::OK();
+  }).ok());
+  EXPECT_EQ(hits, 0u);
+}
+
+TEST_F(RTreeTest, SearchMatchesLinearScanOnRandomData) {
+  std::mt19937 rng(7);
+  std::vector<RTreeEntry> entries;
+  RTreeBuilder builder(dir_ + "/r.rtr");
+  for (int i = 0; i < 3000; ++i) {
+    RTreeEntry e;
+    double x = (rng() % 100000) / 100.0;
+    double y = (rng() % 100000) / 100.0;
+    e.mbr = {x, y, x + (rng() % 100) / 10.0, y + (rng() % 100) / 10.0};
+    e.key = {Value::Int64(i)};
+    entries.push_back(e);
+    builder.Add(std::move(e));
+  }
+  ASSERT_TRUE(builder.Finish().ok());
+  auto reader = RTreeReader::Open(cache_.get(), dir_ + "/r.rtr").take();
+
+  for (int trial = 0; trial < 20; ++trial) {
+    double x = (rng() % 90000) / 100.0;
+    double y = (rng() % 90000) / 100.0;
+    Mbr query{x, y, x + 50, y + 50};
+    std::set<int64_t> expected;
+    for (const auto& e : entries) {
+      if (e.mbr.Overlaps(query)) expected.insert(e.key[0].AsInt());
+    }
+    std::set<int64_t> got;
+    ASSERT_TRUE(reader->Search(query, [&](const RTreeEntry& e) {
+      got.insert(e.key[0].AsInt());
+      return Status::OK();
+    }).ok());
+    EXPECT_EQ(got, expected) << "trial " << trial;
+  }
+}
+
+TEST_F(RTreeTest, EmptyTree) {
+  RTreeBuilder builder(dir_ + "/e.rtr");
+  ASSERT_TRUE(builder.Finish().ok());
+  auto reader_r = RTreeReader::Open(cache_.get(), dir_ + "/e.rtr");
+  ASSERT_TRUE(reader_r.ok());
+  size_t hits = 0;
+  ASSERT_TRUE(reader_r.value()->Search(Mbr{0, 0, 100, 100},
+                                       [&](const RTreeEntry&) {
+                                         ++hits;
+                                         return Status::OK();
+                                       })
+                  .ok());
+  EXPECT_EQ(hits, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Bloom filter
+// ---------------------------------------------------------------------------
+
+TEST(BloomTest, NoFalseNegativesLowFalsePositives) {
+  std::vector<uint64_t> hashes;
+  std::mt19937_64 rng(11);
+  for (int i = 0; i < 10000; ++i) hashes.push_back(rng());
+  BloomFilter f = BloomFilter::Build(hashes);
+  for (uint64_t h : hashes) {
+    EXPECT_TRUE(f.MayContain(h));  // never a false negative
+  }
+  int false_positives = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (f.MayContain(rng())) ++false_positives;
+  }
+  EXPECT_LT(false_positives, 300);  // ~1% FPR design target, allow 3%
+}
+
+TEST(BloomTest, SerializationRoundTrip) {
+  BloomFilter f = BloomFilter::Build({1, 2, 3, 999});
+  BytesWriter w;
+  f.AppendTo(&w);
+  BytesReader r(w.data());
+  auto back = BloomFilter::FromBytes(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value().MayContain(999));
+  EXPECT_FALSE(back.value().MayContain(123456789));
+}
+
+// ---------------------------------------------------------------------------
+// Buffer cache
+// ---------------------------------------------------------------------------
+
+TEST(BufferCacheTest, HitsMissesAndEviction) {
+  std::string dir = env::NewScratchDir("cache-test");
+  std::vector<uint8_t> file(kPageSize * 10);
+  for (size_t i = 0; i < file.size(); ++i) file[i] = static_cast<uint8_t>(i);
+  ASSERT_TRUE(env::WriteFileAtomic(dir + "/f", file.data(), file.size()).ok());
+
+  BufferCache cache(4);  // hold only 4 pages
+  auto id = cache.OpenFile(dir + "/f").take();
+  for (uint32_t p = 0; p < 10; ++p) {
+    auto page = cache.GetPage(id, p);
+    ASSERT_TRUE(page.ok());
+    EXPECT_EQ((*page.value())[0], static_cast<uint8_t>(p * kPageSize));
+  }
+  EXPECT_EQ(cache.misses(), 10u);
+  // Recent pages hit; old ones were evicted.
+  cache.GetPage(id, 9);
+  EXPECT_EQ(cache.hits(), 1u);
+  cache.GetPage(id, 0);
+  EXPECT_EQ(cache.misses(), 11u);
+  cache.CloseFile(id);
+  env::RemoveAll(dir);
+}
+
+TEST(BufferCacheTest, MissingFileFails) {
+  BufferCache cache(4);
+  EXPECT_FALSE(cache.OpenFile("/nonexistent/file").ok());
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace asterix
