@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asterix_workload.dir/workload/generator.cc.o"
+  "CMakeFiles/asterix_workload.dir/workload/generator.cc.o.d"
+  "libasterix_workload.a"
+  "libasterix_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asterix_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_aggsplit.dir/bench_ablation_aggsplit.cc.o"
+  "CMakeFiles/bench_ablation_aggsplit.dir/bench_ablation_aggsplit.cc.o.d"
+  "bench_ablation_aggsplit"
+  "bench_ablation_aggsplit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_aggsplit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

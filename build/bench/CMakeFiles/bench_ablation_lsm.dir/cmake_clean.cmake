@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lsm.dir/bench_ablation_lsm.cc.o"
+  "CMakeFiles/bench_ablation_lsm.dir/bench_ablation_lsm.cc.o.d"
+  "bench_ablation_lsm"
+  "bench_ablation_lsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

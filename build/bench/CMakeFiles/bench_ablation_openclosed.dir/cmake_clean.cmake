@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_openclosed.dir/bench_ablation_openclosed.cc.o"
+  "CMakeFiles/bench_ablation_openclosed.dir/bench_ablation_openclosed.cc.o.d"
+  "bench_ablation_openclosed"
+  "bench_ablation_openclosed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_openclosed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure6_plan.dir/bench_figure6_plan.cc.o"
+  "CMakeFiles/bench_figure6_plan.dir/bench_figure6_plan.cc.o.d"
+  "bench_figure6_plan"
+  "bench_figure6_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure6_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_sizes.dir/bench_table2_sizes.cc.o"
+  "CMakeFiles/bench_table2_sizes.dir/bench_table2_sizes.cc.o.d"
+  "bench_table2_sizes"
+  "bench_table2_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

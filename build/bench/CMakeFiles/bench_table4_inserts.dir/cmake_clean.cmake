@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_inserts.dir/bench_table4_inserts.cc.o"
+  "CMakeFiles/bench_table4_inserts.dir/bench_table4_inserts.cc.o.d"
+  "bench_table4_inserts"
+  "bench_table4_inserts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_inserts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

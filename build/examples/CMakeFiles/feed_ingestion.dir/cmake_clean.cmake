@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feed_ingestion.dir/feed_ingestion.cpp.o"
+  "CMakeFiles/feed_ingestion.dir/feed_ingestion.cpp.o.d"
+  "feed_ingestion"
+  "feed_ingestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feed_ingestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_log_analysis.dir/web_log_analysis.cpp.o"
+  "CMakeFiles/web_log_analysis.dir/web_log_analysis.cpp.o.d"
+  "web_log_analysis"
+  "web_log_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_log_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

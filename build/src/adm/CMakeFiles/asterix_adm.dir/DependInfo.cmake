@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adm/adm_parser.cc" "src/adm/CMakeFiles/asterix_adm.dir/adm_parser.cc.o" "gcc" "src/adm/CMakeFiles/asterix_adm.dir/adm_parser.cc.o.d"
+  "/root/repo/src/adm/serde.cc" "src/adm/CMakeFiles/asterix_adm.dir/serde.cc.o" "gcc" "src/adm/CMakeFiles/asterix_adm.dir/serde.cc.o.d"
+  "/root/repo/src/adm/temporal.cc" "src/adm/CMakeFiles/asterix_adm.dir/temporal.cc.o" "gcc" "src/adm/CMakeFiles/asterix_adm.dir/temporal.cc.o.d"
+  "/root/repo/src/adm/type.cc" "src/adm/CMakeFiles/asterix_adm.dir/type.cc.o" "gcc" "src/adm/CMakeFiles/asterix_adm.dir/type.cc.o.d"
+  "/root/repo/src/adm/value.cc" "src/adm/CMakeFiles/asterix_adm.dir/value.cc.o" "gcc" "src/adm/CMakeFiles/asterix_adm.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/asterix_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

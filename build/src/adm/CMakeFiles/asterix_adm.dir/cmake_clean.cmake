@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asterix_adm.dir/adm_parser.cc.o"
+  "CMakeFiles/asterix_adm.dir/adm_parser.cc.o.d"
+  "CMakeFiles/asterix_adm.dir/serde.cc.o"
+  "CMakeFiles/asterix_adm.dir/serde.cc.o.d"
+  "CMakeFiles/asterix_adm.dir/temporal.cc.o"
+  "CMakeFiles/asterix_adm.dir/temporal.cc.o.d"
+  "CMakeFiles/asterix_adm.dir/type.cc.o"
+  "CMakeFiles/asterix_adm.dir/type.cc.o.d"
+  "CMakeFiles/asterix_adm.dir/value.cc.o"
+  "CMakeFiles/asterix_adm.dir/value.cc.o.d"
+  "libasterix_adm.a"
+  "libasterix_adm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asterix_adm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

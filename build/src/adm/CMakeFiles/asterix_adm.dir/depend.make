@@ -1,0 +1,2 @@
+# Empty dependencies file for asterix_adm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asterix_algebricks.dir/expr.cc.o"
+  "CMakeFiles/asterix_algebricks.dir/expr.cc.o.d"
+  "CMakeFiles/asterix_algebricks.dir/logical.cc.o"
+  "CMakeFiles/asterix_algebricks.dir/logical.cc.o.d"
+  "CMakeFiles/asterix_algebricks.dir/physical.cc.o"
+  "CMakeFiles/asterix_algebricks.dir/physical.cc.o.d"
+  "CMakeFiles/asterix_algebricks.dir/rules.cc.o"
+  "CMakeFiles/asterix_algebricks.dir/rules.cc.o.d"
+  "libasterix_algebricks.a"
+  "libasterix_algebricks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asterix_algebricks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asterix_api.dir/asterix.cc.o"
+  "CMakeFiles/asterix_api.dir/asterix.cc.o.d"
+  "libasterix_api.a"
+  "libasterix_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asterix_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

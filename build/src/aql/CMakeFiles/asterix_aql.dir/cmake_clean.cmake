@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asterix_aql.dir/lexer.cc.o"
+  "CMakeFiles/asterix_aql.dir/lexer.cc.o.d"
+  "CMakeFiles/asterix_aql.dir/parser.cc.o"
+  "CMakeFiles/asterix_aql.dir/parser.cc.o.d"
+  "libasterix_aql.a"
+  "libasterix_aql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asterix_aql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/columnstore.cc" "src/baselines/CMakeFiles/asterix_baselines.dir/columnstore.cc.o" "gcc" "src/baselines/CMakeFiles/asterix_baselines.dir/columnstore.cc.o.d"
+  "/root/repo/src/baselines/docstore.cc" "src/baselines/CMakeFiles/asterix_baselines.dir/docstore.cc.o" "gcc" "src/baselines/CMakeFiles/asterix_baselines.dir/docstore.cc.o.d"
+  "/root/repo/src/baselines/relstore.cc" "src/baselines/CMakeFiles/asterix_baselines.dir/relstore.cc.o" "gcc" "src/baselines/CMakeFiles/asterix_baselines.dir/relstore.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/adm/CMakeFiles/asterix_adm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/asterix_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asterix_baselines.dir/columnstore.cc.o"
+  "CMakeFiles/asterix_baselines.dir/columnstore.cc.o.d"
+  "CMakeFiles/asterix_baselines.dir/docstore.cc.o"
+  "CMakeFiles/asterix_baselines.dir/docstore.cc.o.d"
+  "CMakeFiles/asterix_baselines.dir/relstore.cc.o"
+  "CMakeFiles/asterix_baselines.dir/relstore.cc.o.d"
+  "libasterix_baselines.a"
+  "libasterix_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asterix_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asterix_common.dir/bytes.cc.o"
+  "CMakeFiles/asterix_common.dir/bytes.cc.o.d"
+  "CMakeFiles/asterix_common.dir/compress.cc.o"
+  "CMakeFiles/asterix_common.dir/compress.cc.o.d"
+  "CMakeFiles/asterix_common.dir/env.cc.o"
+  "CMakeFiles/asterix_common.dir/env.cc.o.d"
+  "CMakeFiles/asterix_common.dir/status.cc.o"
+  "CMakeFiles/asterix_common.dir/status.cc.o.d"
+  "CMakeFiles/asterix_common.dir/string_utils.cc.o"
+  "CMakeFiles/asterix_common.dir/string_utils.cc.o.d"
+  "libasterix_common.a"
+  "libasterix_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asterix_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asterix_external.dir/external.cc.o"
+  "CMakeFiles/asterix_external.dir/external.cc.o.d"
+  "libasterix_external.a"
+  "libasterix_external.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asterix_external.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

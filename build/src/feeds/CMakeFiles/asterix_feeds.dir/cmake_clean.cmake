@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asterix_feeds.dir/feeds.cc.o"
+  "CMakeFiles/asterix_feeds.dir/feeds.cc.o.d"
+  "libasterix_feeds.a"
+  "libasterix_feeds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asterix_feeds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

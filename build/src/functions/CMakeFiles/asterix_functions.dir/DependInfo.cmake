@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/functions/aggregates.cc" "src/functions/CMakeFiles/asterix_functions.dir/aggregates.cc.o" "gcc" "src/functions/CMakeFiles/asterix_functions.dir/aggregates.cc.o.d"
+  "/root/repo/src/functions/arith.cc" "src/functions/CMakeFiles/asterix_functions.dir/arith.cc.o" "gcc" "src/functions/CMakeFiles/asterix_functions.dir/arith.cc.o.d"
+  "/root/repo/src/functions/builtins.cc" "src/functions/CMakeFiles/asterix_functions.dir/builtins.cc.o" "gcc" "src/functions/CMakeFiles/asterix_functions.dir/builtins.cc.o.d"
+  "/root/repo/src/functions/similarity.cc" "src/functions/CMakeFiles/asterix_functions.dir/similarity.cc.o" "gcc" "src/functions/CMakeFiles/asterix_functions.dir/similarity.cc.o.d"
+  "/root/repo/src/functions/spatial.cc" "src/functions/CMakeFiles/asterix_functions.dir/spatial.cc.o" "gcc" "src/functions/CMakeFiles/asterix_functions.dir/spatial.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/adm/CMakeFiles/asterix_adm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/asterix_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

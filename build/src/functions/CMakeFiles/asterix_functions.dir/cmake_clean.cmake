@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asterix_functions.dir/aggregates.cc.o"
+  "CMakeFiles/asterix_functions.dir/aggregates.cc.o.d"
+  "CMakeFiles/asterix_functions.dir/arith.cc.o"
+  "CMakeFiles/asterix_functions.dir/arith.cc.o.d"
+  "CMakeFiles/asterix_functions.dir/builtins.cc.o"
+  "CMakeFiles/asterix_functions.dir/builtins.cc.o.d"
+  "CMakeFiles/asterix_functions.dir/similarity.cc.o"
+  "CMakeFiles/asterix_functions.dir/similarity.cc.o.d"
+  "CMakeFiles/asterix_functions.dir/spatial.cc.o"
+  "CMakeFiles/asterix_functions.dir/spatial.cc.o.d"
+  "libasterix_functions.a"
+  "libasterix_functions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asterix_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

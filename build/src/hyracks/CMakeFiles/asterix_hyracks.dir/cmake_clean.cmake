@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asterix_hyracks.dir/cluster.cc.o"
+  "CMakeFiles/asterix_hyracks.dir/cluster.cc.o.d"
+  "CMakeFiles/asterix_hyracks.dir/job.cc.o"
+  "CMakeFiles/asterix_hyracks.dir/job.cc.o.d"
+  "CMakeFiles/asterix_hyracks.dir/operators.cc.o"
+  "CMakeFiles/asterix_hyracks.dir/operators.cc.o.d"
+  "libasterix_hyracks.a"
+  "libasterix_hyracks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asterix_hyracks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libasterix_hyracks.a"
+)

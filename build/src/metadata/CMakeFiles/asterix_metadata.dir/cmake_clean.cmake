@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asterix_metadata.dir/metadata.cc.o"
+  "CMakeFiles/asterix_metadata.dir/metadata.cc.o.d"
+  "libasterix_metadata.a"
+  "libasterix_metadata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asterix_metadata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

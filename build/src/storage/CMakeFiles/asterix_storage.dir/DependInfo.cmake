@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/bloom.cc" "src/storage/CMakeFiles/asterix_storage.dir/bloom.cc.o" "gcc" "src/storage/CMakeFiles/asterix_storage.dir/bloom.cc.o.d"
+  "/root/repo/src/storage/btree.cc" "src/storage/CMakeFiles/asterix_storage.dir/btree.cc.o" "gcc" "src/storage/CMakeFiles/asterix_storage.dir/btree.cc.o.d"
+  "/root/repo/src/storage/buffer_cache.cc" "src/storage/CMakeFiles/asterix_storage.dir/buffer_cache.cc.o" "gcc" "src/storage/CMakeFiles/asterix_storage.dir/buffer_cache.cc.o.d"
+  "/root/repo/src/storage/dataset_store.cc" "src/storage/CMakeFiles/asterix_storage.dir/dataset_store.cc.o" "gcc" "src/storage/CMakeFiles/asterix_storage.dir/dataset_store.cc.o.d"
+  "/root/repo/src/storage/inverted.cc" "src/storage/CMakeFiles/asterix_storage.dir/inverted.cc.o" "gcc" "src/storage/CMakeFiles/asterix_storage.dir/inverted.cc.o.d"
+  "/root/repo/src/storage/key.cc" "src/storage/CMakeFiles/asterix_storage.dir/key.cc.o" "gcc" "src/storage/CMakeFiles/asterix_storage.dir/key.cc.o.d"
+  "/root/repo/src/storage/lsm.cc" "src/storage/CMakeFiles/asterix_storage.dir/lsm.cc.o" "gcc" "src/storage/CMakeFiles/asterix_storage.dir/lsm.cc.o.d"
+  "/root/repo/src/storage/lsm_rtree.cc" "src/storage/CMakeFiles/asterix_storage.dir/lsm_rtree.cc.o" "gcc" "src/storage/CMakeFiles/asterix_storage.dir/lsm_rtree.cc.o.d"
+  "/root/repo/src/storage/rtree.cc" "src/storage/CMakeFiles/asterix_storage.dir/rtree.cc.o" "gcc" "src/storage/CMakeFiles/asterix_storage.dir/rtree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/adm/CMakeFiles/asterix_adm.dir/DependInfo.cmake"
+  "/root/repo/build/src/functions/CMakeFiles/asterix_functions.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/asterix_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/asterix_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asterix_storage.dir/bloom.cc.o"
+  "CMakeFiles/asterix_storage.dir/bloom.cc.o.d"
+  "CMakeFiles/asterix_storage.dir/btree.cc.o"
+  "CMakeFiles/asterix_storage.dir/btree.cc.o.d"
+  "CMakeFiles/asterix_storage.dir/buffer_cache.cc.o"
+  "CMakeFiles/asterix_storage.dir/buffer_cache.cc.o.d"
+  "CMakeFiles/asterix_storage.dir/dataset_store.cc.o"
+  "CMakeFiles/asterix_storage.dir/dataset_store.cc.o.d"
+  "CMakeFiles/asterix_storage.dir/inverted.cc.o"
+  "CMakeFiles/asterix_storage.dir/inverted.cc.o.d"
+  "CMakeFiles/asterix_storage.dir/key.cc.o"
+  "CMakeFiles/asterix_storage.dir/key.cc.o.d"
+  "CMakeFiles/asterix_storage.dir/lsm.cc.o"
+  "CMakeFiles/asterix_storage.dir/lsm.cc.o.d"
+  "CMakeFiles/asterix_storage.dir/lsm_rtree.cc.o"
+  "CMakeFiles/asterix_storage.dir/lsm_rtree.cc.o.d"
+  "CMakeFiles/asterix_storage.dir/rtree.cc.o"
+  "CMakeFiles/asterix_storage.dir/rtree.cc.o.d"
+  "libasterix_storage.a"
+  "libasterix_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asterix_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

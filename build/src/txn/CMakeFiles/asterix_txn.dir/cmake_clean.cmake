@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asterix_txn.dir/lock_manager.cc.o"
+  "CMakeFiles/asterix_txn.dir/lock_manager.cc.o.d"
+  "CMakeFiles/asterix_txn.dir/log_manager.cc.o"
+  "CMakeFiles/asterix_txn.dir/log_manager.cc.o.d"
+  "CMakeFiles/asterix_txn.dir/txn_manager.cc.o"
+  "CMakeFiles/asterix_txn.dir/txn_manager.cc.o.d"
+  "libasterix_txn.a"
+  "libasterix_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asterix_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

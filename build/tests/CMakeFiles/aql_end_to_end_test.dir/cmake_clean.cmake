@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aql_end_to_end_test.dir/aql_end_to_end_test.cc.o"
+  "CMakeFiles/aql_end_to_end_test.dir/aql_end_to_end_test.cc.o.d"
+  "aql_end_to_end_test"
+  "aql_end_to_end_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aql_end_to_end_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/aql_features_test.cc" "tests/CMakeFiles/aql_features_test.dir/aql_features_test.cc.o" "gcc" "tests/CMakeFiles/aql_features_test.dir/aql_features_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/api/CMakeFiles/asterix_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/metadata/CMakeFiles/asterix_metadata.dir/DependInfo.cmake"
+  "/root/repo/build/src/aql/CMakeFiles/asterix_aql.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebricks/CMakeFiles/asterix_algebricks.dir/DependInfo.cmake"
+  "/root/repo/build/src/external/CMakeFiles/asterix_external.dir/DependInfo.cmake"
+  "/root/repo/build/src/feeds/CMakeFiles/asterix_feeds.dir/DependInfo.cmake"
+  "/root/repo/build/src/hyracks/CMakeFiles/asterix_hyracks.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/asterix_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/functions/CMakeFiles/asterix_functions.dir/DependInfo.cmake"
+  "/root/repo/build/src/adm/CMakeFiles/asterix_adm.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/asterix_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/asterix_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

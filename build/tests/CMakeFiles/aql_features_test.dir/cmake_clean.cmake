@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aql_features_test.dir/aql_features_test.cc.o"
+  "CMakeFiles/aql_features_test.dir/aql_features_test.cc.o.d"
+  "aql_features_test"
+  "aql_features_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aql_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiler_plans_test.dir/compiler_plans_test.cc.o"
+  "CMakeFiles/compiler_plans_test.dir/compiler_plans_test.cc.o.d"
+  "compiler_plans_test"
+  "compiler_plans_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiler_plans_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

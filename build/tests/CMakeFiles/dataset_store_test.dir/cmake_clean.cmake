@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_store_test.dir/dataset_store_test.cc.o"
+  "CMakeFiles/dataset_store_test.dir/dataset_store_test.cc.o.d"
+  "dataset_store_test"
+  "dataset_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

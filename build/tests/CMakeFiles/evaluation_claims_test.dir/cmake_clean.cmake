@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evaluation_claims_test.dir/evaluation_claims_test.cc.o"
+  "CMakeFiles/evaluation_claims_test.dir/evaluation_claims_test.cc.o.d"
+  "evaluation_claims_test"
+  "evaluation_claims_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evaluation_claims_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feeds_external_test.dir/feeds_external_test.cc.o"
+  "CMakeFiles/feeds_external_test.dir/feeds_external_test.cc.o.d"
+  "feeds_external_test"
+  "feeds_external_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feeds_external_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

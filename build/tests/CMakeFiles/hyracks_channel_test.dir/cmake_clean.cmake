@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyracks_channel_test.dir/hyracks_channel_test.cc.o"
+  "CMakeFiles/hyracks_channel_test.dir/hyracks_channel_test.cc.o.d"
+  "hyracks_channel_test"
+  "hyracks_channel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyracks_channel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
