@@ -125,12 +125,19 @@ class BenchEnv {
   const std::string& dir() const { return dir_; }
 
   /// Runs an AQL query against the bench dataverse, returning elapsed ms.
+  /// The profile of the run's last compiled job is kept for last_profile().
   double RunAql(const std::string& query, size_t* result_count = nullptr) {
     return TimeMs([&] {
       auto r = asterix_->Execute("use dataverse Bench;\n" + query);
       Check(r.ok() ? Status::OK() : r.status(), "aql query");
       if (result_count) *result_count = r.value().values.size();
+      if (r.value().stats.profile) last_profile_ = r.value().stats.profile;
     });
+  }
+
+  /// JobProfile of the most recent compiled-path query (null before any).
+  std::shared_ptr<const hyracks::JobProfile> last_profile() const {
+    return last_profile_;
   }
 
  private:
@@ -141,6 +148,7 @@ class BenchEnv {
 
   BenchScale scale_;
   std::string dir_;
+  std::shared_ptr<const hyracks::JobProfile> last_profile_;
   std::vector<adm::Value> users_, messages_, tweets_;
   std::unique_ptr<api::AsterixInstance> asterix_;
   std::unique_ptr<baselines::RelStore> systx_;
@@ -253,6 +261,37 @@ inline void BenchEnv::SetUpDocStore() {
   Check(mongo_users_->LoadBulk(users_), "mongo users");
   Check(mongo_messages_->LoadBulk(messages_), "mongo messages");
 }
+
+/// Accumulates per-query timings/JobProfiles and writes BENCH_<name>.json
+/// (queries array + a process-wide MetricsRegistry snapshot) into the
+/// working directory, so a bench run leaves a machine-readable record of
+/// what every operator actually did.
+class BenchJsonDump {
+ public:
+  explicit BenchJsonDump(std::string name) : name_(std::move(name)) {}
+
+  void Add(const std::string& label, double ms,
+           const std::shared_ptr<const hyracks::JobProfile>& profile) {
+    if (!entries_.empty()) entries_ += ", ";
+    entries_ += "{ \"label\": \"" + label +
+                "\", \"ms\": " + std::to_string(ms);
+    if (profile) entries_ += ", \"profile\": " + profile->ToJson();
+    entries_ += " }";
+  }
+
+  void Write() {
+    std::string out = "{ \"bench\": \"" + name_ + "\", \"queries\": [ " +
+                      entries_ + " ], \"metrics\": " +
+                      api::AsterixInstance::MetricsJson() + " }";
+    std::string path = "BENCH_" + name_ + ".json";
+    Check(env::WriteFileAtomic(path, out.data(), out.size()), "bench dump");
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+ private:
+  std::string name_;
+  std::string entries_;
+};
 
 /// Printed table row helper.
 inline void PrintRow(const char* label, double a_schema, double a_keyonly,

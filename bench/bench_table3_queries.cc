@@ -572,10 +572,14 @@ int Main() {
   int64_t agg_lg = scale.messages / 10;
 
   PrintHeader("Table 3");
+  BenchJsonDump dump("table3");
   t3.RecordLookup();
+  dump.Add("Rec Lookup", 0, env.last_profile());
   auto p = [&](const char* label, const Row& r) {
     PrintRow(label, r.ast_schema, r.ast_keyonly, r.systx, r.hive, r.hive_real,
              r.mongo);
+    // Profile of the row's most recent compiled Asterix query.
+    dump.Add(label, r.ast_schema, env.last_profile());
   };
   p("Range Scan", t3.RangeScan(false));
   p("-- with IX", t3.RangeScan(true));
@@ -596,6 +600,7 @@ int Main() {
   p("Grp-Aggr (Lg)", t3.GroupAggregate(false, agg_lg));
   p("-- with IX", t3.GroupAggregate(true, agg_lg));
   std::printf("(sink=%zu)\n", t3.sink());
+  dump.Write();
   return 0;
 }
 

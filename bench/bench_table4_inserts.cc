@@ -67,9 +67,9 @@ create dataset MessagesKeyOnly(MessageKeyOnly) primary key message-id;
 // Renders one generated message as an AQL record constructor.
 std::string MessageLiteral(const Value& m) { return m.ToString(); }
 
-double AsterixInsertMsPerRecord(InsertEnv* env, const char* dataset,
-                                const std::vector<Value>& messages,
-                                int batch) {
+double AsterixInsertMsPerRecord(
+    InsertEnv* env, const char* dataset, const std::vector<Value>& messages,
+    int batch, std::shared_ptr<const hyracks::JobProfile>* profile = nullptr) {
   size_t pos = 0;
   int total = 0;
   auto start = std::chrono::steady_clock::now();
@@ -88,6 +88,7 @@ double AsterixInsertMsPerRecord(InsertEnv* env, const char* dataset,
     auto r = env->asterix->Execute("use dataverse Bench;\ninsert into dataset " +
                                    std::string(dataset) + " (" + payload + ");");
     Check(r.ok() ? Status::OK() : r.status(), "insert");
+    if (profile && r.value().stats.profile) *profile = r.value().stats.profile;
     pos += static_cast<size_t>(batch);
     total += batch;
   }
@@ -132,14 +133,20 @@ int Main() {
                               all.begin() + (i + 1) * kRecords);
   };
 
+  BenchJsonDump dump("table4");
+  std::shared_ptr<const hyracks::JobProfile> prof;
   double ast_schema_1 =
-      AsterixInsertMsPerRecord(&env, "Messages", slice(0), 1);
+      AsterixInsertMsPerRecord(&env, "Messages", slice(0), 1, &prof);
+  dump.Add("insert schema batch=1", ast_schema_1, prof);
   double ast_keyonly_1 =
-      AsterixInsertMsPerRecord(&env, "MessagesKeyOnly", slice(1), 1);
+      AsterixInsertMsPerRecord(&env, "MessagesKeyOnly", slice(1), 1, &prof);
+  dump.Add("insert keyonly batch=1", ast_keyonly_1, prof);
   double ast_schema_20 =
-      AsterixInsertMsPerRecord(&env, "Messages", slice(2), 20);
+      AsterixInsertMsPerRecord(&env, "Messages", slice(2), 20, &prof);
+  dump.Add("insert schema batch=20", ast_schema_20, prof);
   double ast_keyonly_20 =
-      AsterixInsertMsPerRecord(&env, "MessagesKeyOnly", slice(3), 20);
+      AsterixInsertMsPerRecord(&env, "MessagesKeyOnly", slice(3), 20, &prof);
+  dump.Add("insert keyonly batch=20", ast_keyonly_20, prof);
 
   auto systx_rows = slice(4);
   double systx_1 = BaselineInsertMsPerRecord(
@@ -185,6 +192,7 @@ int Main() {
         "batching improves AsterixDB by a large factor");
   claim(systx_20 > systx_1 / 3 && mongo_20 > mongo_1 / 3,
         "baselines improve only modestly with batching");
+  dump.Write();
   return ok ? 0 : 1;
 }
 

@@ -1,6 +1,7 @@
 #include "algebricks/rules.h"
 
 #include <algorithm>
+#include <atomic>
 #include <set>
 
 #include "functions/aggregates.h"
@@ -271,7 +272,7 @@ ExprPtr ReplaceExpr(const ExprPtr& e, const ExprPtr& target,
   return copy;
 }
 
-int agg_var_counter = 0;
+std::atomic<int> agg_var_counter{0};
 
 bool RewriteScalarAggregates(LogicalOpPtr& plan) {
   if (plan->kind != LogicalOp::Kind::kDistribute) return false;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/env.h"
+#include "common/metrics.h"
 #include "external/external.h"
 #include "hyracks/operators.h"
 
@@ -135,7 +136,13 @@ Status AsterixInstance::ScanDataset(
 }
 
 Result<ExecutionResult> AsterixInstance::Execute(const std::string& aql) {
-  auto stmts_r = aql::ParseAql(aql, &parser_ctx_);
+  // The parser context carries cross-statement session state (current
+  // dataverse, sim function); concurrent Execute() calls — SubmitAsync runs
+  // scripts on pool threads — must not mutate it unsynchronized.
+  Result<std::vector<aql::Statement>> stmts_r = [&] {
+    std::lock_guard<std::mutex> lock(parser_mu_);
+    return aql::ParseAql(aql, &parser_ctx_);
+  }();
   if (!stmts_r.ok()) return stmts_r.status();
   ExecutionResult last;
   for (const auto& st : stmts_r.value()) {
@@ -184,8 +191,15 @@ Result<ExecutionResult> AsterixInstance::GetAsyncResult(uint64_t handle) {
   return *result;
 }
 
+std::string AsterixInstance::MetricsJson() {
+  return metrics::MetricsRegistry::Default().ToJson();
+}
+
 Result<ExecutionResult> AsterixInstance::Explain(const std::string& aql) {
-  auto stmts_r = aql::ParseAql(aql, &parser_ctx_);
+  Result<std::vector<aql::Statement>> stmts_r = [&] {
+    std::lock_guard<std::mutex> lock(parser_mu_);
+    return aql::ParseAql(aql, &parser_ctx_);
+  }();
   if (!stmts_r.ok()) return stmts_r.status();
   ExecutionResult out;
   for (const auto& st : stmts_r.value()) {
@@ -229,6 +243,23 @@ Status AsterixInstance::ExecuteStatement(const aql::Statement& st,
     case K::kDelete:
       return ExecuteDelete(st, last);
     case K::kQuery:
+      if (st.explain) {
+        // EXPLAIN returns the plan text as the statement's single value;
+        // EXPLAIN ANALYZE runs the query first and returns the plan
+        // annotated with actuals.
+        ASTERIX_RETURN_NOT_OK(ExecuteQuery(st, /*run=*/st.analyze, last));
+        std::string text;
+        if (st.analyze && !last->profiled_plan.empty()) {
+          text = last->profiled_plan;
+        } else if (!last->job_plan.empty()) {
+          text = last->job_plan;
+        } else {
+          text = last->logical_plan;
+        }
+        last->values.clear();
+        last->values.push_back(Value::String(std::move(text)));
+        return Status::OK();
+      }
       return ExecuteQuery(st, /*run=*/true, last);
   }
   return Status::Internal("unreachable statement kind");
@@ -639,6 +670,10 @@ Status AsterixInstance::ExecuteQuery(const aql::Statement& st, bool run,
     if (stats_r.ok()) {
       out->stats = stats_r.take();
       out->used_compiled_path = true;
+      if (out->stats.profile) {
+        out->profiled_plan =
+            hyracks::AnnotatePlan(job_r.value(), *out->stats.profile);
+      }
       for (auto& t : *sink) out->values.push_back(std::move(t[0]));
       return Status::OK();
     }

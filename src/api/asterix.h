@@ -34,6 +34,10 @@ struct ExecutionResult {
   std::string logical_plan;   // optimized Algebricks plan
   std::string job_plan;       // Hyracks job rendering (Figure 6 style)
   std::string stage_plan;     // activity/stage decomposition
+  /// Job plan annotated with actuals (per-operator tuples in/out, elapsed
+  /// ms, per-connector hop counts) — what EXPLAIN ANALYZE returns. Filled
+  /// whenever a query ran on the compiled path.
+  std::string profiled_plan;
   hyracks::JobStats stats;    // last executed job's stats
   bool used_compiled_path = false;  // false = reference interpreter fallback
 };
@@ -67,6 +71,11 @@ class AsterixInstance {
 
   /// Compiles (but does not run) the last query in the script (EXPLAIN).
   Result<ExecutionResult> Explain(const std::string& aql);
+
+  /// JSON snapshot of the process-wide metrics registry: storage (LSM
+  /// flush/merge, bloom, buffer cache), txn (WAL, locks), feeds, and
+  /// Hyracks counters/histograms. The monitoring endpoint.
+  static std::string MetricsJson();
 
   // -- Direct handles (examples/benches/feeds) ----------------------------------
   storage::PartitionedDataset* FindDataset(const std::string& qualified);
@@ -115,6 +124,9 @@ class AsterixInstance {
   std::unique_ptr<feeds::FeedManager> feeds_;
   std::map<std::string, std::unique_ptr<storage::PartitionedDataset>> datasets_;
   std::map<std::string, feeds::PushAdaptor*> feed_inputs_;
+  /// Guards parser_ctx_ against concurrent Execute()/Explain() (async
+  /// submissions parse on pool threads).
+  std::mutex parser_mu_;
   aql::ParserContext parser_ctx_;
   uint32_t next_dataset_id_ = 100;
 

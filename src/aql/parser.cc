@@ -333,9 +333,15 @@ Result<Statement> Parser::ParseStatement() {
     return st;
   }
 
-  // Otherwise: a query expression.
+  // Otherwise: a query expression, optionally prefixed with
+  // `explain [analyze]`.
   Statement st;
   st.kind = Statement::Kind::kQuery;
+  if (PeekIdent("explain")) {
+    Advance();
+    st.explain = true;
+    st.analyze = ConsumeIdent("analyze");
+  }
   st.dataverse = ctx_->dataverse;
   ASTERIX_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
   if (e->kind == Expr::Kind::kSubplan) {

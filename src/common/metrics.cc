@@ -1,0 +1,149 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+
+namespace asterix {
+namespace metrics {
+
+Histogram::Histogram(std::vector<uint64_t> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) bounds_ = LatencyBoundsUs();
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(uint64_t value) {
+  auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  size_t idx = static_cast<size_t>(it - bounds_.begin());  // overflow at end
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t prev = max_.load(std::memory_order_relaxed);
+  while (prev < value &&
+         !max_.compare_exchange_weak(prev, value, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> Histogram::LatencyBoundsUs() {
+  std::vector<uint64_t> bounds;
+  for (uint64_t b = 1; b <= (1ull << 23); b <<= 1) bounds.push_back(b);
+  return bounds;  // 1us, 2us, ..., ~8.4s
+}
+
+std::vector<uint64_t> Histogram::CountBounds() {
+  std::vector<uint64_t> bounds;
+  for (uint64_t b = 1; b <= (1ull << 16); b <<= 1) bounds.push_back(b);
+  return bounds;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<uint64_t> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return slot.get();
+}
+
+namespace {
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{ \"counters\": { ";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ", ";
+    first = false;
+    AppendJsonString(name, &out);
+    out += ": " + std::to_string(c->value());
+  }
+  out += " }, \"gauges\": { ";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ", ";
+    first = false;
+    AppendJsonString(name, &out);
+    out += ": " + std::to_string(g->value());
+  }
+  out += " }, \"histograms\": { ";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ", ";
+    first = false;
+    AppendJsonString(name, &out);
+    out += ": { \"count\": " + std::to_string(h->count()) +
+           ", \"sum\": " + std::to_string(h->sum()) +
+           ", \"max\": " + std::to_string(h->max()) + ", \"bounds\": [ ";
+    const auto& bounds = h->bounds();
+    for (size_t i = 0; i < bounds.size(); ++i) {
+      if (i) out += ", ";
+      out += std::to_string(bounds[i]);
+    }
+    out += " ], \"buckets\": [ ";
+    for (size_t i = 0; i < h->num_buckets(); ++i) {
+      if (i) out += ", ";
+      out += std::to_string(h->bucket_count(i));
+    }
+    out += " ] }";
+  }
+  out += " } }";
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) {
+    (void)name;
+    c->Reset();
+  }
+  for (auto& [name, g] : gauges_) {
+    (void)name;
+    g->Reset();
+  }
+  for (auto& [name, h] : histograms_) {
+    (void)name;
+    h->Reset();
+  }
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace metrics
+}  // namespace asterix

@@ -1,0 +1,114 @@
+#ifndef ASTERIX_COMMON_METRICS_H_
+#define ASTERIX_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace asterix {
+namespace metrics {
+
+/// Monotonic event counter. Increment is a single relaxed atomic add, so
+/// hot paths (per-tuple, per-page, per-log-record) can afford it.
+class Counter {
+ public:
+  void Inc(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Point-in-time level (resident components, open feeds, active locks).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram: `bounds` are inclusive upper edges, strictly
+/// increasing; one implicit overflow bucket catches anything larger. All
+/// state is atomic, so Observe() is lock-free and safe from any thread.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<uint64_t> bounds);
+
+  void Observe(uint64_t value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  double mean() const {
+    uint64_t n = count();
+    return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+  }
+  const std::vector<uint64_t>& bounds() const { return bounds_; }
+  /// Bucket i counts values in (bounds[i-1], bounds[i]]; index bounds.size()
+  /// is the overflow bucket.
+  uint64_t bucket_count(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  size_t num_buckets() const { return bounds_.size() + 1; }
+  void Reset();
+
+  /// Power-of-two microsecond edges, 1us .. ~8.4s — the default latency
+  /// scale shared by flush/merge/lock-wait/job-elapsed histograms.
+  static std::vector<uint64_t> LatencyBoundsUs();
+  /// Power-of-two count edges 1 .. 65536 (batch sizes, component counts).
+  static std::vector<uint64_t> CountBounds();
+
+ private:
+  std::vector<uint64_t> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// Process-wide registry of named metrics. Lookups take a mutex; callers on
+/// hot paths resolve once (e.g. into a function-local static pointer) and
+/// then touch only the lock-free metric objects. Metric objects live as
+/// long as the registry — pointers never dangle.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// Empty `bounds` selects LatencyBoundsUs(). Bounds are fixed by the
+  /// first registration of a name; later callers share the same histogram.
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<uint64_t> bounds = {});
+
+  /// Consistent-enough JSON snapshot of every registered metric (counters,
+  /// gauges, histograms with bounds/bucket counts/sum/max).
+  std::string ToJson() const;
+
+  /// Zeroes every metric but keeps registrations (bench epochs, tests).
+  void Reset();
+
+  /// The process-wide default registry that storage/txn/feeds/hyracks
+  /// instrumentation registers into.
+  static MetricsRegistry& Default();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace metrics
+}  // namespace asterix
+
+#endif  // ASTERIX_COMMON_METRICS_H_

@@ -2,6 +2,7 @@
 
 #include "adm/adm_parser.h"
 #include "common/env.h"
+#include "common/metrics.h"
 
 namespace asterix {
 namespace feeds {
@@ -122,8 +123,11 @@ void FeedConnection::AwaitCompletion() {
 }
 
 FeedStats FeedConnection::stats() {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  FeedStats snapshot;
+  snapshot.ingested = ingested_.load(std::memory_order_relaxed);
+  snapshot.stored = stored_.load(std::memory_order_relaxed);
+  snapshot.failed = failed_.load(std::memory_order_relaxed);
+  return snapshot;
 }
 
 void FeedConnection::Run() {
@@ -139,20 +143,23 @@ void FeedConnection::Run() {
     return true;
   };
 
+  auto& reg = metrics::MetricsRegistry::Default();
+  static metrics::Counter* g_ingested = reg.GetCounter("feeds.ingested");
+  static metrics::Counter* g_stored = reg.GetCounter("feeds.stored");
+  static metrics::Counter* g_failed = reg.GetCounter("feeds.failed");
+
   while (true) {
     Value record;
     auto r = next_record(&record);
     if (!r.ok() || !r.value()) break;
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.ingested;
-    }
+    ingested_.fetch_add(1, std::memory_order_relaxed);
+    g_ingested->Inc();
     // Compute stage: the feed's applied UDF.
     if (transform_) {
       auto t = transform_(record);
       if (!t.ok()) {
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++stats_.failed;
+        failed_.fetch_add(1, std::memory_order_relaxed);
+        g_failed->Inc();
         continue;
       }
       record = t.take();
@@ -163,11 +170,12 @@ void FeedConnection::Run() {
     // need not have a target when it only feeds other feeds).
     if (target_) {
       Status st = target_->Insert(record);
-      std::lock_guard<std::mutex> lock(stats_mu_);
       if (st.ok()) {
-        ++stats_.stored;
+        stored_.fetch_add(1, std::memory_order_relaxed);
+        g_stored->Inc();
       } else {
-        ++stats_.failed;
+        failed_.fetch_add(1, std::memory_order_relaxed);
+        g_failed->Inc();
       }
     }
   }

@@ -90,7 +90,9 @@ class FeedJoint {
 /// UDF); identity when null.
 using FeedTransform = std::function<Result<adm::Value>(const adm::Value&)>;
 
-/// Statistics of one ingestion pipeline.
+/// Statistics snapshot of one ingestion pipeline. Maintained lock-free as
+/// per-connection atomics (plus global feeds.* registry counters); this
+/// struct is the copy handed back by FeedConnection::stats().
 struct FeedStats {
   uint64_t ingested = 0;  // records taken in by the intake stage
   uint64_t stored = 0;    // records persisted by the store stage
@@ -124,8 +126,9 @@ class FeedConnection {
   std::thread thread_;
   std::once_flag join_once_;
   std::atomic<bool> done_{false};
-  std::mutex stats_mu_;
-  FeedStats stats_;
+  std::atomic<uint64_t> ingested_{0};
+  std::atomic<uint64_t> stored_{0};
+  std::atomic<uint64_t> failed_{0};
   // Secondary feeds receive through this queue instead of an adaptor.
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;

@@ -153,6 +153,32 @@ class MergeChannel : public InChannel {
   Status status_;
 };
 
+/// Pass-through wrapper counting consumed tuples into `*consumed` — the
+/// profiler's tuples_in hook. The counter is plain (not atomic) because a
+/// channel endpoint is pulled by exactly one operator instance thread, which
+/// also owns the counter's span.
+class CountingChannel : public InChannel {
+ public:
+  CountingChannel(InChannel* inner, uint64_t* consumed)
+      : inner_(inner), consumed_(consumed) {}
+
+  void Push(int producer, Frame frame) override {
+    inner_->Push(producer, std::move(frame));
+  }
+  void ProducerDone(int producer) override { inner_->ProducerDone(producer); }
+  void Fail(Status status) override { inner_->Fail(std::move(status)); }
+
+  Result<bool> Next(Tuple* out) override {
+    Result<bool> r = inner_->Next(out);
+    if (r.ok() && r.value()) ++*consumed_;
+    return r;
+  }
+
+ private:
+  InChannel* inner_;
+  uint64_t* consumed_;
+};
+
 }  // namespace hyracks
 }  // namespace asterix
 

@@ -5,13 +5,24 @@
 #include <mutex>
 #include <thread>
 
+#include "common/env.h"
+#include "common/metrics.h"
+
 namespace asterix {
 namespace hyracks {
 
 namespace {
 
+/// Per-connector traffic counters shared by all producer instances of the
+/// connector (hence atomic).
+struct ConnCounters {
+  std::atomic<uint64_t> tuples{0};
+  std::atomic<uint64_t> network_tuples{0};
+};
+
 /// Routes one operator instance's pushes through all of its outgoing
-/// connectors to the right destination channels, counting hops.
+/// connectors to the right destination channels, counting hops into the
+/// connector counters and the instance's span.
 class RoutingEmitter : public Emitter {
  public:
   struct Route {
@@ -20,22 +31,22 @@ class RoutingEmitter : public Emitter {
     std::vector<InChannel*> dst_channels;
     // Node of each destination instance (network accounting).
     std::vector<int> dst_nodes;
+    ConnCounters* counters = nullptr;
   };
 
   RoutingEmitter(int src_instance, int src_node, std::vector<Route> routes,
-                 std::atomic<uint64_t>* connector_tuples,
-                 std::atomic<uint64_t>* network_tuples)
+                 OperatorSpan* span)
       : src_instance_(src_instance),
         src_node_(src_node),
         routes_(std::move(routes)),
-        connector_tuples_(connector_tuples),
-        network_tuples_(network_tuples) {
+        span_(span) {
     for (auto& r : routes_) {
       buffers_.emplace_back(r.dst_channels.size());
     }
   }
 
   void Push(Tuple tuple) override {
+    ++span_->tuples_out;
     for (size_t ri = 0; ri < routes_.size(); ++ri) {
       Route& r = routes_[ri];
       int n = static_cast<int>(r.dst_channels.size());
@@ -92,9 +103,10 @@ class RoutingEmitter : public Emitter {
   void Deliver(size_t route, int dst, const Tuple& tuple) {
     Frame& buf = buffers_[route][dst];
     buf.tuples.push_back(tuple);
-    connector_tuples_->fetch_add(1, std::memory_order_relaxed);
+    routes_[route].counters->tuples.fetch_add(1, std::memory_order_relaxed);
     if (routes_[route].dst_nodes[dst] != src_node_) {
-      network_tuples_->fetch_add(1, std::memory_order_relaxed);
+      routes_[route].counters->network_tuples.fetch_add(
+          1, std::memory_order_relaxed);
     }
     if (buf.tuples.size() >= kDefaultFrameTuples) FlushBuffer(route, dst);
   }
@@ -104,27 +116,36 @@ class RoutingEmitter : public Emitter {
     if (buf.tuples.empty()) return;
     routes_[route].dst_channels[dst]->Push(src_instance_, std::move(buf));
     buf = Frame{};
+    ++span_->frames_flushed;
   }
 
   int src_instance_;
   int src_node_;
   std::vector<Route> routes_;
   std::vector<std::vector<Frame>> buffers_;  // [route][dst]
-  std::atomic<uint64_t>* connector_tuples_;
-  std::atomic<uint64_t>* network_tuples_;
+  OperatorSpan* span_;
 };
 
 }  // namespace
 
 Result<JobStats> Cluster::ExecuteJob(const JobSpec& job) {
   auto start = std::chrono::steady_clock::now();
+  auto since_start_ms = [start] {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  };
   // Model the fixed job generation/distribution overhead of a real cluster.
   if (config_.job_startup_us > 0) {
     std::this_thread::sleep_for(std::chrono::microseconds(config_.job_startup_us));
   }
 
-  std::atomic<uint64_t> connector_tuples{0};
-  std::atomic<uint64_t> network_tuples{0};
+  auto profile = std::make_shared<JobProfile>();
+  profile->job_id = jobs_executed_.load() + 1;
+  profile->num_nodes = config_.num_nodes;
+  profile->startup_ms = since_start_ms();
+
+  std::vector<ConnCounters> conn_counters(job.connectors.size());
 
   // Channels: one per (connector, destination instance). Owned here.
   std::vector<std::unique_ptr<InChannel>> channel_storage;
@@ -155,18 +176,37 @@ Result<JobStats> Cluster::ExecuteJob(const JobSpec& job) {
     return instance % config_.num_nodes;
   };
 
+  // Lay out every instance's span up front so worker threads each write
+  // only their own element (no resizing, no sharing).
+  for (const auto& op : job.operators) {
+    for (int inst = 0; inst < op.parallelism; ++inst) {
+      OperatorSpan span;
+      span.op_id = op.id;
+      span.op_name = op.name;
+      span.instance = inst;
+      span.node = node_of_instance(op, inst);
+      profile->spans.push_back(std::move(span));
+    }
+  }
+
   // Launch every operator instance.
   std::vector<std::thread> threads;
   std::mutex status_mu;
   Status first_failure;
 
+  size_t span_index = 0;
   for (const auto& op : job.operators) {
     for (int inst = 0; inst < op.parallelism; ++inst) {
-      // Gather input channels by port.
+      OperatorSpan* span = &profile->spans[span_index++];
+      // Gather input channels by port, wrapped to count consumed tuples
+      // into the instance's span (consumed single-threaded by the
+      // instance's own worker).
       std::vector<InChannel*> inputs(static_cast<size_t>(op.num_inputs), nullptr);
       for (const auto& c : job.connectors) {
         if (c.dst_op != op.id) continue;
-        inputs[static_cast<size_t>(c.dst_port)] = conn_channels[c.id][inst];
+        channel_storage.push_back(std::make_unique<CountingChannel>(
+            conn_channels[c.id][inst], &span->tuples_in));
+        inputs[static_cast<size_t>(c.dst_port)] = channel_storage.back().get();
       }
       // Gather output routes.
       std::vector<RoutingEmitter::Route> routes;
@@ -176,40 +216,78 @@ Result<JobStats> Cluster::ExecuteJob(const JobSpec& job) {
         RoutingEmitter::Route r;
         r.conn = &c;
         r.dst_channels = conn_channels[c.id];
+        r.counters = &conn_counters[static_cast<size_t>(c.id)];
         for (int d = 0; d < dst->parallelism; ++d) {
           r.dst_nodes.push_back(node_of_instance(*dst, d));
         }
         routes.push_back(std::move(r));
       }
 
-      int node = node_of_instance(op, inst);
-      threads.emplace_back([&, inputs, routes = std::move(routes), inst, node,
+      threads.emplace_back([&, inputs, routes = std::move(routes), span,
                             factory = op.factory]() mutable {
-        RoutingEmitter emitter(inst, node, std::move(routes), &connector_tuples,
-                               &network_tuples);
-        std::unique_ptr<OperatorInstance> instance = factory(inst);
+        span->start_ms = since_start_ms();
+        RoutingEmitter emitter(span->instance, span->node, std::move(routes),
+                               span);
+        std::unique_ptr<OperatorInstance> instance = factory(span->instance);
         Status st = instance->Run(inputs, &emitter);
         if (st.ok()) {
           emitter.Done();
         } else {
+          span->ok = false;
           emitter.FailAll(st);
           emitter.Done();
           std::lock_guard<std::mutex> lock(status_mu);
           if (first_failure.ok()) first_failure = st;
         }
+        span->end_ms = since_start_ms();
       });
     }
   }
   for (auto& t : threads) t.join();
   ++jobs_executed_;
 
-  if (!first_failure.ok()) return first_failure;
   JobStats stats;
-  stats.elapsed_ms = std::chrono::duration<double, std::milli>(
-                         std::chrono::steady_clock::now() - start)
-                         .count();
-  stats.connector_tuples = connector_tuples.load();
-  stats.network_tuples = network_tuples.load();
+  stats.elapsed_ms = since_start_ms();
+  profile->elapsed_ms = stats.elapsed_ms;
+  for (const auto& c : job.connectors) {
+    const ConnCounters& counters = conn_counters[static_cast<size_t>(c.id)];
+    ConnectorHops hops;
+    hops.conn_id = c.id;
+    hops.type = ConnectorTypeName(c.type);
+    hops.src_op = c.src_op;
+    hops.dst_op = c.dst_op;
+    hops.tuples = counters.tuples.load(std::memory_order_relaxed);
+    hops.network_tuples = counters.network_tuples.load(std::memory_order_relaxed);
+    stats.connector_tuples += hops.tuples;
+    stats.network_tuples += hops.network_tuples;
+    profile->connectors.push_back(std::move(hops));
+  }
+
+  {
+    auto& reg = metrics::MetricsRegistry::Default();
+    static metrics::Counter* jobs = reg.GetCounter("hyracks.jobs");
+    static metrics::Counter* conn_tuples =
+        reg.GetCounter("hyracks.connector_tuples");
+    static metrics::Counter* net_tuples =
+        reg.GetCounter("hyracks.network_tuples");
+    static metrics::Histogram* job_us = reg.GetHistogram("hyracks.job_us");
+    jobs->Inc();
+    conn_tuples->Inc(stats.connector_tuples);
+    net_tuples->Inc(stats.network_tuples);
+    job_us->Observe(static_cast<uint64_t>(stats.elapsed_ms * 1000.0));
+  }
+
+  // Optional trace sink: one Chrome trace_event file per job.
+  if (!config_.trace_dir.empty()) {
+    (void)env::CreateDirs(config_.trace_dir);
+    std::string trace = profile->ToChromeTrace();
+    std::string path = config_.trace_dir + "/job_" +
+                       std::to_string(profile->job_id) + ".trace.json";
+    (void)env::WriteFileAtomic(path, trace.data(), trace.size());
+  }
+
+  if (!first_failure.ok()) return first_failure;
+  stats.profile = std::move(profile);
   return stats;
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "hyracks/job.h"
+#include "hyracks/profile.h"
 
 namespace asterix {
 namespace hyracks {
@@ -22,6 +23,10 @@ struct ClusterConfig {
   /// real cost for thread spawning; this constant stands in for the RPC and
   /// class-loading work a real cluster adds.
   int job_startup_us = 1200;
+  /// When non-empty, the executor writes one Chrome trace_event JSON file
+  /// per job (job_<id>.trace.json) into this directory — the optional trace
+  /// sink for chrome://tracing / Perfetto inspection.
+  std::string trace_dir;
 };
 
 /// Post-execution statistics used by benches and tests.
@@ -32,6 +37,9 @@ struct JobStats {
   /// Tuples whose connector hop crossed node boundaries — the "network
   /// traffic" the local/global aggregation split minimizes (Figure 6).
   uint64_t network_tuples = 0;
+  /// Always-on execution profile: per-operator-instance spans and
+  /// per-connector hop counts (the EXPLAIN ANALYZE backbone).
+  std::shared_ptr<const JobProfile> profile;
 };
 
 /// The Cluster Controller plus its Node Controllers: accepts Hyracks jobs,

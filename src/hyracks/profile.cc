@@ -1,0 +1,213 @@
+#include "hyracks/profile.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "hyracks/job.h"
+
+namespace asterix {
+namespace hyracks {
+
+namespace {
+
+std::string FmtMs(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", ms);
+  return buf;
+}
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::vector<OperatorRollup> JobProfile::Rollup() const {
+  std::vector<OperatorRollup> rollups;
+  std::map<int, size_t> index;
+  for (const auto& s : spans) {
+    auto it = index.find(s.op_id);
+    if (it == index.end()) {
+      it = index.emplace(s.op_id, rollups.size()).first;
+      OperatorRollup r;
+      r.op_id = s.op_id;
+      r.name = s.op_name;
+      rollups.push_back(std::move(r));
+    }
+    OperatorRollup& r = rollups[it->second];
+    ++r.instances;
+    r.tuples_in += s.tuples_in;
+    r.tuples_out += s.tuples_out;
+    r.frames_flushed += s.frames_flushed;
+    r.elapsed_ms = std::max(r.elapsed_ms, s.elapsed_ms());
+  }
+  return rollups;
+}
+
+uint64_t JobProfile::TuplesOut(int op_id) const {
+  uint64_t total = 0;
+  for (const auto& s : spans) {
+    if (s.op_id == op_id) total += s.tuples_out;
+  }
+  return total;
+}
+
+uint64_t JobProfile::TuplesIn(int op_id) const {
+  uint64_t total = 0;
+  for (const auto& s : spans) {
+    if (s.op_id == op_id) total += s.tuples_in;
+  }
+  return total;
+}
+
+std::string JobProfile::ToJson() const {
+  std::string out = "{ \"job_id\": " + std::to_string(job_id) +
+                    ", \"elapsed_ms\": " + FmtMs(elapsed_ms) +
+                    ", \"startup_ms\": " + FmtMs(startup_ms) +
+                    ", \"num_nodes\": " + std::to_string(num_nodes) +
+                    ", \"operators\": [ ";
+  bool first = true;
+  for (const auto& r : Rollup()) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{ \"op\": " + std::to_string(r.op_id) + ", \"name\": ";
+    AppendJsonString(r.name, &out);
+    out += ", \"instances\": " + std::to_string(r.instances) +
+           ", \"tuples_in\": " + std::to_string(r.tuples_in) +
+           ", \"tuples_out\": " + std::to_string(r.tuples_out) +
+           ", \"frames_flushed\": " + std::to_string(r.frames_flushed) +
+           ", \"elapsed_ms\": " + FmtMs(r.elapsed_ms) + " }";
+  }
+  out += " ], \"spans\": [ ";
+  first = true;
+  for (const auto& s : spans) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{ \"op\": " + std::to_string(s.op_id) + ", \"name\": ";
+    AppendJsonString(s.op_name, &out);
+    out += ", \"instance\": " + std::to_string(s.instance) +
+           ", \"node\": " + std::to_string(s.node) +
+           ", \"start_ms\": " + FmtMs(s.start_ms) +
+           ", \"end_ms\": " + FmtMs(s.end_ms) +
+           ", \"tuples_in\": " + std::to_string(s.tuples_in) +
+           ", \"tuples_out\": " + std::to_string(s.tuples_out) +
+           ", \"frames_flushed\": " + std::to_string(s.frames_flushed) +
+           ", \"ok\": " + (s.ok ? "true" : "false") + " }";
+  }
+  out += " ], \"connectors\": [ ";
+  first = true;
+  for (const auto& c : connectors) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{ \"conn\": " + std::to_string(c.conn_id) + ", \"type\": ";
+    AppendJsonString(c.type, &out);
+    out += ", \"src_op\": " + std::to_string(c.src_op) +
+           ", \"dst_op\": " + std::to_string(c.dst_op) +
+           ", \"tuples\": " + std::to_string(c.tuples) +
+           ", \"network_tuples\": " + std::to_string(c.network_tuples) + " }";
+  }
+  out += " ] }";
+  return out;
+}
+
+std::string JobProfile::ToChromeTrace() const {
+  // "X" complete events: ts/dur in microseconds, pid = node, tid =
+  // operator instance (partition). Metadata events name each node's row.
+  std::string out = "{ \"displayTimeUnit\": \"ms\", \"traceEvents\": [ ";
+  bool first = true;
+  for (int n = 0; n < num_nodes; ++n) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{ \"name\": \"process_name\", \"ph\": \"M\", \"pid\": " +
+           std::to_string(n) + ", \"args\": { \"name\": \"node" +
+           std::to_string(n) + "\" } }";
+  }
+  for (const auto& s : spans) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{ \"name\": ";
+    AppendJsonString(s.op_name, &out);
+    out += ", \"cat\": \"operator\", \"ph\": \"X\", \"ts\": " +
+           FmtMs(s.start_ms * 1000.0) +
+           ", \"dur\": " + FmtMs(std::max(0.0, s.elapsed_ms()) * 1000.0) +
+           ", \"pid\": " + std::to_string(s.node) +
+           ", \"tid\": " + std::to_string(s.instance) +
+           ", \"args\": { \"op\": " + std::to_string(s.op_id) +
+           ", \"partition\": " + std::to_string(s.instance) +
+           ", \"tuples_in\": " + std::to_string(s.tuples_in) +
+           ", \"tuples_out\": " + std::to_string(s.tuples_out) +
+           ", \"frames_flushed\": " + std::to_string(s.frames_flushed) +
+           " } }";
+  }
+  out += " ] }";
+  return out;
+}
+
+std::string AnnotatePlan(const JobSpec& job, const JobProfile& profile) {
+  // Same topological listing as JobSpec::ToString, each operator line
+  // carrying its actuals and each edge its hop counts.
+  std::map<int, OperatorRollup> rollups;
+  for (const auto& r : profile.Rollup()) rollups[r.op_id] = r;
+  std::map<int, const ConnectorHops*> hops;
+  for (const auto& c : profile.connectors) hops[c.conn_id] = &c;
+
+  std::map<int, std::vector<const ConnectorDescriptor*>> incoming;
+  for (const auto& c : job.connectors) incoming[c.dst_op].push_back(&c);
+
+  std::vector<int> order;
+  std::map<int, int> remaining;
+  for (const auto& op : job.operators) remaining[op.id] = 0;
+  for (const auto& c : job.connectors) ++remaining[c.dst_op];
+  std::vector<int> frontier;
+  for (const auto& op : job.operators) {
+    if (remaining[op.id] == 0) frontier.push_back(op.id);
+  }
+  while (!frontier.empty()) {
+    int id = frontier.back();
+    frontier.pop_back();
+    order.push_back(id);
+    for (const auto& c : job.connectors) {
+      if (c.src_op == id && --remaining[c.dst_op] == 0) {
+        frontier.push_back(c.dst_op);
+      }
+    }
+  }
+
+  std::string out = "job profile (elapsed " + FmtMs(profile.elapsed_ms) +
+                    " ms, startup " + FmtMs(profile.startup_ms) + " ms, " +
+                    std::to_string(profile.num_nodes) + " nodes)\n";
+  for (int id : order) {
+    const OperatorDescriptor* op = job.FindOperator(id);
+    for (const auto* c : incoming[id]) {
+      const OperatorDescriptor* src = job.FindOperator(c->src_op);
+      out += "  |" + std::string(ConnectorTypeName(c->type)) + "|  (from " +
+             src->name;
+      auto hit = hops.find(c->id);
+      if (hit != hops.end()) {
+        out += ", tuples=" + std::to_string(hit->second->tuples) +
+               ", network=" + std::to_string(hit->second->network_tuples);
+      }
+      out += ")\n";
+    }
+    out += op->name + "  [x" + std::to_string(op->parallelism) + "]";
+    auto rit = rollups.find(id);
+    if (rit != rollups.end()) {
+      const OperatorRollup& r = rit->second;
+      out += "  (actual: tuples_in=" + std::to_string(r.tuples_in) +
+             ", tuples_out=" + std::to_string(r.tuples_out) +
+             ", ms=" + FmtMs(r.elapsed_ms) + ", instances=" +
+             std::to_string(r.instances) + ")";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace hyracks
+}  // namespace asterix

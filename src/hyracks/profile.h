@@ -1,0 +1,89 @@
+#ifndef ASTERIX_HYRACKS_PROFILE_H_
+#define ASTERIX_HYRACKS_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace asterix {
+namespace hyracks {
+
+struct JobSpec;
+
+/// What one operator instance (one partition of one operator) did during a
+/// job: its wall-clock span relative to job submission and its tuple/frame
+/// traffic. Filled in by the executor; each instance's worker thread owns
+/// its span exclusively until the job joins.
+struct OperatorSpan {
+  int op_id = 0;
+  std::string op_name;
+  int instance = 0;  // partition index of this instance
+  int node = 0;      // node the instance ran on
+  double start_ms = 0;  // relative to job submission
+  double end_ms = 0;
+  uint64_t tuples_in = 0;
+  uint64_t tuples_out = 0;
+  uint64_t frames_flushed = 0;
+  bool ok = true;
+
+  double elapsed_ms() const { return end_ms - start_ms; }
+};
+
+/// Per-connector hop counts: every tuple that crossed the connector, and
+/// the subset whose hop crossed node boundaries.
+struct ConnectorHops {
+  int conn_id = 0;
+  std::string type;
+  int src_op = -1;
+  int dst_op = -1;
+  uint64_t tuples = 0;
+  uint64_t network_tuples = 0;
+};
+
+/// Per-operator rollup across instances (what EXPLAIN ANALYZE prints).
+struct OperatorRollup {
+  int op_id = 0;
+  std::string name;
+  int instances = 0;
+  uint64_t tuples_in = 0;
+  uint64_t tuples_out = 0;
+  uint64_t frames_flushed = 0;
+  double elapsed_ms = 0;  // max instance span (critical-path view)
+};
+
+/// The execution profile of one Hyracks job: one span per operator instance
+/// per partition plus per-connector hop counts. Attached to JobStats by the
+/// executor; rendered as JSON, as a Chrome trace, or as an annotated plan.
+struct JobProfile {
+  uint64_t job_id = 0;
+  double elapsed_ms = 0;
+  double startup_ms = 0;  // modeled job generation/distribution overhead
+  int num_nodes = 0;
+  std::vector<OperatorSpan> spans;
+  std::vector<ConnectorHops> connectors;
+
+  /// Aggregates spans by operator, preserving first-seen (spec) order.
+  std::vector<OperatorRollup> Rollup() const;
+
+  /// Total output tuples of an operator across its instances.
+  uint64_t TuplesOut(int op_id) const;
+  uint64_t TuplesIn(int op_id) const;
+
+  /// Plain JSON rendering (bench output, MetricsJson companions).
+  std::string ToJson() const;
+
+  /// Chrome trace_event JSON ("X" complete events, one per operator
+  /// instance; pid = node, tid = instance). Loadable in chrome://tracing
+  /// and Perfetto.
+  std::string ToChromeTrace() const;
+};
+
+/// Figure-6-style job listing annotated with actuals from `profile`:
+/// per-operator output tuples, max instance ms, instance count, and
+/// per-connector hop/network counts on the edges.
+std::string AnnotatePlan(const JobSpec& job, const JobProfile& profile);
+
+}  // namespace hyracks
+}  // namespace asterix
+
+#endif  // ASTERIX_HYRACKS_PROFILE_H_

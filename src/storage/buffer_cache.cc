@@ -4,6 +4,32 @@
 #include <fstream>
 
 #include "common/env.h"
+#include "common/metrics.h"
+
+namespace {
+
+asterix::metrics::Counter* CacheHits() {
+  static asterix::metrics::Counter* c =
+      asterix::metrics::MetricsRegistry::Default().GetCounter(
+          "storage.cache.hits");
+  return c;
+}
+
+asterix::metrics::Counter* CacheMisses() {
+  static asterix::metrics::Counter* c =
+      asterix::metrics::MetricsRegistry::Default().GetCounter(
+          "storage.cache.misses");
+  return c;
+}
+
+asterix::metrics::Counter* CacheBytesRead() {
+  static asterix::metrics::Counter* c =
+      asterix::metrics::MetricsRegistry::Default().GetCounter(
+          "storage.cache.bytes_read");
+  return c;
+}
+
+}  // namespace
 
 namespace asterix {
 namespace storage {
@@ -55,10 +81,12 @@ Result<PagePtr> BufferCache::GetPage(FileId file, uint32_t page_no) {
     auto it = pages_.find(key);
     if (it != pages_.end()) {
       ++hits_;
+      CacheHits()->Inc();
       Touch(key, it->second);
       return it->second.data;
     }
     ++misses_;
+    CacheMisses()->Inc();
     auto fit = files_.find(file);
     if (fit == files_.end()) return Status::Internal("unknown file id");
     path = fit->second;
@@ -73,6 +101,7 @@ Result<PagePtr> BufferCache::GetPage(FileId file, uint32_t page_no) {
     std::streamsize got = in.gcount();
     if (got <= 0) return Status::IOError("read page past EOF: " + path);
     page->resize(static_cast<size_t>(got));
+    CacheBytesRead()->Inc(static_cast<uint64_t>(got));
   }
   std::lock_guard<std::mutex> lock(mu_);
   Key key{file, page_no};
@@ -102,6 +131,7 @@ Status BufferCache::ReadRange(FileId file, uint64_t offset, size_t n,
                static_cast<std::streamsize>(n))) {
     return Status::IOError("short read: " + path);
   }
+  CacheBytesRead()->Inc(n);
   return Status::OK();
 }
 

@@ -1,13 +1,26 @@
 #include "storage/lsm.h"
 
 #include <algorithm>
+#include <chrono>
 #include <queue>
 
 #include "common/env.h"
+#include "common/metrics.h"
 #include "common/string_utils.h"
 
 namespace asterix {
 namespace storage {
+
+namespace {
+
+uint64_t NowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // LsmLifecycle
@@ -138,6 +151,7 @@ Status LsmBTree::Flush() {
 
 Status LsmBTree::FlushLocked() {
   if (mem_.empty()) return Status::OK();
+  uint64_t flush_start_us = NowUs();
   uint64_t seq = lifecycle_.AllocateSeq();
   std::string path = lifecycle_.ComponentPath(seq);
   BTreeBuilder builder(path);
@@ -161,11 +175,21 @@ Status LsmBTree::FlushLocked() {
   info.num_entries = builder.num_entries();
   info.bytes = env::FileSize(path);
   info.max_lsn = mem_max_lsn_;
+  uint64_t flushed_bytes = info.bytes;
   disk_.push_back(DiskComponent{std::move(info), reader_r.take()});
   flushed_lsn_ = std::max(flushed_lsn_, mem_max_lsn_);
   mem_.clear();
   mem_bytes_ = 0;
   mem_max_lsn_ = 0;
+  {
+    auto& reg = metrics::MetricsRegistry::Default();
+    static metrics::Counter* flushes = reg.GetCounter("storage.lsm.flushes");
+    static metrics::Counter* bytes = reg.GetCounter("storage.lsm.bytes_flushed");
+    static metrics::Histogram* flush_us = reg.GetHistogram("storage.lsm.flush_us");
+    flushes->Inc();
+    bytes->Inc(flushed_bytes);
+    flush_us->Observe(NowUs() - flush_start_us);
+  }
   return MaybeMergeLockedImpl();
 }
 
@@ -176,6 +200,7 @@ Status LsmBTree::MaybeMerge() {
 
 Status LsmBTree::MergeComponents(size_t first, size_t count) {
   if (count < 2) return Status::OK();
+  uint64_t merge_start_us = NowUs();
   bool includes_oldest = first == 0;
   // Gather all entries from the run, newest component winning per key.
   std::map<CompositeKey, MemEntry, KeyLess> merged;
@@ -224,6 +249,15 @@ Status LsmBTree::MergeComponents(size_t first, size_t count) {
     dc.reader.reset();  // closes the file in the cache
     ASTERIX_RETURN_NOT_OK(lifecycle_.RemoveComponent(dc.info));
   }
+  {
+    auto& reg = metrics::MetricsRegistry::Default();
+    static metrics::Counter* merges = reg.GetCounter("storage.lsm.merges");
+    static metrics::Counter* bytes = reg.GetCounter("storage.lsm.bytes_merged");
+    static metrics::Histogram* merge_us = reg.GetHistogram("storage.lsm.merge_us");
+    merges->Inc();
+    bytes->Inc(info.bytes);
+    merge_us->Observe(NowUs() - merge_start_us);
+  }
   return Status::OK();
 }
 
@@ -269,12 +303,26 @@ Status LsmBTree::PointLookup(const CompositeKey& key, bool* found,
     *payload = it->second.payload;
     return Status::OK();
   }
+  auto& reg = metrics::MetricsRegistry::Default();
+  static metrics::Counter* bloom_hits = reg.GetCounter("storage.bloom.hits");
+  static metrics::Counter* bloom_misses = reg.GetCounter("storage.bloom.misses");
+  static metrics::Counter* bloom_fps =
+      reg.GetCounter("storage.bloom.false_positives");
   // Newest disk component first.
   for (size_t i = disk_.size(); i > 0; --i) {
     const auto& dc = disk_[i - 1];
+    // The bloom filter screens out components that cannot hold the key
+    // (a "miss" saves the page reads; a "hit" that finds nothing is a
+    // false positive).
+    if (!dc.reader->MayContain(key)) {
+      bloom_misses->Inc();
+      continue;
+    }
+    bloom_hits->Inc();
     bool f = false;
     IndexEntry e;
     ASTERIX_RETURN_NOT_OK(dc.reader->PointLookup(key, &f, &e));
+    if (!f) bloom_fps->Inc();
     if (f) {
       if (e.antimatter) return Status::OK();
       *found = true;

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "common/metrics.h"
+
 namespace asterix {
 namespace txn {
 
@@ -17,6 +19,12 @@ bool LockManager::Compatible(const LockState& state, TxnId txn,
 }
 
 Status LockManager::Acquire(TxnId txn, uint64_t resource, LockMode mode) {
+  auto& reg = metrics::MetricsRegistry::Default();
+  static metrics::Counter* acquires = reg.GetCounter("txn.lock.acquires");
+  static metrics::Counter* waits = reg.GetCounter("txn.lock.waits");
+  static metrics::Counter* timeouts = reg.GetCounter("txn.lock.timeouts");
+  static metrics::Histogram* wait_us = reg.GetHistogram("txn.lock.wait_us");
+  acquires->Inc();
   std::unique_lock<std::mutex> lock(mu_);
   LockState& state = locks_[resource];
   auto it = state.holders.find(txn);
@@ -26,13 +34,27 @@ Status LockManager::Acquire(TxnId txn, uint64_t resource, LockMode mode) {
     }
     // Upgrade S -> X: wait until we are the only holder.
   }
-  auto deadline = std::chrono::steady_clock::now() +
-                  std::chrono::milliseconds(timeout_ms_);
+  auto wait_start = std::chrono::steady_clock::now();
+  auto deadline = wait_start + std::chrono::milliseconds(timeout_ms_);
+  bool waited = false;
+  auto observe_wait = [&] {
+    if (!waited) return;
+    wait_us->Observe(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - wait_start)
+            .count()));
+  };
   ++state.waiters;
   while (!Compatible(state, txn, mode)) {
+    if (!waited) {
+      waited = true;
+      waits->Inc();
+    }
     if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
       --state.waiters;
       if (state.holders.empty() && state.waiters == 0) locks_.erase(resource);
+      timeouts->Inc();
+      observe_wait();
       return Status::TxnConflict("lock timeout on resource " +
                                  std::to_string(resource));
     }
@@ -40,6 +62,7 @@ Status LockManager::Acquire(TxnId txn, uint64_t resource, LockMode mode) {
   --state.waiters;
   state.holders[txn] = mode;
   txn_locks_[txn].insert(resource);
+  observe_wait();
   return Status::OK();
 }
 

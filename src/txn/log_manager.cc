@@ -4,6 +4,7 @@
 
 #include "common/bytes.h"
 #include "common/env.h"
+#include "common/metrics.h"
 
 namespace asterix {
 namespace txn {
@@ -45,9 +46,19 @@ Result<uint64_t> LogManager::Append(LogRecord* record, bool force) {
 
   out_.write(reinterpret_cast<const char*>(frame.data().data()),
              static_cast<std::streamsize>(frame.size()));
+  auto& reg = metrics::MetricsRegistry::Default();
+  static metrics::Counter* appends = reg.GetCounter("txn.wal.appends");
+  static metrics::Counter* bytes = reg.GetCounter("txn.wal.bytes");
+  static metrics::Counter* forced = reg.GetCounter("txn.wal.forced_flushes");
+  static metrics::Histogram* batch = reg.GetHistogram(
+      "txn.wal.group_commit_batch", metrics::Histogram::CountBounds());
+  appends->Inc();
+  bytes->Inc(frame.size());
   if (force) {
+    forced->Inc();
     out_.flush();
     if (group_commit_latency_us_ > 0) {
+      ++forces_since_flush_;
       auto now = std::chrono::steady_clock::now();
       auto since = std::chrono::duration_cast<std::chrono::microseconds>(
                        now - last_flush_)
@@ -58,6 +69,8 @@ Result<uint64_t> LogManager::Append(LogRecord* record, bool force) {
         std::this_thread::sleep_for(
             std::chrono::microseconds(group_commit_latency_us_));
         last_flush_ = std::chrono::steady_clock::now();
+        batch->Observe(forces_since_flush_);
+        forces_since_flush_ = 0;
       }
     }
   }

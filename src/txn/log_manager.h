@@ -70,6 +70,9 @@ class LogManager {
   std::ofstream out_;
   int64_t group_commit_latency_us_ = 0;
   std::chrono::steady_clock::time_point last_flush_{};
+  // Forces since the last lead flush; observed into the group-commit batch
+  // size histogram when a lead commit pays the device wait.
+  uint64_t forces_since_flush_ = 0;
 };
 
 }  // namespace txn

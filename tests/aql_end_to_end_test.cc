@@ -452,6 +452,51 @@ return { "name": $name, "cnt": $cnt };)aql";
   EXPECT_EQ(counts["VonKemble"], 1);
 }
 
+TEST_F(TinySocialTest, ExplainAnalyzeAnnotatesJoinActuals) {
+  // Establish the current cardinalities (other tests may have mutated them).
+  auto users_r = Run("for $u in dataset MugshotUsers return $u;");
+  ASSERT_TRUE(users_r.ok());
+  auto msgs_r = Run("for $m in dataset MugshotMessages return $m;");
+  ASSERT_TRUE(msgs_r.ok());
+  uint64_t users_card = users_r.value().values.size();
+  uint64_t msgs_card = msgs_r.value().values.size();
+  ASSERT_GT(users_card, 0u);
+  ASSERT_GT(msgs_card, 0u);
+
+  auto r = Run(R"aql(
+explain analyze
+for $user in dataset MugshotUsers
+for $message in dataset MugshotMessages
+where $message.author-id = $user.id
+return { "uname": $user.name, "message": $message.message };)aql");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // The statement's single value is the plan annotated with actuals.
+  ASSERT_EQ(r.value().values.size(), 1u);
+  std::string plan = r.value().values[0].AsString();
+  EXPECT_NE(plan.find("actual:"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("ms="), std::string::npos) << plan;
+  EXPECT_NE(plan.find("hybrid-hash-join"), std::string::npos) << plan;
+
+  // The structured profile behind the text: each dataset scan's output,
+  // summed over instances, is exactly the dataset's cardinality, on a
+  // cluster of more than one node.
+  ASSERT_TRUE(r.value().stats.profile);
+  const hyracks::JobProfile& prof = *r.value().stats.profile;
+  EXPECT_GT(prof.num_nodes, 1);
+  uint64_t users_scanned = 0, msgs_scanned = 0;
+  for (const auto& op : prof.Rollup()) {
+    if (op.name == "scan(MugshotUsers)") users_scanned = op.tuples_out;
+    if (op.name == "scan(MugshotMessages)") msgs_scanned = op.tuples_out;
+  }
+  EXPECT_EQ(users_scanned, users_card);
+  EXPECT_EQ(msgs_scanned, msgs_card);
+  // Every span is complete (started and ended), and elapsed is sane.
+  for (const auto& s : prof.spans) {
+    EXPECT_GE(s.end_ms, s.start_ms);
+    EXPECT_TRUE(s.ok);
+  }
+}
+
 }  // namespace
 }  // namespace api
 }  // namespace asterix

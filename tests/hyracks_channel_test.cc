@@ -108,7 +108,7 @@ TEST(ChannelTest, MergeChannelWaitsForSlowProducer) {
 
 class ConnectorTest : public ::testing::Test {
  protected:
-  ClusterConfig config_{2, 2, 0};  // 2 nodes x 2 partitions
+  ClusterConfig config_{2, 2, 0, ""};  // 2 nodes x 2 partitions
   Cluster cluster_{config_};
 
   // Runs src(parallelism 4, instance p emits p) -> connector -> collector

@@ -26,7 +26,7 @@ TupleEval Col(int i) {
 
 class OperatorsTest : public ::testing::Test {
  protected:
-  ClusterConfig config_{1, 1, 0};
+  ClusterConfig config_{1, 1, 0, ""};
   Cluster cluster_{config_};
 
   // value-scan(rows) -> op -> sink, all single-partition.
@@ -119,7 +119,7 @@ TEST_F(OperatorsTest, NestedLoopJoinOuterPadsNulls) {
 }
 
 TEST_F(OperatorsTest, HashShuffleConnectorBehavesLikePartitioning) {
-  ClusterConfig config{2, 2, 0};
+  ClusterConfig config{2, 2, 0, ""};
   Cluster cluster(config);
   JobSpec job;
   std::vector<Tuple> rows;
