@@ -15,7 +15,7 @@ namespace bench {
 namespace {
 
 struct Sizes {
-  uint64_t schema = 0, keyonly = 0, systx = 0, hive = 0, mongo = 0;
+  uint64_t schema = 0, keyonly = 0, column = 0, systx = 0, hive = 0, mongo = 0;
 };
 
 double Mb(uint64_t b) { return static_cast<double>(b) / (1024.0 * 1024.0); }
@@ -39,6 +39,29 @@ int Main() {
       env.asterix()->DatasetPrimaryBytes("Bench.Messages"), "size");
   messages.keyonly = CheckResult(
       env.asterix()->DatasetPrimaryBytes("Bench.MessagesKeyOnly"), "size");
+
+  // Columnar variants of the same datasets (this implementation's
+  // column-major LSM component format; the paper-era system was row-only).
+  {
+    auto* ast = env.asterix();
+    const char* ddl = R"aql(
+use dataverse Bench;
+create dataset UsersColumn(UserType) primary key id
+  with { "storage-format": "column" };
+create dataset MessagesColumn(MessageType) primary key message-id
+  with { "storage-format": "column" };
+)aql";
+    auto r = ast->Execute(ddl);
+    Check(r.ok() ? Status::OK() : r.status(), "columnar ddl");
+    Check(ast->FindDataset("Bench.UsersColumn")->LoadBulk(env.users()), "load");
+    Check(ast->FindDataset("Bench.MessagesColumn")->LoadBulk(env.messages()),
+          "load");
+    Check(ast->FlushAll(), "flush");
+    users.column =
+        CheckResult(ast->DatasetPrimaryBytes("Bench.UsersColumn"), "size");
+    messages.column =
+        CheckResult(ast->DatasetPrimaryBytes("Bench.MessagesColumn"), "size");
+  }
 
   // System-X: normalized tables; a dataset's size is its table family.
   Check(env.systx()->PersistAll(), "persist systx");
@@ -73,16 +96,22 @@ create type TweetType as {
 create type TweetKeyOnly as { tweetid: int64 }
 create dataset Tweets(TweetType) primary key tweetid;
 create dataset TweetsKeyOnly(TweetKeyOnly) primary key tweetid;
+create dataset TweetsColumn(TweetType) primary key tweetid
+  with { "storage-format": "column" };
 )aql";
     auto r = ast->Execute(ddl);
     Check(r.ok() ? Status::OK() : r.status(), "tweet ddl");
     Check(ast->FindDataset("Bench.Tweets")->LoadBulk(env.tweets()), "load");
     Check(ast->FindDataset("Bench.TweetsKeyOnly")->LoadBulk(env.tweets()),
           "load");
+    Check(ast->FindDataset("Bench.TweetsColumn")->LoadBulk(env.tweets()),
+          "load");
     Check(ast->FlushAll(), "flush");
     tweets.schema = CheckResult(ast->DatasetPrimaryBytes("Bench.Tweets"), "sz");
     tweets.keyonly =
         CheckResult(ast->DatasetPrimaryBytes("Bench.TweetsKeyOnly"), "sz");
+    tweets.column =
+        CheckResult(ast->DatasetPrimaryBytes("Bench.TweetsColumn"), "sz");
 
     baselines::DocStore mongo_tweets(env.dir() + "/mongo", "tweets", "tweetid");
     Check(mongo_tweets.LoadBulk(env.tweets()), "mongo tweets");
@@ -163,6 +192,7 @@ create dataset TweetsKeyOnly(TweetKeyOnly) primary key tweetid;
   };
   row("Asterix (Schema)", users.schema, messages.schema, tweets.schema);
   row("Asterix (KeyOnly)", users.keyonly, messages.keyonly, tweets.keyonly);
+  row("Asterix (Column)", users.column, messages.column, tweets.column);
   row("Syst-X", users.systx, messages.systx, tweets.systx);
   row("Hive", users.hive, messages.hive, tweets.hive);
   row("Mongo", users.mongo, messages.mongo, tweets.mongo);
@@ -182,6 +212,21 @@ create dataset TweetsKeyOnly(TweetKeyOnly) primary key tweetid;
   claim(users.mongo > users.schema && messages.mongo > messages.schema,
         "Mongo (self-describing docs) larger than Asterix Schema");
   claim(tweets.keyonly > tweets.schema, "Tweets: KeyOnly > Schema");
+  claim(users.column < users.keyonly && messages.column < messages.keyonly &&
+            tweets.column < tweets.keyonly,
+        "Columnar format smaller than KeyOnly (no per-record field names)");
+
+  BenchJsonDump dump("table2_sizes");
+  dump.Add("users_schema_mb", Mb(users.schema), nullptr);
+  dump.Add("users_keyonly_mb", Mb(users.keyonly), nullptr);
+  dump.Add("users_column_mb", Mb(users.column), nullptr);
+  dump.Add("messages_schema_mb", Mb(messages.schema), nullptr);
+  dump.Add("messages_keyonly_mb", Mb(messages.keyonly), nullptr);
+  dump.Add("messages_column_mb", Mb(messages.column), nullptr);
+  dump.Add("tweets_schema_mb", Mb(tweets.schema), nullptr);
+  dump.Add("tweets_keyonly_mb", Mb(tweets.keyonly), nullptr);
+  dump.Add("tweets_column_mb", Mb(tweets.column), nullptr);
+  dump.Write();
   return ok ? 0 : 1;
 }
 

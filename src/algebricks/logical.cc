@@ -86,6 +86,17 @@ std::string LogicalOp::ToString(int indent) const {
       if (access_path.kind != AccessPath::Kind::kNone) {
         line += "  [index: " + access_path.index_name + "]";
       }
+      if (!scan_project_all) {
+        line += "  project=[";
+        for (size_t i = 0; i < projected_fields.size(); ++i) {
+          if (i) line += ",";
+          line += projected_fields[i];
+        }
+        line += "]";
+      }
+      if (!scan_ranges.empty()) {
+        line += "  ranges=" + std::to_string(scan_ranges.size());
+      }
       break;
     case Kind::kUnnest:
       line += std::string(outer ? "outer-unnest" : "unnest") + " $" + var +

@@ -2,6 +2,7 @@
 #define ASTERIX_ALGEBRICKS_LOGICAL_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -75,6 +76,25 @@ struct LogicalOp {
   bool skip_index = false;  // select: /*+ skip-index */ hint
   JoinHint join_hint = JoinHint::kNone;
   AccessPath access_path;  // scan only
+
+  /// A sargable constant range on one record field, recorded on a scan by
+  /// the projection-pushdown rule. Purely an enabling hint for columnar
+  /// min/max page skipping: the Select above the scan still applies the
+  /// full predicate, so dropping a range never changes results.
+  struct ScanRange {
+    std::string field;
+    std::optional<adm::Value> lo, hi;
+    bool lo_inclusive = true, hi_inclusive = true;
+  };
+
+  /// Projection pushed into a data-source scan: when `scan_project_all` is
+  /// false, downstream operators touch only `projected_fields` of the
+  /// record, so the scan may materialize just those (column stores read
+  /// only the touched column pages). The interpreter ignores these — they
+  /// are a physical-read optimization, never a semantic change.
+  bool scan_project_all = true;             // scan only
+  std::vector<std::string> projected_fields;  // scan only
+  std::vector<ScanRange> scan_ranges;         // scan only
 
   std::vector<std::pair<std::string, ExprPtr>> group_keys;
   /// (bag var, source var): after grouping, bag var holds the bag of the

@@ -273,9 +273,27 @@ Result<PhysicalCompiler::Stream> PhysicalCompiler::CompileScan(
   Stream s;
   s.parallelism = static_cast<int>(ds->num_partitions());
 
+  // Projection pushed down by the optimizer: full scans and primary range
+  // scans materialize only the fields downstream operators touch, plus the
+  // sargable ranges for columnar min/max page skipping. Index-based paths
+  // go through primary point lookups and always fetch whole records.
+  storage::column::Projection proj = storage::column::Projection::All();
+  if (!op->scan_project_all) {
+    proj = storage::column::Projection::Of(op->projected_fields);
+    for (const auto& r : op->scan_ranges) {
+      storage::column::FieldRange fr;
+      fr.field = r.field;
+      fr.lo = r.lo;
+      fr.hi = r.hi;
+      fr.lo_inclusive = r.lo_inclusive;
+      fr.hi_inclusive = r.hi_inclusive;
+      proj.ranges.push_back(std::move(fr));
+    }
+  }
+
   const AccessPath& ap = op->access_path;
   if (ap.kind == AccessPath::Kind::kNone) {
-    s.op_id = job->AddOperator(hyracks::MakeDatasetScan(ds));
+    s.op_id = job->AddOperator(hyracks::MakeDatasetScan(ds, std::move(proj)));
     s.schema[op->var] = 0;
     s.width = 1;
     return s;
@@ -291,7 +309,8 @@ Result<PhysicalCompiler::Stream> PhysicalCompiler::CompileScan(
       bounds.hi = storage::CompositeKey{ap.hi->constant};
       bounds.hi_inclusive = ap.hi_inclusive;
     }
-    s.op_id = job->AddOperator(hyracks::MakePrimaryRangeScan(ds, bounds));
+    s.op_id = job->AddOperator(
+        hyracks::MakePrimaryRangeScan(ds, bounds, std::move(proj)));
     s.schema[op->var] = 0;
     s.width = 1;
     return s;

@@ -643,6 +643,158 @@ bool TryInvertedAccess(const LogicalOpPtr& select, const LogicalOpPtr& scan,
   return false;
 }
 
+// ---------------------------------------------------------------------------
+// Projection pushdown (paper §2.3 / columnar storage): compute which fields
+// of each scan's record downstream operators actually touch and record the
+// set on the scan, plus any sargable constant ranges from the Select directly
+// above it. Purely a physical-read optimization: scans materialize fewer
+// column pages; results are unchanged (the Select still applies the full
+// predicate, and absent fields evaluate to MISSING exactly as before only
+// when nothing reads them).
+// ---------------------------------------------------------------------------
+
+void CollectScans(const LogicalOpPtr& op, std::vector<LogicalOpPtr>* out) {
+  if (op->kind == LogicalOp::Kind::kDataSourceScan) out->push_back(op);
+  for (const auto& in : op->inputs) CollectScans(in, out);
+}
+
+bool OpContains(const LogicalOpPtr& root, const LogicalOp* target) {
+  if (root.get() == target) return true;
+  for (const auto& in : root->inputs) {
+    if (OpContains(in, target)) return true;
+  }
+  return false;
+}
+
+void CollectVarUsesOp(const LogicalOpPtr& op, const LogicalOp* scan,
+                      const std::string& v, bool* whole,
+                      std::set<std::string>* fields);
+
+// Walks an expression recording which fields of `v` it reads. Any use of
+// `v` other than a direct FieldAccess(Var(v), f) forces the whole record.
+// Shadowing inside subplans/quantifiers only over-collects (safe).
+void CollectVarUsesExpr(const ExprPtr& e, const std::string& v, bool* whole,
+                        std::set<std::string>* fields) {
+  if (!e) return;
+  if (e->kind == Expr::Kind::kVar) {
+    if (e->var == v) *whole = true;
+    return;
+  }
+  if (e->kind == Expr::Kind::kFieldAccess &&
+      e->base->kind == Expr::Kind::kVar && e->base->var == v) {
+    fields->insert(e->field);
+    return;
+  }
+  if (e->base) CollectVarUsesExpr(e->base, v, whole, fields);
+  for (const auto& a : e->args) CollectVarUsesExpr(a, v, whole, fields);
+  if (e->kind == Expr::Kind::kSubplan && e->subplan) {
+    CollectVarUsesOp(e->subplan, nullptr, v, whole, fields);
+  }
+}
+
+void CollectVarUsesOp(const LogicalOpPtr& op, const LogicalOp* scan,
+                      const std::string& v, bool* whole,
+                      std::set<std::string>* fields) {
+  if (op.get() == scan) {
+    // The scan itself binds `v`; its own exprs (access-path bounds) are
+    // constants and cannot reference it.
+  } else {
+    // Distinct compares full binding tuples; a group-by `with` clause bags
+    // up whole source values. Either forces full materialization when the
+    // scan's binding is in scope (i.e. the scan is in this op's subtree).
+    bool covers = !scan || OpContains(op, scan);
+    if (covers && op->kind == LogicalOp::Kind::kDistinct) *whole = true;
+    if (covers) {
+      for (const auto& [bag, src] : op->with_vars) {
+        (void)bag;
+        if (src == v) *whole = true;
+      }
+    }
+    CollectVarUsesExpr(op->expr, v, whole, fields);
+    for (const auto& [gv, ge] : op->group_keys) {
+      (void)gv;
+      CollectVarUsesExpr(ge, v, whole, fields);
+    }
+    for (const auto& a : op->aggs) CollectVarUsesExpr(a.arg, v, whole, fields);
+    for (const auto& [oe, asc] : op->order_keys) {
+      (void)asc;
+      CollectVarUsesExpr(oe, v, whole, fields);
+    }
+  }
+  for (const auto& in : op->inputs) {
+    CollectVarUsesOp(in, scan, v, whole, fields);
+  }
+}
+
+// Records sargable constant ranges from the Select directly above a scan
+// (for columnar min/max page skipping). The Select stays in place.
+void AttachScanRanges(const LogicalOpPtr& op) {
+  for (const auto& in : op->inputs) AttachScanRanges(in);
+  if (op->kind != LogicalOp::Kind::kSelect || op->inputs.empty()) return;
+  const LogicalOpPtr& child = op->inputs[0];
+  if (child->kind != LogicalOp::Kind::kDataSourceScan) return;
+  std::vector<ExprPtr> conjuncts;
+  FlattenConjuncts(op->expr, &conjuncts);
+  for (const auto& c : conjuncts) {
+    if (c->kind != Expr::Kind::kCompare) continue;
+    std::string field;
+    ExprPtr constant;
+    std::string cmp = c->fn;
+    if (MatchFieldOfVar(c->args[0], child->var, &field) &&
+        c->args[1]->kind == Expr::Kind::kConst) {
+      constant = c->args[1];
+    } else if (MatchFieldOfVar(c->args[1], child->var, &field) &&
+               c->args[0]->kind == Expr::Kind::kConst) {
+      constant = c->args[0];
+      // Flip: const OP field  ==  field FLIP(OP) const.
+      if (cmp == "<") cmp = ">";
+      else if (cmp == "<=") cmp = ">=";
+      else if (cmp == ">") cmp = "<";
+      else if (cmp == ">=") cmp = "<=";
+    } else {
+      continue;
+    }
+    const Value& cv = constant->constant;
+    if (cv.IsUnknown()) continue;
+    LogicalOp::ScanRange r;
+    r.field = field;
+    if (cmp == "=") {
+      r.lo = cv;
+      r.hi = cv;
+    } else if (cmp == "<") {
+      r.hi = cv;
+      r.hi_inclusive = false;
+    } else if (cmp == "<=") {
+      r.hi = cv;
+    } else if (cmp == ">") {
+      r.lo = cv;
+      r.lo_inclusive = false;
+    } else if (cmp == ">=") {
+      r.lo = cv;
+    } else {
+      continue;  // != and ~= cannot prune via min/max
+    }
+    child->scan_ranges.push_back(std::move(r));
+  }
+}
+
+bool PushProjectionIntoScan(const LogicalOpPtr& root) {
+  std::vector<LogicalOpPtr> scans;
+  CollectScans(root, &scans);
+  bool changed = false;
+  for (const auto& scan : scans) {
+    bool whole = false;
+    std::set<std::string> fields;
+    CollectVarUsesOp(root, scan.get(), scan->var, &whole, &fields);
+    if (whole) continue;
+    scan->scan_project_all = false;
+    scan->projected_fields.assign(fields.begin(), fields.end());
+    changed = true;
+  }
+  AttachScanRanges(root);
+  return changed;
+}
+
 bool IntroduceIndexAccess(const LogicalOpPtr& op, const RuleCatalog& catalog) {
   bool changed = false;
   for (const auto& in : op->inputs) changed |= IntroduceIndexAccess(in, catalog);
@@ -675,6 +827,7 @@ Result<LogicalOpPtr> Optimize(const LogicalOpPtr& plan,
   }
   if (options.rewrite_group_aggregation) RewriteGroupAggregation(p);
   if (options.use_indexes) IntroduceIndexAccess(p, catalog);
+  if (options.push_projection_into_scan) PushProjectionIntoScan(p);
   return p;
 }
 
@@ -690,6 +843,7 @@ std::vector<std::string> RuleNames() {
       "introduce-rtree-access-path",
       "introduce-inverted-keyword-access-path",
       "introduce-inverted-ngram-access-path (T-occurrence)",
+      "push-projection-into-scan (columnar page pruning)",
       "split-aggregation-local-global (physical)",
       "introduce-exchange-partitioning (physical)",
       "sort-primary-keys-before-primary-lookup (physical)",

@@ -47,6 +47,10 @@ struct OptimizerOptions {
   bool split_aggregation = true;
   /// Paper: "AsterixDB does not push limits into sort operations yet".
   bool push_limit_into_sort = false;
+  /// Record the set of referenced record fields (and sargable constant
+  /// ranges) on each data-source scan so columnar datasets materialize
+  /// only the touched column pages. Never changes results.
+  bool push_projection_into_scan = true;
 };
 
 /// Runs the rewrite pipeline over (a copy of) the plan.

@@ -76,6 +76,15 @@ AsterixInstance::~AsterixInstance() {
 
 Status AsterixInstance::Boot() {
   ASTERIX_RETURN_NOT_OK(env::CreateDirs(config_.base_dir));
+  // Register the columnar-storage counters up front so MetricsJson() lists
+  // them (at zero) even before the first columnar dataset sees traffic.
+  auto& reg = metrics::MetricsRegistry::Default();
+  for (const char* name :
+       {"storage.column.pages_read", "storage.column.bytes_read",
+        "storage.column.bytes_skipped", "storage.column.pages_pruned_minmax",
+        "storage.column.bytes_flushed", "storage.column.bytes_merged"}) {
+    reg.GetCounter(name);
+  }
   cache_ = std::make_unique<storage::BufferCache>(1u << 16);
   txns_ = std::make_unique<txn::TxnManager>(config_.base_dir + "/wal.log",
                                             config_.lock_timeout_ms,
@@ -301,6 +310,32 @@ Status AsterixInstance::ExecuteDdl(const aql::Statement& st) {
       def.type = type;
       def.primary_key_fields = st.primary_key;
       def.autogenerated_key = st.autogenerated_key;
+      for (const auto& [key, value] : st.with_params) {
+        if (key == "storage-format") {
+          if (value == "row") {
+            def.storage_format = storage::StorageFormat::kRow;
+          } else if (value == "column") {
+            def.storage_format = storage::StorageFormat::kColumn;
+          } else {
+            return Status::InvalidArgument(
+                "storage-format must be \"row\" or \"column\", got \"" +
+                value + "\"");
+          }
+        } else if (key == "compression") {
+          if (value == "none") {
+            def.compress = false;
+          } else if (value == "lz") {
+            def.compress = true;
+          } else {
+            return Status::InvalidArgument(
+                "compression must be \"none\" or \"lz\", got \"" + value +
+                "\"");
+          }
+        } else {
+          return Status::InvalidArgument("unknown dataset option \"" + key +
+                                         "\"");
+        }
+      }
       ASTERIX_RETURN_NOT_OK(metadata_->RegisterDataset(def, st.type_name));
       return InstantiateDataset(def);
     }

@@ -469,6 +469,21 @@ Result<Statement> Parser::ParseCreateDataset(bool external) {
     if (!ConsumePunct(",")) break;
   }
   if (ConsumeIdent("autogenerated")) st.autogenerated_key = true;
+  // Storage options: with { "storage-format": "column", "compression": "lz" }.
+  if (ConsumeIdent("with")) {
+    ASTERIX_RETURN_NOT_OK(ExpectPunct("{"));
+    if (!ConsumePunct("}")) {
+      while (true) {
+        ASTERIX_ASSIGN_OR_RETURN(std::string key, ExpectString());
+        ASTERIX_RETURN_NOT_OK(ExpectPunct(":"));
+        ASTERIX_ASSIGN_OR_RETURN(std::string value, ExpectString());
+        st.with_params[key] = value;
+        if (ConsumePunct(",")) continue;
+        ASTERIX_RETURN_NOT_OK(ExpectPunct("}"));
+        break;
+      }
+    }
+  }
   return st;
 }
 

@@ -45,6 +45,8 @@ class RoutingEmitter : public Emitter {
     }
   }
 
+  void AddBytesRead(uint64_t n) override { span_->bytes_read += n; }
+
   void Push(Tuple tuple) override {
     ++span_->tuples_out;
     for (size_t ri = 0; ri < routes_.size(); ++ri) {

@@ -19,6 +19,9 @@ class Emitter {
   virtual void Push(Tuple tuple) = 0;
   /// Flushes buffered frames (executor also flushes at operator close).
   virtual void Flush() = 0;
+  /// Storage bytes this operator instance read; scan operators report
+  /// their physical I/O here so profiles can show bytes-read per scan.
+  virtual void AddBytesRead(uint64_t) {}
 };
 
 /// A per-partition runtime instance of an operator. `inputs[p]` is the

@@ -179,36 +179,58 @@ OperatorDescriptor MakeUnion(int parallelism, int num_inputs) {
   return op;
 }
 
-OperatorDescriptor MakeDatasetScan(storage::PartitionedDataset* dataset) {
+OperatorDescriptor MakeDatasetScan(storage::PartitionedDataset* dataset,
+                                   storage::column::Projection projection) {
   OperatorDescriptor op;
-  op.name = "scan(" + dataset->def().name + ")";
+  bool columnar =
+      dataset->def().storage_format == storage::StorageFormat::kColumn;
+  op.name = std::string(columnar ? "column-scan(" : "scan(") +
+            dataset->def().name + ")";
+  std::string ptag = projection.ToString();
+  if (!ptag.empty()) op.name += " " + ptag;
   op.parallelism = static_cast<int>(dataset->num_partitions());
   op.num_inputs = 0;
-  op.factory = Lambda([dataset](int p, const std::vector<InChannel*>&,
-                                Emitter* out) {
-    return dataset->partition(static_cast<uint32_t>(p))
-        ->ScanAll([&](const Value& rec) {
-          out->Push({rec});
-          return Status::OK();
-        });
+  auto proj = std::make_shared<storage::column::Projection>(std::move(projection));
+  op.factory = Lambda([dataset, proj](int p, const std::vector<InChannel*>&,
+                                      Emitter* out) {
+    storage::column::ProjectedScanStats stats;
+    Status st = dataset->partition(static_cast<uint32_t>(p))
+                    ->ProjectedScan(storage::ScanBounds{}, *proj,
+                                    [&](const Value& rec) {
+                                      out->Push({rec});
+                                      return Status::OK();
+                                    },
+                                    &stats);
+    out->AddBytesRead(stats.bytes_read);
+    return st;
   });
   return op;
 }
 
 OperatorDescriptor MakePrimaryRangeScan(storage::PartitionedDataset* dataset,
-                                        storage::ScanBounds bounds) {
+                                        storage::ScanBounds bounds,
+                                        storage::column::Projection projection) {
   OperatorDescriptor op;
   op.name = "btree-range-scan(" + dataset->def().name + ")";
+  std::string ptag = projection.ToString();
+  if (!ptag.empty()) op.name += " " + ptag;
   op.parallelism = static_cast<int>(dataset->num_partitions());
   op.num_inputs = 0;
   auto shared = std::make_shared<storage::ScanBounds>(std::move(bounds));
-  op.factory = Lambda([dataset, shared](int p, const std::vector<InChannel*>&,
-                                        Emitter* out) {
-    return dataset->partition(static_cast<uint32_t>(p))
-        ->PrimaryRangeScan(*shared, [&](const Value& rec) {
-          out->Push({rec});
-          return Status::OK();
-        });
+  auto proj = std::make_shared<storage::column::Projection>(std::move(projection));
+  op.factory = Lambda([dataset, shared, proj](int p,
+                                              const std::vector<InChannel*>&,
+                                              Emitter* out) {
+    storage::column::ProjectedScanStats stats;
+    Status st = dataset->partition(static_cast<uint32_t>(p))
+                    ->ProjectedScan(*shared, *proj,
+                                    [&](const Value& rec) {
+                                      out->Push({rec});
+                                      return Status::OK();
+                                    },
+                                    &stats);
+    out->AddBytesRead(stats.bytes_read);
+    return st;
   });
   return op;
 }

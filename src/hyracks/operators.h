@@ -39,11 +39,20 @@ OperatorDescriptor MakeUnion(int parallelism, int num_inputs);
 
 /// Full scan of a partitioned dataset: instance p scans storage partition p,
 /// emitting [record] tuples. parallelism = #partitions.
-OperatorDescriptor MakeDatasetScan(storage::PartitionedDataset* dataset);
+/// `projection` restricts which record fields are materialized: on columnar
+/// datasets only the touched column pages are read (with min/max page
+/// skipping for range predicates); on row datasets the whole record is read
+/// and trimmed. Physical bytes read are reported to the emitter for
+/// EXPLAIN ANALYZE.
+OperatorDescriptor MakeDatasetScan(
+    storage::PartitionedDataset* dataset,
+    storage::column::Projection projection = storage::column::Projection::All());
 
-/// Primary-index range scan with constant bounds; emits [record].
-OperatorDescriptor MakePrimaryRangeScan(storage::PartitionedDataset* dataset,
-                                        storage::ScanBounds bounds);
+/// Primary-index range scan with constant bounds; emits [record]. See
+/// MakeDatasetScan for projection semantics.
+OperatorDescriptor MakePrimaryRangeScan(
+    storage::PartitionedDataset* dataset, storage::ScanBounds bounds,
+    storage::column::Projection projection = storage::column::Projection::All());
 
 /// Primary-index point lookups driven by input tuples: `key_columns` name
 /// the input columns holding the primary key; each match emits

@@ -45,6 +45,7 @@ std::vector<OperatorRollup> JobProfile::Rollup() const {
     r.tuples_in += s.tuples_in;
     r.tuples_out += s.tuples_out;
     r.frames_flushed += s.frames_flushed;
+    r.bytes_read += s.bytes_read;
     r.elapsed_ms = std::max(r.elapsed_ms, s.elapsed_ms());
   }
   return rollups;
@@ -82,6 +83,7 @@ std::string JobProfile::ToJson() const {
            ", \"tuples_in\": " + std::to_string(r.tuples_in) +
            ", \"tuples_out\": " + std::to_string(r.tuples_out) +
            ", \"frames_flushed\": " + std::to_string(r.frames_flushed) +
+           ", \"bytes_read\": " + std::to_string(r.bytes_read) +
            ", \"elapsed_ms\": " + FmtMs(r.elapsed_ms) + " }";
   }
   out += " ], \"spans\": [ ";
@@ -98,6 +100,7 @@ std::string JobProfile::ToJson() const {
            ", \"tuples_in\": " + std::to_string(s.tuples_in) +
            ", \"tuples_out\": " + std::to_string(s.tuples_out) +
            ", \"frames_flushed\": " + std::to_string(s.frames_flushed) +
+           ", \"bytes_read\": " + std::to_string(s.bytes_read) +
            ", \"ok\": " + (s.ok ? "true" : "false") + " }";
   }
   out += " ], \"connectors\": [ ";
@@ -200,8 +203,11 @@ std::string AnnotatePlan(const JobSpec& job, const JobProfile& profile) {
     if (rit != rollups.end()) {
       const OperatorRollup& r = rit->second;
       out += "  (actual: tuples_in=" + std::to_string(r.tuples_in) +
-             ", tuples_out=" + std::to_string(r.tuples_out) +
-             ", ms=" + FmtMs(r.elapsed_ms) + ", instances=" +
+             ", tuples_out=" + std::to_string(r.tuples_out);
+      if (r.bytes_read > 0) {
+        out += ", bytes_read=" + std::to_string(r.bytes_read);
+      }
+      out += ", ms=" + FmtMs(r.elapsed_ms) + ", instances=" +
              std::to_string(r.instances) + ")";
     }
     out += "\n";

@@ -24,6 +24,10 @@ struct OperatorSpan {
   uint64_t tuples_in = 0;
   uint64_t tuples_out = 0;
   uint64_t frames_flushed = 0;
+  /// Storage bytes physically read by this instance (scan operators; zero
+  /// for compute-only operators). On columnar scans this excludes pages
+  /// skipped by projection/min-max pruning.
+  uint64_t bytes_read = 0;
   bool ok = true;
 
   double elapsed_ms() const { return end_ms - start_ms; }
@@ -48,6 +52,7 @@ struct OperatorRollup {
   uint64_t tuples_in = 0;
   uint64_t tuples_out = 0;
   uint64_t frames_flushed = 0;
+  uint64_t bytes_read = 0;
   double elapsed_ms = 0;  // max instance span (critical-path view)
 };
 

@@ -349,6 +349,11 @@ Status MetadataManager::RegisterDataset(const DatasetDef& def,
           .Add("DatasetId", Value::Int64(def.dataset_id))
           .Add("PrimaryKey", StringList(def.primary_key_fields))
           .Add("Autogenerated", Value::Boolean(def.autogenerated_key))
+          .Add("StorageFormat",
+               Value::String(def.storage_format == storage::StorageFormat::kColumn
+                                 ? "column"
+                                 : "row"))
+          .Add("Compressed", Value::Boolean(def.compress))
           .Build()));
   for (const auto& ix : def.secondary_indexes) {
     ASTERIX_RETURN_NOT_OK(
@@ -435,6 +440,13 @@ MetadataManager::ListInternalDatasets() {
     def.primary_key_fields = ListStrings(rec.GetField("PrimaryKey"));
     const Value& autogen = rec.GetField("Autogenerated");
     def.autogenerated_key = !autogen.IsUnknown() && autogen.AsBoolean();
+    // Tolerant of records written before the columnar-format release.
+    const Value& fmt = rec.GetField("StorageFormat");
+    def.storage_format = !fmt.IsUnknown() && fmt.AsString() == "column"
+                             ? storage::StorageFormat::kColumn
+                             : storage::StorageFormat::kRow;
+    const Value& comp = rec.GetField("Compressed");
+    def.compress = !comp.IsUnknown() && comp.AsBoolean();
     std::string type_name = rec.GetField("DatatypeName").AsString();
     auto type_r = GetDatatype(def.dataverse, type_name);
     if (!type_r.ok()) return type_r.status();

@@ -70,7 +70,14 @@ DatasetPartition::DatasetPartition(BufferCache* cache, std::string dir,
       txns_(txns),
       options_(options) {
   env::CreateDirs(dir_);
-  primary_ = std::make_unique<LsmBTree>(cache_, dir_, "primary", options_);
+  // The primary tree carries the dataset's storage format, compression
+  // flag, and record type; secondaries stay row-major (options_ as given —
+  // their entries are composite keys, not wide records).
+  LsmOptions primary_opts = options_;
+  primary_opts.format = def_.storage_format;
+  primary_opts.compress = def_.compress;
+  primary_opts.record_type = def_.type;
+  primary_ = std::make_unique<LsmBTree>(cache_, dir_, "primary", primary_opts);
   for (const auto& ix : def_.secondary_indexes) {
     switch (ix.kind) {
       case IndexKind::kBTree:
@@ -335,6 +342,18 @@ Status DatasetPartition::PrimaryRangeScan(
     ASTERIX_ASSIGN_OR_RETURN(adm::Value v, DeserializeRecord(e.payload));
     return cb(v);
   });
+}
+
+Status DatasetPartition::ProjectedScan(
+    const ScanBounds& bounds, const column::Projection& projection,
+    const std::function<Status(const adm::Value&)>& cb,
+    column::ProjectedScanStats* stats) {
+  return primary_->ProjectedScan(
+      bounds, projection,
+      [&](const CompositeKey&, bool, const adm::Value& record) {
+        return cb(record);
+      },
+      stats);
 }
 
 Status DatasetPartition::SecondaryRangeScan(const std::string& index_name,

@@ -4,9 +4,12 @@
 #include <chrono>
 #include <queue>
 
+#include "adm/serde.h"
+#include "common/compress.h"
 #include "common/env.h"
 #include "common/metrics.h"
 #include "common/string_utils.h"
+#include "storage/column/column_component.h"
 
 namespace asterix {
 namespace storage {
@@ -19,6 +22,104 @@ uint64_t NowUs() {
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
 }
+
+// Per-entry payload framing for compressed row components: [codec][bytes],
+// codec 0 = raw, 1 = LZ (only kept when it actually shrinks the payload).
+// Readers below this layer always hand back the unframed logical payload.
+std::vector<uint8_t> EncodeRowPayload(const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> out;
+  std::vector<uint8_t> packed = LzCompress(payload.data(), payload.size());
+  if (packed.size() < payload.size()) {
+    out.reserve(packed.size() + 1);
+    out.push_back(1);
+    out.insert(out.end(), packed.begin(), packed.end());
+  } else {
+    out.reserve(payload.size() + 1);
+    out.push_back(0);
+    out.insert(out.end(), payload.begin(), payload.end());
+  }
+  {
+    auto& reg = metrics::MetricsRegistry::Default();
+    static metrics::Counter* raw = reg.GetCounter("storage.compress.bytes_raw");
+    static metrics::Counter* stored =
+        reg.GetCounter("storage.compress.bytes_stored");
+    raw->Inc(payload.size());
+    stored->Inc(out.size() - 1);
+  }
+  return out;
+}
+
+Status DecodeRowPayload(std::vector<uint8_t>* payload) {
+  if (payload->empty()) return Status::Corruption("empty framed payload");
+  uint8_t codec = (*payload)[0];
+  if (codec == 0) {
+    payload->erase(payload->begin());
+    return Status::OK();
+  }
+  if (codec != 1) return Status::Corruption("unknown payload codec");
+  std::vector<uint8_t> out;
+  ASTERIX_RETURN_NOT_OK(LzDecompress(payload->data() + 1, payload->size() - 1, &out));
+  *payload = std::move(out);
+  return Status::OK();
+}
+
+/// Adapts the row-major B+-tree component to the DiskComponentReader
+/// interface. ProjectedScan is a fallback: the row layout must read and
+/// deserialize every record regardless of the projection — the cost gap
+/// the column format exists to close.
+class RowComponentReader : public DiskComponentReader {
+ public:
+  RowComponentReader(std::shared_ptr<BTreeReader> btree, adm::DatatypePtr type,
+                     bool compressed)
+      : btree_(std::move(btree)), type_(std::move(type)),
+        compressed_(compressed) {}
+
+  Status PointLookup(const CompositeKey& key, bool* found,
+                     IndexEntry* out) override {
+    ASTERIX_RETURN_NOT_OK(btree_->PointLookup(key, found, out));
+    if (*found && !out->antimatter && compressed_) {
+      ASTERIX_RETURN_NOT_OK(DecodeRowPayload(&out->payload));
+    }
+    return Status::OK();
+  }
+
+  Status RangeScan(const ScanBounds& bounds,
+                   const EntryCallback& cb) const override {
+    if (!compressed_) return btree_->RangeScan(bounds, cb);
+    return btree_->RangeScan(bounds, [&](const IndexEntry& e) {
+      if (e.antimatter) return cb(e);
+      IndexEntry plain = e;
+      ASTERIX_RETURN_NOT_OK(DecodeRowPayload(&plain.payload));
+      return cb(plain);
+    });
+  }
+
+  Status ProjectedScan(const ScanBounds& bounds, const column::Projection& proj,
+                       bool allow_pruning,
+                       const column::ProjectedEntryCallback& cb,
+                       column::ProjectedScanStats* stats) const override {
+    (void)allow_pruning;  // no page stats in the row layout
+    return btree_->RangeScan(bounds, [&](const IndexEntry& e) {
+      if (stats != nullptr) stats->bytes_read += e.payload.size();
+      if (e.antimatter) return cb(e.key, true, adm::Value::Missing());
+      std::vector<uint8_t> payload = e.payload;
+      if (compressed_) ASTERIX_RETURN_NOT_OK(DecodeRowPayload(&payload));
+      BytesReader r(payload);
+      adm::Value rec;
+      ASTERIX_RETURN_NOT_OK(adm::DeserializeTyped(&r, type_, &rec));
+      return cb(e.key, false, column::ProjectRecord(rec, proj));
+    });
+  }
+
+  bool MayContain(const CompositeKey& key) const override {
+    return btree_->MayContain(key);
+  }
+
+ private:
+  std::shared_ptr<BTreeReader> btree_;
+  adm::DatatypePtr type_;
+  bool compressed_;
+};
 
 }  // namespace
 
@@ -103,17 +204,68 @@ Result<std::vector<ComponentInfo>> LsmLifecycle::Recover() {
 
 LsmBTree::LsmBTree(BufferCache* cache, const std::string& dir,
                    const std::string& name, LsmOptions options)
-    : cache_(cache), lifecycle_(dir, name, "btr"), options_(options) {}
+    : cache_(cache),
+      lifecycle_(dir, name,
+                 options.format == StorageFormat::kColumn ? "col" : "btr"),
+      options_(std::move(options)) {}
+
+Status LsmBTree::OpenReader(const std::string& path,
+                            std::shared_ptr<DiskComponentReader>* out) const {
+  if (options_.format == StorageFormat::kColumn) {
+    auto r = column::ColumnComponentReader::Open(cache_, path,
+                                                 options_.record_type);
+    if (!r.ok()) return r.status();
+    *out = r.take();
+    return Status::OK();
+  }
+  auto r = BTreeReader::Open(cache_, path);
+  if (!r.ok()) return r.status();
+  *out = std::make_shared<RowComponentReader>(r.take(), options_.record_type,
+                                              options_.compress);
+  return Status::OK();
+}
+
+Status LsmBTree::BuildComponent(
+    const std::map<CompositeKey, MemEntry, KeyLess>& entries,
+    const std::string& path, uint64_t* num_entries) const {
+  if (options_.format == StorageFormat::kColumn) {
+    column::ColumnComponentBuilder builder(path, options_.record_type,
+                                           options_.compress);
+    for (const auto& [key, entry] : entries) {
+      IndexEntry e;
+      e.key = key;
+      e.antimatter = entry.antimatter;
+      e.payload = entry.payload;
+      ASTERIX_RETURN_NOT_OK(builder.Add(e));
+    }
+    ASTERIX_RETURN_NOT_OK(builder.Finish());
+    *num_entries = builder.num_entries();
+    return Status::OK();
+  }
+  BTreeBuilder builder(path);
+  for (const auto& [key, entry] : entries) {
+    IndexEntry e;
+    e.key = key;
+    e.antimatter = entry.antimatter;
+    e.payload = options_.compress && !entry.antimatter
+                    ? EncodeRowPayload(entry.payload)
+                    : entry.payload;
+    ASTERIX_RETURN_NOT_OK(builder.Add(e));
+  }
+  ASTERIX_RETURN_NOT_OK(builder.Finish());
+  *num_entries = builder.num_entries();
+  return Status::OK();
+}
 
 Status LsmBTree::Open() {
   std::unique_lock lock(mu_);
   auto comps_r = lifecycle_.Recover();
   if (!comps_r.ok()) return comps_r.status();
   for (auto& info : comps_r.value()) {
-    auto reader_r = BTreeReader::Open(cache_, info.path);
-    if (!reader_r.ok()) return reader_r.status();
+    std::shared_ptr<DiskComponentReader> reader;
+    ASTERIX_RETURN_NOT_OK(OpenReader(info.path, &reader));
     flushed_lsn_ = std::max(flushed_lsn_, info.max_lsn);
-    disk_.push_back(DiskComponent{std::move(info), reader_r.take()});
+    disk_.push_back(DiskComponent{std::move(info), std::move(reader)});
   }
   return Status::OK();
 }
@@ -154,29 +306,21 @@ Status LsmBTree::FlushLocked() {
   uint64_t flush_start_us = NowUs();
   uint64_t seq = lifecycle_.AllocateSeq();
   std::string path = lifecycle_.ComponentPath(seq);
-  BTreeBuilder builder(path);
-  for (const auto& [key, entry] : mem_) {
-    IndexEntry e;
-    e.key = key;
-    e.antimatter = entry.antimatter;
-    e.payload = entry.payload;
-    ASTERIX_RETURN_NOT_OK(builder.Add(e));
-  }
-  ASTERIX_RETURN_NOT_OK(builder.Finish());
+  uint64_t num_entries = 0;
+  ASTERIX_RETURN_NOT_OK(BuildComponent(mem_, path, &num_entries));
   // The validity bit makes the new component durable *after* its data file
   // is fully written (shadowing).
-  ASTERIX_RETURN_NOT_OK(
-      lifecycle_.MarkValid(seq, builder.num_entries(), mem_max_lsn_));
-  auto reader_r = BTreeReader::Open(cache_, path);
-  if (!reader_r.ok()) return reader_r.status();
+  ASTERIX_RETURN_NOT_OK(lifecycle_.MarkValid(seq, num_entries, mem_max_lsn_));
+  std::shared_ptr<DiskComponentReader> reader;
+  ASTERIX_RETURN_NOT_OK(OpenReader(path, &reader));
   ComponentInfo info;
   info.seq = seq;
   info.path = path;
-  info.num_entries = builder.num_entries();
+  info.num_entries = num_entries;
   info.bytes = env::FileSize(path);
   info.max_lsn = mem_max_lsn_;
   uint64_t flushed_bytes = info.bytes;
-  disk_.push_back(DiskComponent{std::move(info), reader_r.take()});
+  disk_.push_back(DiskComponent{std::move(info), std::move(reader)});
   flushed_lsn_ = std::max(flushed_lsn_, mem_max_lsn_);
   mem_.clear();
   mem_bytes_ = 0;
@@ -189,6 +333,11 @@ Status LsmBTree::FlushLocked() {
     flushes->Inc();
     bytes->Inc(flushed_bytes);
     flush_us->Observe(NowUs() - flush_start_us);
+    if (options_.format == StorageFormat::kColumn) {
+      static metrics::Counter* col_bytes =
+          reg.GetCounter("storage.column.bytes_flushed");
+      col_bytes->Inc(flushed_bytes);
+    }
   }
   return MaybeMergeLockedImpl();
 }
@@ -215,36 +364,33 @@ Status LsmBTree::MergeComponents(size_t first, size_t count) {
   }
   uint64_t seq = lifecycle_.AllocateSeq();
   std::string path = lifecycle_.ComponentPath(seq);
-  BTreeBuilder builder(path);
   uint64_t max_lsn = 0;
   for (size_t i = first; i < first + count; ++i) {
     max_lsn = std::max(max_lsn, disk_[i].info.max_lsn);
   }
-  for (const auto& [key, entry] : merged) {
-    // Antimatter entries are dropped only when no older component remains
-    // to be cancelled.
-    if (entry.antimatter && includes_oldest) continue;
-    IndexEntry e;
-    e.key = key;
-    e.antimatter = entry.antimatter;
-    e.payload = entry.payload;
-    ASTERIX_RETURN_NOT_OK(builder.Add(e));
+  // Antimatter entries are dropped only when no older component remains to
+  // be cancelled.
+  if (includes_oldest) {
+    for (auto it = merged.begin(); it != merged.end();) {
+      it = it->second.antimatter ? merged.erase(it) : std::next(it);
+    }
   }
-  ASTERIX_RETURN_NOT_OK(builder.Finish());
-  ASTERIX_RETURN_NOT_OK(lifecycle_.MarkValid(seq, builder.num_entries(), max_lsn));
-  auto reader_r = BTreeReader::Open(cache_, path);
-  if (!reader_r.ok()) return reader_r.status();
+  uint64_t num_entries = 0;
+  ASTERIX_RETURN_NOT_OK(BuildComponent(merged, path, &num_entries));
+  ASTERIX_RETURN_NOT_OK(lifecycle_.MarkValid(seq, num_entries, max_lsn));
+  std::shared_ptr<DiskComponentReader> reader;
+  ASTERIX_RETURN_NOT_OK(OpenReader(path, &reader));
   ComponentInfo info;
   info.seq = seq;
   info.path = path;
-  info.num_entries = builder.num_entries();
+  info.num_entries = num_entries;
   info.bytes = env::FileSize(path);
   info.max_lsn = max_lsn;
   // Replace the merged run with the new component, then delete old files.
   std::vector<DiskComponent> removed(disk_.begin() + first,
                                      disk_.begin() + first + count);
   disk_.erase(disk_.begin() + first, disk_.begin() + first + count);
-  disk_.insert(disk_.begin() + first, DiskComponent{info, reader_r.take()});
+  disk_.insert(disk_.begin() + first, DiskComponent{info, std::move(reader)});
   for (auto& dc : removed) {
     dc.reader.reset();  // closes the file in the cache
     ASTERIX_RETURN_NOT_OK(lifecycle_.RemoveComponent(dc.info));
@@ -257,6 +403,11 @@ Status LsmBTree::MergeComponents(size_t first, size_t count) {
     merges->Inc();
     bytes->Inc(info.bytes);
     merge_us->Observe(NowUs() - merge_start_us);
+    if (options_.format == StorageFormat::kColumn) {
+      static metrics::Counter* col_bytes =
+          reg.GetCounter("storage.column.bytes_merged");
+      col_bytes->Inc(info.bytes);
+    }
   }
   return Status::OK();
 }
@@ -419,6 +570,115 @@ Status LsmBTree::RangeScan(const ScanBounds& bounds,
     }
     ++cur.pos;
     if (cur.pos < cur.entries.size()) heap.push(ci);
+  }
+  return Status::OK();
+}
+
+Status LsmBTree::ProjectedScan(const ScanBounds& bounds,
+                               const column::Projection& proj,
+                               const column::ProjectedEntryCallback& cb,
+                               column::ProjectedScanStats* stats) const {
+  std::shared_lock lock(mu_);
+  // Steady-state fast path: with one component and nothing in memory there
+  // is no cross-component resolution, so min/max pruning is sound — a
+  // skipped page group cannot hide a newer version of anything.
+  if (mem_.empty() && disk_.size() <= 1) {
+    if (disk_.empty()) return Status::OK();
+    return disk_[0].reader->ProjectedScan(
+        bounds, proj, /*allow_pruning=*/true,
+        [&](const CompositeKey& key, bool antimatter, const adm::Value& rec) {
+          if (antimatter) return Status::OK();
+          return cb(key, false, rec);
+        },
+        stats);
+  }
+  // Multi-component path: k-way merge of projected rows with newest-wins,
+  // antimatter-hides resolution. Pruning must stay off — dropping a page
+  // group from the newest component would let an older component's stale
+  // version of those rows win the merge.
+  struct ProjRow {
+    CompositeKey key;
+    bool antimatter = false;
+    adm::Value record;
+  };
+  struct Cursor {
+    std::vector<ProjRow> rows;
+    size_t pos = 0;
+    size_t rank = 0;  // 0 = newest (memory component)
+  };
+  std::vector<Cursor> cursors;
+  {
+    Cursor mem_cursor;
+    mem_cursor.rank = 0;
+    auto mem_begin =
+        bounds.lo.has_value() ? mem_.lower_bound(*bounds.lo) : mem_.begin();
+    for (auto it = mem_begin; it != mem_.end(); ++it) {
+      const auto& key = it->first;
+      const auto& entry = it->second;
+      if (bounds.lo.has_value()) {
+        int c = BoundCompare(key, *bounds.lo);
+        if (c < 0 || (c == 0 && !bounds.lo_inclusive)) continue;
+      }
+      if (bounds.hi.has_value()) {
+        int c = BoundCompare(key, *bounds.hi);
+        if (c > 0 || (c == 0 && !bounds.hi_inclusive)) break;
+      }
+      ProjRow row;
+      row.key = key;
+      row.antimatter = entry.antimatter;
+      if (!entry.antimatter) {
+        BytesReader r(entry.payload);
+        adm::Value rec;
+        ASTERIX_RETURN_NOT_OK(
+            adm::DeserializeTyped(&r, options_.record_type, &rec));
+        row.record = column::ProjectRecord(rec, proj);
+      }
+      mem_cursor.rows.push_back(std::move(row));
+    }
+    cursors.push_back(std::move(mem_cursor));
+  }
+  for (size_t i = disk_.size(); i > 0; --i) {
+    Cursor c;
+    c.rank = cursors.size();
+    ASTERIX_RETURN_NOT_OK(disk_[i - 1].reader->ProjectedScan(
+        bounds, proj, /*allow_pruning=*/false,
+        [&](const CompositeKey& key, bool antimatter, const adm::Value& rec) {
+          c.rows.push_back(ProjRow{key, antimatter, rec});
+          return Status::OK();
+        },
+        stats));
+    cursors.push_back(std::move(c));
+  }
+
+  auto cmp = [&](size_t a, size_t b) {
+    const ProjRow& ra = cursors[a].rows[cursors[a].pos];
+    const ProjRow& rb = cursors[b].rows[cursors[b].pos];
+    int c = CompareKeys(ra.key, rb.key);
+    if (c != 0) return c > 0;  // min-heap by key
+    return cursors[a].rank > cursors[b].rank;  // newest (lowest rank) first
+  };
+  std::priority_queue<size_t, std::vector<size_t>, decltype(cmp)> heap(cmp);
+  for (size_t i = 0; i < cursors.size(); ++i) {
+    if (!cursors[i].rows.empty()) heap.push(i);
+  }
+  const CompositeKey* last_key = nullptr;
+  CompositeKey last_key_storage;
+  while (!heap.empty()) {
+    size_t ci = heap.top();
+    heap.pop();
+    Cursor& cur = cursors[ci];
+    const ProjRow& row = cur.rows[cur.pos];
+    bool duplicate =
+        last_key != nullptr && CompareKeys(row.key, *last_key) == 0;
+    if (!duplicate) {
+      last_key_storage = row.key;
+      last_key = &last_key_storage;
+      if (!row.antimatter) {
+        ASTERIX_RETURN_NOT_OK(cb(row.key, false, row.record));
+      }
+    }
+    ++cur.pos;
+    if (cur.pos < cur.rows.size()) heap.push(ci);
   }
   return Status::OK();
 }

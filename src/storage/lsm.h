@@ -8,12 +8,20 @@
 #include <string>
 #include <vector>
 
+#include "adm/type.h"
 #include "storage/btree.h"
 #include "storage/buffer_cache.h"
+#include "storage/component.h"
 #include "storage/key.h"
 
 namespace asterix {
 namespace storage {
+
+/// Physical layout of an index's disk components. Row components are paged
+/// B+-trees storing whole record images; column components store the same
+/// rows column-major with per-page min/max stats, so projected scans read
+/// only the touched fields (see src/storage/column/).
+enum class StorageFormat { kRow, kColumn };
 
 /// When and what to merge, per the paper's "subject to some merge policy".
 struct MergePolicy {
@@ -39,6 +47,17 @@ struct LsmOptions {
   /// payload+key data (the paper's memory-occupancy threshold).
   size_t mem_budget_bytes = 8u << 20;
   MergePolicy merge_policy = MergePolicy::Constant(5);
+  /// Disk-component layout, fixed for the index's lifetime (components are
+  /// homogeneous: changing the format of an existing dataset is not
+  /// supported). Column format requires `record_type`.
+  StorageFormat format = StorageFormat::kRow;
+  /// LZ-compress disk components: row formats frame each record payload,
+  /// column formats compress each column page. Like `format`, fixed at
+  /// dataset-creation time.
+  bool compress = false;
+  /// The dataset's declared record type; drives schema inference and
+  /// schema-typed column encoding (required when format == kColumn).
+  adm::DatatypePtr record_type;
 };
 
 /// A disk component's identity and stats. `max_lsn` is the largest WAL LSN
@@ -119,6 +138,17 @@ class LsmBTree {
   /// LSM-resolved ordered range scan across all components.
   Status RangeScan(const ScanBounds& bounds, const EntryCallback& cb) const;
 
+  /// LSM-resolved scan materializing only the projection's fields (the
+  /// callback's antimatter flag is always false — resolution happens here).
+  /// Column components read only the touched column pages; in the
+  /// single-component steady state they additionally skip page groups via
+  /// per-page min/max stats (with multiple components pruning is disabled:
+  /// a skipped page in the newest component could resurrect an older
+  /// version of its rows). `stats` (optional) accumulates bytes/pages.
+  Status ProjectedScan(const ScanBounds& bounds, const column::Projection& proj,
+                       const column::ProjectedEntryCallback& cb,
+                       column::ProjectedScanStats* stats) const;
+
   // -- Stats ---------------------------------------------------------------
   size_t mem_entries() const;
   size_t num_disk_components() const;
@@ -138,9 +168,16 @@ class LsmBTree {
   };
   struct DiskComponent {
     ComponentInfo info;
-    std::shared_ptr<BTreeReader> reader;
+    std::shared_ptr<DiskComponentReader> reader;
   };
 
+  /// Opens a disk component with the reader matching options_.format.
+  Status OpenReader(const std::string& path,
+                    std::shared_ptr<DiskComponentReader>* out) const;
+  /// Bulk-loads `entries` (sorted, logical payloads) into a new component
+  /// file at `path` in options_.format, handling payload/page compression.
+  Status BuildComponent(const std::map<CompositeKey, MemEntry, KeyLess>& entries,
+                        const std::string& path, uint64_t* num_entries) const;
   Status FlushLocked();
   Status MaybeMergeLockedImpl();
   Status MergeComponents(size_t first, size_t count);
