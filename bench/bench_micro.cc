@@ -5,12 +5,21 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
 #include "adm/serde.h"
 #include "algebricks/expr.h"
 #include "api/asterix.h"
 #include "common/compress.h"
 #include "common/env.h"
 #include "functions/similarity.h"
+#include "hyracks/channel.h"
+#include "hyracks/cluster.h"
+#include "hyracks/operators.h"
 #include "storage/lsm.h"
 #include "workload/generator.h"
 
@@ -245,6 +254,240 @@ void BM_EditDistanceCheckBanded(benchmark::State& state) {
 }
 BENCHMARK(BM_EditDistanceCheckBanded);
 
+// --- dataflow ----------------------------------------------------------------
+
+// Replica of the pre-change connector runtime, kept here as the baseline the
+// frame-at-a-time shuffle is measured against: every tuple crossing the
+// connector pays one lock+notify on the producer side, one lock on the
+// consumer side, a per-destination copy, and two shared atomic counter bumps.
+class LegacyTupleChannel {
+ public:
+  explicit LegacyTupleChannel(int producers) : open_(producers) {}
+
+  void Push(const hyracks::Tuple& t) {
+    hyracks::Tuple copy = t;  // per-destination copy, as the old emitter did
+    std::lock_guard<std::mutex> lock(mu_);
+    q_.push_back(std::move(copy));
+    cv_.notify_one();
+  }
+  void Done() {
+    std::lock_guard<std::mutex> lock(mu_);
+    --open_;
+    cv_.notify_all();
+  }
+  bool Next(hyracks::Tuple* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return !q_.empty() || open_ == 0; });
+    if (q_.empty()) return false;
+    *out = std::move(q_.front());
+    q_.pop_front();
+    return true;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<hyracks::Tuple> q_;
+  int open_;
+};
+
+// Hash-shuffles side x per_producer tuples through side consumers and
+// returns delivered tuples per second. `framed` selects the current
+// frame-at-a-time path (FifoChannel frames, moves, per-frame counter flush);
+// otherwise the legacy tuple-at-a-time baseline above runs the same shuffle.
+double ShuffleTuplesPerSec(bool framed, int side, int64_t per_producer) {
+  const uint64_t total =
+      static_cast<uint64_t>(side) * static_cast<uint64_t>(per_producer);
+  std::atomic<uint64_t> conn_tuples{0};
+  std::atomic<uint64_t> net_tuples{0};
+  std::atomic<uint64_t> delivered{0};
+  std::vector<std::thread> threads;
+  auto t0 = std::chrono::steady_clock::now();
+
+  if (framed) {
+    std::vector<std::unique_ptr<hyracks::FifoChannel>> channels;
+    for (int d = 0; d < side; ++d) {
+      channels.push_back(std::make_unique<hyracks::FifoChannel>(side, 64));
+    }
+    for (int p = 0; p < side; ++p) {
+      threads.emplace_back([&, p] {
+        std::vector<hyracks::Frame> bufs(static_cast<size_t>(side));
+        for (int64_t i = 0; i < per_producer; ++i) {
+          int64_t v = p * per_producer + i;
+          auto dst = static_cast<size_t>(v % side);
+          bufs[dst].tuples.push_back({Value::Int64(v)});
+          if (bufs[dst].tuples.size() >= hyracks::kDefaultFrameTuples) {
+            uint64_t n = bufs[dst].tuples.size();
+            channels[dst]->Push(p, std::move(bufs[dst]));
+            bufs[dst] = hyracks::Frame{};
+            conn_tuples.fetch_add(n, std::memory_order_relaxed);
+            net_tuples.fetch_add(n, std::memory_order_relaxed);
+          }
+        }
+        for (size_t d = 0; d < bufs.size(); ++d) {
+          uint64_t n = bufs[d].tuples.size();
+          if (n > 0) {
+            channels[d]->Push(p, std::move(bufs[d]));
+            conn_tuples.fetch_add(n, std::memory_order_relaxed);
+            net_tuples.fetch_add(n, std::memory_order_relaxed);
+          }
+          channels[d]->ProducerDone(p);
+        }
+      });
+    }
+    for (int c = 0; c < side; ++c) {
+      threads.emplace_back([&, c] {
+        hyracks::Frame f;
+        uint64_t n = 0;
+        while (true) {
+          auto r = channels[static_cast<size_t>(c)]->NextFrame(&f);
+          if (!r.ok() || !r.value()) break;
+          n += f.tuples.size();
+        }
+        delivered.fetch_add(n, std::memory_order_relaxed);
+      });
+    }
+    for (auto& t : threads) t.join();
+  } else {
+    std::vector<std::unique_ptr<LegacyTupleChannel>> channels;
+    for (int d = 0; d < side; ++d) {
+      channels.push_back(std::make_unique<LegacyTupleChannel>(side));
+    }
+    for (int p = 0; p < side; ++p) {
+      threads.emplace_back([&, p] {
+        for (int64_t i = 0; i < per_producer; ++i) {
+          int64_t v = p * per_producer + i;
+          auto dst = static_cast<size_t>(v % side);
+          channels[dst]->Push({Value::Int64(v)});
+          conn_tuples.fetch_add(1, std::memory_order_relaxed);
+          net_tuples.fetch_add(1, std::memory_order_relaxed);
+        }
+        for (auto& ch : channels) ch->Done();
+      });
+    }
+    for (int c = 0; c < side; ++c) {
+      threads.emplace_back([&, c] {
+        hyracks::Tuple t;
+        uint64_t n = 0;
+        while (channels[static_cast<size_t>(c)]->Next(&t)) ++n;
+        delivered.fetch_add(n, std::memory_order_relaxed);
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  double sec = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             t0)
+                   .count();
+  if (delivered.load() != total || conn_tuples.load() != total) std::abort();
+  return static_cast<double>(total) / sec;
+}
+
+void BM_ShuffleFrameAtATime(benchmark::State& state) {
+  constexpr int64_t kPerProducer = 50000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ShuffleTuplesPerSec(true, 4, kPerProducer));
+  }
+  state.SetItemsProcessed(state.iterations() * 4 * kPerProducer);
+}
+BENCHMARK(BM_ShuffleFrameAtATime)->Unit(benchmark::kMillisecond);
+
+void BM_ShuffleTupleAtATimeLegacy(benchmark::State& state) {
+  constexpr int64_t kPerProducer = 50000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ShuffleTuplesPerSec(false, 4, kPerProducer));
+  }
+  state.SetItemsProcessed(state.iterations() * 4 * kPerProducer);
+}
+BENCHMARK(BM_ShuffleTupleAtATimeLegacy)->Unit(benchmark::kMillisecond);
+
+void BM_MergeChannelKWay(benchmark::State& state) {
+  constexpr int kProducers = 8;
+  constexpr int64_t kTotal = 80000;
+  hyracks::TupleCompare cmp = [](const hyracks::Tuple& a,
+                                 const hyracks::Tuple& b) {
+    return a[0].Compare(b[0]);
+  };
+  for (auto _ : state) {
+    hyracks::MergeChannel ch(kProducers, cmp, 64);
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        hyracks::Frame frame;
+        for (int64_t v = p; v < kTotal; v += kProducers) {
+          frame.tuples.push_back({Value::Int64(v)});
+          if (frame.tuples.size() >= hyracks::kDefaultFrameTuples) {
+            ch.Push(p, std::move(frame));
+            frame = hyracks::Frame{};
+          }
+        }
+        if (!frame.tuples.empty()) ch.Push(p, std::move(frame));
+        ch.ProducerDone(p);
+      });
+    }
+    uint64_t merged = 0;
+    hyracks::Frame f;
+    while (true) {
+      auto r = ch.NextFrame(&f);
+      if (!r.ok() || !r.value()) break;
+      merged += f.tuples.size();
+    }
+    for (auto& t : producers) t.join();
+    if (merged != kTotal) state.SkipWithError("merge lost tuples");
+  }
+  state.SetItemsProcessed(state.iterations() * kTotal);
+}
+BENCHMARK(BM_MergeChannelKWay)->Unit(benchmark::kMillisecond);
+
+// A small pipelined job executed repeatedly on one cluster: after the first
+// job the persistent executor pool serves every instance from existing
+// threads, so this measures steady-state job dispatch + frame flow.
+void BM_PipelineJobOnPersistentPool(benchmark::State& state) {
+  static auto* cluster = new hyracks::Cluster(hyracks::ClusterConfig{1, 2, 0, ""});
+  constexpr int64_t kPerScan = 10000;
+  for (auto _ : state) {
+    hyracks::JobSpec job;
+    hyracks::OperatorDescriptor src;
+    src.name = "gen";
+    src.parallelism = 2;
+    src.num_inputs = 0;
+    src.factory = [](int p) -> std::unique_ptr<hyracks::OperatorInstance> {
+      class Gen : public hyracks::OperatorInstance {
+       public:
+        explicit Gen(int p) : p_(p) {}
+        Status Run(const std::vector<hyracks::InChannel*>&,
+                   hyracks::Emitter* out) override {
+          for (int64_t i = 0; i < kPerScan; ++i) {
+            out->Push({Value::Int64(p_ * kPerScan + i)});
+          }
+          return Status::OK();
+        }
+        int p_;
+      };
+      return std::make_unique<Gen>(p);
+    };
+    int src_id = job.AddOperator(std::move(src));
+    int sel_id = job.AddOperator(hyracks::MakeSelect(
+        2, [](const hyracks::Tuple& t) -> Result<Value> {
+          return Value::Boolean(t[0].AsInt() % 2 == 0);
+        }));
+    auto sink = std::make_shared<std::vector<hyracks::Tuple>>();
+    int sink_id = job.AddOperator(hyracks::MakeResultSink(sink));
+    job.Connect(hyracks::ConnectorType::kOneToOne, src_id, sel_id);
+    job.Connect(hyracks::ConnectorType::kHashPartitioningShuffle, sel_id,
+                sink_id, 0, [](const hyracks::Tuple& t) {
+                  return static_cast<uint64_t>(t[0].AsInt());
+                });
+    auto r = cluster->ExecuteJob(job);
+    if (!r.ok() || sink->size() != kPerScan) {
+      state.SkipWithError("pipeline job failed");
+      break;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * kPerScan);
+}
+BENCHMARK(BM_PipelineJobOnPersistentPool)->Unit(benchmark::kMillisecond);
+
 void BM_LzCompressStripe(benchmark::State& state) {
   std::vector<uint8_t> data;
   for (int i = 0; i < 2000; ++i) {
@@ -264,12 +507,30 @@ BENCHMARK(BM_LzCompressStripe);
 
 // Like BENCHMARK_MAIN(), plus a BENCH_micro.json metrics snapshot so the
 // columnar counters the projected-scan benches bump are machine-readable.
+// The JSON also records the head-to-head shuffle throughput: the current
+// frame-at-a-time path vs the legacy tuple-at-a-time runtime it replaced.
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  std::string out = "{ \"bench\": \"micro\", \"metrics\": " +
+
+  constexpr int64_t kShufflePerProducer = 100000;
+  double legacy_tps = ShuffleTuplesPerSec(false, 4, kShufflePerProducer);
+  double frame_tps = ShuffleTuplesPerSec(true, 4, kShufflePerProducer);
+  char shuffle_json[256];
+  std::snprintf(shuffle_json, sizeof(shuffle_json),
+                "{ \"tuples\": %lld, "
+                "\"legacy_tuple_at_a_time_tuples_per_sec\": %.0f, "
+                "\"frame_at_a_time_tuples_per_sec\": %.0f, "
+                "\"speedup\": %.2f }",
+                static_cast<long long>(4 * kShufflePerProducer), legacy_tps,
+                frame_tps, frame_tps / legacy_tps);
+  std::printf("shuffle legacy=%.0f t/s frame=%.0f t/s speedup=%.2fx\n",
+              legacy_tps, frame_tps, frame_tps / legacy_tps);
+
+  std::string out = "{ \"bench\": \"micro\", \"shuffle\": " +
+                    std::string(shuffle_json) + ", \"metrics\": " +
                     asterix::api::AsterixInstance::MetricsJson() + " }";
   auto st = asterix::env::WriteFileAtomic("BENCH_micro.json", out.data(),
                                           out.size());

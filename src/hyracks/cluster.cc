@@ -14,7 +14,9 @@ namespace hyracks {
 namespace {
 
 /// Per-connector traffic counters shared by all producer instances of the
-/// connector (hence atomic).
+/// connector (hence atomic). Producers accumulate in plain locals and flush
+/// once per frame flush, so the cross-instance cache line is touched twice
+/// per ~256 tuples instead of twice per tuple.
 struct ConnCounters {
   std::atomic<uint64_t> tuples{0};
   std::atomic<uint64_t> network_tuples{0};
@@ -43,36 +45,43 @@ class RoutingEmitter : public Emitter {
     for (auto& r : routes_) {
       buffers_.emplace_back(r.dst_channels.size());
     }
+    pending_.resize(routes_.size());
   }
 
   void AddBytesRead(uint64_t n) override { span_->bytes_read += n; }
 
   void Push(Tuple tuple) override {
     ++span_->tuples_out;
+    if (routes_.empty()) return;
+    size_t last_route = routes_.size() - 1;
     for (size_t ri = 0; ri < routes_.size(); ++ri) {
       Route& r = routes_[ri];
       int n = static_cast<int>(r.dst_channels.size());
+      bool last = ri == last_route;
       switch (r.conn->type) {
         case ConnectorType::kOneToOne: {
-          Deliver(ri, src_instance_ % n, tuple);
+          RouteTo(ri, src_instance_ % n, tuple, last);
           break;
         }
         case ConnectorType::kMToNReplicating: {
-          for (int d = 0; d < n; ++d) Deliver(ri, d, tuple);
+          for (int d = 0; d < n; ++d) {
+            RouteTo(ri, d, tuple, last && d == n - 1);
+          }
           break;
         }
         case ConnectorType::kLocalityAwareMToNPartitioning: {
           int d = r.conn->locality_map
                       ? r.conn->locality_map(src_instance_, n)
                       : src_instance_ % n;
-          Deliver(ri, d, tuple);
+          RouteTo(ri, d, tuple, last);
           break;
         }
         case ConnectorType::kMToNPartitioning:
         case ConnectorType::kHashPartitioningShuffle:
         case ConnectorType::kMToNPartitioningMerging: {
           uint64_t h = r.conn->partition_hash ? r.conn->partition_hash(tuple) : 0;
-          Deliver(ri, static_cast<int>(h % static_cast<uint64_t>(n)), tuple);
+          RouteTo(ri, static_cast<int>(h % static_cast<uint64_t>(n)), tuple,
+                  last);
           break;
         }
       }
@@ -84,6 +93,7 @@ class RoutingEmitter : public Emitter {
       for (size_t d = 0; d < buffers_[ri].size(); ++d) {
         FlushBuffer(ri, d);
       }
+      FlushCounts(ri);
     }
   }
 
@@ -102,29 +112,67 @@ class RoutingEmitter : public Emitter {
   }
 
  private:
-  void Deliver(size_t route, int dst, const Tuple& tuple) {
-    Frame& buf = buffers_[route][dst];
-    buf.tuples.push_back(tuple);
-    routes_[route].counters->tuples.fetch_add(1, std::memory_order_relaxed);
-    if (routes_[route].dst_nodes[dst] != src_node_) {
-      routes_[route].counters->network_tuples.fetch_add(
-          1, std::memory_order_relaxed);
+  struct PendingCounts {
+    uint64_t tuples = 0;
+    uint64_t network_tuples = 0;
+  };
+
+  /// The final delivery of a tuple moves it into the route buffer; earlier
+  /// ones (multiple routes, replicating fan-out) get a copy.
+  void RouteTo(size_t route, int dst, Tuple& tuple, bool take) {
+    if (take) {
+      Deliver(route, dst, std::move(tuple));
+    } else {
+      Tuple copy = tuple;
+      Deliver(route, dst, std::move(copy));
     }
-    if (buf.tuples.size() >= kDefaultFrameTuples) FlushBuffer(route, dst);
+  }
+
+  void Deliver(size_t route, int dst, Tuple&& tuple) {
+    Frame& buf = buffers_[route][static_cast<size_t>(dst)];
+    buf.tuples.push_back(std::move(tuple));
+    PendingCounts& pc = pending_[route];
+    ++pc.tuples;
+    if (routes_[route].dst_nodes[static_cast<size_t>(dst)] != src_node_) {
+      ++pc.network_tuples;
+    }
+    if (buf.tuples.size() >= kDefaultFrameTuples) {
+      FlushBuffer(route, static_cast<size_t>(dst));
+      FlushCounts(route);
+    }
   }
 
   void FlushBuffer(size_t route, size_t dst) {
     Frame& buf = buffers_[route][dst];
     if (buf.tuples.empty()) return;
+    // Push may block on a full channel (backpressure); the wall time of the
+    // whole call is this instance's blocked-on-output time.
+    auto t0 = std::chrono::steady_clock::now();
     routes_[route].dst_channels[dst]->Push(src_instance_, std::move(buf));
+    span_->output_wait_us += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
     buf = Frame{};
     ++span_->frames_flushed;
+  }
+
+  void FlushCounts(size_t route) {
+    PendingCounts& pc = pending_[route];
+    if (pc.tuples == 0) return;
+    ConnCounters* c = routes_[route].counters;
+    c->tuples.fetch_add(pc.tuples, std::memory_order_relaxed);
+    if (pc.network_tuples > 0) {
+      c->network_tuples.fetch_add(pc.network_tuples, std::memory_order_relaxed);
+    }
+    pc = PendingCounts{};
   }
 
   int src_instance_;
   int src_node_;
   std::vector<Route> routes_;
   std::vector<std::vector<Frame>> buffers_;  // [route][dst]
+  std::vector<PendingCounts> pending_;       // [route], flushed per frame
   OperatorSpan* span_;
 };
 
@@ -149,7 +197,9 @@ Result<JobStats> Cluster::ExecuteJob(const JobSpec& job) {
 
   std::vector<ConnCounters> conn_counters(job.connectors.size());
 
-  // Channels: one per (connector, destination instance). Owned here.
+  // Channels: one per (connector, destination instance). Owned here. All
+  // are bounded by channel_capacity_frames, so a fast producer blocks
+  // instead of queueing without limit.
   std::vector<std::unique_ptr<InChannel>> channel_storage;
   // (connector id) -> channels per destination instance.
   std::map<int, std::vector<InChannel*>> conn_channels;
@@ -160,11 +210,11 @@ Result<JobStats> Cluster::ExecuteJob(const JobSpec& job) {
     std::vector<InChannel*> per_dst;
     for (int d = 0; d < dst->parallelism; ++d) {
       if (c.type == ConnectorType::kMToNPartitioningMerging && c.merge_compare) {
-        channel_storage.push_back(
-            std::make_unique<MergeChannel>(src->parallelism, c.merge_compare));
+        channel_storage.push_back(std::make_unique<MergeChannel>(
+            src->parallelism, c.merge_compare, config_.channel_capacity_frames));
       } else {
-        channel_storage.push_back(
-            std::make_unique<FifoChannel>(src->parallelism));
+        channel_storage.push_back(std::make_unique<FifoChannel>(
+            src->parallelism, config_.channel_capacity_frames));
       }
       per_dst.push_back(channel_storage.back().get());
     }
@@ -191,8 +241,11 @@ Result<JobStats> Cluster::ExecuteJob(const JobSpec& job) {
     }
   }
 
-  // Launch every operator instance.
-  std::vector<std::thread> threads;
+  // Build one task per operator instance and hand the set to the persistent
+  // executor pool (which grows to admit the whole job, then reuses its
+  // threads across jobs). RunAll blocks until every instance finishes, so
+  // stack captures below stay valid.
+  std::vector<std::function<void()>> tasks;
   std::mutex status_mu;
   Status first_failure;
 
@@ -200,14 +253,14 @@ Result<JobStats> Cluster::ExecuteJob(const JobSpec& job) {
   for (const auto& op : job.operators) {
     for (int inst = 0; inst < op.parallelism; ++inst) {
       OperatorSpan* span = &profile->spans[span_index++];
-      // Gather input channels by port, wrapped to count consumed tuples
-      // into the instance's span (consumed single-threaded by the
-      // instance's own worker).
+      // Gather input channels by port, wrapped to count consumed tuples and
+      // input-wait time into the instance's span (consumed single-threaded
+      // by the instance's own worker).
       std::vector<InChannel*> inputs(static_cast<size_t>(op.num_inputs), nullptr);
       for (const auto& c : job.connectors) {
         if (c.dst_op != op.id) continue;
         channel_storage.push_back(std::make_unique<CountingChannel>(
-            conn_channels[c.id][inst], &span->tuples_in));
+            conn_channels[c.id][inst], &span->tuples_in, &span->input_wait_us));
         inputs[static_cast<size_t>(c.dst_port)] = channel_storage.back().get();
       }
       // Gather output routes.
@@ -225,8 +278,8 @@ Result<JobStats> Cluster::ExecuteJob(const JobSpec& job) {
         routes.push_back(std::move(r));
       }
 
-      threads.emplace_back([&, inputs, routes = std::move(routes), span,
-                            factory = op.factory]() mutable {
+      tasks.emplace_back([&, inputs, routes = std::move(routes), span,
+                          factory = op.factory]() mutable {
         span->start_ms = since_start_ms();
         RoutingEmitter emitter(span->instance, span->node, std::move(routes),
                                span);
@@ -238,6 +291,11 @@ Result<JobStats> Cluster::ExecuteJob(const JobSpec& job) {
           span->ok = false;
           emitter.FailAll(st);
           emitter.Done();
+          // Abandon this instance's inputs so producers blocked on a full
+          // channel wake up and drain — no teardown deadlock.
+          for (InChannel* in : inputs) {
+            if (in) in->CancelConsumer();
+          }
           std::lock_guard<std::mutex> lock(status_mu);
           if (first_failure.ok()) first_failure = st;
         }
@@ -245,7 +303,7 @@ Result<JobStats> Cluster::ExecuteJob(const JobSpec& job) {
       });
     }
   }
-  for (auto& t : threads) t.join();
+  pool_.RunAll(std::move(tasks));
   ++jobs_executed_;
 
   JobStats stats;

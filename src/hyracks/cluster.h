@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "hyracks/executor_pool.h"
 #include "hyracks/job.h"
 #include "hyracks/profile.h"
 
@@ -27,6 +28,15 @@ struct ClusterConfig {
   /// per job (job_<id>.trace.json) into this directory — the optional trace
   /// sink for chrome://tracing / Perfetto inspection.
   std::string trace_dir;
+  /// Frames a connector channel may queue before producers block
+  /// (backpressure). 0 = unbounded. The bound is per channel for FIFO
+  /// channels and per producer for merging channels. Generous by default —
+  /// a channel holds at most capacity x kDefaultFrameTuples tuples — but
+  /// finite, so a fast producer can no longer grow memory without limit.
+  size_t channel_capacity_frames = 64;
+  /// Executor-pool threads created at cluster boot; the pool grows on
+  /// demand past this and never shrinks. 0 = 2x partitions.
+  size_t executor_pool_boot_threads = 0;
 };
 
 /// Post-execution statistics used by benches and tests.
@@ -48,7 +58,12 @@ struct JobStats {
 /// in-memory channels (counting cross-node hops).
 class Cluster {
  public:
-  explicit Cluster(ClusterConfig config) : config_(config) {}
+  explicit Cluster(ClusterConfig config)
+      : config_(config),
+        pool_(config.executor_pool_boot_threads > 0
+                  ? config.executor_pool_boot_threads
+                  : static_cast<size_t>(config.num_nodes *
+                                        config.partitions_per_node * 2)) {}
 
   int num_partitions() const {
     return config_.num_nodes * config_.partitions_per_node;
@@ -66,9 +81,13 @@ class Cluster {
   /// Total jobs executed (diagnostics).
   uint64_t jobs_executed() const { return jobs_executed_.load(); }
 
+  /// The persistent executor pool (thread-reuse diagnostics for tests).
+  const ExecutorPool& pool() const { return pool_; }
+
  private:
   ClusterConfig config_;
   std::atomic<uint64_t> jobs_executed_{0};
+  ExecutorPool pool_;
 };
 
 }  // namespace hyracks

@@ -1,0 +1,87 @@
+#include "hyracks/executor_pool.h"
+
+#include <memory>
+
+#include "common/metrics.h"
+
+namespace asterix {
+namespace hyracks {
+
+ExecutorPool::ExecutorPool(size_t boot_threads) {
+  std::lock_guard<std::mutex> lock(mu_);
+  GrowLocked(boot_threads);
+}
+
+ExecutorPool::~ExecutorPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+size_t ExecutorPool::threads_alive() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return workers_.size();
+}
+
+void ExecutorPool::GrowLocked(size_t target) {
+  auto& reg = metrics::MetricsRegistry::Default();
+  static metrics::Gauge* alive = reg.GetGauge("hyracks.pool_threads");
+  static metrics::Counter* created =
+      reg.GetCounter("hyracks.pool_threads_created");
+  while (workers_.size() < target) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+    threads_created_.fetch_add(1, std::memory_order_relaxed);
+    created->Inc();
+  }
+  alive->Set(static_cast<int64_t>(workers_.size()));
+}
+
+void ExecutorPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ExecutorPool::RunAll(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t remaining;
+  };
+  auto latch = std::make_shared<Latch>();
+  latch->remaining = tasks.size();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    reserved_ += tasks.size();
+    GrowLocked(reserved_);
+    for (auto& t : tasks) {
+      queue_.push_back([task = std::move(t), latch] {
+        task();
+        std::lock_guard<std::mutex> l(latch->mu);
+        if (--latch->remaining == 0) latch->cv.notify_all();
+      });
+    }
+  }
+  work_cv_.notify_all();
+  {
+    std::unique_lock<std::mutex> l(latch->mu);
+    latch->cv.wait(l, [&] { return latch->remaining == 0; });
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  reserved_ -= tasks.size();
+}
+
+}  // namespace hyracks
+}  // namespace asterix

@@ -40,14 +40,18 @@ OperatorFactory Lambda(std::function<Status(int, const std::vector<InChannel*>&,
   };
 }
 
-/// Drains one input channel, invoking `fn` per tuple.
+/// Drains one input channel frame-at-a-time, invoking `fn` per tuple. One
+/// channel synchronization buys a whole frame of work, so every operator
+/// built on this helper consumes input at frame granularity.
 Status ForEachInput(InChannel* in, const std::function<Status(Tuple&)>& fn) {
-  Tuple t;
+  Frame frame;
   while (true) {
-    auto r = in->Next(&t);
+    auto r = in->NextFrame(&frame);
     if (!r.ok()) return r.status();
     if (!r.value()) return Status::OK();
-    ASTERIX_RETURN_NOT_OK(fn(t));
+    for (Tuple& t : frame.tuples) {
+      ASTERIX_RETURN_NOT_OK(fn(t));
+    }
   }
 }
 
@@ -820,8 +824,8 @@ OperatorDescriptor MakeLimit(size_t limit, size_t offset) {
         ++emitted;
         out->Push(std::move(t));
       }
-      // Keep draining to let producers finish (channels are unbounded, so
-      // simply ignoring the rest is fine).
+      // Keep draining: channels are bounded now, so abandoning the input
+      // would leave upstream producers blocked on a full channel.
       return Status::OK();
     });
   });

@@ -46,6 +46,8 @@ std::vector<OperatorRollup> JobProfile::Rollup() const {
     r.tuples_out += s.tuples_out;
     r.frames_flushed += s.frames_flushed;
     r.bytes_read += s.bytes_read;
+    r.input_wait_us += s.input_wait_us;
+    r.output_wait_us += s.output_wait_us;
     r.elapsed_ms = std::max(r.elapsed_ms, s.elapsed_ms());
   }
   return rollups;
@@ -84,6 +86,8 @@ std::string JobProfile::ToJson() const {
            ", \"tuples_out\": " + std::to_string(r.tuples_out) +
            ", \"frames_flushed\": " + std::to_string(r.frames_flushed) +
            ", \"bytes_read\": " + std::to_string(r.bytes_read) +
+           ", \"input_wait_us\": " + std::to_string(r.input_wait_us) +
+           ", \"output_wait_us\": " + std::to_string(r.output_wait_us) +
            ", \"elapsed_ms\": " + FmtMs(r.elapsed_ms) + " }";
   }
   out += " ], \"spans\": [ ";
@@ -101,6 +105,8 @@ std::string JobProfile::ToJson() const {
            ", \"tuples_out\": " + std::to_string(s.tuples_out) +
            ", \"frames_flushed\": " + std::to_string(s.frames_flushed) +
            ", \"bytes_read\": " + std::to_string(s.bytes_read) +
+           ", \"input_wait_us\": " + std::to_string(s.input_wait_us) +
+           ", \"output_wait_us\": " + std::to_string(s.output_wait_us) +
            ", \"ok\": " + (s.ok ? "true" : "false") + " }";
   }
   out += " ], \"connectors\": [ ";
@@ -146,6 +152,8 @@ std::string JobProfile::ToChromeTrace() const {
            ", \"tuples_in\": " + std::to_string(s.tuples_in) +
            ", \"tuples_out\": " + std::to_string(s.tuples_out) +
            ", \"frames_flushed\": " + std::to_string(s.frames_flushed) +
+           ", \"input_wait_us\": " + std::to_string(s.input_wait_us) +
+           ", \"output_wait_us\": " + std::to_string(s.output_wait_us) +
            " } }";
   }
   out += " ] }";
@@ -206,6 +214,12 @@ std::string AnnotatePlan(const JobSpec& job, const JobProfile& profile) {
              ", tuples_out=" + std::to_string(r.tuples_out);
       if (r.bytes_read > 0) {
         out += ", bytes_read=" + std::to_string(r.bytes_read);
+      }
+      if (r.input_wait_us > 0) {
+        out += ", input_wait_us=" + std::to_string(r.input_wait_us);
+      }
+      if (r.output_wait_us > 0) {
+        out += ", output_wait_us=" + std::to_string(r.output_wait_us);
       }
       out += ", ms=" + FmtMs(r.elapsed_ms) + ", instances=" +
              std::to_string(r.instances) + ")";

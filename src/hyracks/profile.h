@@ -28,6 +28,11 @@ struct OperatorSpan {
   /// for compute-only operators). On columnar scans this excludes pages
   /// skipped by projection/min-max pruning.
   uint64_t bytes_read = 0;
+  /// Wall time blocked pulling input frames (waiting on upstream).
+  uint64_t input_wait_us = 0;
+  /// Wall time blocked pushing output frames into full channels — the
+  /// backpressure this instance absorbed from downstream.
+  uint64_t output_wait_us = 0;
   bool ok = true;
 
   double elapsed_ms() const { return end_ms - start_ms; }
@@ -53,6 +58,8 @@ struct OperatorRollup {
   uint64_t tuples_out = 0;
   uint64_t frames_flushed = 0;
   uint64_t bytes_read = 0;
+  uint64_t input_wait_us = 0;
+  uint64_t output_wait_us = 0;
   double elapsed_ms = 0;  // max instance span (critical-path view)
 };
 
