@@ -10,6 +10,7 @@
 #include <deque>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 
 #include "adm/serde.h"
 #include "algebricks/expr.h"
@@ -488,6 +489,219 @@ void BM_PipelineJobOnPersistentPool(benchmark::State& state) {
 }
 BENCHMARK(BM_PipelineJobOnPersistentPool)->Unit(benchmark::kMillisecond);
 
+// --- budgeted hash operators -------------------------------------------------
+
+// Replica of the pre-change hash join build — one unordered_map keyed by a
+// materialized std::vector<Value> per build tuple — kept as the baseline the
+// serialized-normalized-key Grace join is measured against.
+struct LegacyKeyHash {
+  size_t operator()(const std::vector<Value>& k) const {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (const auto& v : k) h = v.Hash(h);
+    return static_cast<size_t>(h);
+  }
+};
+struct LegacyKeyEq {
+  bool operator()(const std::vector<Value>& a,
+                  const std::vector<Value>& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a[i].Compare(b[i]) != 0) return false;
+    }
+    return true;
+  }
+};
+
+hyracks::OperatorDescriptor MakeLegacyValueKeyJoinOnCol0() {
+  hyracks::OperatorDescriptor op;
+  op.name = "legacy-hash-join";
+  op.parallelism = 1;
+  op.num_inputs = 2;
+  op.blocking_ports = {0};
+  op.factory = [](int) -> std::unique_ptr<hyracks::OperatorInstance> {
+    class Legacy : public hyracks::OperatorInstance {
+     public:
+      Status Run(const std::vector<hyracks::InChannel*>& in,
+                 hyracks::Emitter* out) override {
+        std::unordered_map<std::vector<Value>, std::vector<hyracks::Tuple>,
+                           LegacyKeyHash, LegacyKeyEq>
+            table;
+        hyracks::Frame f;
+        while (true) {
+          auto r = in[0]->NextFrame(&f);
+          if (!r.ok()) return r.status();
+          if (!r.value()) break;
+          for (auto& t : f.tuples) {
+            std::vector<Value> key{t[0]};
+            table[std::move(key)].push_back(std::move(t));
+          }
+        }
+        while (true) {
+          auto r = in[1]->NextFrame(&f);
+          if (!r.ok()) return r.status();
+          if (!r.value()) break;
+          for (auto& t : f.tuples) {
+            auto it = table.find(std::vector<Value>{t[0]});
+            if (it == table.end()) continue;
+            for (const auto& b : it->second) {
+              hyracks::Tuple o = b;
+              o.insert(o.end(), t.begin(), t.end());
+              out->Push(std::move(o));
+            }
+          }
+        }
+        return Status::OK();
+      }
+    };
+    return std::make_unique<Legacy>();
+  };
+  return op;
+}
+
+std::vector<hyracks::Tuple> JoinSide(size_t n, uint64_t key_range,
+                                     uint64_t seed) {
+  std::vector<hyracks::Tuple> rows;
+  rows.reserve(n);
+  uint64_t x = seed;
+  for (size_t i = 0; i < n; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    rows.push_back({Value::Int64(static_cast<int64_t>(x % key_range)),
+                    Value::Int64(static_cast<int64_t>(i)),
+                    Value::String("payload-xxxxxxxx")});
+  }
+  return rows;
+}
+
+hyracks::TupleEval BenchCol(int i) {
+  return [i](const hyracks::Tuple& t) -> Result<Value> {
+    return t[static_cast<size_t>(i)];
+  };
+}
+
+// Joins `build` x `probe` on column 0 through a single-partition cluster job
+// and returns input tuples per second. serialized=false runs the legacy
+// vector<Value>-keyed baseline; budget_bytes>0 forces the serialized path to
+// spill (Grace recursion).
+double JoinTuplesPerSec(bool serialized, size_t budget_bytes,
+                        const std::vector<hyracks::Tuple>& build,
+                        const std::vector<hyracks::Tuple>& probe) {
+  hyracks::ClusterConfig cfg{1, 1, 0, ""};
+  cfg.op_memory_budget_bytes = budget_bytes;
+  hyracks::Cluster cluster(cfg);
+  hyracks::JobSpec job;
+  int b = job.AddOperator(hyracks::MakeValueScan(build));
+  int p = job.AddOperator(hyracks::MakeValueScan(probe));
+  int j = serialized
+              ? job.AddOperator(hyracks::MakeHybridHashJoin(
+                    1, {BenchCol(0)}, {BenchCol(0)}, 3, false))
+              : job.AddOperator(MakeLegacyValueKeyJoinOnCol0());
+  auto sink = std::make_shared<std::vector<hyracks::Tuple>>();
+  int d = job.AddOperator(hyracks::MakeResultSink(sink));
+  job.Connect(hyracks::ConnectorType::kOneToOne, b, j, 0);
+  job.Connect(hyracks::ConnectorType::kOneToOne, p, j, 1);
+  job.Connect(hyracks::ConnectorType::kOneToOne, j, d);
+  auto t0 = std::chrono::steady_clock::now();
+  auto r = cluster.ExecuteJob(job);
+  double sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (!r.ok() || sink->empty()) std::abort();
+  return static_cast<double>(build.size() + probe.size()) / sec;
+}
+
+size_t DistinctCol0(const std::vector<hyracks::Tuple>& rows) {
+  std::unordered_map<int64_t, bool> seen;
+  for (const auto& t : rows) seen[t[0].AsInt()] = true;
+  return seen.size();
+}
+
+double GroupByTuplesPerSec(size_t budget_bytes,
+                           const std::vector<hyracks::Tuple>& rows,
+                           size_t expected_groups) {
+  hyracks::ClusterConfig cfg{1, 1, 0, ""};
+  cfg.op_memory_budget_bytes = budget_bytes;
+  hyracks::Cluster cluster(cfg);
+  hyracks::JobSpec job;
+  int s = job.AddOperator(hyracks::MakeValueScan(rows));
+  int g = job.AddOperator(hyracks::MakeHashGroupBy(
+      1, {BenchCol(0)},
+      {{"count", BenchCol(1)}, {"sum", BenchCol(1)}},
+      hyracks::AggMode::kComplete));
+  auto sink = std::make_shared<std::vector<hyracks::Tuple>>();
+  int d = job.AddOperator(hyracks::MakeResultSink(sink));
+  job.Connect(hyracks::ConnectorType::kOneToOne, s, g);
+  job.Connect(hyracks::ConnectorType::kOneToOne, g, d);
+  auto t0 = std::chrono::steady_clock::now();
+  auto r = cluster.ExecuteJob(job);
+  double sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (!r.ok() || sink->size() != expected_groups) std::abort();
+  return static_cast<double>(rows.size()) / sec;
+}
+
+constexpr size_t kJoinBenchRows = 30000;
+constexpr size_t kForcedSpillBudget = 256 * 1024;
+
+const std::vector<hyracks::Tuple>& BenchBuildSide() {
+  static auto* rows =
+      new std::vector<hyracks::Tuple>(JoinSide(kJoinBenchRows, 15000, 1));
+  return *rows;
+}
+const std::vector<hyracks::Tuple>& BenchProbeSide() {
+  static auto* rows =
+      new std::vector<hyracks::Tuple>(JoinSide(kJoinBenchRows, 15000, 2));
+  return *rows;
+}
+
+void BM_HashJoinLegacyValueKeys(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        JoinTuplesPerSec(false, 0, BenchBuildSide(), BenchProbeSide()));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * kJoinBenchRows);
+}
+BENCHMARK(BM_HashJoinLegacyValueKeys)->Unit(benchmark::kMillisecond);
+
+void BM_HashJoinSerializedKeys(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        JoinTuplesPerSec(true, 0, BenchBuildSide(), BenchProbeSide()));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * kJoinBenchRows);
+}
+BENCHMARK(BM_HashJoinSerializedKeys)->Unit(benchmark::kMillisecond);
+
+void BM_HashJoinSerializedKeysForcedSpill(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(JoinTuplesPerSec(
+        true, kForcedSpillBudget, BenchBuildSide(), BenchProbeSide()));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * kJoinBenchRows);
+}
+BENCHMARK(BM_HashJoinSerializedKeysForcedSpill)->Unit(benchmark::kMillisecond);
+
+void BM_HashGroupByInMemory(benchmark::State& state) {
+  const auto& rows = BenchBuildSide();
+  const size_t groups = DistinctCol0(rows);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GroupByTuplesPerSec(0, rows, groups));
+  }
+  state.SetItemsProcessed(state.iterations() * kJoinBenchRows);
+}
+BENCHMARK(BM_HashGroupByInMemory)->Unit(benchmark::kMillisecond);
+
+void BM_HashGroupByForcedSpill(benchmark::State& state) {
+  const auto& rows = BenchBuildSide();
+  const size_t groups = DistinctCol0(rows);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        GroupByTuplesPerSec(kForcedSpillBudget, rows, groups));
+  }
+  state.SetItemsProcessed(state.iterations() * kJoinBenchRows);
+}
+BENCHMARK(BM_HashGroupByForcedSpill)->Unit(benchmark::kMillisecond);
+
 void BM_LzCompressStripe(benchmark::State& state) {
   std::vector<uint8_t> data;
   for (int i = 0; i < 2000; ++i) {
@@ -529,8 +743,47 @@ int main(int argc, char** argv) {
   std::printf("shuffle legacy=%.0f t/s frame=%.0f t/s speedup=%.2fx\n",
               legacy_tps, frame_tps, frame_tps / legacy_tps);
 
+  // Head-to-head join/group-by runs for the machine-readable snapshot: the
+  // legacy vector<Value>-keyed build vs the serialized-normalized-key build,
+  // in memory and with a budget small enough to force Grace spilling.
+  const size_t kHeadToHead = 100000;
+  auto build = JoinSide(kHeadToHead, kHeadToHead / 2, 1);
+  auto probe = JoinSide(kHeadToHead, kHeadToHead / 2, 2);
+  double join_legacy = JoinTuplesPerSec(false, 0, build, probe);
+  double join_serialized = JoinTuplesPerSec(true, 0, build, probe);
+  double join_spill = JoinTuplesPerSec(true, kForcedSpillBudget, build, probe);
+  size_t groups = DistinctCol0(build);
+  double gb_mem = GroupByTuplesPerSec(0, build, groups);
+  double gb_spill = GroupByTuplesPerSec(kForcedSpillBudget, build, groups);
+  char hash_json[512];
+  std::snprintf(
+      hash_json, sizeof(hash_json),
+      "{ \"tuples_per_side\": %lld, "
+      "\"legacy_value_key_tuples_per_sec\": %.0f, "
+      "\"serialized_key_tuples_per_sec\": %.0f, "
+      "\"serialized_vs_legacy_speedup\": %.2f, "
+      "\"forced_spill_tuples_per_sec\": %.0f, "
+      "\"spill_budget_bytes\": %lld }",
+      static_cast<long long>(kHeadToHead), join_legacy, join_serialized,
+      join_serialized / join_legacy, join_spill,
+      static_cast<long long>(kForcedSpillBudget));
+  char gb_json[256];
+  std::snprintf(gb_json, sizeof(gb_json),
+                "{ \"tuples\": %lld, \"groups\": %lld, "
+                "\"in_memory_tuples_per_sec\": %.0f, "
+                "\"forced_spill_tuples_per_sec\": %.0f }",
+                static_cast<long long>(kHeadToHead),
+                static_cast<long long>(groups), gb_mem, gb_spill);
+  std::printf(
+      "hash join legacy=%.0f t/s serialized=%.0f t/s (%.2fx) spill=%.0f t/s\n"
+      "group-by mem=%.0f t/s spill=%.0f t/s\n",
+      join_legacy, join_serialized, join_serialized / join_legacy, join_spill,
+      gb_mem, gb_spill);
+
   std::string out = "{ \"bench\": \"micro\", \"shuffle\": " +
-                    std::string(shuffle_json) + ", \"metrics\": " +
+                    std::string(shuffle_json) + ", \"hash_join\": " +
+                    std::string(hash_json) + ", \"group_by\": " +
+                    std::string(gb_json) + ", \"metrics\": " +
                     asterix::api::AsterixInstance::MetricsJson() + " }";
   auto st = asterix::env::WriteFileAtomic("BENCH_micro.json", out.data(),
                                           out.size());

@@ -1,5 +1,8 @@
 #include "adm/serde.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace asterix {
 namespace adm {
 
@@ -406,6 +409,141 @@ Result<size_t> TypedSerializedSize(const Value& v, const DatatypePtr& type) {
   Status st = SerializeTyped(v, type, &w);
   if (!st.ok()) return st;
   return w.size();
+}
+
+namespace {
+
+/// Compare() groups values before ordering them (numerics of any width share
+/// one group, and so on); the normalized encoding leads with the same group
+/// byte so cross-type equality matches Compare()==0.
+uint8_t NormalizedGroup(TypeTag t) {
+  switch (t) {
+    case TypeTag::kMissing: return 0;
+    case TypeTag::kNull: return 1;
+    case TypeTag::kBoolean: return 2;
+    case TypeTag::kInt8:
+    case TypeTag::kInt16:
+    case TypeTag::kInt32:
+    case TypeTag::kInt64:
+    case TypeTag::kFloat:
+    case TypeTag::kDouble: return 3;
+    case TypeTag::kString: return 4;
+    case TypeTag::kDate: return 5;
+    case TypeTag::kTime: return 6;
+    case TypeTag::kDatetime: return 7;
+    case TypeTag::kDuration:
+    case TypeTag::kYearMonthDuration:
+    case TypeTag::kDayTimeDuration: return 8;
+    case TypeTag::kInterval: return 9;
+    case TypeTag::kPoint: return 10;
+    case TypeTag::kLine: return 11;
+    case TypeTag::kRectangle: return 12;
+    case TypeTag::kCircle: return 13;
+    case TypeTag::kPolygon: return 14;
+    case TypeTag::kUuid: return 15;
+    case TypeTag::kBag: return 16;
+    case TypeTag::kOrderedList: return 17;
+    case TypeTag::kRecord: return 18;
+    case TypeTag::kAny: return 19;
+  }
+  return 20;
+}
+
+}  // namespace
+
+void SerializeNormalizedKey(const Value& v, BytesWriter* w) {
+  w->PutU8(NormalizedGroup(v.tag()));
+  switch (v.tag()) {
+    case TypeTag::kMissing:
+    case TypeTag::kNull:
+    case TypeTag::kAny:
+      return;
+    case TypeTag::kBoolean:
+      w->PutU8(v.AsBoolean() ? 1 : 0);
+      return;
+    case TypeTag::kInt8:
+    case TypeTag::kInt16:
+    case TypeTag::kInt32:
+    case TypeTag::kInt64:
+      // Integers widen to int64 so equal numerics of different widths encode
+      // identically.
+      w->PutU8(0);
+      w->PutI64(v.AsInt());
+      return;
+    case TypeTag::kFloat:
+    case TypeTag::kDouble: {
+      // Integral floats within int64 range take the integer form (the same
+      // normalization Value::Hash applies); everything else keeps its bits.
+      double d = v.AsDouble();
+      double integral;
+      if (std::modf(d, &integral) == 0.0 && integral >= -9.2e18 &&
+          integral <= 9.2e18) {
+        w->PutU8(0);
+        w->PutI64(static_cast<int64_t>(integral));
+      } else {
+        w->PutU8(1);
+        w->PutF64(d);
+      }
+      return;
+    }
+    case TypeTag::kString:
+      w->PutString(v.AsString());
+      return;
+    case TypeTag::kDate:
+    case TypeTag::kTime:
+    case TypeTag::kDatetime:
+    case TypeTag::kYearMonthDuration:
+    case TypeTag::kDayTimeDuration:
+      w->PutI64(v.AsInt());
+      return;
+    case TypeTag::kDuration:
+    case TypeTag::kUuid:
+      w->PutI64(v.AsInt());
+      w->PutI64(v.AsInt2());
+      return;
+    case TypeTag::kInterval:
+      w->PutU8(static_cast<uint8_t>(v.interval_point_tag()));
+      w->PutI64(v.AsInt());
+      w->PutI64(v.AsInt2());
+      return;
+    case TypeTag::kPoint:
+    case TypeTag::kLine:
+    case TypeTag::kRectangle:
+    case TypeTag::kPolygon:
+    case TypeTag::kCircle: {
+      const auto& pts = v.AsPoints();
+      w->PutVarint(pts.size());
+      for (const auto& p : pts) {
+        w->PutF64(p.x);
+        w->PutF64(p.y);
+      }
+      if (v.tag() == TypeTag::kCircle) w->PutF64(v.circle_radius());
+      return;
+    }
+    case TypeTag::kBag:
+    case TypeTag::kOrderedList: {
+      const auto& items = v.AsList();
+      w->PutVarint(items.size());
+      for (const auto& item : items) SerializeNormalizedKey(item, w);
+      return;
+    }
+    case TypeTag::kRecord: {
+      // Sorted field order, matching Compare()'s order-insensitive record
+      // equality.
+      const auto& fields = v.AsRecord().fields;
+      std::vector<const std::pair<std::string, Value>*> sorted;
+      sorted.reserve(fields.size());
+      for (const auto& f : fields) sorted.push_back(&f);
+      std::sort(sorted.begin(), sorted.end(),
+                [](const auto* a, const auto* b) { return a->first < b->first; });
+      w->PutVarint(sorted.size());
+      for (const auto* f : sorted) {
+        w->PutString(f->first);
+        SerializeNormalizedKey(f->second, w);
+      }
+      return;
+    }
+  }
 }
 
 }  // namespace adm

@@ -28,6 +28,15 @@ Status DeserializeTyped(BytesReader* r, const DatatypePtr& type, Value* out);
 /// Serialized size helper (schema-aware).
 Result<size_t> TypedSerializedSize(const Value& v, const DatatypePtr& type);
 
+/// Equality-normalized key serialization for hash tables: two values produce
+/// byte-identical output iff they are equal under Value::Compare (numerics
+/// are normalized across widths the same way Value::Hash normalizes them, so
+/// int32 5, int64 5 and double 5.0 all encode identically; record fields are
+/// written in sorted-name order). The encoding is NOT order-preserving and
+/// NOT invertible — it exists so hash joins/aggregations can replace deep
+/// Value hashing/equality with one 64-bit hash plus one memcmp per probe.
+void SerializeNormalizedKey(const Value& v, BytesWriter* w);
+
 }  // namespace adm
 }  // namespace asterix
 

@@ -1,15 +1,24 @@
 #include "hyracks/cluster.h"
 
 #include <chrono>
+#include <cstdlib>
+#include <deque>
 #include <map>
 #include <mutex>
 #include <thread>
 
 #include "common/env.h"
 #include "common/metrics.h"
+#include "hyracks/memory.h"
 
 namespace asterix {
 namespace hyracks {
+
+size_t DefaultOpMemoryBudgetBytes() {
+  const char* env = std::getenv("ASTERIX_OP_MEMORY_BUDGET");
+  if (env == nullptr || *env == '\0') return 0;
+  return static_cast<size_t>(std::strtoull(env, nullptr, 10));
+}
 
 namespace {
 
@@ -37,11 +46,12 @@ class RoutingEmitter : public Emitter {
   };
 
   RoutingEmitter(int src_instance, int src_node, std::vector<Route> routes,
-                 OperatorSpan* span)
+                 OperatorSpan* span, MemoryBudget* budget)
       : src_instance_(src_instance),
         src_node_(src_node),
         routes_(std::move(routes)),
-        span_(span) {
+        span_(span),
+        budget_(budget) {
     for (auto& r : routes_) {
       buffers_.emplace_back(r.dst_channels.size());
     }
@@ -49,6 +59,17 @@ class RoutingEmitter : public Emitter {
   }
 
   void AddBytesRead(uint64_t n) override { span_->bytes_read += n; }
+
+  MemoryBudget* memory_budget() override { return budget_; }
+
+  void AddSpill(uint64_t bytes, uint64_t partitions) override {
+    span_->spill_bytes += bytes;
+    span_->spilled_partitions += partitions;
+  }
+
+  void AddHashBuildBytes(uint64_t n) override {
+    span_->hash_build_bytes += n;
+  }
 
   void Push(Tuple tuple) override {
     ++span_->tuples_out;
@@ -174,6 +195,7 @@ class RoutingEmitter : public Emitter {
   std::vector<std::vector<Frame>> buffers_;  // [route][dst]
   std::vector<PendingCounts> pending_;       // [route], flushed per frame
   OperatorSpan* span_;
+  MemoryBudget* budget_;  // may be null (operator is not memory-intensive)
 };
 
 }  // namespace
@@ -241,6 +263,24 @@ Result<JobStats> Cluster::ExecuteJob(const JobSpec& job) {
     }
   }
 
+  // Divide the job's operator memory budget evenly across the instances of
+  // its memory-intensive operators (the ones that build join tables, group
+  // tables, or sort buffers). Each instance gets a private MemoryBudget —
+  // single-threaded by construction — and spills against it independently.
+  int budgeted_instances = 0;
+  for (const auto& op : job.operators) {
+    if (op.memory_intensive) budgeted_instances += op.parallelism;
+  }
+  size_t per_instance_budget =
+      budgeted_instances > 0 && config_.op_memory_budget_bytes > 0
+          ? config_.op_memory_budget_bytes /
+                static_cast<size_t>(budgeted_instances)
+          : 0;
+  if (config_.op_memory_budget_bytes > 0 && per_instance_budget == 0) {
+    per_instance_budget = 1;  // a budget was asked for; never round to "off"
+  }
+  std::deque<MemoryBudget> budget_storage;  // stable addresses for tasks
+
   // Build one task per operator instance and hand the set to the persistent
   // executor pool (which grows to admit the whole job, then reuses its
   // threads across jobs). RunAll blocks until every instance finishes, so
@@ -278,11 +318,17 @@ Result<JobStats> Cluster::ExecuteJob(const JobSpec& job) {
         routes.push_back(std::move(r));
       }
 
-      tasks.emplace_back([&, inputs, routes = std::move(routes), span,
+      MemoryBudget* budget = nullptr;
+      if (op.memory_intensive && per_instance_budget > 0) {
+        budget_storage.emplace_back(per_instance_budget);
+        budget = &budget_storage.back();
+      }
+
+      tasks.emplace_back([&, inputs, routes = std::move(routes), span, budget,
                           factory = op.factory]() mutable {
         span->start_ms = since_start_ms();
         RoutingEmitter emitter(span->instance, span->node, std::move(routes),
-                               span);
+                               span, budget);
         std::unique_ptr<OperatorInstance> instance = factory(span->instance);
         Status st = instance->Run(inputs, &emitter);
         if (st.ok()) {
@@ -331,10 +377,27 @@ Result<JobStats> Cluster::ExecuteJob(const JobSpec& job) {
     static metrics::Counter* net_tuples =
         reg.GetCounter("hyracks.network_tuples");
     static metrics::Histogram* job_us = reg.GetHistogram("hyracks.job_us");
+    static metrics::Counter* spill_bytes =
+        reg.GetCounter("hyracks.spill_bytes");
+    static metrics::Counter* spilled_partitions =
+        reg.GetCounter("hyracks.spilled_partitions");
+    // Byte-scale bounds: powers of four, 1 KiB .. 1 GiB.
+    static metrics::Histogram* build_bytes = [&reg] {
+      std::vector<uint64_t> bounds;
+      for (uint64_t b = 1024; b <= (1ull << 30); b *= 4) bounds.push_back(b);
+      return reg.GetHistogram("hyracks.hash_build_bytes", std::move(bounds));
+    }();
     jobs->Inc();
     conn_tuples->Inc(stats.connector_tuples);
     net_tuples->Inc(stats.network_tuples);
     job_us->Observe(static_cast<uint64_t>(stats.elapsed_ms * 1000.0));
+    for (const auto& span : profile->spans) {
+      if (span.spill_bytes > 0) spill_bytes->Inc(span.spill_bytes);
+      if (span.spilled_partitions > 0) {
+        spilled_partitions->Inc(span.spilled_partitions);
+      }
+      if (span.hash_build_bytes > 0) build_bytes->Observe(span.hash_build_bytes);
+    }
   }
 
   // Optional trace sink: one Chrome trace_event file per job.

@@ -13,6 +13,12 @@
 namespace asterix {
 namespace hyracks {
 
+/// Default per-job operator memory budget: the ASTERIX_OP_MEMORY_BUDGET
+/// environment variable when set (bytes), else 0 (unbounded). The env knob
+/// lets CI run the whole suite under an artificially tiny budget to stress
+/// every spill path without per-test configuration.
+size_t DefaultOpMemoryBudgetBytes();
+
 /// Shape of the simulated shared-nothing cluster: the paper's testbed is 10
 /// nodes x 3 data disks = 30 partitions; defaults here scale that down.
 struct ClusterConfig {
@@ -37,6 +43,12 @@ struct ClusterConfig {
   /// Executor-pool threads created at cluster boot; the pool grows on
   /// demand past this and never shrinks. 0 = 2x partitions.
   size_t executor_pool_boot_threads = 0;
+  /// Per-job memory budget for operator build state, divided evenly across
+  /// the job's memory-intensive operator instances (hash join, hash
+  /// group-by, distinct, sort). An instance that exceeds its share spills
+  /// hash partitions / sort runs to scratch files instead of growing. 0 =
+  /// unbounded (no spilling unless an operator's own caps trip).
+  size_t op_memory_budget_bytes = DefaultOpMemoryBudgetBytes();
 };
 
 /// Post-execution statistics used by benches and tests.

@@ -11,6 +11,8 @@
 namespace asterix {
 namespace hyracks {
 
+class MemoryBudget;
+
 /// Routed output of an operator instance; the executor wires it to the
 /// operator's outgoing connector.
 class Emitter {
@@ -22,6 +24,17 @@ class Emitter {
   /// Storage bytes this operator instance read; scan operators report
   /// their physical I/O here so profiles can show bytes-read per scan.
   virtual void AddBytesRead(uint64_t) {}
+  /// Memory quota for this operator instance — its share of the job's
+  /// op_memory_budget_bytes — or null when running unbudgeted (tests and
+  /// benches that drive operators directly). Budget-aware operators
+  /// (join/group-by/distinct/sort) charge their build state against it and
+  /// spill when it trips.
+  virtual MemoryBudget* memory_budget() { return nullptr; }
+  /// Spill accounting: bytes written to scratch runs and partitions evicted.
+  virtual void AddSpill(uint64_t /*bytes*/, uint64_t /*partitions*/) {}
+  /// Peak serialized hash-build footprint (arena + table, summed across
+  /// recursion levels) — the EXPLAIN ANALYZE "hash_build_bytes" signal.
+  virtual void AddHashBuildBytes(uint64_t) {}
 };
 
 /// A per-partition runtime instance of an operator. `inputs[p]` is the
@@ -47,6 +60,10 @@ struct OperatorDescriptor {
   int num_inputs = 0;
   std::vector<int> blocking_ports;
   OperatorFactory factory;
+  /// True for operators that build unbounded in-memory state (hash join,
+  /// hash group-by, distinct, sort); the executor divides the job's memory
+  /// budget across the instances of exactly these operators.
+  bool memory_intensive = false;
 };
 
 /// The six connector types the paper lists for Hyracks.

@@ -1,0 +1,46 @@
+#include "hyracks/memory.h"
+
+namespace asterix {
+namespace hyracks {
+
+using adm::TypeTag;
+using adm::Value;
+
+size_t EstimateValueBytes(const Value& v) {
+  size_t n = sizeof(Value);
+  switch (v.tag()) {
+    case TypeTag::kString:
+      n += v.AsString().capacity() + sizeof(std::string);
+      break;
+    case TypeTag::kPoint:
+    case TypeTag::kLine:
+    case TypeTag::kRectangle:
+    case TypeTag::kCircle:
+    case TypeTag::kPolygon:
+      n += v.AsPoints().size() * sizeof(adm::GeoPoint) + 32;
+      break;
+    case TypeTag::kBag:
+    case TypeTag::kOrderedList:
+      n += 32;
+      for (const auto& item : v.AsList()) n += EstimateValueBytes(item);
+      break;
+    case TypeTag::kRecord:
+      n += 32;
+      for (const auto& [name, val] : v.AsRecord().fields) {
+        n += name.capacity() + sizeof(std::string) + EstimateValueBytes(val);
+      }
+      break;
+    default:
+      break;
+  }
+  return n;
+}
+
+size_t EstimateTupleBytes(const Tuple& t) {
+  size_t n = sizeof(Tuple);
+  for (const auto& v : t) n += EstimateValueBytes(v);
+  return n;
+}
+
+}  // namespace hyracks
+}  // namespace asterix

@@ -1,0 +1,53 @@
+#ifndef ASTERIX_HYRACKS_MEMORY_H_
+#define ASTERIX_HYRACKS_MEMORY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "hyracks/tuple.h"
+
+namespace asterix {
+namespace hyracks {
+
+/// The fixed memory quota one operator instance runs within — its share of
+/// ClusterConfig::op_memory_budget_bytes (the executor divides the per-job
+/// budget across the memory-intensive operator instances it schedules).
+/// Joins, hash aggregations, distincts, and sorts charge their build/group/
+/// buffer state against it and spill partitions to scratch runs once
+/// over_budget() trips; the paper's "every query runs within a fixed memory
+/// budget" contract. Owned and touched by a single operator-instance thread,
+/// so nothing here is atomic.
+class MemoryBudget {
+ public:
+  /// limit_bytes == 0 means unbounded (charges are tracked but never trip).
+  explicit MemoryBudget(size_t limit_bytes) : limit_(limit_bytes) {}
+
+  void Charge(size_t n) {
+    used_ += n;
+    if (used_ > peak_) peak_ = used_;
+  }
+  void Release(size_t n) { used_ -= (n < used_ ? n : used_); }
+
+  bool unbounded() const { return limit_ == 0; }
+  bool over_budget() const { return limit_ != 0 && used_ > limit_; }
+  size_t used_bytes() const { return used_; }
+  size_t peak_bytes() const { return peak_; }
+  size_t limit_bytes() const { return limit_; }
+
+ private:
+  size_t limit_;
+  size_t used_ = 0;
+  size_t peak_ = 0;
+};
+
+/// Approximate heap footprint of a value / tuple, used to charge budgets.
+/// Counts the Value struct itself plus shared payloads as if owned (build
+/// tables hold their own copies in practice). Deliberately cheap: one
+/// recursive walk per tuple at insert time, no allocation.
+size_t EstimateValueBytes(const adm::Value& v);
+size_t EstimateTupleBytes(const Tuple& t);
+
+}  // namespace hyracks
+}  // namespace asterix
+
+#endif  // ASTERIX_HYRACKS_MEMORY_H_

@@ -6,9 +6,13 @@
 #include <unordered_map>
 
 #include "adm/serde.h"
+#include "common/bytes.h"
 #include "common/env.h"
 #include "functions/aggregates.h"
 #include "functions/arith.h"
+#include "hyracks/hash_table.h"
+#include "hyracks/memory.h"
+#include "hyracks/spill.h"
 
 namespace asterix {
 namespace hyracks {
@@ -134,6 +138,263 @@ GroupState NewGroup(const std::vector<AggSpec>& specs) {
     g.aggs.push_back(functions::MakeAggregator(s.function));
   }
   return g;
+}
+
+// ---------------------------------------------------------------------------
+// Budgeted hash operators (hybrid/Grace join, group-by, distinct).
+//
+// Shared shape: inputs hash-partition into kSpillFanout partitions by bits of
+// a 64-bit hash over the serialized normalized key. Each partition owns a
+// SerializedKeyTable (flat open addressing over arena-resident key bytes).
+// When the instance's MemoryBudget trips, the largest resident partition is
+// evicted wholesale to a SpillRun and further input for it is diverted to
+// disk; spilled partitions are recursively re-processed on the next 4 hash
+// bits. At kMaxSpillDepth the level builds in memory regardless (termination
+// guarantee for all-equal-key skew); each level uses disjoint hash bits, so
+// recursion splits what the parent level could not.
+// ---------------------------------------------------------------------------
+
+using TupleSink = std::function<Status(Tuple&)>;
+using TupleSource = std::function<Status(const TupleSink&)>;
+
+TupleSource ChannelSource(InChannel* in) {
+  return [in](const TupleSink& fn) { return ForEachInput(in, fn); };
+}
+
+TupleSource RunSource(const SpillRun* run) {
+  return [run](const TupleSink& fn) { return run->ForEach(fn); };
+}
+
+TupleSource EmptySource() {
+  return [](const TupleSink&) { return Status::OK(); };
+}
+
+constexpr int kSpillFanout = 16;
+constexpr int kSpillHashBits = 4;  // log2(kSpillFanout)
+constexpr int kMaxSpillDepth = 4;
+
+size_t SpillPartitionOf(uint64_t hash, int depth) {
+  return (hash >> (depth * kSpillHashBits)) & (kSpillFanout - 1);
+}
+
+/// Serializes the evaluated key expressions (the whole tuple when `evals` is
+/// empty) to the equality-normalized wire form used for hashing and memcmp
+/// equality. When `unknown` is non-null it reports whether any key value was
+/// Missing/Null (joins drop those; group-by/distinct treat them as values).
+Status SerializeKeyOf(const std::vector<TupleEval>& evals, const Tuple& t,
+                      BytesWriter* w, bool* unknown) {
+  if (evals.empty()) {
+    for (const auto& v : t) adm::SerializeNormalizedKey(v, w);
+    return Status::OK();
+  }
+  for (const auto& e : evals) {
+    auto r = e(t);
+    if (!r.ok()) return r.status();
+    if (unknown != nullptr && r.value().IsUnknown()) *unknown = true;
+    adm::SerializeNormalizedKey(r.value(), w);
+  }
+  return Status::OK();
+}
+
+/// The spill bookkeeping every budgeted operator instance shares: its budget
+/// (null when running unbudgeted), a lazily-created scratch directory, and
+/// the counters reported to the emitter at close.
+struct SpillContext {
+  explicit SpillContext(Emitter* out, const char* scratch_prefix)
+      : out(out), budget(out->memory_budget()), scratch(scratch_prefix) {}
+
+  std::string NextRunPath() {
+    return scratch.dir() + "/run" + std::to_string(run_seq_++);
+  }
+
+  void Report() {
+    if (hash_build_bytes > 0) out->AddHashBuildBytes(hash_build_bytes);
+    if (spill_bytes > 0 || spilled_partitions > 0) {
+      out->AddSpill(spill_bytes, spilled_partitions);
+    }
+  }
+
+  Emitter* out;
+  MemoryBudget* budget;
+  ScratchDirGuard scratch;
+  uint64_t spill_bytes = 0;
+  uint64_t spilled_partitions = 0;
+  uint64_t hash_build_bytes = 0;
+
+ private:
+  uint64_t run_seq_ = 0;
+};
+
+// --- Hybrid/Grace hash join ------------------------------------------------
+
+class GraceHashJoin {
+ public:
+  GraceHashJoin(const std::vector<TupleEval>* build_keys,
+                const std::vector<TupleEval>* probe_keys, size_t build_arity,
+                bool left_outer, Emitter* out)
+      : build_keys_(build_keys),
+        probe_keys_(probe_keys),
+        build_arity_(build_arity),
+        left_outer_(left_outer),
+        ctx_(out, "join-spill") {}
+
+  Status Execute(const TupleSource& build, const TupleSource& probe,
+                 int depth);
+
+  void Report() { ctx_.Report(); }
+
+ private:
+  struct Partition {
+    SerializedKeyTable table;
+    std::vector<Tuple> tuples;
+    // Chain links: tuple index -> previously inserted tuple with the same
+    // key (kNoPayload ends the chain); the table payload is the chain head.
+    std::vector<uint32_t> next;
+    size_t charged = 0;
+    bool spilled = false;
+    std::unique_ptr<SpillRun> build_run, probe_run;
+  };
+
+  /// Evicts the largest resident partition to disk. Returns false (without
+  /// error) when nothing is left to evict.
+  Result<bool> SpillVictim(std::vector<Partition>* parts) {
+    Partition* victim = nullptr;
+    for (auto& p : *parts) {
+      if (p.spilled || p.tuples.empty()) continue;
+      if (victim == nullptr || p.charged > victim->charged) victim = &p;
+    }
+    if (victim == nullptr) return false;
+    victim->build_run = std::make_unique<SpillRun>(ctx_.NextRunPath());
+    for (const Tuple& t : victim->tuples) {
+      ASTERIX_RETURN_NOT_OK(victim->build_run->AppendTuple(t));
+    }
+    if (ctx_.budget != nullptr) ctx_.budget->Release(victim->charged);
+    victim->charged = 0;
+    victim->spilled = true;
+    victim->table = SerializedKeyTable();
+    std::vector<Tuple>().swap(victim->tuples);
+    std::vector<uint32_t>().swap(victim->next);
+    ++ctx_.spilled_partitions;
+    return true;
+  }
+
+  void EmitOuter(const Tuple& probe_tuple) {
+    Tuple o(build_arity_, Value::Null());
+    o.insert(o.end(), probe_tuple.begin(), probe_tuple.end());
+    ctx_.out->Push(std::move(o));
+  }
+
+  const std::vector<TupleEval>* build_keys_;
+  const std::vector<TupleEval>* probe_keys_;
+  size_t build_arity_;
+  bool left_outer_;
+  SpillContext ctx_;
+};
+
+Status GraceHashJoin::Execute(const TupleSource& build,
+                              const TupleSource& probe, int depth) {
+  const bool can_spill = ctx_.budget != nullptr && depth < kMaxSpillDepth;
+  std::vector<Partition> parts(kSpillFanout);
+  BytesWriter key;
+
+  // Build: partition, insert resident, divert to runs once spilled.
+  ASTERIX_RETURN_NOT_OK(build([&](Tuple& t) -> Status {
+    key.Clear();
+    bool unknown = false;
+    ASTERIX_RETURN_NOT_OK(SerializeKeyOf(*build_keys_, t, &key, &unknown));
+    if (unknown) return Status::OK();  // unknown keys never join
+    uint64_t h = Hash64(key.data().data(), key.size());
+    Partition& p = parts[SpillPartitionOf(h, depth)];
+    if (p.spilled) return p.build_run->AppendTuple(t);
+    size_t table_before = p.table.bytes();
+    bool inserted;
+    uint32_t* head =
+        p.table.FindOrInsert(key.data().data(), key.size(), h, &inserted);
+    p.next.push_back(*head);
+    *head = static_cast<uint32_t>(p.tuples.size());
+    size_t delta = p.table.bytes() - table_before + EstimateTupleBytes(t) +
+                   sizeof(uint32_t);
+    p.tuples.push_back(std::move(t));
+    p.charged += delta;
+    if (ctx_.budget != nullptr) {
+      ctx_.budget->Charge(delta);
+      while (can_spill && ctx_.budget->over_budget()) {
+        ASTERIX_ASSIGN_OR_RETURN(bool spilled, SpillVictim(&parts));
+        if (!spilled) break;
+      }
+    }
+    return Status::OK();
+  }));
+  for (const Partition& p : parts) {
+    if (!p.spilled) ctx_.hash_build_bytes += p.charged;
+  }
+
+  // Probe: resident partitions stream matches; spilled ones buffer probes.
+  std::vector<uint32_t> chain;
+  ASTERIX_RETURN_NOT_OK(probe([&](Tuple& t) -> Status {
+    key.Clear();
+    bool unknown = false;
+    ASTERIX_RETURN_NOT_OK(SerializeKeyOf(*probe_keys_, t, &key, &unknown));
+    if (unknown) {
+      if (left_outer_) EmitOuter(t);
+      return Status::OK();
+    }
+    uint64_t h = Hash64(key.data().data(), key.size());
+    Partition& p = parts[SpillPartitionOf(h, depth)];
+    if (p.spilled) {
+      if (!p.probe_run) {
+        p.probe_run = std::make_unique<SpillRun>(ctx_.NextRunPath());
+      }
+      return p.probe_run->AppendTuple(t);
+    }
+    const uint32_t* head = p.table.Find(key.data().data(), key.size(), h);
+    if (head != nullptr) {
+      // The chain is newest-first; emit matches in build-arrival order.
+      chain.clear();
+      for (uint32_t i = *head; i != SerializedKeyTable::kNoPayload;
+           i = p.next[i]) {
+        chain.push_back(i);
+      }
+      for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+        Tuple o = p.tuples[*it];
+        o.insert(o.end(), t.begin(), t.end());
+        ctx_.out->Push(std::move(o));
+      }
+    } else if (left_outer_) {
+      EmitOuter(t);
+    }
+    return Status::OK();
+  }));
+
+  // This level's resident state is dead; release it before recursing so the
+  // sub-joins inherit the full budget.
+  for (auto& p : parts) {
+    if (p.spilled) continue;
+    if (ctx_.budget != nullptr) ctx_.budget->Release(p.charged);
+    p.charged = 0;
+    p.table = SerializedKeyTable();
+    std::vector<Tuple>().swap(p.tuples);
+    std::vector<uint32_t>().swap(p.next);
+  }
+
+  for (auto& p : parts) {
+    if (!p.spilled) continue;
+    ASTERIX_RETURN_NOT_OK(p.build_run->Finish());
+    ctx_.spill_bytes += p.build_run->bytes();
+    if (p.probe_run) {
+      ASTERIX_RETURN_NOT_OK(p.probe_run->Finish());
+      ctx_.spill_bytes += p.probe_run->bytes();
+    }
+    // No probes hit the partition: nothing can join (and outer padding only
+    // applies to probe tuples), so the build run is simply dropped.
+    if (p.probe_run && !p.probe_run->empty()) {
+      ASTERIX_RETURN_NOT_OK(Execute(RunSource(p.build_run.get()),
+                                    RunSource(p.probe_run.get()), depth + 1));
+    }
+    p.build_run->Remove();
+    if (p.probe_run) p.probe_run->Remove();
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -431,22 +692,20 @@ OperatorDescriptor MakeProject(int parallelism, std::vector<int> columns) {
 
 namespace {
 
-// Serialized sorted run on disk for the external sort. Tuples are written
-// as (varint column count, schemaless values); the reader streams them
-// back in order.
+// Serialized sorted run on disk for the external sort, in the shared spill
+// tuple format (varint column count + schemaless values); the reader streams
+// tuples back in order.
 class SortRun {
  public:
   static Result<SortRun> Write(const std::string& path,
                                const std::vector<Tuple>& tuples) {
     BytesWriter w;
-    for (const auto& t : tuples) {
-      w.PutVarint(t.size());
-      for (const auto& v : t) adm::SerializeValue(v, &w);
-    }
+    for (const auto& t : tuples) SerializeTuple(t, &w);
     ASTERIX_RETURN_NOT_OK(env::WriteFileAtomic(path, w.data().data(), w.size()));
     SortRun run;
     run.path_ = path;
     run.count_ = tuples.size();
+    run.file_bytes_ = w.size();
     return run;
   }
 
@@ -458,21 +717,14 @@ class SortRun {
 
   bool exhausted() const { return exhausted_; }
   const Tuple& head() const { return head_; }
+  uint64_t file_bytes() const { return file_bytes_; }
 
   Status Advance() {
     if (remaining_ == 0) {
       exhausted_ = true;
       return Status::OK();
     }
-    uint64_t cols;
-    ASTERIX_RETURN_NOT_OK(reader_->GetVarint(&cols));
-    head_.clear();
-    head_.reserve(cols);
-    for (uint64_t i = 0; i < cols; ++i) {
-      Value v;
-      ASTERIX_RETURN_NOT_OK(adm::DeserializeValue(reader_.get(), &v));
-      head_.push_back(std::move(v));
-    }
+    ASTERIX_RETURN_NOT_OK(DeserializeTuple(reader_.get(), &head_));
     --remaining_;
     return Status::OK();
   }
@@ -480,10 +732,10 @@ class SortRun {
   void Remove() { env::RemoveFile(path_); }
 
  private:
-  friend class SortRunInit;
   std::string path_;
   size_t count_ = 0;
   size_t remaining_ = 0;
+  uint64_t file_bytes_ = 0;
   std::vector<uint8_t> bytes_;
   std::unique_ptr<BytesReader> reader_;
   Tuple head_;
@@ -503,14 +755,22 @@ OperatorDescriptor MakeSort(int parallelism, TupleCompare compare,
   op.parallelism = parallelism;
   op.num_inputs = 1;
   op.blocking_ports = {0};
+  op.memory_intensive = true;
   op.factory = Lambda([compare, limit, spill_budget_tuples](
                           int partition, const std::vector<InChannel*>& in,
                           Emitter* out) {
     // External merge sort: sorted runs spill to disk once the in-memory
-    // budget is hit; a final k-way merge streams the global order.
+    // budget — tuple-count cap or the instance's byte budget, whichever
+    // trips first — is hit; a final heap-driven k-way merge streams the
+    // global order.
+    MemoryBudget* budget = out->memory_budget();
+    // Floor per run so a degenerate byte budget cannot degrade into one
+    // run per tuple (each run costs a file and a merge stream).
+    const size_t min_run_tuples = std::min<size_t>(64, spill_budget_tuples);
     std::vector<Tuple> buffer;
+    size_t charged = 0;
     std::vector<SortRun> runs;
-    std::string run_dir;
+    ScratchDirGuard scratch("sort-spill");
     auto sort_buffer = [&] {
       std::stable_sort(buffer.begin(), buffer.end(),
                        [&](const Tuple& a, const Tuple& b) {
@@ -519,18 +779,28 @@ OperatorDescriptor MakeSort(int parallelism, TupleCompare compare,
     };
     auto spill = [&]() -> Status {
       sort_buffer();
-      if (run_dir.empty()) run_dir = env::NewScratchDir("sort-spill");
       auto run = SortRun::Write(
-          run_dir + "/run" + std::to_string(runs.size()), buffer);
+          scratch.dir() + "/run" + std::to_string(runs.size()), buffer);
       if (!run.ok()) return run.status();
       runs.push_back(run.take());
       buffer.clear();
+      if (budget != nullptr) budget->Release(charged);
+      charged = 0;
       return Status::OK();
     };
 
     ASTERIX_RETURN_NOT_OK(ForEachInput(in[0], [&](Tuple& t) {
+      if (budget != nullptr) {
+        size_t d = EstimateTupleBytes(t);
+        charged += d;
+        budget->Charge(d);
+      }
       buffer.push_back(std::move(t));
-      if (buffer.size() >= spill_budget_tuples) return spill();
+      if (buffer.size() >= spill_budget_tuples ||
+          (budget != nullptr && budget->over_budget() &&
+           buffer.size() >= min_run_tuples)) {
+        return spill();
+      }
       return Status::OK();
     }));
     (void)partition;
@@ -541,35 +811,46 @@ OperatorDescriptor MakeSort(int parallelism, TupleCompare compare,
       size_t n = limit.has_value() ? std::min(*limit, buffer.size())
                                    : buffer.size();
       for (size_t i = 0; i < n; ++i) out->Push(std::move(buffer[i]));
+      if (budget != nullptr) budget->Release(charged);
       return Status::OK();
     }
     if (!buffer.empty()) ASTERIX_RETURN_NOT_OK(spill());
 
-    // K-way merge over the runs.
+    uint64_t run_bytes = 0;
+    for (const auto& run : runs) run_bytes += run.file_bytes();
+    out->AddSpill(run_bytes, runs.size());
+
+    // K-way merge: a binary heap of run heads replaces the O(k) scan per
+    // output tuple. Ties break toward the earlier run, preserving the
+    // stable order sequential spilling produced.
     for (auto& run : runs) {
       run.PrepareRead();
       ASTERIX_RETURN_NOT_OK(run.Open());
     }
+    auto heap_after = [&](size_t a, size_t b) {
+      int c = compare(runs[a].head(), runs[b].head());
+      if (c != 0) return c > 0;  // larger head pops later
+      return a > b;
+    };
+    std::vector<size_t> heap;
+    for (size_t i = 0; i < runs.size(); ++i) {
+      if (!runs[i].exhausted()) heap.push_back(i);
+    }
+    std::make_heap(heap.begin(), heap.end(), heap_after);
     size_t emitted = 0;
-    while (true) {
-      int best = -1;
-      for (size_t i = 0; i < runs.size(); ++i) {
-        if (runs[i].exhausted()) continue;
-        if (best < 0 || compare(runs[i].head(), runs[best].head()) < 0) {
-          best = static_cast<int>(i);
-        }
+    while (!heap.empty() && (!limit.has_value() || emitted < *limit)) {
+      std::pop_heap(heap.begin(), heap.end(), heap_after);
+      size_t best = heap.back();
+      heap.pop_back();
+      out->Push(runs[best].head());
+      ++emitted;
+      ASTERIX_RETURN_NOT_OK(runs[best].Advance());
+      if (!runs[best].exhausted()) {
+        heap.push_back(best);
+        std::push_heap(heap.begin(), heap.end(), heap_after);
       }
-      if (best < 0) break;
-      if (!limit.has_value() || emitted < *limit) {
-        out->Push(runs[best].head());
-        ++emitted;
-      } else {
-        break;
-      }
-      ASTERIX_RETURN_NOT_OK(runs[static_cast<size_t>(best)].Advance());
     }
     for (auto& run : runs) run.Remove();
-    if (!run_dir.empty()) env::RemoveAll(run_dir);
     return Status::OK();
   });
   return op;
@@ -584,41 +865,15 @@ OperatorDescriptor MakeHybridHashJoin(int parallelism,
   op.parallelism = parallelism;
   op.num_inputs = 2;
   op.blocking_ports = {0};  // Join Build activity blocks before probing
+  op.memory_intensive = true;
   op.factory = Lambda([build_keys, probe_keys, build_arity, left_outer](
                           int, const std::vector<InChannel*>& in,
                           Emitter* out) {
-    // Build.
-    std::unordered_map<std::vector<Value>, std::vector<Tuple>, TupleKeyHash,
-                       TupleKeyEq>
-        table;
-    ASTERIX_RETURN_NOT_OK(ForEachInput(in[0], [&](Tuple& t) {
-      auto keys_r = EvalKeys(build_keys, t);
-      if (!keys_r.ok()) return keys_r.status();
-      bool unknown = false;
-      for (const auto& k : keys_r.value()) unknown |= k.IsUnknown();
-      if (!unknown) table[keys_r.take()].push_back(std::move(t));
-      return Status::OK();
-    }));
-    // Probe.
-    return ForEachInput(in[1], [&](Tuple& t) {
-      auto keys_r = EvalKeys(probe_keys, t);
-      if (!keys_r.ok()) return keys_r.status();
-      bool unknown = false;
-      for (const auto& k : keys_r.value()) unknown |= k.IsUnknown();
-      auto it = unknown ? table.end() : table.find(keys_r.value());
-      if (it != table.end()) {
-        for (const auto& build_tuple : it->second) {
-          Tuple o = build_tuple;
-          o.insert(o.end(), t.begin(), t.end());
-          out->Push(std::move(o));
-        }
-      } else if (left_outer) {
-        Tuple o(build_arity, Value::Null());
-        o.insert(o.end(), t.begin(), t.end());
-        out->Push(std::move(o));
-      }
-      return Status::OK();
-    });
+    GraceHashJoin join(&build_keys, &probe_keys, build_arity, left_outer, out);
+    Status st =
+        join.Execute(ChannelSource(in[0]), ChannelSource(in[1]), /*depth=*/0);
+    join.Report();
+    return st;
   });
   return op;
 }
@@ -663,6 +918,170 @@ OperatorDescriptor MakeNestedLoopJoin(int parallelism, TupleEval predicate,
 
 namespace {
 
+// --- Budgeted hash group-by ------------------------------------------------
+//
+// Spills group state, not raw input: when a partition is evicted, each of
+// its groups is written as one partial tuple [keys..., Partial()...] (the
+// same layout the local/global aggregation split ships over the network) and
+// reloaded at the next recursion level via Aggregator::Combine. Raw input
+// arriving for an already-spilled partition goes to a second run unchanged.
+class SpillingHashGroupBy {
+ public:
+  SpillingHashGroupBy(const std::vector<TupleEval>* keys,
+                      const std::vector<AggSpec>* aggs, AggMode mode,
+                      Emitter* out)
+      : keys_(keys), aggs_(aggs), mode_(mode), ctx_(out, "group-spill") {}
+
+  /// `raw` feeds input tuples in the operator's own mode; `partials` feeds
+  /// previously spilled [keys..., Partial()...] tuples (combined regardless
+  /// of mode).
+  Status Execute(const TupleSource& raw, const TupleSource& partials,
+                 int depth);
+
+  void Report() { ctx_.Report(); }
+
+ private:
+  struct Partition {
+    SerializedKeyTable table;  // payload = index into group_keys/groups
+    std::vector<std::vector<Value>> group_keys;
+    std::vector<GroupState> groups;
+    size_t charged = 0;
+    bool spilled = false;
+    std::unique_ptr<SpillRun> raw_run, partial_run;
+  };
+
+  Status Feed(std::vector<Partition>* parts, Tuple& t, bool is_partial,
+              int depth, bool can_spill) {
+    // Partial tuples carry their key VALUES as the leading columns (the
+    // spill/kLocal layout); the key expressions only apply to raw input.
+    std::vector<Value> key_values;
+    if (is_partial) {
+      key_values.assign(t.begin(),
+                        t.begin() + static_cast<ptrdiff_t>(keys_->size()));
+    } else {
+      auto keys_r = EvalKeys(*keys_, t);
+      if (!keys_r.ok()) return keys_r.status();
+      key_values = keys_r.take();
+    }
+    key_.Clear();
+    for (const auto& v : key_values) {
+      adm::SerializeNormalizedKey(v, &key_);
+    }
+    uint64_t h = Hash64(key_.data().data(), key_.size());
+    Partition& p = (*parts)[SpillPartitionOf(h, depth)];
+    if (p.spilled) {
+      auto& run = is_partial ? p.partial_run : p.raw_run;
+      if (!run) run = std::make_unique<SpillRun>(ctx_.NextRunPath());
+      return run->AppendTuple(t);
+    }
+    size_t table_before = p.table.bytes();
+    bool inserted;
+    uint32_t* slot =
+        p.table.FindOrInsert(key_.data().data(), key_.size(), h, &inserted);
+    if (inserted) {
+      *slot = static_cast<uint32_t>(p.groups.size());
+      size_t delta = p.table.bytes() - table_before +
+                     EstimateTupleBytes(key_values) + kGroupStateBytes +
+                     aggs_->size() * kAggregatorBytes;
+      p.group_keys.push_back(std::move(key_values));
+      p.groups.push_back(NewGroup(*aggs_));
+      p.charged += delta;
+      if (ctx_.budget != nullptr) ctx_.budget->Charge(delta);
+    }
+    // Feed before any eviction so a spilled partial always reflects this
+    // tuple; eviction (below) may take this very partition.
+    ASTERIX_RETURN_NOT_OK(FeedGroup(&p.groups[*slot], *aggs_, t,
+                                    is_partial ? AggMode::kGlobal : mode_,
+                                    keys_->size()));
+    if (inserted && ctx_.budget != nullptr) {
+      while (can_spill && ctx_.budget->over_budget()) {
+        ASTERIX_ASSIGN_OR_RETURN(bool spilled, SpillVictim(parts));
+        if (!spilled) break;
+      }
+    }
+    return Status::OK();
+  }
+
+  Result<bool> SpillVictim(std::vector<Partition>* parts) {
+    Partition* victim = nullptr;
+    for (auto& p : *parts) {
+      if (p.spilled || p.groups.empty()) continue;
+      if (victim == nullptr || p.charged > victim->charged) victim = &p;
+    }
+    if (victim == nullptr) return false;
+    victim->partial_run = std::make_unique<SpillRun>(ctx_.NextRunPath());
+    for (size_t i = 0; i < victim->groups.size(); ++i) {
+      // kLocal emission = [keys..., Partial()...], the spill format.
+      Tuple partial = FinishGroup(victim->group_keys[i], &victim->groups[i],
+                                  AggMode::kLocal);
+      ASTERIX_RETURN_NOT_OK(victim->partial_run->AppendTuple(partial));
+    }
+    if (ctx_.budget != nullptr) ctx_.budget->Release(victim->charged);
+    victim->charged = 0;
+    victim->spilled = true;
+    victim->table = SerializedKeyTable();
+    std::vector<std::vector<Value>>().swap(victim->group_keys);
+    std::vector<GroupState>().swap(victim->groups);
+    ++ctx_.spilled_partitions;
+    return true;
+  }
+
+  // Aggregator state is opaque; charge a flat estimate per group/agg.
+  static constexpr size_t kGroupStateBytes = 64;
+  static constexpr size_t kAggregatorBytes = 96;
+
+  const std::vector<TupleEval>* keys_;
+  const std::vector<AggSpec>* aggs_;
+  AggMode mode_;
+  SpillContext ctx_;
+  BytesWriter key_;
+};
+
+Status SpillingHashGroupBy::Execute(const TupleSource& raw,
+                                    const TupleSource& partials, int depth) {
+  const bool can_spill = ctx_.budget != nullptr && depth < kMaxSpillDepth;
+  std::vector<Partition> parts(kSpillFanout);
+  ASTERIX_RETURN_NOT_OK(partials([&](Tuple& t) {
+    return Feed(&parts, t, /*is_partial=*/true, depth, can_spill);
+  }));
+  ASTERIX_RETURN_NOT_OK(raw([&](Tuple& t) {
+    return Feed(&parts, t, /*is_partial=*/false, depth, can_spill);
+  }));
+
+  // Resident groups finish here; then free them before recursing.
+  for (auto& p : parts) {
+    if (p.spilled) continue;
+    for (size_t i = 0; i < p.groups.size(); ++i) {
+      ctx_.out->Push(FinishGroup(p.group_keys[i], &p.groups[i], mode_));
+    }
+    ctx_.hash_build_bytes += p.charged;
+    if (ctx_.budget != nullptr) ctx_.budget->Release(p.charged);
+    p.charged = 0;
+    p.table = SerializedKeyTable();
+    std::vector<std::vector<Value>>().swap(p.group_keys);
+    std::vector<GroupState>().swap(p.groups);
+  }
+
+  for (auto& p : parts) {
+    if (!p.spilled) continue;
+    if (p.partial_run) {
+      ASTERIX_RETURN_NOT_OK(p.partial_run->Finish());
+      ctx_.spill_bytes += p.partial_run->bytes();
+    }
+    if (p.raw_run) {
+      ASTERIX_RETURN_NOT_OK(p.raw_run->Finish());
+      ctx_.spill_bytes += p.raw_run->bytes();
+    }
+    ASTERIX_RETURN_NOT_OK(Execute(
+        p.raw_run ? RunSource(p.raw_run.get()) : EmptySource(),
+        p.partial_run ? RunSource(p.partial_run.get()) : EmptySource(),
+        depth + 1));
+    if (p.raw_run) p.raw_run->Remove();
+    if (p.partial_run) p.partial_run->Remove();
+  }
+  return Status::OK();
+}
+
 OperatorDescriptor MakeGroupByImpl(const char* name, int parallelism,
                                    std::vector<TupleEval> keys,
                                    std::vector<AggSpec> aggs, AggMode mode,
@@ -671,7 +1090,10 @@ OperatorDescriptor MakeGroupByImpl(const char* name, int parallelism,
   op.name = name;
   op.parallelism = parallelism;
   op.num_inputs = 1;
-  if (!preclustered) op.blocking_ports = {0};
+  if (!preclustered) {
+    op.blocking_ports = {0};
+    op.memory_intensive = true;  // hash table over all groups
+  }
   op.factory = Lambda([keys, aggs, mode, preclustered](
                           int, const std::vector<InChannel*>& in,
                           Emitter* out) {
@@ -699,21 +1121,12 @@ OperatorDescriptor MakeGroupByImpl(const char* name, int parallelism,
       if (has_group) out->Push(FinishGroup(cur_keys, &cur, mode));
       return Status::OK();
     }
-    std::unordered_map<std::vector<Value>, GroupState, TupleKeyHash, TupleKeyEq>
-        groups;
-    ASTERIX_RETURN_NOT_OK(ForEachInput(in[0], [&](Tuple& t) {
-      auto keys_r = EvalKeys(keys, t);
-      if (!keys_r.ok()) return keys_r.status();
-      auto it = groups.find(keys_r.value());
-      if (it == groups.end()) {
-        it = groups.emplace(keys_r.take(), NewGroup(aggs)).first;
-      }
-      return FeedGroup(&it->second, aggs, t, mode, key_arity);
-    }));
-    for (auto& [gkeys, state] : groups) {
-      out->Push(FinishGroup(gkeys, &state, mode));
-    }
-    return Status::OK();
+    (void)key_arity;
+    SpillingHashGroupBy grouper(&keys, &aggs, mode, out);
+    Status st =
+        grouper.Execute(ChannelSource(in[0]), EmptySource(), /*depth=*/0);
+    grouper.Report();
+    return st;
   });
   return op;
 }
@@ -787,24 +1200,152 @@ OperatorDescriptor MakeBagGroupBy(int parallelism, std::vector<TupleEval> keys,
   return op;
 }
 
+namespace {
+
+// --- Budgeted distinct -----------------------------------------------------
+//
+// Streaming set semantics over the serialized-key table (the table IS the
+// set; no values are stored): the first tuple of each key is emitted as it
+// arrives. When a partition is evicted, its already-emitted keys are written
+// to the run as raw key-byte markers ahead of the diverted tuples, so the
+// recursion level knows which keys must stay suppressed.
+class SpillingDistinct {
+ public:
+  SpillingDistinct(const std::vector<TupleEval>* keys, Emitter* out)
+      : keys_(keys), ctx_(out, "distinct-spill") {}
+
+  using Level =
+      std::function<Status(const TupleSink&,
+                           const std::function<Status(const uint8_t*, size_t)>&)>;
+
+  Status Execute(const Level& source, int depth);
+
+  void Report() { ctx_.Report(); }
+
+ private:
+  struct Partition {
+    SerializedKeyTable table;  // membership only; payloads unused
+    size_t charged = 0;
+    bool spilled = false;
+    std::unique_ptr<SpillRun> run;
+  };
+
+  /// Inserts key bytes into the partition's set. Returns true if new.
+  bool Insert(Partition* p, const uint8_t* kb, size_t n, uint64_t h) {
+    size_t table_before = p->table.bytes();
+    bool inserted;
+    p->table.FindOrInsert(kb, n, h, &inserted);
+    if (inserted) {
+      size_t delta = p->table.bytes() - table_before + 16;
+      p->charged += delta;
+      if (ctx_.budget != nullptr) ctx_.budget->Charge(delta);
+    }
+    return inserted;
+  }
+
+  Result<bool> SpillVictim(std::vector<Partition>* parts) {
+    Partition* victim = nullptr;
+    for (auto& p : *parts) {
+      if (p.spilled || p.table.empty()) continue;
+      if (victim == nullptr || p.charged > victim->charged) victim = &p;
+    }
+    if (victim == nullptr) return false;
+    victim->run = std::make_unique<SpillRun>(ctx_.NextRunPath());
+    for (const auto& e : victim->table.entries()) {
+      ASTERIX_RETURN_NOT_OK(victim->run->AppendKeyBytes(e.key, e.key_len));
+    }
+    if (ctx_.budget != nullptr) ctx_.budget->Release(victim->charged);
+    victim->charged = 0;
+    victim->spilled = true;
+    victim->table = SerializedKeyTable();
+    ++ctx_.spilled_partitions;
+    return true;
+  }
+
+  const std::vector<TupleEval>* keys_;
+  SpillContext ctx_;
+  BytesWriter key_;
+};
+
+Status SpillingDistinct::Execute(const Level& source, int depth) {
+  const bool can_spill = ctx_.budget != nullptr && depth < kMaxSpillDepth;
+  std::vector<Partition> parts(kSpillFanout);
+  ASTERIX_RETURN_NOT_OK(source(
+      [&](Tuple& t) -> Status {
+        key_.Clear();
+        ASTERIX_RETURN_NOT_OK(
+            SerializeKeyOf(*keys_, t, &key_, /*unknown=*/nullptr));
+        uint64_t h = Hash64(key_.data().data(), key_.size());
+        Partition& p = parts[SpillPartitionOf(h, depth)];
+        if (p.spilled) return p.run->AppendTuple(t);
+        if (Insert(&p, key_.data().data(), key_.size(), h)) {
+          ctx_.out->Push(std::move(t));
+          if (ctx_.budget != nullptr) {
+            while (can_spill && ctx_.budget->over_budget()) {
+              ASTERIX_ASSIGN_OR_RETURN(bool spilled, SpillVictim(&parts));
+              if (!spilled) break;
+            }
+          }
+        }
+        return Status::OK();
+      },
+      [&](const uint8_t* kb, size_t n) -> Status {
+        // A key marker from the parent level: mark emitted, never emit.
+        uint64_t h = Hash64(kb, n);
+        Partition& p = parts[SpillPartitionOf(h, depth)];
+        if (p.spilled) return p.run->AppendKeyBytes(kb, n);
+        Insert(&p, kb, n, h);
+        if (ctx_.budget != nullptr) {
+          while (can_spill && ctx_.budget->over_budget()) {
+            ASTERIX_ASSIGN_OR_RETURN(bool spilled, SpillVictim(&parts));
+            if (!spilled) break;
+          }
+        }
+        return Status::OK();
+      }));
+
+  for (auto& p : parts) {
+    if (p.spilled) continue;
+    ctx_.hash_build_bytes += p.charged;
+    if (ctx_.budget != nullptr) ctx_.budget->Release(p.charged);
+    p.charged = 0;
+    p.table = SerializedKeyTable();
+  }
+  for (auto& p : parts) {
+    if (!p.spilled) continue;
+    ASTERIX_RETURN_NOT_OK(p.run->Finish());
+    ctx_.spill_bytes += p.run->bytes();
+    SpillRun* run = p.run.get();
+    ASTERIX_RETURN_NOT_OK(Execute(
+        [run](const TupleSink& on_tuple,
+              const std::function<Status(const uint8_t*, size_t)>& on_key) {
+          return run->ForEach(on_tuple, on_key);
+        },
+        depth + 1));
+    p.run->Remove();
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 OperatorDescriptor MakeDistinct(int parallelism, std::vector<TupleEval> keys) {
   OperatorDescriptor op;
   op.name = "distinct";
   op.parallelism = parallelism;
   op.num_inputs = 1;
+  op.memory_intensive = true;  // the seen-key set grows with distinct keys
   op.factory = Lambda([keys](int, const std::vector<InChannel*>& in,
                              Emitter* out) {
-    std::unordered_map<std::vector<Value>, bool, TupleKeyHash, TupleKeyEq> seen;
-    return ForEachInput(in[0], [&](Tuple& t) {
-      if (keys.empty()) {
-        if (seen.emplace(t, true).second) out->Push(std::move(t));
-        return Status::OK();
-      }
-      auto k = EvalKeys(keys, t);
-      if (!k.ok()) return k.status();
-      if (seen.emplace(k.take(), true).second) out->Push(std::move(t));
-      return Status::OK();
-    });
+    SpillingDistinct distinct(&keys, out);
+    Status st = distinct.Execute(
+        [&in](const TupleSink& on_tuple,
+              const std::function<Status(const uint8_t*, size_t)>&) {
+          return ForEachInput(in[0], on_tuple);
+        },
+        /*depth=*/0);
+    distinct.Report();
+    return st;
   });
   return op;
 }

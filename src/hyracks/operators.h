@@ -99,17 +99,20 @@ OperatorDescriptor MakeAssign(int parallelism, std::vector<TupleEval> exprs);
 /// Keeps only the named columns, in order.
 OperatorDescriptor MakeProject(int parallelism, std::vector<int> columns);
 
-/// Blocking external merge sort: buffers up to `spill_budget_tuples` in
-/// memory, spilling sorted runs to disk and k-way merging them (the
-/// production behaviour a memory-bounded sort needs). `limit` enables
-/// top-k truncation of the output.
+/// Blocking external merge sort: buffers tuples until `spill_budget_tuples`
+/// or the instance's byte MemoryBudget trips, spilling sorted runs to disk
+/// and heap-merging them k ways (the production behaviour a memory-bounded
+/// sort needs). `limit` enables top-k truncation of the output.
 OperatorDescriptor MakeSort(int parallelism, TupleCompare compare,
                             std::optional<size_t> limit = std::nullopt,
                             size_t spill_budget_tuples = 1u << 18);
 
-/// Hybrid hash join: port 0 = build, port 1 = probe. Emits build-tuple ++
-/// probe-tuple. `left_outer` emits probe ++ nulls for probe tuples without
-/// a match... (port semantics: outer side is the PROBE side).
+/// Hybrid/Grace hash join: port 0 = build, port 1 = probe. Emits
+/// build-tuple ++ probe-tuple. `left_outer` emits nulls ++ probe for probe
+/// tuples without a match (port semantics: outer side is the PROBE side).
+/// Build tuples go into per-hash-partition open-addressing tables keyed by
+/// serialized normalized key bytes; when the instance's MemoryBudget trips,
+/// whole partitions spill to scratch runs and are joined recursively.
 OperatorDescriptor MakeHybridHashJoin(int parallelism,
                                       std::vector<TupleEval> build_keys,
                                       std::vector<TupleEval> probe_keys,
@@ -121,7 +124,10 @@ OperatorDescriptor MakeNestedLoopJoin(int parallelism, TupleEval predicate,
                                       size_t build_arity, bool left_outer);
 
 /// Hash group-by. mode=kLocal emits partial-state columns; kGlobal consumes
-/// them; kComplete does both at once.
+/// them; kComplete does both at once. Budgeted: when the instance's
+/// MemoryBudget trips, hash partitions of group state spill to disk as
+/// partial-aggregate tuples and are merged back (Aggregator::Combine) on a
+/// recursive pass.
 OperatorDescriptor MakeHashGroupBy(int parallelism, std::vector<TupleEval> keys,
                                    std::vector<AggSpec> aggs, AggMode mode);
 
@@ -143,7 +149,9 @@ OperatorDescriptor MakeBagGroupBy(int parallelism, std::vector<TupleEval> keys,
                                   std::vector<int> collect_columns);
 
 /// Hash-based duplicate elimination: on `keys` when given, else on whole
-/// tuples.
+/// tuples. Set semantics over serialized normalized key bytes (no per-key
+/// Value vectors); emits the first occurrence of each key as it streams by,
+/// spilling hash partitions under memory pressure.
 OperatorDescriptor MakeDistinct(int parallelism,
                                 std::vector<TupleEval> keys = {});
 

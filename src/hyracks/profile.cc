@@ -48,6 +48,9 @@ std::vector<OperatorRollup> JobProfile::Rollup() const {
     r.bytes_read += s.bytes_read;
     r.input_wait_us += s.input_wait_us;
     r.output_wait_us += s.output_wait_us;
+    r.spill_bytes += s.spill_bytes;
+    r.spilled_partitions += s.spilled_partitions;
+    r.hash_build_bytes += s.hash_build_bytes;
     r.elapsed_ms = std::max(r.elapsed_ms, s.elapsed_ms());
   }
   return rollups;
@@ -88,6 +91,9 @@ std::string JobProfile::ToJson() const {
            ", \"bytes_read\": " + std::to_string(r.bytes_read) +
            ", \"input_wait_us\": " + std::to_string(r.input_wait_us) +
            ", \"output_wait_us\": " + std::to_string(r.output_wait_us) +
+           ", \"spill_bytes\": " + std::to_string(r.spill_bytes) +
+           ", \"spilled_partitions\": " + std::to_string(r.spilled_partitions) +
+           ", \"hash_build_bytes\": " + std::to_string(r.hash_build_bytes) +
            ", \"elapsed_ms\": " + FmtMs(r.elapsed_ms) + " }";
   }
   out += " ], \"spans\": [ ";
@@ -107,6 +113,9 @@ std::string JobProfile::ToJson() const {
            ", \"bytes_read\": " + std::to_string(s.bytes_read) +
            ", \"input_wait_us\": " + std::to_string(s.input_wait_us) +
            ", \"output_wait_us\": " + std::to_string(s.output_wait_us) +
+           ", \"spill_bytes\": " + std::to_string(s.spill_bytes) +
+           ", \"spilled_partitions\": " + std::to_string(s.spilled_partitions) +
+           ", \"hash_build_bytes\": " + std::to_string(s.hash_build_bytes) +
            ", \"ok\": " + (s.ok ? "true" : "false") + " }";
   }
   out += " ], \"connectors\": [ ";
@@ -154,6 +163,9 @@ std::string JobProfile::ToChromeTrace() const {
            ", \"frames_flushed\": " + std::to_string(s.frames_flushed) +
            ", \"input_wait_us\": " + std::to_string(s.input_wait_us) +
            ", \"output_wait_us\": " + std::to_string(s.output_wait_us) +
+           ", \"spill_bytes\": " + std::to_string(s.spill_bytes) +
+           ", \"spilled_partitions\": " + std::to_string(s.spilled_partitions) +
+           ", \"hash_build_bytes\": " + std::to_string(s.hash_build_bytes) +
            " } }";
   }
   out += " ] }";
@@ -220,6 +232,13 @@ std::string AnnotatePlan(const JobSpec& job, const JobProfile& profile) {
       }
       if (r.output_wait_us > 0) {
         out += ", output_wait_us=" + std::to_string(r.output_wait_us);
+      }
+      if (r.hash_build_bytes > 0) {
+        out += ", hash_build_bytes=" + std::to_string(r.hash_build_bytes);
+      }
+      if (r.spilled_partitions > 0 || r.spill_bytes > 0) {
+        out += ", spill_bytes=" + std::to_string(r.spill_bytes) +
+               ", spilled_partitions=" + std::to_string(r.spilled_partitions);
       }
       out += ", ms=" + FmtMs(r.elapsed_ms) + ", instances=" +
              std::to_string(r.instances) + ")";

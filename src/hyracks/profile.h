@@ -33,6 +33,14 @@ struct OperatorSpan {
   /// Wall time blocked pushing output frames into full channels — the
   /// backpressure this instance absorbed from downstream.
   uint64_t output_wait_us = 0;
+  /// Serialized bytes this instance wrote to spill scratch runs when its
+  /// memory budget tripped (join/group-by/distinct partitions, sort runs).
+  uint64_t spill_bytes = 0;
+  /// Hash partitions evicted to disk (0 = everything stayed in memory).
+  uint64_t spilled_partitions = 0;
+  /// Serialized hash-build footprint (key arena + table + tuple estimate),
+  /// summed across recursion levels of a budgeted hash operator.
+  uint64_t hash_build_bytes = 0;
   bool ok = true;
 
   double elapsed_ms() const { return end_ms - start_ms; }
@@ -60,6 +68,9 @@ struct OperatorRollup {
   uint64_t bytes_read = 0;
   uint64_t input_wait_us = 0;
   uint64_t output_wait_us = 0;
+  uint64_t spill_bytes = 0;
+  uint64_t spilled_partitions = 0;
+  uint64_t hash_build_bytes = 0;
   double elapsed_ms = 0;  // max instance span (critical-path view)
 };
 

@@ -1,0 +1,101 @@
+#include "hyracks/spill.h"
+
+#include <vector>
+
+#include "adm/serde.h"
+#include "common/env.h"
+
+namespace asterix {
+namespace hyracks {
+
+void SerializeTuple(const Tuple& t, BytesWriter* w) {
+  w->PutVarint(t.size());
+  for (const auto& v : t) adm::SerializeValue(v, w);
+}
+
+Status DeserializeTuple(BytesReader* r, Tuple* out) {
+  uint64_t cols;
+  ASTERIX_RETURN_NOT_OK(r->GetVarint(&cols));
+  out->clear();
+  out->reserve(cols);
+  for (uint64_t i = 0; i < cols; ++i) {
+    adm::Value v;
+    ASTERIX_RETURN_NOT_OK(adm::DeserializeValue(r, &v));
+    out->push_back(std::move(v));
+  }
+  return Status::OK();
+}
+
+ScratchDirGuard::~ScratchDirGuard() {
+  if (!dir_.empty()) env::RemoveAll(dir_);
+}
+
+const std::string& ScratchDirGuard::dir() {
+  if (dir_.empty()) dir_ = env::NewScratchDir(prefix_);
+  return dir_;
+}
+
+Status SpillRun::AppendTuple(const Tuple& t) {
+  size_t before = buf_.size();
+  buf_.PutU8(kTupleRecord);
+  SerializeTuple(t, &buf_);
+  bytes_ += buf_.size() - before;
+  ++records_;
+  if (buf_.size() >= kFlushBytes) return FlushBuffer();
+  return Status::OK();
+}
+
+Status SpillRun::AppendKeyBytes(const uint8_t* data, size_t n) {
+  size_t before = buf_.size();
+  buf_.PutU8(kKeyRecord);
+  buf_.PutVarint(n);
+  buf_.PutBytes(data, n);
+  bytes_ += buf_.size() - before;
+  ++records_;
+  if (buf_.size() >= kFlushBytes) return FlushBuffer();
+  return Status::OK();
+}
+
+Status SpillRun::Finish() { return FlushBuffer(); }
+
+Status SpillRun::FlushBuffer() {
+  if (buf_.size() == 0) return Status::OK();
+  ASTERIX_RETURN_NOT_OK(
+      env::AppendFile(path_, buf_.data().data(), buf_.size()));
+  buf_.Clear();
+  return Status::OK();
+}
+
+Status SpillRun::ForEach(
+    const std::function<Status(Tuple&)>& on_tuple,
+    const std::function<Status(const uint8_t*, size_t)>& on_key) const {
+  if (records_ == 0) return Status::OK();
+  std::vector<uint8_t> bytes;
+  ASTERIX_RETURN_NOT_OK(env::ReadFile(path_, &bytes));
+  BytesReader r(bytes.data(), bytes.size());
+  Tuple t;
+  while (!r.AtEnd()) {
+    uint8_t kind;
+    ASTERIX_RETURN_NOT_OK(r.GetU8(&kind));
+    if (kind == kTupleRecord) {
+      ASTERIX_RETURN_NOT_OK(DeserializeTuple(&r, &t));
+      ASTERIX_RETURN_NOT_OK(on_tuple(t));
+    } else if (kind == kKeyRecord) {
+      uint64_t n;
+      ASTERIX_RETURN_NOT_OK(r.GetVarint(&n));
+      if (n > r.remaining()) return Status::Corruption("spill run truncated");
+      const uint8_t* p = bytes.data() + r.position();
+      ASTERIX_RETURN_NOT_OK(r.Skip(n));
+      if (!on_key) return Status::Corruption("unexpected key record");
+      ASTERIX_RETURN_NOT_OK(on_key(p, n));
+    } else {
+      return Status::Corruption("bad spill record kind");
+    }
+  }
+  return Status::OK();
+}
+
+void SpillRun::Remove() { env::RemoveFile(path_); }
+
+}  // namespace hyracks
+}  // namespace asterix

@@ -1,0 +1,84 @@
+#ifndef ASTERIX_HYRACKS_SPILL_H_
+#define ASTERIX_HYRACKS_SPILL_H_
+
+#include <functional>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "hyracks/tuple.h"
+
+namespace asterix {
+namespace hyracks {
+
+/// Tuple wire format shared by every operator that writes tuples to scratch
+/// files (sort runs, join/group-by/distinct spill partitions): varint column
+/// count followed by schemaless ADM values.
+void SerializeTuple(const Tuple& t, BytesWriter* w);
+Status DeserializeTuple(BytesReader* r, Tuple* out);
+
+/// Lazily-created scratch directory removed when the guard dies — success,
+/// operator failure, and job cancellation all unwind through the operator's
+/// stack, so spill scratch space can never outlive its operator instance.
+class ScratchDirGuard {
+ public:
+  explicit ScratchDirGuard(std::string prefix) : prefix_(std::move(prefix)) {}
+  ~ScratchDirGuard();
+  ScratchDirGuard(const ScratchDirGuard&) = delete;
+  ScratchDirGuard& operator=(const ScratchDirGuard&) = delete;
+
+  /// Creates the directory on first use.
+  const std::string& dir();
+  bool created() const { return !dir_.empty(); }
+
+ private:
+  std::string prefix_;
+  std::string dir_;
+};
+
+/// One spilled partition run on disk: a stream of records appended
+/// incrementally (buffered, so spilling does not itself balloon memory) and
+/// read back in order. Records are either whole tuples or opaque key bytes —
+/// the latter carry a distinct operator's already-emitted key markers across
+/// a spill. Readback loads the file in one read; recursion shrinks
+/// partitions geometrically, so a run that was too big to hold as live build
+/// state fits as flat bytes (and is split 16 ways again immediately).
+class SpillRun {
+ public:
+  explicit SpillRun(std::string path) : path_(std::move(path)) {}
+
+  Status AppendTuple(const Tuple& t);
+  Status AppendKeyBytes(const uint8_t* data, size_t n);
+  /// Flushes the buffered tail to disk; call before ForEach.
+  Status Finish();
+
+  uint64_t records() const { return records_; }
+  bool empty() const { return records_ == 0; }
+  /// Total serialized bytes appended (the spill_bytes a run contributes).
+  uint64_t bytes() const { return bytes_; }
+
+  /// Streams records back in append order. `on_key` may be null if the run
+  /// was written without key markers.
+  Status ForEach(const std::function<Status(Tuple&)>& on_tuple,
+                 const std::function<Status(const uint8_t*, size_t)>& on_key =
+                     nullptr) const;
+
+  void Remove();
+
+ private:
+  static constexpr uint8_t kTupleRecord = 0;
+  static constexpr uint8_t kKeyRecord = 1;
+  static constexpr size_t kFlushBytes = 256 * 1024;
+
+  Status FlushBuffer();
+
+  std::string path_;
+  BytesWriter buf_;
+  uint64_t records_ = 0;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace hyracks
+}  // namespace asterix
+
+#endif  // ASTERIX_HYRACKS_SPILL_H_
