@@ -15,6 +15,7 @@
 #include "baselines/docstore.h"
 #include "baselines/relstore.h"
 #include "common/env.h"
+#include "common/metrics.h"
 #include "workload/generator.h"
 
 namespace asterix {
@@ -262,10 +263,45 @@ inline void BenchEnv::SetUpDocStore() {
   Check(mongo_messages_->LoadBulk(messages_), "mongo messages");
 }
 
+/// p50/p95/p99 of a latency histogram as a JSON object.
+inline std::string HistogramPercentilesJson(const char* metric) {
+  const metrics::Histogram* h =
+      metrics::MetricsRegistry::Default().GetHistogram(metric);
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "{ \"count\": %llu, \"p50\": %.1f, \"p95\": %.1f, "
+                "\"p99\": %.1f }",
+                static_cast<unsigned long long>(h->count()),
+                h->Percentile(0.50), h->Percentile(0.95), h->Percentile(0.99));
+  return buf;
+}
+
+/// The standard latency-percentile block every bench dump carries: job
+/// end-to-end latency plus the storage/txn stall histograms.
+inline std::string LatencyPercentilesJson() {
+  return "{ \"job_us\": " +
+         std::string(HistogramPercentilesJson("hyracks.job_us")) +
+         ", \"lsm_flush_us\": " +
+         HistogramPercentilesJson("storage.lsm.flush_us") +
+         ", \"lsm_merge_us\": " +
+         HistogramPercentilesJson("storage.lsm.merge_us") +
+         ", \"lock_wait_us\": " +
+         HistogramPercentilesJson("txn.lock.wait_us") + " }";
+}
+
+/// Printed percentile summary line for bench stdout tables.
+inline void PrintJobPercentiles(const char* label) {
+  const metrics::Histogram* h =
+      metrics::MetricsRegistry::Default().GetHistogram("hyracks.job_us");
+  std::printf("%-18s n=%llu p50=%.0fus p95=%.0fus p99=%.0fus\n", label,
+              static_cast<unsigned long long>(h->count()),
+              h->Percentile(0.50), h->Percentile(0.95), h->Percentile(0.99));
+}
+
 /// Accumulates per-query timings/JobProfiles and writes BENCH_<name>.json
-/// (queries array + a process-wide MetricsRegistry snapshot) into the
-/// working directory, so a bench run leaves a machine-readable record of
-/// what every operator actually did.
+/// (queries array + latency percentiles + a process-wide MetricsRegistry
+/// snapshot) into the working directory, so a bench run leaves a
+/// machine-readable record of what every operator actually did.
 class BenchJsonDump {
  public:
   explicit BenchJsonDump(std::string name) : name_(std::move(name)) {}
@@ -281,7 +317,8 @@ class BenchJsonDump {
 
   void Write() {
     std::string out = "{ \"bench\": \"" + name_ + "\", \"queries\": [ " +
-                      entries_ + " ], \"metrics\": " +
+                      entries_ + " ], \"latency_percentiles\": " +
+                      LatencyPercentilesJson() + ", \"metrics\": " +
                       api::AsterixInstance::MetricsJson() + " }";
     std::string path = "BENCH_" + name_ + ".json";
     Check(env::WriteFileAtomic(path, out.data(), out.size()), "bench dump");

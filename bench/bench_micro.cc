@@ -792,5 +792,50 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("wrote BENCH_micro.json\n");
+
+  // Live-introspection artifacts: boot a tiny instance with an aggressive
+  // slow-query threshold, run a short script, and leave a StatusJson
+  // snapshot plus the resulting slow-query log next to the bench dumps
+  // (CI uploads both).
+  {
+    std::string dir = asterix::env::NewScratchDir("bench_micro_status");
+    asterix::api::InstanceConfig config;
+    config.base_dir = dir + "/asterix";
+    config.cluster.num_nodes = 2;
+    config.cluster.partitions_per_node = 2;
+    config.cluster.job_startup_us = 0;
+    config.cluster.slow_query_us = 1;  // every query profiles into the log
+    asterix::api::AsterixInstance instance(config);
+    auto check = [](const asterix::Status& s, const char* what) {
+      if (!s.ok()) {
+        std::fprintf(stderr, "FATAL %s: %s\n", what, s.ToString().c_str());
+        std::exit(1);
+      }
+    };
+    check(instance.Boot(), "status boot");
+    auto r = instance.Execute(R"aql(
+create dataverse Bench; use dataverse Bench;
+create type T as { id: int64, v: int64 }
+create dataset D(T) primary key id;
+insert into dataset D ([
+  { "id": 1, "v": 2 }, { "id": 2, "v": 3 }, { "id": 3, "v": 4 },
+  { "id": 4, "v": 5 }, { "id": 5, "v": 6 }, { "id": 6, "v": 7 } ]);
+for $a in dataset D where $a.v > 3 return $a.id;
+)aql");
+    check(r.ok() ? asterix::Status::OK() : r.status(), "status script");
+    std::string status = instance.StatusJson();
+    check(asterix::env::WriteFileAtomic("STATUS.json", status.data(),
+                                        status.size()),
+          "status dump");
+    std::printf("wrote STATUS.json\n");
+    std::vector<uint8_t> slow_log;
+    if (asterix::env::ReadFile(instance.SlowQueryLogPath(), &slow_log).ok()) {
+      check(asterix::env::WriteFileAtomic("SLOW_QUERY.log", slow_log.data(),
+                                          slow_log.size()),
+            "slow-query dump");
+      std::printf("wrote SLOW_QUERY.log\n");
+    }
+    asterix::env::RemoveAll(dir);
+  }
   return 0;
 }

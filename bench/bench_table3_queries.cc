@@ -600,6 +600,7 @@ int Main() {
   p("Grp-Aggr (Lg)", t3.GroupAggregate(false, agg_lg));
   p("-- with IX", t3.GroupAggregate(true, agg_lg));
   std::printf("(sink=%zu)\n", t3.sink());
+  PrintJobPercentiles("job latency");
   dump.Write();
   return 0;
 }

@@ -177,6 +177,7 @@ int Main() {
               ast_keyonly_20);
   std::printf("%-18s %12.3f %12.3f\n", "Syst-X", systx_1, systx_20);
   std::printf("%-18s %12.3f %12.3f\n", "Mongo", mongo_1, mongo_20);
+  PrintJobPercentiles("insert jobs");
 
   bool ok = true;
   auto claim = [&](bool cond, const char* what) {

@@ -1,8 +1,11 @@
 #include "api/asterix.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 
 #include "common/env.h"
+#include "common/journal.h"
 #include "common/metrics.h"
 #include "external/external.h"
 #include "hyracks/operators.h"
@@ -14,6 +17,151 @@ using adm::Value;
 using algebricks::EvalContext;
 using algebricks::LogicalOp;
 using algebricks::LogicalOpPtr;
+
+const char* QueryPhaseName(QueryPhase phase) {
+  switch (phase) {
+    case QueryPhase::kParse:
+      return "parse";
+    case QueryPhase::kOptimize:
+      return "optimize";
+    case QueryPhase::kExecute:
+      return "execute";
+    case QueryPhase::kResult:
+      return "result";
+  }
+  return "unknown";
+}
+
+namespace {
+
+uint64_t ElapsedUs(std::chrono::steady_clock::time_point since) {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::steady_clock::now() - since)
+                                   .count());
+}
+
+double ElapsedMs(std::chrono::steady_clock::time_point since) {
+  return static_cast<double>(ElapsedUs(since)) / 1000.0;
+}
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  *out += buf;
+}
+
+void AppendPhasesJson(std::string* out, const hyracks::PhaseSpans& ph) {
+  *out += "{ \"parse_us\": " + std::to_string(ph.parse_us) +
+          ", \"optimize_us\": " + std::to_string(ph.optimize_us) +
+          ", \"admission_wait_us\": " + std::to_string(ph.admission_us) +
+          ", \"execute_us\": " + std::to_string(ph.execute_us) +
+          ", \"result_us\": " + std::to_string(ph.result_us) + " }";
+}
+
+/// A one-line label for a submitted script: the leading fragment with
+/// whitespace collapsed, capped for log/status readability.
+std::string StatementLabel(const std::string& aql) {
+  std::string label;
+  label.reserve(std::min<size_t>(aql.size(), 160));
+  bool in_ws = true;
+  for (char c : aql) {
+    bool ws = c == ' ' || c == '\n' || c == '\r' || c == '\t';
+    if (ws) {
+      if (!in_ws) label.push_back(' ');
+      in_ws = true;
+    } else {
+      label.push_back(c);
+      in_ws = false;
+    }
+    if (label.size() >= 160) break;
+  }
+  while (!label.empty() && label.back() == ' ') label.pop_back();
+  return label;
+}
+
+/// Per-query accounting carried on the executing thread across the
+/// parse / optimize / execute / result phases. Execute() stacks one on the
+/// call frame; ExecuteQuery/Insert/Delete reach it through the thread-local
+/// so phase spans accumulate across a multi-statement script.
+struct QueryTracker {
+  hyracks::PhaseSpans phases;
+  ActiveQueryRecord* record = nullptr;
+};
+
+thread_local QueryTracker* tls_query_tracker = nullptr;
+
+class QueryTrackerScope {
+ public:
+  explicit QueryTrackerScope(QueryTracker* t) : prev_(tls_query_tracker) {
+    tls_query_tracker = t;
+  }
+  ~QueryTrackerScope() { tls_query_tracker = prev_; }
+
+ private:
+  QueryTracker* prev_;
+};
+
+void SetQueryPhase(QueryPhase phase) {
+  QueryTracker* t = tls_query_tracker;
+  if (t != nullptr && t->record != nullptr) {
+    t->record->phase.store(static_cast<int>(phase), std::memory_order_relaxed);
+  }
+}
+
+/// Stamps the query-level spans (parse/optimize/result) onto a finished
+/// job's profile — the executor already filled admission/execute — and folds
+/// the executor-measured spans into the per-query tracker.
+void StampProfilePhases(hyracks::JobStats* stats, uint64_t optimize_us,
+                        uint64_t result_us) {
+  QueryTracker* tracker = tls_query_tracker;
+  if (tracker != nullptr) {
+    tracker->phases.result_us += result_us;
+    if (stats->profile) {
+      tracker->phases.admission_us += stats->profile->phases.admission_us;
+      tracker->phases.execute_us += stats->profile->phases.execute_us;
+    }
+  }
+  if (stats->profile) {
+    stats->profile->phases.optimize_us = optimize_us;
+    stats->profile->phases.result_us = result_us;
+    stats->profile->phases.parse_us =
+        tracker != nullptr ? tracker->phases.parse_us : 0;
+  }
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Rule catalog over the live datasets
@@ -145,6 +293,46 @@ Status AsterixInstance::ScanDataset(
 }
 
 Result<ExecutionResult> AsterixInstance::Execute(const std::string& aql) {
+  // Every Execute() call is one query: it gets a process-unique id that the
+  // thread-local journal context carries through parse, compile, job
+  // execution (re-published on pool worker threads), storage, and txn code,
+  // so every journal event and profile span ties back to this request.
+  const uint64_t query_id = journal::NextQueryId();
+  journal::ScopedQueryId query_scope(query_id);
+
+  auto record = std::make_shared<ActiveQueryRecord>();
+  record->query_id = query_id;
+  record->start = std::chrono::steady_clock::now();
+  record->statement = StatementLabel(aql);
+  {
+    std::lock_guard<std::mutex> lock(queries_mu_);
+    active_queries_[query_id] = record;
+  }
+  journal::Journal::Default().Post(journal::EventKind::kQueryStart,
+                                   aql.size());
+
+  QueryTracker tracker;
+  tracker.record = record.get();
+  Result<ExecutionResult> result = [&] {
+    QueryTrackerScope tracker_scope(&tracker);
+    return ExecuteScript(aql);
+  }();
+
+  uint64_t elapsed_us = ElapsedUs(record->start);
+  journal::Journal::Default().Post(journal::EventKind::kQueryFinish,
+                                   elapsed_us, result.ok() ? 0 : 1);
+  {
+    std::lock_guard<std::mutex> lock(queries_mu_);
+    active_queries_.erase(query_id);
+  }
+  MaybeLogSlowQuery(query_id, record->statement, elapsed_us, tracker.phases,
+                    result);
+  return result;
+}
+
+Result<ExecutionResult> AsterixInstance::ExecuteScript(const std::string& aql) {
+  SetQueryPhase(QueryPhase::kParse);
+  auto parse_start = std::chrono::steady_clock::now();
   // The parser context carries cross-statement session state (current
   // dataverse, sim function); concurrent Execute() calls — SubmitAsync runs
   // scripts on pool threads — must not mutate it unsynchronized.
@@ -152,12 +340,45 @@ Result<ExecutionResult> AsterixInstance::Execute(const std::string& aql) {
     std::lock_guard<std::mutex> lock(parser_mu_);
     return aql::ParseAql(aql, &parser_ctx_);
   }();
+  if (QueryTracker* tracker = tls_query_tracker) {
+    tracker->phases.parse_us += ElapsedUs(parse_start);
+  }
   if (!stmts_r.ok()) return stmts_r.status();
   ExecutionResult last;
   for (const auto& st : stmts_r.value()) {
+    SetQueryPhase(QueryPhase::kExecute);
     ASTERIX_RETURN_NOT_OK(ExecuteStatement(st, &last));
   }
   return last;
+}
+
+void AsterixInstance::MaybeLogSlowQuery(uint64_t query_id,
+                                        const std::string& statement,
+                                        uint64_t elapsed_us,
+                                        const hyracks::PhaseSpans& phases,
+                                        const Result<ExecutionResult>& result) {
+  int64_t threshold = config_.cluster.slow_query_us;
+  if (threshold <= 0 || elapsed_us < static_cast<uint64_t>(threshold)) return;
+  const hyracks::JobProfile* profile =
+      result.ok() && result.value().stats.profile
+          ? result.value().stats.profile.get()
+          : nullptr;
+  std::string line = "{ \"query_id\": " + std::to_string(query_id) +
+                     ", \"elapsed_us\": " + std::to_string(elapsed_us) +
+                     ", \"ok\": " + (result.ok() ? "true" : "false") +
+                     ", \"statement\": ";
+  AppendJsonString(&line, statement);
+  line += ", \"phases\": ";
+  AppendPhasesJson(&line, phases);
+  line += ", \"profile\": ";
+  line += profile != nullptr ? profile->ToJson() : "null";
+  line += " }\n";
+  std::lock_guard<std::mutex> lock(slow_log_mu_);
+  (void)env::AppendFile(SlowQueryLogPath(), line.data(), line.size());
+}
+
+std::string AsterixInstance::SlowQueryLogPath() const {
+  return config_.base_dir + "/slow_query.log";
 }
 
 Result<uint64_t> AsterixInstance::SubmitAsync(const std::string& aql) {
@@ -202,6 +423,116 @@ Result<ExecutionResult> AsterixInstance::GetAsyncResult(uint64_t handle) {
 
 std::string AsterixInstance::MetricsJson() {
   return metrics::MetricsRegistry::Default().ToJson();
+}
+
+std::string AsterixInstance::StatusJson() {
+  auto& reg = metrics::MetricsRegistry::Default();
+  std::string out = "{ ";
+
+  out += "\"active_queries\": [ ";
+  {
+    std::lock_guard<std::mutex> lock(queries_mu_);
+    bool first = true;
+    for (const auto& [id, rec] : active_queries_) {
+      if (!first) out += ", ";
+      first = false;
+      out += "{ \"query_id\": " + std::to_string(id) + ", \"phase\": \"";
+      out += QueryPhaseName(
+          static_cast<QueryPhase>(rec->phase.load(std::memory_order_relaxed)));
+      out += "\", \"elapsed_ms\": ";
+      AppendDouble(&out, ElapsedMs(rec->start));
+      out += ", \"statement\": ";
+      AppendJsonString(&out, rec->statement);
+      out += " }";
+    }
+  }
+  out += " ], ";
+
+  out += "\"active_jobs\": [ ";
+  {
+    bool first = true;
+    for (const auto& j : cluster_->ActiveJobs()) {
+      if (!first) out += ", ";
+      first = false;
+      out += "{ \"job_id\": " + std::to_string(j.job_id) +
+             ", \"query_id\": " + std::to_string(j.query_id) +
+             ", \"elapsed_ms\": ";
+      AppendDouble(&out, j.elapsed_ms);
+      out += ", \"instances\": " + std::to_string(j.instances) +
+             ", \"budget_used_bytes\": " +
+             std::to_string(j.budget_used_bytes) + " }";
+    }
+  }
+  out += " ], ";
+
+  const hyracks::ExecutorPool& pool = cluster_->pool();
+  out += "\"executor_pool\": { \"threads_alive\": " +
+         std::to_string(pool.threads_alive()) +
+         ", \"busy_threads\": " + std::to_string(pool.busy_threads()) +
+         ", \"queued_tasks\": " + std::to_string(pool.queued_tasks()) +
+         ", \"threads_created\": " + std::to_string(pool.threads_created()) +
+         " }, ";
+
+  out += "\"channels\": { \"queued_frames\": " +
+         std::to_string(reg.GetGauge("hyracks.queued_frames")->value()) +
+         " }, ";
+
+  // Datasets are created/dropped on the statement path; this read is only
+  // safe alongside queries/inserts, like every other dataset accessor here.
+  out += "\"datasets\": [ ";
+  {
+    bool first = true;
+    for (const auto& [name, ds] : datasets_) {
+      size_t components = 0;
+      uint64_t records = 0;
+      for (uint32_t p = 0; p < ds->num_partitions(); ++p) {
+        components += ds->partition(p)->PrimaryComponents();
+        records += ds->partition(p)->ApproxRecordCount();
+      }
+      if (!first) out += ", ";
+      first = false;
+      out += "{ \"name\": ";
+      AppendJsonString(&out, name);
+      out += ", \"partitions\": " + std::to_string(ds->num_partitions()) +
+             ", \"disk_components\": " + std::to_string(components) +
+             ", \"records\": " + std::to_string(records) + " }";
+    }
+  }
+  out += " ], ";
+
+  out += "\"latency_us\": { ";
+  {
+    const struct {
+      const char* json_key;
+      const char* metric;
+    } kHistograms[] = {
+        {"job", "hyracks.job_us"},
+        {"lsm_flush", "storage.lsm.flush_us"},
+        {"lsm_merge", "storage.lsm.merge_us"},
+        {"lock_wait", "txn.lock.wait_us"},
+    };
+    bool first = true;
+    for (const auto& h : kHistograms) {
+      const metrics::Histogram* hist = reg.GetHistogram(h.metric);
+      if (!first) out += ", ";
+      first = false;
+      out += std::string("\"") + h.json_key +
+             "\": { \"count\": " + std::to_string(hist->count()) +
+             ", \"p50\": ";
+      AppendDouble(&out, hist->Percentile(0.50));
+      out += ", \"p95\": ";
+      AppendDouble(&out, hist->Percentile(0.95));
+      out += ", \"p99\": ";
+      AppendDouble(&out, hist->Percentile(0.99));
+      out += " }";
+    }
+  }
+  out += " }, ";
+
+  const journal::Journal& j = journal::Journal::Default();
+  out += "\"journal\": { \"posted\": " + std::to_string(j.posted()) +
+         ", \"capacity\": " + std::to_string(j.capacity()) + " } }";
+  return out;
 }
 
 Result<ExecutionResult> AsterixInstance::Explain(const std::string& aql) {
@@ -590,9 +921,11 @@ Status AsterixInstance::ExecuteInsert(const aql::Statement& st,
                 return storage::HashKey(key);
               });
   job.Connect(hyracks::ConnectorType::kMToNReplicating, ins, res);
+  job.query_id = journal::CurrentQueryId();
   auto stats_r = cluster_->ExecuteJob(job);
   if (!stats_r.ok()) return stats_r.status();
   last->stats = stats_r.take();
+  StampProfilePhases(&last->stats, 0, 0);
   last->values = {Value::Int64(static_cast<int64_t>(batch))};
   return Status::OK();
 }
@@ -659,9 +992,11 @@ Status AsterixInstance::ExecuteDelete(const aql::Statement& st,
   job.Connect(hyracks::ConnectorType::kMToNPartitioning, src, del, 0,
               hyracks::HashOnColumns(key_cols));
   job.Connect(hyracks::ConnectorType::kMToNReplicating, del, res);
+  job.query_id = journal::CurrentQueryId();
   auto stats_r = cluster_->ExecuteJob(job);
   if (!stats_r.ok()) return stats_r.status();
   last->stats = stats_r.take();
+  StampProfilePhases(&last->stats, 0, 0);
   int64_t deleted = 0;
   for (const auto& t : *sink) deleted += t[0].AsInt();
   last->values = {Value::Int64(deleted)};
@@ -670,6 +1005,8 @@ Status AsterixInstance::ExecuteDelete(const aql::Statement& st,
 
 Status AsterixInstance::ExecuteQuery(const aql::Statement& st, bool run,
                                      ExecutionResult* out) {
+  SetQueryPhase(QueryPhase::kOptimize);
+  auto optimize_start = std::chrono::steady_clock::now();
   Catalog catalog(this);
   auto plan_r = algebricks::Optimize(st.plan, catalog, config_.optimizer);
   if (!plan_r.ok()) return plan_r.status();
@@ -694,6 +1031,10 @@ Status AsterixInstance::ExecuteQuery(const aql::Statement& st, bool run,
       scan_fn, config_.optimizer);
   auto sink = std::make_shared<std::vector<hyracks::Tuple>>();
   auto job_r = compiler.Compile(plan, sink);
+  uint64_t optimize_us = ElapsedUs(optimize_start);
+  if (QueryTracker* tracker = tls_query_tracker) {
+    tracker->phases.optimize_us += optimize_us;
+  }
   if (job_r.ok()) {
     out->job_plan = job_r.value().ToString();
     out->stage_plan = hyracks::ComputeStages(job_r.value()).ToString();
@@ -701,15 +1042,23 @@ Status AsterixInstance::ExecuteQuery(const aql::Statement& st, bool run,
       out->used_compiled_path = true;
       return Status::OK();
     }
+    job_r.value().query_id = journal::CurrentQueryId();
+    SetQueryPhase(QueryPhase::kExecute);
     auto stats_r = cluster_->ExecuteJob(job_r.value());
     if (stats_r.ok()) {
       out->stats = stats_r.take();
       out->used_compiled_path = true;
+      SetQueryPhase(QueryPhase::kResult);
+      auto result_start = std::chrono::steady_clock::now();
+      for (auto& t : *sink) out->values.push_back(std::move(t[0]));
+      uint64_t result_us = ElapsedUs(result_start);
+      // Stamp query-level phases onto the profile before rendering the
+      // annotated plan, so EXPLAIN ANALYZE shows the full lifecycle.
+      StampProfilePhases(&out->stats, optimize_us, result_us);
       if (out->stats.profile) {
         out->profiled_plan =
             hyracks::AnnotatePlan(job_r.value(), *out->stats.profile);
       }
-      for (auto& t : *sink) out->values.push_back(std::move(t[0]));
       return Status::OK();
     }
     // Execution-level failures are real errors, not fallback material,
@@ -724,8 +1073,13 @@ Status AsterixInstance::ExecuteQuery(const aql::Statement& st, bool run,
 
   // Reference interpreter fallback.
   if (!run) return Status::OK();
+  SetQueryPhase(QueryPhase::kExecute);
+  auto interp_start = std::chrono::steady_clock::now();
   EvalContext ctx(scan_fn);
   auto values_r = algebricks::InterpretToValues(plan, ctx);
+  if (QueryTracker* tracker = tls_query_tracker) {
+    tracker->phases.execute_us += ElapsedUs(interp_start);
+  }
   if (!values_r.ok()) return values_r.status();
   out->values = values_r.take();
   out->used_compiled_path = false;

@@ -1,9 +1,12 @@
 #ifndef ASTERIX_API_ASTERIX_H_
 #define ASTERIX_API_ASTERIX_H_
 
+#include <atomic>
+#include <chrono>
 #include <future>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -42,6 +45,27 @@ struct ExecutionResult {
   bool used_compiled_path = false;  // false = reference interpreter fallback
 };
 
+/// Lifecycle phase an in-flight query is currently in (the StatusJson
+/// `phase` field and the span names on hyracks::PhaseSpans).
+enum class QueryPhase : int {
+  kParse = 0,
+  kOptimize = 1,
+  kExecute = 2,
+  kResult = 3,
+};
+const char* QueryPhaseName(QueryPhase phase);
+
+/// Live entry in the instance's active-query table. The executing thread
+/// stores `phase` as it moves through the lifecycle; StatusJson() reads it
+/// concurrently (relaxed — a momentarily stale phase is fine). The other
+/// fields are immutable after registration.
+struct ActiveQueryRecord {
+  uint64_t query_id = 0;
+  std::chrono::steady_clock::time_point start;
+  std::atomic<int> phase{0};  // QueryPhase
+  std::string statement;      // leading fragment of the submitted script
+};
+
 /// The system facade: a single-process AsterixDB instance simulating a
 /// shared-nothing cluster (Figure 1's Cluster Controller + Node Controllers
 /// + Metadata Node Controller). Statements go in as AQL text; results come
@@ -77,6 +101,17 @@ class AsterixInstance {
   /// Hyracks counters/histograms. The monitoring endpoint.
   static std::string MetricsJson();
 
+  /// Live runtime introspection: active queries (phase + elapsed), active
+  /// jobs with memory-budget usage, executor-pool occupancy, channel queue
+  /// depth, per-dataset LSM component counts, and p50/p95/p99 latency
+  /// percentiles. The "what is the system doing right now" endpoint,
+  /// complementing the cumulative MetricsJson().
+  std::string StatusJson();
+
+  /// Where slow queries are logged (one JSON line per over-threshold query;
+  /// see ClusterConfig::slow_query_us).
+  std::string SlowQueryLogPath() const;
+
   // -- Direct handles (examples/benches/feeds) ----------------------------------
   storage::PartitionedDataset* FindDataset(const std::string& qualified);
   metadata::MetadataManager* metadata() { return metadata_.get(); }
@@ -101,6 +136,16 @@ class AsterixInstance {
 
  private:
   class Catalog;
+
+  /// Execute() body after query registration: parse + statement loop, with
+  /// phase timing recorded into the calling thread's query tracker.
+  Result<ExecutionResult> ExecuteScript(const std::string& aql);
+  /// Appends a JSON line with the full annotated profile when the query's
+  /// wall time crossed ClusterConfig::slow_query_us.
+  void MaybeLogSlowQuery(uint64_t query_id, const std::string& statement,
+                         uint64_t elapsed_us,
+                         const hyracks::PhaseSpans& phases,
+                         const Result<ExecutionResult>& result);
 
   Status ExecuteStatement(const aql::Statement& st, ExecutionResult* last);
   Status ExecuteDdl(const aql::Statement& st);
@@ -129,6 +174,13 @@ class AsterixInstance {
   std::mutex parser_mu_;
   aql::ParserContext parser_ctx_;
   uint32_t next_dataset_id_ = 100;
+
+  /// Queries currently inside Execute(), keyed by query id (StatusJson).
+  mutable std::mutex queries_mu_;
+  std::map<uint64_t, std::shared_ptr<ActiveQueryRecord>> active_queries_;
+  /// Serializes slow-query log appends so concurrent async queries never
+  /// interleave within a JSON line.
+  std::mutex slow_log_mu_;
 
   std::mutex async_mu_;
   uint64_t next_handle_ = 1;

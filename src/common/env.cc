@@ -88,6 +88,18 @@ Status RemoveFile(const std::string& path) {
   return Status::OK();
 }
 
+SequentialFileReader::SequentialFileReader(const std::string& path)
+    : file_(std::fopen(path.c_str(), "rb")) {}
+
+SequentialFileReader::~SequentialFileReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+size_t SequentialFileReader::Read(void* out, size_t n) {
+  if (file_ == nullptr || n == 0) return 0;
+  return std::fread(out, 1, n, file_);
+}
+
 std::string NewScratchDir(const std::string& prefix) {
   static std::atomic<uint64_t> counter{0};
   uint64_t stamp = static_cast<uint64_t>(

@@ -2,6 +2,7 @@
 #define ASTERIX_COMMON_ENV_H_
 
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,26 @@ Status RemoveFile(const std::string& path);
 
 /// Creates and returns a fresh scratch directory under the system temp dir.
 std::string NewScratchDir(const std::string& prefix);
+
+/// Streams a file front to back in caller-sized chunks so large files (spill
+/// runs) can be replayed with a bounded resident window instead of one
+/// whole-file read.
+class SequentialFileReader {
+ public:
+  explicit SequentialFileReader(const std::string& path);
+  ~SequentialFileReader();
+  SequentialFileReader(const SequentialFileReader&) = delete;
+  SequentialFileReader& operator=(const SequentialFileReader&) = delete;
+
+  /// False if the file could not be opened.
+  bool ok() const { return file_ != nullptr; }
+
+  /// Reads up to `n` bytes into `out`; returns the number read (0 at EOF).
+  size_t Read(void* out, size_t n);
+
+ private:
+  std::FILE* file_;
+};
 
 }  // namespace env
 }  // namespace asterix

@@ -1,0 +1,171 @@
+#include "common/journal.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace asterix {
+namespace journal {
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kQueryStart:
+      return "query.start";
+    case EventKind::kQueryFinish:
+      return "query.finish";
+    case EventKind::kJobAdmit:
+      return "job.admit";
+    case EventKind::kJobStart:
+      return "job.start";
+    case EventKind::kJobFinish:
+      return "job.finish";
+    case EventKind::kLsmFlushStart:
+      return "lsm.flush.start";
+    case EventKind::kLsmFlushEnd:
+      return "lsm.flush.end";
+    case EventKind::kLsmMergeStart:
+      return "lsm.merge.start";
+    case EventKind::kLsmMergeEnd:
+      return "lsm.merge.end";
+    case EventKind::kSpill:
+      return "spill.write";
+    case EventKind::kSpillReload:
+      return "spill.reload";
+    case EventKind::kBackpressure:
+      return "channel.backpressure";
+    case EventKind::kLockWait:
+      return "lock.wait";
+  }
+  return "unknown";
+}
+
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 64;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+thread_local uint64_t tls_query_id = 0;
+
+}  // namespace
+
+Journal::Journal(size_t capacity)
+    : mask_(RoundUpPow2(capacity) - 1),
+      slots_(std::make_unique<Slot[]>(mask_ + 1)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+uint64_t Journal::NowUs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void Journal::Post(EventKind kind, uint64_t a, uint64_t b, const char* label) {
+  // The single reservation: every later store targets a slot this thread
+  // owns until the next lap, so relaxed order suffices for the payload.
+  uint64_t idx = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[idx & mask_];
+  slot.seq.store(kWriting, std::memory_order_release);
+  slot.ts_us.store(NowUs(), std::memory_order_relaxed);
+  slot.query_id.store(tls_query_id, std::memory_order_relaxed);
+  slot.kind.store(static_cast<uint64_t>(kind), std::memory_order_relaxed);
+  slot.a.store(a, std::memory_order_relaxed);
+  slot.b.store(b, std::memory_order_relaxed);
+  uint64_t words[3] = {0, 0, 0};
+  if (label != nullptr) {
+    char buf[24] = {0};
+    size_t n = 0;
+    while (n < sizeof(buf) - 1 && label[n] != '\0') {
+      buf[n] = label[n];
+      ++n;
+    }
+    std::memcpy(words, buf, sizeof(buf));
+  }
+  for (int i = 0; i < 3; ++i) {
+    slot.label_words[i].store(words[i], std::memory_order_relaxed);
+  }
+  // Publish: seq = idx + 1 (1-based so 0 can mean "never written").
+  slot.seq.store(idx + 1, std::memory_order_release);
+}
+
+std::vector<Event> Journal::Snapshot(uint64_t min_seq) const {
+  std::vector<Event> out;
+  size_t cap = mask_ + 1;
+  out.reserve(cap);
+  for (size_t i = 0; i < cap; ++i) {
+    const Slot& slot = slots_[i];
+    uint64_t before = slot.seq.load(std::memory_order_acquire);
+    if (before == 0 || before == kWriting || before <= min_seq) continue;
+    Event e;
+    e.seq = before;
+    e.ts_us = slot.ts_us.load(std::memory_order_relaxed);
+    e.query_id = slot.query_id.load(std::memory_order_relaxed);
+    e.kind = static_cast<EventKind>(slot.kind.load(std::memory_order_relaxed));
+    e.a = slot.a.load(std::memory_order_relaxed);
+    e.b = slot.b.load(std::memory_order_relaxed);
+    uint64_t words[3];
+    for (int w = 0; w < 3; ++w) {
+      words[w] = slot.label_words[w].load(std::memory_order_relaxed);
+    }
+    std::memcpy(e.label, words, sizeof(e.label));
+    e.label[sizeof(e.label) - 1] = '\0';
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != before) continue;
+    out.push_back(e);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Event& x, const Event& y) { return x.seq < y.seq; });
+  return out;
+}
+
+std::string Journal::SnapshotJson(uint64_t min_seq) const {
+  std::vector<Event> events = Snapshot(min_seq);
+  std::string out = "[ ";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    if (i) out += ", ";
+    out += "{ \"seq\": " + std::to_string(e.seq) +
+           ", \"ts_us\": " + std::to_string(e.ts_us) + ", \"kind\": \"" +
+           EventKindName(e.kind) +
+           "\", \"query_id\": " + std::to_string(e.query_id) +
+           ", \"a\": " + std::to_string(e.a) +
+           ", \"b\": " + std::to_string(e.b) + ", \"label\": \"";
+    for (const char* p = e.label; *p != '\0'; ++p) {
+      if (*p == '"' || *p == '\\') out.push_back('\\');
+      out.push_back(*p);
+    }
+    out += "\" }";
+  }
+  out += " ]";
+  return out;
+}
+
+Journal& Journal::Default() {
+  static Journal* instance = [] {
+    size_t capacity = 65536;
+    if (const char* env = std::getenv("ASTERIX_JOURNAL_EVENTS")) {
+      long v = std::atol(env);
+      if (v > 0) capacity = static_cast<size_t>(v);
+    }
+    return new Journal(capacity);
+  }();
+  return *instance;
+}
+
+uint64_t NextQueryId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t CurrentQueryId() { return tls_query_id; }
+
+ScopedQueryId::ScopedQueryId(uint64_t id) : prev_(tls_query_id) {
+  tls_query_id = id;
+}
+
+ScopedQueryId::~ScopedQueryId() { tls_query_id = prev_; }
+
+}  // namespace journal
+}  // namespace asterix

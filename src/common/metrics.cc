@@ -25,6 +25,30 @@ void Histogram::Observe(uint64_t value) {
   }
 }
 
+double Histogram::Percentile(double q) const {
+  uint64_t n = count();
+  if (n == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  double target = q * static_cast<double>(n);
+  uint64_t below = 0;
+  for (size_t i = 0; i < num_buckets(); ++i) {
+    uint64_t c = bucket_count(i);
+    if (c == 0) continue;
+    if (static_cast<double>(below + c) >= target) {
+      double lo = (i == 0) ? 0.0 : static_cast<double>(bounds_[i - 1]);
+      double hi = (i < bounds_.size()) ? static_cast<double>(bounds_[i])
+                                       : static_cast<double>(max());
+      if (hi < lo) hi = lo;  // overflow bucket with a stale max snapshot
+      double frac =
+          (target - static_cast<double>(below)) / static_cast<double>(c);
+      return lo + (hi - lo) * frac;
+    }
+    below += c;
+  }
+  return static_cast<double>(max());
+}
+
 void Histogram::Reset() {
   for (size_t i = 0; i <= bounds_.size(); ++i) {
     buckets_[i].store(0, std::memory_order_relaxed);

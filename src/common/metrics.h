@@ -63,6 +63,13 @@ class Histogram {
   size_t num_buckets() const { return bounds_.size() + 1; }
   void Reset();
 
+  /// Estimated q-quantile (q in [0,1]) by linear interpolation inside the
+  /// bucket containing the target rank: values are assumed uniform between a
+  /// bucket's lower and upper edge. The first bucket interpolates up from 0;
+  /// the overflow bucket interpolates toward the observed max(). Returns 0
+  /// when the histogram is empty.
+  double Percentile(double q) const;
+
   /// Power-of-two microsecond edges, 1us .. ~8.4s — the default latency
   /// scale shared by flush/merge/lock-wait/job-elapsed histograms.
   static std::vector<uint64_t> LatencyBoundsUs();

@@ -9,6 +9,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/journal.h"
 #include "common/metrics.h"
 #include "hyracks/tuple.h"
 
@@ -171,10 +172,13 @@ class FifoChannel : public InChannel {
     space_cv_.wait(lock, [&] {
       return has_space() || !status_.ok() || cancelled_;
     });
-    BackpressureWaitHistogram()->Observe(static_cast<uint64_t>(
+    uint64_t waited_us = static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(
             std::chrono::steady_clock::now() - t0)
-            .count()));
+            .count());
+    BackpressureWaitHistogram()->Observe(waited_us);
+    journal::Journal::Default().Post(journal::EventKind::kBackpressure,
+                                     waited_us, frames_.size(), "fifo");
   }
 
   mutable std::mutex mu_;
@@ -212,10 +216,13 @@ class MergeChannel : public InChannel {
       space_cv_.wait(lock, [&] {
         return p.frames.size() < capacity_ || !status_.ok() || cancelled_;
       });
-      BackpressureWaitHistogram()->Observe(static_cast<uint64_t>(
+      uint64_t waited_us = static_cast<uint64_t>(
           std::chrono::duration_cast<std::chrono::microseconds>(
               std::chrono::steady_clock::now() - t0)
-              .count()));
+              .count());
+      BackpressureWaitHistogram()->Observe(waited_us);
+      journal::Journal::Default().Post(journal::EventKind::kBackpressure,
+                                       waited_us, p.frames.size(), "merge");
     }
     if (!status_.ok() || cancelled_) return;
     p.frames.push_back(std::move(frame));

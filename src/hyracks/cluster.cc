@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "common/env.h"
+#include "common/journal.h"
 #include "common/metrics.h"
 #include "hyracks/memory.h"
 
@@ -18,6 +19,12 @@ size_t DefaultOpMemoryBudgetBytes() {
   const char* env = std::getenv("ASTERIX_OP_MEMORY_BUDGET");
   if (env == nullptr || *env == '\0') return 0;
   return static_cast<size_t>(std::strtoull(env, nullptr, 10));
+}
+
+int64_t DefaultSlowQueryUs() {
+  const char* env = std::getenv("ASTERIX_SLOW_QUERY_US");
+  if (env == nullptr || *env == '\0') return 0;
+  return static_cast<int64_t>(std::strtoll(env, nullptr, 10));
 }
 
 namespace {
@@ -65,6 +72,8 @@ class RoutingEmitter : public Emitter {
   void AddSpill(uint64_t bytes, uint64_t partitions) override {
     span_->spill_bytes += bytes;
     span_->spilled_partitions += partitions;
+    journal::Journal::Default().Post(journal::EventKind::kSpill, bytes,
+                                     partitions, span_->op_name.c_str());
   }
 
   void AddHashBuildBytes(uint64_t n) override {
@@ -200,6 +209,24 @@ class RoutingEmitter : public Emitter {
 
 }  // namespace
 
+std::vector<ActiveJobSnapshot> Cluster::ActiveJobs() const {
+  std::vector<ActiveJobSnapshot> out;
+  auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(active_mu_);
+  out.reserve(active_jobs_.size());
+  for (const auto& [job_id, a] : active_jobs_) {
+    ActiveJobSnapshot s;
+    s.job_id = job_id;
+    s.query_id = a.query_id;
+    s.elapsed_ms =
+        std::chrono::duration<double, std::milli>(now - a.start).count();
+    s.instances = a.instances;
+    s.budget_used_bytes = a.budget_used->load(std::memory_order_relaxed);
+    out.push_back(s);
+  }
+  return out;
+}
+
 Result<JobStats> Cluster::ExecuteJob(const JobSpec& job) {
   auto start = std::chrono::steady_clock::now();
   auto since_start_ms = [start] {
@@ -207,13 +234,28 @@ Result<JobStats> Cluster::ExecuteJob(const JobSpec& job) {
                std::chrono::steady_clock::now() - start)
         .count();
   };
+  auto since_start_us = [start] {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  };
+  // The job carries its originating query id; re-publish it on this thread
+  // (SubmitAsync executes on a detached thread) so admission-side journal
+  // posts are tagged too.
+  uint64_t query_id =
+      job.query_id != 0 ? job.query_id : journal::CurrentQueryId();
+  journal::ScopedQueryId query_scope(query_id);
+  uint64_t job_id = jobs_executed_.load() + 1;
+  journal::Journal::Default().Post(journal::EventKind::kJobAdmit, job_id);
   // Model the fixed job generation/distribution overhead of a real cluster.
   if (config_.job_startup_us > 0) {
     std::this_thread::sleep_for(std::chrono::microseconds(config_.job_startup_us));
   }
 
   auto profile = std::make_shared<JobProfile>();
-  profile->job_id = jobs_executed_.load() + 1;
+  profile->job_id = job_id;
+  profile->query_id = query_id;
   profile->num_nodes = config_.num_nodes;
   profile->startup_ms = since_start_ms();
 
@@ -281,6 +323,21 @@ Result<JobStats> Cluster::ExecuteJob(const JobSpec& job) {
   }
   std::deque<MemoryBudget> budget_storage;  // stable addresses for tasks
 
+  // Register the job for live introspection: StatusJson readers see its
+  // query id, elapsed time, and memory-budget usage while it runs. The
+  // shared atomic outlives this frame via shared_ptr, so a racing snapshot
+  // after deregistration is still safe.
+  auto budget_used = std::make_shared<std::atomic<uint64_t>>(0);
+  {
+    std::lock_guard<std::mutex> lock(active_mu_);
+    ActiveJob active;
+    active.query_id = query_id;
+    active.start = start;
+    active.instances = static_cast<int>(profile->spans.size());
+    active.budget_used = budget_used;
+    active_jobs_[job_id] = std::move(active);
+  }
+
   // Build one task per operator instance and hand the set to the persistent
   // executor pool (which grows to admit the whole job, then reuses its
   // threads across jobs). RunAll blocks until every instance finishes, so
@@ -320,12 +377,16 @@ Result<JobStats> Cluster::ExecuteJob(const JobSpec& job) {
 
       MemoryBudget* budget = nullptr;
       if (op.memory_intensive && per_instance_budget > 0) {
-        budget_storage.emplace_back(per_instance_budget);
+        budget_storage.emplace_back(per_instance_budget, budget_used.get());
         budget = &budget_storage.back();
       }
 
       tasks.emplace_back([&, inputs, routes = std::move(routes), span, budget,
-                          factory = op.factory]() mutable {
+                          query_id, factory = op.factory]() mutable {
+        // Tag the worker thread with the originating query so every journal
+        // event posted below this frame (LSM flush/merge, lock waits, spills,
+        // backpressure) carries the right query id.
+        journal::ScopedQueryId task_query_scope(query_id);
         span->start_ms = since_start_ms();
         RoutingEmitter emitter(span->instance, span->node, std::move(routes),
                                span, budget);
@@ -349,12 +410,24 @@ Result<JobStats> Cluster::ExecuteJob(const JobSpec& job) {
       });
     }
   }
+  // Everything up to here — modeled startup, channel wiring, task building —
+  // is the job's admission wait; worker wall time is its execute span.
+  profile->phases.admission_us = since_start_us();
+  journal::Journal::Default().Post(journal::EventKind::kJobStart, job_id,
+                                   tasks.size());
   pool_.RunAll(std::move(tasks));
+  profile->phases.execute_us = since_start_us() - profile->phases.admission_us;
   ++jobs_executed_;
+  {
+    std::lock_guard<std::mutex> lock(active_mu_);
+    active_jobs_.erase(job_id);
+  }
 
   JobStats stats;
   stats.elapsed_ms = since_start_ms();
   profile->elapsed_ms = stats.elapsed_ms;
+  journal::Journal::Default().Post(journal::EventKind::kJobFinish, job_id,
+                                   since_start_us());
   for (const auto& c : job.connectors) {
     const ConnCounters& counters = conn_counters[static_cast<size_t>(c.id)];
     ConnectorHops hops;

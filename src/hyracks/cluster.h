@@ -2,7 +2,10 @@
 #define ASTERIX_HYRACKS_CLUSTER_H_
 
 #include <atomic>
+#include <chrono>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -18,6 +21,10 @@ namespace hyracks {
 /// lets CI run the whole suite under an artificially tiny budget to stress
 /// every spill path without per-test configuration.
 size_t DefaultOpMemoryBudgetBytes();
+
+/// Default slow-query threshold: ASTERIX_SLOW_QUERY_US when set
+/// (microseconds), else 0 (slow-query logging disabled).
+int64_t DefaultSlowQueryUs();
 
 /// Shape of the simulated shared-nothing cluster: the paper's testbed is 10
 /// nodes x 3 data disks = 30 partitions; defaults here scale that down.
@@ -49,6 +56,10 @@ struct ClusterConfig {
   /// hash partitions / sort runs to scratch files instead of growing. 0 =
   /// unbounded (no spilling unless an operator's own caps trip).
   size_t op_memory_budget_bytes = DefaultOpMemoryBudgetBytes();
+  /// Queries whose end-to-end wall time exceeds this threshold (in
+  /// microseconds) get their full annotated profile appended as a JSON line
+  /// to the instance's slow-query log. 0 = disabled.
+  int64_t slow_query_us = DefaultSlowQueryUs();
 };
 
 /// Post-execution statistics used by benches and tests.
@@ -59,9 +70,22 @@ struct JobStats {
   /// Tuples whose connector hop crossed node boundaries — the "network
   /// traffic" the local/global aggregation split minimizes (Figure 6).
   uint64_t network_tuples = 0;
-  /// Always-on execution profile: per-operator-instance spans and
-  /// per-connector hop counts (the EXPLAIN ANALYZE backbone).
-  std::shared_ptr<const JobProfile> profile;
+  /// Always-on execution profile: per-operator-instance spans, per-connector
+  /// hop counts, and query-phase spans (the EXPLAIN ANALYZE backbone).
+  /// Mutable so the api layer can fill in query-level phases (parse,
+  /// optimize, result) it alone can measure, after the executor returns.
+  std::shared_ptr<JobProfile> profile;
+};
+
+/// Point-in-time view of one job currently inside ExecuteJob (StatusJson).
+struct ActiveJobSnapshot {
+  uint64_t job_id = 0;
+  uint64_t query_id = 0;
+  double elapsed_ms = 0;  // since ExecuteJob entry
+  int instances = 0;      // operator instances scheduled
+  /// Live bytes charged against the job's operator memory budgets, summed
+  /// across its instances.
+  uint64_t budget_used_bytes = 0;
 };
 
 /// The Cluster Controller plus its Node Controllers: accepts Hyracks jobs,
@@ -96,10 +120,22 @@ class Cluster {
   /// The persistent executor pool (thread-reuse diagnostics for tests).
   const ExecutorPool& pool() const { return pool_; }
 
+  /// Jobs currently executing, with live memory-budget usage (StatusJson).
+  std::vector<ActiveJobSnapshot> ActiveJobs() const;
+
  private:
+  struct ActiveJob {
+    uint64_t query_id = 0;
+    std::chrono::steady_clock::time_point start;
+    int instances = 0;
+    std::shared_ptr<std::atomic<uint64_t>> budget_used;
+  };
+
   ClusterConfig config_;
   std::atomic<uint64_t> jobs_executed_{0};
   ExecutorPool pool_;
+  mutable std::mutex active_mu_;
+  std::map<uint64_t, ActiveJob> active_jobs_;  // keyed by job id
 };
 
 }  // namespace hyracks

@@ -26,6 +26,11 @@ size_t ExecutorPool::threads_alive() const {
   return workers_.size();
 }
 
+size_t ExecutorPool::queued_tasks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
 void ExecutorPool::GrowLocked(size_t target) {
   auto& reg = metrics::MetricsRegistry::Default();
   static metrics::Gauge* alive = reg.GetGauge("hyracks.pool_threads");
@@ -49,7 +54,9 @@ void ExecutorPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    busy_.fetch_add(1, std::memory_order_relaxed);
     task();
+    busy_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 

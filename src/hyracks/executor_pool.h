@@ -41,6 +41,13 @@ class ExecutorPool {
   }
   size_t threads_alive() const;
 
+  /// Threads currently inside a task (pool occupancy for StatusJson).
+  size_t busy_threads() const {
+    return busy_.load(std::memory_order_relaxed);
+  }
+  /// Tasks enqueued but not yet picked up by a worker.
+  size_t queued_tasks() const;
+
  private:
   void WorkerLoop();
   /// Requires mu_. Grows the pool to `target` workers.
@@ -53,6 +60,7 @@ class ExecutorPool {
   size_t reserved_ = 0;  // in-flight tasks across active jobs
   bool stop_ = false;
   std::atomic<uint64_t> threads_created_{0};
+  std::atomic<size_t> busy_{0};
 };
 
 }  // namespace hyracks

@@ -98,6 +98,12 @@ struct JobSpec {
   std::vector<OperatorDescriptor> operators;
   std::vector<ConnectorDescriptor> connectors;
 
+  /// The originating query's id (0 = no query context, e.g. internal jobs).
+  /// The executor re-publishes it as the current query id on every worker
+  /// thread running this job's operator instances, so storage/txn/channel
+  /// journal events land tagged with the right query.
+  uint64_t query_id = 0;
+
   /// Adds an operator, assigning its id.
   int AddOperator(OperatorDescriptor op);
   /// Connects src's output to dst's input port.

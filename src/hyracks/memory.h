@@ -1,6 +1,7 @@
 #ifndef ASTERIX_HYRACKS_MEMORY_H_
 #define ASTERIX_HYRACKS_MEMORY_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 
@@ -16,17 +17,30 @@ namespace hyracks {
 /// buffer state against it and spill partitions to scratch runs once
 /// over_budget() trips; the paper's "every query runs within a fixed memory
 /// budget" contract. Owned and touched by a single operator-instance thread,
-/// so nothing here is atomic.
+/// so the local counters are plain; the optional `shared_used` sink is an
+/// atomic the executor aggregates live per-job usage through (StatusJson),
+/// updated with relaxed adds — the same cost class as a metrics counter.
 class MemoryBudget {
  public:
   /// limit_bytes == 0 means unbounded (charges are tracked but never trip).
-  explicit MemoryBudget(size_t limit_bytes) : limit_(limit_bytes) {}
+  explicit MemoryBudget(size_t limit_bytes,
+                        std::atomic<uint64_t>* shared_used = nullptr)
+      : limit_(limit_bytes), shared_used_(shared_used) {}
 
   void Charge(size_t n) {
     used_ += n;
     if (used_ > peak_) peak_ = used_;
+    if (shared_used_ != nullptr) {
+      shared_used_->fetch_add(n, std::memory_order_relaxed);
+    }
   }
-  void Release(size_t n) { used_ -= (n < used_ ? n : used_); }
+  void Release(size_t n) {
+    size_t dec = n < used_ ? n : used_;
+    used_ -= dec;
+    if (shared_used_ != nullptr) {
+      shared_used_->fetch_sub(dec, std::memory_order_relaxed);
+    }
+  }
 
   bool unbounded() const { return limit_ == 0; }
   bool over_budget() const { return limit_ != 0 && used_ > limit_; }
@@ -38,6 +52,7 @@ class MemoryBudget {
   size_t limit_;
   size_t used_ = 0;
   size_t peak_ = 0;
+  std::atomic<uint64_t>* shared_used_;
 };
 
 /// Approximate heap footprint of a value / tuple, used to charge budgets.

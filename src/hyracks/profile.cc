@@ -74,10 +74,18 @@ uint64_t JobProfile::TuplesIn(int op_id) const {
 
 std::string JobProfile::ToJson() const {
   std::string out = "{ \"job_id\": " + std::to_string(job_id) +
+                    ", \"query_id\": " + std::to_string(query_id) +
                     ", \"elapsed_ms\": " + FmtMs(elapsed_ms) +
                     ", \"startup_ms\": " + FmtMs(startup_ms) +
                     ", \"num_nodes\": " + std::to_string(num_nodes) +
-                    ", \"operators\": [ ";
+                    ", \"phases\": { \"parse_us\": " +
+                    std::to_string(phases.parse_us) + ", \"optimize_us\": " +
+                    std::to_string(phases.optimize_us) +
+                    ", \"admission_wait_us\": " +
+                    std::to_string(phases.admission_us) + ", \"execute_us\": " +
+                    std::to_string(phases.execute_us) + ", \"result_us\": " +
+                    std::to_string(phases.result_us) +
+                    " }, \"operators\": [ ";
   bool first = true;
   for (const auto& r : Rollup()) {
     if (!first) out += ", ";
@@ -146,6 +154,35 @@ std::string JobProfile::ToChromeTrace() const {
            std::to_string(n) + ", \"args\": { \"name\": \"node" +
            std::to_string(n) + "\" } }";
   }
+  if (phases.any()) {
+    // Query-lifecycle phases on their own row (pid = num_nodes). Trace time
+    // zero is job submission, so parse/optimize sit at negative timestamps
+    // and admission/execute/result line up with the operator spans below.
+    if (!first) out += ", ";
+    first = false;
+    out += "{ \"name\": \"process_name\", \"ph\": \"M\", \"pid\": " +
+           std::to_string(num_nodes) + ", \"args\": { \"name\": \"query" +
+           (query_id ? std::to_string(query_id) : std::string()) + "\" } }";
+    int64_t ts = -static_cast<int64_t>(phases.parse_us + phases.optimize_us);
+    const struct {
+      const char* name;
+      uint64_t dur;
+    } phase_list[] = {{"parse", phases.parse_us},
+                      {"optimize", phases.optimize_us},
+                      {"admission", phases.admission_us},
+                      {"execute", phases.execute_us},
+                      {"result", phases.result_us}};
+    for (const auto& p : phase_list) {
+      if (p.dur == 0) continue;
+      out += ", { \"name\": \"" + std::string(p.name) +
+             "\", \"cat\": \"phase\", \"ph\": \"X\", \"ts\": " +
+             std::to_string(ts) + ", \"dur\": " + std::to_string(p.dur) +
+             ", \"pid\": " + std::to_string(num_nodes) +
+             ", \"tid\": 0, \"args\": { \"query_id\": " +
+             std::to_string(query_id) + " } }";
+      ts += static_cast<int64_t>(p.dur);
+    }
+  }
   for (const auto& s : spans) {
     if (!first) out += ", ";
     first = false;
@@ -202,9 +239,21 @@ std::string AnnotatePlan(const JobSpec& job, const JobProfile& profile) {
     }
   }
 
-  std::string out = "job profile (elapsed " + FmtMs(profile.elapsed_ms) +
-                    " ms, startup " + FmtMs(profile.startup_ms) + " ms, " +
-                    std::to_string(profile.num_nodes) + " nodes)\n";
+  std::string out = "job profile (";
+  if (profile.query_id != 0) {
+    out += "query " + std::to_string(profile.query_id) + ", ";
+  }
+  out += "elapsed " + FmtMs(profile.elapsed_ms) + " ms, startup " +
+         FmtMs(profile.startup_ms) + " ms, " +
+         std::to_string(profile.num_nodes) + " nodes)\n";
+  if (profile.phases.any()) {
+    const PhaseSpans& p = profile.phases;
+    out += "phases: parse_us=" + std::to_string(p.parse_us) +
+           ", optimize_us=" + std::to_string(p.optimize_us) +
+           ", admission_wait_us=" + std::to_string(p.admission_us) +
+           ", execute_us=" + std::to_string(p.execute_us) +
+           ", result_us=" + std::to_string(p.result_us) + "\n";
+  }
   for (int id : order) {
     const OperatorDescriptor* op = job.FindOperator(id);
     for (const auto* c : incoming[id]) {

@@ -74,14 +74,34 @@ struct OperatorRollup {
   double elapsed_ms = 0;  // max instance span (critical-path view)
 };
 
+/// Where a query's wall-clock time went, one microsecond span per lifecycle
+/// phase. The executor fills admission (ExecuteJob entry — including the
+/// modeled startup cost and task wiring — until workers begin) and execute
+/// (worker wall time); the api layer fills parse, optimize, and result
+/// (sink draining) around the job.
+struct PhaseSpans {
+  uint64_t parse_us = 0;
+  uint64_t optimize_us = 0;
+  uint64_t admission_us = 0;
+  uint64_t execute_us = 0;
+  uint64_t result_us = 0;
+
+  bool any() const {
+    return parse_us | optimize_us | admission_us | execute_us | result_us;
+  }
+};
+
 /// The execution profile of one Hyracks job: one span per operator instance
-/// per partition plus per-connector hop counts. Attached to JobStats by the
-/// executor; rendered as JSON, as a Chrome trace, or as an annotated plan.
+/// per partition plus per-connector hop counts and per-phase query spans.
+/// Attached to JobStats by the executor; rendered as JSON, as a Chrome
+/// trace, or as an annotated plan.
 struct JobProfile {
   uint64_t job_id = 0;
+  uint64_t query_id = 0;  // originating query (0 = none)
   double elapsed_ms = 0;
   double startup_ms = 0;  // modeled job generation/distribution overhead
   int num_nodes = 0;
+  PhaseSpans phases;
   std::vector<OperatorSpan> spans;
   std::vector<ConnectorHops> connectors;
 

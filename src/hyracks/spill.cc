@@ -1,9 +1,11 @@
 #include "hyracks/spill.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "adm/serde.h"
 #include "common/env.h"
+#include "common/journal.h"
 
 namespace asterix {
 namespace hyracks {
@@ -36,9 +38,12 @@ const std::string& ScratchDirGuard::dir() {
 }
 
 Status SpillRun::AppendTuple(const Tuple& t) {
+  scratch_.Clear();
+  SerializeTuple(t, &scratch_);
   size_t before = buf_.size();
   buf_.PutU8(kTupleRecord);
-  SerializeTuple(t, &buf_);
+  buf_.PutVarint(scratch_.size());
+  buf_.PutBytes(scratch_.data().data(), scratch_.size());
   bytes_ += buf_.size() - before;
   ++records_;
   if (buf_.size() >= kFlushBytes) return FlushBuffer();
@@ -70,28 +75,61 @@ Status SpillRun::ForEach(
     const std::function<Status(Tuple&)>& on_tuple,
     const std::function<Status(const uint8_t*, size_t)>& on_key) const {
   if (records_ == 0) return Status::OK();
-  std::vector<uint8_t> bytes;
-  ASTERIX_RETURN_NOT_OK(env::ReadFile(path_, &bytes));
-  BytesReader r(bytes.data(), bytes.size());
+  env::SequentialFileReader file(path_);
+  if (!file.ok()) return Status::IOError("open spill run: " + path_);
+
+  // Rolling window over the file: `win[pos..)` holds unparsed bytes. Refill
+  // compacts the consumed prefix away and reads one flush-sized chunk —
+  // more only when a single record is larger than a chunk.
+  std::vector<uint8_t> win;
+  size_t pos = 0;
+  uint64_t reloaded = 0;
+  bool eof = false;
+  auto refill = [&](size_t need) {
+    if (win.size() - pos >= need) return;
+    win.erase(win.begin(), win.begin() + static_cast<ptrdiff_t>(pos));
+    pos = 0;
+    size_t target = std::max(need, kFlushBytes);
+    while (!eof && win.size() < target) {
+      size_t old = win.size();
+      win.resize(target);
+      size_t got = file.Read(win.data() + old, target - old);
+      win.resize(old + got);
+      reloaded += got;
+      if (got == 0) eof = true;
+    }
+  };
+
   Tuple t;
-  while (!r.AtEnd()) {
-    uint8_t kind;
-    ASTERIX_RETURN_NOT_OK(r.GetU8(&kind));
+  uint64_t replayed = 0;
+  while (true) {
+    // A record header is a kind byte plus a varint length (<=10 bytes).
+    refill(11);
+    if (win.size() == pos) break;  // clean EOF on a record boundary
+    uint8_t kind = win[pos];
+    BytesReader hdr(win.data() + pos + 1, win.size() - pos - 1);
+    uint64_t len;
+    ASTERIX_RETURN_NOT_OK(hdr.GetVarint(&len));
+    pos += 1 + hdr.position();
+    refill(len);
+    if (win.size() - pos < len) return Status::Corruption("spill run truncated");
+    const uint8_t* payload = win.data() + pos;
+    pos += len;
     if (kind == kTupleRecord) {
+      BytesReader r(payload, len);
       ASTERIX_RETURN_NOT_OK(DeserializeTuple(&r, &t));
       ASTERIX_RETURN_NOT_OK(on_tuple(t));
     } else if (kind == kKeyRecord) {
-      uint64_t n;
-      ASTERIX_RETURN_NOT_OK(r.GetVarint(&n));
-      if (n > r.remaining()) return Status::Corruption("spill run truncated");
-      const uint8_t* p = bytes.data() + r.position();
-      ASTERIX_RETURN_NOT_OK(r.Skip(n));
       if (!on_key) return Status::Corruption("unexpected key record");
-      ASTERIX_RETURN_NOT_OK(on_key(p, n));
+      ASTERIX_RETURN_NOT_OK(on_key(payload, len));
     } else {
       return Status::Corruption("bad spill record kind");
     }
+    ++replayed;
   }
+  if (replayed != records_) return Status::Corruption("spill run truncated");
+  journal::Journal::Default().Post(journal::EventKind::kSpillReload, reloaded,
+                                   records_);
   return Status::OK();
 }
 

@@ -40,9 +40,10 @@ class ScratchDirGuard {
 /// incrementally (buffered, so spilling does not itself balloon memory) and
 /// read back in order. Records are either whole tuples or opaque key bytes —
 /// the latter carry a distinct operator's already-emitted key markers across
-/// a spill. Readback loads the file in one read; recursion shrinks
-/// partitions geometrically, so a run that was too big to hold as live build
-/// state fits as flat bytes (and is split 16 ways again immediately).
+/// a spill. Every record is length-prefixed, so readback streams the file
+/// frame-at-a-time through a rolling window (one flush-sized chunk resident,
+/// growing only for a single oversized record) instead of loading the whole
+/// run; each replay posts a `spill.reload` journal event with bytes read.
 class SpillRun {
  public:
   explicit SpillRun(std::string path) : path_(std::move(path)) {}
@@ -74,6 +75,7 @@ class SpillRun {
 
   std::string path_;
   BytesWriter buf_;
+  BytesWriter scratch_;  // per-record staging so the length prefix is known
   uint64_t records_ = 0;
   uint64_t bytes_ = 0;
 };

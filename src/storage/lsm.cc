@@ -7,6 +7,7 @@
 #include "adm/serde.h"
 #include "common/compress.h"
 #include "common/env.h"
+#include "common/journal.h"
 #include "common/metrics.h"
 #include "common/string_utils.h"
 #include "storage/column/column_component.h"
@@ -304,6 +305,9 @@ Status LsmBTree::Flush() {
 Status LsmBTree::FlushLocked() {
   if (mem_.empty()) return Status::OK();
   uint64_t flush_start_us = NowUs();
+  uint64_t bytes_in = mem_bytes_;
+  journal::Journal::Default().Post(journal::EventKind::kLsmFlushStart, bytes_in,
+                                   mem_.size(), lifecycle_.name().c_str());
   uint64_t seq = lifecycle_.AllocateSeq();
   std::string path = lifecycle_.ComponentPath(seq);
   uint64_t num_entries = 0;
@@ -339,6 +343,8 @@ Status LsmBTree::FlushLocked() {
       col_bytes->Inc(flushed_bytes);
     }
   }
+  journal::Journal::Default().Post(journal::EventKind::kLsmFlushEnd, bytes_in,
+                                   flushed_bytes, lifecycle_.name().c_str());
   return MaybeMergeLockedImpl();
 }
 
@@ -350,6 +356,12 @@ Status LsmBTree::MaybeMerge() {
 Status LsmBTree::MergeComponents(size_t first, size_t count) {
   if (count < 2) return Status::OK();
   uint64_t merge_start_us = NowUs();
+  uint64_t bytes_in = 0;
+  for (size_t i = first; i < first + count; ++i) {
+    bytes_in += disk_[i].info.bytes;
+  }
+  journal::Journal::Default().Post(journal::EventKind::kLsmMergeStart, bytes_in,
+                                   count, lifecycle_.name().c_str());
   bool includes_oldest = first == 0;
   // Gather all entries from the run, newest component winning per key.
   std::map<CompositeKey, MemEntry, KeyLess> merged;
@@ -409,6 +421,8 @@ Status LsmBTree::MergeComponents(size_t first, size_t count) {
       col_bytes->Inc(info.bytes);
     }
   }
+  journal::Journal::Default().Post(journal::EventKind::kLsmMergeEnd, bytes_in,
+                                   info.bytes, lifecycle_.name().c_str());
   return Status::OK();
 }
 

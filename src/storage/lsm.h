@@ -97,6 +97,9 @@ class LsmLifecycle {
 
   Status RemoveComponent(const ComponentInfo& info);
 
+  /// The index name this lifecycle scopes (journal event labels).
+  const std::string& name() const { return name_; }
+
  private:
   std::string MarkerPath(uint64_t seq) const;
 

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "common/journal.h"
 #include "common/metrics.h"
 
 namespace asterix {
@@ -39,10 +40,13 @@ Status LockManager::Acquire(TxnId txn, uint64_t resource, LockMode mode) {
   bool waited = false;
   auto observe_wait = [&] {
     if (!waited) return;
-    wait_us->Observe(static_cast<uint64_t>(
+    uint64_t us = static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(
             std::chrono::steady_clock::now() - wait_start)
-            .count()));
+            .count());
+    wait_us->Observe(us);
+    journal::Journal::Default().Post(journal::EventKind::kLockWait, us,
+                                     resource);
   };
   ++state.waiters;
   while (!Compatible(state, txn, mode)) {

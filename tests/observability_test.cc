@@ -88,6 +88,37 @@ TEST(MetricsTest, ConcurrentIncrementsFromManyThreadsLoseNothing) {
   EXPECT_EQ(bucket_total, h->count());
 }
 
+TEST(MetricsTest, PercentileInterpolatesWithinBuckets) {
+  metrics::MetricsRegistry reg;
+  metrics::Histogram* h = reg.GetHistogram("p.hist", {10, 20, 40});
+  EXPECT_DOUBLE_EQ(h->Percentile(0.5), 0.0);  // empty -> 0
+
+  // 10 values in (0,10], 10 in (10,20].
+  for (int i = 0; i < 10; ++i) h->Observe(5);
+  for (int i = 0; i < 10; ++i) h->Observe(15);
+
+  // Median sits exactly at the first bucket's upper edge.
+  EXPECT_DOUBLE_EQ(h->Percentile(0.5), 10.0);
+  // Quartiles interpolate linearly inside their buckets.
+  EXPECT_DOUBLE_EQ(h->Percentile(0.25), 5.0);
+  EXPECT_DOUBLE_EQ(h->Percentile(0.75), 15.0);
+  // Extremes clamp to the bucket range.
+  EXPECT_DOUBLE_EQ(h->Percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h->Percentile(1.0), 20.0);
+  // Out-of-range q is clamped rather than extrapolated.
+  EXPECT_DOUBLE_EQ(h->Percentile(1.5), 20.0);
+}
+
+TEST(MetricsTest, PercentileOverflowBucketInterpolatesTowardMax) {
+  metrics::MetricsRegistry reg;
+  metrics::Histogram* h = reg.GetHistogram("p.over", {10});
+  for (int i = 0; i < 9; ++i) h->Observe(5);
+  h->Observe(1000);  // lands in the overflow bucket; max() = 1000
+  double p99 = h->Percentile(0.99);
+  EXPECT_GT(p99, 10.0);
+  EXPECT_LE(p99, 1000.0);
+}
+
 TEST(MetricsTest, SnapshotIsValidJson) {
   metrics::MetricsRegistry reg;
   reg.GetCounter("x.count")->Inc(3);
@@ -201,8 +232,16 @@ return $a.id;)aql");
   ASSERT_TRUE(adm::ParseAdm(trace, &v).ok()) << trace;
   const auto& events = v.GetField("traceEvents").AsList();
   size_t complete = 0;
+  size_t phase_events = 0;
   for (const auto& e : events) {
     if (e.GetField("ph").AsString() != "X") continue;
+    if (e.GetField("cat").AsString() == "phase") {
+      // Query-lifecycle rows (parse/optimize/admission/execute/result) live
+      // on their own pid past the node rows.
+      EXPECT_EQ(e.GetField("pid").AsInt(), 2);
+      ++phase_events;
+      continue;
+    }
     ++complete;
     EXPECT_GE(e.GetField("dur").AsDouble(), 0.0);
     EXPECT_FALSE(e.GetField("name").AsString().empty());
@@ -212,6 +251,7 @@ return $a.id;)aql");
     EXPECT_EQ(args.GetField("partition").AsInt(), e.GetField("tid").AsInt());
   }
   EXPECT_EQ(complete, prof.spans.size());
+  EXPECT_GT(phase_events, 0u);
 }
 
 TEST_F(ObservabilityE2eTest, ExplainReturnsPlanAndAnalyzeAddsActuals) {

@@ -1,0 +1,477 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "adm/adm_parser.h"
+#include "api/asterix.h"
+#include "common/env.h"
+#include "common/journal.h"
+#include "hyracks/spill.h"
+
+namespace asterix {
+namespace {
+
+using adm::Value;
+using journal::EventKind;
+using journal::Journal;
+
+// ---------------------------------------------------------------------------
+// Journal unit tests
+// ---------------------------------------------------------------------------
+
+TEST(JournalTest, PostAndSnapshotPreserveOrderAndPayload) {
+  Journal j(128);
+  j.Post(EventKind::kJobAdmit, 1, 2, "alpha");
+  j.Post(EventKind::kJobStart, 3, 4, "beta");
+  j.Post(EventKind::kJobFinish, 5, 6);
+
+  auto events = j.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].seq, 1u);
+  EXPECT_EQ(events[1].seq, 2u);
+  EXPECT_EQ(events[2].seq, 3u);
+  EXPECT_EQ(events[0].kind, EventKind::kJobAdmit);
+  EXPECT_EQ(events[0].a, 1u);
+  EXPECT_EQ(events[0].b, 2u);
+  EXPECT_STREQ(events[0].label, "alpha");
+  EXPECT_STREQ(events[1].label, "beta");
+  EXPECT_STREQ(events[2].label, "");
+  EXPECT_EQ(j.posted(), 3u);
+  // Timestamps are monotone non-decreasing in post order.
+  EXPECT_LE(events[0].ts_us, events[1].ts_us);
+  EXPECT_LE(events[1].ts_us, events[2].ts_us);
+
+  // min_seq filters already-consumed events.
+  auto tail = j.Snapshot(/*min_seq=*/2);
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0].seq, 3u);
+}
+
+TEST(JournalTest, CapacityRoundsUpAndRingOverwritesOldest) {
+  Journal j(100);  // rounds up to 128
+  EXPECT_EQ(j.capacity(), 128u);
+  for (uint64_t i = 0; i < 300; ++i) {
+    j.Post(EventKind::kSpill, i);
+  }
+  auto events = j.Snapshot();
+  ASSERT_EQ(events.size(), 128u);
+  // Only the newest `capacity` events survive, still in order.
+  EXPECT_EQ(events.front().seq, 300u - 128u + 1u);
+  EXPECT_EQ(events.back().seq, 300u);
+  EXPECT_EQ(events.back().a, 299u);
+  EXPECT_EQ(j.posted(), 300u);
+}
+
+TEST(JournalTest, LabelIsTruncatedNotOverflowed) {
+  Journal j(64);
+  std::string longlabel(100, 'x');
+  j.Post(EventKind::kSpill, 0, 0, longlabel.c_str());
+  auto events = j.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(std::string(events[0].label), std::string(23, 'x'));
+}
+
+TEST(JournalTest, EventsCarryTheThreadsCurrentQueryId) {
+  Journal j(64);
+  j.Post(EventKind::kSpill);  // no query context
+  {
+    journal::ScopedQueryId scope(42);
+    j.Post(EventKind::kSpill);
+    {
+      journal::ScopedQueryId nested(43);
+      j.Post(EventKind::kSpill);
+    }
+    j.Post(EventKind::kSpill);  // nesting restored
+  }
+  j.Post(EventKind::kSpill);  // scope ended
+  auto events = j.Snapshot();
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_EQ(events[0].query_id, 0u);
+  EXPECT_EQ(events[1].query_id, 42u);
+  EXPECT_EQ(events[2].query_id, 43u);
+  EXPECT_EQ(events[3].query_id, 42u);
+  EXPECT_EQ(events[4].query_id, 0u);
+}
+
+TEST(JournalTest, SnapshotJsonIsValidAndNamesKinds) {
+  Journal j(64);
+  {
+    journal::ScopedQueryId scope(7);
+    j.Post(EventKind::kLsmFlushStart, 1024, 10, "Obs.D");
+  }
+  std::string json = j.SnapshotJson();
+  Value v;
+  ASSERT_TRUE(adm::ParseAdm(json, &v).ok()) << json;
+  ASSERT_EQ(v.AsList().size(), 1u);
+  const Value& e = v.AsList()[0];
+  EXPECT_EQ(e.GetField("kind").AsString(), "lsm.flush.start");
+  EXPECT_EQ(e.GetField("query_id").AsInt(), 7);
+  EXPECT_EQ(e.GetField("a").AsInt(), 1024);
+  EXPECT_EQ(e.GetField("label").AsString(), "Obs.D");
+}
+
+// N writer threads race with a snapshotting reader; run under TSan this
+// doubles as the journal's data-race proof. Correctness here: no post is
+// lost from the count, snapshots are seq-ordered and duplicate-free, and
+// every surviving event's payload is internally consistent (a == thread id,
+// label matches the thread).
+TEST(JournalTest, ConcurrentWritersAndReadersStayConsistent) {
+  Journal j(1024);
+  constexpr int kThreads = 8;
+  constexpr int kPosts = 20000;
+  std::atomic<bool> stop{false};
+
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      auto events = j.Snapshot();
+      uint64_t prev_seq = 0;
+      for (const auto& e : events) {
+        ASSERT_GT(e.seq, prev_seq);  // strictly increasing, no dupes
+        prev_seq = e.seq;
+        ASSERT_LT(e.a, static_cast<uint64_t>(kThreads));
+        ASSERT_EQ(std::string(e.label), "t" + std::to_string(e.a));
+        ASSERT_EQ(e.query_id, e.a + 100);
+      }
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&j, t] {
+      journal::ScopedQueryId scope(static_cast<uint64_t>(t) + 100);
+      std::string label = "t" + std::to_string(t);
+      for (int i = 0; i < kPosts; ++i) {
+        j.Post(EventKind::kSpill, static_cast<uint64_t>(t),
+               static_cast<uint64_t>(i), label.c_str());
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(j.posted(), static_cast<uint64_t>(kThreads) * kPosts);
+  auto final_events = j.Snapshot();
+  EXPECT_EQ(final_events.size(), j.capacity());
+}
+
+// ---------------------------------------------------------------------------
+// Streaming spill replay (PR 5 follow-up): readback is frame-at-a-time and
+// posts a spill.reload journal event with the bytes it streamed.
+// ---------------------------------------------------------------------------
+
+TEST(SpillStreamingTest, ForEachReplaysEverythingAndPostsReloadEvent) {
+  std::string dir = env::NewScratchDir("tracing_spill");
+  hyracks::SpillRun run(dir + "/run0");
+  constexpr int kTuples = 5000;
+  for (int i = 0; i < kTuples; ++i) {
+    hyracks::Tuple t;
+    t.push_back(Value::Int64(i));
+    t.push_back(Value::String("payload-" + std::to_string(i)));
+    ASSERT_TRUE(run.AppendTuple(t).ok());
+  }
+  std::string key = "marker";
+  ASSERT_TRUE(
+      run.AppendKeyBytes(reinterpret_cast<const uint8_t*>(key.data()),
+                         key.size())
+          .ok());
+  ASSERT_TRUE(run.Finish().ok());
+
+  uint64_t min_seq = Journal::Default().posted();
+  int64_t next = 0;
+  int keys = 0;
+  Status s = run.ForEach(
+      [&](hyracks::Tuple& t) {
+        EXPECT_EQ(t[0].AsInt(), next);
+        ++next;
+        return Status::OK();
+      },
+      [&](const uint8_t* data, size_t n) {
+        EXPECT_EQ(std::string(reinterpret_cast<const char*>(data), n), key);
+        ++keys;
+        return Status::OK();
+      });
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(next, kTuples);
+  EXPECT_EQ(keys, 1);
+
+  bool saw_reload = false;
+  for (const auto& e : Journal::Default().Snapshot(min_seq)) {
+    if (e.kind == EventKind::kSpillReload) {
+      saw_reload = true;
+      EXPECT_EQ(e.a, run.bytes());
+      EXPECT_EQ(e.b, run.records());
+    }
+  }
+  EXPECT_TRUE(saw_reload);
+  run.Remove();
+  env::RemoveAll(dir);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: query ids through the stack, phases, StatusJson, slow log
+// ---------------------------------------------------------------------------
+
+class TracingE2eTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = env::NewScratchDir("tracing");
+    api::InstanceConfig config;
+    config.base_dir = dir_ + "/asterix";
+    config.cluster.num_nodes = 2;
+    config.cluster.partitions_per_node = 2;
+    // Keep the modeled startup cost: it guarantees in-flight queries hold
+    // the execute phase long enough for StatusJson polling to observe.
+    config.cluster.job_startup_us = 20000;
+    // Tiny memory component so insert statements flush (and merge) inside
+    // the insert's own job — the events must carry the insert's query id.
+    config.lsm.mem_budget_bytes = 1;
+    instance_ = std::make_unique<api::AsterixInstance>(config);
+    ASSERT_TRUE(instance_->Boot().ok());
+    auto r = instance_->Execute(R"aql(
+create dataverse Tr; use dataverse Tr;
+create type T as { id: int64, v: int64 }
+create dataset D(T) primary key id;
+)aql");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+  void TearDown() override {
+    instance_.reset();
+    env::RemoveAll(dir_);
+  }
+
+  Result<api::ExecutionResult> Run(const std::string& q) {
+    return instance_->Execute("use dataverse Tr;\n" + q);
+  }
+
+  static uint64_t QueryIdOf(const std::vector<journal::Event>& events) {
+    for (const auto& e : events) {
+      if (e.kind == EventKind::kQueryStart) return e.query_id;
+    }
+    return 0;
+  }
+
+  std::string dir_;
+  std::unique_ptr<api::AsterixInstance> instance_;
+};
+
+TEST_F(TracingE2eTest, StorageEventsCarryTheOriginatingQueryId) {
+  uint64_t min_insert = Journal::Default().posted();
+  auto ins = Run(R"aql(
+insert into dataset D ([
+  { "id": 1, "v": 2 }, { "id": 2, "v": 3 }, { "id": 3, "v": 4 },
+  { "id": 4, "v": 5 }, { "id": 5, "v": 6 }, { "id": 6, "v": 7 },
+  { "id": 7, "v": 8 }, { "id": 8, "v": 1 } ]);)aql");
+  ASSERT_TRUE(ins.ok()) << ins.status().ToString();
+  auto insert_events = Journal::Default().Snapshot(min_insert);
+  uint64_t insert_qid = QueryIdOf(insert_events);
+  ASSERT_NE(insert_qid, 0u);
+  // The insert's profile is stamped with the same id.
+  ASSERT_TRUE(ins.value().stats.profile);
+  EXPECT_EQ(ins.value().stats.profile->query_id, insert_qid);
+
+  // The 256-byte memory budget forces flushes during the insert job; the
+  // flush events must be tagged with the insert's query id and carry byte
+  // counts.
+  int flushes = 0;
+  for (const auto& e : insert_events) {
+    if (e.kind == EventKind::kLsmFlushEnd) {
+      ++flushes;
+      EXPECT_EQ(e.query_id, insert_qid) << "flush not attributed to insert";
+      EXPECT_GT(e.a, 0u) << "flush event missing bytes-in payload";
+      EXPECT_GT(e.b, 0u) << "flush event missing bytes-out payload";
+    }
+  }
+  EXPECT_GT(flushes, 0);
+  // Job lifecycle events are present and attributed too.
+  std::set<EventKind> kinds;
+  for (const auto& e : insert_events) {
+    if (e.query_id == insert_qid) kinds.insert(e.kind);
+  }
+  EXPECT_TRUE(kinds.count(EventKind::kJobAdmit));
+  EXPECT_TRUE(kinds.count(EventKind::kJobStart));
+  EXPECT_TRUE(kinds.count(EventKind::kJobFinish));
+  EXPECT_TRUE(kinds.count(EventKind::kQueryFinish));
+
+  // A second statement gets a distinct, larger query id; its events are not
+  // mixed up with the first statement's.
+  uint64_t min_query = Journal::Default().posted();
+  auto q = Run("for $a in dataset D return $a;");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q.value().values.size(), 8u);
+  auto query_events = Journal::Default().Snapshot(min_query);
+  uint64_t query_qid = QueryIdOf(query_events);
+  ASSERT_NE(query_qid, 0u);
+  EXPECT_GT(query_qid, insert_qid);
+  ASSERT_TRUE(q.value().stats.profile);
+  EXPECT_EQ(q.value().stats.profile->query_id, query_qid);
+  for (const auto& e : query_events) {
+    if (e.kind == EventKind::kJobStart || e.kind == EventKind::kJobFinish) {
+      EXPECT_EQ(e.query_id, query_qid);
+    }
+  }
+}
+
+TEST_F(TracingE2eTest, ExplainAnalyzeShowsPhaseSpans) {
+  auto ins = Run(R"aql(insert into dataset D ([{ "id": 1, "v": 2 }]);)aql");
+  ASSERT_TRUE(ins.ok()) << ins.status().ToString();
+
+  auto an = Run("explain analyze for $a in dataset D return $a;");
+  ASSERT_TRUE(an.ok()) << an.status().ToString();
+  ASSERT_EQ(an.value().values.size(), 1u);
+  std::string plan = an.value().values[0].AsString();
+  EXPECT_NE(plan.find("phases:"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("admission_wait_us="), std::string::npos) << plan;
+  EXPECT_NE(plan.find("execute_us="), std::string::npos) << plan;
+  EXPECT_NE(plan.find("query "), std::string::npos) << plan;
+
+  // The profile JSON carries the same spans plus the query id.
+  ASSERT_TRUE(an.value().stats.profile);
+  const hyracks::JobProfile& prof = *an.value().stats.profile;
+  EXPECT_NE(prof.query_id, 0u);
+  EXPECT_TRUE(prof.phases.any());
+  EXPECT_GT(prof.phases.execute_us, 0u);
+  Value v;
+  ASSERT_TRUE(adm::ParseAdm(prof.ToJson(), &v).ok()) << prof.ToJson();
+  EXPECT_EQ(static_cast<uint64_t>(v.GetField("query_id").AsInt()),
+            prof.query_id);
+  const Value& phases = v.GetField("phases");
+  EXPECT_GE(phases.GetField("optimize_us").AsInt(), 0);
+  EXPECT_GT(phases.GetField("execute_us").AsInt(), 0);
+  EXPECT_GE(phases.GetField("admission_wait_us").AsInt(), 0);
+}
+
+TEST_F(TracingE2eTest, StatusJsonObservesAnInFlightQuery) {
+  auto ins = Run(R"aql(insert into dataset D ([{ "id": 1, "v": 2 }]);)aql");
+  ASSERT_TRUE(ins.ok()) << ins.status().ToString();
+
+  // A compiled join runs a real job, and the fixture's 20ms modeled job
+  // startup guarantees the query stays in flight long enough to observe.
+  auto handle_r = instance_->SubmitAsync(
+      "use dataverse Tr;\n"
+      "for $a in dataset D for $b in dataset D where $a.id = $b.id "
+      "return $a;");
+  ASSERT_TRUE(handle_r.ok());
+
+  // Poll StatusJson until the async query shows up.
+  bool observed = false;
+  for (int attempt = 0; attempt < 2000 && !observed; ++attempt) {
+    std::string status = instance_->StatusJson();
+    Value v;
+    ASSERT_TRUE(adm::ParseAdm(status, &v).ok()) << status;
+    for (const auto& q : v.GetField("active_queries").AsList()) {
+      observed = true;
+      EXPECT_GT(q.GetField("query_id").AsInt(), 0);
+      EXPECT_FALSE(q.GetField("phase").AsString().empty());
+      EXPECT_GE(q.GetField("elapsed_ms").AsDouble(), 0.0);
+      EXPECT_NE(q.GetField("statement").AsString().find("dataset D"),
+                std::string::npos);
+    }
+    if (!observed) std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  auto res = instance_->GetAsyncResult(handle_r.value());
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_TRUE(observed) << "async query never appeared in StatusJson";
+
+  // Post-completion snapshot: well-formed, queries drained, pool and
+  // latency sections populated.
+  std::string status = instance_->StatusJson();
+  Value v;
+  ASSERT_TRUE(adm::ParseAdm(status, &v).ok()) << status;
+  EXPECT_EQ(v.GetField("active_queries").AsList().size(), 0u);
+  EXPECT_EQ(v.GetField("active_jobs").AsList().size(), 0u);
+  const Value& pool = v.GetField("executor_pool");
+  EXPECT_GT(pool.GetField("threads_alive").AsInt(), 0);
+  EXPECT_GE(pool.GetField("busy_threads").AsInt(), 0);
+  const Value& job_lat = v.GetField("latency_us").GetField("job");
+  EXPECT_GT(job_lat.GetField("count").AsInt(), 0);
+  EXPECT_GT(job_lat.GetField("p99").AsDouble(), 0.0);
+  EXPECT_GE(job_lat.GetField("p99").AsDouble(),
+            job_lat.GetField("p50").AsDouble());
+  // Dataset section reports the flushed component count.
+  bool found_dataset = false;
+  for (const auto& d : v.GetField("datasets").AsList()) {
+    if (d.GetField("name").AsString() == "Tr.D") {
+      found_dataset = true;
+      EXPECT_EQ(d.GetField("partitions").AsInt(), 4);
+      EXPECT_GE(d.GetField("disk_components").AsInt(), 0);
+    }
+  }
+  EXPECT_TRUE(found_dataset);
+  const Value& jj = v.GetField("journal");
+  EXPECT_GT(jj.GetField("posted").AsInt(), 0);
+  EXPECT_GT(jj.GetField("capacity").AsInt(), 0);
+}
+
+TEST_F(TracingE2eTest, SlowQueriesAreLoggedWithFullProfiles) {
+  // Threshold of 1us: everything is slow.
+  api::InstanceConfig config;
+  config.base_dir = dir_ + "/slow";
+  config.cluster.num_nodes = 1;
+  config.cluster.partitions_per_node = 2;
+  config.cluster.job_startup_us = 0;
+  config.cluster.slow_query_us = 1;
+  api::AsterixInstance slow(config);
+  ASSERT_TRUE(slow.Boot().ok());
+  auto r = slow.Execute(R"aql(
+create dataverse S; use dataverse S;
+create type T as { id: int64 }
+create dataset D(T) primary key id;
+insert into dataset D ([{ "id": 1 }, { "id": 2 }]);
+for $a in dataset D return $a.id;
+)aql");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(env::ReadFile(slow.SlowQueryLogPath(), &bytes).ok())
+      << slow.SlowQueryLogPath();
+  std::string log(bytes.begin(), bytes.end());
+  // One JSON line per Execute() call (the whole script is one query here).
+  size_t lines = 0;
+  size_t start = 0;
+  while (start < log.size()) {
+    size_t end = log.find('\n', start);
+    if (end == std::string::npos) break;
+    std::string line = log.substr(start, end - start);
+    start = end + 1;
+    ++lines;
+    Value v;
+    ASSERT_TRUE(adm::ParseAdm(line, &v).ok()) << line;
+    EXPECT_GT(v.GetField("query_id").AsInt(), 0);
+    EXPECT_GT(v.GetField("elapsed_us").AsInt(), 0);
+    EXPECT_TRUE(v.GetField("ok").AsBoolean());
+    const Value& phases = v.GetField("phases");
+    EXPECT_GT(phases.GetField("parse_us").AsInt(), 0);
+    // The last executed job's annotated profile rides along.
+    const Value& profile = v.GetField("profile");
+    if (!profile.IsNull()) {
+      EXPECT_GT(profile.GetField("spans").AsList().size(), 0u);
+      EXPECT_EQ(profile.GetField("query_id").AsInt(),
+                v.GetField("query_id").AsInt());
+    }
+  }
+  EXPECT_EQ(lines, 1u);
+
+  // A fast-threshold instance logs nothing.
+  EXPECT_FALSE(env::ReadFile(instance_->SlowQueryLogPath(), &bytes).ok());
+}
+
+TEST_F(TracingE2eTest, BackpressureAndLockEventsAppearWhenTheyHappen) {
+  // Smoke: the journal endpoint names every kind it may emit; grep-style
+  // consumers rely on the stable dotted names.
+  EXPECT_STREQ(journal::EventKindName(EventKind::kQueryStart), "query.start");
+  EXPECT_STREQ(journal::EventKindName(EventKind::kLsmMergeEnd),
+               "lsm.merge.end");
+  EXPECT_STREQ(journal::EventKindName(EventKind::kBackpressure),
+               "channel.backpressure");
+  EXPECT_STREQ(journal::EventKindName(EventKind::kLockWait), "lock.wait");
+  EXPECT_STREQ(journal::EventKindName(EventKind::kSpillReload),
+               "spill.reload");
+}
+
+}  // namespace
+}  // namespace asterix
