@@ -1,0 +1,206 @@
+// Multi-client serving bench: N closed-loop clients fire a mixed
+// read/write workload at one AsterixInstance through Serve() — the full
+// serving pipeline (per-client rate limiting off, admission pool on,
+// result cache + request coalescing on) — and the run reports end-to-end
+// QPS and latency percentiles per operation class, plus the server-layer
+// counters (cache hits/misses, coalesced followers, admission grants),
+// into BENCH_serving.json.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/asterix.h"
+#include "common/env.h"
+#include "common/metrics.h"
+
+namespace {
+
+using namespace asterix;
+
+struct ClientStats {
+  std::vector<double> read_ms;
+  std::vector<double> write_ms;
+  uint64_t cache_hits = 0;
+  uint64_t coalesced = 0;
+  uint64_t errors = 0;
+};
+
+double Percentile(std::vector<double>* v, double p) {
+  if (v->empty()) return 0.0;
+  std::sort(v->begin(), v->end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(v->size() - 1));
+  return (*v)[idx];
+}
+
+int64_t EnvInt(const char* name, int64_t fallback) {
+  if (const char* v = std::getenv(name)) return atoll(v);
+  return fallback;
+}
+
+int Main() {
+  const int clients = static_cast<int>(EnvInt("ASTERIX_SERVING_CLIENTS", 8));
+  const double seconds =
+      static_cast<double>(EnvInt("ASTERIX_SERVING_SECONDS", 3));
+  const int64_t seed_rows = EnvInt("ASTERIX_SERVING_ROWS", 5000);
+
+  std::string dir = env::NewScratchDir("serving-bench");
+  api::InstanceConfig config;
+  config.base_dir = dir;
+  config.cluster.num_nodes = 2;
+  config.cluster.partitions_per_node = 2;
+  config.cluster.job_startup_us = 0;
+  config.cluster.cluster_memory_pool_bytes = 64ull << 20;
+  config.result_cache_bytes = 16ull << 20;
+  api::AsterixInstance db(config);
+  if (!db.Boot().ok()) return 1;
+  auto ddl = db.Execute(R"aql(
+create dataverse Serve; use dataverse Serve;
+create type T as { id: int64, v: int64, grp: int64 }
+create dataset D(T) primary key id;
+)aql");
+  if (!ddl.ok()) {
+    std::fprintf(stderr, "ddl: %s\n", ddl.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<adm::Value> rows;
+  for (int64_t i = 0; i < seed_rows; ++i) {
+    rows.push_back(adm::RecordBuilder()
+                       .Add("id", adm::Value::Int64(i))
+                       .Add("v", adm::Value::Int64(i % 97))
+                       .Add("grp", adm::Value::Int64(i % 10))
+                       .Build());
+  }
+  if (!db.FindDataset("Serve.D")->LoadBulk(rows).ok()) return 1;
+
+  // A small template pool: repeats are what give the cache and the
+  // coalescer something to do, like a dashboard's canned queries.
+  const std::vector<std::string> reads = {
+      "count(for $d in dataset Serve.D return $d)",
+      "for $d in dataset Serve.D where $d.grp = 3 return $d.v",
+      "count(for $d in dataset Serve.D where $d.v < 10 return $d)",
+      "for $d in dataset Serve.D where $d.grp = 7 return $d.id",
+  };
+
+  std::atomic<bool> stop{false};
+  std::vector<ClientStats> stats(static_cast<size_t>(clients));
+  std::vector<std::thread> threads;
+  auto bench_start = std::chrono::steady_clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      ClientStats& s = stats[static_cast<size_t>(c)];
+      api::ServeOptions opts;
+      opts.client_id = "client-" + std::to_string(c);
+      uint64_t seq = 0;
+      // Simple per-client LCG so clients diverge without libc rand locks.
+      uint64_t rng = 0x9E3779B97F4A7C15ull * static_cast<uint64_t>(c + 1);
+      while (!stop.load(std::memory_order_acquire)) {
+        rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+        bool is_write = (rng >> 33) % 5 == 0;  // ~20% writes
+        auto t0 = std::chrono::steady_clock::now();
+        if (is_write) {
+          int64_t id = 1000000 + static_cast<int64_t>(c) * 1000000 +
+                       static_cast<int64_t>(seq++);
+          auto r = db.Serve("insert into dataset Serve.D ([{ \"id\": " +
+                                std::to_string(id) +
+                                ", \"v\": 1, \"grp\": 1 }]);",
+                            opts);
+          double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+          if (r.ok()) {
+            s.write_ms.push_back(ms);
+          } else {
+            ++s.errors;
+          }
+        } else {
+          const std::string& q =
+              reads[static_cast<size_t>((rng >> 40) % reads.size())];
+          auto r = db.Serve(q, opts);
+          double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+          if (r.ok()) {
+            s.read_ms.push_back(ms);
+            if (r.value().from_cache) ++s.cache_hits;
+            if (r.value().coalesced) ++s.coalesced;
+          } else {
+            ++s.errors;
+          }
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<int64_t>(seconds * 1000)));
+  stop = true;
+  for (auto& t : threads) t.join();
+  double elapsed_s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - bench_start)
+                         .count();
+
+  std::vector<double> all_ms, read_ms, write_ms;
+  uint64_t cache_hits = 0, coalesced = 0, errors = 0;
+  for (const auto& s : stats) {
+    read_ms.insert(read_ms.end(), s.read_ms.begin(), s.read_ms.end());
+    write_ms.insert(write_ms.end(), s.write_ms.begin(), s.write_ms.end());
+    cache_hits += s.cache_hits;
+    coalesced += s.coalesced;
+    errors += s.errors;
+  }
+  all_ms = read_ms;
+  all_ms.insert(all_ms.end(), write_ms.begin(), write_ms.end());
+  uint64_t ops = all_ms.size();
+  double qps = elapsed_s > 0 ? static_cast<double>(ops) / elapsed_s : 0;
+
+  char buf[512];
+  std::string out = "{ \"bench\": \"serving\", \"clients\": " +
+                    std::to_string(clients) +
+                    ", \"seconds\": " + std::to_string(elapsed_s) +
+                    ", \"ops\": " + std::to_string(ops) +
+                    ", \"errors\": " + std::to_string(errors) + ", ";
+  std::snprintf(buf, sizeof(buf),
+                "\"qps\": %.1f, \"latency_ms\": { \"p50\": %.3f, \"p99\": "
+                "%.3f }, \"read_latency_ms\": { \"count\": %zu, \"p50\": "
+                "%.3f, \"p99\": %.3f }, \"write_latency_ms\": { \"count\": "
+                "%zu, \"p50\": %.3f, \"p99\": %.3f }, ",
+                qps, Percentile(&all_ms, 0.50), Percentile(&all_ms, 0.99),
+                read_ms.size(), Percentile(&read_ms, 0.50),
+                Percentile(&read_ms, 0.99), write_ms.size(),
+                Percentile(&write_ms, 0.50), Percentile(&write_ms, 0.99));
+  out += buf;
+  out += "\"cache_hits\": " + std::to_string(cache_hits) +
+         ", \"coalesced\": " + std::to_string(coalesced) +
+         ", \"status\": " + db.StatusJson() +
+         ", \"metrics\": " + api::AsterixInstance::MetricsJson() + " }";
+  if (!env::WriteFileAtomic("BENCH_serving.json", out.data(), out.size())
+           .ok()) {
+    return 1;
+  }
+
+  std::printf("serving bench: %d clients, %.1fs\n", clients, elapsed_s);
+  std::printf("  ops=%llu qps=%.0f errors=%llu\n",
+              static_cast<unsigned long long>(ops), qps,
+              static_cast<unsigned long long>(errors));
+  std::printf("  latency p50=%.2fms p99=%.2fms (reads p50=%.2f p99=%.2f, "
+              "writes p50=%.2f p99=%.2f)\n",
+              Percentile(&all_ms, 0.50), Percentile(&all_ms, 0.99),
+              Percentile(&read_ms, 0.50), Percentile(&read_ms, 0.99),
+              Percentile(&write_ms, 0.50), Percentile(&write_ms, 0.99));
+  std::printf("  cache_hits=%llu coalesced=%llu\n",
+              static_cast<unsigned long long>(cache_hits),
+              static_cast<unsigned long long>(coalesced));
+  std::printf("wrote BENCH_serving.json\n");
+
+  env::RemoveAll(dir);
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Main(); }

@@ -7,6 +7,7 @@
 #include "common/env.h"
 #include "common/journal.h"
 #include "common/metrics.h"
+#include "common/version_clock.h"
 #include "external/external.h"
 #include "hyracks/operators.h"
 
@@ -140,6 +141,99 @@ void SetQueryPhase(QueryPhase phase) {
   }
 }
 
+/// Version cell covering everything resolved through the metadata catalogs
+/// (functions, types, external/metadata datasets). Every DDL statement
+/// bumps it after commit.
+constexpr char kCatalogEpoch[] = "__catalog__";
+
+/// Collects the read set of one cacheable execution: every dataset the
+/// query resolves, pinned to its version *at resolution time* (i.e. before
+/// any data is read). Writers bump versions after commit, so a recorded
+/// dep whose version still matches at Lookup() proves no mutation landed
+/// in between. Thread-safe because compiled jobs evaluate subplan scans on
+/// executor-pool threads; ExecuteQuery re-publishes the active recorder on
+/// those threads via the scan callback.
+class ReadSetRecorder {
+ public:
+  void RecordDataset(const std::string& qualified) {
+    vclock::VersionClock::Cell* cell =
+        vclock::VersionClock::Default().GetCell(qualified);
+    uint64_t version = cell->load(std::memory_order_acquire);
+    std::lock_guard<std::mutex> lock(mu_);
+    deps_.emplace(qualified, server::CacheDep{qualified, cell, version});
+  }
+  void RecordCatalog() { RecordDataset(kCatalogEpoch); }
+  /// External datasets read files the version clock cannot see: results
+  /// depending on them must never be cached.
+  void MarkUncacheable() { uncacheable_.store(true, std::memory_order_relaxed); }
+  bool uncacheable() const {
+    return uncacheable_.load(std::memory_order_relaxed);
+  }
+  std::vector<server::CacheDep> TakeDeps() {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<server::CacheDep> out;
+    out.reserve(deps_.size());
+    for (auto& [name, dep] : deps_) {
+      (void)name;
+      out.push_back(dep);
+    }
+    return out;
+  }
+
+ private:
+  std::mutex mu_;
+  std::map<std::string, server::CacheDep> deps_;  // first resolution wins
+  std::atomic<bool> uncacheable_{false};
+};
+
+thread_local ReadSetRecorder* tls_read_set = nullptr;
+
+/// Publishes a recorder on the current thread (and restores the previous
+/// one on exit) — used both on the serving thread for the leader execution
+/// and on pool worker threads running subplan scans for that execution.
+class ReadSetScope {
+ public:
+  explicit ReadSetScope(ReadSetRecorder* r) : prev_(tls_read_set) {
+    tls_read_set = r;
+  }
+  ~ReadSetScope() { tls_read_set = prev_; }
+
+ private:
+  ReadSetRecorder* prev_;
+};
+
+/// Whitespace-normalized script text: the textual half of the cache /
+/// coalescing key ("the same statement modulo formatting").
+std::string NormalizeScript(const std::string& aql) {
+  std::string out;
+  out.reserve(aql.size());
+  bool in_ws = true;
+  for (char c : aql) {
+    bool ws = c == ' ' || c == '\n' || c == '\r' || c == '\t';
+    if (ws) {
+      if (!in_ws) out.push_back(' ');
+      in_ws = true;
+    } else {
+      out.push_back(c);
+      in_ws = false;
+    }
+  }
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+/// Rough retained size of a cached result, for the cache's byte budget.
+uint64_t EstimateResultBytes(const ExecutionResult& r) {
+  uint64_t bytes = r.logical_plan.size() + r.job_plan.size() +
+                   r.stage_plan.size() + r.profiled_plan.size() + 64;
+  for (const auto& v : r.values) {
+    std::string s;
+    v.AppendTo(&s);
+    bytes += s.size() + 32;
+  }
+  return bytes;
+}
+
 /// Stamps the query-level spans (parse/optimize/result) onto a finished
 /// job's profile — the executor already filled admission/execute — and folds
 /// the executor-measured spans into the per-query tracker.
@@ -173,6 +267,9 @@ class AsterixInstance::Catalog : public algebricks::RuleCatalog {
 
   const algebricks::CatalogDataset* FindDataset(
       const std::string& qualified) const override {
+    // The optimizer resolving a dataset counts as reading it: record the
+    // dependency before any data (or index metadata) is consulted.
+    if (ReadSetRecorder* rs = tls_read_set) rs->RecordDataset(qualified);
     auto it = cache_.find(qualified);
     if (it != cache_.end()) return &it->second;
     auto dsit = instance_->datasets_.find(qualified);
@@ -218,6 +315,12 @@ AsterixInstance::AsterixInstance(InstanceConfig config)
     : config_(std::move(config)) {}
 
 AsterixInstance::~AsterixInstance() {
+  // Join every in-flight async submission first: a background script must
+  // not run against datasets this destructor is about to tear down.
+  {
+    std::unique_lock<std::mutex> lock(async_mu_);
+    async_cv_.wait(lock, [&] { return async_inflight_ == 0; });
+  }
   // Drain feeds before tearing down datasets they write into.
   if (feeds_) feeds_->AwaitAll();
 }
@@ -254,8 +357,17 @@ Status AsterixInstance::Boot() {
   parser_ctx_ = aql::ParserContext();
   parser_ctx_.find_function = [this](const std::string& dv,
                                      const std::string& name, size_t arity) {
+    // Resolving a UDF ties the execution to the catalog epoch: dropping or
+    // redefining any function bumps it and invalidates dependent entries.
+    if (ReadSetRecorder* rs = tls_read_set) rs->RecordCatalog();
     return metadata_->FindFunction(dv, name, arity);
   };
+
+  result_cache_ = std::make_unique<server::ResultCache<ExecutionResult>>(
+      config_.result_cache_bytes);
+  rate_limiter_ = std::make_unique<server::RateLimiter>(
+      server::RateLimiterOptions{config_.rate_limit_qps,
+                                 config_.rate_limit_burst});
   return Status::OK();
 }
 
@@ -280,13 +392,25 @@ storage::PartitionedDataset* AsterixInstance::FindDataset(
 Status AsterixInstance::ScanDataset(
     const std::string& qualified,
     const std::function<Status(const Value&)>& cb) {
-  if (storage::PartitionedDataset* ds = FindDataset(qualified)) {
+  ReadSetRecorder* rs = tls_read_set;
+  storage::PartitionedDataset* ds = nullptr;
+  if (auto it = datasets_.find(qualified); it != datasets_.end()) {
+    ds = it->second.get();
+    if (rs != nullptr) rs->RecordDataset(qualified);
+  } else if ((ds = metadata_->MetadataDataset(qualified)) != nullptr) {
+    // Metadata datasets change with DDL, which bumps the catalog epoch.
+    if (rs != nullptr) rs->RecordCatalog();
+  }
+  if (ds != nullptr) {
     for (uint32_t p = 0; p < ds->num_partitions(); ++p) {
       ASTERIX_RETURN_NOT_OK(ds->partition(p)->ScanAll(cb));
     }
     return Status::OK();
   }
   if (const auto* ext = metadata_->FindExternalDataset(qualified)) {
+    // External files mutate outside the version clock's sight — results
+    // that read them must not be cached.
+    if (rs != nullptr) rs->MarkUncacheable();
     return external::ReadExternalData(ext->adaptor, ext->params, ext->type, cb);
   }
   return Status::NotFound("no such dataset: " + qualified);
@@ -381,14 +505,101 @@ std::string AsterixInstance::SlowQueryLogPath() const {
   return config_.base_dir + "/slow_query.log";
 }
 
-Result<uint64_t> AsterixInstance::SubmitAsync(const std::string& aql) {
+bool AsterixInstance::ClassifyForServing(const std::string& aql,
+                                         std::string* key) {
+  std::lock_guard<std::mutex> lock(parser_mu_);
+  // Session state that changes how the same text parses/resolves is part
+  // of the key: identical scripts under different dataverses (or sim
+  // settings) are different queries.
+  *key = NormalizeScript(aql) + '\x1f' + parser_ctx_.dataverse + '\x1f' +
+         parser_ctx_.sim_function + '\x1f' +
+         std::to_string(parser_ctx_.sim_threshold);
+  aql::ParserContext probe_ctx = parser_ctx_;
+  auto stmts_r = aql::ParseAql(aql, &probe_ctx);
+  if (!stmts_r.ok() || stmts_r.value().empty()) return false;
+  for (const auto& st : stmts_r.value()) {
+    // Only pure read-only scripts qualify: a `set`/`use` statement mutates
+    // session state a cache hit would silently skip, and EXPLAIN output
+    // should always reflect the live optimizer.
+    if (st.kind != aql::Statement::Kind::kQuery || st.explain) return false;
+  }
+  return true;
+}
+
+Result<ExecutionResult> AsterixInstance::Serve(const std::string& aql,
+                                               const ServeOptions& opts) {
+  if (rate_limiter_ && rate_limiter_->enabled()) {
+    ASTERIX_RETURN_NOT_OK(rate_limiter_->Admit(opts.client_id));
+  }
+  std::string key;
+  if (!ClassifyForServing(aql, &key)) {
+    // Mutations, DDL, and session statements go straight through; job
+    // admission still gates them underneath.
+    return Execute(aql);
+  }
+
+  if (result_cache_ && result_cache_->enabled()) {
+    if (std::shared_ptr<const ExecutionResult> hit =
+            result_cache_->Lookup(key)) {
+      ExecutionResult out = *hit;
+      out.from_cache = true;
+      return out;
+    }
+  }
+
+  auto ticket = coalescer_.Join(key);
+  if (!ticket.leader()) {
+    std::shared_ptr<const Result<ExecutionResult>> shared = ticket.Wait();
+    Result<ExecutionResult> r = *shared;
+    if (r.ok()) r.value().coalesced = true;
+    return r;
+  }
+
+  // Leader: execute with the read set recorded, cache on success, and hand
+  // every follower the shared result (errors included).
+  ReadSetRecorder recorder;
+  Result<ExecutionResult> result = [&] {
+    ReadSetScope scope(&recorder);
+    return Execute(aql);
+  }();
+  if (result.ok() && !recorder.uncacheable() && result_cache_ &&
+      result_cache_->enabled()) {
+    auto payload = std::make_shared<ExecutionResult>(result.value());
+    result_cache_->Insert(key, payload, EstimateResultBytes(*payload),
+                          recorder.TakeDeps());
+  }
+  coalescer_.Publish(key, std::make_shared<Result<ExecutionResult>>(result));
+  return result;
+}
+
+Result<uint64_t> AsterixInstance::LaunchAsync(
+    std::function<Result<ExecutionResult>()> run) {
   std::lock_guard<std::mutex> lock(async_mu_);
   uint64_t handle = next_handle_++;
+  ++async_inflight_;
   async_[handle] =
-      std::async(std::launch::async, [this, aql] {
-        return std::make_shared<Result<ExecutionResult>>(Execute(aql));
-      }).share();
+      std::async(std::launch::async,
+                 [this, run = std::move(run)] {
+                   auto result =
+                       std::make_shared<Result<ExecutionResult>>(run());
+                   {
+                     std::lock_guard<std::mutex> inner(async_mu_);
+                     --async_inflight_;
+                   }
+                   async_cv_.notify_all();
+                   return result;
+                 })
+          .share();
   return handle;
+}
+
+Result<uint64_t> AsterixInstance::SubmitAsync(const std::string& aql) {
+  return LaunchAsync([this, aql] { return Execute(aql); });
+}
+
+Result<uint64_t> AsterixInstance::ServeAsync(const std::string& aql,
+                                             const ServeOptions& opts) {
+  return LaunchAsync([this, aql, opts] { return Serve(aql, opts); });
 }
 
 AsterixInstance::AsyncState AsterixInstance::PollAsync(uint64_t handle) {
@@ -427,6 +638,8 @@ std::string AsterixInstance::MetricsJson() {
 
 std::string AsterixInstance::StatusJson() {
   auto& reg = metrics::MetricsRegistry::Default();
+  // Shared against DDL: the datasets_ walk below must not race a drop.
+  std::shared_lock<std::shared_mutex> ddl_lock(ddl_mu_);
   std::string out = "{ ";
 
   out += "\"active_queries\": [ ";
@@ -477,8 +690,6 @@ std::string AsterixInstance::StatusJson() {
          std::to_string(reg.GetGauge("hyracks.queued_frames")->value()) +
          " }, ";
 
-  // Datasets are created/dropped on the statement path; this read is only
-  // safe alongside queries/inserts, like every other dataset accessor here.
   out += "\"datasets\": [ ";
   {
     bool first = true;
@@ -529,6 +740,14 @@ std::string AsterixInstance::StatusJson() {
   }
   out += " }, ";
 
+  out += "\"server\": { \"admission\": " + cluster_->admission().StatsJson() +
+         ", \"result_cache\": " +
+         (result_cache_ ? result_cache_->StatsJson() : std::string("null")) +
+         ", \"coalesce_inflight\": " + std::to_string(coalescer_.inflight()) +
+         ", \"rate_limit_clients\": " +
+         std::to_string(rate_limiter_ ? rate_limiter_->clients() : 0) +
+         " }, ";
+
   const journal::Journal& j = journal::Journal::Default();
   out += "\"journal\": { \"posted\": " + std::to_string(j.posted()) +
          ", \"capacity\": " + std::to_string(j.capacity()) + " } }";
@@ -542,6 +761,7 @@ Result<ExecutionResult> AsterixInstance::Explain(const std::string& aql) {
   }();
   if (!stmts_r.ok()) return stmts_r.status();
   ExecutionResult out;
+  std::shared_lock<std::shared_mutex> ddl_lock(ddl_mu_);
   for (const auto& st : stmts_r.value()) {
     if (st.kind == aql::Statement::Kind::kQuery) {
       ASTERIX_RETURN_NOT_OK(ExecuteQuery(st, /*run=*/false, &out));
@@ -572,17 +792,34 @@ Status AsterixInstance::ExecuteStatement(const aql::Statement& st,
     case K::kDropIndex:
     case K::kCreateFunction:
     case K::kDropFunction:
-    case K::kCreateFeed:
-      return ExecuteDdl(st);
-    case K::kConnectFeed:
-      return ConnectFeedStatement(st);
-    case K::kLoad:
+    case K::kCreateFeed: {
+      // DDL rewires datasets_ and tears down dataset instances: exclusive
+      // against every concurrent query/DML (which hold ddl_mu_ shared).
+      std::unique_lock<std::shared_mutex> ddl_lock(ddl_mu_);
+      Status s = ExecuteDdl(st);
+      if (s.ok()) InvalidateServingAfterDdl(st);
+      return s;
+    }
+    case K::kConnectFeed: {
+      std::unique_lock<std::shared_mutex> ddl_lock(ddl_mu_);
+      Status s = ConnectFeedStatement(st);
+      if (s.ok()) vclock::VersionClock::Default().Bump(kCatalogEpoch);
+      return s;
+    }
+    case K::kLoad: {
+      std::shared_lock<std::shared_mutex> lock(ddl_mu_);
       return ExecuteLoad(st);
-    case K::kInsert:
+    }
+    case K::kInsert: {
+      std::shared_lock<std::shared_mutex> lock(ddl_mu_);
       return ExecuteInsert(st, last);
-    case K::kDelete:
+    }
+    case K::kDelete: {
+      std::shared_lock<std::shared_mutex> lock(ddl_mu_);
       return ExecuteDelete(st, last);
-    case K::kQuery:
+    }
+    case K::kQuery: {
+      std::shared_lock<std::shared_mutex> lock(ddl_mu_);
       if (st.explain) {
         // EXPLAIN returns the plan text as the statement's single value;
         // EXPLAIN ANALYZE runs the query first and returns the plan
@@ -601,8 +838,20 @@ Status AsterixInstance::ExecuteStatement(const aql::Statement& st,
         return Status::OK();
       }
       return ExecuteQuery(st, /*run=*/true, last);
+    }
   }
   return Status::Internal("unreachable statement kind");
+}
+
+void AsterixInstance::InvalidateServingAfterDdl(const aql::Statement& st) {
+  // Bump-after-commit: the statement's effects are durable by now, so a
+  // reader that validates against the new versions can only see new state.
+  auto& clock = vclock::VersionClock::Default();
+  clock.Bump(kCatalogEpoch);
+  if (!st.dataset.empty()) {
+    clock.Bump(st.dataset);
+    if (result_cache_) result_cache_->InvalidateDataset(st.dataset);
+  }
 }
 
 Status AsterixInstance::ExecuteDdl(const aql::Statement& st) {
@@ -620,6 +869,10 @@ Status AsterixInstance::ExecuteDdl(const aql::Statement& st) {
       for (const auto& q : victims) {
         datasets_.erase(q);
         env::RemoveAll(config_.base_dir + "/data/" + q);
+        // Per-dataset serving invalidation; the caller's catalog-epoch bump
+        // covers everything resolved through the dropped dataverse.
+        vclock::VersionClock::Default().Bump(q);
+        if (result_cache_) result_cache_->InvalidateDataset(q);
       }
       return metadata_->DropDataverse(st.name, st.if_exists);
     }
@@ -1014,8 +1267,13 @@ Status AsterixInstance::ExecuteQuery(const aql::Statement& st, bool run,
   out->logical_plan = plan->ToString();
   out->values.clear();
 
-  auto scan_fn = [this](const std::string& q,
-                        const std::function<Status(const Value&)>& cb) {
+  // Subplan scans inside compiled expressions run on executor-pool worker
+  // threads: re-publish this query's read-set recorder (if any) there so
+  // every dataset the execution touches lands in the cache entry's deps.
+  ReadSetRecorder* recorder = tls_read_set;
+  auto scan_fn = [this, recorder](const std::string& q,
+                                  const std::function<Status(const Value&)>& cb) {
+    ReadSetScope scope(recorder);
     return ScanDataset(q, cb);
   };
 
@@ -1026,7 +1284,9 @@ Status AsterixInstance::ExecuteQuery(const aql::Statement& st, bool run,
       cluster_.get(), txns_.get(),
       [this](const std::string& q) -> storage::PartitionedDataset* {
         auto it = datasets_.find(q);
-        return it == datasets_.end() ? nullptr : it->second.get();
+        if (it == datasets_.end()) return nullptr;
+        if (ReadSetRecorder* rs = tls_read_set) rs->RecordDataset(q);
+        return it->second.get();
       },
       scan_fn, config_.optimizer);
   auto sink = std::make_shared<std::vector<hyracks::Tuple>>();
@@ -1086,7 +1346,7 @@ Status AsterixInstance::ExecuteQuery(const aql::Statement& st, bool run,
   return Status::OK();
 }
 
-Status AsterixInstance::FlushAll() {
+Status AsterixInstance::FlushAllInternal() {
   for (auto& [name, ds] : datasets_) {
     (void)name;
     ASTERIX_RETURN_NOT_OK(ds->FlushAll());
@@ -1094,8 +1354,14 @@ Status AsterixInstance::FlushAll() {
   return Status::OK();
 }
 
+Status AsterixInstance::FlushAll() {
+  std::shared_lock<std::shared_mutex> ddl_lock(ddl_mu_);
+  return FlushAllInternal();
+}
+
 Status AsterixInstance::Checkpoint() {
-  ASTERIX_RETURN_NOT_OK(FlushAll());
+  std::shared_lock<std::shared_mutex> ddl_lock(ddl_mu_);
+  ASTERIX_RETURN_NOT_OK(FlushAllInternal());
   ASTERIX_RETURN_NOT_OK(metadata_->FlushAll());
   // Every committed operation is now inside a validity-bit-protected disk
   // component; the log carries nothing recovery still needs.
@@ -1104,6 +1370,7 @@ Status AsterixInstance::Checkpoint() {
 
 Result<uint64_t> AsterixInstance::DatasetPrimaryBytes(
     const std::string& qualified) {
+  std::shared_lock<std::shared_mutex> ddl_lock(ddl_mu_);
   storage::PartitionedDataset* ds = FindDataset(qualified);
   if (!ds) return Status::NotFound("dataset " + qualified);
   return ds->TotalPrimaryDiskBytes();

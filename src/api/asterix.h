@@ -3,10 +3,12 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <future>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -15,6 +17,9 @@
 #include "feeds/feeds.h"
 #include "hyracks/cluster.h"
 #include "metadata/metadata.h"
+#include "server/coalescer.h"
+#include "server/rate_limiter.h"
+#include "server/result_cache.h"
 
 namespace asterix {
 namespace api {
@@ -28,6 +33,14 @@ struct InstanceConfig {
   int64_t lock_timeout_ms = 2000;
   /// Simulated WAL flush latency with group commit (0 = disabled).
   int64_t group_commit_latency_us = 0;
+  /// Serving layer (src/server): capacity of the plan-keyed result cache
+  /// consulted by Serve(). 0 disables caching (Serve still coalesces).
+  uint64_t result_cache_bytes = 8ull << 20;
+  /// Per-client steady-state request allowance for Serve() (requests/sec).
+  /// 0 disables rate limiting.
+  double rate_limit_qps = 0.0;
+  /// Token-bucket burst capacity; 0 means max(rate_limit_qps, 1).
+  double rate_limit_burst = 0.0;
 };
 
 /// Result of executing an AQL script: the last query statement's values
@@ -43,6 +56,17 @@ struct ExecutionResult {
   std::string profiled_plan;
   hyracks::JobStats stats;    // last executed job's stats
   bool used_compiled_path = false;  // false = reference interpreter fallback
+  /// Serve() provenance: answered from the result cache without executing.
+  bool from_cache = false;
+  /// Serve() provenance: attached to another client's identical in-flight
+  /// execution and shares its result.
+  bool coalesced = false;
+};
+
+/// Per-request options for Serve()/ServeAsync().
+struct ServeOptions {
+  /// Identity the rate limiter buckets on (one token bucket per client).
+  std::string client_id = "default";
 };
 
 /// Lifecycle phase an in-flight query is currently in (the StatusJson
@@ -84,6 +108,20 @@ class AsterixInstance {
 
   /// Runs a full AQL script (any mix of DDL/DML/queries), synchronously.
   Result<ExecutionResult> Execute(const std::string& aql);
+
+  /// The concurrent serving entry point: Execute() behind the server-layer
+  /// pipeline — per-client token-bucket rate limiting (kRateLimited), the
+  /// plan-keyed result cache (read-only scripts whose dependency versions
+  /// still match are answered without executing), and single-flight request
+  /// coalescing (identical concurrent read-only scripts share one
+  /// execution). Mutating scripts pass straight through to Execute(); job
+  /// admission (kOverloaded) applies underneath either way.
+  Result<ExecutionResult> Serve(const std::string& aql,
+                                const ServeOptions& opts = {});
+
+  /// Serve() on a background thread; same handle protocol as SubmitAsync.
+  Result<uint64_t> ServeAsync(const std::string& aql,
+                              const ServeOptions& opts = {});
 
   /// Asynchronous submission: returns a handle immediately (paper §4: the
   /// client can request status/results via the handle).
@@ -149,6 +187,18 @@ class AsterixInstance {
 
   Status ExecuteStatement(const aql::Statement& st, ExecutionResult* last);
   Status ExecuteDdl(const aql::Statement& st);
+  /// Post-commit serving invalidation for a DDL statement: bumps the
+  /// catalog epoch (and the target dataset's version cell, when the
+  /// statement names one) and eagerly drops dependent cache entries.
+  void InvalidateServingAfterDdl(const aql::Statement& st);
+  /// Classifies a script for the serving layer and builds its cache key.
+  /// Cacheable = every statement is a plain query (or context-only
+  /// set/use); the key folds in the session state that affects parsing.
+  bool ClassifyForServing(const std::string& aql, std::string* key);
+  /// Registers an async task and returns its handle (SubmitAsync and
+  /// ServeAsync share the bookkeeping the destructor drains).
+  Result<uint64_t> LaunchAsync(std::function<Result<ExecutionResult>()> run);
+  Status FlushAllInternal();
   Status ExecuteInsert(const aql::Statement& st, ExecutionResult* last);
   Status ExecuteDelete(const aql::Statement& st, ExecutionResult* last);
   Status ExecuteLoad(const aql::Statement& st);
@@ -169,6 +219,19 @@ class AsterixInstance {
   std::unique_ptr<feeds::FeedManager> feeds_;
   std::map<std::string, std::unique_ptr<storage::PartitionedDataset>> datasets_;
   std::map<std::string, feeds::PushAdaptor*> feed_inputs_;
+  /// Statement-level DDL/query lock: DDL and feed connection hold it
+  /// exclusively (they mutate datasets_ and tear down dataset instances);
+  /// queries, DML, and introspection hold it shared. This is what makes
+  /// concurrent Serve()/SubmitAsync() against DDL churn safe — previously
+  /// the datasets_ map raced.
+  std::shared_mutex ddl_mu_;
+
+  /// Serving layer (Serve/ServeAsync). The cache payload is a whole
+  /// ExecutionResult; the coalescer shares the leader's Result so followers
+  /// inherit failures too.
+  std::unique_ptr<server::ResultCache<ExecutionResult>> result_cache_;
+  server::RequestCoalescer<Result<ExecutionResult>> coalescer_;
+  std::unique_ptr<server::RateLimiter> rate_limiter_;
   /// Guards parser_ctx_ against concurrent Execute()/Explain() (async
   /// submissions parse on pool threads).
   std::mutex parser_mu_;
@@ -187,6 +250,10 @@ class AsterixInstance {
   std::map<uint64_t,
            std::shared_future<std::shared_ptr<Result<ExecutionResult>>>>
       async_;
+  /// Async submissions not yet finished; the destructor blocks until this
+  /// drains so no background script outlives the instance it runs against.
+  size_t async_inflight_ = 0;  // guarded by async_mu_
+  std::condition_variable async_cv_;
 };
 
 /// Renders result values as a JSON array string.

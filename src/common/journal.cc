@@ -34,6 +34,20 @@ const char* EventKindName(EventKind kind) {
       return "channel.backpressure";
     case EventKind::kLockWait:
       return "lock.wait";
+    case EventKind::kAdmissionGrant:
+      return "admission.grant";
+    case EventKind::kAdmissionReject:
+      return "admission.reject";
+    case EventKind::kCacheHit:
+      return "cache.hit";
+    case EventKind::kCacheStore:
+      return "cache.store";
+    case EventKind::kCacheInvalidate:
+      return "cache.invalidate";
+    case EventKind::kCoalesce:
+      return "coalesce.join";
+    case EventKind::kRateLimit:
+      return "rate.limit";
   }
   return "unknown";
 }

@@ -29,6 +29,13 @@ enum class EventKind : uint8_t {
   kSpillReload,
   kBackpressure,
   kLockWait,
+  kAdmissionGrant,
+  kAdmissionReject,
+  kCacheHit,
+  kCacheStore,
+  kCacheInvalidate,
+  kCoalesce,
+  kRateLimit,
 };
 
 const char* EventKindName(EventKind kind);

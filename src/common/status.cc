@@ -26,6 +26,10 @@ const char* StatusCodeName(StatusCode code) {
       return "NotImplemented";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
+    case StatusCode::kRateLimited:
+      return "RateLimited";
   }
   return "Unknown";
 }

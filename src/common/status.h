@@ -22,6 +22,13 @@ enum class StatusCode {
   kTxnConflict,
   kNotImplemented,
   kInternal,
+  /// The server declined the request because shared capacity is exhausted
+  /// (admission queue full or admission-wait timeout). Retryable.
+  kOverloaded,
+  /// The client exceeded its own request-rate allowance (token bucket ran
+  /// dry). Distinct from kOverloaded: the system has capacity, this caller
+  /// does not.
+  kRateLimited,
 };
 
 /// Returns a short human-readable name for a status code ("ParseError", ...).
@@ -65,6 +72,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status RateLimited(std::string msg) {
+    return Status(StatusCode::kRateLimited, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,29 @@
+#include "common/version_clock.h"
+
+namespace asterix {
+namespace vclock {
+
+VersionClock::Cell* VersionClock::GetCell(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cells_.find(name);
+  if (it == cells_.end()) {
+    it = cells_.emplace(name, std::make_unique<Cell>(0)).first;
+  }
+  return it->second.get();
+}
+
+uint64_t VersionClock::Get(const std::string& name) {
+  return GetCell(name)->load(std::memory_order_acquire);
+}
+
+void VersionClock::Bump(const std::string& name) {
+  GetCell(name)->fetch_add(1, std::memory_order_release);
+}
+
+VersionClock& VersionClock::Default() {
+  static VersionClock* clock = new VersionClock();
+  return *clock;
+}
+
+}  // namespace vclock
+}  // namespace asterix

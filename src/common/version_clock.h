@@ -1,0 +1,51 @@
+#ifndef ASTERIX_COMMON_VERSION_CLOCK_H_
+#define ASTERIX_COMMON_VERSION_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace asterix {
+namespace vclock {
+
+/// Process-wide table of named monotonic version counters. Every dataset
+/// write path bumps its dataset's cell after the write commits; the serving
+/// layer's result cache records the versions of every dataset a query read
+/// and treats a cached entry as valid only while all of them still match
+/// (an entry recorded at version v can never mask a write, because the
+/// version is fetched *before* the read and bumped *after* the commit).
+///
+/// Cells are never removed, so a dropped-and-recreated dataset keeps
+/// counting from where it left off — a cache entry from the old incarnation
+/// can never validate against the new one. Cell lookup takes a mutex; hot
+/// paths resolve the cell once (e.g. at dataset open) and then touch only
+/// the lock-free atomic.
+class VersionClock {
+ public:
+  using Cell = std::atomic<uint64_t>;
+
+  /// Stable pointer to the named cell, created at 0 on first use.
+  Cell* GetCell(const std::string& name);
+
+  /// Current version of `name` (0 if never bumped).
+  uint64_t Get(const std::string& name);
+
+  /// Increments the named version. Callers on write paths should prefer
+  /// bumping a resolved Cell directly.
+  void Bump(const std::string& name);
+
+  /// The process-wide clock all dataset writers and cache readers share.
+  static VersionClock& Default();
+
+ private:
+  std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Cell>> cells_;
+};
+
+}  // namespace vclock
+}  // namespace asterix
+
+#endif  // ASTERIX_COMMON_VERSION_CLOCK_H_

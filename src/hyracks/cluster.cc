@@ -248,6 +248,33 @@ Result<JobStats> Cluster::ExecuteJob(const JobSpec& job) {
   journal::ScopedQueryId query_scope(query_id);
   uint64_t job_id = jobs_executed_.load() + 1;
   journal::Journal::Default().Post(journal::EventKind::kJobAdmit, job_id);
+
+  // Count memory-intensive instances first: they determine what this job
+  // must ask the cluster-wide admission pool for. Jobs with no build state
+  // (pure scans, inserts) bypass the gate entirely.
+  int budgeted_instances = 0;
+  for (const auto& op : job.operators) {
+    if (op.memory_intensive) budgeted_instances += op.parallelism;
+  }
+  uint64_t declared_bytes = 0;
+  if (admission_.enabled() && budgeted_instances > 0) {
+    // Declare the configured per-job operator budget; with no per-job cap
+    // set, ask for a quarter of the pool so up to four unbounded jobs can
+    // hold grants concurrently.
+    declared_bytes = config_.op_memory_budget_bytes > 0
+                         ? config_.op_memory_budget_bytes
+                         : admission_.pool_bytes() / 4;
+    if (declared_bytes == 0) declared_bytes = 1;
+  }
+  // Blocks (FIFO) until the pool can cover the declaration; the wait lands
+  // in phases.admission_us below. The grant is held until this frame exits.
+  server::AdmissionGrant grant;
+  if (declared_bytes > 0) {
+    auto admitted = admission_.Acquire(declared_bytes);
+    if (!admitted.ok()) return admitted.status();
+    grant = admitted.take();
+  }
+
   // Model the fixed job generation/distribution overhead of a real cluster.
   if (config_.job_startup_us > 0) {
     std::this_thread::sleep_for(std::chrono::microseconds(config_.job_startup_us));
@@ -309,16 +336,16 @@ Result<JobStats> Cluster::ExecuteJob(const JobSpec& job) {
   // its memory-intensive operators (the ones that build join tables, group
   // tables, or sort buffers). Each instance gets a private MemoryBudget —
   // single-threaded by construction — and spills against it independently.
-  int budgeted_instances = 0;
-  for (const auto& op : job.operators) {
-    if (op.memory_intensive) budgeted_instances += op.parallelism;
-  }
+  // Under admission the divisor is the *granted* bytes, so what the pool
+  // handed out is exactly what the operators are bounded by.
+  size_t job_budget = grant.bytes() > 0
+                          ? static_cast<size_t>(grant.bytes())
+                          : config_.op_memory_budget_bytes;
   size_t per_instance_budget =
-      budgeted_instances > 0 && config_.op_memory_budget_bytes > 0
-          ? config_.op_memory_budget_bytes /
-                static_cast<size_t>(budgeted_instances)
+      budgeted_instances > 0 && job_budget > 0
+          ? job_budget / static_cast<size_t>(budgeted_instances)
           : 0;
-  if (config_.op_memory_budget_bytes > 0 && per_instance_budget == 0) {
+  if (job_budget > 0 && budgeted_instances > 0 && per_instance_budget == 0) {
     per_instance_budget = 1;  // a budget was asked for; never round to "off"
   }
   std::deque<MemoryBudget> budget_storage;  // stable addresses for tasks

@@ -12,6 +12,7 @@
 #include "hyracks/executor_pool.h"
 #include "hyracks/job.h"
 #include "hyracks/profile.h"
+#include "server/admission.h"
 
 namespace asterix {
 namespace hyracks {
@@ -60,6 +61,17 @@ struct ClusterConfig {
   /// microseconds) get their full annotated profile appended as a JSON line
   /// to the instance's slow-query log. 0 = disabled.
   int64_t slow_query_us = DefaultSlowQueryUs();
+  /// Cluster-wide memory pool gating job admission. When > 0, each job with
+  /// memory-intensive operators must be granted its operator budget out of
+  /// this pool before it runs (FIFO queue, kOverloaded on overflow or
+  /// timeout), and the *grant* — not op_memory_budget_bytes directly — is
+  /// what gets divided across the job's instances. 0 = no admission gate;
+  /// every job budgets independently as before.
+  size_t cluster_memory_pool_bytes = 0;
+  /// Max jobs queued for pool capacity before new arrivals are rejected.
+  size_t admission_queue_limit = 64;
+  /// Max milliseconds a job waits in the admission queue.
+  uint64_t admission_timeout_ms = 10000;
 };
 
 /// Post-execution statistics used by benches and tests.
@@ -99,7 +111,10 @@ class Cluster {
         pool_(config.executor_pool_boot_threads > 0
                   ? config.executor_pool_boot_threads
                   : static_cast<size_t>(config.num_nodes *
-                                        config.partitions_per_node * 2)) {}
+                                        config.partitions_per_node * 2)),
+        admission_(server::AdmissionOptions{
+            config.cluster_memory_pool_bytes, config.admission_queue_limit,
+            config.admission_timeout_ms}) {}
 
   int num_partitions() const {
     return config_.num_nodes * config_.partitions_per_node;
@@ -123,6 +138,12 @@ class Cluster {
   /// Jobs currently executing, with live memory-budget usage (StatusJson).
   std::vector<ActiveJobSnapshot> ActiveJobs() const;
 
+  /// The cluster-wide memory-pool gate ExecuteJob acquires from (pool
+  /// occupancy and queue depth for StatusJson; disabled when
+  /// cluster_memory_pool_bytes == 0).
+  server::AdmissionController& admission() { return admission_; }
+  const server::AdmissionController& admission() const { return admission_; }
+
  private:
   struct ActiveJob {
     uint64_t query_id = 0;
@@ -134,6 +155,7 @@ class Cluster {
   ClusterConfig config_;
   std::atomic<uint64_t> jobs_executed_{0};
   ExecutorPool pool_;
+  server::AdmissionController admission_;
   mutable std::mutex active_mu_;
   std::map<uint64_t, ActiveJob> active_jobs_;  // keyed by job id
 };

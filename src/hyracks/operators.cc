@@ -878,6 +878,168 @@ OperatorDescriptor MakeHybridHashJoin(int parallelism,
   return op;
 }
 
+namespace {
+
+// --- Budgeted block nested-loop join ---------------------------------------
+//
+// Classic block-NLJ: build tuples fill one budget-bounded resident block;
+// overflow diverts to a build run. The probe side streams once against the
+// resident block — and, when anything overflowed, is copied to a probe run
+// so each further build block (reloaded from the run) can re-scan it.
+// Left-outer emission is deferred behind per-probe matched flags: a probe
+// tuple whose only match lives in a late block must not be emitted
+// null-padded after an early block misses it.
+class BlockNestedLoopJoin {
+ public:
+  BlockNestedLoopJoin(const TupleEval* predicate, size_t build_arity,
+                      bool left_outer, Emitter* out)
+      : predicate_(predicate),
+        build_arity_(build_arity),
+        left_outer_(left_outer),
+        ctx_(out, "nlj-spill") {}
+
+  Status Execute(InChannel* build_in, InChannel* probe_in);
+
+  void Report() { ctx_.Report(); }
+
+ private:
+  /// Tests one (build, probe) pair, pushing the joined tuple on a match.
+  Result<bool> Match(const Tuple& b, const Tuple& p) {
+    Tuple joined = b;
+    joined.insert(joined.end(), p.begin(), p.end());
+    auto v = (*predicate_)(joined);
+    if (!v.ok()) return v.status();
+    if (functions::ValueToTri(v.value()) != functions::Tri::kTrue) return false;
+    ctx_.out->Push(std::move(joined));
+    return true;
+  }
+
+  const TupleEval* predicate_;
+  size_t build_arity_;
+  bool left_outer_;
+  SpillContext ctx_;
+};
+
+Status BlockNestedLoopJoin::Execute(InChannel* build_in, InChannel* probe_in) {
+  MemoryBudget* budget = ctx_.budget;
+  std::vector<Tuple> block;
+  size_t charged = 0;
+  std::unique_ptr<SpillRun> build_run;
+
+  // Build: resident until the budget trips, everything after to the run.
+  ASTERIX_RETURN_NOT_OK(ForEachInput(build_in, [&](Tuple& t) {
+    if (budget != nullptr && budget->over_budget() && !block.empty()) {
+      if (!build_run) {
+        build_run = std::make_unique<SpillRun>(ctx_.NextRunPath());
+      }
+      return build_run->AppendTuple(t);
+    }
+    if (budget != nullptr) {
+      size_t d = EstimateTupleBytes(t);
+      charged += d;
+      budget->Charge(d);
+    }
+    block.push_back(std::move(t));
+    return Status::OK();
+  }));
+
+  std::unique_ptr<SpillRun> probe_run;
+  std::vector<bool> matched;  // per probe-run position, across all blocks
+  if (build_run) {
+    ASTERIX_RETURN_NOT_OK(build_run->Finish());
+    ctx_.spill_bytes += build_run->bytes();
+    ++ctx_.spilled_partitions;
+    probe_run = std::make_unique<SpillRun>(ctx_.NextRunPath());
+  }
+
+  // Probe once against the resident block. With no overflow this is the
+  // whole join and left-outer tuples can be emitted immediately.
+  ASTERIX_RETURN_NOT_OK(ForEachInput(probe_in, [&](Tuple& t) -> Status {
+    bool hit = false;
+    for (const auto& b : block) {
+      ASTERIX_ASSIGN_OR_RETURN(bool m, Match(b, t));
+      hit = hit || m;
+    }
+    if (probe_run) {
+      matched.push_back(hit);
+      return probe_run->AppendTuple(t);
+    }
+    if (!hit && left_outer_) {
+      Tuple o(build_arity_, Value::Null());
+      o.insert(o.end(), t.begin(), t.end());
+      ctx_.out->Push(std::move(o));
+    }
+    return Status::OK();
+  }));
+
+  if (!probe_run) {
+    if (budget != nullptr) budget->Release(charged);
+    return Status::OK();
+  }
+  ASTERIX_RETURN_NOT_OK(probe_run->Finish());
+  ctx_.spill_bytes += probe_run->bytes();
+  std::vector<Tuple>().swap(block);
+  if (budget != nullptr) budget->Release(charged);
+  charged = 0;
+
+  // Remaining build blocks: load a budget's worth from the run (the scan
+  // skips records outside the window), re-scan the probe run against it.
+  uint64_t offset = 0;
+  const uint64_t overflow = build_run->records();
+  while (offset < overflow) {
+    uint64_t idx = 0;
+    uint64_t loaded = 0;
+    ASTERIX_RETURN_NOT_OK(build_run->ForEach([&](Tuple& t) {
+      uint64_t i = idx++;
+      if (i < offset) return Status::OK();
+      // The first tuple always loads, so each pass strictly advances.
+      if (!block.empty() && budget != nullptr && budget->over_budget()) {
+        return Status::OK();
+      }
+      if (budget != nullptr) {
+        size_t d = EstimateTupleBytes(t);
+        charged += d;
+        budget->Charge(d);
+      }
+      block.push_back(std::move(t));
+      ++loaded;
+      return Status::OK();
+    }));
+    offset += loaded;
+    uint64_t pidx = 0;
+    ASTERIX_RETURN_NOT_OK(probe_run->ForEach([&](Tuple& t) -> Status {
+      uint64_t i = pidx++;
+      bool hit = false;
+      for (const auto& b : block) {
+        ASTERIX_ASSIGN_OR_RETURN(bool m, Match(b, t));
+        hit = hit || m;
+      }
+      if (hit) matched[i] = true;
+      return Status::OK();
+    }));
+    std::vector<Tuple>().swap(block);
+    if (budget != nullptr) budget->Release(charged);
+    charged = 0;
+  }
+
+  if (left_outer_) {
+    uint64_t pidx = 0;
+    ASTERIX_RETURN_NOT_OK(probe_run->ForEach([&](Tuple& t) {
+      if (!matched[pidx++]) {
+        Tuple o(build_arity_, Value::Null());
+        o.insert(o.end(), t.begin(), t.end());
+        ctx_.out->Push(std::move(o));
+      }
+      return Status::OK();
+    }));
+  }
+  build_run->Remove();
+  probe_run->Remove();
+  return Status::OK();
+}
+
+}  // namespace
+
 OperatorDescriptor MakeNestedLoopJoin(int parallelism, TupleEval predicate,
                                       size_t build_arity, bool left_outer) {
   OperatorDescriptor op;
@@ -885,33 +1047,14 @@ OperatorDescriptor MakeNestedLoopJoin(int parallelism, TupleEval predicate,
   op.parallelism = parallelism;
   op.num_inputs = 2;
   op.blocking_ports = {0};
+  op.memory_intensive = true;  // buffers the build side
   op.factory = Lambda([predicate, build_arity, left_outer](
                           int, const std::vector<InChannel*>& in,
                           Emitter* out) {
-    std::vector<Tuple> build;
-    ASTERIX_RETURN_NOT_OK(ForEachInput(in[0], [&](Tuple& t) {
-      build.push_back(std::move(t));
-      return Status::OK();
-    }));
-    return ForEachInput(in[1], [&](Tuple& t) {
-      bool matched = false;
-      for (const auto& b : build) {
-        Tuple joined = b;
-        joined.insert(joined.end(), t.begin(), t.end());
-        auto v = predicate(joined);
-        if (!v.ok()) return v.status();
-        if (functions::ValueToTri(v.value()) == functions::Tri::kTrue) {
-          matched = true;
-          out->Push(std::move(joined));
-        }
-      }
-      if (!matched && left_outer) {
-        Tuple o(build_arity, Value::Null());
-        o.insert(o.end(), t.begin(), t.end());
-        out->Push(std::move(o));
-      }
-      return Status::OK();
-    });
+    BlockNestedLoopJoin join(&predicate, build_arity, left_outer, out);
+    Status st = join.Execute(in[0], in[1]);
+    join.Report();
+    return st;
   });
   return op;
 }
@@ -1131,6 +1274,184 @@ OperatorDescriptor MakeGroupByImpl(const char* name, int parallelism,
   return op;
 }
 
+// --- Budgeted bag group-by -------------------------------------------------
+//
+// Same spill scheme as SpillingHashGroupBy, with the group state being the
+// collected bags themselves. An evicted partition writes each group as one
+// [keys..., Bag(col0...), Bag(col1...)] tuple — exactly the operator's
+// output shape — and the recursion level concatenates bags out of such
+// partial tuples (bag collection is trivially combinable); raw input
+// arriving for an already-spilled partition diverts to a second run
+// unchanged.
+class SpillingBagGroupBy {
+ public:
+  SpillingBagGroupBy(const std::vector<TupleEval>* keys,
+                     const std::vector<int>* collect_columns, Emitter* out)
+      : keys_(keys), collect_(collect_columns), ctx_(out, "bag-group-spill") {}
+
+  Status Execute(const TupleSource& raw, const TupleSource& partials,
+                 int depth);
+
+  void Report() { ctx_.Report(); }
+
+ private:
+  struct Partition {
+    SerializedKeyTable table;  // payload = index into group_keys/bags
+    std::vector<std::vector<Value>> group_keys;
+    std::vector<std::vector<std::vector<Value>>> bags;  // [group][col][elem]
+    size_t charged = 0;
+    bool spilled = false;
+    std::unique_ptr<SpillRun> raw_run, partial_run;
+  };
+
+  /// The output (and spill-partial) tuple for one group; consumes the bags.
+  Tuple MakeOutput(const std::vector<Value>& gkeys,
+                   std::vector<std::vector<Value>>* bags) const {
+    Tuple o = gkeys;
+    for (auto& b : *bags) o.push_back(Value::Bag(std::move(b)));
+    return o;
+  }
+
+  Status Feed(std::vector<Partition>* parts, Tuple& t, bool is_partial,
+              int depth, bool can_spill) {
+    // Partial tuples carry their key VALUES as the leading columns (the
+    // output layout); key expressions only apply to raw input.
+    std::vector<Value> key_values;
+    if (is_partial) {
+      key_values.assign(t.begin(),
+                        t.begin() + static_cast<ptrdiff_t>(keys_->size()));
+    } else {
+      auto keys_r = EvalKeys(*keys_, t);
+      if (!keys_r.ok()) return keys_r.status();
+      key_values = keys_r.take();
+    }
+    key_.Clear();
+    for (const auto& v : key_values) {
+      adm::SerializeNormalizedKey(v, &key_);
+    }
+    uint64_t h = Hash64(key_.data().data(), key_.size());
+    Partition& p = (*parts)[SpillPartitionOf(h, depth)];
+    if (p.spilled) {
+      auto& run = is_partial ? p.partial_run : p.raw_run;
+      if (!run) run = std::make_unique<SpillRun>(ctx_.NextRunPath());
+      return run->AppendTuple(t);
+    }
+    size_t table_before = p.table.bytes();
+    bool inserted;
+    uint32_t* slot =
+        p.table.FindOrInsert(key_.data().data(), key_.size(), h, &inserted);
+    size_t delta = 0;
+    if (inserted) {
+      *slot = static_cast<uint32_t>(p.bags.size());
+      delta += p.table.bytes() - table_before +
+               EstimateTupleBytes(key_values) + kGroupOverheadBytes;
+      p.group_keys.push_back(std::move(key_values));
+      p.bags.emplace_back(collect_->size());
+    }
+    std::vector<std::vector<Value>>& bags = p.bags[*slot];
+    if (is_partial) {
+      for (size_t i = 0; i < collect_->size(); ++i) {
+        Value& bag = t[keys_->size() + i];
+        for (const Value& v : bag.AsList()) {
+          delta += EstimateValueBytes(v) + sizeof(Value);
+          bags[i].push_back(v);
+        }
+      }
+    } else {
+      for (size_t i = 0; i < collect_->size(); ++i) {
+        Value& v = t[static_cast<size_t>((*collect_)[i])];
+        delta += EstimateValueBytes(v) + sizeof(Value);
+        bags[i].push_back(std::move(v));
+      }
+    }
+    // Unlike aggregate group-by, state grows with every fed tuple, so the
+    // budget is charged (and checked) per tuple, not just per new group.
+    p.charged += delta;
+    if (ctx_.budget != nullptr) {
+      ctx_.budget->Charge(delta);
+      while (can_spill && ctx_.budget->over_budget()) {
+        ASTERIX_ASSIGN_OR_RETURN(bool spilled, SpillVictim(parts));
+        if (!spilled) break;
+      }
+    }
+    return Status::OK();
+  }
+
+  Result<bool> SpillVictim(std::vector<Partition>* parts) {
+    Partition* victim = nullptr;
+    for (auto& p : *parts) {
+      if (p.spilled || p.bags.empty()) continue;
+      if (victim == nullptr || p.charged > victim->charged) victim = &p;
+    }
+    if (victim == nullptr) return false;
+    victim->partial_run = std::make_unique<SpillRun>(ctx_.NextRunPath());
+    for (size_t i = 0; i < victim->bags.size(); ++i) {
+      Tuple partial = MakeOutput(victim->group_keys[i], &victim->bags[i]);
+      ASTERIX_RETURN_NOT_OK(victim->partial_run->AppendTuple(partial));
+    }
+    if (ctx_.budget != nullptr) ctx_.budget->Release(victim->charged);
+    victim->charged = 0;
+    victim->spilled = true;
+    victim->table = SerializedKeyTable();
+    std::vector<std::vector<Value>>().swap(victim->group_keys);
+    std::vector<std::vector<std::vector<Value>>>().swap(victim->bags);
+    ++ctx_.spilled_partitions;
+    return true;
+  }
+
+  static constexpr size_t kGroupOverheadBytes = 64;
+
+  const std::vector<TupleEval>* keys_;
+  const std::vector<int>* collect_;
+  SpillContext ctx_;
+  BytesWriter key_;
+};
+
+Status SpillingBagGroupBy::Execute(const TupleSource& raw,
+                                   const TupleSource& partials, int depth) {
+  const bool can_spill = ctx_.budget != nullptr && depth < kMaxSpillDepth;
+  std::vector<Partition> parts(kSpillFanout);
+  ASTERIX_RETURN_NOT_OK(partials([&](Tuple& t) {
+    return Feed(&parts, t, /*is_partial=*/true, depth, can_spill);
+  }));
+  ASTERIX_RETURN_NOT_OK(raw([&](Tuple& t) {
+    return Feed(&parts, t, /*is_partial=*/false, depth, can_spill);
+  }));
+
+  // Resident groups finish here; then free them before recursing.
+  for (auto& p : parts) {
+    if (p.spilled) continue;
+    for (size_t i = 0; i < p.bags.size(); ++i) {
+      ctx_.out->Push(MakeOutput(p.group_keys[i], &p.bags[i]));
+    }
+    ctx_.hash_build_bytes += p.charged;
+    if (ctx_.budget != nullptr) ctx_.budget->Release(p.charged);
+    p.charged = 0;
+    p.table = SerializedKeyTable();
+    std::vector<std::vector<Value>>().swap(p.group_keys);
+    std::vector<std::vector<std::vector<Value>>>().swap(p.bags);
+  }
+
+  for (auto& p : parts) {
+    if (!p.spilled) continue;
+    if (p.partial_run) {
+      ASTERIX_RETURN_NOT_OK(p.partial_run->Finish());
+      ctx_.spill_bytes += p.partial_run->bytes();
+    }
+    if (p.raw_run) {
+      ASTERIX_RETURN_NOT_OK(p.raw_run->Finish());
+      ctx_.spill_bytes += p.raw_run->bytes();
+    }
+    ASTERIX_RETURN_NOT_OK(Execute(
+        p.raw_run ? RunSource(p.raw_run.get()) : EmptySource(),
+        p.partial_run ? RunSource(p.partial_run.get()) : EmptySource(),
+        depth + 1));
+    if (p.raw_run) p.raw_run->Remove();
+    if (p.partial_run) p.partial_run->Remove();
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 OperatorDescriptor MakeHashGroupBy(int parallelism, std::vector<TupleEval> keys,
@@ -1175,27 +1496,14 @@ OperatorDescriptor MakeBagGroupBy(int parallelism, std::vector<TupleEval> keys,
   op.parallelism = parallelism;
   op.num_inputs = 1;
   op.blocking_ports = {0};
+  op.memory_intensive = true;  // bags buffer every collected input value
   op.factory = Lambda([keys, collect_columns](
                           int, const std::vector<InChannel*>& in, Emitter* out) {
-    std::unordered_map<std::vector<Value>, std::vector<std::vector<Value>>,
-                       TupleKeyHash, TupleKeyEq>
-        groups;
-    ASTERIX_RETURN_NOT_OK(ForEachInput(in[0], [&](Tuple& t) {
-      auto keys_r = EvalKeys(keys, t);
-      if (!keys_r.ok()) return keys_r.status();
-      auto& bags = groups[keys_r.take()];
-      if (bags.empty()) bags.resize(collect_columns.size());
-      for (size_t i = 0; i < collect_columns.size(); ++i) {
-        bags[i].push_back(t[static_cast<size_t>(collect_columns[i])]);
-      }
-      return Status::OK();
-    }));
-    for (auto& [gkeys, bags] : groups) {
-      Tuple o = gkeys;
-      for (auto& b : bags) o.push_back(Value::Bag(std::move(b)));
-      out->Push(std::move(o));
-    }
-    return Status::OK();
+    SpillingBagGroupBy grouper(&keys, &collect_columns, out);
+    Status st =
+        grouper.Execute(ChannelSource(in[0]), EmptySource(), /*depth=*/0);
+    grouper.Report();
+    return st;
   });
   return op;
 }

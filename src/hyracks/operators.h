@@ -119,7 +119,10 @@ OperatorDescriptor MakeHybridHashJoin(int parallelism,
                                       size_t build_arity, bool left_outer);
 
 /// Nested-loop join: port 0 buffered, port 1 streamed, predicate over the
-/// concatenated tuple (build columns first).
+/// concatenated tuple (build columns first). Budgeted: build tuples past
+/// the instance's MemoryBudget spill to a run and are joined block-at-a-time
+/// against a re-scanned probe run (block nested-loop), with left-outer
+/// emission deferred behind per-probe matched flags.
 OperatorDescriptor MakeNestedLoopJoin(int parallelism, TupleEval predicate,
                                       size_t build_arity, bool left_outer);
 
@@ -144,7 +147,9 @@ OperatorDescriptor MakeAggregate(int parallelism, std::vector<AggSpec> aggs,
 /// Group-by that materializes, per group, a BAG of the values found in each
 /// of `collect_columns` (the un-rewritten `group by ... with $v` semantics
 /// whose materialization cost the paper's pilots exposed). Emits
-/// [keys..., bag(col0), bag(col1), ...].
+/// [keys..., bag(col0), bag(col1), ...]. Budgeted: hash partitions of bag
+/// state spill to disk as output-shaped partial tuples and are bag-
+/// concatenated back on a recursive pass, like MakeHashGroupBy.
 OperatorDescriptor MakeBagGroupBy(int parallelism, std::vector<TupleEval> keys,
                                   std::vector<int> collect_columns);
 

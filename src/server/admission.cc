@@ -1,0 +1,136 @@
+#include "server/admission.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/journal.h"
+#include "common/metrics.h"
+
+namespace asterix {
+namespace server {
+
+namespace {
+
+struct AdmissionMetrics {
+  metrics::Counter* granted;
+  metrics::Counter* rejected_queue_full;
+  metrics::Counter* rejected_timeout;
+  metrics::Histogram* wait_us;
+  metrics::Gauge* used_bytes;
+  metrics::Gauge* queue_depth;
+
+  static AdmissionMetrics& Get() {
+    static AdmissionMetrics m = [] {
+      auto& reg = metrics::MetricsRegistry::Default();
+      AdmissionMetrics out;
+      out.granted = reg.GetCounter("server.admission.granted");
+      out.rejected_queue_full =
+          reg.GetCounter("server.admission.rejected_queue_full");
+      out.rejected_timeout =
+          reg.GetCounter("server.admission.rejected_timeout");
+      out.wait_us = reg.GetHistogram("server.admission.wait_us");
+      out.used_bytes = reg.GetGauge("server.admission.used_bytes");
+      out.queue_depth = reg.GetGauge("server.admission.queue_depth");
+      return out;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
+void AdmissionGrant::Release() {
+  if (controller_ != nullptr && bytes_ > 0) {
+    controller_->Release(bytes_);
+  }
+  controller_ = nullptr;
+  bytes_ = 0;
+}
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(options) {}
+
+Result<AdmissionGrant> AdmissionController::Acquire(uint64_t declared_bytes) {
+  if (!enabled() || declared_bytes == 0) return AdmissionGrant();
+  uint64_t want = std::min(declared_bytes, options_.pool_bytes);
+  auto& m = AdmissionMetrics::Get();
+  auto start = std::chrono::steady_clock::now();
+  auto deadline = start + std::chrono::milliseconds(options_.timeout_ms);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (queue_.size() >= options_.max_queue) {
+    ++rejected_total_;
+    m.rejected_queue_full->Inc();
+    journal::Journal::Default().Post(journal::EventKind::kAdmissionReject,
+                                     declared_bytes, queue_.size(),
+                                     "queue_full");
+    return Status::Overloaded("admission queue full (" +
+                              std::to_string(queue_.size()) + " waiting)");
+  }
+  uint64_t ticket = next_ticket_++;
+  queue_.push_back(ticket);
+  m.queue_depth->Set(static_cast<int64_t>(queue_.size()));
+
+  bool granted = cv_.wait_until(lock, deadline, [&] {
+    return queue_.front() == ticket && used_ + want <= options_.pool_bytes;
+  });
+  if (!granted) {
+    queue_.erase(std::find(queue_.begin(), queue_.end(), ticket));
+    m.queue_depth->Set(static_cast<int64_t>(queue_.size()));
+    ++rejected_total_;
+    m.rejected_timeout->Inc();
+    journal::Journal::Default().Post(journal::EventKind::kAdmissionReject,
+                                     declared_bytes, queue_.size(), "timeout");
+    // A timed-out head may have been the only thing blocking the new head.
+    cv_.notify_all();
+    return Status::Overloaded("admission wait exceeded " +
+                              std::to_string(options_.timeout_ms) + "ms");
+  }
+  queue_.pop_front();
+  used_ += want;
+  ++granted_total_;
+  m.queue_depth->Set(static_cast<int64_t>(queue_.size()));
+  m.used_bytes->Set(static_cast<int64_t>(used_));
+  m.granted->Inc();
+  uint64_t waited_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  m.wait_us->Observe(waited_us);
+  journal::Journal::Default().Post(journal::EventKind::kAdmissionGrant, want,
+                                   waited_us);
+  // The next queued ticket may also fit in what remains of the pool.
+  cv_.notify_all();
+  return AdmissionGrant(this, want);
+}
+
+void AdmissionController::Release(uint64_t bytes) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    used_ -= std::min(bytes, used_);
+    AdmissionMetrics::Get().used_bytes->Set(static_cast<int64_t>(used_));
+  }
+  cv_.notify_all();
+}
+
+uint64_t AdmissionController::used_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return used_;
+}
+
+size_t AdmissionController::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+std::string AdmissionController::StatsJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return "{ \"pool_bytes\": " + std::to_string(options_.pool_bytes) +
+         ", \"used_bytes\": " + std::to_string(used_) +
+         ", \"queue_depth\": " + std::to_string(queue_.size()) +
+         ", \"granted\": " + std::to_string(granted_total_) +
+         ", \"rejected\": " + std::to_string(rejected_total_) + " }";
+}
+
+}  // namespace server
+}  // namespace asterix

@@ -1,0 +1,111 @@
+#ifndef ASTERIX_SERVER_ADMISSION_H_
+#define ASTERIX_SERVER_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace asterix {
+namespace server {
+
+struct AdmissionOptions {
+  /// Cluster-wide memory pool the controller hands out grants from. 0
+  /// disables admission entirely: every Acquire returns an empty grant and
+  /// jobs fall back to the per-job budget split.
+  uint64_t pool_bytes = 0;
+  /// Jobs waiting for pool capacity beyond this depth are rejected
+  /// immediately with kOverloaded instead of queueing.
+  size_t max_queue = 64;
+  /// A queued job that cannot be granted within this window is rejected
+  /// with kOverloaded.
+  uint64_t timeout_ms = 10000;
+};
+
+class AdmissionController;
+
+/// RAII lease on pool capacity. Returned by AdmissionController::Acquire;
+/// releases its bytes back to the pool (and wakes the queue head) on
+/// destruction. An empty grant (bytes()==0) is a no-op pass-through used
+/// when admission is disabled or the job declared no need.
+class AdmissionGrant {
+ public:
+  AdmissionGrant() = default;
+  AdmissionGrant(AdmissionController* controller, uint64_t bytes)
+      : controller_(controller), bytes_(bytes) {}
+  ~AdmissionGrant() { Release(); }
+
+  AdmissionGrant(AdmissionGrant&& other) noexcept
+      : controller_(other.controller_), bytes_(other.bytes_) {
+    other.controller_ = nullptr;
+    other.bytes_ = 0;
+  }
+  AdmissionGrant& operator=(AdmissionGrant&& other) noexcept {
+    if (this != &other) {
+      Release();
+      controller_ = other.controller_;
+      bytes_ = other.bytes_;
+      other.controller_ = nullptr;
+      other.bytes_ = 0;
+    }
+    return *this;
+  }
+  AdmissionGrant(const AdmissionGrant&) = delete;
+  AdmissionGrant& operator=(const AdmissionGrant&) = delete;
+
+  uint64_t bytes() const { return bytes_; }
+
+  /// Returns the lease early; idempotent.
+  void Release();
+
+ private:
+  AdmissionController* controller_ = nullptr;
+  uint64_t bytes_ = 0;
+};
+
+/// Cluster-wide memory-pool gate in front of job execution. Jobs declare
+/// how much operator memory they need and block — strict FIFO, so a large
+/// job at the head cannot be starved by a stream of small ones — until the
+/// pool can cover the request. A full queue or an expired wait produces
+/// kOverloaded, the retryable "system is saturated" signal (distinct from
+/// kRateLimited, which blames the caller).
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options);
+
+  /// Blocks until `declared_bytes` (clamped to the pool size, so oversized
+  /// jobs degrade instead of deadlocking) can be carved out of the pool.
+  /// Returns the grant, or kOverloaded on queue overflow / timeout.
+  /// declared_bytes == 0 bypasses the queue with an empty grant.
+  Result<AdmissionGrant> Acquire(uint64_t declared_bytes);
+
+  bool enabled() const { return options_.pool_bytes > 0; }
+  uint64_t pool_bytes() const { return options_.pool_bytes; }
+  uint64_t used_bytes() const;
+  size_t queue_depth() const;
+
+  /// `{ "pool_bytes": ..., "used_bytes": ..., "queue_depth": ...,
+  ///    "granted": ..., "rejected": ... }` for StatusJson.
+  std::string StatsJson() const;
+
+ private:
+  friend class AdmissionGrant;
+  void Release(uint64_t bytes);
+
+  AdmissionOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t used_ = 0;
+  uint64_t next_ticket_ = 0;
+  std::deque<uint64_t> queue_;  // outstanding tickets, front = next to grant
+  uint64_t granted_total_ = 0;
+  uint64_t rejected_total_ = 0;
+};
+
+}  // namespace server
+}  // namespace asterix
+
+#endif  // ASTERIX_SERVER_ADMISSION_H_

@@ -1,0 +1,108 @@
+#ifndef ASTERIX_SERVER_COALESCER_H_
+#define ASTERIX_SERVER_COALESCER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/journal.h"
+#include "common/metrics.h"
+
+namespace asterix {
+namespace server {
+
+/// Single-flight request coalescer: the first caller to Join() a key
+/// becomes the leader and must eventually Publish() a result; every caller
+/// that joins the same key while the leader is still running becomes a
+/// follower and Wait()s for that one shared result instead of re-executing.
+/// The published value carries success *or* failure (the API layer
+/// publishes its Result type), so followers share the leader's error too.
+template <typename T>
+class RequestCoalescer {
+ private:
+  struct Inflight {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::shared_ptr<const T> result;
+    bool done = false;
+    uint64_t followers = 0;
+  };
+
+ public:
+  class Ticket {
+   public:
+    bool leader() const { return leader_; }
+    /// Followers block here until the leader publishes. Leaders must not
+    /// call Wait(); they produce the value.
+    std::shared_ptr<const T> Wait() {
+      std::unique_lock<std::mutex> lock(entry_->mu);
+      entry_->cv.wait(lock, [&] { return entry_->done; });
+      return entry_->result;
+    }
+
+   private:
+    friend class RequestCoalescer;
+    Ticket(bool leader, std::shared_ptr<Inflight> entry)
+        : leader_(leader), entry_(std::move(entry)) {}
+    bool leader_;
+    std::shared_ptr<Inflight> entry_;
+  };
+
+  /// Joins (or starts) the in-flight execution for `key`.
+  Ticket Join(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+      uint64_t nth;
+      {
+        std::lock_guard<std::mutex> entry_lock(it->second->mu);
+        nth = ++it->second->followers;
+      }
+      metrics::MetricsRegistry::Default()
+          .GetCounter("server.coalesce.followers")
+          ->Inc();
+      journal::Journal::Default().Post(journal::EventKind::kCoalesce, nth);
+      return Ticket(false, it->second);
+    }
+    auto entry = std::make_shared<Inflight>();
+    inflight_[key] = entry;
+    return Ticket(true, entry);
+  }
+
+  /// Leader hands every waiter the result and retires the key. New Join()s
+  /// for the key after this start a fresh execution (they will usually hit
+  /// the result cache instead).
+  void Publish(const std::string& key, std::shared_ptr<const T> result) {
+    std::shared_ptr<Inflight> entry;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = inflight_.find(key);
+      if (it == inflight_.end()) return;
+      entry = it->second;
+      inflight_.erase(it);
+    }
+    {
+      std::lock_guard<std::mutex> lock(entry->mu);
+      entry->result = std::move(result);
+      entry->done = true;
+    }
+    entry->cv.notify_all();
+  }
+
+  size_t inflight() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return inflight_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Inflight>> inflight_;
+};
+
+}  // namespace server
+}  // namespace asterix
+
+#endif  // ASTERIX_SERVER_COALESCER_H_

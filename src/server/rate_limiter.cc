@@ -1,0 +1,51 @@
+#include "server/rate_limiter.h"
+
+#include <algorithm>
+
+#include "common/journal.h"
+#include "common/metrics.h"
+
+namespace asterix {
+namespace server {
+
+RateLimiter::RateLimiter(RateLimiterOptions options) : options_(options) {
+  if (options_.burst <= 0.0) options_.burst = std::max(options_.qps, 1.0);
+}
+
+Status RateLimiter::Admit(const std::string& client_id) {
+  if (!enabled()) return Status::OK();
+  auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = buckets_.find(client_id);
+  if (it == buckets_.end()) {
+    // New clients start with a full bucket.
+    it = buckets_.emplace(client_id, Bucket{options_.burst, now}).first;
+  }
+  Bucket& b = it->second;
+  double elapsed = std::chrono::duration<double>(now - b.last_refill).count();
+  b.tokens = std::min(options_.burst, b.tokens + elapsed * options_.qps);
+  b.last_refill = now;
+  if (b.tokens < 1.0) {
+    metrics::MetricsRegistry::Default()
+        .GetCounter("server.ratelimit.rejected")
+        ->Inc();
+    journal::Journal::Default().Post(journal::EventKind::kRateLimit, 0, 0,
+                                     client_id.c_str());
+    return Status::RateLimited("client '" + client_id +
+                               "' exceeded " + std::to_string(options_.qps) +
+                               " qps");
+  }
+  b.tokens -= 1.0;
+  metrics::MetricsRegistry::Default()
+      .GetCounter("server.ratelimit.admitted")
+      ->Inc();
+  return Status::OK();
+}
+
+size_t RateLimiter::clients() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buckets_.size();
+}
+
+}  // namespace server
+}  // namespace asterix

@@ -1,0 +1,51 @@
+#ifndef ASTERIX_SERVER_RATE_LIMITER_H_
+#define ASTERIX_SERVER_RATE_LIMITER_H_
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace asterix {
+namespace server {
+
+struct RateLimiterOptions {
+  /// Steady-state allowance per client. 0 disables rate limiting.
+  double qps = 0.0;
+  /// Bucket capacity: how many requests a quiet client may burst. 0 means
+  /// max(qps, 1).
+  double burst = 0.0;
+};
+
+/// Per-client token buckets. Each request costs one token; tokens refill
+/// continuously at `qps` up to `burst`. An empty bucket yields
+/// kRateLimited — the caller exceeded *their* allowance — never
+/// kOverloaded, which is reserved for the admission controller's "the
+/// system is out of capacity" signal.
+class RateLimiter {
+ public:
+  explicit RateLimiter(RateLimiterOptions options);
+
+  /// Consumes one token from `client_id`'s bucket, or rejects.
+  Status Admit(const std::string& client_id);
+
+  bool enabled() const { return options_.qps > 0.0; }
+  size_t clients() const;
+
+ private:
+  struct Bucket {
+    double tokens;
+    std::chrono::steady_clock::time_point last_refill;
+  };
+
+  RateLimiterOptions options_;
+  mutable std::mutex mu_;
+  std::map<std::string, Bucket> buckets_;
+};
+
+}  // namespace server
+}  // namespace asterix
+
+#endif  // ASTERIX_SERVER_RATE_LIMITER_H_

@@ -1,0 +1,71 @@
+#include "server/result_cache.h"
+
+namespace asterix {
+namespace server {
+
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 64;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+// Four derived hashes per key, one per count-min row (Caffeine's trick:
+// remix the one input hash instead of hashing four times).
+uint64_t Remix(uint64_t h, int row) {
+  h += static_cast<uint64_t>(row + 1) * 0x9E3779B97F4A7C15ull;
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDull;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace
+
+FrequencySketch::FrequencySketch(size_t expected_entries) {
+  size_t counters = RoundUpPow2(expected_entries * 4);
+  counter_mask_ = counters - 1;
+  table_.assign(counters / 16, 0);  // 16 4-bit counters per uint64_t
+  sample_size_ = counters * 10;     // age after ~10 increments per counter
+}
+
+uint32_t FrequencySketch::CounterAt(size_t index) const {
+  uint64_t word = table_[index >> 4];
+  return static_cast<uint32_t>((word >> ((index & 15) * 4)) & 0xF);
+}
+
+void FrequencySketch::Increment(uint64_t hash) {
+  bool added = false;
+  for (int row = 0; row < 4; ++row) {
+    size_t index = static_cast<size_t>(Remix(hash, row)) & counter_mask_;
+    uint32_t c = CounterAt(index);
+    if (c < 15) {
+      table_[index >> 4] += 1ull << ((index & 15) * 4);
+      added = true;
+    }
+  }
+  if (added && ++increments_ >= sample_size_) Age();
+}
+
+uint32_t FrequencySketch::Estimate(uint64_t hash) const {
+  uint32_t min = 15;
+  for (int row = 0; row < 4; ++row) {
+    size_t index = static_cast<size_t>(Remix(hash, row)) & counter_mask_;
+    uint32_t c = CounterAt(index);
+    if (c < min) min = c;
+  }
+  return min;
+}
+
+void FrequencySketch::Age() {
+  // Halve every counter: shift each 4-bit lane right by one, masking the
+  // bit that would bleed in from the lane above.
+  for (uint64_t& word : table_) {
+    word = (word >> 1) & 0x7777777777777777ull;
+  }
+  increments_ /= 2;
+}
+
+}  // namespace server
+}  // namespace asterix

@@ -1,0 +1,246 @@
+#ifndef ASTERIX_SERVER_RESULT_CACHE_H_
+#define ASTERIX_SERVER_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/journal.h"
+#include "common/metrics.h"
+#include "common/version_clock.h"
+
+namespace asterix {
+namespace server {
+
+/// TinyLFU admission filter: a count-min sketch of 4-bit counters with
+/// periodic halving ("aging"), so it approximates recent popularity rather
+/// than all-time counts. The cache consults it before evicting: a newcomer
+/// only displaces the LRU victim if the sketch says the newcomer has been
+/// requested more often — one-hit wonders can no longer flush a hot
+/// working set.
+class FrequencySketch {
+ public:
+  /// `expected_entries` sizes the sketch (rounded up to a power of two).
+  explicit FrequencySketch(size_t expected_entries);
+
+  void Increment(uint64_t hash);
+  /// Estimated recent frequency, saturating at 15.
+  uint32_t Estimate(uint64_t hash) const;
+
+ private:
+  uint32_t CounterAt(size_t index) const;
+  void Age();
+
+  std::vector<uint64_t> table_;  // 16 4-bit counters per word
+  size_t counter_mask_;
+  uint64_t sample_size_;
+  uint64_t increments_ = 0;
+};
+
+/// One dataset (or catalog-epoch) dependency of a cached entry, pinned to
+/// the version observed when the entry's execution *resolved* the dataset —
+/// i.e. before it read any data. Writers bump the cell only after their
+/// write commits, so `cell->load() == version` proves no mutation has
+/// committed since the cached execution started reading.
+struct CacheDep {
+  std::string name;                 // qualified dataset name or "__catalog__"
+  vclock::VersionClock::Cell* cell;  // resolved once, lock-free to check
+  uint64_t version;
+};
+
+struct ResultCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t inserts = 0;
+  uint64_t evictions = 0;
+  uint64_t invalidations = 0;       // entries dropped via stale deps / DDL
+  uint64_t admission_rejects = 0;   // TinyLFU kept the victim instead
+  uint64_t bytes = 0;
+  uint64_t capacity_bytes = 0;
+  uint64_t entries = 0;
+};
+
+/// Byte-capacity LRU result cache with TinyLFU admission and version-clock
+/// invalidation. Keys are normalized statement scripts (plus session
+/// dataverse); payloads are opaque to this layer — the API facade caches
+/// its own execution-result type. A Lookup revalidates every recorded
+/// dependency against the live VersionClock, so a mutation committed to any
+/// dataset an entry read makes the entry vanish before the next read can
+/// observe it.
+template <typename T>
+class ResultCache {
+ public:
+  explicit ResultCache(uint64_t capacity_bytes)
+      : capacity_(capacity_bytes),
+        sketch_(capacity_bytes / 1024 + 16),
+        hits_(metrics::MetricsRegistry::Default().GetCounter(
+            "server.cache.hits")),
+        misses_(metrics::MetricsRegistry::Default().GetCounter(
+            "server.cache.misses")),
+        bytes_gauge_(metrics::MetricsRegistry::Default().GetGauge(
+            "server.cache.bytes")) {}
+
+  bool enabled() const { return capacity_ > 0; }
+
+  /// Returns the payload if present and still valid, else nullptr. A stale
+  /// entry (any dependency version moved) is erased on the spot.
+  std::shared_ptr<const T> Lookup(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t h = std::hash<std::string>{}(key);
+    sketch_.Increment(h);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      ++stats_.misses;
+      misses_->Inc();
+      return nullptr;
+    }
+    for (const CacheDep& dep : it->second.deps) {
+      if (dep.cell->load(std::memory_order_acquire) != dep.version) {
+        ++stats_.invalidations;
+        ++stats_.misses;
+        misses_->Inc();
+        journal::Journal::Default().Post(journal::EventKind::kCacheInvalidate,
+                                         it->second.bytes, 0, "stale");
+        Erase(it);
+        return nullptr;
+      }
+    }
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    ++stats_.hits;
+    hits_->Inc();
+    journal::Journal::Default().Post(journal::EventKind::kCacheHit,
+                                     it->second.bytes);
+    return it->second.payload;
+  }
+
+  /// Admits the payload if TinyLFU favors it over the LRU victims it would
+  /// displace. Returns false when admission declined or the payload alone
+  /// exceeds capacity. Deps whose version already moved make the entry
+  /// stillborn (false) rather than cached stale.
+  bool Insert(const std::string& key, std::shared_ptr<const T> payload,
+              uint64_t bytes, std::vector<CacheDep> deps) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (capacity_ == 0 || bytes > capacity_) return false;
+    for (const CacheDep& dep : deps) {
+      if (dep.cell->load(std::memory_order_acquire) != dep.version) {
+        return false;
+      }
+    }
+    uint64_t h = std::hash<std::string>{}(key);
+    sketch_.Increment(h);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) Erase(it);
+    while (bytes_ + bytes > capacity_) {
+      const std::string& victim_key = lru_.back();
+      uint64_t victim_hash = std::hash<std::string>{}(victim_key);
+      if (sketch_.Estimate(h) <= sketch_.Estimate(victim_hash)) {
+        ++stats_.admission_rejects;
+        return false;
+      }
+      ++stats_.evictions;
+      Erase(entries_.find(victim_key));
+    }
+    lru_.push_front(key);
+    Entry& e = entries_[key];
+    e.payload = std::move(payload);
+    e.bytes = bytes;
+    e.deps = std::move(deps);
+    e.lru_pos = lru_.begin();
+    bytes_ += bytes;
+    ++stats_.inserts;
+    bytes_gauge_->Set(static_cast<int64_t>(bytes_));
+    journal::Journal::Default().Post(journal::EventKind::kCacheStore, bytes,
+                                     entries_.size());
+    return true;
+  }
+
+  /// Drops every entry that recorded a dependency on `name`. The version
+  /// clock already guarantees staleness can't be served; this reclaims the
+  /// bytes eagerly (DDL paths call it alongside their version bumps).
+  size_t InvalidateDataset(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t dropped = 0;
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      bool depends = false;
+      for (const CacheDep& dep : it->second.deps) {
+        if (dep.name == name) {
+          depends = true;
+          break;
+        }
+      }
+      if (depends) {
+        ++dropped;
+        ++stats_.invalidations;
+        journal::Journal::Default().Post(journal::EventKind::kCacheInvalidate,
+                                         it->second.bytes, 0, "ddl");
+        it = EraseAdvance(it);
+      } else {
+        ++it;
+      }
+    }
+    return dropped;
+  }
+
+  ResultCacheStats Stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    ResultCacheStats s = stats_;
+    s.bytes = bytes_;
+    s.capacity_bytes = capacity_;
+    s.entries = entries_.size();
+    return s;
+  }
+
+  std::string StatsJson() const {
+    ResultCacheStats s = Stats();
+    return "{ \"capacity_bytes\": " + std::to_string(s.capacity_bytes) +
+           ", \"bytes\": " + std::to_string(s.bytes) +
+           ", \"entries\": " + std::to_string(s.entries) +
+           ", \"hits\": " + std::to_string(s.hits) +
+           ", \"misses\": " + std::to_string(s.misses) +
+           ", \"inserts\": " + std::to_string(s.inserts) +
+           ", \"evictions\": " + std::to_string(s.evictions) +
+           ", \"invalidations\": " + std::to_string(s.invalidations) +
+           ", \"admission_rejects\": " + std::to_string(s.admission_rejects) +
+           " }";
+  }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const T> payload;
+    uint64_t bytes = 0;
+    std::vector<CacheDep> deps;
+    std::list<std::string>::iterator lru_pos;
+  };
+  using EntryMap = std::map<std::string, Entry>;
+
+  void Erase(typename EntryMap::iterator it) { EraseAdvance(it); }
+
+  typename EntryMap::iterator EraseAdvance(typename EntryMap::iterator it) {
+    bytes_ -= it->second.bytes;
+    lru_.erase(it->second.lru_pos);
+    auto next = entries_.erase(it);
+    bytes_gauge_->Set(static_cast<int64_t>(bytes_));
+    return next;
+  }
+
+  uint64_t capacity_;
+  mutable std::mutex mu_;
+  FrequencySketch sketch_;
+  EntryMap entries_;
+  std::list<std::string> lru_;  // front = most recently used
+  uint64_t bytes_ = 0;
+  ResultCacheStats stats_;
+  metrics::Counter* hits_;
+  metrics::Counter* misses_;
+  metrics::Gauge* bytes_gauge_;
+};
+
+}  // namespace server
+}  // namespace asterix
+
+#endif  // ASTERIX_SERVER_RESULT_CACHE_H_

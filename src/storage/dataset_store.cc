@@ -451,7 +451,10 @@ PartitionedDataset::PartitionedDataset(BufferCache* cache,
                                        const std::string& base_dir,
                                        DatasetDef def, uint32_t num_partitions,
                                        txn::TxnManager* txns, LsmOptions options)
-    : cache_(cache), def_(std::move(def)) {
+    : cache_(cache),
+      def_(std::move(def)),
+      version_cell_(vclock::VersionClock::Default().GetCell(
+          def_.dataverse + "." + def_.name)) {
   for (uint32_t i = 0; i < num_partitions; ++i) {
     std::string dir = base_dir + "/" + def_.dataverse + "." + def_.name + "/p" +
                       std::to_string(i);
@@ -478,11 +481,19 @@ Status PartitionedDataset::Insert(const adm::Value& record) {
   }
   auto pk_r = partitions_[0]->PrimaryKeyOf(to_insert);
   if (!pk_r.ok()) return pk_r.status();
-  return partitions_[PartitionOf(pk_r.value())]->Insert(to_insert);
+  Status st = partitions_[PartitionOf(pk_r.value())]->Insert(to_insert);
+  if (st.ok()) version_cell_->fetch_add(1, std::memory_order_release);
+  return st;
 }
 
 Status PartitionedDataset::DeleteByKey(const CompositeKey& pk, bool* found) {
-  return partitions_[PartitionOf(pk)]->DeleteByKey(pk, found);
+  bool was_found = false;
+  Status st = partitions_[PartitionOf(pk)]->DeleteByKey(pk, &was_found);
+  if (st.ok() && was_found) {
+    version_cell_->fetch_add(1, std::memory_order_release);
+  }
+  if (found != nullptr) *found = was_found;
+  return st;
 }
 
 Status PartitionedDataset::PointLookup(const CompositeKey& pk, bool* found,
@@ -505,6 +516,9 @@ Status PartitionedDataset::LoadBulk(const std::vector<adm::Value>& records) {
   }
   for (size_t i = 0; i < partitions_.size(); ++i) {
     ASTERIX_RETURN_NOT_OK(partitions_[i]->LoadBulk(buckets[i]));
+  }
+  if (!records.empty()) {
+    version_cell_->fetch_add(1, std::memory_order_release);
   }
   return Status::OK();
 }

@@ -329,6 +329,134 @@ TEST_F(MemoryBudgetTest, GroupByLocalGlobalSplitSurvivesSpill) {
   EXPECT_EQ(Fingerprint(global_a.rows), Fingerprint(global_b.rows));
 }
 
+// Bag columns are unordered collections; a spilled run concatenates partial
+// bags in recursion order, so equivalence must compare bag CONTENTS, not
+// element order. Keys keep positional order; bag elements sort.
+std::multiset<std::string> BagFingerprint(const std::vector<Tuple>& rows,
+                                          size_t key_arity) {
+  std::multiset<std::string> out;
+  for (const auto& t : rows) {
+    std::string s;
+    for (size_t i = 0; i < key_arity; ++i) s += t[i].ToString() + "|";
+    for (size_t i = key_arity; i < t.size(); ++i) {
+      std::multiset<std::string> elems;
+      for (const auto& v : t[i].AsList()) elems.insert(v.ToString());
+      s += "{";
+      for (const auto& e : elems) s += e + ",";
+      s += "}|";
+    }
+    out.insert(s);
+  }
+  return out;
+}
+
+TEST_F(MemoryBudgetTest, BagGroupByOverBudgetMatchesUnbounded) {
+  size_t before = ScratchEntries();
+  auto rows = RandomRows(12000, 600, 17);
+  auto unbounded = RunUnary(MakeBagGroupBy(1, {Col(0)}, {1}), rows, 0);
+  auto budgeted =
+      RunUnary(MakeBagGroupBy(1, {Col(0)}, {1}), rows, kTinyBudget);
+  ASSERT_TRUE(unbounded.status.ok()) << unbounded.status.ToString();
+  ASSERT_TRUE(budgeted.status.ok()) << budgeted.status.ToString();
+  EXPECT_EQ(unbounded.rows.size(), 600u);
+  EXPECT_EQ(BagFingerprint(unbounded.rows, 1), BagFingerprint(budgeted.rows, 1));
+  EXPECT_EQ(SpilledPartitions(unbounded, "bag-group-by"), 0u);
+  EXPECT_GT(SpilledPartitions(budgeted, "bag-group-by"), 0u);
+  EXPECT_GT(SpillBytes(budgeted, "bag-group-by"), 0u);
+  EXPECT_EQ(ScratchEntries(), before);
+}
+
+TEST_F(MemoryBudgetTest, BagGroupBySkewedKeysSurviveSpill) {
+  // One hot key collects ~80% of 10000 values: its bag alone exceeds the
+  // budget, so the depth cap must terminate the recursion, and the final
+  // bag must still hold every element exactly once.
+  size_t before = ScratchEntries();
+  auto rows = SkewedRows(10000, 7, 18);
+  auto unbounded = RunUnary(MakeBagGroupBy(1, {Col(0)}, {1}), rows, 0);
+  auto budgeted =
+      RunUnary(MakeBagGroupBy(1, {Col(0)}, {1}), rows, kTinyBudget);
+  ASSERT_TRUE(unbounded.status.ok());
+  ASSERT_TRUE(budgeted.status.ok());
+  EXPECT_EQ(BagFingerprint(unbounded.rows, 1), BagFingerprint(budgeted.rows, 1));
+  EXPECT_GT(SpilledPartitions(budgeted, "bag-group-by"), 0u);
+  EXPECT_EQ(ScratchEntries(), before);
+}
+
+// build-scan + probe-scan -> nested-loop-join -> sink, single partition.
+RunResult RunNlj(Cluster* cluster, std::vector<Tuple> build,
+                 std::vector<Tuple> probe, TupleEval predicate,
+                 size_t build_arity, bool left_outer) {
+  JobSpec job;
+  int b = job.AddOperator(MakeValueScan(std::move(build)));
+  int p = job.AddOperator(MakeValueScan(std::move(probe)));
+  int j = job.AddOperator(
+      MakeNestedLoopJoin(1, std::move(predicate), build_arity, left_outer));
+  auto sink = std::make_shared<std::vector<Tuple>>();
+  int dst = job.AddOperator(MakeResultSink(sink));
+  job.Connect(ConnectorType::kOneToOne, b, j, 0);
+  job.Connect(ConnectorType::kOneToOne, p, j, 1);
+  job.Connect(ConnectorType::kOneToOne, j, dst);
+  auto r = cluster->ExecuteJob(job);
+  RunResult out;
+  if (r.ok()) {
+    out.rows = *sink;
+    out.profile = r.value().profile;
+  } else {
+    out.status = r.status();
+  }
+  return out;
+}
+
+TEST_F(MemoryBudgetTest, NestedLoopJoinOverBudgetMatchesUnbounded) {
+  size_t before = ScratchEntries();
+  auto build = RandomRows(1500, 300, 19);
+  auto probe = RandomRows(400, 300, 20);
+  TupleEval eq = [](const Tuple& t) -> Result<Value> {
+    return Value::Boolean(t[0].Compare(t[2]) == 0);
+  };
+  Cluster unbounded_cluster = MakeCluster(0);
+  Cluster budgeted_cluster = MakeCluster(kTinyBudget);
+  auto unbounded = RunNlj(&unbounded_cluster, build, probe, eq, 2, false);
+  auto budgeted = RunNlj(&budgeted_cluster, build, probe, eq, 2, false);
+  ASSERT_TRUE(unbounded.status.ok()) << unbounded.status.ToString();
+  ASSERT_TRUE(budgeted.status.ok()) << budgeted.status.ToString();
+  EXPECT_GT(unbounded.rows.size(), 0u);
+  EXPECT_EQ(Fingerprint(unbounded.rows), Fingerprint(budgeted.rows));
+  EXPECT_EQ(SpilledPartitions(unbounded, "nested-loop-join"), 0u);
+  EXPECT_GT(SpilledPartitions(budgeted, "nested-loop-join"), 0u);
+  EXPECT_GT(SpillBytes(budgeted, "nested-loop-join"), 0u);
+  EXPECT_EQ(ScratchEntries(), before);
+}
+
+TEST_F(MemoryBudgetTest, NestedLoopLeftOuterDefersPaddingAcrossBlocks) {
+  // Probe keys >= 300 never match. A probe tuple whose only match sits in a
+  // LATE build block must not be padded by the early blocks — the matched
+  // flags have to survive across every block pass.
+  size_t before = ScratchEntries();
+  auto build = RandomRows(1500, 300, 21);
+  std::vector<Tuple> probe;
+  for (int i = 0; i < 400; ++i) {
+    probe.push_back({Value::Int64(i % 600), Value::Int64(i)});
+  }
+  TupleEval eq = [](const Tuple& t) -> Result<Value> {
+    return Value::Boolean(t[0].Compare(t[2]) == 0);
+  };
+  Cluster unbounded_cluster = MakeCluster(0);
+  Cluster budgeted_cluster = MakeCluster(kTinyBudget);
+  auto unbounded = RunNlj(&unbounded_cluster, build, probe, eq, 2, true);
+  auto budgeted = RunNlj(&budgeted_cluster, build, probe, eq, 2, true);
+  ASSERT_TRUE(unbounded.status.ok());
+  ASSERT_TRUE(budgeted.status.ok());
+  EXPECT_EQ(Fingerprint(unbounded.rows), Fingerprint(budgeted.rows));
+  size_t padded = 0;
+  for (const auto& t : budgeted.rows) {
+    if (t[0].IsNull()) ++padded;
+  }
+  EXPECT_GT(padded, 0u);
+  EXPECT_GT(SpilledPartitions(budgeted, "nested-loop-join"), 0u);
+  EXPECT_EQ(ScratchEntries(), before);
+}
+
 TEST_F(MemoryBudgetTest, DistinctOverBudgetMatchesUnbounded) {
   size_t before = ScratchEntries();
   // Whole-tuple distinct over heavy duplication: 30000 rows, 2500 distinct.
