@@ -17,8 +17,11 @@
 #include "api/asterix.h"
 #include "common/compress.h"
 #include "common/env.h"
+#include "functions/aggregates.h"
+#include "functions/arith.h"
 #include "functions/similarity.h"
 #include "hyracks/channel.h"
+#include "hyracks/vector/kernels.h"
 #include "hyracks/cluster.h"
 #include "hyracks/operators.h"
 #include "storage/lsm.h"
@@ -207,6 +210,132 @@ BENCHMARK_F(FormatFixture, ProjectedScanRowFormat)(benchmark::State& state) {
 BENCHMARK_F(FormatFixture, ProjectedScanColumnFormat)(benchmark::State& state) {
   RunProjectedScan(col.get(), state);
 }
+
+// Interpreted vs vectorized execution of the same selective
+// filter-and-aggregate over one columnar dataset in steady state: the
+// row-at-a-time side pays record assembly + per-row Value evaluation, the
+// vectorized side runs typed-lane kernels over batches straight off the
+// column pages.
+constexpr size_t kVectorRows = 100000;
+
+adm::DatatypePtr VectorBenchType() {
+  std::vector<adm::FieldType> fields;
+  fields.push_back(
+      {"id", adm::Datatype::Primitive(adm::TypeTag::kInt64), false});
+  fields.push_back(
+      {"e", adm::Datatype::Primitive(adm::TypeTag::kInt64), false});
+  fields.push_back(
+      {"f", adm::Datatype::Primitive(adm::TypeTag::kDouble), false});
+  fields.push_back(
+      {"pad", adm::Datatype::Primitive(adm::TypeTag::kString), false});
+  return adm::Datatype::MakeRecord("VecBenchT", std::move(fields),
+                                   /*open=*/false);
+}
+
+struct VectorBenchState {
+  std::string dir;
+  std::unique_ptr<storage::BufferCache> cache;
+  std::unique_ptr<storage::LsmBTree> tree;
+};
+
+VectorBenchState& VectorBench() {
+  static auto* s = new VectorBenchState();
+  if (s->tree) return *s;
+  s->dir = env::NewScratchDir("bench-vector");
+  s->cache = std::make_unique<storage::BufferCache>(1 << 14);
+  auto type = VectorBenchType();
+  storage::LsmOptions o;
+  o.format = storage::StorageFormat::kColumn;
+  o.record_type = type;
+  o.mem_budget_bytes = 64u << 20;  // hold the whole load: one flush, one component
+  o.merge_policy = storage::MergePolicy::Constant(1);
+  s->tree = std::make_unique<storage::LsmBTree>(s->cache.get(), s->dir, "vec", o);
+  if (!s->tree->Open().ok()) std::abort();
+  for (size_t i = 0; i < kVectorRows; ++i) {
+    adm::RecordBuilder b;
+    b.Add("id", Value::Int64(static_cast<int64_t>(i)));
+    b.Add("e", Value::Int64(static_cast<int64_t>(i % 100)));
+    b.Add("f", Value::Double(static_cast<double>(i) * 0.5));
+    b.Add("pad", Value::String("pppppppppppppppppppppppppppppppp"));
+    std::vector<uint8_t> buf;
+    BytesWriter w(&buf);
+    if (!adm::SerializeTyped(b.Build(), type, &w).ok()) std::abort();
+    (void)s->tree->Upsert({Value::Int64(static_cast<int64_t>(i))}, buf,
+                          static_cast<uint64_t>(i) + 1);
+  }
+  if (!s->tree->Flush().ok()) std::abort();
+  if (s->tree->num_disk_components() > 1 && !s->tree->MaybeMerge().ok()) {
+    std::abort();
+  }
+  if (s->tree->num_disk_components() != 1) std::abort();
+  return *s;
+}
+
+// sum(f) over rows with e >= 90 (10% selectivity), row at a time: assembled
+// records, per-row 3VL compare, virtual aggregator Add.
+double InterpretedFilterAggPass(size_t* rows_seen) {
+  auto& vb = VectorBench();
+  auto proj = storage::column::Projection::Of({"e", "f"});
+  auto agg = functions::MakeAggregator("sum");
+  size_t n = 0;
+  Status st = vb.tree->ProjectedScan(
+      storage::ScanBounds{}, proj,
+      [&](const storage::CompositeKey&, bool, const Value& rec) {
+        ++n;
+        if (functions::LessEqTri(Value::Int64(90), rec.GetField("e")) ==
+            functions::Tri::kTrue) {
+          agg->Add(rec.GetField("f"));
+        }
+        return Status::OK();
+      },
+      nullptr);
+  if (!st.ok() || n != kVectorRows) std::abort();
+  *rows_seen = n;
+  return agg->Finish().AsDouble();
+}
+
+// The same query through the vectorized path: typed batches off the column
+// pages, selection-vector filter kernel, batch aggregate.
+double VectorizedFilterAggPass(size_t* rows_seen) {
+  auto& vb = VectorBench();
+  auto proj = storage::column::Projection::Of({"e", "f"});
+  auto pred = hyracks::vector::Cmp(hyracks::vector::CmpOp::kGe,
+                                   hyracks::vector::Field("e"),
+                                   hyracks::vector::Const(Value::Int64(90)));
+  hyracks::vector::VectorAgg agg("sum", "f");
+  size_t n = 0;
+  Status st = vb.tree->BatchScan(
+      storage::ScanBounds{}, proj,
+      [&](const std::shared_ptr<storage::column::ColumnBatch>& batch) {
+        n += batch->num_rows;
+        ASTERIX_RETURN_NOT_OK(hyracks::vector::Filter(*pred, batch.get()));
+        return agg.AddBatch(*batch);
+      },
+      nullptr);
+  if (!st.ok() || n != kVectorRows) std::abort();
+  *rows_seen = n;
+  return agg.Finish().AsDouble();
+}
+
+void BM_FilterAggInterpreted(benchmark::State& state) {
+  size_t n = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(InterpretedFilterAggPass(&n));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_FilterAggInterpreted)->Unit(benchmark::kMillisecond);
+
+void BM_FilterAggVectorized(benchmark::State& state) {
+  size_t n = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(VectorizedFilterAggPass(&n));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_FilterAggVectorized)->Unit(benchmark::kMillisecond);
 
 void BM_LsmUpsert(benchmark::State& state) {
   std::string dir = env::NewScratchDir("bench-upsert");
@@ -780,10 +909,59 @@ int main(int argc, char** argv) {
       join_legacy, join_serialized, join_serialized / join_legacy, join_spill,
       gb_mem, gb_spill);
 
+  // Interpreted vs vectorized head-to-head on the same columnar data: both
+  // paths must agree on the answer (identical accumulation order makes the
+  // double sums bit-comparable), and the vectorized one must be faster.
+  auto timed_best_of = [](double (*pass)(size_t*), size_t* rows,
+                          double* result) {
+    double best = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      auto t0 = std::chrono::steady_clock::now();
+      *result = pass(rows);
+      double sec = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+      if (sec < best) best = sec;
+    }
+    return best;
+  };
+  size_t vec_rows = 0;
+  double interp_sum = 0, vec_sum = 0;
+  double interp_sec =
+      timed_best_of(InterpretedFilterAggPass, &vec_rows, &interp_sum);
+  double vec_sec = timed_best_of(VectorizedFilterAggPass, &vec_rows, &vec_sum);
+  if (interp_sum != vec_sum) {
+    std::fprintf(stderr, "FATAL vector exec mismatch: interp=%f vec=%f\n",
+                 interp_sum, vec_sum);
+    return 1;
+  }
+  double interp_rps = static_cast<double>(vec_rows) / interp_sec;
+  double vec_rps = static_cast<double>(vec_rows) / vec_sec;
+  double vec_speedup = vec_rps / interp_rps;
+  char vector_json[256];
+  std::snprintf(vector_json, sizeof(vector_json),
+                "{ \"rows\": %lld, "
+                "\"interpreted_rows_per_sec\": %.0f, "
+                "\"vectorized_rows_per_sec\": %.0f, "
+                "\"speedup\": %.2f }",
+                static_cast<long long>(vec_rows), interp_rps, vec_rps,
+                vec_speedup);
+  std::printf("vector exec interpreted=%.0f rows/s vectorized=%.0f rows/s "
+              "speedup=%.2fx\n",
+              interp_rps, vec_rps, vec_speedup);
+  if (std::getenv("ASTERIX_BENCH_REQUIRE_VECTOR_SPEEDUP") != nullptr &&
+      vec_speedup < 1.0) {
+    std::fprintf(stderr,
+                 "FATAL vectorized path slower than interpreted (%.2fx)\n",
+                 vec_speedup);
+    return 1;
+  }
+
   std::string out = "{ \"bench\": \"micro\", \"shuffle\": " +
                     std::string(shuffle_json) + ", \"hash_join\": " +
                     std::string(hash_json) + ", \"group_by\": " +
-                    std::string(gb_json) + ", \"metrics\": " +
+                    std::string(gb_json) + ", \"vector_exec\": " +
+                    std::string(vector_json) + ", \"metrics\": " +
                     asterix::api::AsterixInstance::MetricsJson() + " }";
   auto st = asterix::env::WriteFileAtomic("BENCH_micro.json", out.data(),
                                           out.size());

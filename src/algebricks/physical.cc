@@ -92,6 +92,103 @@ TupleCompare CompareOnColumns(std::vector<int> cols) {
   };
 }
 
+// --- Expression-to-kernel lowering -----------------------------------------
+//
+// Structural translation of the supported expression shapes into the vector
+// kernel IR. Anything outside the supported set returns nullptr and the
+// whole pipeline stays interpreted — the kernels themselves replicate
+// interpreter semantics exactly for what IS lowered, so the two plans are
+// observationally identical.
+
+namespace vec = hyracks::vector;
+
+bool HasField(const std::vector<std::string>& fields, const std::string& f) {
+  return std::find(fields.begin(), fields.end(), f) != fields.end();
+}
+
+std::unique_ptr<vec::ValNode> LowerVal(const ExprPtr& e,
+                                       const std::string& scan_var,
+                                       const std::vector<std::string>& fields) {
+  if (!e) return nullptr;
+  switch (e->kind) {
+    case Expr::Kind::kConst:
+      return vec::Const(e->constant);
+    case Expr::Kind::kFieldAccess: {
+      // Only direct reads of the scan variable's projected fields become
+      // lanes; a field outside the projection has no lane to read.
+      if (!e->base || e->base->kind != Expr::Kind::kVar ||
+          e->base->var != scan_var || !HasField(fields, e->field)) {
+        return nullptr;
+      }
+      return vec::Field(e->field);
+    }
+    case Expr::Kind::kArith: {
+      if (e->fn == "neg") {
+        auto a = LowerVal(e->args[0], scan_var, fields);
+        if (!a) return nullptr;
+        return vec::Arith(vec::ValNode::Kind::kNeg, std::move(a), nullptr);
+      }
+      vec::ValNode::Kind k;
+      if (e->fn == "+") k = vec::ValNode::Kind::kAdd;
+      else if (e->fn == "-") k = vec::ValNode::Kind::kSub;
+      else if (e->fn == "*") k = vec::ValNode::Kind::kMul;
+      // Divide/modulo keep their error semantics in the interpreter.
+      else return nullptr;
+      auto a = LowerVal(e->args[0], scan_var, fields);
+      auto b = LowerVal(e->args[1], scan_var, fields);
+      if (!a || !b) return nullptr;
+      return vec::Arith(k, std::move(a), std::move(b));
+    }
+    default:
+      return nullptr;
+  }
+}
+
+std::unique_ptr<vec::PredNode> LowerPred(const ExprPtr& e,
+                                         const std::string& scan_var,
+                                         const std::vector<std::string>& fields) {
+  if (!e) return nullptr;
+  switch (e->kind) {
+    case Expr::Kind::kCompare: {
+      vec::CmpOp op;
+      if (e->fn == "=") op = vec::CmpOp::kEq;
+      else if (e->fn == "!=") op = vec::CmpOp::kNe;
+      else if (e->fn == "<") op = vec::CmpOp::kLt;
+      else if (e->fn == "<=") op = vec::CmpOp::kLe;
+      else if (e->fn == ">") op = vec::CmpOp::kGt;
+      else if (e->fn == ">=") op = vec::CmpOp::kGe;
+      else return nullptr;  // ~= and friends stay interpreted
+      auto l = LowerVal(e->args[0], scan_var, fields);
+      auto r = LowerVal(e->args[1], scan_var, fields);
+      if (!l || !r) return nullptr;
+      return vec::Cmp(op, std::move(l), std::move(r));
+    }
+    case Expr::Kind::kAnd:
+    case Expr::Kind::kOr: {
+      auto a = LowerPred(e->args[0], scan_var, fields);
+      auto b = LowerPred(e->args[1], scan_var, fields);
+      if (!a || !b) return nullptr;
+      return e->kind == Expr::Kind::kAnd ? vec::And(std::move(a), std::move(b))
+                                         : vec::Or(std::move(a), std::move(b));
+    }
+    case Expr::Kind::kNot: {
+      auto a = LowerPred(e->args[0], scan_var, fields);
+      if (!a) return nullptr;
+      return vec::Not(std::move(a));
+    }
+    default:
+      return nullptr;
+  }
+}
+
+/// The scan at the bottom of a select chain, or null if the chain bottoms
+/// out in anything else.
+const LogicalOp* ScanUnderSelects(const LogicalOpPtr& op) {
+  const LogicalOp* cur = op.get();
+  while (cur->kind == LogicalOp::Kind::kSelect) cur = cur->inputs[0].get();
+  return cur->kind == LogicalOp::Kind::kDataSourceScan ? cur : nullptr;
+}
+
 }  // namespace
 
 namespace {
@@ -537,6 +634,13 @@ Result<PhysicalCompiler::Stream> PhysicalCompiler::CompileJoin(
 
 Result<PhysicalCompiler::Stream> PhysicalCompiler::CompileGroupBy(
     const LogicalOpPtr& op, JobSpec* job) {
+  if (op->with_vars.empty() && op->group_keys.empty()) {
+    // Scalar aggregation over a columnar filter/scan pipeline: try the
+    // vectorized lowering before compiling the input the row way.
+    if (std::optional<Stream> vs = TryCompileVectorAggregate(op, job)) {
+      return *vs;
+    }
+  }
   ASTERIX_ASSIGN_OR_RETURN(Stream in, CompileOp(op->inputs[0], job));
   int P = cluster_->num_partitions();
 
@@ -677,6 +781,144 @@ Result<PhysicalCompiler::Stream> PhysicalCompiler::CompileGroupBy(
   return s;
 }
 
+std::optional<PhysicalCompiler::Stream> PhysicalCompiler::TryCompileVectorSource(
+    const LogicalOpPtr& op, JobSpec* job) {
+  if (!options_.vectorized_execution) return std::nullopt;
+  const LogicalOp* scan = ScanUnderSelects(op);
+  if (!scan) return std::nullopt;
+  // The lanes are the pushed-down projected fields; whole-record scans and
+  // index access paths keep the row pipeline.
+  if (scan->scan_project_all || scan->projected_fields.empty()) {
+    return std::nullopt;
+  }
+  if (scan->access_path.kind != AccessPath::Kind::kNone &&
+      scan->access_path.kind != AccessPath::Kind::kPrimary) {
+    return std::nullopt;
+  }
+  storage::PartitionedDataset* ds = resolver_(scan->dataset);
+  if (!ds || ds->def().storage_format != storage::StorageFormat::kColumn) {
+    return std::nullopt;
+  }
+
+  // Lower every select predicate before touching the job: a single
+  // unlowerable expression falls the whole pipeline back, and the job spec
+  // must not carry half-built operators. Innermost select first, matching
+  // the interpreted evaluation (and error) order.
+  std::vector<ExprPtr> sel_exprs;
+  for (const LogicalOp* cur = op.get(); cur->kind == LogicalOp::Kind::kSelect;
+       cur = cur->inputs[0].get()) {
+    sel_exprs.push_back(cur->expr);
+  }
+  std::reverse(sel_exprs.begin(), sel_exprs.end());
+  std::vector<std::shared_ptr<vec::PredNode>> preds;
+  for (const auto& e : sel_exprs) {
+    auto p = LowerPred(e, scan->var, scan->projected_fields);
+    if (!p) return std::nullopt;
+    preds.push_back(std::move(p));
+  }
+
+  storage::column::Projection proj =
+      storage::column::Projection::Of(scan->projected_fields);
+  for (const auto& r : scan->scan_ranges) {
+    storage::column::FieldRange fr;
+    fr.field = r.field;
+    fr.lo = r.lo;
+    fr.hi = r.hi;
+    fr.lo_inclusive = r.lo_inclusive;
+    fr.hi_inclusive = r.hi_inclusive;
+    proj.ranges.push_back(std::move(fr));
+  }
+  storage::ScanBounds bounds;
+  if (scan->access_path.kind == AccessPath::Kind::kPrimary) {
+    if (scan->access_path.lo) {
+      bounds.lo = storage::CompositeKey{scan->access_path.lo->constant};
+      bounds.lo_inclusive = scan->access_path.lo_inclusive;
+    }
+    if (scan->access_path.hi) {
+      bounds.hi = storage::CompositeKey{scan->access_path.hi->constant};
+      bounds.hi_inclusive = scan->access_path.hi_inclusive;
+    }
+  }
+
+  Stream s;
+  s.parallelism = static_cast<int>(ds->num_partitions());
+  s.op_id = job->AddOperator(
+      hyracks::MakeVectorScan(ds, std::move(proj), bounds));
+  s.schema[scan->var] = 0;
+  s.width = 1;
+  for (size_t i = 0; i < preds.size(); ++i) {
+    // Fallback evaluator for row-tuple frames (non-batch producers): the
+    // same predicate, compiled for the interpreter.
+    int id = job->AddOperator(hyracks::MakeVectorSelect(
+        s.parallelism, preds[i], CompileExpr(sel_exprs[i], s)));
+    job->Connect(ConnectorType::kOneToOne, s.op_id, id);
+    s.op_id = id;
+  }
+  return s;
+}
+
+std::optional<PhysicalCompiler::Stream>
+PhysicalCompiler::TryCompileVectorAggregate(const LogicalOpPtr& op,
+                                            JobSpec* job) {
+  // The vectorized aggregate is inherently a local/global split (partials
+  // per partition); honor an explicit no-split configuration by staying
+  // interpreted.
+  if (!options_.vectorized_execution || !options_.split_aggregation) {
+    return std::nullopt;
+  }
+  const LogicalOp* scan = ScanUnderSelects(op->inputs[0]);
+  if (!scan) return std::nullopt;
+  // Lower the aggregate calls first (no job mutation until everything has a
+  // kernel): plain field reads of the scan variable, or row counts.
+  std::vector<hyracks::VectorAggSpec> specs;
+  for (const auto& a : op->aggs) {
+    std::string base =
+        a.fn.rfind("sql-", 0) == 0 ? a.fn.substr(4) : a.fn;
+    if (base != "count" && base != "min" && base != "max" && base != "sum" &&
+        base != "avg") {
+      return std::nullopt;
+    }
+    hyracks::VectorAggSpec spec;
+    spec.function = a.fn;
+    if (!a.arg || (a.arg->kind == Expr::Kind::kVar && a.arg->var == scan->var)) {
+      // Whole-row aggregate: count is a row count (scan records are never
+      // MISSING); anything else over full records stays interpreted.
+      if (base != "count") return std::nullopt;
+    } else if (a.arg->kind == Expr::Kind::kFieldAccess && a.arg->base &&
+               a.arg->base->kind == Expr::Kind::kVar &&
+               a.arg->base->var == scan->var &&
+               HasField(scan->projected_fields, a.arg->field)) {
+      spec.field = a.arg->field;
+    } else {
+      return std::nullopt;
+    }
+    specs.push_back(std::move(spec));
+  }
+  std::optional<Stream> src = TryCompileVectorSource(op->inputs[0], job);
+  if (!src) return std::nullopt;
+
+  // Local partials over batches; the existing global Aggregator combines
+  // them unchanged (the partial-state record shapes are identical).
+  int local_id = job->AddOperator(
+      hyracks::MakeVectorAggregate(src->parallelism, specs, hyracks::AggMode::kLocal));
+  job->Connect(ConnectorType::kOneToOne, src->op_id, local_id);
+  std::vector<hyracks::AggSpec> global_specs;
+  for (const auto& a : op->aggs) {
+    global_specs.push_back({a.fn, TupleEval()});
+  }
+  int global_id = job->AddOperator(
+      hyracks::MakeAggregate(1, global_specs, hyracks::AggMode::kGlobal));
+  job->Connect(ConnectorType::kMToNReplicating, local_id, global_id);
+
+  Stream s;
+  s.op_id = global_id;
+  s.parallelism = 1;
+  int col = 0;
+  for (const auto& a : op->aggs) s.schema[a.out_var] = col++;
+  s.width = col;
+  return s;
+}
+
 Result<PhysicalCompiler::Stream> PhysicalCompiler::CompileOp(
     const LogicalOpPtr& op, JobSpec* job) {
   switch (op->kind) {
@@ -690,6 +932,14 @@ Result<PhysicalCompiler::Stream> PhysicalCompiler::CompileOp(
     case LogicalOp::Kind::kDataSourceScan:
       return CompileScan(op, job);
     case LogicalOp::Kind::kSelect: {
+      if (std::optional<Stream> vs = TryCompileVectorSource(op, job)) {
+        // End the batch pipeline: downstream row operators see the selected
+        // rows materialized (and only those — late materialization).
+        int id = job->AddOperator(hyracks::MakeVectorMaterialize(vs->parallelism));
+        job->Connect(ConnectorType::kOneToOne, vs->op_id, id);
+        vs->op_id = id;
+        return *vs;
+      }
       ASTERIX_ASSIGN_OR_RETURN(Stream in, CompileOp(op->inputs[0], job));
       int id = job->AddOperator(
           hyracks::MakeSelect(in.parallelism, CompileExpr(op->expr, in)));

@@ -4,6 +4,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "algebricks/logical.h"
@@ -56,6 +57,20 @@ class PhysicalCompiler {
   Result<Stream> CompileScan(const LogicalOpPtr& op, hyracks::JobSpec* job);
   Result<Stream> CompileJoin(const LogicalOpPtr& op, hyracks::JobSpec* job);
   Result<Stream> CompileGroupBy(const LogicalOpPtr& op, hyracks::JobSpec* job);
+
+  /// Vectorized lowering: if `op` is a chain of selects (possibly empty)
+  /// over a columnar scan with pushed-down fields and every predicate has a
+  /// kernel, emits vector-scan -> vector-select* and returns its stream
+  /// (typed batches flowing). nullopt = not lowerable; the caller compiles
+  /// the interpreted plan and nothing was added to the job.
+  std::optional<Stream> TryCompileVectorSource(const LogicalOpPtr& op,
+                                               hyracks::JobSpec* job);
+  /// Scalar-aggregation shape: ungrouped aggregates whose arguments are
+  /// plain field reads over a vectorizable source. Emits the full
+  /// vector-scan -> vector-select* -> vector-local-aggregate pipeline plus
+  /// the interpreted global combine.
+  std::optional<Stream> TryCompileVectorAggregate(const LogicalOpPtr& op,
+                                                  hyracks::JobSpec* job);
 
   /// Compiles an expression against a stream schema into a tuple evaluator
   /// (binds only the expression's free variables unless it contains a

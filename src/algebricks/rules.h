@@ -51,6 +51,11 @@ struct OptimizerOptions {
   /// ranges) on each data-source scan so columnar datasets materialize
   /// only the touched column pages. Never changes results.
   bool push_projection_into_scan = true;
+  /// Consulted by the physical generator: lower filter/aggregate pipelines
+  /// over columnar scans to typed-batch vector operators when every
+  /// expression has a kernel. Semantics are interpreter-exact; turning this
+  /// off forces the row-at-a-time operators everywhere.
+  bool vectorized_execution = true;
 };
 
 /// Runs the rewrite pipeline over (a copy of) the plan.

@@ -62,6 +62,7 @@ class InChannel {
   /// failed stream surfaces its status.
   Result<bool> NextFrame(Frame* out) {
     out->tuples.clear();
+    out->batch.reset();
     if (pos_ < pending_.tuples.size()) {
       out->tuples.insert(out->tuples.end(),
                          std::make_move_iterator(pending_.tuples.begin() +
@@ -74,13 +75,25 @@ class InChannel {
     return PullFrame(out);
   }
 
-  /// Blocking tuple-at-a-time pull (shim over NextFrame).
+  /// Blocking tuple-at-a-time pull (shim over NextFrame). A columnar batch
+  /// frame is materialized into single-column record tuples here, so a
+  /// row-oriented consumer downstream of a vectorized producer still sees
+  /// every selected row.
   Result<bool> Next(Tuple* out) {
     if (pos_ >= pending_.tuples.size()) {
       pending_.tuples.clear();
+      pending_.batch.reset();
       pos_ = 0;
       auto r = PullFrame(&pending_);
       if (!r.ok() || !r.value()) return r;
+      if (pending_.batch != nullptr) {
+        pending_.tuples.reserve(pending_.batch->sel.size());
+        for (uint32_t row : pending_.batch->sel.rows) {
+          pending_.tuples.push_back({pending_.batch->MaterializeRow(row)});
+        }
+        pending_.batch.reset();
+        if (pending_.tuples.empty()) return Next(out);
+      }
     }
     *out = std::move(pending_.tuples[pos_++]);
     return true;
@@ -109,7 +122,7 @@ class FifoChannel : public InChannel {
 
   void Push(int producer, Frame frame) override {
     (void)producer;
-    if (frame.tuples.empty()) return;
+    if (frame.tuples.empty() && frame.batch == nullptr) return;
     std::unique_lock<std::mutex> lock(mu_);
     WaitForSpace(lock, [&] { return frames_.size() < capacity_; });
     if (!status_.ok() || cancelled_) return;  // dropped; consumer is gone
@@ -376,7 +389,10 @@ class CountingChannel : public InChannel {
               std::chrono::steady_clock::now() - t0)
               .count());
     }
-    if (r.ok() && r.value()) *consumed_ += out->tuples.size();
+    if (r.ok() && r.value()) {
+      *consumed_ += out->tuples.size();
+      if (out->batch != nullptr) *consumed_ += out->batch->sel.size();
+    }
     return r;
   }
 

@@ -80,6 +80,51 @@ class RoutingEmitter : public Emitter {
     span_->hash_build_bytes += n;
   }
 
+  void AddBatchStats(uint64_t batches, uint64_t rows_selected,
+                     uint64_t rows_total) override {
+    span_->batches += batches;
+    span_->vec_rows_selected += rows_selected;
+    span_->vec_rows_total += rows_total;
+  }
+
+  void AddKernelTime(uint64_t us) override { span_->kernel_us += us; }
+
+  /// The vectorized path: a 1:1-only route forwards the batch itself as a
+  /// frame; any other topology needs per-tuple routing, so fall back to the
+  /// base materializer (which calls Push per selected row).
+  void PushBatch(
+      std::shared_ptr<storage::column::ColumnBatch> batch) override {
+    if (batch == nullptr || batch->sel.rows.empty()) return;
+    if (routes_.empty()) {
+      span_->tuples_out += batch->sel.size();
+      return;
+    }
+    if (routes_.size() != 1 ||
+        routes_[0].conn->type != ConnectorType::kOneToOne) {
+      Emitter::PushBatch(std::move(batch));
+      return;
+    }
+    Route& r = routes_[0];
+    int n = static_cast<int>(r.dst_channels.size());
+    size_t dst = static_cast<size_t>(src_instance_ % n);
+    span_->tuples_out += batch->sel.size();
+    PendingCounts& pc = pending_[0];
+    pc.tuples += batch->sel.size();
+    if (r.dst_nodes[dst] != src_node_) pc.network_tuples += batch->sel.size();
+    // Preserve ordering against any row tuples already buffered for dst.
+    FlushBuffer(0, dst);
+    Frame frame;
+    frame.batch = std::move(batch);
+    auto t0 = std::chrono::steady_clock::now();
+    r.dst_channels[dst]->Push(src_instance_, std::move(frame));
+    span_->output_wait_us += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    ++span_->frames_flushed;
+    FlushCounts(0);
+  }
+
   void Push(Tuple tuple) override {
     ++span_->tuples_out;
     if (routes_.empty()) return;

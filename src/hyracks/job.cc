@@ -6,6 +6,13 @@
 namespace asterix {
 namespace hyracks {
 
+void Emitter::PushBatch(std::shared_ptr<storage::column::ColumnBatch> batch) {
+  if (batch == nullptr) return;
+  for (uint32_t row : batch->sel.rows) {
+    Push({batch->MaterializeRow(row)});
+  }
+}
+
 const char* ConnectorTypeName(ConnectorType t) {
   switch (t) {
     case ConnectorType::kOneToOne: return "OneToOne";

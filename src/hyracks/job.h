@@ -19,6 +19,10 @@ class Emitter {
  public:
   virtual ~Emitter() = default;
   virtual void Push(Tuple tuple) = 0;
+  /// Pushes a typed columnar batch downstream (the vectorized path). The
+  /// default materializes the selected rows into single-column record
+  /// tuples; batch-aware emitters forward the batch itself over 1:1 routes.
+  virtual void PushBatch(std::shared_ptr<storage::column::ColumnBatch> batch);
   /// Flushes buffered frames (executor also flushes at operator close).
   virtual void Flush() = 0;
   /// Storage bytes this operator instance read; scan operators report
@@ -35,6 +39,13 @@ class Emitter {
   /// Peak serialized hash-build footprint (arena + table, summed across
   /// recursion levels) — the EXPLAIN ANALYZE "hash_build_bytes" signal.
   virtual void AddHashBuildBytes(uint64_t) {}
+  /// Vectorization accounting: batches processed, rows surviving the
+  /// selection vector, and rows carried — feeds OperatorSpan's `batches` /
+  /// `selected_ratio`.
+  virtual void AddBatchStats(uint64_t /*batches*/, uint64_t /*rows_selected*/,
+                             uint64_t /*rows_total*/) {}
+  /// Microseconds spent inside vectorized kernels (filter/aggregate loops).
+  virtual void AddKernelTime(uint64_t /*us*/) {}
 };
 
 /// A per-partition runtime instance of an operator. `inputs[p]` is the

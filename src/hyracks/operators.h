@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "hyracks/job.h"
+#include "hyracks/vector/kernels.h"
 #include "storage/dataset_store.h"
 
 namespace asterix {
@@ -181,6 +182,50 @@ OperatorDescriptor MakeDelete(storage::PartitionedDataset* dataset,
 
 /// Collects all tuples into `sink` (parallelism 1; the query result).
 OperatorDescriptor MakeResultSink(std::shared_ptr<std::vector<Tuple>> sink);
+
+// ---------------------------------------------------------------------------
+// Vectorized operators (typed columnar batches + selection vectors). The
+// lowering pass in algebricks emits these for filter/aggregate pipelines
+// over columnar datasets; everything else keeps the row-at-a-time operators.
+// ---------------------------------------------------------------------------
+
+/// One lowered ungrouped aggregate: the function (count/min/max/sum/avg or
+/// sql-*) plus the top-level record field it reads. Empty `field` counts
+/// whole rows (count over the record variable).
+struct VectorAggSpec {
+  std::string function;
+  std::string field;
+};
+
+/// Columnar batch scan: instance p scans storage partition p, emitting typed
+/// ColumnBatch frames (no row reconstruction when the partition is in
+/// columnar steady state; otherwise assembled rows are re-batched through
+/// BatchBuilder — same data, same order). `projection` must name explicit
+/// fields (the lanes).
+OperatorDescriptor MakeVectorScan(storage::PartitionedDataset* dataset,
+                                  storage::column::Projection projection,
+                                  storage::ScanBounds bounds = {});
+
+/// Vectorized filter: refines each batch's selection vector in place with
+/// the lowered predicate kernel and forwards the surviving batch. Row-tuple
+/// frames (a non-batch producer upstream) go through `fallback`, the
+/// compiled interpreter predicate — identical semantics.
+OperatorDescriptor MakeVectorSelect(int parallelism,
+                                    std::shared_ptr<vector::PredNode> pred,
+                                    TupleEval fallback);
+
+/// Vectorized ungrouped aggregation over batches. mode=kLocal emits the
+/// partial-state tuple the existing global Aggregator combines; kComplete
+/// emits finals directly. Row-tuple frames are re-batched and fed through
+/// the same kernels (semantics are interpreter-exact either way).
+OperatorDescriptor MakeVectorAggregate(int parallelism,
+                                       std::vector<VectorAggSpec> aggs,
+                                       AggMode mode);
+
+/// Ends a vectorized pipeline: materializes each batch's selected rows into
+/// [record] tuples for row-oriented consumers (late materialization — only
+/// rows still selected here are ever rebuilt).
+OperatorDescriptor MakeVectorMaterialize(int parallelism);
 
 /// Hash function over selected columns, for partitioning connectors.
 std::function<uint64_t(const Tuple&)> HashOnColumns(std::vector<int> columns);

@@ -51,6 +51,10 @@ std::vector<OperatorRollup> JobProfile::Rollup() const {
     r.spill_bytes += s.spill_bytes;
     r.spilled_partitions += s.spilled_partitions;
     r.hash_build_bytes += s.hash_build_bytes;
+    r.batches += s.batches;
+    r.vec_rows_selected += s.vec_rows_selected;
+    r.vec_rows_total += s.vec_rows_total;
+    r.kernel_us += s.kernel_us;
     r.elapsed_ms = std::max(r.elapsed_ms, s.elapsed_ms());
   }
   return rollups;
@@ -102,6 +106,9 @@ std::string JobProfile::ToJson() const {
            ", \"spill_bytes\": " + std::to_string(r.spill_bytes) +
            ", \"spilled_partitions\": " + std::to_string(r.spilled_partitions) +
            ", \"hash_build_bytes\": " + std::to_string(r.hash_build_bytes) +
+           ", \"batches\": " + std::to_string(r.batches) +
+           ", \"selected_ratio\": " + FmtMs(r.selected_ratio()) +
+           ", \"kernel_us\": " + std::to_string(r.kernel_us) +
            ", \"elapsed_ms\": " + FmtMs(r.elapsed_ms) + " }";
   }
   out += " ], \"spans\": [ ";
@@ -124,6 +131,9 @@ std::string JobProfile::ToJson() const {
            ", \"spill_bytes\": " + std::to_string(s.spill_bytes) +
            ", \"spilled_partitions\": " + std::to_string(s.spilled_partitions) +
            ", \"hash_build_bytes\": " + std::to_string(s.hash_build_bytes) +
+           ", \"batches\": " + std::to_string(s.batches) +
+           ", \"selected_ratio\": " + FmtMs(s.selected_ratio()) +
+           ", \"kernel_us\": " + std::to_string(s.kernel_us) +
            ", \"ok\": " + (s.ok ? "true" : "false") + " }";
   }
   out += " ], \"connectors\": [ ";
@@ -203,7 +213,8 @@ std::string JobProfile::ToChromeTrace() const {
            ", \"spill_bytes\": " + std::to_string(s.spill_bytes) +
            ", \"spilled_partitions\": " + std::to_string(s.spilled_partitions) +
            ", \"hash_build_bytes\": " + std::to_string(s.hash_build_bytes) +
-           " } }";
+           ", \"batches\": " + std::to_string(s.batches) +
+           ", \"kernel_us\": " + std::to_string(s.kernel_us) + " } }";
   }
   out += " ] }";
   return out;
@@ -284,6 +295,13 @@ std::string AnnotatePlan(const JobSpec& job, const JobProfile& profile) {
       }
       if (r.hash_build_bytes > 0) {
         out += ", hash_build_bytes=" + std::to_string(r.hash_build_bytes);
+      }
+      if (r.batches > 0) {
+        char pct[32];
+        std::snprintf(pct, sizeof(pct), "%.1f%%", r.selected_ratio() * 100.0);
+        out += ", batches=" + std::to_string(r.batches) +
+               ", selected=" + pct +
+               ", kernel_us=" + std::to_string(r.kernel_us);
       }
       if (r.spilled_partitions > 0 || r.spill_bytes > 0) {
         out += ", spill_bytes=" + std::to_string(r.spill_bytes) +

@@ -41,9 +41,24 @@ struct OperatorSpan {
   /// Serialized hash-build footprint (key arena + table + tuple estimate),
   /// summed across recursion levels of a budgeted hash operator.
   uint64_t hash_build_bytes = 0;
+  /// Typed columnar batches this instance processed (0 = vectorization did
+  /// not engage here).
+  uint64_t batches = 0;
+  /// Rows surviving / carried across those batches' selection vectors —
+  /// their ratio is the EXPLAIN ANALYZE `selected_ratio`.
+  uint64_t vec_rows_selected = 0;
+  uint64_t vec_rows_total = 0;
+  /// Microseconds inside vectorized kernels (filter/aggregate tight loops).
+  uint64_t kernel_us = 0;
   bool ok = true;
 
   double elapsed_ms() const { return end_ms - start_ms; }
+  double selected_ratio() const {
+    return vec_rows_total == 0
+               ? 0
+               : static_cast<double>(vec_rows_selected) /
+                     static_cast<double>(vec_rows_total);
+  }
 };
 
 /// Per-connector hop counts: every tuple that crossed the connector, and
@@ -71,7 +86,18 @@ struct OperatorRollup {
   uint64_t spill_bytes = 0;
   uint64_t spilled_partitions = 0;
   uint64_t hash_build_bytes = 0;
+  uint64_t batches = 0;
+  uint64_t vec_rows_selected = 0;
+  uint64_t vec_rows_total = 0;
+  uint64_t kernel_us = 0;
   double elapsed_ms = 0;  // max instance span (critical-path view)
+
+  double selected_ratio() const {
+    return vec_rows_total == 0
+               ? 0
+               : static_cast<double>(vec_rows_selected) /
+                     static_cast<double>(vec_rows_total);
+  }
 };
 
 /// Where a query's wall-clock time went, one microsecond span per lifecycle

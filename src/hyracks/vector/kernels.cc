@@ -1,0 +1,746 @@
+#include "hyracks/vector/kernels.h"
+
+#include <utility>
+
+#include "functions/arith.h"
+
+namespace asterix {
+namespace hyracks {
+namespace vector {
+
+using adm::TypeTag;
+using adm::Value;
+using functions::Tri;
+using storage::column::ColumnBatch;
+using storage::column::ColumnLane;
+using storage::column::LaneKind;
+
+namespace {
+
+constexpr uint8_t kRowPresent = 2;
+
+// Tri values as bytes: 0 = false, 1 = true, 2 = unknown (functions::Tri).
+using TriVec = std::vector<uint8_t>;
+
+bool IsIntTag(TypeTag t) {
+  return t >= TypeTag::kInt8 && t <= TypeTag::kInt64;
+}
+
+inline int CmpI64(int64_t a, int64_t b) { return (a > b) - (a < b); }
+inline int CmpF64(double a, double b) { return (a > b) - (a < b); }
+
+inline uint8_t TriOfCmp(CmpOp op, int c) {
+  switch (op) {
+    case CmpOp::kEq: return c == 0;
+    case CmpOp::kNe: return c != 0;
+    case CmpOp::kLt: return c < 0;
+    case CmpOp::kLe: return c <= 0;
+    case CmpOp::kGt: return c > 0;
+    case CmpOp::kGe: return c >= 0;
+  }
+  return 0;
+}
+
+// Value-level comparison with exactly the interpreter's mapping
+// (=, != via EqualsTri; </<=/>/>= via LessTri/LessEqTri with swaps).
+Tri TriCmpValues(CmpOp op, const Value& a, const Value& b) {
+  switch (op) {
+    case CmpOp::kEq: return functions::EqualsTri(a, b);
+    case CmpOp::kNe: return functions::TriNot(functions::EqualsTri(a, b));
+    case CmpOp::kLt: return functions::LessTri(a, b);
+    case CmpOp::kLe: return functions::LessEqTri(a, b);
+    case CmpOp::kGt: return functions::LessTri(b, a);
+    case CmpOp::kGe: return functions::LessEqTri(b, a);
+  }
+  return Tri::kUnknown;
+}
+
+CmpOp MirrorOp(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt: return CmpOp::kGt;
+    case CmpOp::kLe: return CmpOp::kGe;
+    case CmpOp::kGt: return CmpOp::kLt;
+    case CmpOp::kGe: return CmpOp::kLe;
+    default: return op;  // =, != are symmetric
+  }
+}
+
+// Integer arithmetic result truncation: the interpreter materializes int
+// results at the wider operand width (MakeNumeric), so int8+int8 wraps at
+// 8 bits. Replicate it.
+int64_t TruncInt(TypeTag tag, int64_t v) {
+  switch (tag) {
+    case TypeTag::kInt8: return static_cast<int8_t>(v);
+    case TypeTag::kInt16: return static_cast<int16_t>(v);
+    case TypeTag::kInt32: return static_cast<int32_t>(v);
+    default: return v;
+  }
+}
+
+double TruncDbl(TypeTag tag, double v) {
+  return tag == TypeTag::kFloat ? static_cast<double>(static_cast<float>(v))
+                                : v;
+}
+
+TypeTag WiderNumeric(TypeTag a, TypeTag b) { return a >= b ? a : b; }
+
+// One evaluated side of a comparison / arithmetic node, aligned to the
+// batch's selection positions. Typed reps (int/double arrays + unknown
+// mask) run tight loops; the generic rep holds adm::Values and goes through
+// the functions layer row by row.
+struct SideVec {
+  enum class Rep { kInt, kDbl, kGen };
+  Rep rep = Rep::kGen;
+  TypeTag tag = TypeTag::kDouble;  // numeric result tag of typed reps
+  bool is_const = false;           // broadcast: payload arrays hold one slot
+  std::vector<int64_t> i;
+  std::vector<double> d;
+  std::vector<Value> v;
+  std::vector<uint8_t> unknown;  // typed reps; kGen uses v[p].IsUnknown()
+
+  int64_t IAt(size_t p) const { return i[is_const ? 0 : p]; }
+  double DAt(size_t p) const { return d[is_const ? 0 : p]; }
+  const Value& VAt(size_t p) const { return v[is_const ? 0 : p]; }
+  bool UnknownAt(size_t p) const {
+    if (rep == Rep::kGen) return VAt(p).IsUnknown();
+    return is_const ? false : unknown[p] != 0;
+  }
+  double NumAt(size_t p) const {
+    return rep == Rep::kInt ? static_cast<double>(IAt(p)) : DAt(p);
+  }
+
+  // Typed slot rematerialized as a Value (generic fallback interop).
+  Value ToValue(size_t p) const {
+    if (rep == Rep::kGen) return VAt(p);
+    if (UnknownAt(p)) return Value::Null();
+    if (rep == Rep::kInt) {
+      switch (tag) {
+        case TypeTag::kInt8: return Value::Int8(static_cast<int8_t>(IAt(p)));
+        case TypeTag::kInt16:
+          return Value::Int16(static_cast<int16_t>(IAt(p)));
+        case TypeTag::kInt32:
+          return Value::Int32(static_cast<int32_t>(IAt(p)));
+        default: return Value::Int64(IAt(p));
+      }
+    }
+    return tag == TypeTag::kFloat
+               ? Value::Float(static_cast<float>(DAt(p)))
+               : Value::Double(DAt(p));
+  }
+};
+
+// Degrades a typed side to the generic rep (both operands must be generic
+// when either is).
+void ToGeneric(SideVec* s, size_t n) {
+  if (s->rep == SideVec::Rep::kGen) return;
+  std::vector<Value> vals;
+  if (s->is_const) {
+    vals.push_back(s->ToValue(0));
+  } else {
+    vals.resize(n);
+    for (size_t p = 0; p < n; ++p) vals[p] = s->ToValue(p);
+  }
+  s->v = std::move(vals);
+  s->rep = SideVec::Rep::kGen;
+  s->i.clear();
+  s->d.clear();
+  s->unknown.clear();
+}
+
+Result<SideVec> EvalVal(const ValNode& node, const ColumnBatch& batch);
+
+Result<SideVec> EvalArith(const ValNode& node, const ColumnBatch& batch) {
+  auto ra = EvalVal(*node.a, batch);
+  if (!ra.ok()) return ra.status();
+  SideVec a = ra.take();
+  SideVec b;
+  bool unary = node.kind == ValNode::Kind::kNeg;
+  if (!unary) {
+    auto rb = EvalVal(*node.b, batch);
+    if (!rb.ok()) return rb.status();
+    b = rb.take();
+  }
+  size_t n = batch.sel.size();
+  SideVec out;
+  out.is_const = a.is_const && (unary || b.is_const);
+  size_t slots = out.is_const ? 1 : n;
+
+  bool generic = a.rep == SideVec::Rep::kGen ||
+                 (!unary && b.rep == SideVec::Rep::kGen);
+  if (generic) {
+    ToGeneric(&a, n);
+    if (!unary) ToGeneric(&b, n);
+    out.rep = SideVec::Rep::kGen;
+    out.v.resize(slots);
+    for (size_t p = 0; p < slots; ++p) {
+      Result<Value> r = Status::OK();
+      switch (node.kind) {
+        case ValNode::Kind::kAdd: r = functions::Add(a.VAt(p), b.VAt(p)); break;
+        case ValNode::Kind::kSub:
+          r = functions::Subtract(a.VAt(p), b.VAt(p));
+          break;
+        case ValNode::Kind::kMul:
+          r = functions::Multiply(a.VAt(p), b.VAt(p));
+          break;
+        default: r = functions::Negate(a.VAt(p)); break;
+      }
+      if (!r.ok()) return r.status();
+      out.v[p] = r.take();
+    }
+    return out;
+  }
+
+  // Typed: both sides int -> int at the wider width; any double -> double
+  // (float results round-trip through float, like MakeNumeric).
+  bool both_int = a.rep == SideVec::Rep::kInt &&
+                  (unary || b.rep == SideVec::Rep::kInt);
+  out.tag = unary ? a.tag : WiderNumeric(a.tag, b.tag);
+  out.unknown.assign(out.is_const ? 0 : n, 0);
+  if (both_int) {
+    out.rep = SideVec::Rep::kInt;
+    out.i.resize(slots);
+    for (size_t p = 0; p < slots; ++p) {
+      if (!out.is_const &&
+          (a.UnknownAt(p) || (!unary && b.UnknownAt(p)))) {
+        out.unknown[p] = 1;
+        out.i[p] = 0;
+        continue;
+      }
+      int64_t r;
+      switch (node.kind) {
+        case ValNode::Kind::kAdd: r = a.IAt(p) + b.IAt(p); break;
+        case ValNode::Kind::kSub: r = a.IAt(p) - b.IAt(p); break;
+        case ValNode::Kind::kMul: r = a.IAt(p) * b.IAt(p); break;
+        default: r = -a.IAt(p); break;
+      }
+      out.i[p] = TruncInt(out.tag, r);
+    }
+    return out;
+  }
+  out.rep = SideVec::Rep::kDbl;
+  out.d.resize(slots);
+  for (size_t p = 0; p < slots; ++p) {
+    if (!out.is_const && (a.UnknownAt(p) || (!unary && b.UnknownAt(p)))) {
+      out.unknown[p] = 1;
+      out.d[p] = 0;
+      continue;
+    }
+    double r;
+    switch (node.kind) {
+      case ValNode::Kind::kAdd: r = a.NumAt(p) + b.NumAt(p); break;
+      case ValNode::Kind::kSub: r = a.NumAt(p) - b.NumAt(p); break;
+      case ValNode::Kind::kMul: r = a.NumAt(p) * b.NumAt(p); break;
+      default: r = -a.NumAt(p); break;
+    }
+    out.d[p] = TruncDbl(out.tag, r);
+  }
+  return out;
+}
+
+Result<SideVec> EvalVal(const ValNode& node, const ColumnBatch& batch) {
+  size_t n = batch.sel.size();
+  SideVec out;
+  switch (node.kind) {
+    case ValNode::Kind::kConst: {
+      out.is_const = true;
+      const Value& c = node.constant;
+      if (IsIntTag(c.tag())) {
+        out.rep = SideVec::Rep::kInt;
+        out.tag = c.tag();
+        out.i.push_back(c.AsInt());
+      } else if (c.tag() == TypeTag::kFloat || c.tag() == TypeTag::kDouble) {
+        out.rep = SideVec::Rep::kDbl;
+        out.tag = c.tag();
+        out.d.push_back(TruncDbl(c.tag(), c.AsDouble()));
+      } else {
+        out.rep = SideVec::Rep::kGen;
+        out.v.push_back(c);
+      }
+      return out;
+    }
+    case ValNode::Kind::kField: {
+      int li = batch.LaneIndex(node.field);
+      if (li < 0) {
+        // Field not carried by the batch: MISSING for every row.
+        out.is_const = true;
+        out.rep = SideVec::Rep::kGen;
+        out.v.push_back(Value::Missing());
+        return out;
+      }
+      const ColumnLane& lane = batch.lanes[static_cast<size_t>(li)];
+      if (lane.kind == LaneKind::kI64 && IsIntTag(lane.tag) &&
+          batch.rows.empty()) {
+        out.rep = SideVec::Rep::kInt;
+        out.tag = lane.tag;
+        out.i.resize(n);
+        out.unknown.resize(n);
+        for (size_t p = 0; p < n; ++p) {
+          uint32_t row = batch.sel.rows[p];
+          out.unknown[p] = lane.presence[row] != kRowPresent;
+          out.i[p] = lane.i64[row];
+        }
+        return out;
+      }
+      if (lane.kind == LaneKind::kF64 && batch.rows.empty()) {
+        out.rep = SideVec::Rep::kDbl;
+        out.tag = lane.tag;
+        out.d.resize(n);
+        out.unknown.resize(n);
+        for (size_t p = 0; p < n; ++p) {
+          uint32_t row = batch.sel.rows[p];
+          out.unknown[p] = lane.presence[row] != kRowPresent;
+          out.d[p] = lane.f64[row];
+        }
+        return out;
+      }
+      // Builder batches keep the original rows: read through them so lane
+      // inference can never change semantics. Dict/value lanes go generic.
+      out.rep = SideVec::Rep::kGen;
+      out.v.resize(n);
+      for (size_t p = 0; p < n; ++p) {
+        out.v[p] = batch.FieldValue(li, batch.sel.rows[p]);
+      }
+      return out;
+    }
+    default: return EvalArith(node, batch);
+  }
+}
+
+// field-vs-constant fast path over a lane: the common predicate shape.
+// Returns false when this lane/constant combination has no typed kernel
+// (caller falls through to the general evaluator).
+bool CmpLaneConstFast(const ColumnLane& lane, CmpOp op, const Value& c,
+                      const ColumnBatch& batch, TriVec* out) {
+  size_t n = batch.sel.size();
+  const auto& sel = batch.sel.rows;
+  if (lane.kind == LaneKind::kI64 && IsIntTag(lane.tag)) {
+    if (IsIntTag(c.tag())) {
+      int64_t rhs = c.AsInt();
+      for (size_t p = 0; p < n; ++p) {
+        uint32_t row = sel[p];
+        (*out)[p] = lane.presence[row] == kRowPresent
+                        ? TriOfCmp(op, CmpI64(lane.i64[row], rhs))
+                        : static_cast<uint8_t>(Tri::kUnknown);
+      }
+      return true;
+    }
+    if (c.tag() == TypeTag::kFloat || c.tag() == TypeTag::kDouble) {
+      double rhs = c.AsDouble();
+      for (size_t p = 0; p < n; ++p) {
+        uint32_t row = sel[p];
+        (*out)[p] =
+            lane.presence[row] == kRowPresent
+                ? TriOfCmp(op,
+                           CmpF64(static_cast<double>(lane.i64[row]), rhs))
+                : static_cast<uint8_t>(Tri::kUnknown);
+      }
+      return true;
+    }
+    return false;
+  }
+  if (lane.kind == LaneKind::kI64 && lane.tag == c.tag() &&
+      (lane.tag == TypeTag::kBoolean || lane.tag == TypeTag::kDate ||
+       lane.tag == TypeTag::kTime || lane.tag == TypeTag::kDatetime)) {
+    int64_t rhs = lane.tag == TypeTag::kBoolean ? (c.AsBoolean() ? 1 : 0)
+                                                : c.AsInt();
+    for (size_t p = 0; p < n; ++p) {
+      uint32_t row = sel[p];
+      (*out)[p] = lane.presence[row] == kRowPresent
+                      ? TriOfCmp(op, CmpI64(lane.i64[row], rhs))
+                      : static_cast<uint8_t>(Tri::kUnknown);
+    }
+    return true;
+  }
+  if (lane.kind == LaneKind::kF64 && c.IsNumeric()) {
+    double rhs = c.AsDouble();
+    for (size_t p = 0; p < n; ++p) {
+      uint32_t row = sel[p];
+      (*out)[p] = lane.presence[row] == kRowPresent
+                      ? TriOfCmp(op, CmpF64(lane.f64[row], rhs))
+                      : static_cast<uint8_t>(Tri::kUnknown);
+    }
+    return true;
+  }
+  if (lane.kind == LaneKind::kDict && c.tag() == TypeTag::kString) {
+    // Dictionary-aware: decide the predicate once per distinct value, then
+    // map codes.
+    const std::string& rhs = c.AsString();
+    std::vector<uint8_t> dict_tri(lane.dict.size());
+    for (size_t k = 0; k < lane.dict.size(); ++k) {
+      int cc = lane.dict[k].compare(rhs);
+      dict_tri[k] = TriOfCmp(op, (cc > 0) - (cc < 0));
+    }
+    for (size_t p = 0; p < n; ++p) {
+      uint32_t row = sel[p];
+      (*out)[p] = lane.presence[row] == kRowPresent
+                      ? dict_tri[lane.code[row]]
+                      : static_cast<uint8_t>(Tri::kUnknown);
+    }
+    return true;
+  }
+  return false;
+}
+
+Result<TriVec> EvalPred(const PredNode& node, const ColumnBatch& batch);
+
+Result<TriVec> EvalCmp(const PredNode& node, const ColumnBatch& batch) {
+  size_t n = batch.sel.size();
+  TriVec out(n);
+
+  // Normalize const-vs-field to field-vs-const for the fast path.
+  const ValNode* l = node.lhs.get();
+  const ValNode* r = node.rhs.get();
+  CmpOp op = node.op;
+  if (l->kind == ValNode::Kind::kConst && r->kind == ValNode::Kind::kField) {
+    std::swap(l, r);
+    op = MirrorOp(op);
+  }
+  if (l->kind == ValNode::Kind::kField && r->kind == ValNode::Kind::kConst) {
+    int li = batch.LaneIndex(l->field);
+    if (li >= 0 && batch.rows.empty() &&
+        CmpLaneConstFast(batch.lanes[static_cast<size_t>(li)], op,
+                         r->constant, batch, &out)) {
+      return out;
+    }
+  }
+
+  auto ra = EvalVal(*l, batch);
+  if (!ra.ok()) return ra.status();
+  auto rb = EvalVal(*r, batch);
+  if (!rb.ok()) return rb.status();
+  SideVec a = ra.take();
+  SideVec b = rb.take();
+
+  if (a.rep == SideVec::Rep::kGen || b.rep == SideVec::Rep::kGen) {
+    for (size_t p = 0; p < n; ++p) {
+      Value av = a.ToValue(p);
+      Value bv = b.ToValue(p);
+      out[p] = static_cast<uint8_t>(TriCmpValues(op, av, bv));
+    }
+    return out;
+  }
+  if (a.rep == SideVec::Rep::kInt && b.rep == SideVec::Rep::kInt) {
+    for (size_t p = 0; p < n; ++p) {
+      out[p] = (a.UnknownAt(p) || b.UnknownAt(p))
+                   ? static_cast<uint8_t>(Tri::kUnknown)
+                   : TriOfCmp(op, CmpI64(a.IAt(p), b.IAt(p)));
+    }
+    return out;
+  }
+  for (size_t p = 0; p < n; ++p) {
+    out[p] = (a.UnknownAt(p) || b.UnknownAt(p))
+                 ? static_cast<uint8_t>(Tri::kUnknown)
+                 : TriOfCmp(op, CmpF64(a.NumAt(p), b.NumAt(p)));
+  }
+  return out;
+}
+
+Result<TriVec> EvalPred(const PredNode& node, const ColumnBatch& batch) {
+  switch (node.kind) {
+    case PredNode::Kind::kCmp: return EvalCmp(node, batch);
+    case PredNode::Kind::kNot: {
+      auto r = EvalPred(*node.a, batch);
+      if (!r.ok()) return r.status();
+      TriVec t = r.take();
+      for (auto& x : t) x = x == 2 ? 2 : (x ^ 1);
+      return t;
+    }
+    case PredNode::Kind::kAnd:
+    case PredNode::Kind::kOr: {
+      auto ra = EvalPred(*node.a, batch);
+      if (!ra.ok()) return ra.status();
+      auto rb = EvalPred(*node.b, batch);
+      if (!rb.ok()) return rb.status();
+      TriVec a = ra.take();
+      TriVec b = rb.take();
+      if (node.kind == PredNode::Kind::kAnd) {
+        for (size_t p = 0; p < a.size(); ++p) {
+          uint8_t x = a[p], y = b[p];
+          a[p] = (x == 0 || y == 0) ? 0 : ((x == 2 || y == 2) ? 2 : 1);
+        }
+      } else {
+        for (size_t p = 0; p < a.size(); ++p) {
+          uint8_t x = a[p], y = b[p];
+          a[p] = (x == 1 || y == 1) ? 1 : ((x == 2 || y == 2) ? 2 : 0);
+        }
+      }
+      return a;
+    }
+  }
+  return Status::Internal("bad predicate node");
+}
+
+}  // namespace
+
+std::unique_ptr<ValNode> Field(std::string name) {
+  auto n = std::make_unique<ValNode>();
+  n->kind = ValNode::Kind::kField;
+  n->field = std::move(name);
+  return n;
+}
+
+std::unique_ptr<ValNode> Const(Value v) {
+  auto n = std::make_unique<ValNode>();
+  n->kind = ValNode::Kind::kConst;
+  n->constant = std::move(v);
+  return n;
+}
+
+std::unique_ptr<ValNode> Arith(ValNode::Kind op, std::unique_ptr<ValNode> a,
+                               std::unique_ptr<ValNode> b) {
+  auto n = std::make_unique<ValNode>();
+  n->kind = op;
+  n->a = std::move(a);
+  n->b = std::move(b);
+  return n;
+}
+
+std::unique_ptr<PredNode> Cmp(CmpOp op, std::unique_ptr<ValNode> lhs,
+                              std::unique_ptr<ValNode> rhs) {
+  auto n = std::make_unique<PredNode>();
+  n->kind = PredNode::Kind::kCmp;
+  n->op = op;
+  n->lhs = std::move(lhs);
+  n->rhs = std::move(rhs);
+  return n;
+}
+
+std::unique_ptr<PredNode> And(std::unique_ptr<PredNode> a,
+                              std::unique_ptr<PredNode> b) {
+  auto n = std::make_unique<PredNode>();
+  n->kind = PredNode::Kind::kAnd;
+  n->a = std::move(a);
+  n->b = std::move(b);
+  return n;
+}
+
+std::unique_ptr<PredNode> Or(std::unique_ptr<PredNode> a,
+                             std::unique_ptr<PredNode> b) {
+  auto n = std::make_unique<PredNode>();
+  n->kind = PredNode::Kind::kOr;
+  n->a = std::move(a);
+  n->b = std::move(b);
+  return n;
+}
+
+std::unique_ptr<PredNode> Not(std::unique_ptr<PredNode> a) {
+  auto n = std::make_unique<PredNode>();
+  n->kind = PredNode::Kind::kNot;
+  n->a = std::move(a);
+  return n;
+}
+
+Status Filter(const PredNode& pred, ColumnBatch* batch) {
+  if (batch->sel.empty()) return Status::OK();
+  auto r = EvalPred(pred, *batch);
+  if (!r.ok()) return r.status();
+  const TriVec& tri = r.value();
+  size_t kept = 0;
+  auto& rows = batch->sel.rows;
+  for (size_t p = 0; p < rows.size(); ++p) {
+    rows[kept] = rows[p];
+    kept += tri[p] == 1;
+  }
+  rows.resize(kept);
+  return Status::OK();
+}
+
+VectorAgg::VectorAgg(const std::string& fn, std::string field)
+    : field_(std::move(field)) {
+  sql_ = fn.rfind("sql-", 0) == 0;
+  std::string base = sql_ ? fn.substr(4) : fn;
+  if (base == "min") fn_ = Fn::kMin;
+  else if (base == "max") fn_ = Fn::kMax;
+  else if (base == "sum") fn_ = Fn::kSum;
+  else if (base == "avg") fn_ = Fn::kAvg;
+  else fn_ = Fn::kCount;
+}
+
+Status VectorAgg::AddBatch(const ColumnBatch& batch) {
+  const auto& sel = batch.sel.rows;
+  if (sel.empty()) return Status::OK();
+
+  if (fn_ == Fn::kCount && field_.empty()) {
+    count_ += static_cast<int64_t>(sel.size());
+    return Status::OK();
+  }
+
+  int li = batch.LaneIndex(field_);
+  if (li < 0) {
+    // Field absent from every row: MISSING input per row.
+    if (fn_ == Fn::kCount) return Status::OK();
+    if (!sql_) saw_null_ = true;
+    return Status::OK();
+  }
+  const ColumnLane& lane = batch.lanes[static_cast<size_t>(li)];
+
+  if (fn_ == Fn::kCount) {
+    // count(v) counts non-missing inputs (nulls included).
+    int64_t c = 0;
+    for (uint32_t row : sel) c += lane.presence[row] != 0;
+    count_ += c;
+    return Status::OK();
+  }
+
+  if (fn_ == Fn::kMin || fn_ == Fn::kMax) {
+    bool is_min = fn_ == Fn::kMin;
+    bool have = false;
+    uint32_t best_row = 0;
+    switch (lane.kind) {
+      case LaneKind::kI64: {
+        int64_t best = 0;
+        for (uint32_t row : sel) {
+          if (lane.presence[row] != kRowPresent) {
+            if (!sql_) saw_null_ = true;
+            continue;
+          }
+          int64_t v = lane.i64[row];
+          if (!have || (is_min ? v < best : v > best)) {
+            best = v;
+            best_row = row;
+            have = true;
+          }
+        }
+        break;
+      }
+      case LaneKind::kF64: {
+        double best = 0;
+        for (uint32_t row : sel) {
+          if (lane.presence[row] != kRowPresent) {
+            if (!sql_) saw_null_ = true;
+            continue;
+          }
+          double v = lane.f64[row];
+          if (!have || (is_min ? v < best : v > best)) {
+            best = v;
+            best_row = row;
+            have = true;
+          }
+        }
+        break;
+      }
+      case LaneKind::kDict: {
+        const std::string* best = nullptr;
+        for (uint32_t row : sel) {
+          if (lane.presence[row] != kRowPresent) {
+            if (!sql_) saw_null_ = true;
+            continue;
+          }
+          const std::string& v = lane.dict[lane.code[row]];
+          if (!best || (is_min ? v < *best : v > *best)) {
+            best = &v;
+            best_row = row;
+            have = true;
+          }
+        }
+        break;
+      }
+      case LaneKind::kValue: {
+        Value best;
+        for (uint32_t row : sel) {
+          if (lane.presence[row] != kRowPresent) {
+            if (!sql_) saw_null_ = true;
+            continue;
+          }
+          Value v = batch.FieldValue(li, row);
+          if (!have || (is_min ? v.Compare(best) < 0 : v.Compare(best) > 0)) {
+            best = v;
+            best_row = row;
+            have = true;
+          }
+        }
+        break;
+      }
+    }
+    if (have) {
+      Value cand = batch.FieldValue(li, best_row);
+      if (!has_best_ || (is_min ? cand.Compare(best_) < 0
+                                : cand.Compare(best_) > 0)) {
+        best_ = std::move(cand);
+        has_best_ = true;
+      }
+    }
+    return Status::OK();
+  }
+
+  // sum / avg: double accumulation in row order, exactly like the
+  // interpreted SumAvgAggregator (bit-identical FP sequence).
+  bool lane_numeric =
+      (lane.kind == LaneKind::kI64 && IsIntTag(lane.tag)) ||
+      lane.kind == LaneKind::kF64;
+  if (lane_numeric) {
+    for (uint32_t row : sel) {
+      if (lane.presence[row] != kRowPresent) {
+        if (!sql_) saw_null_ = true;
+        continue;
+      }
+      sum_ += lane.kind == LaneKind::kI64
+                  ? static_cast<double>(lane.i64[row])
+                  : lane.f64[row];
+      ++count_;
+    }
+    return Status::OK();
+  }
+  if (lane.kind == LaneKind::kDict ||
+      (lane.kind == LaneKind::kI64 && !IsIntTag(lane.tag))) {
+    // Uniformly non-numeric present values poison; absent rows follow the
+    // AQL/sql unknown rule.
+    for (uint32_t row : sel) {
+      if (lane.presence[row] != kRowPresent) {
+        if (!sql_) saw_null_ = true;
+      } else {
+        saw_null_ = true;
+      }
+    }
+    return Status::OK();
+  }
+  for (uint32_t row : sel) {
+    if (lane.presence[row] != kRowPresent) {
+      if (!sql_) saw_null_ = true;
+      continue;
+    }
+    Value v = batch.FieldValue(li, row);
+    double d;
+    if (!v.GetNumeric(&d)) {
+      saw_null_ = true;
+      continue;
+    }
+    sum_ += d;
+    ++count_;
+  }
+  return Status::OK();
+}
+
+Value VectorAgg::Finish() const {
+  switch (fn_) {
+    case Fn::kCount: return Value::Int64(count_);
+    case Fn::kMin:
+    case Fn::kMax:
+      if (saw_null_) return Value::Null();
+      return has_best_ ? best_ : Value::Null();
+    default:
+      if (saw_null_ || count_ == 0) return Value::Null();
+      return fn_ == Fn::kAvg
+                 ? Value::Double(sum_ / static_cast<double>(count_))
+                 : Value::Double(sum_);
+  }
+}
+
+Value VectorAgg::Partial() const {
+  switch (fn_) {
+    case Fn::kCount: return Value::Int64(count_);
+    case Fn::kMin:
+    case Fn::kMax:
+      return Value::Record({{"v", Finish()},
+                            {"null", Value::Boolean(saw_null_)},
+                            {"has", Value::Boolean(has_best_)}});
+    default:
+      return Value::Record({{"sum", Value::Double(sum_)},
+                            {"cnt", Value::Int64(count_)},
+                            {"null", Value::Boolean(saw_null_)}});
+  }
+}
+
+}  // namespace vector
+}  // namespace hyracks
+}  // namespace asterix

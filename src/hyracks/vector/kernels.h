@@ -1,0 +1,97 @@
+#ifndef ASTERIX_HYRACKS_VECTOR_KERNELS_H_
+#define ASTERIX_HYRACKS_VECTOR_KERNELS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adm/value.h"
+#include "common/status.h"
+#include "storage/column/batch.h"
+
+namespace asterix {
+namespace hyracks {
+namespace vector {
+
+/// Comparison operators of a lowered predicate (the algebricks kCompare
+/// shapes the expression-to-kernel pass can compile).
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// A value-producing node of a lowered expression: a batch lane, a constant,
+/// or arithmetic over them. Evaluation picks a typed tight loop when the
+/// operand lanes are typed in the current batch and falls back to per-row
+/// adm::Value evaluation (identical semantics, including error and
+/// NULL/MISSING propagation) when they are not — lowering is structural,
+/// the batch decides the execution strategy.
+struct ValNode {
+  enum class Kind { kField, kConst, kAdd, kSub, kMul, kNeg };
+  Kind kind = Kind::kConst;
+  std::string field;                // kField
+  adm::Value constant;              // kConst
+  std::unique_ptr<ValNode> a, b;    // arithmetic operands
+};
+
+/// A tri-valued predicate tree over batch lanes. SQL three-valued logic:
+/// only rows evaluating to TRUE survive a filter, exactly like the
+/// interpreted Select.
+struct PredNode {
+  enum class Kind { kCmp, kAnd, kOr, kNot };
+  Kind kind = Kind::kCmp;
+  CmpOp op = CmpOp::kEq;              // kCmp
+  std::unique_ptr<ValNode> lhs, rhs;  // kCmp
+  std::unique_ptr<PredNode> a, b;     // kAnd/kOr; kNot uses a only
+};
+
+// Node constructors (lowering pass, tests, benches).
+std::unique_ptr<ValNode> Field(std::string name);
+std::unique_ptr<ValNode> Const(adm::Value v);
+std::unique_ptr<ValNode> Arith(ValNode::Kind op, std::unique_ptr<ValNode> a,
+                               std::unique_ptr<ValNode> b);
+std::unique_ptr<PredNode> Cmp(CmpOp op, std::unique_ptr<ValNode> lhs,
+                              std::unique_ptr<ValNode> rhs);
+std::unique_ptr<PredNode> And(std::unique_ptr<PredNode> a,
+                              std::unique_ptr<PredNode> b);
+std::unique_ptr<PredNode> Or(std::unique_ptr<PredNode> a,
+                             std::unique_ptr<PredNode> b);
+std::unique_ptr<PredNode> Not(std::unique_ptr<PredNode> a);
+
+/// Applies `pred` to the batch's live rows and refines `batch->sel` in
+/// place (no survivor copying). Typed lanes run contiguous compare loops;
+/// dictionary lanes evaluate string predicates once per distinct value and
+/// map codes. Errors surface exactly as the interpreter's would.
+Status Filter(const PredNode& pred, storage::column::ColumnBatch* batch);
+
+/// One ungrouped aggregate accelerated over batches. Mirrors
+/// functions/aggregates.cc exactly — same NULL/MISSING poisoning (AQL) or
+/// skipping (sql-*), same partial-state record shapes, same double
+/// accumulation in row order — so local partials combine with the existing
+/// global Aggregator unchanged.
+class VectorAgg {
+ public:
+  /// `fn`: count/min/max/sum/avg or their sql- variants. Empty `field`
+  /// counts whole rows (count over the record variable / count(*) style).
+  VectorAgg(const std::string& fn, std::string field);
+
+  /// Accumulates every selected row of `batch`.
+  Status AddBatch(const storage::column::ColumnBatch& batch);
+
+  adm::Value Partial() const;
+  adm::Value Finish() const;
+
+ private:
+  enum class Fn { kCount, kMin, kMax, kSum, kAvg };
+  Fn fn_;
+  bool sql_ = false;
+  std::string field_;
+  int64_t count_ = 0;
+  double sum_ = 0;
+  bool saw_null_ = false;
+  bool has_best_ = false;
+  adm::Value best_;
+};
+
+}  // namespace vector
+}  // namespace hyracks
+}  // namespace asterix
+
+#endif  // ASTERIX_HYRACKS_VECTOR_KERNELS_H_

@@ -1,0 +1,186 @@
+#include "storage/column/batch.h"
+
+#include <unordered_map>
+#include <utility>
+
+namespace asterix {
+namespace storage {
+namespace column {
+
+using adm::TypeTag;
+using adm::Value;
+
+namespace {
+
+constexpr uint8_t kRowMissing = 0;
+constexpr uint8_t kRowNull = 1;
+constexpr uint8_t kRowPresent = 2;
+
+bool IsI64Tag(TypeTag t) {
+  return (t >= TypeTag::kInt8 && t <= TypeTag::kInt64) ||
+         t == TypeTag::kBoolean || t == TypeTag::kDate ||
+         t == TypeTag::kTime || t == TypeTag::kDatetime;
+}
+
+bool IsF64Tag(TypeTag t) {
+  return t == TypeTag::kFloat || t == TypeTag::kDouble;
+}
+
+int64_t RawInt(const Value& v) {
+  if (v.tag() == TypeTag::kBoolean) return v.AsBoolean() ? 1 : 0;
+  return v.AsInt();
+}
+
+}  // namespace
+
+Value ColumnLane::ValueAt(size_t row) const {
+  uint8_t p = presence[row];
+  if (p == kRowMissing) return Value::Missing();
+  if (p == kRowNull) return Value::Null();
+  switch (kind) {
+    case LaneKind::kI64:
+      switch (tag) {
+        case TypeTag::kInt8: return Value::Int8(static_cast<int8_t>(i64[row]));
+        case TypeTag::kInt16:
+          return Value::Int16(static_cast<int16_t>(i64[row]));
+        case TypeTag::kInt32:
+          return Value::Int32(static_cast<int32_t>(i64[row]));
+        case TypeTag::kBoolean: return Value::Boolean(i64[row] != 0);
+        case TypeTag::kDate:
+          return Value::Date(static_cast<int32_t>(i64[row]));
+        case TypeTag::kTime:
+          return Value::Time(static_cast<int32_t>(i64[row]));
+        case TypeTag::kDatetime: return Value::Datetime(i64[row]);
+        default: return Value::Int64(i64[row]);
+      }
+    case LaneKind::kF64:
+      return tag == TypeTag::kFloat ? Value::Float(static_cast<float>(f64[row]))
+                                    : Value::Double(f64[row]);
+    case LaneKind::kDict:
+      return Value::String(dict[code[row]]);
+    case LaneKind::kValue:
+      return vals[row];
+  }
+  return Value::Missing();
+}
+
+int ColumnBatch::LaneIndex(const std::string& name) const {
+  for (size_t i = 0; i < lanes.size(); ++i) {
+    if (lanes[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Value ColumnBatch::FieldValue(int lane, size_t row) const {
+  if (!rows.empty()) return rows[row].GetField(lanes[static_cast<size_t>(lane)].name);
+  return lanes[static_cast<size_t>(lane)].ValueAt(row);
+}
+
+Value ColumnBatch::MaterializeRow(size_t row) const {
+  if (!rows.empty()) return rows[row];
+  std::vector<std::pair<std::string, Value>> fields;
+  fields.reserve(lanes.size());
+  for (const auto& lane : lanes) {
+    if (lane.presence[row] == kRowMissing) continue;
+    fields.emplace_back(lane.name, lane.ValueAt(row));
+  }
+  return Value::Record(std::move(fields));
+}
+
+ColumnLane MakeLane(std::string name, std::vector<uint8_t> presence,
+                    std::vector<Value>* values) {
+  ColumnLane lane;
+  lane.name = std::move(name);
+  lane.presence = std::move(presence);
+  size_t n = lane.presence.size();
+
+  // One pass to find the uniform tag of present values (if any).
+  TypeTag tag = TypeTag::kMissing;
+  bool uniform = true;
+  for (size_t i = 0; i < n && uniform; ++i) {
+    if (lane.presence[i] != kRowPresent) continue;
+    TypeTag t = (*values)[i].tag();
+    if (tag == TypeTag::kMissing) {
+      tag = t;
+    } else if (t != tag) {
+      uniform = false;
+    }
+  }
+
+  if (uniform && IsI64Tag(tag)) {
+    lane.kind = LaneKind::kI64;
+    lane.tag = tag;
+    lane.i64.resize(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+      if (lane.presence[i] == kRowPresent) lane.i64[i] = RawInt((*values)[i]);
+    }
+    return lane;
+  }
+  if (uniform && IsF64Tag(tag)) {
+    lane.kind = LaneKind::kF64;
+    lane.tag = tag;
+    lane.f64.resize(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+      if (lane.presence[i] == kRowPresent) lane.f64[i] = (*values)[i].AsDouble();
+    }
+    return lane;
+  }
+  if (uniform && tag == TypeTag::kString) {
+    lane.kind = LaneKind::kDict;
+    lane.tag = tag;
+    lane.code.resize(n, 0);
+    std::unordered_map<std::string, uint32_t> codes;
+    for (size_t i = 0; i < n; ++i) {
+      if (lane.presence[i] != kRowPresent) continue;
+      const std::string& s = (*values)[i].AsString();
+      auto it = codes.find(s);
+      if (it == codes.end()) {
+        it = codes.emplace(s, static_cast<uint32_t>(lane.dict.size())).first;
+        lane.dict.push_back(s);
+      }
+      lane.code[i] = it->second;
+    }
+    return lane;
+  }
+
+  lane.kind = LaneKind::kValue;
+  lane.vals = std::move(*values);
+  lane.vals.resize(n);
+  return lane;
+}
+
+BatchBuilder::BatchBuilder(std::vector<std::string> fields, size_t batch_rows)
+    : fields_(std::move(fields)), batch_rows_(batch_rows) {}
+
+void BatchBuilder::Add(Value record) { pending_.push_back(std::move(record)); }
+
+std::shared_ptr<ColumnBatch> BatchBuilder::Take() {
+  if (pending_.empty()) return nullptr;
+  auto batch = std::make_shared<ColumnBatch>();
+  size_t n = pending_.size();
+  batch->num_rows = n;
+  batch->lanes.reserve(fields_.size());
+  for (const auto& f : fields_) {
+    std::vector<uint8_t> presence(n, kRowMissing);
+    std::vector<Value> values(n);
+    for (size_t i = 0; i < n; ++i) {
+      const Value& v = pending_[i].GetField(f);
+      if (v.IsMissing()) continue;
+      if (v.IsNull()) {
+        presence[i] = kRowNull;
+      } else {
+        presence[i] = kRowPresent;
+        values[i] = v;
+      }
+    }
+    batch->lanes.push_back(MakeLane(f, std::move(presence), &values));
+  }
+  batch->sel = SelectionVector::All(n);
+  batch->rows = std::move(pending_);
+  pending_ = {};
+  return batch;
+}
+
+}  // namespace column
+}  // namespace storage
+}  // namespace asterix

@@ -1,0 +1,122 @@
+#ifndef ASTERIX_STORAGE_COLUMN_BATCH_H_
+#define ASTERIX_STORAGE_COLUMN_BATCH_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adm/value.h"
+#include "common/status.h"
+
+namespace asterix {
+namespace storage {
+namespace column {
+
+/// Indices of the live rows of a batch, ascending. Filters refine it in
+/// place instead of copying survivor rows (late materialization: a row is
+/// only rebuilt as a record if it is still selected when someone needs it).
+struct SelectionVector {
+  std::vector<uint32_t> rows;
+
+  size_t size() const { return rows.size(); }
+  bool empty() const { return rows.empty(); }
+
+  static SelectionVector All(size_t n) {
+    SelectionVector s;
+    s.rows.resize(n);
+    for (size_t i = 0; i < n; ++i) s.rows[i] = static_cast<uint32_t>(i);
+    return s;
+  }
+};
+
+/// Physical layout of one lane (one projected field) of a batch. Scalar
+/// columns decode into contiguous typed arrays so predicate/aggregate loops
+/// auto-vectorize; strings dictionary-encode per batch so a predicate is
+/// evaluated once per distinct value and then mapped over codes.
+enum class LaneKind : uint8_t {
+  kI64,    // int8..int64, boolean, date, time, datetime — widened to int64
+  kF64,    // float, double — widened to double
+  kDict,   // strings: codes[] into dict[]
+  kValue,  // anything else (complex, mixed-tag): one adm::Value per row
+};
+
+/// One projected field of a batch: a presence byte per row (0 = MISSING,
+/// 1 = NULL, 2 = present — same coding as the column reader) plus a typed
+/// payload array. Typed lanes remember the uniform value tag so a row can be
+/// rematerialized with exactly the tag the row-at-a-time path would produce.
+struct ColumnLane {
+  std::string name;
+  LaneKind kind = LaneKind::kValue;
+  adm::TypeTag tag = adm::TypeTag::kMissing;  // uniform tag of typed lanes
+  std::vector<uint8_t> presence;              // per row, 0/1/2
+  std::vector<int64_t> i64;                   // kI64 (valid where present)
+  std::vector<double> f64;                    // kF64
+  std::vector<uint32_t> code;                 // kDict
+  std::vector<std::string> dict;              // kDict distinct values
+  std::vector<adm::Value> vals;               // kValue
+
+  /// Rebuilds the field value of `row` with its original tag (MISSING /
+  /// NULL for absent rows).
+  adm::Value ValueAt(size_t row) const;
+};
+
+/// A typed columnar batch flowing through the dataflow: the unit of
+/// vectorized execution. Built either directly from column pages (no row
+/// reconstruction) or from assembled records (the fallback path, which
+/// retains the records so materialization stays exact).
+struct ColumnBatch {
+  size_t num_rows = 0;
+  std::vector<ColumnLane> lanes;  // field order = materialized record order
+  SelectionVector sel;
+  /// Original records when the batch was built from assembled rows (the
+  /// row-scan fallback); empty on the direct columnar path.
+  std::vector<adm::Value> rows;
+
+  /// Lane index for a field name, -1 if not carried.
+  int LaneIndex(const std::string& name) const;
+
+  /// Field value of `row` exactly as the row-at-a-time scan would see it.
+  adm::Value FieldValue(int lane, size_t row) const;
+
+  /// Rebuilds the full projected record for `row` (field order and presence
+  /// semantics match the columnar AssembleRow / projected row scan).
+  adm::Value MaterializeRow(size_t row) const;
+};
+
+using BatchCallback =
+    std::function<Status(const std::shared_ptr<ColumnBatch>&)>;
+
+/// Infers the tightest lane layout for decoded column data: a typed lane
+/// when every present value shares one scalar tag, else a kValue lane.
+/// `values` entries are consumed (moved from) for kValue lanes.
+ColumnLane MakeLane(std::string name, std::vector<uint8_t> presence,
+                    std::vector<adm::Value>* values);
+
+/// Builds batches from assembled records — the compatibility path used when
+/// a scan cannot hand out column pages directly (memory components, merged
+/// row sets, multi-component scans, row-format datasets).
+class BatchBuilder {
+ public:
+  explicit BatchBuilder(std::vector<std::string> fields,
+                        size_t batch_rows = 256);
+
+  void Add(adm::Value record);
+  bool Full() const { return pending_.size() >= batch_rows_; }
+  bool Empty() const { return pending_.empty(); }
+
+  /// Drains pending records into a batch (null when empty).
+  std::shared_ptr<ColumnBatch> Take();
+
+ private:
+  std::vector<std::string> fields_;
+  size_t batch_rows_;
+  std::vector<adm::Value> pending_;
+};
+
+}  // namespace column
+}  // namespace storage
+}  // namespace asterix
+
+#endif  // ASTERIX_STORAGE_COLUMN_BATCH_H_

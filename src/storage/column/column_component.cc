@@ -47,6 +47,7 @@ struct ColumnCounters {
   metrics::Counter* bytes_read;
   metrics::Counter* bytes_skipped;
   metrics::Counter* pages_pruned;
+  metrics::Counter* row_groups_pruned;
 };
 
 ColumnCounters& Counters() {
@@ -56,7 +57,8 @@ ColumnCounters& Counters() {
         reg.GetCounter("storage.column.pages_read"),
         reg.GetCounter("storage.column.bytes_read"),
         reg.GetCounter("storage.column.bytes_skipped"),
-        reg.GetCounter("storage.column.pages_pruned_minmax")};
+        reg.GetCounter("storage.column.pages_pruned_minmax"),
+        reg.GetCounter("storage.column.row_groups_pruned")};
   }();
   return c;
 }
@@ -608,31 +610,103 @@ adm::Value ColumnComponentReader::AssembleRow(
   return adm::Value::Record(std::move(fields));
 }
 
-Status ColumnComponentReader::ProjectedScan(const ScanBounds& bounds,
-                                            const Projection& proj,
-                                            bool allow_pruning,
-                                            const ProjectedEntryCallback& cb,
-                                            ProjectedScanStats* stats) const {
-  ProjectedScanStats local;
-  // Row range satisfying the key bounds (keys_ is sorted).
-  size_t r0 = 0, r1 = keys_.size();
+void ColumnComponentReader::BoundRows(const ScanBounds& bounds, size_t* r0,
+                                      size_t* r1) const {
+  *r0 = 0;
+  *r1 = keys_.size();
   if (bounds.lo.has_value()) {
-    r0 = std::partition_point(keys_.begin(), keys_.end(),
-                              [&](const auto& kv) {
-                                int c = BoundCompare(kv.first, *bounds.lo);
-                                return c < 0 || (c == 0 && !bounds.lo_inclusive);
-                              }) -
-         keys_.begin();
+    *r0 = std::partition_point(keys_.begin(), keys_.end(),
+                               [&](const auto& kv) {
+                                 int c = BoundCompare(kv.first, *bounds.lo);
+                                 return c < 0 ||
+                                        (c == 0 && !bounds.lo_inclusive);
+                               }) -
+          keys_.begin();
   }
   if (bounds.hi.has_value()) {
-    r1 = std::partition_point(keys_.begin(), keys_.end(),
-                              [&](const auto& kv) {
-                                int c = BoundCompare(kv.first, *bounds.hi);
-                                return c < 0 || (c == 0 && bounds.hi_inclusive);
-                              }) -
-         keys_.begin();
+    *r1 = std::partition_point(keys_.begin(), keys_.end(),
+                               [&](const auto& kv) {
+                                 int c = BoundCompare(kv.first, *bounds.hi);
+                                 return c < 0 ||
+                                        (c == 0 && bounds.hi_inclusive);
+                               }) -
+          keys_.begin();
   }
-  local.bytes_read += keys_bytes_;
+}
+
+bool ColumnComponentReader::GroupPrunable(
+    size_t g, const Projection& proj, size_t lo, size_t hi,
+    const std::vector<KeyInterval>* exclusions) const {
+  bool prune = false;
+  for (const FieldRange& range : proj.ranges) {
+    const ColumnDesc* col = nullptr;
+    bool field_known = false;
+    for (const auto& c : cols_) {
+      if (c.kind == ColumnDesc::Kind::kCatchAll) continue;
+      if (c.name == range.field) {
+        field_known = true;
+        if (c.kind == ColumnDesc::Kind::kTyped ||
+            c.kind == ColumnDesc::Kind::kPromoted) {
+          col = &c;
+        }
+        break;
+      }
+    }
+    if (col != nullptr) {
+      const ColumnDesc::Page& pg = col->pages[g];
+      // No concrete value anywhere in the group: a range predicate can
+      // never be TRUE on null/missing, so the whole group is dead.
+      if (pg.present_count == 0) {
+        prune = true;
+        break;
+      }
+      if (!pg.has_stats) continue;
+      // Pruning by the ADM total order is only sound when the bound
+      // constants and the column live in one comparison class.
+      bool comparable = (!range.lo.has_value() ||
+                         SameCompareClass(range.lo->tag(), col->tag)) &&
+                        (!range.hi.has_value() ||
+                         SameCompareClass(range.hi->tag(), col->tag));
+      if (comparable && !RangeMayMatch(range, pg.min, pg.max)) {
+        prune = true;
+        break;
+      }
+    } else if (!field_known && catchall_idx_ < 0) {
+      // Closed schema and the field does not exist: nothing matches.
+      prune = true;
+      break;
+    }
+  }
+  if (!prune) return false;
+  // Multi-component safety: skipping this group must not let another
+  // component's stale version of one of its keys win the merge — only
+  // prune when the group's key span is disjoint from every other
+  // component's interval.
+  if (exclusions != nullptr && lo < hi) {
+    const CompositeKey& glo = keys_[lo].first;
+    const CompositeKey& ghi = keys_[hi - 1].first;
+    for (const KeyInterval& e : *exclusions) {
+      if (CompareKeys(glo, e.hi) <= 0 && CompareKeys(e.lo, ghi) <= 0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+Status ColumnComponentReader::ScanImpl(const ScanBounds& bounds,
+                                       const Projection& proj,
+                                       bool allow_pruning,
+                                       const std::vector<KeyInterval>* exclusions,
+                                       const ProjectedEntryCallback& cb,
+                                       ProjectedScanStats* stats) const {
+  ProjectedScanStats local;
+  uint64_t groups_pruned = 0;
+  size_t r0 = 0, r1 = keys_.size();
+  BoundRows(bounds, &r0, &r1);
+  // Key-spine bytes are charged per row actually walked, so bytes_read
+  // reflects what the scan decodes post-pruning, not what Open() mapped.
+  uint64_t avg_key_bytes = keys_.empty() ? 0 : keys_bytes_ / keys_.size();
 
   // Which columns must be materialized.
   std::vector<char> needed(cols_.size(), 0);
@@ -662,52 +736,12 @@ Status ColumnComponentReader::ProjectedScan(const ScanBounds& bounds,
     for (size_t ci = 0; ci < cols_.size(); ++ci) {
       if (needed[ci]) ++needed_pages;
     }
-    bool prune = false;
-    if (allow_pruning) {
-      for (const FieldRange& range : proj.ranges) {
-        const ColumnDesc* col = nullptr;
-        bool field_known = false;
-        for (const auto& c : cols_) {
-          if (c.kind == ColumnDesc::Kind::kCatchAll) continue;
-          if (c.name == range.field) {
-            field_known = true;
-            if (c.kind == ColumnDesc::Kind::kTyped ||
-                c.kind == ColumnDesc::Kind::kPromoted) {
-              col = &c;
-            }
-            break;
-          }
-        }
-        if (col != nullptr) {
-          const ColumnDesc::Page& pg = col->pages[g];
-          // No concrete value anywhere in the group: a range predicate can
-          // never be TRUE on null/missing, so the whole group is dead.
-          if (pg.present_count == 0) {
-            prune = true;
-            break;
-          }
-          if (!pg.has_stats) continue;
-          // Pruning by the ADM total order is only sound when the bound
-          // constants and the column live in one comparison class.
-          bool comparable =
-              (!range.lo.has_value() ||
-               SameCompareClass(range.lo->tag(), col->tag)) &&
-              (!range.hi.has_value() ||
-               SameCompareClass(range.hi->tag(), col->tag));
-          if (comparable && !RangeMayMatch(range, pg.min, pg.max)) {
-            prune = true;
-            break;
-          }
-        } else if (!field_known && catchall_idx_ < 0) {
-          // Closed schema and the field does not exist: nothing matches.
-          prune = true;
-          break;
-        }
-      }
-    }
-    if (prune) {
+    size_t lo = std::max(r0, g * kRowsPerGroup);
+    size_t hi = std::min<size_t>(r1, (g + 1) * kRowsPerGroup);
+    if (allow_pruning && GroupPrunable(g, proj, lo, hi, exclusions)) {
+      ++groups_pruned;
       local.pages_pruned += needed_pages;
-      local.bytes_skipped += group_bytes;
+      local.bytes_skipped += group_bytes + avg_key_bytes * (hi - lo);
       continue;
     }
     ASTERIX_RETURN_NOT_OK(ReadGroup(g, needed, &dec, &local));
@@ -715,9 +749,8 @@ Status ColumnComponentReader::ProjectedScan(const ScanBounds& bounds,
     for (size_t ci = 0; ci < cols_.size(); ++ci) {
       if (needed[ci]) read_bytes += cols_[ci].pages[g].stored_size;
     }
+    local.bytes_read += avg_key_bytes * (hi - lo);
     local.bytes_skipped += group_bytes - read_bytes;
-    size_t lo = std::max(r0, g * kRowsPerGroup);
-    size_t hi = std::min<size_t>(r1, (g + 1) * kRowsPerGroup);
     for (size_t r = lo; r < hi; ++r) {
       const auto& [key, antimatter] = keys_[r];
       if (antimatter) {
@@ -741,6 +774,142 @@ Status ColumnComponentReader::ProjectedScan(const ScanBounds& bounds,
   c.bytes_read->Inc(local.bytes_read);
   c.bytes_skipped->Inc(local.bytes_skipped);
   c.pages_pruned->Inc(local.pages_pruned);
+  c.row_groups_pruned->Inc(groups_pruned);
+  return cb_status;
+}
+
+Status ColumnComponentReader::ProjectedScan(const ScanBounds& bounds,
+                                            const Projection& proj,
+                                            bool allow_pruning,
+                                            const ProjectedEntryCallback& cb,
+                                            ProjectedScanStats* stats) const {
+  return ScanImpl(bounds, proj, allow_pruning, nullptr, cb, stats);
+}
+
+Status ColumnComponentReader::ProjectedScanPruned(
+    const ScanBounds& bounds, const Projection& proj,
+    const std::vector<KeyInterval>& exclusions,
+    const ProjectedEntryCallback& cb, ProjectedScanStats* stats) const {
+  return ScanImpl(bounds, proj, /*allow_pruning=*/true, &exclusions, cb,
+                  stats);
+}
+
+bool ColumnComponentReader::KeyRange(CompositeKey* lo, CompositeKey* hi) const {
+  if (keys_.empty()) return false;
+  *lo = keys_.front().first;
+  *hi = keys_.back().first;
+  return true;
+}
+
+Status ColumnComponentReader::BatchScan(const ScanBounds& bounds,
+                                        const Projection& proj,
+                                        const std::vector<KeyInterval>* exclusions,
+                                        const BatchCallback& cb,
+                                        ProjectedScanStats* stats) const {
+  if (proj.all_fields) {
+    return Status::NotImplemented("batch scan requires an explicit projection");
+  }
+  // Every projected field must resolve to a dedicated column (or be
+  // provably absent under a closed schema): a field that may hide in the
+  // catch-all cannot be decoded as one typed lane.
+  std::vector<int> field_col(proj.fields.size(), -1);
+  for (size_t fi = 0; fi < proj.fields.size(); ++fi) {
+    for (size_t ci = 0; ci < cols_.size(); ++ci) {
+      if (cols_[ci].kind != ColumnDesc::Kind::kCatchAll &&
+          cols_[ci].name == proj.fields[fi]) {
+        field_col[fi] = static_cast<int>(ci);
+        break;
+      }
+    }
+    if (field_col[fi] < 0 && catchall_idx_ >= 0) {
+      return Status::NotImplemented("projected field may live in catch-all");
+    }
+  }
+
+  ProjectedScanStats local;
+  uint64_t groups_pruned = 0;
+  size_t r0 = 0, r1 = keys_.size();
+  BoundRows(bounds, &r0, &r1);
+  uint64_t avg_key_bytes = keys_.empty() ? 0 : keys_bytes_ / keys_.size();
+
+  std::vector<char> needed(cols_.size(), 0);
+  for (int ci : field_col) {
+    if (ci >= 0) needed[static_cast<size_t>(ci)] = 1;
+  }
+
+  Status cb_status;
+  std::vector<DecodedColumn> dec;
+  for (size_t g = r0 / kRowsPerGroup; g * kRowsPerGroup < r1; ++g) {
+    uint64_t group_bytes = 0;
+    for (const auto& col : cols_) group_bytes += col.pages[g].stored_size;
+    uint64_t needed_pages = 0;
+    for (size_t ci = 0; ci < cols_.size(); ++ci) {
+      if (needed[ci]) ++needed_pages;
+    }
+    size_t lo = std::max(r0, g * kRowsPerGroup);
+    size_t hi = std::min<size_t>(r1, (g + 1) * kRowsPerGroup);
+    if (GroupPrunable(g, proj, lo, hi, exclusions)) {
+      ++groups_pruned;
+      local.pages_pruned += needed_pages;
+      local.bytes_skipped += group_bytes + avg_key_bytes * (hi - lo);
+      continue;
+    }
+    ASTERIX_RETURN_NOT_OK(ReadGroup(g, needed, &dec, &local));
+    uint64_t read_bytes = 0;
+    for (size_t ci = 0; ci < cols_.size(); ++ci) {
+      if (needed[ci]) read_bytes += cols_[ci].pages[g].stored_size;
+    }
+    local.bytes_read += avg_key_bytes * (hi - lo);
+    local.bytes_skipped += group_bytes - read_bytes;
+
+    size_t n = hi - lo;
+    auto batch = std::make_shared<ColumnBatch>();
+    batch->num_rows = n;
+    // Lanes in schema (cols_) order so materialized records carry fields in
+    // exactly the order AssembleRow would emit them.
+    for (size_t ci = 0; ci < cols_.size(); ++ci) {
+      if (!needed[ci]) continue;
+      size_t local_lo = lo - g * kRowsPerGroup;
+      std::vector<uint8_t> presence(dec[ci].presence.begin() + local_lo,
+                                    dec[ci].presence.begin() + local_lo + n);
+      std::vector<adm::Value> values(dec[ci].values.begin() + local_lo,
+                                     dec[ci].values.begin() + local_lo + n);
+      batch->lanes.push_back(
+          MakeLane(cols_[ci].name, std::move(presence), &values));
+    }
+    // Closed-schema fields with no column: an all-MISSING lane, so kernels
+    // still see the field.
+    for (size_t fi = 0; fi < proj.fields.size(); ++fi) {
+      if (field_col[fi] >= 0) continue;
+      std::vector<uint8_t> presence(n, 0);
+      std::vector<adm::Value> values(n);
+      batch->lanes.push_back(
+          MakeLane(proj.fields[fi], std::move(presence), &values));
+    }
+    batch->sel.rows.reserve(n);
+    for (size_t r = lo; r < hi; ++r) {
+      if (!keys_[r].second) {
+        batch->sel.rows.push_back(static_cast<uint32_t>(r - lo));
+      }
+    }
+    if (!batch->sel.empty()) {
+      cb_status = cb(batch);
+      if (!cb_status.ok()) break;
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->bytes_read += local.bytes_read;
+    stats->bytes_skipped += local.bytes_skipped;
+    stats->pages_read += local.pages_read;
+    stats->pages_pruned += local.pages_pruned;
+  }
+  ColumnCounters& c = Counters();
+  c.pages_read->Inc(local.pages_read);
+  c.bytes_read->Inc(local.bytes_read);
+  c.bytes_skipped->Inc(local.bytes_skipped);
+  c.pages_pruned->Inc(local.pages_pruned);
+  c.row_groups_pruned->Inc(groups_pruned);
   return cb_status;
 }
 

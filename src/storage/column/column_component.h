@@ -10,6 +10,7 @@
 #include "adm/value.h"
 #include "storage/bloom.h"
 #include "storage/buffer_cache.h"
+#include "storage/column/batch.h"
 #include "storage/component.h"
 
 namespace asterix {
@@ -115,6 +116,29 @@ class ColumnComponentReader : public DiskComponentReader {
     return bloom_.MayContain(HashKey(key));
   }
 
+  /// ProjectedScan with min/max pruning that stays sound on multi-component
+  /// scans: a row group is skipped only when its key span is additionally
+  /// disjoint from every `exclusions` interval (the key ranges the other
+  /// components cover), so no pruned row can resurrect a stale version.
+  Status ProjectedScanPruned(const ScanBounds& bounds, const Projection& proj,
+                             const std::vector<KeyInterval>& exclusions,
+                             const ProjectedEntryCallback& cb,
+                             ProjectedScanStats* stats) const;
+
+  /// Vectorized scan: decodes the projected columns of each surviving row
+  /// group straight into typed ColumnBatch lanes — no per-row record
+  /// reconstruction. The selection vector excludes antimatter rows. Returns
+  /// Unimplemented when the projection cannot be satisfied from dedicated
+  /// columns alone (whole-record projections, or a field that may live in
+  /// the catch-all column); callers fall back to the row path.
+  /// `exclusions` as in ProjectedScanPruned (nullptr = prune freely).
+  Status BatchScan(const ScanBounds& bounds, const Projection& proj,
+                   const std::vector<KeyInterval>* exclusions,
+                   const BatchCallback& cb, ProjectedScanStats* stats) const;
+
+  /// The closed key interval this component covers; false when empty.
+  bool KeyRange(CompositeKey* lo, CompositeKey* hi) const;
+
   uint64_t num_entries() const { return keys_.size(); }
   const std::vector<ColumnDesc>& schema() const { return cols_; }
   /// Total bytes of column-page data (the denominator of bytes_skipped).
@@ -140,6 +164,17 @@ class ColumnComponentReader : public DiskComponentReader {
 
   Status FetchPage(const ColumnDesc::Page& pg,
                    std::vector<uint8_t>* raw) const;
+  Status ScanImpl(const ScanBounds& bounds, const Projection& proj,
+                  bool allow_pruning,
+                  const std::vector<KeyInterval>* exclusions,
+                  const ProjectedEntryCallback& cb,
+                  ProjectedScanStats* stats) const;
+  /// Rows [r0, r1) of the key spine satisfying `bounds`.
+  void BoundRows(const ScanBounds& bounds, size_t* r0, size_t* r1) const;
+  /// Whether row group `g` (rows [lo, hi) in bounds) is provably dead for
+  /// `proj.ranges` AND safe to skip given `exclusions`.
+  bool GroupPrunable(size_t g, const Projection& proj, size_t lo, size_t hi,
+                     const std::vector<KeyInterval>* exclusions) const;
   Status DecodeGroup(size_t col_idx, size_t group, DecodedColumn* out) const;
   /// Reads the listed columns for `group` into `cols_out` (indexed like
   /// cols_; untouched entries stay empty) and updates stats.

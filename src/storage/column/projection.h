@@ -25,6 +25,15 @@ struct FieldRange {
   bool hi_inclusive = true;
 };
 
+/// A closed key interval [lo, hi] some other LSM component covers. Used to
+/// keep min/max pruning sound on multi-component scans: a row group may be
+/// skipped only when its key span is disjoint from every other component's
+/// interval — otherwise dropping the group could let a stale older version
+/// of one of its rows win the newest-wins merge.
+struct KeyInterval {
+  CompositeKey lo, hi;
+};
+
 /// The required-field set of a datasource scan, computed by the optimizer's
 /// projection-pushdown rule. `all_fields` (the default) requests whole
 /// records; otherwise only the named top-level fields are materialized.

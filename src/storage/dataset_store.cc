@@ -356,6 +356,13 @@ Status DatasetPartition::ProjectedScan(
       stats);
 }
 
+Status DatasetPartition::BatchScan(const ScanBounds& bounds,
+                                   const column::Projection& projection,
+                                   const column::BatchCallback& cb,
+                                   column::ProjectedScanStats* stats) {
+  return primary_->BatchScan(bounds, projection, cb, stats);
+}
+
 Status DatasetPartition::SecondaryRangeScan(const std::string& index_name,
                                             const ScanBounds& bounds,
                                             const EntryCallback& cb) {

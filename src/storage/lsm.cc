@@ -651,16 +651,47 @@ Status LsmBTree::ProjectedScan(const ScanBounds& bounds,
     }
     cursors.push_back(std::move(mem_cursor));
   }
+  // Per-component key intervals: a column component may still min/max-prune
+  // a row group on this multi-component path when the group's key span is
+  // disjoint from every *other* component (and the memory component) — no
+  // pruned key can then have another version to resurrect.
+  std::vector<column::KeyInterval> intervals(disk_.size());
+  std::vector<char> has_interval(disk_.size(), 0);
+  bool ranges_known = true;  // every non-empty sibling's key span is visible
+  for (size_t i = 0; i < disk_.size(); ++i) {
+    auto* col = dynamic_cast<const column::ColumnComponentReader*>(
+        disk_[i].reader.get());
+    if (col != nullptr && col->KeyRange(&intervals[i].lo, &intervals[i].hi)) {
+      has_interval[i] = 1;
+    } else if (disk_[i].info.num_entries > 0) {
+      ranges_known = false;  // row sibling: assume it covers everything
+    }
+  }
   for (size_t i = disk_.size(); i > 0; --i) {
     Cursor c;
     c.rank = cursors.size();
-    ASTERIX_RETURN_NOT_OK(disk_[i - 1].reader->ProjectedScan(
-        bounds, proj, /*allow_pruning=*/false,
-        [&](const CompositeKey& key, bool antimatter, const adm::Value& rec) {
-          c.rows.push_back(ProjRow{key, antimatter, rec});
-          return Status::OK();
-        },
-        stats));
+    auto* col = dynamic_cast<const column::ColumnComponentReader*>(
+        disk_[i - 1].reader.get());
+    auto collect = [&](const CompositeKey& key, bool antimatter,
+                       const adm::Value& rec) {
+      c.rows.push_back(ProjRow{key, antimatter, rec});
+      return Status::OK();
+    };
+    if (col != nullptr && ranges_known) {
+      std::vector<column::KeyInterval> exclusions;
+      for (size_t j = 0; j < disk_.size(); ++j) {
+        if (j != i - 1 && has_interval[j]) exclusions.push_back(intervals[j]);
+      }
+      if (!mem_.empty()) {
+        exclusions.push_back(
+            column::KeyInterval{mem_.begin()->first, mem_.rbegin()->first});
+      }
+      ASTERIX_RETURN_NOT_OK(
+          col->ProjectedScanPruned(bounds, proj, exclusions, collect, stats));
+    } else {
+      ASTERIX_RETURN_NOT_OK(disk_[i - 1].reader->ProjectedScan(
+          bounds, proj, /*allow_pruning=*/false, collect, stats));
+    }
     cursors.push_back(std::move(c));
   }
 
@@ -695,6 +726,30 @@ Status LsmBTree::ProjectedScan(const ScanBounds& bounds,
     if (cur.pos < cur.rows.size()) heap.push(ci);
   }
   return Status::OK();
+}
+
+Status LsmBTree::BatchScan(const ScanBounds& bounds,
+                           const column::Projection& proj,
+                           const column::BatchCallback& cb,
+                           column::ProjectedScanStats* stats) const {
+  std::shared_lock lock(mu_);
+  if (options_.format != StorageFormat::kColumn) {
+    return Status::NotImplemented("batch scan requires column storage");
+  }
+  // Only the steady state qualifies: one disk component and an empty
+  // memory component mean no cross-component resolution, so column pages
+  // can stream out as typed batches directly. Anything else needs row
+  // merging — the caller falls back to ProjectedScan + batch rebuilding.
+  if (!mem_.empty() || disk_.size() > 1) {
+    return Status::NotImplemented("batch scan requires a merged component");
+  }
+  if (disk_.empty()) return Status::OK();
+  auto* col = dynamic_cast<const column::ColumnComponentReader*>(
+      disk_[0].reader.get());
+  if (col == nullptr) {
+    return Status::NotImplemented("batch scan requires column storage");
+  }
+  return col->BatchScan(bounds, proj, nullptr, cb, stats);
 }
 
 size_t LsmBTree::mem_entries() const {

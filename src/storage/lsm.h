@@ -11,6 +11,7 @@
 #include "adm/type.h"
 #include "storage/btree.h"
 #include "storage/buffer_cache.h"
+#include "storage/column/batch.h"
 #include "storage/component.h"
 #include "storage/key.h"
 
@@ -143,14 +144,24 @@ class LsmBTree {
 
   /// LSM-resolved scan materializing only the projection's fields (the
   /// callback's antimatter flag is always false — resolution happens here).
-  /// Column components read only the touched column pages; in the
-  /// single-component steady state they additionally skip page groups via
-  /// per-page min/max stats (with multiple components pruning is disabled:
-  /// a skipped page in the newest component could resurrect an older
-  /// version of its rows). `stats` (optional) accumulates bytes/pages.
+  /// Column components read only the touched column pages and skip page
+  /// groups via per-page min/max stats: freely in the single-component
+  /// steady state, and on multi-component scans only for groups whose key
+  /// span is disjoint from every other component (a skipped group that
+  /// overlapped another component could resurrect an older version of its
+  /// rows). `stats` (optional) accumulates bytes/pages.
   Status ProjectedScan(const ScanBounds& bounds, const column::Projection& proj,
                        const column::ProjectedEntryCallback& cb,
                        column::ProjectedScanStats* stats) const;
+
+  /// Vectorized scan: in the columnar single-component steady state, hands
+  /// decoded column pages to the caller as typed ColumnBatches without row
+  /// reconstruction (antimatter rows excluded via the selection vector).
+  /// Returns Unimplemented whenever cross-component resolution or row
+  /// assembly would be required — callers fall back to ProjectedScan.
+  Status BatchScan(const ScanBounds& bounds, const column::Projection& proj,
+                   const column::BatchCallback& cb,
+                   column::ProjectedScanStats* stats) const;
 
   // -- Stats ---------------------------------------------------------------
   size_t mem_entries() const;
