@@ -306,6 +306,11 @@ class BenchJsonDump {
  public:
   explicit BenchJsonDump(std::string name) : name_(std::move(name)) {}
 
+  /// When set, Write() embeds the instance's monitoring view — the final
+  /// sampled history ring and the watchdog health summary — so a bench run
+  /// records trends over its whole duration, not just end totals.
+  void SetInstance(api::AsterixInstance* db) { db_ = db; }
+
   void Add(const std::string& label, double ms,
            const std::shared_ptr<const hyracks::JobProfile>& profile) {
     if (!entries_.empty()) entries_ += ", ";
@@ -319,7 +324,15 @@ class BenchJsonDump {
     std::string out = "{ \"bench\": \"" + name_ + "\", \"queries\": [ " +
                       entries_ + " ], \"latency_percentiles\": " +
                       LatencyPercentilesJson() + ", \"metrics\": " +
-                      api::AsterixInstance::MetricsJson() + " }";
+                      api::AsterixInstance::MetricsJson();
+    if (db_ != nullptr) {
+      if (db_->sampler() != nullptr) db_->sampler()->SampleNow();
+      out += ", \"health\": " +
+             (db_->watchdog() != nullptr ? db_->watchdog()->SummaryJson()
+                                         : std::string("null")) +
+             ", \"history\": " + db_->HistoryJson(120);
+    }
+    out += " }";
     std::string path = "BENCH_" + name_ + ".json";
     Check(env::WriteFileAtomic(path, out.data(), out.size()), "bench dump");
     std::printf("wrote %s\n", path.c_str());
@@ -328,6 +341,7 @@ class BenchJsonDump {
  private:
   std::string name_;
   std::string entries_;
+  api::AsterixInstance* db_ = nullptr;
 };
 
 /// Printed table row helper.

@@ -48,6 +48,9 @@ int Main() {
   const double seconds =
       static_cast<double>(EnvInt("ASTERIX_SERVING_SECONDS", 3));
   const int64_t seed_rows = EnvInt("ASTERIX_SERVING_ROWS", 5000);
+  // ASTERIX_SERVING_MONITOR=0 turns the background sampler/watchdog off —
+  // the A/B knob for measuring the monitoring subsystem's QPS overhead.
+  const bool monitor = EnvInt("ASTERIX_SERVING_MONITOR", 1) != 0;
 
   std::string dir = env::NewScratchDir("serving-bench");
   api::InstanceConfig config;
@@ -57,6 +60,7 @@ int Main() {
   config.cluster.job_startup_us = 0;
   config.cluster.cluster_memory_pool_bytes = 64ull << 20;
   config.result_cache_bytes = 16ull << 20;
+  config.enable_monitoring = monitor;
   api::AsterixInstance db(config);
   if (!db.Boot().ok()) return 1;
   auto ddl = db.Execute(R"aql(
@@ -174,9 +178,16 @@ create dataset D(T) primary key id;
                 Percentile(&read_ms, 0.99), write_ms.size(),
                 Percentile(&write_ms, 0.50), Percentile(&write_ms, 0.99));
   out += buf;
+  // Take a final synchronous sample so the ring and the health summary
+  // include everything up to the join above.
+  if (db.sampler() != nullptr) db.sampler()->SampleNow();
   out += "\"cache_hits\": " + std::to_string(cache_hits) +
          ", \"coalesced\": " + std::to_string(coalesced) +
          ", \"status\": " + db.StatusJson() +
+         ", \"health\": " +
+         (db.watchdog() != nullptr ? db.watchdog()->SummaryJson()
+                                   : std::string("null")) +
+         ", \"history\": " + db.HistoryJson(120) +
          ", \"metrics\": " + api::AsterixInstance::MetricsJson() + " }";
   if (!env::WriteFileAtomic("BENCH_serving.json", out.data(), out.size())
            .ok()) {
@@ -195,6 +206,12 @@ create dataset D(T) primary key id;
   std::printf("  cache_hits=%llu coalesced=%llu\n",
               static_cast<unsigned long long>(cache_hits),
               static_cast<unsigned long long>(coalesced));
+  if (db.watchdog() != nullptr) {
+    std::printf("  health=%s\n",
+                server::HealthStateName(db.watchdog()->overall()));
+  } else {
+    std::printf("  health=unmonitored\n");
+  }
   std::printf("wrote BENCH_serving.json\n");
 
   env::RemoveAll(dir);

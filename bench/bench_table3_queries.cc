@@ -573,6 +573,7 @@ int Main() {
 
   PrintHeader("Table 3");
   BenchJsonDump dump("table3");
+  dump.SetInstance(env.asterix());
   t3.RecordLookup();
   dump.Add("Rec Lookup", 0, env.last_profile());
   auto p = [&](const char* label, const Row& r) {

@@ -134,6 +134,7 @@ int Main() {
   };
 
   BenchJsonDump dump("table4");
+  dump.SetInstance(env.asterix.get());
   std::shared_ptr<const hyracks::JobProfile> prof;
   double ast_schema_1 =
       AsterixInsertMsPerRecord(&env, "Messages", slice(0), 1, &prof);

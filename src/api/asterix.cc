@@ -6,6 +6,7 @@
 
 #include "common/env.h"
 #include "common/journal.h"
+#include "common/ledger.h"
 #include "common/metrics.h"
 #include "common/version_clock.h"
 #include "external/external.h"
@@ -315,6 +316,9 @@ AsterixInstance::AsterixInstance(InstanceConfig config)
     : config_(std::move(config)) {}
 
 AsterixInstance::~AsterixInstance() {
+  // Stop the sampler first: its probes read the cluster and admission
+  // controller, which the members below tear down.
+  if (sampler_) sampler_->Stop();
   // Join every in-flight async submission first: a background script must
   // not run against datasets this destructor is about to tear down.
   {
@@ -368,6 +372,40 @@ Status AsterixInstance::Boot() {
   rate_limiter_ = std::make_unique<server::RateLimiter>(
       server::RateLimiterOptions{config_.rate_limit_qps,
                                  config_.rate_limit_burst});
+
+  if (config_.enable_monitoring) {
+    watchdog_ = std::make_unique<server::HealthWatchdog>(config_.watchdog);
+    monitor::MetricsSampler::Options sopts;
+    sopts.interval_ms = config_.monitor_interval_ms;
+    sopts.ring_capacity = config_.monitor_ring_samples;
+    sampler_ = std::make_unique<monitor::MetricsSampler>(&reg, sopts);
+    // Probe: export instance state that has no metric of its own into
+    // gauges, so it rides the same ring the watchdog evaluates. Runs on the
+    // sampler thread against subsystems the destructor keeps alive.
+    sampler_->AddProbe([this, &reg] {
+      const hyracks::ExecutorPool& pool = cluster_->pool();
+      static metrics::Gauge* busy = reg.GetGauge("hyracks.pool.busy_threads");
+      static metrics::Gauge* queued = reg.GetGauge("hyracks.pool.queued_tasks");
+      busy->Set(static_cast<int64_t>(pool.busy_threads()));
+      queued->Set(static_cast<int64_t>(pool.queued_tasks()));
+      const server::AdmissionController& adm = cluster_->admission();
+      static metrics::Gauge* pool_bytes =
+          reg.GetGauge("server.admission.pool_bytes");
+      static metrics::Gauge* queue_limit =
+          reg.GetGauge("server.admission.queue_limit");
+      pool_bytes->Set(static_cast<int64_t>(adm.pool_bytes()));
+      queue_limit->Set(static_cast<int64_t>(adm.max_queue()));
+      const journal::Journal& j = journal::Journal::Default();
+      static metrics::Gauge* drops = reg.GetGauge("journal.overwrite_drops");
+      static metrics::Gauge* posted = reg.GetGauge("journal.posted");
+      drops->Set(static_cast<int64_t>(j.overwrite_drops()));
+      posted->Set(static_cast<int64_t>(j.posted()));
+    });
+    sampler_->SetObserver([this](const monitor::TimeSeriesRing& ring) {
+      watchdog_->Evaluate(ring);
+    });
+    sampler_->Start();
+  }
   return Status::OK();
 }
 
@@ -434,6 +472,13 @@ Result<ExecutionResult> AsterixInstance::Execute(const std::string& aql) {
   }
   journal::Journal::Default().Post(journal::EventKind::kQueryStart,
                                    aql.size());
+  // Open the resource-ledger entry the executor and storage layers will
+  // charge (by query id) while this script runs.
+  ledger::ResourceLedger::Default().Begin(query_id, ledger::CurrentClient(),
+                                          record->statement);
+  static metrics::Counter* queries_counter =
+      metrics::MetricsRegistry::Default().GetCounter("api.queries");
+  queries_counter->Inc();
 
   QueryTracker tracker;
   tracker.record = record.get();
@@ -445,6 +490,7 @@ Result<ExecutionResult> AsterixInstance::Execute(const std::string& aql) {
   uint64_t elapsed_us = ElapsedUs(record->start);
   journal::Journal::Default().Post(journal::EventKind::kQueryFinish,
                                    elapsed_us, result.ok() ? 0 : 1);
+  ledger::ResourceLedger::Default().Finish(query_id, result.ok(), elapsed_us);
   {
     std::lock_guard<std::mutex> lock(queries_mu_);
     active_queries_.erase(query_id);
@@ -528,6 +574,9 @@ bool AsterixInstance::ClassifyForServing(const std::string& aql,
 
 Result<ExecutionResult> AsterixInstance::Serve(const std::string& aql,
                                                const ServeOptions& opts) {
+  // Attribute everything below — including the Execute() path's ledger
+  // entry — to the requesting client.
+  ledger::ScopedClient client_scope(opts.client_id);
   if (rate_limiter_ && rate_limiter_->enabled()) {
     ASTERIX_RETURN_NOT_OK(rate_limiter_->Admit(opts.client_id));
   }
@@ -543,6 +592,10 @@ Result<ExecutionResult> AsterixInstance::Serve(const std::string& aql,
             result_cache_->Lookup(key)) {
       ExecutionResult out = *hit;
       out.from_cache = true;
+      // Cache hits never reach Execute(), so the per-client table is the
+      // only place this request's outcome is recorded.
+      ledger::ResourceLedger::Default().RecordServed(
+          opts.client_id, ledger::CacheOutcome::kHit);
       return out;
     }
   }
@@ -552,6 +605,8 @@ Result<ExecutionResult> AsterixInstance::Serve(const std::string& aql,
     std::shared_ptr<const Result<ExecutionResult>> shared = ticket.Wait();
     Result<ExecutionResult> r = *shared;
     if (r.ok()) r.value().coalesced = true;
+    ledger::ResourceLedger::Default().RecordServed(
+        opts.client_id, ledger::CacheOutcome::kCoalesced);
     return r;
   }
 
@@ -585,8 +640,11 @@ Result<uint64_t> AsterixInstance::LaunchAsync(
                    {
                      std::lock_guard<std::mutex> inner(async_mu_);
                      --async_inflight_;
+                     // Notify under the lock: the destructor destroys this
+                     // condvar the moment its wait sees inflight == 0, so an
+                     // unlocked notify could broadcast into freed memory.
+                     async_cv_.notify_all();
                    }
-                   async_cv_.notify_all();
                    return result;
                  })
           .share();
@@ -748,10 +806,74 @@ std::string AsterixInstance::StatusJson() {
          std::to_string(rate_limiter_ ? rate_limiter_->clients() : 0) +
          " }, ";
 
+  // Windowed per-second rates from the monitoring ring: trends, not
+  // cumulative totals. Curated to the load-bearing series; the full set is
+  // in HistoryJson().
+  out += "\"rates\": ";
+  if (sampler_) {
+    const uint64_t w = config_.watchdog.window_us;
+    const monitor::TimeSeriesRing& ring = sampler_->ring();
+    const struct {
+      const char* json_key;
+      const char* series;
+    } kRates[] = {
+        {"queries_per_sec", "api.queries"},
+        {"jobs_per_sec", "hyracks.jobs"},
+        {"connector_tuples_per_sec", "hyracks.connector_tuples"},
+        {"cpu_us_per_sec", "hyracks.cpu_us"},
+        {"cache_hits_per_sec", "server.cache.hits"},
+        {"lsm_flush_bytes_per_sec", "storage.lsm.bytes_flushed"},
+        {"backpressure_us_per_sec", "hyracks.backpressure_wait_us.sum"},
+        {"write_stall_us_per_sec", "storage.lsm.write_stall_us.sum"},
+    };
+    out += "{ \"window_us\": " + std::to_string(ring.CoveredWindowUs(w));
+    for (const auto& r : kRates) {
+      out += std::string(", \"") + r.json_key + "\": ";
+      AppendDouble(&out, ring.WindowedRate(r.series, w));
+    }
+    out += " }, ";
+  } else {
+    out += "null, ";
+  }
+
+  const auto& led = ledger::ResourceLedger::Default();
+  out += "\"top_queries\": " + led.TopJson(5) + ", ";
+  out += "\"clients\": " + led.ClientsJson() + ", ";
+
+  out += "\"health\": ";
+  out += watchdog_ ? watchdog_->SummaryJson() : std::string("null");
+  out += ", ";
+
+  {
+    uint64_t ingested =
+        reg.GetCounter("storage.lsm.bytes_ingested")->value();
+    int64_t amp_x1000 =
+        reg.GetGauge("storage.lsm.write_amplification_x1000")->value();
+    const metrics::Histogram* stall =
+        reg.GetHistogram("storage.lsm.write_stall_us");
+    out += "\"storage\": { \"bytes_ingested\": " + std::to_string(ingested) +
+           ", \"write_amplification\": ";
+    AppendDouble(&out, static_cast<double>(amp_x1000) / 1000.0);
+    out += ", \"write_stalls\": " + std::to_string(stall->count()) +
+           ", \"write_stall_us_total\": " + std::to_string(stall->sum()) +
+           " }, ";
+  }
+
   const journal::Journal& j = journal::Journal::Default();
   out += "\"journal\": { \"posted\": " + std::to_string(j.posted()) +
-         ", \"capacity\": " + std::to_string(j.capacity()) + " } }";
+         ", \"capacity\": " + std::to_string(j.capacity()) +
+         ", \"overwrite_drops\": " + std::to_string(j.overwrite_drops()) +
+         " } }";
   return out;
+}
+
+std::string AsterixInstance::HistoryJson(size_t max_samples) {
+  if (!sampler_) return "{ \"samples\": 0, \"data\": [ ] }";
+  return sampler_->ring().HistoryJson(max_samples);
+}
+
+std::string AsterixInstance::MetricsPrometheus() {
+  return metrics::MetricsRegistry::Default().ToPrometheus();
 }
 
 Result<ExecutionResult> AsterixInstance::Explain(const std::string& aql) {

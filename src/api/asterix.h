@@ -14,12 +14,14 @@
 
 #include "algebricks/physical.h"
 #include "aql/parser.h"
+#include "common/timeseries.h"
 #include "feeds/feeds.h"
 #include "hyracks/cluster.h"
 #include "metadata/metadata.h"
 #include "server/coalescer.h"
 #include "server/rate_limiter.h"
 #include "server/result_cache.h"
+#include "server/watchdog.h"
 
 namespace asterix {
 namespace api {
@@ -41,6 +43,16 @@ struct InstanceConfig {
   double rate_limit_qps = 0.0;
   /// Token-bucket burst capacity; 0 means max(rate_limit_qps, 1).
   double rate_limit_burst = 0.0;
+  /// Continuous monitoring: a background sampler snapshots the metrics
+  /// registry into a bounded ring every monitor_interval_ms and the health
+  /// watchdog re-evaluates its derived conditions on each sample. Costs one
+  /// registry walk per interval; nothing rides any query hot path.
+  bool enable_monitoring = true;
+  uint64_t monitor_interval_ms = 100;
+  /// Ring capacity in samples (600 x 100ms = one minute of history).
+  size_t monitor_ring_samples = 600;
+  /// WatchdogOptions thresholds for the health conditions.
+  server::WatchdogOptions watchdog;
 };
 
 /// Result of executing an AQL script: the last query statement's values
@@ -141,10 +153,24 @@ class AsterixInstance {
 
   /// Live runtime introspection: active queries (phase + elapsed), active
   /// jobs with memory-budget usage, executor-pool occupancy, channel queue
-  /// depth, per-dataset LSM component counts, and p50/p95/p99 latency
-  /// percentiles. The "what is the system doing right now" endpoint,
-  /// complementing the cumulative MetricsJson().
+  /// depth, per-dataset LSM component counts, p50/p95/p99 latency
+  /// percentiles, windowed per-second rates from the monitoring ring, top
+  /// queries by CPU and bytes, the per-client resource table, and the
+  /// health watchdog's summary. The "what is the system doing right now"
+  /// endpoint, complementing the cumulative MetricsJson().
   std::string StatusJson();
+
+  /// The monitoring ring's trailing samples as JSON (0 = all). Bench
+  /// drivers embed this so a run's metric trajectory rides along in
+  /// BENCH_*.json. Empty-ring JSON when monitoring is disabled.
+  std::string HistoryJson(size_t max_samples = 0);
+
+  /// Prometheus text exposition (format 0.0.4) of the metrics registry.
+  static std::string MetricsPrometheus();
+
+  /// Monitoring handles (null when enable_monitoring is false).
+  monitor::MetricsSampler* sampler() { return sampler_.get(); }
+  server::HealthWatchdog* watchdog() { return watchdog_.get(); }
 
   /// Where slow queries are logged (one JSON line per over-threshold query;
   /// see ClusterConfig::slow_query_us).
@@ -225,6 +251,12 @@ class AsterixInstance {
   /// concurrent Serve()/SubmitAsync() against DDL churn safe — previously
   /// the datasets_ map raced.
   std::shared_mutex ddl_mu_;
+
+  /// Continuous monitoring: watchdog first (the sampler's observer refers
+  /// to it), then the sampler whose thread drives it. The destructor stops
+  /// the sampler before any subsystem it probes is torn down.
+  std::unique_ptr<server::HealthWatchdog> watchdog_;
+  std::unique_ptr<monitor::MetricsSampler> sampler_;
 
   /// Serving layer (Serve/ServeAsync). The cache payload is a whole
   /// ExecutionResult; the coalescer shares the leader's Result so followers

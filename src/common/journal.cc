@@ -48,6 +48,10 @@ const char* EventKindName(EventKind kind) {
       return "coalesce.join";
     case EventKind::kRateLimit:
       return "rate.limit";
+    case EventKind::kWriteStall:
+      return "lsm.write.stall";
+    case EventKind::kHealth:
+      return "health.transition";
   }
   return "unknown";
 }
@@ -81,6 +85,15 @@ void Journal::Post(EventKind kind, uint64_t a, uint64_t b, const char* label) {
   // owns until the next lap, so relaxed order suffices for the payload.
   uint64_t idx = head_.fetch_add(1, std::memory_order_relaxed);
   Slot& slot = slots_[idx & mask_];
+  // Lapping a published event that no Snapshot() could have seen yet is a
+  // silent loss of history; count it so StatusJson can surface the blind
+  // spot. A benign race (a concurrent Snapshot that just started) at worst
+  // over-counts by the in-flight scan, which errs on the honest side.
+  uint64_t old = slot.seq.load(std::memory_order_relaxed);
+  if (old != 0 && old != kWriting &&
+      old > snapshot_floor_.load(std::memory_order_relaxed)) {
+    overwrite_drops_.fetch_add(1, std::memory_order_relaxed);
+  }
   slot.seq.store(kWriting, std::memory_order_release);
   slot.ts_us.store(NowUs(), std::memory_order_relaxed);
   slot.query_id.store(tls_query_id, std::memory_order_relaxed);
@@ -105,6 +118,14 @@ void Journal::Post(EventKind kind, uint64_t a, uint64_t b, const char* label) {
 }
 
 std::vector<Event> Journal::Snapshot(uint64_t min_seq) const {
+  // Advance the "some reader got this far" floor to the current head:
+  // everything posted before this point is now fair game for overwrite
+  // without counting as a drop.
+  uint64_t head = head_.load(std::memory_order_relaxed);
+  uint64_t floor = snapshot_floor_.load(std::memory_order_relaxed);
+  while (floor < head && !snapshot_floor_.compare_exchange_weak(
+                             floor, head, std::memory_order_relaxed)) {
+  }
   std::vector<Event> out;
   size_t cap = mask_ + 1;
   out.reserve(cap);

@@ -36,6 +36,8 @@ enum class EventKind : uint8_t {
   kCacheInvalidate,
   kCoalesce,
   kRateLimit,
+  kWriteStall,
+  kHealth,
 };
 
 const char* EventKindName(EventKind kind);
@@ -81,6 +83,14 @@ class Journal {
   uint64_t posted() const { return head_.load(std::memory_order_relaxed); }
   size_t capacity() const { return mask_ + 1; }
 
+  /// Events lapped by a writer before ANY Snapshot() had a chance to read
+  /// them — the journal's blind spot. Overwrites of already-snapshot-visible
+  /// events are normal ring behavior and not counted; a growing value here
+  /// means the ring is too small for the event rate vs. the scrape cadence.
+  uint64_t overwrite_drops() const {
+    return overwrite_drops_.load(std::memory_order_relaxed);
+  }
+
   /// Process-wide journal all subsystems post into. Capacity comes from
   /// ASTERIX_JOURNAL_EVENTS (default 65536).
   static Journal& Default();
@@ -105,6 +115,12 @@ class Journal {
   size_t mask_;
   std::unique_ptr<Slot[]> slots_;
   std::atomic<uint64_t> head_{0};
+  // Highest head_ observed at the start of any Snapshot(): events at or
+  // below this seq were reachable by at least one reader. Overwriting a
+  // published event above the floor counts as a drop. Mutable because
+  // Snapshot() is logically const but advances the floor.
+  mutable std::atomic<uint64_t> snapshot_floor_{0};
+  std::atomic<uint64_t> overwrite_drops_{0};
   std::chrono::steady_clock::time_point epoch_;
 };
 

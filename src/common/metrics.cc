@@ -148,6 +148,69 @@ std::string MetricsRegistry::ToJson() const {
   return out;
 }
 
+std::map<std::string, int64_t> MetricsRegistry::SnapshotScalars() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, int64_t> out;
+  for (const auto& [name, c] : counters_) {
+    out[name] = static_cast<int64_t>(c->value());
+  }
+  for (const auto& [name, g] : gauges_) {
+    out[name] = g->value();
+  }
+  for (const auto& [name, h] : histograms_) {
+    out[name + ".count"] = static_cast<int64_t>(h->count());
+    out[name + ".sum"] = static_cast<int64_t>(h->sum());
+  }
+  return out;
+}
+
+namespace {
+
+/// "storage.lsm.flush_us" -> "asterix_storage_lsm_flush_us".
+std::string PromName(const std::string& name) {
+  std::string out = "asterix_";
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    std::string p = PromName(name);
+    out += "# TYPE " + p + " counter\n";
+    out += p + " " + std::to_string(c->value()) + "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    std::string p = PromName(name);
+    out += "# TYPE " + p + " gauge\n";
+    out += p + " " + std::to_string(g->value()) + "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    std::string p = PromName(name);
+    out += "# TYPE " + p + " histogram\n";
+    // Prometheus buckets are cumulative: le="bound" counts everything at or
+    // below the bound; the implicit overflow bucket becomes le="+Inf".
+    uint64_t cumulative = 0;
+    const auto& bounds = h->bounds();
+    for (size_t i = 0; i < bounds.size(); ++i) {
+      cumulative += h->bucket_count(i);
+      out += p + "_bucket{le=\"" + std::to_string(bounds[i]) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += p + "_bucket{le=\"+Inf\"} " + std::to_string(h->count()) + "\n";
+    out += p + "_sum " + std::to_string(h->sum()) + "\n";
+    out += p + "_count " + std::to_string(h->count()) + "\n";
+  }
+  return out;
+}
+
 void MetricsRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, c] : counters_) {

@@ -101,6 +101,18 @@ class MetricsRegistry {
   /// gauges, histograms with bounds/bucket counts/sum/max).
   std::string ToJson() const;
 
+  /// Flat scalar snapshot for the time-series sampler: every counter and
+  /// gauge under its own name, every histogram as "<name>.count" and
+  /// "<name>.sum" — so windowed rates over a histogram's sum yield e.g.
+  /// backpressure-wait microseconds per second.
+  std::map<std::string, int64_t> SnapshotScalars() const;
+
+  /// Prometheus text exposition (format 0.0.4): counters, gauges, and
+  /// histograms with cumulative le-buckets plus _sum/_count. Names are
+  /// sanitized ('.' and '-' become '_') and prefixed "asterix_", so
+  /// external scrapers and the in-repo bench drivers share one view.
+  std::string ToPrometheus() const;
+
   /// Zeroes every metric but keeps registrations (bench epochs, tests).
   void Reset();
 

@@ -1,0 +1,151 @@
+#ifndef ASTERIX_COMMON_TIMESERIES_H_
+#define ASTERIX_COMMON_TIMESERIES_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace asterix {
+namespace monitor {
+
+/// One scalar snapshot of the metrics registry at a point in time: every
+/// counter and gauge under its own name, every histogram as "<name>.count"
+/// and "<name>.sum" (so a rate over a histogram's sum yields e.g.
+/// backpressure-wait microseconds per second).
+struct Sample {
+  uint64_t ts_us = 0;  // since the ring's creation
+  std::map<std::string, int64_t> values;
+};
+
+/// Bounded in-memory ring of metric samples plus the windowed delta/rate
+/// math over it. This is what turns the cumulative registry ("what has
+/// happened since boot") into trends ("what changed over the last N
+/// seconds"). All methods are thread-safe; readers see a consistent ring
+/// under one mutex.
+///
+/// Counter-reset tolerance: benches and tests call
+/// MetricsRegistry::Reset() between epochs, which makes every counter go
+/// backwards. A windowed delta treats any backwards step as a reset and
+/// clamps that step's contribution to the *new* value (everything counted
+/// since the reset) instead of producing a huge bogus wrap-around rate.
+class TimeSeriesRing {
+ public:
+  explicit TimeSeriesRing(size_t capacity);
+
+  void Push(Sample sample);
+  size_t size() const;
+  bool empty() const;
+  size_t capacity() const { return capacity_; }
+
+  /// Copy of the most recent sample (empty sample when none).
+  Sample Latest() const;
+  /// Latest value of one series (0 when absent).
+  int64_t LatestValue(const std::string& name) const;
+
+  /// Sum of per-step deltas of `name` over the trailing `window_us`,
+  /// reset-clamped as described above. A series first seen mid-window
+  /// contributes its full first value (born-at-zero semantics).
+  int64_t WindowedDelta(const std::string& name, uint64_t window_us) const;
+
+  /// WindowedDelta scaled to a per-second rate over the *actual* covered
+  /// span (which may be shorter than `window_us` on a young ring).
+  double WindowedRate(const std::string& name, uint64_t window_us) const;
+
+  /// The time span WindowedDelta/WindowedRate would actually cover.
+  uint64_t CoveredWindowUs(uint64_t window_us) const;
+
+  /// JSON dump of the trailing `max_samples` samples (0 = everything):
+  /// `{ "samples": N, "data": [ { "ts_us": ..., "values": {...} }, ... ] }`.
+  /// The bench drivers embed this so a run's full metric trajectory rides
+  /// along in BENCH_*.json.
+  std::string HistoryJson(size_t max_samples = 0) const;
+
+  /// Per-second windowed rates for every series in the latest sample:
+  /// `{ "window_us": ..., "per_sec": { "<name>": rate, ... } }`.
+  std::string RatesJson(uint64_t window_us) const;
+
+ private:
+  /// Requires mu_. Returns the delta and (optionally) the covered span.
+  int64_t WindowedDeltaLocked(const std::string& name, uint64_t window_us,
+                              uint64_t* span_us) const;
+  /// Requires mu_. Index of the baseline sample for a trailing window.
+  size_t WindowStartLocked(uint64_t window_us) const;
+
+  size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<Sample> samples_;
+};
+
+/// Background thread that snapshots a MetricsRegistry into a TimeSeriesRing
+/// every `interval_ms`. Probes registered with AddProbe run before each
+/// snapshot so instance-level state that is not naturally metric-backed
+/// (executor-pool occupancy, journal drop counts) can be exported into
+/// gauges and ride the same ring. The observer (the HealthWatchdog) runs
+/// after each push.
+///
+/// Overhead: one registry walk per interval — a few hundred relaxed atomic
+/// loads — plus one map copy into the ring. Nothing on any query hot path.
+class MetricsSampler {
+ public:
+  struct Options {
+    uint64_t interval_ms = 100;
+    size_t ring_capacity = 600;  // 60s of history at the default interval
+  };
+
+  MetricsSampler(metrics::MetricsRegistry* registry, Options options);
+  ~MetricsSampler();
+
+  MetricsSampler(const MetricsSampler&) = delete;
+  MetricsSampler& operator=(const MetricsSampler&) = delete;
+
+  /// Register a pre-snapshot probe. Call before Start().
+  void AddProbe(std::function<void()> probe);
+  /// Register the post-push observer. Call before Start().
+  void SetObserver(std::function<void(const TimeSeriesRing&)> observer);
+
+  void Start();
+  void Stop();
+
+  /// Takes one sample synchronously (probes + snapshot + observer). Used by
+  /// tests and by bench drivers for a final up-to-date point; safe while
+  /// the background thread runs.
+  void SampleNow();
+
+  const TimeSeriesRing& ring() const { return ring_; }
+  uint64_t samples_taken() const {
+    return samples_.load(std::memory_order_relaxed);
+  }
+  uint64_t interval_us() const { return options_.interval_ms * 1000; }
+
+ private:
+  void Loop();
+
+  metrics::MetricsRegistry* registry_;
+  Options options_;
+  TimeSeriesRing ring_;
+  std::vector<std::function<void()>> probes_;
+  std::function<void(const TimeSeriesRing&)> observer_;
+  std::atomic<uint64_t> samples_{0};
+  std::chrono::steady_clock::time_point epoch_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool started_ = false;
+  std::thread thread_;
+};
+
+}  // namespace monitor
+}  // namespace asterix
+
+#endif  // ASTERIX_COMMON_TIMESERIES_H_

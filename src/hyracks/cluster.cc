@@ -1,5 +1,7 @@
 #include "hyracks/cluster.h"
 
+#include <time.h>
+
 #include <chrono>
 #include <cstdlib>
 #include <deque>
@@ -9,6 +11,7 @@
 
 #include "common/env.h"
 #include "common/journal.h"
+#include "common/ledger.h"
 #include "common/metrics.h"
 #include "hyracks/memory.h"
 
@@ -37,6 +40,15 @@ struct ConnCounters {
   std::atomic<uint64_t> tuples{0};
   std::atomic<uint64_t> network_tuples{0};
 };
+
+/// CPU time consumed by the calling thread, in microseconds. Two syscalls
+/// per operator instance (task start/end) — nowhere near any per-tuple path.
+uint64_t ThreadCpuUs() {
+  struct timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<uint64_t>(ts.tv_sec) * 1'000'000ull +
+         static_cast<uint64_t>(ts.tv_nsec) / 1000ull;
+}
 
 /// Routes one operator instance's pushes through all of its outgoing
 /// connectors to the right destination channels, counting hops into the
@@ -315,7 +327,10 @@ Result<JobStats> Cluster::ExecuteJob(const JobSpec& job) {
   // in phases.admission_us below. The grant is held until this frame exits.
   server::AdmissionGrant grant;
   if (declared_bytes > 0) {
+    uint64_t wait_start_us = since_start_us();
     auto admitted = admission_.Acquire(declared_bytes);
+    uint64_t waited_us = since_start_us() - wait_start_us;
+    ledger::ResourceLedger::Default().AddAdmissionWait(query_id, waited_us);
     if (!admitted.ok()) return admitted.status();
     grant = admitted.take();
   }
@@ -460,6 +475,7 @@ Result<JobStats> Cluster::ExecuteJob(const JobSpec& job) {
         // backpressure) carries the right query id.
         journal::ScopedQueryId task_query_scope(query_id);
         span->start_ms = since_start_ms();
+        uint64_t cpu_start_us = ThreadCpuUs();
         RoutingEmitter emitter(span->instance, span->node, std::move(routes),
                                span, budget);
         std::unique_ptr<OperatorInstance> instance = factory(span->instance);
@@ -478,6 +494,9 @@ Result<JobStats> Cluster::ExecuteJob(const JobSpec& job) {
           std::lock_guard<std::mutex> lock(status_mu);
           if (first_failure.ok()) first_failure = st;
         }
+        // Same thread that ran the instance, so the thread-CPU delta is
+        // exactly this instance's compute (waits don't accrue CPU).
+        span->cpu_us = ThreadCpuUs() - cpu_start_us;
         span->end_ms = since_start_ms();
       });
     }
@@ -526,6 +545,7 @@ Result<JobStats> Cluster::ExecuteJob(const JobSpec& job) {
         reg.GetCounter("hyracks.spill_bytes");
     static metrics::Counter* spilled_partitions =
         reg.GetCounter("hyracks.spilled_partitions");
+    static metrics::Counter* cpu_us_total = reg.GetCounter("hyracks.cpu_us");
     // Byte-scale bounds: powers of four, 1 KiB .. 1 GiB.
     static metrics::Histogram* build_bytes = [&reg] {
       std::vector<uint64_t> bounds;
@@ -536,13 +556,27 @@ Result<JobStats> Cluster::ExecuteJob(const JobSpec& job) {
     conn_tuples->Inc(stats.connector_tuples);
     net_tuples->Inc(stats.network_tuples);
     job_us->Observe(static_cast<uint64_t>(stats.elapsed_ms * 1000.0));
+    uint64_t job_cpu_us = 0;
+    uint64_t job_bytes_read = 0;
+    uint64_t job_spill_bytes = 0;
     for (const auto& span : profile->spans) {
       if (span.spill_bytes > 0) spill_bytes->Inc(span.spill_bytes);
       if (span.spilled_partitions > 0) {
         spilled_partitions->Inc(span.spilled_partitions);
       }
       if (span.hash_build_bytes > 0) build_bytes->Observe(span.hash_build_bytes);
+      job_cpu_us += span.cpu_us;
+      job_bytes_read += span.bytes_read;
+      job_spill_bytes += span.spill_bytes;
     }
+    cpu_us_total->Inc(job_cpu_us);
+    // Charge the originating query's ledger entry once per job (spans were
+    // joined by RunAll, so these totals are final).
+    auto& led = ledger::ResourceLedger::Default();
+    led.AddCpu(query_id, job_cpu_us);
+    led.AddBytesRead(query_id, job_bytes_read);
+    led.AddSpill(query_id, job_spill_bytes);
+    led.AddBytesWritten(query_id, job_spill_bytes);
   }
 
   // Optional trace sink: one Chrome trace_event file per job.

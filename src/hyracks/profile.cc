@@ -55,6 +55,7 @@ std::vector<OperatorRollup> JobProfile::Rollup() const {
     r.vec_rows_selected += s.vec_rows_selected;
     r.vec_rows_total += s.vec_rows_total;
     r.kernel_us += s.kernel_us;
+    r.cpu_us += s.cpu_us;
     r.elapsed_ms = std::max(r.elapsed_ms, s.elapsed_ms());
   }
   return rollups;
@@ -109,6 +110,7 @@ std::string JobProfile::ToJson() const {
            ", \"batches\": " + std::to_string(r.batches) +
            ", \"selected_ratio\": " + FmtMs(r.selected_ratio()) +
            ", \"kernel_us\": " + std::to_string(r.kernel_us) +
+           ", \"cpu_us\": " + std::to_string(r.cpu_us) +
            ", \"elapsed_ms\": " + FmtMs(r.elapsed_ms) + " }";
   }
   out += " ], \"spans\": [ ";
@@ -134,6 +136,7 @@ std::string JobProfile::ToJson() const {
            ", \"batches\": " + std::to_string(s.batches) +
            ", \"selected_ratio\": " + FmtMs(s.selected_ratio()) +
            ", \"kernel_us\": " + std::to_string(s.kernel_us) +
+           ", \"cpu_us\": " + std::to_string(s.cpu_us) +
            ", \"ok\": " + (s.ok ? "true" : "false") + " }";
   }
   out += " ], \"connectors\": [ ";

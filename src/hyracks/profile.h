@@ -50,6 +50,10 @@ struct OperatorSpan {
   uint64_t vec_rows_total = 0;
   /// Microseconds inside vectorized kernels (filter/aggregate tight loops).
   uint64_t kernel_us = 0;
+  /// Thread CPU time (CLOCK_THREAD_CPUTIME_ID) consumed by this instance's
+  /// Run() — actual compute, as opposed to the wall-clock span, which also
+  /// contains input/output waits.
+  uint64_t cpu_us = 0;
   bool ok = true;
 
   double elapsed_ms() const { return end_ms - start_ms; }
@@ -90,6 +94,7 @@ struct OperatorRollup {
   uint64_t vec_rows_selected = 0;
   uint64_t vec_rows_total = 0;
   uint64_t kernel_us = 0;
+  uint64_t cpu_us = 0;
   double elapsed_ms = 0;  // max instance span (critical-path view)
 
   double selected_ratio() const {

@@ -84,6 +84,7 @@ class AdmissionController {
 
   bool enabled() const { return options_.pool_bytes > 0; }
   uint64_t pool_bytes() const { return options_.pool_bytes; }
+  size_t max_queue() const { return options_.max_queue; }
   uint64_t used_bytes() const;
   size_t queue_depth() const;
 

@@ -1,0 +1,85 @@
+#ifndef ASTERIX_SERVER_WATCHDOG_H_
+#define ASTERIX_SERVER_WATCHDOG_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/timeseries.h"
+
+namespace asterix {
+namespace server {
+
+enum class HealthState : int { kOk = 0, kWarn = 1, kCritical = 2 };
+const char* HealthStateName(HealthState state);
+
+/// One evaluated health condition: a named derived signal (not a raw
+/// metric) with its current state and a human-readable detail string.
+struct HealthCondition {
+  std::string name;
+  HealthState state = HealthState::kOk;
+  std::string detail;
+};
+
+struct WatchdogOptions {
+  /// Trailing window the derived rates are computed over.
+  uint64_t window_us = 5'000'000;
+  /// Backpressure wait accumulated per wall-clock second (us/s) before the
+  /// channel fabric is considered congested / saturated.
+  double backpressure_warn_us_per_s = 100'000.0;
+  double backpressure_critical_us_per_s = 500'000.0;
+  /// Write-stall time accumulated per wall-clock second (us/s).
+  double write_stall_warn_us_per_s = 100'000.0;
+  double write_stall_critical_us_per_s = 500'000.0;
+  /// Admission queue depth as a fraction of max_queue that warns.
+  double admission_queue_warn_fraction = 0.5;
+  /// Memory-pool utilisation fraction that warns.
+  double pool_warn_fraction = 0.85;
+  /// Consecutive saturated evaluations (all workers busy AND tasks queued)
+  /// before executor saturation escalates from warn to critical.
+  int saturation_critical_samples = 10;
+  /// Journal overwrite-drops within the window that escalate to critical.
+  int64_t journal_drop_critical = 1000;
+};
+
+/// Evaluates derived health conditions over the sampler's time-series ring
+/// after every sample: executor-pool saturation, admission queue depth,
+/// sustained channel backpressure, journal overwrite-drops, memory-pool
+/// exhaustion, and LSM write stalls. Each condition resolves to
+/// ok/warn/critical; state *transitions* are posted to the event journal
+/// (EventKind::kHealth, a=new state, b=old state, label=condition) so alert
+/// history survives in the same stream as everything else, and the current
+/// summary is served from StatusJson().
+class HealthWatchdog {
+ public:
+  explicit HealthWatchdog(WatchdogOptions options);
+
+  /// Recomputes every condition from the ring. Called by the sampler's
+  /// observer hook on the sampler thread; safe concurrently with readers.
+  void Evaluate(const monitor::TimeSeriesRing& ring);
+
+  HealthState overall() const;
+  std::vector<HealthCondition> Conditions() const;
+
+  /// `{ "overall": "ok", "conditions": [ { "name": ..., "state": ...,
+  ///    "detail": ... }, ... ] }`.
+  std::string SummaryJson() const;
+
+  /// Total kHealth transitions posted (tests; cheap liveness signal).
+  uint64_t transitions() const;
+
+ private:
+  void SetCondition(size_t idx, HealthState state, std::string detail);
+
+  WatchdogOptions options_;
+  mutable std::mutex mu_;
+  std::vector<HealthCondition> conditions_;
+  int saturated_streak_ = 0;
+  uint64_t transitions_ = 0;
+};
+
+}  // namespace server
+}  // namespace asterix
+
+#endif  // ASTERIX_SERVER_WATCHDOG_H_

@@ -8,6 +8,7 @@
 #include "common/compress.h"
 #include "common/env.h"
 #include "common/journal.h"
+#include "common/ledger.h"
 #include "common/metrics.h"
 #include "common/string_utils.h"
 #include "storage/column/column_component.h"
@@ -22,6 +23,42 @@ uint64_t NowUs() {
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
+}
+
+/// Logical bytes accepted by Upsert/Delete — the write-amplification
+/// denominator (same accounting unit mem_bytes_ uses).
+metrics::Counter* IngestedCounter() {
+  static metrics::Counter* c = metrics::MetricsRegistry::Default().GetCounter(
+      "storage.lsm.bytes_ingested");
+  return c;
+}
+
+/// Write amplification = (flushed + merged) / ingested, published x1000 in a
+/// gauge (the registry holds integers). Recomputed after every flush/merge
+/// from the cumulative counters, so it converges process-wide even with
+/// many trees.
+void UpdateWriteAmplification() {
+  auto& reg = metrics::MetricsRegistry::Default();
+  static metrics::Counter* flushed = reg.GetCounter("storage.lsm.bytes_flushed");
+  static metrics::Counter* merged = reg.GetCounter("storage.lsm.bytes_merged");
+  static metrics::Gauge* amp =
+      reg.GetGauge("storage.lsm.write_amplification_x1000");
+  uint64_t ingested = IngestedCounter()->value();
+  if (ingested == 0) return;
+  amp->Set(static_cast<int64_t>((flushed->value() + merged->value()) * 1000 /
+                                ingested));
+}
+
+/// An ingest write that tripped the memtable budget just paid `stall_us` of
+/// synchronous flush time — the stall is the flush in this design, since
+/// flushes run inline under the tree lock rather than on a background
+/// thread.
+void RecordWriteStall(uint64_t stall_us, const char* tree_name) {
+  static metrics::Histogram* h = metrics::MetricsRegistry::Default().GetHistogram(
+      "storage.lsm.write_stall_us");
+  h->Observe(stall_us);
+  journal::Journal::Default().Post(journal::EventKind::kWriteStall, stall_us, 0,
+                                   tree_name);
 }
 
 // Per-entry payload framing for compressed row components: [codec][bytes],
@@ -279,9 +316,12 @@ Status LsmBTree::Upsert(const CompositeKey& key, std::vector<uint8_t> payload,
   (void)it;
   (void)inserted;
   mem_bytes_ += add;
+  IngestedCounter()->Inc(add);
   mem_max_lsn_ = std::max(mem_max_lsn_, lsn);
   if (mem_bytes_ >= options_.mem_budget_bytes) {
+    uint64_t stall_start_us = NowUs();
     ASTERIX_RETURN_NOT_OK(FlushLocked());
+    RecordWriteStall(NowUs() - stall_start_us, lifecycle_.name().c_str());
   }
   return Status::OK();
 }
@@ -289,10 +329,14 @@ Status LsmBTree::Upsert(const CompositeKey& key, std::vector<uint8_t> payload,
 Status LsmBTree::Delete(const CompositeKey& key, uint64_t lsn) {
   std::unique_lock lock(mu_);
   mem_.insert_or_assign(key, MemEntry{true, {}});
-  mem_bytes_ += key.size() * 16 + 32;
+  size_t add = key.size() * 16 + 32;
+  mem_bytes_ += add;
+  IngestedCounter()->Inc(add);
   mem_max_lsn_ = std::max(mem_max_lsn_, lsn);
   if (mem_bytes_ >= options_.mem_budget_bytes) {
+    uint64_t stall_start_us = NowUs();
     ASTERIX_RETURN_NOT_OK(FlushLocked());
+    RecordWriteStall(NowUs() - stall_start_us, lifecycle_.name().c_str());
   }
   return Status::OK();
 }
@@ -342,7 +386,12 @@ Status LsmBTree::FlushLocked() {
           reg.GetCounter("storage.column.bytes_flushed");
       col_bytes->Inc(flushed_bytes);
     }
+    UpdateWriteAmplification();
   }
+  // Physical write caused by the query whose ingest tripped the flush (0 =
+  // background/boot work, which the ledger ignores).
+  ledger::ResourceLedger::Default().AddBytesWritten(journal::CurrentQueryId(),
+                                                    flushed_bytes);
   journal::Journal::Default().Post(journal::EventKind::kLsmFlushEnd, bytes_in,
                                    flushed_bytes, lifecycle_.name().c_str());
   return MaybeMergeLockedImpl();
@@ -420,7 +469,10 @@ Status LsmBTree::MergeComponents(size_t first, size_t count) {
           reg.GetCounter("storage.column.bytes_merged");
       col_bytes->Inc(info.bytes);
     }
+    UpdateWriteAmplification();
   }
+  ledger::ResourceLedger::Default().AddBytesWritten(journal::CurrentQueryId(),
+                                                    info.bytes);
   journal::Journal::Default().Post(journal::EventKind::kLsmMergeEnd, bytes_in,
                                    info.bytes, lifecycle_.name().c_str());
   return Status::OK();
@@ -640,6 +692,7 @@ Status LsmBTree::ProjectedScan(const ScanBounds& bounds,
       ProjRow row;
       row.key = key;
       row.antimatter = entry.antimatter;
+      if (stats != nullptr) stats->bytes_read += entry.payload.size();
       if (!entry.antimatter) {
         BytesReader r(entry.payload);
         adm::Value rec;

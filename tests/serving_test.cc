@@ -79,14 +79,16 @@ TEST(AdmissionTest, FifoOrderAcrossWaiters) {
   // order is not what we are testing.
   while (ctl.queue_depth() < 1) std::this_thread::yield();
   std::thread small([&] {
-    auto g = ctl.Acquire(50);
+    auto g = ctl.Acquire(200);
     ASSERT_TRUE(g.ok());
     small_rank = order++;
   });
   while (ctl.queue_depth() < 2) std::this_thread::yield();
 
-  // Strict FIFO: even though 50 bytes would fit alongside nothing, the
-  // 900-byte head-of-line job is served first once the pool frees up.
+  // Strict FIFO: once the pool frees up, the 900-byte head-of-line job is
+  // served first (a smallest-first controller would grant 200 immediately).
+  // 900 + 200 > pool, so the small grant can only happen after the big
+  // thread finishes and releases — the ranks cannot race.
   first.value().Release();
   big.join();
   small.join();

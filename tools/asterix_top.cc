@@ -1,0 +1,152 @@
+// asterix_top: a `top`-style console view of a live AsterixInstance. Boots
+// an embedded instance, seeds a dataset, runs a handful of background
+// clients through Serve(), and every refresh prints what the continuous-
+// monitoring subsystem sees: overall health and per-condition states,
+// windowed per-second rates from the sampler ring, executor-pool occupancy,
+// top queries by CPU, and the cumulative per-client resource table.
+//
+//   ./tools/asterix_top               # 10 refreshes, 1s apart
+//   ASTERIX_TOP_ITERS=30 ./tools/asterix_top
+//
+// The point of the tool is the read side: everything printed comes straight
+// from the sampler/watchdog/ledger handles — the same data StatusJson()
+// serves — demonstrating trend watching without parsing JSON.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/asterix.h"
+#include "common/env.h"
+#include "common/ledger.h"
+
+namespace {
+
+using namespace asterix;
+
+int64_t EnvInt(const char* name, int64_t fallback) {
+  if (const char* v = std::getenv(name)) return atoll(v);
+  return fallback;
+}
+
+int Main() {
+  const int iters = static_cast<int>(EnvInt("ASTERIX_TOP_ITERS", 10));
+  const int clients = static_cast<int>(EnvInt("ASTERIX_TOP_CLIENTS", 4));
+
+  std::string dir = env::NewScratchDir("asterix-top");
+  api::InstanceConfig config;
+  config.base_dir = dir;
+  config.cluster.job_startup_us = 0;
+  config.cluster.cluster_memory_pool_bytes = 32ull << 20;
+  config.monitor_interval_ms = 100;
+  api::AsterixInstance db(config);
+  if (!db.Boot().ok()) return 1;
+  auto ddl = db.Execute(R"aql(
+create dataverse Top; use dataverse Top;
+create type T as { id: int64, v: int64, grp: int64 }
+create dataset D(T) primary key id;
+)aql");
+  if (!ddl.ok()) {
+    std::fprintf(stderr, "ddl: %s\n", ddl.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<adm::Value> rows;
+  for (int64_t i = 0; i < 4000; ++i) {
+    rows.push_back(adm::RecordBuilder()
+                       .Add("id", adm::Value::Int64(i))
+                       .Add("v", adm::Value::Int64(i % 97))
+                       .Add("grp", adm::Value::Int64(i % 10))
+                       .Build());
+  }
+  if (!db.FindDataset("Top.D")->LoadBulk(rows).ok()) return 1;
+
+  const std::vector<std::string> reads = {
+      "count(for $d in dataset Top.D return $d)",
+      "for $d in dataset Top.D where $d.grp = 3 return $d.v",
+      "count(for $d in dataset Top.D where $d.v < 10 return $d)",
+  };
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> load;
+  for (int c = 0; c < clients; ++c) {
+    load.emplace_back([&, c] {
+      api::ServeOptions opts;
+      opts.client_id = "top-client-" + std::to_string(c);
+      uint64_t rng = 0x9E3779B97F4A7C15ull * static_cast<uint64_t>(c + 1);
+      uint64_t seq = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+        if ((rng >> 33) % 4 == 0) {
+          int64_t id = 100000 + static_cast<int64_t>(c) * 100000 +
+                       static_cast<int64_t>(seq++);
+          (void)db.Serve("insert into dataset Top.D ([{ \"id\": " +
+                             std::to_string(id) + ", \"v\": 1, \"grp\": 1 }]);",
+                         opts);
+        } else {
+          (void)db.Serve(reads[(rng >> 40) % reads.size()], opts);
+        }
+      }
+    });
+  }
+
+  const uint64_t window_us = 3'000'000;
+  for (int it = 0; it < iters; ++it) {
+    std::this_thread::sleep_for(std::chrono::seconds(1));
+    const monitor::TimeSeriesRing& ring = db.sampler()->ring();
+
+    std::printf("\n=== asterix_top (refresh %d/%d) ===\n", it + 1, iters);
+    std::printf("health: %s\n",
+                server::HealthStateName(db.watchdog()->overall()));
+    for (const auto& c : db.watchdog()->Conditions()) {
+      if (c.state == server::HealthState::kOk) continue;
+      std::printf("  [%s] %s: %s\n", server::HealthStateName(c.state),
+                  c.name.c_str(), c.detail.c_str());
+    }
+    std::printf("rates (last %.1fs): %.0f q/s, %.0f jobs/s, "
+                "%.0f Ktuples/s, cpu %.0f ms/s, cache hits %.0f/s\n",
+                static_cast<double>(ring.CoveredWindowUs(window_us)) / 1e6,
+                ring.WindowedRate("api.queries", window_us),
+                ring.WindowedRate("hyracks.jobs", window_us),
+                ring.WindowedRate("hyracks.connector_tuples", window_us) / 1e3,
+                ring.WindowedRate("hyracks.cpu_us", window_us) / 1e3,
+                ring.WindowedRate("server.cache.hits", window_us));
+    std::printf("pool: %lld/%lld busy, %lld queued\n",
+                static_cast<long long>(ring.LatestValue(
+                    "hyracks.pool.busy_threads")),
+                static_cast<long long>(ring.LatestValue(
+                    "hyracks.pool_threads")),
+                static_cast<long long>(ring.LatestValue(
+                    "hyracks.pool.queued_tasks")));
+
+    std::printf("top queries by cpu:\n");
+    for (const auto& q : ledger::ResourceLedger::Default().TopByCpu(3)) {
+      std::printf("  #%llu [%s] cpu=%lluus bytes=%llu %s%.48s\n",
+                  static_cast<unsigned long long>(q.query_id),
+                  q.client.c_str(),
+                  static_cast<unsigned long long>(q.cpu_us),
+                  static_cast<unsigned long long>(q.total_bytes()),
+                  q.finished ? "" : "(live) ", q.statement.c_str());
+    }
+    std::printf("clients:\n");
+    for (const auto& c : ledger::ResourceLedger::Default().Clients()) {
+      std::printf("  %-16s q=%llu hits=%llu coalesced=%llu cpu=%llums\n",
+                  c.client.c_str(),
+                  static_cast<unsigned long long>(c.queries),
+                  static_cast<unsigned long long>(c.cache_hits),
+                  static_cast<unsigned long long>(c.coalesced),
+                  static_cast<unsigned long long>(c.cpu_us / 1000));
+    }
+  }
+
+  stop = true;
+  for (auto& t : load) t.join();
+  env::RemoveAll(dir);
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Main(); }
