@@ -340,6 +340,21 @@ Status AsterixInstance::Boot() {
         "storage.column.bytes_flushed", "storage.column.bytes_merged"}) {
     reg.GetCounter(name);
   }
+  // Background compaction pool, created before any LSM tree exists and
+  // wired into the LsmOptions every index (metadata catalogs included) is
+  // constructed with. ASTERIX_INGEST_SYNC=1 forces the pre-PR-10 fully
+  // synchronous maintenance (the bench_ingest A/B baseline).
+  const char* sync_env = std::getenv("ASTERIX_INGEST_SYNC");
+  bool sync_forced = sync_env != nullptr && sync_env[0] == '1';
+  if (config_.async_compaction && !sync_forced) {
+    storage::CompactionScheduler::Options copts;
+    copts.threads = config_.cluster.compaction_threads;
+    copts.queue_limit = config_.cluster.compaction_queue_limit;
+    compaction_ = std::make_unique<storage::CompactionScheduler>(copts);
+    config_.lsm.scheduler = compaction_.get();
+  } else {
+    config_.lsm.scheduler = nullptr;
+  }
   cache_ = std::make_unique<storage::BufferCache>(1u << 16);
   txns_ = std::make_unique<txn::TxnManager>(config_.base_dir + "/wal.log",
                                             config_.lock_timeout_ms,
@@ -400,6 +415,16 @@ Status AsterixInstance::Boot() {
       static metrics::Gauge* posted = reg.GetGauge("journal.posted");
       drops->Set(static_cast<int64_t>(j.overwrite_drops()));
       posted->Set(static_cast<int64_t>(j.posted()));
+      // Compaction backlog: scheduler-authoritative queue/running depth at
+      // sample time (the gauges the watchdog's backlog condition reads).
+      if (compaction_) {
+        static metrics::Gauge* cq =
+            reg.GetGauge("storage.compaction.queued");
+        static metrics::Gauge* cr =
+            reg.GetGauge("storage.compaction.running");
+        cq->Set(static_cast<int64_t>(compaction_->queued()));
+        cr->Set(static_cast<int64_t>(compaction_->running()));
+      }
     });
     sampler_->SetObserver([this](const monitor::TimeSeriesRing& ring) {
       watchdog_->Evaluate(ring);
@@ -798,6 +823,11 @@ std::string AsterixInstance::StatusJson() {
   }
   out += " }, ";
 
+  out += "\"compaction\": " +
+         (compaction_ ? compaction_->StatsJson()
+                      : std::string("{ \"enabled\": false }")) +
+         ", ";
+
   out += "\"server\": { \"admission\": " + cluster_->admission().StatsJson() +
          ", \"result_cache\": " +
          (result_cache_ ? result_cache_->StatsJson() : std::string("null")) +
@@ -1037,6 +1067,15 @@ Status AsterixInstance::ExecuteDdl(const aql::Statement& st) {
                 "compression must be \"none\" or \"lz\", got \"" + value +
                 "\"");
           }
+        } else if (key == "merge-policy") {
+          storage::MergePolicy policy;
+          if (!storage::MergePolicyFromName(value, &policy)) {
+            return Status::InvalidArgument(
+                "merge-policy must be \"none\", \"constant\", \"prefix\" or "
+                "\"tiered\", got \"" +
+                value + "\"");
+          }
+          def.merge_policy = value;
         } else {
           return Status::InvalidArgument("unknown dataset option \"" + key +
                                          "\"");

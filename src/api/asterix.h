@@ -53,6 +53,14 @@ struct InstanceConfig {
   size_t monitor_ring_samples = 600;
   /// WatchdogOptions thresholds for the health conditions.
   server::WatchdogOptions watchdog;
+  /// Background LSM maintenance: when true (the default), Boot() creates a
+  /// shared compaction scheduler (ClusterConfig::compaction_threads) and
+  /// every index flushes/merges off the ingest path — writers rotate to a
+  /// fresh memtable instead of paying the flush inline. Set false (or
+  /// export ASTERIX_INGEST_SYNC=1) to restore fully synchronous
+  /// maintenance: flushes stall the writer, as before PR 10 — the A/B knob
+  /// bench_ingest compares against.
+  bool async_compaction = true;
 };
 
 /// Result of executing an AQL script: the last query statement's values
@@ -172,6 +180,10 @@ class AsterixInstance {
   monitor::MetricsSampler* sampler() { return sampler_.get(); }
   server::HealthWatchdog* watchdog() { return watchdog_.get(); }
 
+  /// Background compaction scheduler (null when async_compaction is false
+  /// or ASTERIX_INGEST_SYNC=1 forced inline maintenance at boot).
+  storage::CompactionScheduler* compaction() { return compaction_.get(); }
+
   /// Where slow queries are logged (one JSON line per over-threshold query;
   /// see ClusterConfig::slow_query_us).
   std::string SlowQueryLogPath() const;
@@ -238,6 +250,11 @@ class AsterixInstance {
                      const std::function<Status(const adm::Value&)>& cb);
 
   InstanceConfig config_;
+  /// Background compaction pool shared by every LSM index in the instance
+  /// (datasets and metadata catalogs alike). Declared before cache_ and the
+  /// dataset map so it is destroyed LAST: trees detach from it in their
+  /// destructors, so the workers must outlive every tree.
+  std::unique_ptr<storage::CompactionScheduler> compaction_;
   std::unique_ptr<storage::BufferCache> cache_;
   std::unique_ptr<txn::TxnManager> txns_;
   std::unique_ptr<hyracks::Cluster> cluster_;

@@ -52,6 +52,12 @@ const char* EventKindName(EventKind kind) {
       return "lsm.write.stall";
     case EventKind::kHealth:
       return "health.transition";
+    case EventKind::kCompactionSchedule:
+      return "compaction.schedule";
+    case EventKind::kCompactionStart:
+      return "compaction.start";
+    case EventKind::kCompactionFinish:
+      return "compaction.finish";
   }
   return "unknown";
 }

@@ -38,6 +38,9 @@ enum class EventKind : uint8_t {
   kRateLimit,
   kWriteStall,
   kHealth,
+  kCompactionSchedule,
+  kCompactionStart,
+  kCompactionFinish,
 };
 
 const char* EventKindName(EventKind kind);

@@ -1,5 +1,7 @@
 #include "feeds/feeds.h"
 
+#include <chrono>
+
 #include "adm/adm_parser.h"
 #include "common/env.h"
 #include "common/metrics.h"
@@ -127,6 +129,7 @@ FeedStats FeedConnection::stats() {
   snapshot.ingested = ingested_.load(std::memory_order_relaxed);
   snapshot.stored = stored_.load(std::memory_order_relaxed);
   snapshot.failed = failed_.load(std::memory_order_relaxed);
+  snapshot.store_us = store_us_.load(std::memory_order_relaxed);
   return snapshot;
 }
 
@@ -147,6 +150,7 @@ void FeedConnection::Run() {
   static metrics::Counter* g_ingested = reg.GetCounter("feeds.ingested");
   static metrics::Counter* g_stored = reg.GetCounter("feeds.stored");
   static metrics::Counter* g_failed = reg.GetCounter("feeds.failed");
+  static metrics::Histogram* g_store_us = reg.GetHistogram("feeds.store_us");
 
   while (true) {
     Value record;
@@ -169,7 +173,14 @@ void FeedConnection::Run() {
     // Store stage: transactional insert into the target dataset (a feed
     // need not have a target when it only feeds other feeds).
     if (target_) {
+      auto store_start = std::chrono::steady_clock::now();
       Status st = target_->Insert(record);
+      uint64_t us = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - store_start)
+              .count());
+      store_us_.fetch_add(us, std::memory_order_relaxed);
+      g_store_us->Observe(us);
       if (st.ok()) {
         stored_.fetch_add(1, std::memory_order_relaxed);
         g_stored->Inc();

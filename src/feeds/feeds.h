@@ -97,6 +97,11 @@ struct FeedStats {
   uint64_t ingested = 0;  // records taken in by the intake stage
   uint64_t stored = 0;    // records persisted by the store stage
   uint64_t failed = 0;    // records rejected (type errors, duplicates)
+  /// Wall time the store stage spent inside Insert(), cumulative. With
+  /// background compaction this is the feed's view of ingest latency: write
+  /// stalls and inline flush fallbacks land here (also exported as the
+  /// "feeds.store_us" histogram).
+  uint64_t store_us = 0;
 };
 
 /// One running ingestion pipeline: intake -> compute -> store, on a
@@ -129,6 +134,7 @@ class FeedConnection {
   std::atomic<uint64_t> ingested_{0};
   std::atomic<uint64_t> stored_{0};
   std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> store_us_{0};
   // Secondary feeds receive through this queue instead of an adaptor.
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;

@@ -72,6 +72,12 @@ struct ClusterConfig {
   size_t admission_queue_limit = 64;
   /// Max milliseconds a job waits in the admission queue.
   uint64_t admission_timeout_ms = 10000;
+  /// Background LSM compaction worker threads shared by every index on the
+  /// node (flushes and merges off the ingest path). 0 = 2.
+  size_t compaction_threads = 0;
+  /// Max flush+merge jobs queued for the compaction pool; writers whose
+  /// Schedule() is rejected fall back to an inline synchronous flush.
+  size_t compaction_queue_limit = 64;
 };
 
 /// Post-execution statistics used by benches and tests.

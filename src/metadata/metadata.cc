@@ -354,6 +354,7 @@ Status MetadataManager::RegisterDataset(const DatasetDef& def,
                                  ? "column"
                                  : "row"))
           .Add("Compressed", Value::Boolean(def.compress))
+          .Add("MergePolicy", Value::String(def.merge_policy))
           .Build()));
   for (const auto& ix : def.secondary_indexes) {
     ASTERIX_RETURN_NOT_OK(
@@ -447,6 +448,9 @@ MetadataManager::ListInternalDatasets() {
                              : storage::StorageFormat::kRow;
     const Value& comp = rec.GetField("Compressed");
     def.compress = !comp.IsUnknown() && comp.AsBoolean();
+    // Tolerant of records written before per-dataset merge policies.
+    const Value& mp = rec.GetField("MergePolicy");
+    if (!mp.IsUnknown()) def.merge_policy = mp.AsString();
     std::string type_name = rec.GetField("DatatypeName").AsString();
     auto type_r = GetDatatype(def.dataverse, type_name);
     if (!type_r.ok()) return type_r.status();

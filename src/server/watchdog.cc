@@ -18,7 +18,8 @@ constexpr size_t kBackpressure = 2;
 constexpr size_t kJournalDrops = 3;
 constexpr size_t kMemoryPool = 4;
 constexpr size_t kWriteStall = 5;
-constexpr size_t kNumConditions = 6;
+constexpr size_t kCompactionBacklog = 6;
+constexpr size_t kNumConditions = 7;
 
 const char* ConditionName(size_t idx) {
   switch (idx) {
@@ -34,6 +35,8 @@ const char* ConditionName(size_t idx) {
       return "memory_pool";
     case kWriteStall:
       return "write_stall";
+    case kCompactionBacklog:
+      return "compaction_backlog";
   }
   return "unknown";
 }
@@ -202,6 +205,26 @@ void HealthWatchdog::Evaluate(const monitor::TimeSeriesRing& ring) {
     }
     SetCondition(kWriteStall, s,
                  FormatRate(rate) + " write-stall us/s in window");
+  }
+
+  // Compaction backlog: flush/merge jobs queued behind the background
+  // worker pool. A spike is normal (warn); a sustained backlog means
+  // maintenance can't keep up with ingest (critical) and write
+  // amplification is about to climb.
+  {
+    int64_t queued = value("storage.compaction.queued");
+    int64_t running = value("storage.compaction.running");
+    bool backlogged = queued >= options_.compaction_backlog_warn_depth;
+    backlog_streak_ = backlogged ? backlog_streak_ + 1 : 0;
+    HealthState s = HealthState::kOk;
+    if (backlogged) {
+      s = backlog_streak_ >= options_.compaction_backlog_critical_samples
+              ? HealthState::kCritical
+              : HealthState::kWarn;
+    }
+    SetCondition(kCompactionBacklog, s,
+                 std::to_string(queued) + " jobs queued, " +
+                     std::to_string(running) + " running");
   }
 
   HealthState overall = HealthState::kOk;

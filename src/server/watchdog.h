@@ -41,6 +41,11 @@ struct WatchdogOptions {
   int saturation_critical_samples = 10;
   /// Journal overwrite-drops within the window that escalate to critical.
   int64_t journal_drop_critical = 1000;
+  /// Compaction jobs queued behind the background worker pool before the
+  /// backlog warns; a sustained streak at/above the threshold escalates to
+  /// critical (merges falling behind ingest — write amp about to climb).
+  int64_t compaction_backlog_warn_depth = 8;
+  int compaction_backlog_critical_samples = 10;
 };
 
 /// Evaluates derived health conditions over the sampler's time-series ring
@@ -76,6 +81,7 @@ class HealthWatchdog {
   mutable std::mutex mu_;
   std::vector<HealthCondition> conditions_;
   int saturated_streak_ = 0;
+  int backlog_streak_ = 0;
   uint64_t transitions_ = 0;
 };
 

@@ -1,0 +1,288 @@
+#include "storage/compaction.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/journal.h"
+#include "common/metrics.h"
+
+namespace asterix {
+namespace storage {
+
+namespace {
+
+uint64_t NowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+metrics::Gauge* QueuedGauge() {
+  static metrics::Gauge* g =
+      metrics::MetricsRegistry::Default().GetGauge("storage.compaction.queued");
+  return g;
+}
+
+metrics::Gauge* RunningGauge() {
+  static metrics::Gauge* g = metrics::MetricsRegistry::Default().GetGauge(
+      "storage.compaction.running");
+  return g;
+}
+
+/// Time a job spent queued before a worker picked it up — the backlog
+/// signal: growing waits mean the pool is undersized for the ingest rate.
+metrics::Histogram* WaitHistogram(CompactionJobKind kind) {
+  auto& reg = metrics::MetricsRegistry::Default();
+  static metrics::Histogram* flush_wait =
+      reg.GetHistogram("storage.compaction.flush_wait_us");
+  static metrics::Histogram* merge_wait =
+      reg.GetHistogram("storage.compaction.merge_wait_us");
+  return kind == CompactionJobKind::kFlush ? flush_wait : merge_wait;
+}
+
+}  // namespace
+
+const char* CompactionJobKindName(CompactionJobKind kind) {
+  return kind == CompactionJobKind::kFlush ? "flush" : "merge";
+}
+
+CompactionScheduler::CompactionScheduler(Options options) : options_(options) {
+  if (options_.threads == 0) options_.threads = 2;
+  if (options_.queue_limit == 0) options_.queue_limit = 64;
+  workers_.reserve(options_.threads);
+  for (size_t i = 0; i < options_.threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+CompactionScheduler::~CompactionScheduler() { Stop(); }
+
+bool CompactionScheduler::Schedule(Compactable* tree, CompactionJobKind kind) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stopped_) return false;
+  TreeState& ts = trees_[tree];
+  if (ts.released) return false;
+  bool& queued_flag =
+      kind == CompactionJobKind::kFlush ? ts.queued_flush : ts.queued_merge;
+  if (queued_flag) {
+    ++coalesced_;
+    return true;  // the queued job will re-evaluate the trigger
+  }
+  if (flush_queue_.size() + merge_queue_.size() >= options_.queue_limit) {
+    ++rejected_;
+    return false;
+  }
+  Job job;
+  job.tree = tree;
+  job.kind = kind;
+  job.query_id = journal::CurrentQueryId();
+  job.enqueue_us = NowUs();
+  (kind == CompactionJobKind::kFlush ? flush_queue_ : merge_queue_)
+      .push_back(job);
+  queued_flag = true;
+  ++scheduled_;
+  UpdateGaugesLocked();
+  journal::Journal::Default().Post(
+      journal::EventKind::kCompactionSchedule, static_cast<uint64_t>(kind),
+      flush_queue_.size() + merge_queue_.size(),
+      tree->compaction_label().c_str());
+  cv_work_.notify_one();
+  return true;
+}
+
+bool CompactionScheduler::HasRunnableLocked() const {
+  const size_t merge_cap = options_.threads > 1 ? options_.threads - 1 : 1;
+  for (const Job& j : flush_queue_) {
+    auto it = trees_.find(j.tree);
+    if (it == trees_.end() || !it->second.running_flush) return true;
+  }
+  if (running_merge_count_ >= merge_cap) return false;
+  for (const Job& j : merge_queue_) {
+    auto it = trees_.find(j.tree);
+    if (it == trees_.end() || !it->second.running_merge) return true;
+  }
+  return false;
+}
+
+bool CompactionScheduler::PopRunnableLocked(Job* out) {
+  // Per tree: at most one flush and at most one merge at a time; a flush
+  // and a merge on the same tree may run concurrently. Flushes first, and
+  // merges leave one worker free for them (see class comment).
+  for (auto it = flush_queue_.begin(); it != flush_queue_.end(); ++it) {
+    TreeState& ts = trees_[it->tree];
+    if (ts.running_flush) continue;
+    *out = *it;
+    flush_queue_.erase(it);
+    ts.queued_flush = false;
+    ts.running_flush = true;
+    ++running_count_;
+    UpdateGaugesLocked();
+    return true;
+  }
+  const size_t merge_cap = options_.threads > 1 ? options_.threads - 1 : 1;
+  if (running_merge_count_ >= merge_cap) return false;
+  for (auto it = merge_queue_.begin(); it != merge_queue_.end(); ++it) {
+    TreeState& ts = trees_[it->tree];
+    if (ts.running_merge) continue;
+    *out = *it;
+    merge_queue_.erase(it);
+    ts.queued_merge = false;
+    ts.running_merge = true;
+    ++running_count_;
+    ++running_merge_count_;
+    UpdateGaugesLocked();
+    return true;
+  }
+  return false;
+}
+
+void CompactionScheduler::UpdateGaugesLocked() {
+  QueuedGauge()->Set(
+      static_cast<int64_t>(flush_queue_.size() + merge_queue_.size()));
+  RunningGauge()->Set(static_cast<int64_t>(running_count_));
+}
+
+void CompactionScheduler::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_work_.wait(lock, [this] { return stopped_ || HasRunnableLocked(); });
+    if (stopped_) return;
+    Job job;
+    if (!PopRunnableLocked(&job)) continue;
+    lock.unlock();
+
+    uint64_t wait_us = NowUs() - job.enqueue_us;
+    WaitHistogram(job.kind)->Observe(wait_us);
+    uint64_t start_us = NowUs();
+    Status st;
+    {
+      // Journal events and ledger writes inside the job stay attributed to
+      // the query whose ingest triggered the rotation/merge.
+      journal::ScopedQueryId qid(job.query_id);
+      journal::Journal::Default().Post(journal::EventKind::kCompactionStart,
+                                       static_cast<uint64_t>(job.kind), wait_us,
+                                       job.tree->compaction_label().c_str());
+      st = job.kind == CompactionJobKind::kFlush ? job.tree->BackgroundFlush()
+                                                 : job.tree->BackgroundMerge();
+      journal::Journal::Default().Post(
+          journal::EventKind::kCompactionFinish, static_cast<uint64_t>(job.kind),
+          NowUs() - start_us, job.tree->compaction_label().c_str());
+    }
+
+    lock.lock();
+    // Any follow-up Schedule() the job body issued is already queued, so a
+    // Quiesce() waiter woken here still sees the tree as busy if more work
+    // is coming.
+    TreeState& ts = trees_[job.tree];
+    if (job.kind == CompactionJobKind::kFlush) {
+      ts.running_flush = false;
+    } else {
+      ts.running_merge = false;
+      --running_merge_count_;
+    }
+    --running_count_;
+    ++completed_;
+    if (!st.ok()) ++failed_;
+    UpdateGaugesLocked();
+    cv_idle_.notify_all();
+    cv_work_.notify_all();  // queued same-tree jobs are now runnable
+  }
+}
+
+void CompactionScheduler::Quiesce(Compactable* tree) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_idle_.wait(lock, [&] {
+    auto it = trees_.find(tree);
+    if (it == trees_.end()) return true;
+    const TreeState& ts = it->second;
+    return !ts.queued_flush && !ts.queued_merge && !ts.running_flush &&
+           !ts.running_merge;
+  });
+}
+
+void CompactionScheduler::Release(Compactable* tree) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = trees_.find(tree);
+  if (it == trees_.end()) return;
+  it->second.released = true;
+  for (auto* q : {&flush_queue_, &merge_queue_}) {
+    q->erase(std::remove_if(q->begin(), q->end(),
+                            [&](const Job& j) { return j.tree == tree; }),
+             q->end());
+  }
+  it->second.queued_flush = false;
+  it->second.queued_merge = false;
+  UpdateGaugesLocked();
+  cv_idle_.wait(lock, [&] {
+    const TreeState& ts = trees_[tree];
+    return !ts.running_flush && !ts.running_merge;
+  });
+  trees_.erase(tree);
+}
+
+void CompactionScheduler::Stop() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    // Dropped queued jobs are safe: unflushed data is covered by the WAL
+    // (crash semantics), and merges are pure optimizations.
+    flush_queue_.clear();
+    merge_queue_.clear();
+    for (auto& [tree, ts] : trees_) {
+      ts.queued_flush = false;
+      ts.queued_merge = false;
+    }
+    UpdateGaugesLocked();
+    cv_work_.notify_all();
+  }
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  cv_idle_.notify_all();
+}
+
+size_t CompactionScheduler::queued() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return flush_queue_.size() + merge_queue_.size();
+}
+
+size_t CompactionScheduler::running() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return running_count_;
+}
+
+CompactionScheduler::StatsSnapshot CompactionScheduler::Stats() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  StatsSnapshot s;
+  s.queued_flush = flush_queue_.size();
+  s.queued_merge = merge_queue_.size();
+  s.running = running_count_;
+  s.scheduled = scheduled_;
+  s.coalesced = coalesced_;
+  s.rejected = rejected_;
+  s.completed = completed_;
+  s.failed = failed_;
+  return s;
+}
+
+std::string CompactionScheduler::StatsJson() const {
+  StatsSnapshot s = Stats();
+  std::string out = "{ \"enabled\": true";
+  out += ", \"threads\": " + std::to_string(options_.threads);
+  out += ", \"queue_limit\": " + std::to_string(options_.queue_limit);
+  out += ", \"queued_flush\": " + std::to_string(s.queued_flush);
+  out += ", \"queued_merge\": " + std::to_string(s.queued_merge);
+  out += ", \"running\": " + std::to_string(s.running);
+  out += ", \"scheduled\": " + std::to_string(s.scheduled);
+  out += ", \"coalesced\": " + std::to_string(s.coalesced);
+  out += ", \"rejected\": " + std::to_string(s.rejected);
+  out += ", \"completed\": " + std::to_string(s.completed);
+  out += ", \"failed\": " + std::to_string(s.failed);
+  out += " }";
+  return out;
+}
+
+}  // namespace storage
+}  // namespace asterix

@@ -70,6 +70,16 @@ DatasetPartition::DatasetPartition(BufferCache* cache, std::string dir,
       txns_(txns),
       options_(options) {
   env::CreateDirs(dir_);
+  // A per-dataset merge policy (with {"merge-policy": ...}) overrides the
+  // instance default for the primary AND every secondary — the dataset's
+  // ingest profile is what the policy is tuned for, and all its indexes see
+  // the same write stream.
+  if (!def_.merge_policy.empty()) {
+    MergePolicy policy;
+    if (MergePolicyFromName(def_.merge_policy, &policy)) {
+      options_.merge_policy = policy;
+    }
+  }
   // The primary tree carries the dataset's storage format, compression
   // flag, and record type; secondaries stay row-major (options_ as given —
   // their entries are composite keys, not wide records).

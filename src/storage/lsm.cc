@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <queue>
+#include <thread>
 
 #include "adm/serde.h"
 #include "common/compress.h"
@@ -49,10 +50,21 @@ void UpdateWriteAmplification() {
                                 ingested));
 }
 
-/// An ingest write that tripped the memtable budget just paid `stall_us` of
-/// synchronous flush time — the stall is the flush in this design, since
-/// flushes run inline under the tree lock rather than on a background
-/// thread.
+/// Soft-throttle curve: an ingest write that trips the budget while the
+/// previous rotation is still flushing pays an escalating delay instead of
+/// doing the flush itself — 50us doubling per consecutive throttled write,
+/// capped at 2ms. The cap is deliberately far below a flush's own cost:
+/// the throttle only has to slow refill enough that the hard ceiling
+/// (2x budget) is not hit before the background flush drains; pushing it
+/// higher just moves the sync design's latency cliff into the async tail.
+constexpr uint64_t kThrottleBaseUs = 50;
+constexpr uint64_t kThrottleMaxUs = 2'000;
+constexpr uint32_t kThrottleMaxLevel = 8;
+
+/// Every stalled or throttled ingest write goes through here, whatever the
+/// mechanism (inline flush in sync mode, soft throttle delay, or a
+/// hard-ceiling block in async mode) — one accounting path, so the numbers
+/// in `storage.lsm.write_stall_us` and the journal can't drift.
 void RecordWriteStall(uint64_t stall_us, const char* tree_name) {
   static metrics::Histogram* h = metrics::MetricsRegistry::Default().GetHistogram(
       "storage.lsm.write_stall_us");
@@ -161,6 +173,35 @@ class RowComponentReader : public DiskComponentReader {
 
 }  // namespace
 
+bool MergePolicyFromName(const std::string& name, MergePolicy* out) {
+  if (name == "none") {
+    *out = MergePolicy::None();
+  } else if (name == "constant") {
+    *out = MergePolicy::Constant(5);
+  } else if (name == "prefix") {
+    *out = MergePolicy::Prefix(5, 256ull << 20);
+  } else if (name == "tiered") {
+    *out = MergePolicy::Tiered(5, 120);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* MergePolicyName(MergePolicy::Kind kind) {
+  switch (kind) {
+    case MergePolicy::Kind::kNone:
+      return "none";
+    case MergePolicy::Kind::kConstant:
+      return "constant";
+    case MergePolicy::Kind::kPrefix:
+      return "prefix";
+    case MergePolicy::Kind::kTiered:
+      return "tiered";
+  }
+  return "constant";
+}
+
 // ---------------------------------------------------------------------------
 // LsmLifecycle
 // ---------------------------------------------------------------------------
@@ -182,15 +223,21 @@ std::string LsmLifecycle::MarkerPath(uint64_t seq) const {
 uint64_t LsmLifecycle::AllocateSeq() { return next_seq_++; }
 
 Status LsmLifecycle::MarkValid(uint64_t seq, uint64_t num_entries,
-                               uint64_t max_lsn) {
+                               uint64_t max_lsn, uint64_t sort_seq,
+                               uint64_t replaces_lo, uint64_t replaces_hi) {
   BytesWriter w;
   w.PutU64(num_entries);
   w.PutU64(max_lsn);
+  w.PutU64(sort_seq == 0 ? seq : sort_seq);
+  w.PutU64(replaces_lo);
+  w.PutU64(replaces_hi);
   return env::WriteFileAtomic(MarkerPath(seq), w.data().data(), w.size());
 }
 
 Status LsmLifecycle::RemoveComponent(const ComponentInfo& info) {
-  ASTERIX_RETURN_NOT_OK(env::RemoveFile(MarkerPath(info.seq)));
+  // The marker sits next to the data file; derive it from the path rather
+  // than info.seq — a merge output's sort seq differs from its file name.
+  ASTERIX_RETURN_NOT_OK(env::RemoveFile(info.path + ".valid"));
   return env::RemoveFile(info.path);
 }
 
@@ -199,6 +246,12 @@ Result<std::vector<ComponentInfo>> LsmLifecycle::Recover() {
   ASTERIX_RETURN_NOT_OK(env::ListDir(dir_, &names));
   std::string prefix = name_ + ".c";
   std::vector<ComponentInfo> components;
+  struct ReplaceRange {
+    uint64_t lo = 0;
+    uint64_t hi = 0;
+    std::string path;  // the declaring output's data file
+  };
+  std::vector<ReplaceRange> replaces;
   for (const auto& fname : names) {
     if (!StartsWith(fname, prefix)) continue;
     if (fname.size() < prefix.size() + 12) continue;
@@ -225,8 +278,33 @@ Result<std::vector<ComponentInfo>> LsmLifecycle::Recover() {
       info.bytes = env::FileSize(data_path);
       ASTERIX_RETURN_NOT_OK(mr.GetU64(&info.num_entries));
       ASTERIX_RETURN_NOT_OK(mr.GetU64(&info.max_lsn));
+      // Markers written before sort seqs carried only the two fields above;
+      // for those the file seq is the sort seq and nothing is replaced.
+      uint64_t sort_seq = seq, lo = 0, hi = 0;
+      if (mr.remaining() >= 24) {
+        ASTERIX_RETURN_NOT_OK(mr.GetU64(&sort_seq));
+        ASTERIX_RETURN_NOT_OK(mr.GetU64(&lo));
+        ASTERIX_RETURN_NOT_OK(mr.GetU64(&hi));
+      }
+      info.seq = sort_seq;
       components.push_back(std::move(info));
+      replaces.push_back({lo, hi, data_path});
       next_seq_ = std::max(next_seq_, seq + 1);
+    }
+  }
+  // Complete interrupted merges: a valid output whose inputs still exist
+  // (crash between marking the output and deleting the inputs) supersedes
+  // every other component inside its replaces range.
+  for (const auto& r : replaces) {
+    if (r.hi == 0) continue;
+    for (size_t i = 0; i < components.size();) {
+      const ComponentInfo& c = components[i];
+      if (c.path != r.path && c.seq >= r.lo && c.seq <= r.hi) {
+        ASTERIX_RETURN_NOT_OK(RemoveComponent(c));
+        components.erase(components.begin() + static_cast<ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
     }
   }
   std::sort(components.begin(), components.end(),
@@ -246,6 +324,17 @@ LsmBTree::LsmBTree(BufferCache* cache, const std::string& dir,
       lifecycle_(dir, name,
                  options.format == StorageFormat::kColumn ? "col" : "btr"),
       options_(std::move(options)) {}
+
+LsmBTree::~LsmBTree() {
+  // Drops queued jobs and waits out a running one; after this no scheduler
+  // worker can touch the tree. Unflushed memtable contents are dropped —
+  // identical to a crash, which the WAL replay path is built for.
+  if (options_.scheduler != nullptr) options_.scheduler->Release(this);
+}
+
+const std::string& LsmBTree::compaction_label() const {
+  return lifecycle_.name();
+}
 
 Status LsmBTree::OpenReader(const std::string& path,
                             std::shared_ptr<DiskComponentReader>* out) const {
@@ -318,12 +407,7 @@ Status LsmBTree::Upsert(const CompositeKey& key, std::vector<uint8_t> payload,
   mem_bytes_ += add;
   IngestedCounter()->Inc(add);
   mem_max_lsn_ = std::max(mem_max_lsn_, lsn);
-  if (mem_bytes_ >= options_.mem_budget_bytes) {
-    uint64_t stall_start_us = NowUs();
-    ASTERIX_RETURN_NOT_OK(FlushLocked());
-    RecordWriteStall(NowUs() - stall_start_us, lifecycle_.name().c_str());
-  }
-  return Status::OK();
+  return MaybeRotateLocked(lock);
 }
 
 Status LsmBTree::Delete(const CompositeKey& key, uint64_t lsn) {
@@ -333,46 +417,96 @@ Status LsmBTree::Delete(const CompositeKey& key, uint64_t lsn) {
   mem_bytes_ += add;
   IngestedCounter()->Inc(add);
   mem_max_lsn_ = std::max(mem_max_lsn_, lsn);
-  if (mem_bytes_ >= options_.mem_budget_bytes) {
-    uint64_t stall_start_us = NowUs();
-    ASTERIX_RETURN_NOT_OK(FlushLocked());
-    RecordWriteStall(NowUs() - stall_start_us, lifecycle_.name().c_str());
-  }
-  return Status::OK();
+  return MaybeRotateLocked(lock);
 }
 
-Status LsmBTree::Flush() {
-  std::unique_lock lock(mu_);
-  return FlushLocked();
-}
-
-Status LsmBTree::FlushLocked() {
-  if (mem_.empty()) return Status::OK();
-  uint64_t flush_start_us = NowUs();
-  uint64_t bytes_in = mem_bytes_;
-  journal::Journal::Default().Post(journal::EventKind::kLsmFlushStart, bytes_in,
-                                   mem_.size(), lifecycle_.name().c_str());
-  uint64_t seq = lifecycle_.AllocateSeq();
-  std::string path = lifecycle_.ComponentPath(seq);
-  uint64_t num_entries = 0;
-  ASTERIX_RETURN_NOT_OK(BuildComponent(mem_, path, &num_entries));
-  // The validity bit makes the new component durable *after* its data file
-  // is fully written (shadowing).
-  ASTERIX_RETURN_NOT_OK(lifecycle_.MarkValid(seq, num_entries, mem_max_lsn_));
-  std::shared_ptr<DiskComponentReader> reader;
-  ASTERIX_RETURN_NOT_OK(OpenReader(path, &reader));
-  ComponentInfo info;
-  info.seq = seq;
-  info.path = path;
-  info.num_entries = num_entries;
-  info.bytes = env::FileSize(path);
-  info.max_lsn = mem_max_lsn_;
-  uint64_t flushed_bytes = info.bytes;
-  disk_.push_back(DiskComponent{std::move(info), std::move(reader)});
-  flushed_lsn_ = std::max(flushed_lsn_, mem_max_lsn_);
+void LsmBTree::RotateLocked() {
+  auto imm = std::make_shared<ImmComponent>();
+  imm->entries = std::move(mem_);
+  imm->bytes = mem_bytes_;
+  imm->max_lsn = mem_max_lsn_;
   mem_.clear();
   mem_bytes_ = 0;
   mem_max_lsn_ = 0;
+  imm_ = std::move(imm);
+  throttle_level_ = 0;
+}
+
+Status LsmBTree::MaybeRotateLocked(std::unique_lock<std::shared_mutex>& lock) {
+  if (mem_bytes_ < options_.mem_budget_bytes) {
+    throttle_level_ = 0;
+    return Status::OK();
+  }
+  if (!bg_error_.ok()) return bg_error_;
+  CompactionScheduler* sched = options_.scheduler;
+  if (sched != nullptr) {
+    if (imm_ == nullptr) {
+      // Steady state: rotate to a fresh memtable and hand the immutable one
+      // to the background pool — the writer pays no stall at all.
+      RotateLocked();
+      if (sched->Schedule(this, CompactionJobKind::kFlush)) {
+        return Status::OK();
+      }
+      // Queue full / scheduler stopping: fall through to the inline flush
+      // below so memory stays bounded (the honest-stall path).
+    } else {
+      // Default ceiling is 3x budget: the rotated imm component already
+      // holds ~1x, so anything lower leaves no soft band between the
+      // budget trip and the hard block — every writer would skip the
+      // throttle and stall for the whole flush.
+      size_t hard = options_.mem_hard_limit_bytes != 0
+                        ? options_.mem_hard_limit_bytes
+                        : 3 * options_.mem_budget_bytes;
+      uint64_t stall_start_us = NowUs();
+      if (mem_bytes_ + imm_->bytes < hard) {
+        // Previous rotation still flushing: soft-throttle this writer with
+        // an escalating delay instead of flushing inline.
+        uint32_t level = std::min(throttle_level_, kThrottleMaxLevel);
+        ++throttle_level_;
+        uint64_t delay_us =
+            std::min(kThrottleBaseUs << level, kThrottleMaxUs);
+        lock.unlock();
+        std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+        RecordWriteStall(NowUs() - stall_start_us, lifecycle_.name().c_str());
+        lock.lock();
+        return bg_error_;
+      }
+      // Hard memory ceiling: block until the in-flight flush clears so the
+      // tree cannot grow without bound when ingest outruns the pool.
+      imm_cv_.wait(lock,
+                   [&] { return imm_ == nullptr || !bg_error_.ok(); });
+      RecordWriteStall(NowUs() - stall_start_us, lifecycle_.name().c_str());
+      if (!bg_error_.ok()) return bg_error_;
+      RotateLocked();
+      if (sched->Schedule(this, CompactionJobKind::kFlush)) {
+        return Status::OK();
+      }
+    }
+  }
+  // Synchronous mode (or async fallback): the stall is the flush itself.
+  uint64_t stall_start_us = NowUs();
+  Status st = FlushLocked();
+  RecordWriteStall(NowUs() - stall_start_us, lifecycle_.name().c_str());
+  return st;
+}
+
+Status LsmBTree::Flush() {
+  if (options_.scheduler != nullptr) options_.scheduler->Quiesce(this);
+  std::unique_lock lock(mu_);
+  imm_cv_.wait(lock, [&] {
+    return (!flush_inflight_ && !merge_inflight_) || !bg_error_.ok();
+  });
+  if (!bg_error_.ok()) return bg_error_;
+  return FlushLocked();
+}
+
+void LsmBTree::FinishFlushLocked(ComponentInfo info,
+                                 std::shared_ptr<DiskComponentReader> reader,
+                                 uint64_t bytes_in, uint64_t flush_start_us) {
+  uint64_t flushed_bytes = info.bytes;
+  uint64_t max_lsn = info.max_lsn;
+  disk_.push_back(DiskComponent{std::move(info), std::move(reader)});
+  flushed_lsn_ = std::max(flushed_lsn_, max_lsn);
   {
     auto& reg = metrics::MetricsRegistry::Default();
     static metrics::Counter* flushes = reg.GetCounter("storage.lsm.flushes");
@@ -389,16 +523,120 @@ Status LsmBTree::FlushLocked() {
     UpdateWriteAmplification();
   }
   // Physical write caused by the query whose ingest tripped the flush (0 =
-  // background/boot work, which the ledger ignores).
+  // background/boot work, which the ledger ignores). Background jobs run
+  // under the triggering query's id (see CompactionScheduler).
   ledger::ResourceLedger::Default().AddBytesWritten(journal::CurrentQueryId(),
                                                     flushed_bytes);
   journal::Journal::Default().Post(journal::EventKind::kLsmFlushEnd, bytes_in,
                                    flushed_bytes, lifecycle_.name().c_str());
+}
+
+Status LsmBTree::FlushTableLocked(const MemTable& entries, size_t bytes_in,
+                                  uint64_t max_lsn) {
+  uint64_t flush_start_us = NowUs();
+  journal::Journal::Default().Post(journal::EventKind::kLsmFlushStart, bytes_in,
+                                   entries.size(), lifecycle_.name().c_str());
+  uint64_t seq = lifecycle_.AllocateSeq();
+  std::string path = lifecycle_.ComponentPath(seq);
+  uint64_t num_entries = 0;
+  ASTERIX_RETURN_NOT_OK(BuildComponent(entries, path, &num_entries));
+  // The validity bit makes the new component durable *after* its data file
+  // is fully written (shadowing).
+  ASTERIX_RETURN_NOT_OK(lifecycle_.MarkValid(seq, num_entries, max_lsn));
+  std::shared_ptr<DiskComponentReader> reader;
+  ASTERIX_RETURN_NOT_OK(OpenReader(path, &reader));
+  ComponentInfo info;
+  info.seq = seq;
+  info.path = path;
+  info.num_entries = num_entries;
+  info.bytes = env::FileSize(path);
+  info.max_lsn = max_lsn;
+  FinishFlushLocked(std::move(info), std::move(reader), bytes_in,
+                    flush_start_us);
+  return Status::OK();
+}
+
+Status LsmBTree::FlushLocked() {
+  if (imm_ != nullptr) {
+    // A rotated component whose background flush has not started (barrier
+    // call or async fallback): flush it inline, oldest data first.
+    ASTERIX_RETURN_NOT_OK(
+        FlushTableLocked(imm_->entries, imm_->bytes, imm_->max_lsn));
+    imm_.reset();
+    throttle_level_ = 0;
+    imm_cv_.notify_all();
+  }
+  if (!mem_.empty()) {
+    ASTERIX_RETURN_NOT_OK(FlushTableLocked(mem_, mem_bytes_, mem_max_lsn_));
+    mem_.clear();
+    mem_bytes_ = 0;
+    mem_max_lsn_ = 0;
+  }
   return MaybeMergeLockedImpl();
 }
 
-Status LsmBTree::MaybeMerge() {
+Status LsmBTree::BackgroundFlush() {
+  std::shared_ptr<const ImmComponent> imm;
+  uint64_t seq = 0;
+  {
+    std::unique_lock lock(mu_);
+    if (!bg_error_.ok()) return bg_error_;
+    if (imm_ == nullptr) return Status::OK();  // resolved by a barrier
+    imm = imm_;
+    seq = lifecycle_.AllocateSeq();
+    flush_inflight_ = true;
+  }
+  // Build the component with no tree lock held: writers keep ingesting into
+  // the fresh memtable and readers keep scanning (imm stays visible).
+  uint64_t flush_start_us = NowUs();
+  journal::Journal::Default().Post(journal::EventKind::kLsmFlushStart,
+                                   imm->bytes, imm->entries.size(),
+                                   lifecycle_.name().c_str());
+  std::string path = lifecycle_.ComponentPath(seq);
+  uint64_t num_entries = 0;
+  std::shared_ptr<DiskComponentReader> reader;
+  Status st = BuildComponent(imm->entries, path, &num_entries);
+  if (st.ok()) st = lifecycle_.MarkValid(seq, num_entries, imm->max_lsn);
+  if (st.ok()) st = OpenReader(path, &reader);
+
   std::unique_lock lock(mu_);
+  flush_inflight_ = false;
+  if (!st.ok()) {
+    if (bg_error_.ok()) bg_error_ = st;
+    imm_cv_.notify_all();
+    return st;
+  }
+  ComponentInfo info;
+  info.seq = seq;
+  info.path = path;
+  info.num_entries = num_entries;
+  info.bytes = env::FileSize(path);
+  info.max_lsn = imm->max_lsn;
+  FinishFlushLocked(std::move(info), std::move(reader), imm->bytes,
+                    flush_start_us);
+  imm_.reset();
+  throttle_level_ = 0;
+  // Keep ingest ahead: if the mutable side already re-tripped its budget,
+  // rotate and queue the next flush before this job counts as done (so a
+  // Quiesce() waiter still sees the tree busy).
+  if (mem_bytes_ >= options_.mem_budget_bytes &&
+      options_.scheduler->Schedule(this, CompactionJobKind::kFlush)) {
+    RotateLocked();
+  }
+  if (MergeWantedLocked()) {
+    options_.scheduler->Schedule(this, CompactionJobKind::kMerge);
+  }
+  imm_cv_.notify_all();
+  return Status::OK();
+}
+
+Status LsmBTree::MaybeMerge() {
+  if (options_.scheduler != nullptr) options_.scheduler->Quiesce(this);
+  std::unique_lock lock(mu_);
+  imm_cv_.wait(lock, [&] {
+    return (!flush_inflight_ && !merge_inflight_) || !bg_error_.ok();
+  });
+  if (!bg_error_.ok()) return bg_error_;
   return MaybeMergeLockedImpl();
 }
 
@@ -423,8 +661,13 @@ Status LsmBTree::MergeComponents(size_t first, size_t count) {
           return Status::OK();
         }));
   }
-  uint64_t seq = lifecycle_.AllocateSeq();
-  std::string path = lifecycle_.ComponentPath(seq);
+  // The output file gets a fresh name, but sorts at its newest input's
+  // position (and the marker's replaces range lets recovery finish the
+  // input cleanup if we crash after MarkValid).
+  uint64_t file_seq = lifecycle_.AllocateSeq();
+  uint64_t sort_seq = disk_[first + count - 1].info.seq;
+  uint64_t replaces_lo = disk_[first].info.seq;
+  std::string path = lifecycle_.ComponentPath(file_seq);
   uint64_t max_lsn = 0;
   for (size_t i = first; i < first + count; ++i) {
     max_lsn = std::max(max_lsn, disk_[i].info.max_lsn);
@@ -438,11 +681,12 @@ Status LsmBTree::MergeComponents(size_t first, size_t count) {
   }
   uint64_t num_entries = 0;
   ASTERIX_RETURN_NOT_OK(BuildComponent(merged, path, &num_entries));
-  ASTERIX_RETURN_NOT_OK(lifecycle_.MarkValid(seq, num_entries, max_lsn));
+  ASTERIX_RETURN_NOT_OK(lifecycle_.MarkValid(file_seq, num_entries, max_lsn,
+                                             sort_seq, replaces_lo, sort_seq));
   std::shared_ptr<DiskComponentReader> reader;
   ASTERIX_RETURN_NOT_OK(OpenReader(path, &reader));
   ComponentInfo info;
-  info.seq = seq;
+  info.seq = sort_seq;
   info.path = path;
   info.num_entries = num_entries;
   info.bytes = env::FileSize(path);
@@ -478,16 +722,18 @@ Status LsmBTree::MergeComponents(size_t first, size_t count) {
   return Status::OK();
 }
 
-Status LsmBTree::MaybeMergeLockedImpl() {
+bool LsmBTree::SelectMergeRunLocked(size_t* first, size_t* count) const {
   const MergePolicy& p = options_.merge_policy;
   switch (p.kind) {
     case MergePolicy::Kind::kNone:
-      return Status::OK();
+      return false;
     case MergePolicy::Kind::kConstant:
-      if (disk_.size() > p.max_components) {
-        return MergeComponents(0, disk_.size());
+      if (disk_.size() > p.max_components && disk_.size() >= 2) {
+        *first = 0;
+        *count = disk_.size();
+        return true;
       }
-      return Status::OK();
+      return false;
     case MergePolicy::Kind::kPrefix: {
       // Find the longest suffix (newest run) of components each smaller than
       // max_merge_bytes; merge it when the run exceeds max_components.
@@ -501,12 +747,187 @@ Status LsmBTree::MaybeMergeLockedImpl() {
         ++run;
       }
       if (run > p.max_components && run >= 2) {
-        return MergeComponents(disk_.size() - run, run);
+        *first = disk_.size() - run;
+        *count = run;
+        return true;
       }
-      return Status::OK();
+      return false;
+    }
+    case MergePolicy::Kind::kTiered: {
+      // Size-ratio tiering: grow the newest run while the next-older
+      // component is at most size_ratio times the total of the newer run
+      // members, then merge the run once it holds more than max_components
+      // members. Each component is merged O(log n) times overall instead of
+      // the constant policy's every-time.
+      size_t run = 1;
+      uint64_t run_bytes = disk_.empty() ? 0 : disk_.back().info.bytes;
+      for (size_t i = disk_.size() > 0 ? disk_.size() - 1 : 0; i > 0; --i) {
+        const auto& info = disk_[i - 1].info;
+        if (info.bytes * 100 >
+            run_bytes * static_cast<uint64_t>(p.size_ratio_x100)) {
+          break;
+        }
+        run_bytes += info.bytes;
+        ++run;
+      }
+      if (!disk_.empty() && run > p.max_components && run >= 2) {
+        *first = disk_.size() - run;
+        *count = run;
+        return true;
+      }
+      return false;
     }
   }
-  return Status::OK();
+  return false;
+}
+
+bool LsmBTree::MergeWantedLocked() const {
+  size_t first = 0, count = 0;
+  return SelectMergeRunLocked(&first, &count);
+}
+
+Status LsmBTree::MaybeMergeLockedImpl() {
+  // Never merge inline while a background merge is mid-build: the two
+  // could pick overlapping runs, and the inline install would delete files
+  // the background job is still reading.
+  if (merge_inflight_) return Status::OK();
+  size_t first = 0, count = 0;
+  if (!SelectMergeRunLocked(&first, &count)) return Status::OK();
+  return MergeComponents(first, count);
+}
+
+Status LsmBTree::BackgroundMerge() {
+  std::vector<DiskComponent> inputs;
+  uint64_t file_seq = 0;
+  uint64_t max_lsn = 0;
+  bool includes_oldest = false;
+  {
+    std::unique_lock lock(mu_);
+    if (!bg_error_.ok()) return bg_error_;
+    size_t first = 0, count = 0;
+    if (!SelectMergeRunLocked(&first, &count)) return Status::OK();
+    inputs.assign(disk_.begin() + first, disk_.begin() + first + count);
+    includes_oldest = first == 0;
+    // The fresh seq only names the output file; the component sorts at its
+    // newest input's seq, so a flush installing concurrently (with a
+    // higher seq, since flushes always take the latest allocation) stays
+    // newer than this output both in memory and across recovery.
+    file_seq = lifecycle_.AllocateSeq();
+    for (const auto& dc : inputs) {
+      max_lsn = std::max(max_lsn, dc.info.max_lsn);
+    }
+    merge_inflight_ = true;
+  }
+  uint64_t merge_start_us = NowUs();
+  uint64_t bytes_in = 0;
+  for (const auto& dc : inputs) bytes_in += dc.info.bytes;
+  journal::Journal::Default().Post(journal::EventKind::kLsmMergeStart, bytes_in,
+                                   inputs.size(), lifecycle_.name().c_str());
+  // Gather + build with no tree lock held. The input components are
+  // immutable files; concurrent flushes only append to disk_ behind the
+  // run, and no other merge can run on this tree, so the run stays live
+  // and contiguous until install.
+  std::map<CompositeKey, MemEntry, KeyLess> merged;
+  Status st;
+  for (const auto& dc : inputs) {
+    ScanBounds all;
+    st = dc.reader->RangeScan(all, [&](const IndexEntry& e) {
+      merged.insert_or_assign(e.key, MemEntry{e.antimatter, e.payload});
+      return Status::OK();
+    });
+    if (!st.ok()) break;
+  }
+  if (st.ok() && includes_oldest) {
+    // Antimatter entries are dropped only when no older component remains
+    // to be cancelled (components are never inserted below the oldest).
+    for (auto it = merged.begin(); it != merged.end();) {
+      it = it->second.antimatter ? merged.erase(it) : std::next(it);
+    }
+  }
+  std::string path = lifecycle_.ComponentPath(file_seq);
+  uint64_t sort_seq = inputs.back().info.seq;
+  uint64_t num_entries = 0;
+  std::shared_ptr<DiskComponentReader> reader;
+  if (st.ok()) st = BuildComponent(merged, path, &num_entries);
+  if (st.ok()) {
+    st = lifecycle_.MarkValid(file_seq, num_entries, max_lsn, sort_seq,
+                              inputs.front().info.seq, sort_seq);
+  }
+  if (st.ok()) st = OpenReader(path, &reader);
+
+  std::unique_lock lock(mu_);
+  merge_inflight_ = false;
+  if (!st.ok()) {
+    if (bg_error_.ok()) bg_error_ = st;
+    imm_cv_.notify_all();
+    return st;
+  }
+  // Re-locate the run by seq: concurrent flush installs may have appended
+  // components behind it (never inside or below it).
+  size_t first = disk_.size();
+  for (size_t i = 0; i < disk_.size(); ++i) {
+    if (disk_[i].info.seq == inputs.front().info.seq) {
+      first = i;
+      break;
+    }
+  }
+  bool intact = first + inputs.size() <= disk_.size();
+  for (size_t i = 0; intact && i < inputs.size(); ++i) {
+    intact = disk_[first + i].info.seq == inputs[i].info.seq;
+  }
+  if (!intact) {
+    // A barrier merged the run inline while we were building (defensive —
+    // barriers wait out merge_inflight_, so this should not happen).
+    ComponentInfo orphan;
+    orphan.seq = file_seq;
+    orphan.path = path;
+    Status rm = lifecycle_.RemoveComponent(orphan);
+    (void)rm;
+    imm_cv_.notify_all();
+    journal::Journal::Default().Post(journal::EventKind::kLsmMergeEnd, bytes_in,
+                                     0, lifecycle_.name().c_str());
+    return Status::OK();
+  }
+  ComponentInfo info;
+  info.seq = sort_seq;
+  info.path = path;
+  info.num_entries = num_entries;
+  info.bytes = env::FileSize(path);
+  info.max_lsn = max_lsn;
+  std::vector<DiskComponent> removed(disk_.begin() + first,
+                                     disk_.begin() + first + inputs.size());
+  disk_.erase(disk_.begin() + first, disk_.begin() + first + inputs.size());
+  disk_.insert(disk_.begin() + first, DiskComponent{info, std::move(reader)});
+  for (auto& dc : removed) {
+    dc.reader.reset();  // closes the file in the cache
+    Status rm = lifecycle_.RemoveComponent(dc.info);
+    if (!rm.ok() && st.ok()) st = rm;
+  }
+  {
+    auto& reg = metrics::MetricsRegistry::Default();
+    static metrics::Counter* merges = reg.GetCounter("storage.lsm.merges");
+    static metrics::Counter* bytes = reg.GetCounter("storage.lsm.bytes_merged");
+    static metrics::Histogram* merge_us = reg.GetHistogram("storage.lsm.merge_us");
+    merges->Inc();
+    bytes->Inc(info.bytes);
+    merge_us->Observe(NowUs() - merge_start_us);
+    if (options_.format == StorageFormat::kColumn) {
+      static metrics::Counter* col_bytes =
+          reg.GetCounter("storage.column.bytes_merged");
+      col_bytes->Inc(info.bytes);
+    }
+    UpdateWriteAmplification();
+  }
+  ledger::ResourceLedger::Default().AddBytesWritten(journal::CurrentQueryId(),
+                                                    info.bytes);
+  journal::Journal::Default().Post(journal::EventKind::kLsmMergeEnd, bytes_in,
+                                   info.bytes, lifecycle_.name().c_str());
+  // Tiering may want another round once this run has collapsed.
+  if (MergeWantedLocked()) {
+    options_.scheduler->Schedule(this, CompactionJobKind::kMerge);
+  }
+  imm_cv_.notify_all();
+  return st;
 }
 
 Status LsmBTree::PointLookup(const CompositeKey& key, bool* found,
@@ -519,6 +940,17 @@ Status LsmBTree::PointLookup(const CompositeKey& key, bool* found,
     *found = true;
     *payload = it->second.payload;
     return Status::OK();
+  }
+  if (imm_ != nullptr) {
+    // The rotated component is older than mem_ but newer than any disk
+    // component — it stays visible until its background flush installs.
+    auto iit = imm_->entries.find(key);
+    if (iit != imm_->entries.end()) {
+      if (iit->second.antimatter) return Status::OK();
+      *found = true;
+      *payload = iit->second.payload;
+      return Status::OK();
+    }
   }
   auto& reg = metrics::MetricsRegistry::Default();
   static metrics::Counter* bloom_hits = reg.GetCounter("storage.bloom.hits");
@@ -553,32 +985,32 @@ Status LsmBTree::PointLookup(const CompositeKey& key, bool* found,
 Status LsmBTree::RangeScan(const ScanBounds& bounds,
                            const EntryCallback& cb) const {
   std::shared_lock lock(mu_);
-  // Fast path: a single disk component and an empty memory component (the
+  // Fast path: a single disk component and empty memory components (the
   // steady state after a flush or merge) needs no cross-component
   // resolution — stream straight off the B+-tree, skipping tombstones.
-  if (mem_.empty() && disk_.size() <= 1) {
+  if (mem_.empty() && imm_ == nullptr && disk_.size() <= 1) {
     if (disk_.empty()) return Status::OK();
     return disk_[0].reader->RangeScan(bounds, [&](const IndexEntry& e) {
       if (e.antimatter) return Status::OK();
       return cb(e);
     });
   }
-  // K-way merge across the memory component and all disk components with
+  // K-way merge across the memory components and all disk components with
   // newest-wins, antimatter-hides resolution. Each component's qualifying
   // entries arrive in key order; a priority queue merges the streams.
   struct Cursor {
     std::vector<IndexEntry> entries;
     size_t pos = 0;
-    size_t rank = 0;  // 0 = newest (memory component)
+    size_t rank = 0;  // 0 = newest (mutable memory component)
   };
   std::vector<Cursor> cursors;
 
-  {
+  auto collect_mem = [&](const MemTable& table) {
     Cursor mem_cursor;
-    mem_cursor.rank = 0;
+    mem_cursor.rank = cursors.size();
     auto mem_begin =
-        bounds.lo.has_value() ? mem_.lower_bound(*bounds.lo) : mem_.begin();
-    for (auto it = mem_begin; it != mem_.end(); ++it) {
+        bounds.lo.has_value() ? table.lower_bound(*bounds.lo) : table.begin();
+    for (auto it = mem_begin; it != table.end(); ++it) {
       const auto& key = it->first;
       const auto& entry = it->second;
       if (bounds.lo.has_value()) {
@@ -596,7 +1028,9 @@ Status LsmBTree::RangeScan(const ScanBounds& bounds,
       mem_cursor.entries.push_back(std::move(e));
     }
     cursors.push_back(std::move(mem_cursor));
-  }
+  };
+  collect_mem(mem_);
+  if (imm_ != nullptr) collect_mem(imm_->entries);
   for (size_t i = disk_.size(); i > 0; --i) {
     Cursor c;
     c.rank = cursors.size();
@@ -648,7 +1082,7 @@ Status LsmBTree::ProjectedScan(const ScanBounds& bounds,
   // Steady-state fast path: with one component and nothing in memory there
   // is no cross-component resolution, so min/max pruning is sound — a
   // skipped page group cannot hide a newer version of anything.
-  if (mem_.empty() && disk_.size() <= 1) {
+  if (mem_.empty() && imm_ == nullptr && disk_.size() <= 1) {
     if (disk_.empty()) return Status::OK();
     return disk_[0].reader->ProjectedScan(
         bounds, proj, /*allow_pruning=*/true,
@@ -670,15 +1104,15 @@ Status LsmBTree::ProjectedScan(const ScanBounds& bounds,
   struct Cursor {
     std::vector<ProjRow> rows;
     size_t pos = 0;
-    size_t rank = 0;  // 0 = newest (memory component)
+    size_t rank = 0;  // 0 = newest (mutable memory component)
   };
   std::vector<Cursor> cursors;
-  {
+  auto collect_mem = [&](const MemTable& table) -> Status {
     Cursor mem_cursor;
-    mem_cursor.rank = 0;
+    mem_cursor.rank = cursors.size();
     auto mem_begin =
-        bounds.lo.has_value() ? mem_.lower_bound(*bounds.lo) : mem_.begin();
-    for (auto it = mem_begin; it != mem_.end(); ++it) {
+        bounds.lo.has_value() ? table.lower_bound(*bounds.lo) : table.begin();
+    for (auto it = mem_begin; it != table.end(); ++it) {
       const auto& key = it->first;
       const auto& entry = it->second;
       if (bounds.lo.has_value()) {
@@ -703,7 +1137,10 @@ Status LsmBTree::ProjectedScan(const ScanBounds& bounds,
       mem_cursor.rows.push_back(std::move(row));
     }
     cursors.push_back(std::move(mem_cursor));
-  }
+    return Status::OK();
+  };
+  ASTERIX_RETURN_NOT_OK(collect_mem(mem_));
+  if (imm_ != nullptr) ASTERIX_RETURN_NOT_OK(collect_mem(imm_->entries));
   // Per-component key intervals: a column component may still min/max-prune
   // a row group on this multi-component path when the group's key span is
   // disjoint from every *other* component (and the memory component) — no
@@ -738,6 +1175,10 @@ Status LsmBTree::ProjectedScan(const ScanBounds& bounds,
       if (!mem_.empty()) {
         exclusions.push_back(
             column::KeyInterval{mem_.begin()->first, mem_.rbegin()->first});
+      }
+      if (imm_ != nullptr && !imm_->entries.empty()) {
+        exclusions.push_back(column::KeyInterval{
+            imm_->entries.begin()->first, imm_->entries.rbegin()->first});
       }
       ASTERIX_RETURN_NOT_OK(
           col->ProjectedScanPruned(bounds, proj, exclusions, collect, stats));
@@ -789,11 +1230,12 @@ Status LsmBTree::BatchScan(const ScanBounds& bounds,
   if (options_.format != StorageFormat::kColumn) {
     return Status::NotImplemented("batch scan requires column storage");
   }
-  // Only the steady state qualifies: one disk component and an empty
-  // memory component mean no cross-component resolution, so column pages
-  // can stream out as typed batches directly. Anything else needs row
-  // merging — the caller falls back to ProjectedScan + batch rebuilding.
-  if (!mem_.empty() || disk_.size() > 1) {
+  // Only the steady state qualifies: one disk component and empty memory
+  // components (mutable and rotated) mean no cross-component resolution, so
+  // column pages can stream out as typed batches directly. Anything else
+  // needs row merging — the caller falls back to ProjectedScan + batch
+  // rebuilding.
+  if (!mem_.empty() || imm_ != nullptr || disk_.size() > 1) {
     return Status::NotImplemented("batch scan requires a merged component");
   }
   if (disk_.empty()) return Status::OK();
@@ -807,7 +1249,7 @@ Status LsmBTree::BatchScan(const ScanBounds& bounds,
 
 size_t LsmBTree::mem_entries() const {
   std::shared_lock lock(mu_);
-  return mem_.size();
+  return mem_.size() + (imm_ != nullptr ? imm_->entries.size() : 0);
 }
 
 size_t LsmBTree::num_disk_components() const {
@@ -824,7 +1266,7 @@ uint64_t LsmBTree::total_disk_bytes() const {
 
 uint64_t LsmBTree::num_logical_entries() const {
   std::shared_lock lock(mu_);
-  uint64_t total = mem_.size();
+  uint64_t total = mem_.size() + (imm_ != nullptr ? imm_->entries.size() : 0);
   for (const auto& dc : disk_) total += dc.info.num_entries;
   return total;
 }

@@ -1,6 +1,7 @@
 #ifndef ASTERIX_STORAGE_LSM_H_
 #define ASTERIX_STORAGE_LSM_H_
 
+#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -12,6 +13,7 @@
 #include "storage/btree.h"
 #include "storage/buffer_cache.h"
 #include "storage/column/batch.h"
+#include "storage/compaction.h"
 #include "storage/component.h"
 #include "storage/key.h"
 
@@ -31,17 +33,35 @@ struct MergePolicy {
     kConstant,  // merge ALL disk components whenever more than `max_components`
     kPrefix,    // merge the contiguous run of small components when the run
                 // grows past `max_components` and stays under `max_merge_bytes`
+    kTiered,    // size-ratio tiering: merge the newest contiguous run of
+                // similar-sized components once it grows past
+                // `max_components` runs — bounded merge cost per flush,
+                // write-amp O(log n) instead of constant-policy O(n)
   };
   Kind kind = Kind::kConstant;
   size_t max_components = 5;
   uint64_t max_merge_bytes = 256ull << 20;
+  /// Tiered only: a component belongs to the newest run while it is at most
+  /// `size_ratio_x100 / 100` times the total of the newer run members.
+  uint32_t size_ratio_x100 = 120;
 
-  static MergePolicy None() { return {Kind::kNone, 0, 0}; }
-  static MergePolicy Constant(size_t k) { return {Kind::kConstant, k, 0}; }
+  static MergePolicy None() { return {Kind::kNone, 0, 0, 0}; }
+  static MergePolicy Constant(size_t k) { return {Kind::kConstant, k, 0, 0}; }
   static MergePolicy Prefix(size_t k, uint64_t bytes) {
-    return {Kind::kPrefix, k, bytes};
+    return {Kind::kPrefix, k, bytes, 0};
+  }
+  static MergePolicy Tiered(size_t k, uint32_t ratio_x100) {
+    return {Kind::kTiered, k, 0, ratio_x100};
   }
 };
+
+/// Maps a DDL with-clause policy name ("none" | "constant" | "prefix" |
+/// "tiered") onto a MergePolicy with that kind's default knobs. Returns
+/// false for unknown names.
+bool MergePolicyFromName(const std::string& name, MergePolicy* out);
+
+/// Inverse of MergePolicyFromName (metadata persistence).
+const char* MergePolicyName(MergePolicy::Kind kind);
 
 struct LsmOptions {
   /// Flush the in-memory component once it holds this many bytes of
@@ -59,11 +79,30 @@ struct LsmOptions {
   /// The dataset's declared record type; drives schema inference and
   /// schema-typed column encoding (required when format == kColumn).
   adm::DatatypePtr record_type;
+  /// Background maintenance pool. When set, a budget trip rotates the
+  /// memtable to an immutable component and schedules an async flush
+  /// instead of flushing inline; merges run as background jobs too. When
+  /// null (the default), flush and merge stay synchronous on the writer —
+  /// the original behavior, still used by tests and standalone trees.
+  CompactionScheduler* scheduler = nullptr;
+  /// Async mode only: total in-memory bytes (mutable + immutable) at which
+  /// a writer blocks until the in-flight flush completes, bounding memory
+  /// when ingest outruns the flush pool. 0 = 3 * mem_budget_bytes (the imm
+  /// component holds ~1x on its own; the extra 1x is the soft-throttle
+  /// band — a 2x ceiling would make writers skip the throttle and block).
+  size_t mem_hard_limit_bytes = 0;
 };
 
 /// A disk component's identity and stats. `max_lsn` is the largest WAL LSN
 /// whose effect is contained in the component; recovery replays only ops
 /// beyond the index's flushed LSN.
+///
+/// `seq` is the component's *sort* position: components resolve
+/// newest-wins in increasing seq order. For flushed components it equals
+/// the file-name seq; a merge output keeps the sort seq of its newest
+/// input (so it sorts exactly where the merged run sat) while its file is
+/// named by a fresh allocation — which is what lets a merge commit while a
+/// newer flush is concurrently installing a higher seq.
 struct ComponentInfo {
   uint64_t seq = 0;
   std::string path;
@@ -85,16 +124,24 @@ class LsmLifecycle {
   /// `suffix` tags the structure kind (btr/rtr).
   LsmLifecycle(std::string dir, std::string name, std::string suffix);
 
-  /// Scans the directory: returns valid components sorted oldest-first and
-  /// deletes any component files lacking a validity marker (crash debris).
+  /// Scans the directory: returns valid components sorted oldest-first
+  /// (by sort seq), deletes any component files lacking a validity marker
+  /// (crash debris), and completes interrupted merge cleanup — when a valid
+  /// merge output declares a `replaces` range, any other valid component
+  /// whose sort seq falls inside it is a leftover input and is removed.
   Result<std::vector<ComponentInfo>> Recover();
 
   uint64_t AllocateSeq();
   std::string ComponentPath(uint64_t seq) const;
 
   /// Installs the validity bit: after this returns the component is durable
-  /// and will be seen by Recover().
-  Status MarkValid(uint64_t seq, uint64_t num_entries, uint64_t max_lsn);
+  /// and will be seen by Recover(). `sort_seq` (0 = same as `seq`) is the
+  /// resolution-order position recorded in the marker; merge outputs pass
+  /// their newest input's seq plus the `replaces` range [lo, hi] of input
+  /// sort seqs the output supersedes.
+  Status MarkValid(uint64_t seq, uint64_t num_entries, uint64_t max_lsn,
+                   uint64_t sort_seq = 0, uint64_t replaces_lo = 0,
+                   uint64_t replaces_hi = 0);
 
   Status RemoveComponent(const ComponentInfo& info);
 
@@ -115,10 +162,13 @@ class LsmLifecycle {
 /// entries that cancel older matter. This one structure backs primary
 /// indexes (payload = record bytes), secondary B-tree indexes (composite
 /// key, empty payload), and — keyed by (token, pk) — the inverted indexes.
-class LsmBTree {
+class LsmBTree : public Compactable {
  public:
   LsmBTree(BufferCache* cache, const std::string& dir, const std::string& name,
            LsmOptions options);
+  /// Quiesces and detaches from the scheduler before members go away; data
+  /// still in memory is dropped (crash semantics — the WAL covers it).
+  ~LsmBTree() override;
 
   /// Loads valid disk components (call once before use).
   Status Open();
@@ -128,11 +178,20 @@ class LsmBTree {
                 uint64_t lsn);
   Status Delete(const CompositeKey& key, uint64_t lsn);
 
-  /// Forces the in-memory component to disk (no-op when empty).
+  /// Forces all in-memory data to disk. In async mode this is a synchronous
+  /// barrier: it waits for in-flight background maintenance to quiesce,
+  /// then flushes whatever remains inline — on return the memtables are
+  /// empty and the merge policy has been applied.
   Status Flush();
 
-  /// Applies the merge policy now (normally triggered by Flush).
+  /// Applies the merge policy now (normally triggered by maintenance).
+  /// Barrier semantics in async mode, like Flush().
   Status MaybeMerge();
+
+  // -- Compactable (scheduler worker entry points) -------------------------
+  Status BackgroundFlush() override;
+  Status BackgroundMerge() override;
+  const std::string& compaction_label() const override;
 
   // -- Readers --------------------------------------------------------------
   /// LSM-resolved point lookup: newest component wins, antimatter hides.
@@ -180,9 +239,19 @@ class LsmBTree {
       return CompareKeys(a, b) < 0;
     }
   };
+  using MemTable = std::map<CompositeKey, MemEntry, KeyLess>;
   struct DiskComponent {
     ComponentInfo info;
     std::shared_ptr<DiskComponentReader> reader;
+  };
+  /// A rotated (immutable) in-memory component awaiting its background
+  /// flush. Readers traverse `entries` under the shared lock while the
+  /// flush job reads it lock-free — both sides are read-only, and the map
+  /// is never mutated after rotation.
+  struct ImmComponent {
+    MemTable entries;
+    size_t bytes = 0;
+    uint64_t max_lsn = 0;
   };
 
   /// Opens a disk component with the reader matching options_.format.
@@ -190,10 +259,30 @@ class LsmBTree {
                     std::shared_ptr<DiskComponentReader>* out) const;
   /// Bulk-loads `entries` (sorted, logical payloads) into a new component
   /// file at `path` in options_.format, handling payload/page compression.
-  Status BuildComponent(const std::map<CompositeKey, MemEntry, KeyLess>& entries,
-                        const std::string& path, uint64_t* num_entries) const;
+  Status BuildComponent(const MemTable& entries, const std::string& path,
+                        uint64_t* num_entries) const;
+  /// The single budget-trip path shared by Upsert and Delete: rotate and
+  /// schedule in async mode (throttling when the previous rotation is still
+  /// in flight), flush inline in sync mode. May release and reacquire
+  /// `lock`; every stall goes through RecordWriteStall exactly once.
+  Status MaybeRotateLocked(std::unique_lock<std::shared_mutex>& lock);
+  /// Moves mem_ into a fresh imm_ (requires the unique lock; imm_ empty).
+  void RotateLocked();
+  /// Builds and installs a disk component from `entries`, fully under the
+  /// lock (the synchronous flush body, shared by sync mode and barriers).
+  Status FlushTableLocked(const MemTable& entries, size_t bytes_in,
+                          uint64_t max_lsn);
+  /// Installs an already-built component and records flush accounting.
+  void FinishFlushLocked(ComponentInfo info,
+                         std::shared_ptr<DiskComponentReader> reader,
+                         uint64_t bytes_in, uint64_t flush_start_us);
+  /// Flushes imm_ (if any) then mem_ inline, then applies the merge policy.
   Status FlushLocked();
   Status MaybeMergeLockedImpl();
+  /// Merge-policy decision over the current disk_ state; false = no merge.
+  bool SelectMergeRunLocked(size_t* first, size_t* count) const;
+  /// True when the merge policy wants a merge of the current disk_ state.
+  bool MergeWantedLocked() const;
   Status MergeComponents(size_t first, size_t count);
 
   BufferCache* cache_;
@@ -201,12 +290,29 @@ class LsmBTree {
   LsmOptions options_;
 
   mutable std::shared_mutex mu_;
-  std::map<CompositeKey, MemEntry, KeyLess> mem_;
+  MemTable mem_;
   size_t mem_bytes_ = 0;
   uint64_t mem_max_lsn_ = 0;
   uint64_t flushed_lsn_ = 0;
-  // Oldest first; the in-memory component is conceptually at the end.
+  // Oldest first; the in-memory components are conceptually at the end
+  // (imm_ older than mem_).
   std::vector<DiskComponent> disk_;
+  /// Rotated memtable being flushed in the background; null when none.
+  std::shared_ptr<const ImmComponent> imm_;
+  /// Signaled when imm_ clears (or bg_error_ is set): wakes writers blocked
+  /// at the hard memory ceiling and the barrier retry loops.
+  mutable std::condition_variable_any imm_cv_;
+  /// Escalates the soft-throttle delay while the flush pool is behind;
+  /// reset whenever a rotation succeeds or the budget has headroom.
+  uint32_t throttle_level_ = 0;
+  /// True while a background job is building outside the lock; barriers
+  /// wait for these so an inline flush/merge can't duplicate in-flight
+  /// work (cleared with an imm_cv_ notify).
+  bool flush_inflight_ = false;
+  bool merge_inflight_ = false;
+  /// First error from a background job; surfaced to the next writer or
+  /// barrier call (the tree stops accepting writes until reopened).
+  Status bg_error_;
 };
 
 }  // namespace storage

@@ -536,6 +536,9 @@ TEST(WriteAmplificationTest, IngestFlushesStallAndAmplify) {
   config.base_dir = dir;
   config.enable_monitoring = false;
   config.lsm.mem_budget_bytes = 4096;  // tiny memtable: every few rows flush
+  // Inline maintenance: this test asserts the writer itself pays the flush
+  // (write stalls + kWriteStall events), which async compaction hides.
+  config.async_compaction = false;
   auto& reg = metrics::MetricsRegistry::Default();
   uint64_t ingested_before =
       reg.GetCounter("storage.lsm.bytes_ingested")->value();

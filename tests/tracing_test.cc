@@ -229,7 +229,10 @@ class TracingE2eTest : public ::testing::Test {
     config.cluster.job_startup_us = 20000;
     // Tiny memory component so insert statements flush (and merge) inside
     // the insert's own job — the events must carry the insert's query id.
+    // Keep maintenance inline (no background scheduler) so the flush/merge
+    // events land before the insert statement returns.
     config.lsm.mem_budget_bytes = 1;
+    config.async_compaction = false;
     instance_ = std::make_unique<api::AsterixInstance>(config);
     ASSERT_TRUE(instance_->Boot().ok());
     auto r = instance_->Execute(R"aql(
