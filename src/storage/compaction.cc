@@ -190,6 +190,13 @@ void CompactionScheduler::WorkerLoop() {
   }
 }
 
+bool CompactionScheduler::Accepting(Compactable* tree) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stopped_) return false;
+  auto it = trees_.find(tree);
+  return it == trees_.end() || !it->second.released;
+}
+
 void CompactionScheduler::Quiesce(Compactable* tree) {
   std::unique_lock<std::mutex> lock(mu_);
   cv_idle_.wait(lock, [&] {

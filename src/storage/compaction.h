@@ -91,6 +91,14 @@ class CompactionScheduler {
   /// attributed to the query whose write triggered it.
   bool Schedule(Compactable* tree, CompactionJobKind kind);
 
+  /// True while a Schedule() for this tree could still be accepted (the
+  /// scheduler is not stopped and the tree is not released). Queued jobs
+  /// are silently dropped by Stop()/Release(), so a writer parked on work
+  /// it queued earlier must re-check this: once it turns false, nothing
+  /// will ever run that job and the caller has to fall back to inline
+  /// maintenance (see the hard-ceiling wait in LsmBTree).
+  bool Accepting(Compactable* tree) const;
+
   /// Blocks until the tree has no queued and no running job. Follow-up jobs
   /// scheduled from inside a job body are visible before the job counts as
   /// done, so a quiesced tree is genuinely idle.

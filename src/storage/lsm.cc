@@ -55,8 +55,9 @@ void UpdateWriteAmplification() {
 /// doing the flush itself — 50us doubling per consecutive throttled write,
 /// capped at 2ms. The cap is deliberately far below a flush's own cost:
 /// the throttle only has to slow refill enough that the hard ceiling
-/// (2x budget) is not hit before the background flush drains; pushing it
-/// higher just moves the sync design's latency cliff into the async tail.
+/// (mem_hard_limit_bytes, default 3x budget) is not hit before the
+/// background flush drains; pushing it higher just moves the sync design's
+/// latency cliff into the async tail.
 constexpr uint64_t kThrottleBaseUs = 50;
 constexpr uint64_t kThrottleMaxUs = 2'000;
 constexpr uint32_t kThrottleMaxLevel = 8;
@@ -245,13 +246,13 @@ Result<std::vector<ComponentInfo>> LsmLifecycle::Recover() {
   std::vector<std::string> names;
   ASTERIX_RETURN_NOT_OK(env::ListDir(dir_, &names));
   std::string prefix = name_ + ".c";
-  std::vector<ComponentInfo> components;
-  struct ReplaceRange {
-    uint64_t lo = 0;
-    uint64_t hi = 0;
-    std::string path;  // the declaring output's data file
+  struct Recovered {
+    ComponentInfo info;        // info.seq is the *sort* seq
+    uint64_t file_seq = 0;     // from the file name (allocation order)
+    uint64_t lo = 0, hi = 0;   // replaces range; hi == 0 = not a merge output
+    bool removed = false;
   };
-  std::vector<ReplaceRange> replaces;
+  std::vector<Recovered> recs;
   for (const auto& fname : names) {
     if (!StartsWith(fname, prefix)) continue;
     if (fname.size() < prefix.size() + 12) continue;
@@ -272,40 +273,67 @@ Result<std::vector<ComponentInfo>> LsmLifecycle::Recover() {
       std::vector<uint8_t> mbytes;
       ASTERIX_RETURN_NOT_OK(env::ReadFile(marker, &mbytes));
       BytesReader mr(mbytes);
-      ComponentInfo info;
-      info.seq = seq;
-      info.path = data_path;
-      info.bytes = env::FileSize(data_path);
-      ASTERIX_RETURN_NOT_OK(mr.GetU64(&info.num_entries));
-      ASTERIX_RETURN_NOT_OK(mr.GetU64(&info.max_lsn));
+      Recovered rec;
+      rec.info.seq = seq;
+      rec.info.path = data_path;
+      rec.info.bytes = env::FileSize(data_path);
+      rec.file_seq = seq;
+      ASTERIX_RETURN_NOT_OK(mr.GetU64(&rec.info.num_entries));
+      ASTERIX_RETURN_NOT_OK(mr.GetU64(&rec.info.max_lsn));
       // Markers written before sort seqs carried only the two fields above;
       // for those the file seq is the sort seq and nothing is replaced.
-      uint64_t sort_seq = seq, lo = 0, hi = 0;
+      uint64_t sort_seq = seq;
       if (mr.remaining() >= 24) {
         ASTERIX_RETURN_NOT_OK(mr.GetU64(&sort_seq));
-        ASTERIX_RETURN_NOT_OK(mr.GetU64(&lo));
-        ASTERIX_RETURN_NOT_OK(mr.GetU64(&hi));
+        ASTERIX_RETURN_NOT_OK(mr.GetU64(&rec.lo));
+        ASTERIX_RETURN_NOT_OK(mr.GetU64(&rec.hi));
       }
-      info.seq = sort_seq;
-      components.push_back(std::move(info));
-      replaces.push_back({lo, hi, data_path});
+      rec.info.seq = sort_seq;
+      recs.push_back(std::move(rec));
       next_seq_ = std::max(next_seq_, seq + 1);
     }
   }
   // Complete interrupted merges: a valid output whose inputs still exist
   // (crash between marking the output and deleting the inputs) supersedes
-  // every other component inside its replaces range.
-  for (const auto& r : replaces) {
-    if (r.hi == 0) continue;
-    for (size_t i = 0; i < components.size();) {
-      const ComponentInfo& c = components[i];
-      if (c.path != r.path && c.seq >= r.lo && c.seq <= r.hi) {
-        ASTERIX_RETURN_NOT_OK(RemoveComponent(c));
-        components.erase(components.begin() + static_cast<ptrdiff_t>(i));
-      } else {
-        ++i;
+  // the components inside its replaces range.
+  //
+  // A merge output's marker keeps its replaces range for the output's whole
+  // lifetime, so a *stale* range can still be on disk long after its inputs
+  // were deleted — and when a later merge chains on that output (the output
+  // becomes the newest input of the next run), the later output inherits
+  // the same sort seq, and the stale range matches it. Applying ranges
+  // unconditionally would then delete both outputs (each falls inside the
+  // other's range) and lose the data permanently, since flushed_lsn already
+  // covers it and WAL replay will not restore it. Three rules prevent that:
+  //   1. Ranges apply newest-declaring-output-first (file seqs are
+  //      allocated monotonically, so the latest interrupted merge wins).
+  //   2. A range only removes components whose *file* seq is older than
+  //      the declaring output's — a merge's inputs always predate its
+  //      output file, so this never misses a real leftover input, while a
+  //      stale range can no longer reach forward at a newer output.
+  //   3. A range declared by a component that was itself removed is dead
+  //      (its output lost to a newer one) and is never applied.
+  std::vector<size_t> order;
+  for (size_t i = 0; i < recs.size(); ++i) {
+    if (recs[i].hi != 0) order.push_back(i);
+  }
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return recs[a].file_seq > recs[b].file_seq;
+  });
+  for (size_t oi : order) {
+    const Recovered& r = recs[oi];
+    if (r.removed) continue;
+    for (auto& c : recs) {
+      if (c.removed || c.file_seq >= r.file_seq) continue;
+      if (c.info.seq >= r.lo && c.info.seq <= r.hi) {
+        ASTERIX_RETURN_NOT_OK(RemoveComponent(c.info));
+        c.removed = true;
       }
     }
+  }
+  std::vector<ComponentInfo> components;
+  for (auto& rec : recs) {
+    if (!rec.removed) components.push_back(std::move(rec.info));
   }
   std::sort(components.begin(), components.end(),
             [](const ComponentInfo& a, const ComponentInfo& b) {
@@ -472,9 +500,25 @@ Status LsmBTree::MaybeRotateLocked(std::unique_lock<std::shared_mutex>& lock) {
         return bg_error_;
       }
       // Hard memory ceiling: block until the in-flight flush clears so the
-      // tree cannot grow without bound when ingest outruns the pool.
-      imm_cv_.wait(lock,
-                   [&] { return imm_ == nullptr || !bg_error_.ok(); });
+      // tree cannot grow without bound when ingest outruns the pool. The
+      // wait must poll: the flush that will clear imm_ may still be only
+      // *queued*, and Stop()/Release() drop queued jobs without notifying
+      // the tree — once the scheduler no longer accepts work for this tree,
+      // nothing will ever clear imm_, so fall back to an inline flush
+      // instead of blocking forever.
+      for (;;) {
+        if (imm_cv_.wait_for(lock, std::chrono::milliseconds(10), [&] {
+              return imm_ == nullptr || !bg_error_.ok();
+            })) {
+          break;
+        }
+        if (!flush_inflight_ && !sched->Accepting(this)) {
+          Status st = FlushLocked();  // drains imm_ and mem_ inline
+          RecordWriteStall(NowUs() - stall_start_us,
+                           lifecycle_.name().c_str());
+          return st;
+        }
+      }
       RecordWriteStall(NowUs() - stall_start_us, lifecycle_.name().c_str());
       if (!bg_error_.ok()) return bg_error_;
       RotateLocked();

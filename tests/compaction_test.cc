@@ -3,7 +3,9 @@
 // flush/merge concurrency), async memtable rotation keeping data visible
 // while the flush runs, sync-vs-async result equivalence across flushes,
 // merges, and reopen, interrupted-merge cleanup via the validity marker's
-// replaces range, soft-throttle stall accounting, the tiered merge policy,
+// replaces range (including chained merges whose outputs share a sort seq),
+// the inline-flush fallback for writers parked at the hard ceiling when the
+// scheduler stops, soft-throttle stall accounting, the tiered merge policy,
 // the with-clause merge-policy plumbing (DDL -> metadata -> reopen), the
 // watchdog's compaction-backlog condition, the StatusJson compaction
 // section, and a TSan hammer over writers + readers + background
@@ -364,6 +366,110 @@ TEST_F(CompactionLsmTest, RecoverCompletesInterruptedMergeCleanup) {
   EXPECT_EQ(components, 1u);
 }
 
+// Chained merges: a merge output's marker keeps its replaces range for the
+// output's whole lifetime, and when a second merge uses that output as its
+// *newest* input, the second output inherits the same sort seq — so after a
+// crash in the second merge's install window, both outputs' ranges match
+// each other. Recovery must keep exactly the newest output (applying ranges
+// newest-output-first and never letting a range reach a newer file), not
+// mutually delete both outputs and lose the data.
+TEST_F(CompactionLsmTest, RecoverSurvivesChainedMergeCrash) {
+  CompactionScheduler sched({/*threads=*/2, /*queue_limit=*/64});
+  {
+    LsmBTree t(cache_.get(), dir_, "a", AsyncOpts(&sched, 1 << 20));
+    ASSERT_TRUE(t.Open().ok());
+    for (int i = 0; i < 30; ++i) {
+      ASSERT_TRUE(
+          t.Upsert({Value::Int64(i)}, Payload("v" + std::to_string(i)), i + 1)
+              .ok());
+      if ((i + 1) % 10 == 0) ASSERT_TRUE(t.Flush().ok());
+    }
+    ASSERT_EQ(t.num_disk_components(), 3u);
+  }
+  // The forged merge outputs need real openable contents: build a single
+  // fully-merged component holding all 30 keys in a scratch dir and reuse
+  // its file bytes for both outputs.
+  std::string dir2 = env::NewScratchDir("compaction-chain");
+  auto cache2 = std::make_unique<BufferCache>(512);
+  std::vector<uint8_t> full_data;
+  {
+    LsmOptions o;
+    o.mem_budget_bytes = 1 << 20;
+    o.merge_policy = MergePolicy::None();
+    LsmBTree full(cache2.get(), dir2, "a", o);
+    ASSERT_TRUE(full.Open().ok());
+    for (int i = 0; i < 30; ++i) {
+      ASSERT_TRUE(full.Upsert({Value::Int64(i)},
+                              Payload("v" + std::to_string(i)), i + 1)
+                      .ok());
+    }
+    ASSERT_TRUE(full.Flush().ok());
+    LsmLifecycle probe(dir2, "a", "btr");
+    auto r = probe.Recover();
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(r.value().size(), 1u);
+    ASSERT_TRUE(env::ReadFile(r.value()[0].path, &full_data).ok());
+  }
+  // Forge the chained crash state over components [1,2,3]:
+  //  - merge 1 combined [2,3] into O1 (file seq 4, sort seq 3, replaces
+  //    [2,3]) and *completed* its install — inputs 2 and 3 are gone, but
+  //    O1's marker still declares the range;
+  //  - merge 2 combined [1, O1] into O2 (file seq 5) — O1 is its newest
+  //    input, so O2 also sorts at seq 3, replaces [1,3] — and "crashed"
+  //    between MarkValid and input deletion.
+  {
+    LsmLifecycle forge(dir_, "a", "btr");
+    auto recovered = forge.Recover();
+    ASSERT_TRUE(recovered.ok());
+    ASSERT_EQ(recovered.value().size(), 3u);
+    const auto& comps = recovered.value();
+    uint64_t o1_seq = forge.AllocateSeq();
+    ASSERT_TRUE(env::WriteFileAtomic(forge.ComponentPath(o1_seq),
+                                     full_data.data(), full_data.size())
+                    .ok());
+    ASSERT_TRUE(forge.MarkValid(o1_seq, 20, /*max_lsn=*/30, /*sort_seq=*/3,
+                                /*replaces_lo=*/2, /*replaces_hi=*/3)
+                    .ok());
+    ASSERT_TRUE(forge.RemoveComponent(comps[1]).ok());
+    ASSERT_TRUE(forge.RemoveComponent(comps[2]).ok());
+    uint64_t o2_seq = forge.AllocateSeq();
+    ASSERT_TRUE(env::WriteFileAtomic(forge.ComponentPath(o2_seq),
+                                     full_data.data(), full_data.size())
+                    .ok());
+    ASSERT_TRUE(forge.MarkValid(o2_seq, 30, /*max_lsn=*/30, /*sort_seq=*/3,
+                                /*replaces_lo=*/1, /*replaces_hi=*/3)
+                    .ok());
+  }
+  // Reopen: recovery keeps exactly O2 and all the data still reads.
+  {
+    LsmBTree t(cache_.get(), dir_, "a", AsyncOpts(&sched, 1 << 20));
+    ASSERT_TRUE(t.Open().ok());
+    EXPECT_EQ(t.num_disk_components(), 1u);
+    for (int64_t k : {0, 12, 29}) {
+      bool found = false;
+      std::vector<uint8_t> p;
+      ASSERT_TRUE(t.PointLookup({Value::Int64(k)}, &found, &p).ok());
+      EXPECT_TRUE(found) << k;
+    }
+  }
+  // On disk: exactly one data file, and it is the newest output (file 5),
+  // not the stale first output or a leftover input.
+  std::vector<std::string> names;
+  ASSERT_TRUE(env::ListDir(dir_, &names).ok());
+  size_t data_files = 0;
+  bool newest_alive = false;
+  for (const auto& n : names) {
+    if (n.find(".btr") != std::string::npos &&
+        n.find(".valid") == std::string::npos) {
+      ++data_files;
+      if (n.find("c000000000005") != std::string::npos) newest_alive = true;
+    }
+  }
+  EXPECT_EQ(data_files, 1u);
+  EXPECT_TRUE(newest_alive);
+  env::RemoveAll(dir2);
+}
+
 // While the one worker is parked, budget trips cannot flush: writers must
 // soft-throttle (recorded as write stalls) yet keep succeeding, and all
 // data must surface once the pool drains.
@@ -393,6 +499,48 @@ TEST_F(CompactionLsmTest, ThrottleRecordsStallsWhilePoolIsBusy) {
                  return Status::OK();
                }).ok());
   EXPECT_EQ(n, 120u);
+}
+
+// Stop() drops queued jobs without running them. A writer blocked at the
+// hard memory ceiling is waiting for exactly such a queued flush to clear
+// imm_ — it must detect that the scheduler no longer accepts work for the
+// tree and fall back to an inline flush instead of blocking forever.
+TEST_F(CompactionLsmTest, CeilingWriterFallsBackInlineWhenSchedulerStops) {
+  CompactionScheduler sched({/*threads=*/1, /*queue_limit=*/64});
+  FakeTree blocker("blocker", nullptr, nullptr);
+  blocker.set_blocking(true);
+  ASSERT_TRUE(sched.Schedule(&blocker, CompactionJobKind::kFlush));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));  // worker parked
+
+  LsmBTree t(cache_.get(), dir_, "a", AsyncOpts(&sched, /*budget=*/2048));
+  ASSERT_TRUE(t.Open().ok());
+  // Drive the tree past the hard ceiling (3x budget): the rotation's flush
+  // stays queued behind the parked worker, so after the soft-throttle band
+  // is exhausted the writer blocks waiting for imm_ to clear.
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE(
+          t.Upsert({Value::Int64(i)}, Payload(std::string(60, 'x')), i + 1)
+              .ok());
+    }
+    done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  // Stop() drops the tree's queued flush. The blocked writer must recover
+  // via the inline-flush fallback while Stop() is still joining the worker.
+  std::thread stopper([&] { sched.Stop(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  blocker.Release();  // lets Stop() finish joining
+  stopper.join();
+  writer.join();
+  EXPECT_TRUE(done.load());
+  size_t n = 0;
+  ASSERT_TRUE(t.RangeScan({}, [&](const IndexEntry&) {
+                 ++n;
+                 return Status::OK();
+               }).ok());
+  EXPECT_EQ(n, 200u);
 }
 
 TEST_F(CompactionLsmTest, TieredPolicyCollapsesSimilarSizedRun) {
